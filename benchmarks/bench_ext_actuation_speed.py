@@ -1,0 +1,53 @@
+"""Extension: how fast must actuation be? (Section 5's opening claim.)
+
+"Electrical solutions like voltage scaling can significantly reduce the
+processor power; unfortunately, the time scales needed for such
+transitions are fairly large.  As previously demonstrated, voltage
+control needs to act within 1-5 cycles."  This bench quantifies the
+claim with the threshold solver: the total sensing+actuation delay is
+swept from the paper's 0-6 cycles out to DVFS-scale latencies, and the
+achievable safe window is recorded until the design becomes infeasible.
+"""
+
+from repro.analysis.tables import format_table
+from repro.control.thresholds import ControlInfeasibleError, solve_thresholds
+
+from harness import design_at, once, report
+
+DELAYS = (0, 2, 4, 6, 8, 10, 12, 15, 20, 30, 50, 100)
+
+
+def _build():
+    design = design_at(200)
+    i_reduce, i_boost = design.response_currents("ideal")
+    rows = []
+    last_feasible = None
+    for delay in DELAYS:
+        try:
+            d = solve_thresholds(design.pdn, design.i_min, design.i_max,
+                                 delay, i_reduce=i_reduce, i_boost=i_boost)
+            rows.append([delay, "%.3f" % d.v_low, "%.3f" % d.v_high,
+                         "%.0f" % d.window_mv])
+            last_feasible = delay
+        except ControlInfeasibleError:
+            rows.append([delay, "-", "-", "infeasible"])
+    table = format_table(
+        ["Total loop delay (cycles)", "v_low (V)", "v_high (V)",
+         "Window (mV)"], rows,
+        title="Extension: actuation-speed requirement (ideal actuator, "
+              "200% impedance)")
+    period = design.pdn.resonant_period_cycles(design.config.clock_hz)
+    notes = ("the resonant period is %.0f cycles; once the loop delay "
+             "approaches a half-period the controller is reacting to the "
+             "previous swing and the window collapses (last feasible "
+             "delay here: %s cycles).  A DVFS transition -- microseconds, "
+             "i.e. thousands of cycles -- is orders of magnitude outside "
+             "the budget, which is why the paper actuates with clock "
+             "gating." % (period, last_feasible))
+    return table + "\n\n" + notes
+
+
+def bench_ext_actuation_speed(benchmark):
+    text = once(benchmark, _build)
+    report("ext_actuation_speed", text)
+    assert "resonant period" in text

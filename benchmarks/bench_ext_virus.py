@@ -1,0 +1,51 @@
+"""Extension: envelope attainability (the power virus).
+
+The target impedance is solved against the model envelope
+``[min_power, max_power]``, but no instruction stream can light every
+structure at once through an 8-wide issue stage.  This bench measures
+the highest power an adversarial-but-real workload sustains, i.e. how
+conservative the worst-case design actually is.
+"""
+
+from repro.analysis.tables import format_table
+from repro.workloads.virus import measure_peak_power
+
+from harness import design_at, once, report, run_stressmark
+
+
+def _build():
+    design = design_at(200)
+    virus = measure_peak_power(config=design.config,
+                               power_params=design.power_model.params,
+                               cycles=6000)
+    sm = run_stressmark(percent=200, record_traces=True, cycles=6000)
+    sm_mean = float(sm.currents.mean())
+    sm_peak = float(sm.currents.max())
+    model_max = virus["model_max"]
+    rows = [
+        ["model envelope maximum", "%.1f" % model_max, "100%", "-"],
+        ["power virus (sustained)", "%.1f" % virus["mean_power"],
+         "%.0f%%" % (100 * virus["mean_fraction"]),
+         "ipc %.1f" % virus["ipc"]],
+        ["power virus (single-cycle peak)", "%.1f" % virus["peak_power"],
+         "%.0f%%" % (100 * virus["peak_power"] / model_max), "-"],
+        ["stressmark burst mean", "%.1f" % sm_mean,
+         "%.0f%%" % (100 * sm_mean / model_max), "square wave, not DC"],
+        ["stressmark single-cycle peak", "%.1f" % sm_peak,
+         "%.0f%%" % (100 * sm_peak / model_max), "-"],
+    ]
+    table = format_table(
+        ["Load", "Watts", "Of model max", "Notes"], rows,
+        title="Extension: how much of the design envelope is reachable")
+    notes = ("the guarantee is solved against the full envelope, so every "
+             "real program -- even the virus -- operates with margin; the "
+             "gap (~%.0f%% sustained) is the price of a provable bound "
+             "over an empirical one."
+             % (100 * (1.0 - virus["mean_fraction"])))
+    return table + "\n\n" + notes
+
+
+def bench_ext_envelope_attainability(benchmark):
+    text = once(benchmark, _build)
+    report("ext_virus", text)
+    assert "envelope" in text

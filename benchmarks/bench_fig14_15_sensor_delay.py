@@ -1,0 +1,68 @@
+"""Figures 14 and 15: sensor delay vs performance and energy.
+
+Sweeps sensor delay 0-6 cycles with the ideal actuator (the paper's
+Section 4.4 methodology) over the eight voltage-active SPEC benchmarks
+and the stressmark.  Expected shape: SPEC is nearly flat; the stressmark
+degrades visibly as delay grows.
+"""
+
+from repro.analysis.metrics import (
+    energy_increase_percent,
+    performance_loss_percent,
+)
+from repro.analysis.tables import ascii_chart, format_table
+
+from harness import ACTIVE, once, report, run_spec, run_stressmark
+
+DELAYS = tuple(range(7))
+
+
+def _build():
+    spec_baselines = {name: run_spec(name, delay=None) for name in ACTIVE}
+    sm_baseline = run_stressmark(delay=None)
+
+    spec_perf = []
+    spec_energy = []
+    sm_perf = []
+    sm_energy = []
+    for delay in DELAYS:
+        perf = []
+        energy = []
+        for name in ACTIVE:
+            controlled = run_spec(name, delay=delay)
+            perf.append(performance_loss_percent(spec_baselines[name],
+                                                 controlled))
+            energy.append(energy_increase_percent(spec_baselines[name],
+                                                  controlled))
+        spec_perf.append(sum(perf) / len(perf))
+        spec_energy.append(sum(energy) / len(energy))
+        sm = run_stressmark(delay=delay)
+        sm_perf.append(performance_loss_percent(sm_baseline, sm))
+        sm_energy.append(energy_increase_percent(sm_baseline, sm))
+
+    rows = [[d, "%.2f" % sp, "%.2f" % smp, "%.2f" % se, "%.2f" % sme]
+            for d, sp, smp, se, sme in zip(DELAYS, spec_perf, sm_perf,
+                                           spec_energy, sm_energy)]
+    table = format_table(
+        ["Delay", "SPEC perf loss (%)", "Stressmark perf loss (%)",
+         "SPEC energy incr (%)", "Stressmark energy incr (%)"], rows,
+        title="Figures 14/15: impact of sensor delay (ideal actuator, "
+              "200% impedance)")
+    chart14 = ascii_chart({"SPEC": spec_perf, "stressmark": sm_perf},
+                          width=56, height=10)
+    chart15 = ascii_chart({"SPEC": spec_energy, "stressmark": sm_energy},
+                          width=56, height=10)
+    return "\n\n".join([
+        table,
+        "Figure 14 (performance loss vs delay):\n" + chart14,
+        "Figure 15 (energy increase vs delay):\n" + chart15,
+        "shape check: SPEC mean perf loss stays under a few percent "
+        "(max %.2f%%); the stressmark pays more at large delays "
+        "(max %.2f%%)" % (max(spec_perf), max(sm_perf)),
+    ])
+
+
+def bench_fig14_15_sensor_delay(benchmark):
+    text = once(benchmark, _build)
+    report("fig14_15_sensor_delay", text)
+    assert "shape check" in text

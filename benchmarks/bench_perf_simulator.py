@@ -1,0 +1,86 @@
+"""Simulator throughput (pytest-benchmark used for actual timing).
+
+Unlike the table/figure benches (single-shot experiment regeneration),
+these measure the infrastructure itself over multiple rounds: cycles
+per second of the bare core, the core + power model, and the full
+closed loop, plus the PDN recursion in isolation.  Useful for spotting
+performance regressions in the inner loops.
+"""
+
+import numpy as np
+
+from repro.control.loop import ClosedLoopSimulation
+from repro.pdn.discrete import PdnSimulator
+from repro.power.model import PowerModel
+from repro.uarch.core import Machine
+
+from harness import design_at, stressmark, tuned_stressmark_spec
+
+CYCLES = 2000
+
+
+def _fresh_machine(design):
+    machine = Machine(design.config, stressmark())
+    machine.fast_forward(2000)
+    return machine
+
+
+def bench_perf_bare_core(benchmark):
+    design = design_at(200)
+    tuned_stressmark_spec(200)
+
+    def run():
+        machine = _fresh_machine(design)
+        machine.run(max_cycles=CYCLES)
+        return machine.stats.cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles == CYCLES
+
+
+def bench_perf_core_plus_power(benchmark):
+    design = design_at(200)
+    model = PowerModel(design.config, design.power_model.params)
+
+    def run():
+        machine = _fresh_machine(design)
+        total = 0.0
+        hook = lambda m, a: None
+        while machine.cycle < CYCLES and not machine.done:
+            activity = machine.step()
+            total += model.power(activity)
+        return total
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert total > 0
+
+
+def bench_perf_closed_loop(benchmark):
+    design = design_at(200)
+
+    def run():
+        machine = _fresh_machine(design)
+        factory = design.controller_factory(delay=2,
+                                            actuator_kind="fu_dl1_il1")
+        model = PowerModel(design.config, design.power_model.params)
+        loop = ClosedLoopSimulation(machine, model, design.pdn,
+                                    controller=factory(machine, model))
+        result = loop.run(max_cycles=CYCLES)
+        return result.cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles == CYCLES
+
+
+def bench_perf_pdn_recursion(benchmark):
+    design = design_at(200)
+    currents = np.random.default_rng(3).uniform(15, 65, size=50000)
+
+    def run():
+        sim = PdnSimulator(design.pdn, initial_current=15.0)
+        for c in currents:
+            sim.step(c)
+        return sim.cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles == currents.size

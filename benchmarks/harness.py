@@ -1,0 +1,98 @@
+"""Shared infrastructure for the table/figure benches.
+
+Each ``bench_*.py`` regenerates one table or figure from the paper's
+evaluation: it computes the same rows/series the paper reports, prints
+them (run pytest with ``-s`` to see them live), and writes them to
+``benchmarks/results/<name>.txt``.  The ``benchmark`` fixture wraps the
+computation so ``pytest benchmarks/ --benchmark-only`` also reports how
+long each experiment takes to regenerate.
+
+Run lengths are scaled for laptop turnaround (the paper simulates 200M
+instructions per benchmark; see DESIGN.md section 6).  Set
+``REPRO_BENCH_SCALE`` to an integer >1 to lengthen every timed region
+proportionally.
+"""
+
+import functools
+import os
+import pathlib
+
+from repro.core import VoltageControlDesign, get_profile, tune_stressmark
+from repro.workloads.stressmark import stressmark_stream
+
+#: Scale knob for every timed region.
+SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+
+#: Timed cycles for per-workload closed-loop runs.
+RUN_CYCLES = 12000 * SCALE
+
+#: Functional fast-forward before each timed region.
+WARMUP_INSTRUCTIONS = 60000
+
+#: Where benches drop their rendered tables.
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's controller-study benchmarks (Section 4.4).
+ACTIVE = ("swim", "mgrid", "gcc", "galgel", "facerec", "sixtrack", "eon",
+          "art")
+
+#: Deterministic seed for every workload stream.
+SEED = 11
+
+
+@functools.lru_cache(maxsize=None)
+def design_at(percent):
+    """Cached :class:`VoltageControlDesign` for an impedance level."""
+    return VoltageControlDesign(impedance_percent=float(percent))
+
+
+@functools.lru_cache(maxsize=None)
+def tuned_stressmark_spec(percent=200):
+    """Cached stressmark spec tuned at an impedance level."""
+    design = design_at(percent)
+    spec, _ = tune_stressmark(design.pdn, design.config)
+    return spec
+
+
+def spec_stream(name):
+    """A fresh stream for a SPEC profile (deterministic)."""
+    return get_profile(name).stream(seed=SEED)
+
+
+def stressmark(percent=200):
+    """A fresh stream for the tuned stressmark."""
+    return stressmark_stream(tuned_stressmark_spec(percent))
+
+
+def run_spec(name, percent=200, delay=None, error=0.0,
+             actuator_kind="ideal", cycles=None, record_traces=False):
+    """One closed-loop run of a SPEC profile."""
+    return design_at(percent).run(
+        spec_stream(name), delay=delay, error=error,
+        actuator_kind=actuator_kind,
+        warmup_instructions=WARMUP_INSTRUCTIONS,
+        max_cycles=cycles or RUN_CYCLES, record_traces=record_traces)
+
+
+def run_stressmark(percent=200, delay=None, error=0.0,
+                   actuator_kind="ideal", cycles=None, record_traces=False):
+    """One closed-loop run of the stressmark."""
+    return design_at(percent).run(
+        stressmark(percent), delay=delay, error=error,
+        actuator_kind=actuator_kind, warmup_instructions=2000,
+        max_cycles=cycles or RUN_CYCLES, record_traces=record_traces)
+
+
+def report(name, text):
+    """Print a rendered table/figure and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / ("%s.txt" % name)
+    path.write_text(text + "\n")
+    return path
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""The paper's Section 6 future work, exercised (extensions tour).
+
+Four directions the paper sketches, each implemented in this repo:
+
+1. model validation -- a 4th-order board+package ladder vs the paper's
+   second-order abstraction;
+2. locality -- per-quadrant voltage droop that a global model misses;
+3. alternative control -- a PD loop behind an ADC-style sensor vs the
+   threshold controller;
+4. recovery -- freeze-and-resume vs flush-and-replay actuation.
+
+Run:  python examples/beyond_the_paper.py
+"""
+
+import numpy as np
+
+from repro.analysis.metrics import performance_loss_percent
+from repro.control.actuators import Actuator
+from repro.control.controller import ThresholdController
+from repro.control.loop import run_workload
+from repro.control.pid import DigitizingSensor, PidController, default_gains
+from repro.core import VoltageControlDesign, stressmark_stream, tune_stressmark
+from repro.pdn.ladder import LadderParameters, LadderPdn, fit_second_order
+from repro.pdn.quadrants import (
+    QuadrantParameters,
+    QuadrantPdn,
+    split_power,
+)
+from repro.pdn.discrete import DiscretePdn
+from repro.pdn.waveforms import worst_case_waveform
+from repro.power.model import PowerModel
+from repro.uarch.core import Machine
+
+
+def validate_models():
+    print("1. cross-level model validation (ladder vs second order)")
+    ladder = LadderPdn(LadderParameters.representative())
+    fit = fit_second_order(ladder)
+    board_f, package_f = sorted(ladder.resonances())
+    print("   ladder resonances: board %.0f kHz, package %.1f MHz"
+          % (board_f / 1e3, package_f / 1e6))
+    wave = worst_case_waveform(fit, 17.0, 60.0, n_periods=10)
+    v_ladder = ladder.discretize().simulate(wave, initial_current=17.0)
+    v_fit = DiscretePdn(fit).simulate(wave, initial_current=17.0)
+    print("   resonant-band droop: ladder %.1f mV, 2nd-order %.1f mV "
+          "-> the early-stage abstraction holds in the band that matters"
+          % ((1.0 - v_ladder.min()) * 1e3, (1.0 - v_fit.min()) * 1e3))
+
+
+def local_droop(design, spec):
+    print("\n2. locality: per-quadrant droop on the stressmark")
+    machine = Machine(design.config, stressmark_stream(spec))
+    model = PowerModel(design.config, design.power_model.params)
+    machine.fast_forward(2000)
+    rows = []
+    machine.run(max_cycles=6000, cycle_hook=lambda m, a: rows.append(
+        split_power(model.breakdown(a))))
+    currents = np.array(rows)
+    qpdn = QuadrantPdn(QuadrantParameters.representative())
+    local = qpdn.discretize().simulate(currents,
+                                       initial_current=currents[0])
+    uniform = np.repeat(currents.sum(axis=1)[:, None] / 4.0, 4, axis=1)
+    spread = qpdn.discretize().simulate(uniform, initial_current=uniform[0])
+    print("   per-quadrant minima: %s V"
+          % np.round(local.min(axis=0), 4).tolist())
+    print("   a die-average model would report %.4f V -- %.1f mV "
+          "optimistic for the hottest quadrant"
+          % (spread.min(), (spread.min() - local.min()) * 1e3))
+
+
+def pid_vs_threshold(design, spec):
+    print("\n3. PD control vs threshold control (stressmark)")
+    base = design.run(stressmark_stream(spec), delay=None,
+                      warmup_instructions=2000, max_cycles=10000)
+    threshold = design.run(stressmark_stream(spec), delay=2,
+                           actuator_kind="fu_dl1_il1",
+                           warmup_instructions=2000, max_cycles=10000)
+    kp, ki, kd = default_gains(design.pdn, design.i_min, design.i_max)
+
+    def factory(machine, power_model):
+        return PidController(kp, ki, kd,
+                             sensor=DigitizingSensor(bits=6, delay=3))
+    pid = run_workload(stressmark_stream(spec), design.pdn,
+                       config=design.config, controller_factory=factory,
+                       warmup_instructions=2000, max_cycles=10000)
+    for name, r in (("threshold", threshold), ("PD loop ", pid)):
+        print("   %s: %d emergencies, %.1f%% perf loss"
+              % (name, r.emergencies["emergency_cycles"],
+                 performance_loss_percent(base, r)))
+    print("   both protect; only the threshold design carries a "
+          "worst-case guarantee")
+
+
+def recovery_policies(design, spec):
+    print("\n4. actuation recovery: freeze vs flush")
+    base = design.run(stressmark_stream(spec), delay=None,
+                      warmup_instructions=2000, max_cycles=10000)
+    thresholds = design.thresholds(delay=4, actuator_kind="fu_dl1_il1")
+    for recovery in ("freeze", "flush"):
+        def factory(machine, power_model, recovery=recovery):
+            return ThresholdController.from_design(
+                thresholds, actuator=Actuator("fu_dl1_il1",
+                                              recovery=recovery))
+        r = run_workload(stressmark_stream(spec), design.pdn,
+                         config=design.config, controller_factory=factory,
+                         warmup_instructions=2000, max_cycles=10000)
+        print("   %s: %d emergencies, %.1f%% perf loss, %d flushes"
+              % (recovery, r.emergencies["emergency_cycles"],
+                 performance_loss_percent(base, r),
+                 r.machine_stats.flushes))
+
+
+def main():
+    design = VoltageControlDesign(impedance_percent=200.0)
+    spec, _ = tune_stressmark(design.pdn, design.config)
+    validate_models()
+    local_droop(design, spec)
+    pid_vs_threshold(design, spec)
+    recovery_policies(design, spec)
+
+
+if __name__ == "__main__":
+    main()

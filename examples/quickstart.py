@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Quickstart: eliminate the stressmark's voltage emergencies.
+
+Builds the paper's system end to end -- Table 1 machine, Wattch-style
+power model, 200%-of-target-impedance package -- then runs the dI/dt
+stressmark twice: uncontrolled (voltage emergencies) and under a
+threshold controller with a 2-cycle sensor (no emergencies), and prints
+the cost of control.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.metrics import (
+    energy_increase_percent,
+    performance_loss_percent,
+)
+from repro.core import VoltageControlDesign, stressmark_stream, tune_stressmark
+
+
+def main():
+    # 1. The design flow: analyze the machine, size the network at 200%
+    #    of target impedance (a cheap package that needs help).
+    design = VoltageControlDesign(impedance_percent=200.0)
+    print("design:           ", design)
+    print("target impedance x2, resonance %.0f MHz, Q %.1f"
+          % (design.pdn.resonant_hz / 1e6, design.pdn.quality_factor))
+
+    # 2. Build the dI/dt stressmark, auto-tuned to the package resonance.
+    spec, period = tune_stressmark(design.pdn, design.config)
+    print("stressmark:        %d divides, %d burst groups, period %.1f "
+          "cycles (target %.1f)"
+          % (spec.n_divides, spec.burst_groups, period,
+             design.pdn.resonant_period_cycles(design.config.clock_hz)))
+
+    # 3. Uncontrolled run: the stressmark drives the voltage out of spec.
+    base = design.run(stressmark_stream(spec), delay=None,
+                      warmup_instructions=2000, max_cycles=20000)
+    e = base.emergencies
+    print("\nuncontrolled:      %d emergency cycles (%.2f%%), "
+          "voltage [%.4f, %.4f] V"
+          % (e["emergency_cycles"], 100 * e["frequency"],
+             e["v_min"], e["v_max"]))
+
+    # 4. Controlled run: threshold controller, 2-cycle sensor, the
+    #    coarse FU/DL1/IL1 actuator.
+    ctrl = design.run(stressmark_stream(spec), delay=2,
+                      actuator_kind="fu_dl1_il1",
+                      warmup_instructions=2000, max_cycles=20000)
+    e = ctrl.emergencies
+    print("controlled:        %d emergency cycles, voltage [%.4f, %.4f] V"
+          % (e["emergency_cycles"], e["v_min"], e["v_max"]))
+    print("controller events: %d reduce cycles, %d boost cycles"
+          % (ctrl.controller["reduce_cycles"],
+             ctrl.controller["boost_cycles"]))
+
+    # 5. The price of safety.
+    print("\ncost of control:   %.1f%% performance, %.1f%% energy"
+          % (performance_loss_percent(base, ctrl),
+             energy_increase_percent(base, ctrl)))
+    thresholds = design.thresholds(delay=2, actuator_kind="fu_dl1_il1")
+    print("thresholds:        low %.3f V, high %.3f V (window %.0f mV)"
+          % (thresholds.v_low, thresholds.v_high, thresholds.window_mv))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Reproduction of Joseph, Brooks & Martonosi, "Control Techniques to
+Eliminate Voltage Emergencies in High Performance Processors" (HPCA 2003).
+
+The package couples a second-order power-delivery-network model
+(:mod:`repro.pdn`), a cycle-level out-of-order processor simulator
+(:mod:`repro.uarch`) with a Wattch-style power model (:mod:`repro.power`),
+and the paper's contribution -- a threshold voltage controller with
+microarchitectural actuators (:mod:`repro.control`).  Workload generators
+(the dI/dt stressmark and synthetic SPEC2000 profiles) live in
+:mod:`repro.workloads`; reporting helpers in :mod:`repro.analysis`.
+
+See :mod:`repro.core` for the high-level public API.
+"""
+
+__version__ = "1.0.0"

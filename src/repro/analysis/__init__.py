@@ -1,0 +1,36 @@
+"""Analysis and reporting helpers.
+
+* :mod:`repro.analysis.distributions` -- voltage histograms (Figure 10).
+* :mod:`repro.analysis.metrics` -- performance-loss / energy-increase
+  deltas between controlled and baseline runs (Figures 14-18).
+* :mod:`repro.analysis.tables` -- plain-text tables and charts so the
+  benchmark harness prints the same rows and series the paper reports.
+"""
+
+from repro.analysis.distributions import VoltageDistribution
+from repro.analysis.metrics import (
+    energy_increase_percent,
+    performance_loss_percent,
+    RunComparison,
+)
+from repro.analysis.tables import ascii_chart, format_table, sparkline
+from repro.analysis.spectrum import (
+    band_fraction,
+    current_spectrum,
+    danger_index,
+    resonant_band_energy,
+)
+
+__all__ = [
+    "VoltageDistribution",
+    "energy_increase_percent",
+    "performance_loss_percent",
+    "RunComparison",
+    "ascii_chart",
+    "format_table",
+    "sparkline",
+    "band_fraction",
+    "current_spectrum",
+    "danger_index",
+    "resonant_band_energy",
+]

@@ -1,0 +1,74 @@
+"""Voltage distributions (the paper's Figure 10)."""
+
+import numpy as np
+
+
+class VoltageDistribution:
+    """Histogram of per-cycle die voltages.
+
+    Args:
+        voltages: per-cycle trace (array-like).
+        v_min / v_max: histogram range; defaults to the +/-5% spec band
+            padded slightly, so distributions from different benchmarks
+            share bins and are directly comparable (as in Figure 10).
+        bins: bin count.
+    """
+
+    def __init__(self, voltages, v_min=0.94, v_max=1.06, bins=48):
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        if v_max <= v_min:
+            raise ValueError("v_max must exceed v_min")
+        v = np.asarray(voltages, dtype=float)
+        if v.size == 0:
+            raise ValueError("empty voltage trace")
+        self.samples = v.size
+        self.edges = np.linspace(v_min, v_max, bins + 1)
+        counts, _ = np.histogram(np.clip(v, v_min, v_max), bins=self.edges)
+        self.counts = counts
+        self.fractions = counts / v.size
+        self.mean = float(v.mean())
+        self.std = float(v.std())
+        self.v_observed_min = float(v.min())
+        self.v_observed_max = float(v.max())
+
+    @property
+    def centers(self):
+        """Bin centres, volts."""
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+    @property
+    def spread_mv(self):
+        """Observed min-to-max spread, millivolts."""
+        return (self.v_observed_max - self.v_observed_min) * 1000.0
+
+    def mode_voltage(self):
+        """Centre of the most populated bin."""
+        return float(self.centers[int(np.argmax(self.counts))])
+
+    def fraction_below(self, threshold):
+        """Fraction of samples strictly below ``threshold`` volts."""
+        v_lo = self.edges[:-1]
+        full = self.fractions[self.edges[1:] <= threshold].sum()
+        partial_bin = (v_lo < threshold) & (self.edges[1:] > threshold)
+        # Approximate the straddling bin by linear interpolation.
+        if partial_bin.any():
+            i = int(np.flatnonzero(partial_bin)[0])
+            width = self.edges[i + 1] - self.edges[i]
+            full += self.fractions[i] * (threshold - self.edges[i]) / width
+        return float(full)
+
+    def render(self, width=50, label=""):
+        """Multi-line ASCII rendering of the distribution."""
+        peak = self.fractions.max() or 1.0
+        lines = []
+        if label:
+            lines.append("%s (mean %.3f V, std %.1f mV, spread %.1f mV)"
+                         % (label, self.mean, self.std * 1000.0,
+                            self.spread_mv))
+        for centre, frac in zip(self.centers, self.fractions):
+            if frac == 0.0:
+                continue
+            bar = "#" * max(1, int(round(width * frac / peak)))
+            lines.append("%7.4f V | %s" % (centre, bar))
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Performance and energy deltas between runs (Figures 14-18).
+
+The paper reports controller cost as *performance degradation* and
+*energy increase* relative to an uncontrolled baseline.  Because the
+controlled and baseline runs cover the same instruction stream, the fair
+per-unit comparison is cycles-per-instruction and energy-per-instruction
+over the committed work.
+"""
+
+from dataclasses import dataclass
+
+
+def performance_loss_percent(baseline, controlled):
+    """Percent increase in cycles-per-instruction vs the baseline run.
+
+    Positive values mean the controller slowed the machine down.
+    """
+    base_cpi = _cpi(baseline)
+    ctrl_cpi = _cpi(controlled)
+    return 100.0 * (ctrl_cpi / base_cpi - 1.0)
+
+
+def energy_increase_percent(baseline, controlled):
+    """Percent increase in energy-per-instruction vs the baseline run."""
+    base_epi = _epi(baseline)
+    ctrl_epi = _epi(controlled)
+    return 100.0 * (ctrl_epi / base_epi - 1.0)
+
+
+def _cpi(result):
+    if result.committed == 0:
+        raise ValueError("run committed no instructions; cannot compare")
+    return result.cycles / result.committed
+
+
+def _epi(result):
+    if result.committed == 0:
+        raise ValueError("run committed no instructions; cannot compare")
+    return result.energy / result.committed
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """A baseline-vs-controlled comparison summary.
+
+    Attributes:
+        name: workload label.
+        perf_loss_percent: CPI increase.
+        energy_increase_percent: EPI increase.
+        baseline_emergencies / controlled_emergencies: emergency cycles.
+    """
+
+    name: str
+    perf_loss_percent: float
+    energy_increase_percent: float
+    baseline_emergencies: int
+    controlled_emergencies: int
+
+    @classmethod
+    def from_results(cls, name, baseline, controlled):
+        """Build a comparison from two LoopResults."""
+        return cls(
+            name=name,
+            perf_loss_percent=performance_loss_percent(baseline, controlled),
+            energy_increase_percent=energy_increase_percent(baseline,
+                                                            controlled),
+            baseline_emergencies=baseline.emergencies["emergency_cycles"],
+            controlled_emergencies=controlled.emergencies["emergency_cycles"],
+        )
+
+    @property
+    def emergencies_eliminated(self):
+        """Whether control removed every emergency the baseline had."""
+        return (self.baseline_emergencies > 0 and
+                self.controlled_emergencies == 0)

@@ -1,0 +1,83 @@
+"""Spectral analysis of current traces.
+
+The paper's whole argument is spectral: the package attenuates current
+noise everywhere *except* a mid-frequency band around its resonance, so
+what makes a workload dangerous is not how much its current varies but
+how much of that variation falls in the resonant band.  This module
+makes the argument quantitative:
+
+* :func:`current_spectrum` -- amplitude spectrum of a per-cycle trace;
+* :func:`resonant_band_energy` -- the variation captured by the
+  network's own bandwidth around its resonance;
+* :func:`danger_index` -- band energy weighted by the network's
+  impedance curve: an a-priori predictor of worst-case droop.  The
+  Table 2 offenders are exactly the workloads that rank highest.
+"""
+
+import math
+
+import numpy as np
+
+from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+
+
+def current_spectrum(currents, clock_hz=NOMINAL_CLOCK_HZ):
+    """One-sided amplitude spectrum of a per-cycle current trace.
+
+    The DC component is removed (it produces only static IR drop).
+
+    Returns:
+        ``(freqs_hz, amplitudes)``, amplitudes in amperes (peak of the
+        corresponding sinusoid).
+    """
+    c = np.asarray(currents, dtype=float)
+    if c.size < 8:
+        raise ValueError("trace too short for spectral analysis")
+    signal = c - c.mean()
+    spectrum = np.abs(np.fft.rfft(signal)) * 2.0 / c.size
+    freqs = np.fft.rfftfreq(c.size, d=1.0 / clock_hz)
+    return freqs, spectrum
+
+
+def resonant_band_energy(currents, pdn, clock_hz=NOMINAL_CLOCK_HZ,
+                         bandwidth_factor=1.0):
+    """RMS current (amperes) inside the network's resonant band.
+
+    The band is centred on the resonance with the network's own
+    half-power width (``f0 / Q``), optionally scaled by
+    ``bandwidth_factor``.
+    """
+    freqs, amps = current_spectrum(currents, clock_hz)
+    f0 = pdn.resonant_hz
+    half_width = 0.5 * bandwidth_factor * f0 / pdn.quality_factor
+    mask = (freqs >= f0 - half_width) & (freqs <= f0 + half_width)
+    if not mask.any():
+        return 0.0
+    # RMS of the in-band sinusoids.
+    return float(math.sqrt(np.sum((amps[mask] / math.sqrt(2.0)) ** 2)))
+
+
+def danger_index(currents, pdn, clock_hz=NOMINAL_CLOCK_HZ):
+    """Predicted worst droop (volts) from the trace's spectrum alone.
+
+    Each spectral line contributes its amplitude times the network's
+    impedance at that frequency; summing in quadrature approximates the
+    RMS droop, and the crest of a resonant ring runs ~sqrt(2) above it.
+    This is a *linear, open-loop* prediction -- no simulation -- yet it
+    orders workloads by danger the same way full closed-loop emergency
+    counts do (see ``bench_ext_spectrum.py``).
+    """
+    freqs, amps = current_spectrum(currents, clock_hz)
+    z = pdn.impedance(freqs)
+    rms = math.sqrt(float(np.sum((amps * z / math.sqrt(2.0)) ** 2)))
+    return math.sqrt(2.0) * rms
+
+
+def band_fraction(currents, pdn, clock_hz=NOMINAL_CLOCK_HZ):
+    """Fraction of the trace's AC variance inside the resonant band."""
+    c = np.asarray(currents, dtype=float)
+    total = float(c.var())
+    if total == 0.0:
+        return 0.0
+    in_band = resonant_band_energy(currents, pdn, clock_hz)
+    return min(1.0, in_band ** 2 / total)

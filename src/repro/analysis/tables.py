@@ -1,0 +1,111 @@
+"""Plain-text tables and charts for the benchmark harness."""
+
+
+def format_table(headers, rows, title=None, float_format="%.4g"):
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: column names.
+        rows: sequence of row sequences; floats are formatted with
+            ``float_format``, everything else with ``str``.
+        title: optional caption printed above the table.
+
+    Returns:
+        The table as a single string.
+    """
+    def fmt(cell):
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return float_format % cell
+        return str(cell)
+
+    text_rows = [[fmt(c) for c in row] for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width %d != header width %d"
+                             % (len(row), len(headers)))
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in text_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def sparkline(values, levels=_SPARK_LEVELS):
+    """A one-line character plot of a numeric series."""
+    values = list(values)
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return levels[len(levels) // 2] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(levels) - 1))
+        out.append(levels[idx])
+    return "".join(out)
+
+
+def ascii_chart(series, width=72, height=14, label_format="%8.3g"):
+    """A multi-line ASCII chart of one or more named series.
+
+    Args:
+        series: mapping of name -> sequence of y values (x is the index,
+            resampled to ``width`` columns).
+        width: plot columns.
+        height: plot rows.
+        label_format: y-axis label format.
+
+    Returns:
+        The chart as a string, with a legend assigning one glyph per
+        series.
+    """
+    if not series:
+        return ""
+    glyphs = "*o+x@%&$"
+    names = list(series)
+    all_values = [v for vs in series.values() for v in vs]
+    if not all_values:
+        return ""
+    lo = min(all_values)
+    hi = max(all_values)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, name in enumerate(names):
+        values = list(series[name])
+        if not values:
+            continue
+        glyph = glyphs[si % len(glyphs)]
+        for col in range(width):
+            # Max-pool the column's index range so narrow features (e.g.
+            # a resonance spike in a spectrum) are never sampled away.
+            lo_i = int(col * len(values) / width)
+            hi_i = max(lo_i + 1, int((col + 1) * len(values) / width))
+            y = max(values[lo_i:hi_i])
+            row = int(round((hi - y) / (hi - lo) * (height - 1)))
+            grid[row][col] = glyph
+    lines = []
+    for r, row in enumerate(grid):
+        y_val = hi - r * (hi - lo) / (height - 1)
+        lines.append((label_format % y_val) + " |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "  ".join("%s=%s" % (glyphs[i % len(glyphs)], n)
+                       for i, n in enumerate(names))
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Command-line interface.
+
+Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
+``python -m repro.cli``.  Subcommands map onto the paper's workflow:
+
+* ``analyze`` -- the design-time numbers: current envelope, target
+  impedance, and the Table-3 threshold sweep.
+* ``stressmark`` -- tune the dI/dt stressmark and report its damage.
+* ``characterize BENCH [BENCH ...]`` -- per-benchmark voltage behaviour
+  (Figure 10 / Table 2 style).
+* ``control WORKLOAD`` -- one closed-loop run, controlled vs
+  uncontrolled, with cost accounting.
+* ``list`` -- available synthetic benchmarks.
+"""
+
+import argparse
+import sys
+
+from repro.analysis.distributions import VoltageDistribution
+from repro.analysis.metrics import (
+    energy_increase_percent,
+    performance_loss_percent,
+)
+from repro.analysis.tables import format_table
+from repro.core import (
+    ACTUATOR_KINDS,
+    VoltageControlDesign,
+    get_profile,
+    stressmark_stream,
+    tune_stressmark,
+)
+from repro.workloads.spec import SPEC2000
+
+
+def _add_common(parser):
+    parser.add_argument("--impedance", type=float, default=200.0,
+                        help="package quality, %% of target impedance "
+                             "(default 200)")
+    parser.add_argument("--cycles", type=int, default=20000,
+                        help="timed cycles per run (default 20000)")
+    parser.add_argument("--seed", type=int, default=11,
+                        help="workload seed (default 11)")
+
+
+def build_parser():
+    """Construct the argparse CLI (one sub-parser per command)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-didt",
+        description="Microarchitectural dI/dt voltage control "
+                    "(HPCA 2003 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="design-time analysis (Table 3)")
+    _add_common(p)
+    p.add_argument("--actuator", choices=sorted(ACTUATOR_KINDS),
+                   default="ideal")
+    p.add_argument("--max-delay", type=int, default=6)
+
+    p = sub.add_parser("stressmark", help="tune and assess the stressmark")
+    _add_common(p)
+
+    p = sub.add_parser("characterize",
+                       help="voltage behaviour of benchmarks")
+    _add_common(p)
+    p.add_argument("benchmarks", nargs="+", metavar="BENCH")
+
+    p = sub.add_parser("control", help="closed-loop run with the controller")
+    _add_common(p)
+    p.add_argument("workload", help="benchmark name or 'stressmark'")
+    p.add_argument("--delay", type=int, default=2, help="sensor delay")
+    p.add_argument("--error", type=float, default=0.0,
+                   help="sensor error, volts")
+    p.add_argument("--actuator", choices=sorted(ACTUATOR_KINDS),
+                   default="fu_dl1_il1")
+
+    sub.add_parser("list", help="list synthetic benchmarks")
+    return parser
+
+
+def _design(args):
+    return VoltageControlDesign(impedance_percent=args.impedance)
+
+
+def _stream(design, name, seed):
+    if name == "stressmark":
+        spec, _ = tune_stressmark(design.pdn, design.config)
+        return stressmark_stream(spec), 2000
+    return get_profile(name).stream(seed=seed), 60000
+
+
+def cmd_analyze(args, out):
+    """The ``analyze`` command: envelope, network, threshold table."""
+    design = _design(args)
+    print("current envelope: %.1f .. %.1f A" % (design.i_min, design.i_max),
+          file=out)
+    peak, f_peak = design.pdn.peak_impedance()
+    print("network: peak %.3f mOhm at %.1f MHz (%g%% of target impedance)"
+          % (peak * 1e3, f_peak / 1e6, args.impedance), file=out)
+    rows = []
+    for delay in range(args.max_delay + 1):
+        d = design.thresholds(delay=delay, actuator_kind=args.actuator)
+        rows.append([delay, "%.3f" % d.v_low, "%.3f" % d.v_high,
+                     "%.0f" % d.window_mv])
+    print(format_table(["delay", "v_low (V)", "v_high (V)", "window (mV)"],
+                       rows, title="thresholds (%s actuator)"
+                       % args.actuator), file=out)
+    return 0
+
+
+def cmd_stressmark(args, out):
+    """The ``stressmark`` command: tune the loop, report its damage."""
+    design = _design(args)
+    spec, period = tune_stressmark(design.pdn, design.config)
+    print("tuned: %d divides, %d burst groups; period %.1f cycles "
+          "(resonant target %.1f)"
+          % (spec.n_divides, spec.burst_groups, period,
+             design.pdn.resonant_period_cycles(design.config.clock_hz)),
+          file=out)
+    result = design.run(stressmark_stream(spec), delay=None,
+                        warmup_instructions=2000, max_cycles=args.cycles)
+    e = result.emergencies
+    print("uncontrolled: voltage [%.4f, %.4f] V, %d emergency cycles "
+          "(%.2f%%)" % (e["v_min"], e["v_max"], e["emergency_cycles"],
+                        100 * e["frequency"]), file=out)
+    return 0
+
+
+def cmd_characterize(args, out):
+    """The ``characterize`` command: per-benchmark voltage behaviour."""
+    design = _design(args)
+    rows = []
+    for name in args.benchmarks:
+        stream, warmup = _stream(design, name, args.seed)
+        result = design.run(stream, delay=None,
+                            warmup_instructions=warmup,
+                            max_cycles=args.cycles, record_traces=True)
+        dist = VoltageDistribution(result.voltages)
+        e = result.emergencies
+        rows.append([name, "%.3f" % result.ipc, "%.4f" % dist.mean,
+                     "%.1f" % (dist.std * 1e3),
+                     "%.4f" % e["v_min"], "%.4f" % e["v_max"],
+                     e["emergency_cycles"]])
+    print(format_table(
+        ["benchmark", "ipc", "mean V", "std (mV)", "min V", "max V",
+         "emergencies"], rows,
+        title="characterization at %g%% impedance" % args.impedance),
+        file=out)
+    return 0
+
+
+def cmd_control(args, out):
+    """The ``control`` command: controlled vs uncontrolled run."""
+    design = _design(args)
+    stream, warmup = _stream(design, args.workload, args.seed)
+    base = design.run(stream, delay=None, warmup_instructions=warmup,
+                      max_cycles=args.cycles)
+    stream2, _ = _stream(design, args.workload, args.seed)
+    controlled = design.run(stream2, delay=args.delay, error=args.error,
+                            actuator_kind=args.actuator,
+                            warmup_instructions=warmup,
+                            max_cycles=args.cycles)
+    rows = [
+        ["uncontrolled", base.emergencies["emergency_cycles"],
+         "%.4f" % base.emergencies["v_min"], "%.3f" % base.ipc, "-", "-"],
+        ["controlled", controlled.emergencies["emergency_cycles"],
+         "%.4f" % controlled.emergencies["v_min"], "%.3f" % controlled.ipc,
+         "%.2f%%" % performance_loss_percent(base, controlled),
+         "%.2f%%" % energy_increase_percent(base, controlled)],
+    ]
+    print(format_table(
+        ["run", "emergencies", "min V", "ipc", "perf loss", "energy incr"],
+        rows, title="%s, delay %d, %s actuator, %g%% impedance"
+        % (args.workload, args.delay, args.actuator, args.impedance)),
+        file=out)
+    return 0
+
+
+def cmd_list(args, out):
+    """The ``list`` command: available synthetic workloads."""
+    rows = [[name, profile.description]
+            for name, profile in sorted(SPEC2000.items())]
+    rows.append(["stressmark", "the auto-tuned dI/dt stressmark "
+                               "(Section 3.2)"])
+    print(format_table(["workload", "description"], rows), file=out)
+    return 0
+
+
+_COMMANDS = {
+    "analyze": cmd_analyze,
+    "stressmark": cmd_stressmark,
+    "characterize": cmd_characterize,
+    "control": cmd_control,
+    "list": cmd_list,
+}
+
+
+def main(argv=None, out=None):
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except KeyError as exc:
+        print("error: %s" % exc, file=out)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

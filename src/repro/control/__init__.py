@@ -1,0 +1,87 @@
+"""Microarchitectural voltage control -- the paper's contribution.
+
+The pieces of Section 4 and 5:
+
+* :mod:`repro.control.emergencies` -- the voltage-emergency definition
+  (swings beyond +/-5% of nominal) and accounting.
+* :mod:`repro.control.sensor` -- the three-state (Low/Normal/High)
+  threshold sensor, with configurable delay and white-noise error.
+* :mod:`repro.control.thresholds` -- the control-theoretic design flow
+  (the paper's MATLAB/Simulink step, Figure 13): solve for the target
+  impedance from the processor's current envelope, and for the voltage
+  thresholds that guarantee the +/-5% specification under a given sensor
+  delay and error against the worst-case resonant input.
+* :mod:`repro.control.actuators` -- the microarchitectural response
+  mechanisms: clock-gating / phantom-firing of the FU, FU/DL1, and
+  FU/DL1/IL1 unit groups, the ideal actuator, and the asymmetric
+  variant from the paper's future-work discussion.
+* :mod:`repro.control.controller` -- the threshold controller FSM
+  combining sensor and actuator.
+* :mod:`repro.control.loop` -- the closed loop: cycle simulator ->
+  power model -> PDN -> sensor -> actuator -> (next cycle's) simulator,
+  with performance/energy/emergency reporting.
+"""
+
+from repro.control.emergencies import (
+    EMERGENCY_FRACTION,
+    EmergencyCounter,
+    count_emergencies,
+    is_emergency,
+)
+from repro.control.sensor import SensorReading, ThresholdSensor, VoltageLevel
+from repro.control.thresholds import (
+    ThresholdDesign,
+    design_pdn,
+    solve_target_impedance,
+    solve_thresholds,
+    worst_case_extremes,
+)
+from repro.control.actuators import (
+    Actuator,
+    ActuatorCommand,
+    make_actuator,
+    ACTUATOR_KINDS,
+)
+from repro.control.controller import ThresholdController
+from repro.control.loop import ClosedLoopSimulation, LoopResult, run_workload
+from repro.control.pid import (
+    DigitizingSensor,
+    PidController,
+    ProportionalActuator,
+)
+from repro.control.ramp import PessimisticRampController
+from repro.control.graded import GradedThresholdController
+from repro.control.local import (
+    LocalClosedLoopSimulation,
+    LocalThresholdController,
+)
+
+__all__ = [
+    "EMERGENCY_FRACTION",
+    "EmergencyCounter",
+    "count_emergencies",
+    "is_emergency",
+    "SensorReading",
+    "ThresholdSensor",
+    "VoltageLevel",
+    "ThresholdDesign",
+    "design_pdn",
+    "solve_target_impedance",
+    "solve_thresholds",
+    "worst_case_extremes",
+    "Actuator",
+    "ActuatorCommand",
+    "make_actuator",
+    "ACTUATOR_KINDS",
+    "ThresholdController",
+    "ClosedLoopSimulation",
+    "LoopResult",
+    "run_workload",
+    "DigitizingSensor",
+    "PidController",
+    "ProportionalActuator",
+    "PessimisticRampController",
+    "GradedThresholdController",
+    "LocalClosedLoopSimulation",
+    "LocalThresholdController",
+]

@@ -1,0 +1,112 @@
+"""Microarchitectural actuators (Section 5).
+
+An actuator responds to the controller's command by clock-gating (to cut
+current during a voltage-low emergency) or phantom-firing (to raise
+current during a voltage-high emergency) a set of unit groups on the
+cycle simulator:
+
+* ``"fu"`` -- functional units only (fixed and float pipelines); the
+  paper finds this lever too small and unstable for delays >= 3.
+* ``"fu_dl1"`` -- functional units plus the L1 data cache.
+* ``"fu_dl1_il1"`` -- plus the L1 instruction cache (coarsest).
+* ``"ideal"`` -- the idealized actuator of Section 4.4: all groups,
+  applied with no additional restrictions; used to study sensor
+  properties in isolation.
+
+Gating caches disables only their clocks; cache *state* (tags, LRU) is
+preserved, matching the paper's note that actuation never modifies
+cache lines or drops instructions.
+"""
+
+import enum
+
+
+class ActuatorCommand(enum.Enum):
+    """What the controller asks of the actuator this cycle."""
+
+    NONE = 0      # normal operation
+    REDUCE = 1    # voltage low: clock-gate the controlled groups
+    BOOST = 2     # voltage high: phantom-fire the controlled groups
+
+
+#: Actuator kind -> controlled unit groups.
+ACTUATOR_KINDS = {
+    "fu": ("fu",),
+    "fu_dl1": ("fu", "dl1"),
+    "fu_dl1_il1": ("fu", "dl1", "il1"),
+    "ideal": ("fu", "dl1", "il1"),
+}
+
+
+class Actuator:
+    """Symmetric actuator: the same groups serve both emergency kinds.
+
+    Args:
+        kind: one of :data:`ACTUATOR_KINDS`.
+        low_groups / high_groups: override the gated (voltage-low) and
+            phantom-fired (voltage-high) group sets independently -- the
+            asymmetric design of the paper's Section 6 future work.
+    """
+
+    def __init__(self, kind="ideal", low_groups=None, high_groups=None,
+                 recovery="freeze"):
+        if kind not in ACTUATOR_KINDS:
+            raise ValueError("unknown actuator kind %r; known: %s"
+                             % (kind, ", ".join(sorted(ACTUATOR_KINDS))))
+        if recovery not in ("freeze", "flush"):
+            raise ValueError("recovery must be 'freeze' or 'flush', got %r"
+                             % recovery)
+        self.kind = kind
+        groups = ACTUATOR_KINDS[kind]
+        self.low_groups = tuple(low_groups if low_groups is not None
+                                else groups)
+        self.high_groups = tuple(high_groups if high_groups is not None
+                                 else groups)
+        for g in self.low_groups + self.high_groups:
+            if g not in ("fu", "dl1", "il1"):
+                raise ValueError("unknown unit group %r" % g)
+        #: Recovery policy (Section 6): "freeze" holds in-flight work
+        #: under the stopped clocks and resumes it; "flush" squashes the
+        #: pipeline on each entry into a reduce episode and replays.
+        self.recovery = recovery
+        self._was_reducing = False
+        self.reduce_cycles = 0
+        self.boost_cycles = 0
+
+    def _units(self, machine, group):
+        return {"fu": machine.fus, "dl1": machine.dl1,
+                "il1": machine.il1}[group]
+
+    def apply(self, machine, command):
+        """Drive the machine's gating/phantom flags for the next cycle."""
+        reducing = command is ActuatorCommand.REDUCE
+        if reducing and not self._was_reducing and self.recovery == "flush":
+            machine.flush_pipeline()
+        self._was_reducing = reducing
+        for group in ("fu", "dl1", "il1"):
+            unit = self._units(machine, group)
+            unit.gated = reducing and group in self.low_groups
+            unit.phantom = (command is ActuatorCommand.BOOST and
+                            group in self.high_groups)
+        if reducing:
+            self.reduce_cycles += 1
+        elif command is ActuatorCommand.BOOST:
+            self.boost_cycles += 1
+
+    def release(self, machine):
+        """Clear all actuation (e.g. at end of run)."""
+        self.apply(machine, ActuatorCommand.NONE)
+
+    def response_groups(self):
+        """Groups used for the *reduce* lever -- what the threshold
+        solver should size the response current from."""
+        return self.low_groups
+
+    def __repr__(self):
+        return "<Actuator %s low=%s high=%s>" % (
+            self.kind, "/".join(self.low_groups), "/".join(self.high_groups))
+
+
+def make_actuator(kind="ideal", **kwargs):
+    """Factory mirroring the paper's actuator names."""
+    return Actuator(kind=kind, **kwargs)

@@ -1,0 +1,83 @@
+"""The threshold controller FSM (Section 4.1).
+
+Combines a :class:`~repro.control.sensor.ThresholdSensor` with an
+:class:`~repro.control.actuators.Actuator`: while the (delayed, noisy)
+sensor reports Voltage Low the controlled units are clock-gated; while
+it reports Voltage High they are phantom-fired; otherwise the machine
+runs normally.  "Once a normal voltage level has been restored, the
+processor transitions back into normal operating mode and standard
+execution resumes."
+"""
+
+from repro.control.actuators import Actuator, ActuatorCommand
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+
+
+class ThresholdController:
+    """Sensor + decision logic + actuator.
+
+    Args:
+        sensor: a :class:`ThresholdSensor` (carries thresholds, delay,
+            and error).
+        actuator: an :class:`Actuator`; defaults to the ideal actuator.
+
+    Use :meth:`step` once per cycle from the closed loop.
+    """
+
+    def __init__(self, sensor, actuator=None):
+        if not isinstance(sensor, ThresholdSensor):
+            raise TypeError("sensor must be a ThresholdSensor")
+        self.sensor = sensor
+        self.actuator = actuator if actuator is not None else Actuator()
+        self.command = ActuatorCommand.NONE
+        self.reduce_cycles = 0
+        self.boost_cycles = 0
+        self.transitions = 0
+
+    @classmethod
+    def from_design(cls, design, actuator=None, seed=0):
+        """Build a controller from a solved
+        :class:`~repro.control.thresholds.ThresholdDesign`.
+
+        The sensor inherits the design's delay and error (the thresholds
+        are already margined for the error).
+        """
+        sensor = ThresholdSensor(design.v_low, design.v_high,
+                                 delay=design.delay, error=design.error,
+                                 seed=seed)
+        return cls(sensor, actuator=actuator)
+
+    def step(self, machine, voltage):
+        """Observe this cycle's voltage and actuate for the next cycle.
+
+        Returns the issued :class:`ActuatorCommand`.
+        """
+        reading = self.sensor.observe(voltage)
+        if reading.level is VoltageLevel.LOW:
+            command = ActuatorCommand.REDUCE
+        elif reading.level is VoltageLevel.HIGH:
+            command = ActuatorCommand.BOOST
+        else:
+            command = ActuatorCommand.NONE
+        if command is not self.command:
+            self.transitions += 1
+        self.command = command
+        if command is ActuatorCommand.REDUCE:
+            self.reduce_cycles += 1
+        elif command is ActuatorCommand.BOOST:
+            self.boost_cycles += 1
+        self.actuator.apply(machine, command)
+        return command
+
+    def summary(self):
+        """A plain dict of the controller activity and settings."""
+        return {
+            "reduce_cycles": self.reduce_cycles,
+            "boost_cycles": self.boost_cycles,
+            "transitions": self.transitions,
+            "v_low": self.sensor.v_low,
+            "v_high": self.sensor.v_high,
+            "delay": self.sensor.delay,
+            "error": self.sensor.error,
+            "actuator": self.actuator.kind,
+        }

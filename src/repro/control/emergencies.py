@@ -1,0 +1,108 @@
+"""Voltage-emergency definition and accounting.
+
+The paper (Section 3.3): "Voltage emergencies are defined as instances
+where voltage swings greater than 5% occur."  Nominal is 1.0 V, so the
+safe band is [0.95, 1.05] V.
+"""
+
+import numpy as np
+
+#: Allowed fractional swing around nominal.
+EMERGENCY_FRACTION = 0.05
+
+#: Nominal die voltage, volts.
+NOMINAL_VOLTAGE = 1.0
+
+
+#: Comparison slack so that a sample exactly on the 5% boundary (which
+#: the definition's "swings greater than 5%" excludes) is never flagged
+#: due to float round-off.
+_EPS = 1e-9
+
+
+def is_emergency(voltage, nominal=NOMINAL_VOLTAGE,
+                 fraction=EMERGENCY_FRACTION):
+    """Whether a single voltage sample is out of spec."""
+    return abs(voltage - nominal) > fraction * nominal + _EPS
+
+
+def count_emergencies(voltages, nominal=NOMINAL_VOLTAGE,
+                      fraction=EMERGENCY_FRACTION):
+    """Number of out-of-spec samples in a trace (array or iterable)."""
+    v = np.asarray(voltages, dtype=float)
+    if v.size == 0:
+        return 0
+    return int(np.count_nonzero(
+        np.abs(v - nominal) > fraction * nominal + _EPS))
+
+
+class EmergencyCounter:
+    """Streaming emergency accounting for the closed loop.
+
+    Tracks out-of-spec cycles, distinct emergency *episodes* (maximal
+    runs of consecutive out-of-spec cycles), and the observed voltage
+    extremes.
+    """
+
+    def __init__(self, nominal=NOMINAL_VOLTAGE, fraction=EMERGENCY_FRACTION):
+        if nominal <= 0:
+            raise ValueError("nominal voltage must be positive")
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        self.nominal = nominal
+        self.low_bound = nominal * (1.0 - fraction) - _EPS
+        self.high_bound = nominal * (1.0 + fraction) + _EPS
+        self.cycles = 0
+        self.emergency_cycles = 0
+        self.undershoot_cycles = 0
+        self.overshoot_cycles = 0
+        self.episodes = 0
+        self.v_min = float("inf")
+        self.v_max = float("-inf")
+        self._in_episode = False
+
+    def observe(self, voltage):
+        """Fold one cycle's voltage into the counts."""
+        self.cycles += 1
+        if voltage < self.v_min:
+            self.v_min = voltage
+        if voltage > self.v_max:
+            self.v_max = voltage
+        low = voltage < self.low_bound
+        high = voltage > self.high_bound
+        if low or high:
+            self.emergency_cycles += 1
+            if low:
+                self.undershoot_cycles += 1
+            else:
+                self.overshoot_cycles += 1
+            if not self._in_episode:
+                self.episodes += 1
+                self._in_episode = True
+        else:
+            self._in_episode = False
+
+    @property
+    def frequency(self):
+        """Fraction of observed cycles that were out of spec."""
+        if self.cycles == 0:
+            return 0.0
+        return self.emergency_cycles / self.cycles
+
+    @property
+    def any(self):
+        """Whether any emergency occurred."""
+        return self.emergency_cycles > 0
+
+    def summary(self):
+        """A plain dict of the counts and extremes."""
+        return {
+            "cycles": self.cycles,
+            "emergency_cycles": self.emergency_cycles,
+            "undershoot_cycles": self.undershoot_cycles,
+            "overshoot_cycles": self.overshoot_cycles,
+            "episodes": self.episodes,
+            "frequency": self.frequency,
+            "v_min": self.v_min if self.cycles else None,
+            "v_max": self.v_max if self.cycles else None,
+        }

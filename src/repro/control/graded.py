@@ -1,0 +1,130 @@
+"""Graded (two-stage) threshold control.
+
+The paper's Section 6 invites "more sophisticated control approaches"
+between the 3-state threshold scheme and full PID.  A natural middle
+point keeps the threshold structure -- comparators, no digitization --
+but adds one more level per side:
+
+* crossing the **soft** low threshold gates only the functional units
+  (cheap, mild);
+* crossing the **hard** low threshold gates the full FU/DL1/IL1 group
+  (the solved, guaranteed response);
+
+and symmetrically for the high side with phantom firing.  The hard
+thresholds come from the standard solver with the coarse actuator, so
+the worst-case guarantee is untouched: the soft stage only *adds*
+current reduction (or boost) before the hard stage would engage, which
+can only shrink the excursion.  What the soft stage buys is measured by
+``bench_ext_graded.py``: fewer full-group actuations for the same
+protection.
+"""
+
+from repro.control.actuators import Actuator, ActuatorCommand
+
+
+class GradedThresholdController:
+    """Four-threshold, five-state controller.
+
+    Args:
+        design: a solved
+            :class:`~repro.control.thresholds.ThresholdDesign` for the
+            *hard* stage (coarse actuator).
+        soft_margin: distance (volts) of the soft thresholds inside the
+            hard ones.
+        soft_actuator / hard_actuator: the mild and full responses;
+            default FU-only and FU/DL1/IL1.
+    """
+
+    def __init__(self, design, soft_margin=0.005, soft_actuator=None,
+                 hard_actuator=None):
+        if soft_margin <= 0:
+            raise ValueError("soft_margin must be positive")
+        if design.v_low + soft_margin >= design.v_high - soft_margin:
+            raise ValueError("soft margins overlap the operating window")
+        self.design = design
+        self.v_low_hard = design.v_low
+        self.v_low_soft = design.v_low + soft_margin
+        self.v_high_hard = design.v_high
+        self.v_high_soft = design.v_high - soft_margin
+        self.delay = design.delay
+        self.soft_actuator = soft_actuator or Actuator("fu")
+        self.hard_actuator = hard_actuator or Actuator("fu_dl1_il1")
+        self._pending = []
+        self.soft_reduce_cycles = 0
+        self.hard_reduce_cycles = 0
+        self.soft_boost_cycles = 0
+        self.hard_boost_cycles = 0
+        self.transitions = 0
+        self._last = (None, ActuatorCommand.NONE)
+
+    #: Exposed for the closed loop's summary plumbing.
+    @property
+    def actuator(self):
+        """The hard-stage actuator (for the closed loop plumbing)."""
+        return self.hard_actuator
+
+    @property
+    def reduce_cycles(self):
+        """Total reduce cycles across both stages."""
+        return self.soft_reduce_cycles + self.hard_reduce_cycles
+
+    @property
+    def boost_cycles(self):
+        """Total boost cycles across both stages."""
+        return self.soft_boost_cycles + self.hard_boost_cycles
+
+    def step(self, machine, voltage):
+        """Observe the true voltage and drive the staged response."""
+        self._pending.append(voltage)
+        if len(self._pending) > self.delay + 1:
+            self._pending.pop(0)
+        observed = self._pending[0]
+
+        if observed < self.v_low_hard:
+            stage, command = "hard", ActuatorCommand.REDUCE
+            self.hard_reduce_cycles += 1
+        elif observed < self.v_low_soft:
+            stage, command = "soft", ActuatorCommand.REDUCE
+            self.soft_reduce_cycles += 1
+        elif observed > self.v_high_hard:
+            stage, command = "hard", ActuatorCommand.BOOST
+            self.hard_boost_cycles += 1
+        elif observed > self.v_high_soft:
+            stage, command = "soft", ActuatorCommand.BOOST
+            self.soft_boost_cycles += 1
+        else:
+            stage, command = None, ActuatorCommand.NONE
+
+        if (stage, command) != self._last:
+            self.transitions += 1
+        self._last = (stage, command)
+
+        # Exactly one actuator drives the machine; clear the other.
+        if stage == "hard":
+            self.soft_actuator.apply(machine, ActuatorCommand.NONE)
+            self.hard_actuator.apply(machine, command)
+        elif stage == "soft":
+            self.hard_actuator.apply(machine, ActuatorCommand.NONE)
+            self.soft_actuator.apply(machine, command)
+        else:
+            self.hard_actuator.apply(machine, ActuatorCommand.NONE)
+            self.soft_actuator.apply(machine, ActuatorCommand.NONE)
+        return command
+
+    def summary(self):
+        """A plain dict of per-stage activity and thresholds."""
+        return {
+            "reduce_cycles": self.reduce_cycles,
+            "boost_cycles": self.boost_cycles,
+            "soft_reduce_cycles": self.soft_reduce_cycles,
+            "hard_reduce_cycles": self.hard_reduce_cycles,
+            "soft_boost_cycles": self.soft_boost_cycles,
+            "hard_boost_cycles": self.hard_boost_cycles,
+            "transitions": self.transitions,
+            "v_low": self.v_low_hard,
+            "v_high": self.v_high_hard,
+            "delay": self.delay,
+            "error": self.design.error,
+            "actuator": "graded(%s->%s)" % (self.soft_actuator.kind,
+                                            self.hard_actuator.kind),
+        }

@@ -1,0 +1,201 @@
+"""Per-quadrant (local) closed-loop voltage control.
+
+The paper's Section 6 names locality as the key modeling extension:
+"local power supply swings in different chip quadrants can be an
+important issue to consider".  This module closes the loop at that
+granularity:
+
+* the machine's per-cycle power is split across the quadrant floorplan
+  (:func:`repro.pdn.quadrants.split_power`);
+* the hierarchical :class:`~repro.pdn.quadrants.QuadrantPdn` produces
+  four *local* voltages per cycle;
+* each quadrant gets its own three-state threshold sensor;
+* actuation is either **global** (any quadrant's LOW/HIGH drives the
+  whole FU/DL1/IL1 group -- conservative, simple) or **local** (each
+  quadrant's sensor drives only the unit group that lives in it).
+
+A die-average sensor -- the baseline the paper's own evaluation uses --
+is also provided, so the bench can measure the emergencies a global
+view misses.
+
+Quadrant-to-units mapping (see
+:data:`repro.pdn.quadrants.QUADRANT_FLOORPLAN`): the front-end quadrant
+hosts the IL1 group, the execute quadrant the FU group, the memory
+quadrant the DL1 group; the window quadrant has no gateable group of
+its own and relies on its neighbours' response through the shared
+package node.
+"""
+
+import numpy as np
+
+from repro.control.emergencies import EmergencyCounter, NOMINAL_VOLTAGE
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.pdn.quadrants import N_QUADRANTS, QuadrantPdn, split_power
+from repro.pdn.statespace import StateSpaceSimulator
+
+#: Quadrant index -> the actuator unit group resident in it.
+QUADRANT_UNIT_GROUPS = {0: "il1", 1: None, 2: "fu", 3: "dl1"}
+
+
+class LocalThresholdController:
+    """Four local sensors driving global or per-quadrant actuation.
+
+    Args:
+        v_low / v_high: thresholds (shared by all quadrant sensors; a
+            solved global design transfers because each local network's
+            worst case is bounded by the same envelope analysis).
+        delay: sensor delay, cycles.
+        mode: ``"global"`` (any quadrant in trouble actuates every
+            group) or ``"local"`` (each quadrant actuates its own
+            group).
+        error / seed: sensor noise, as in
+            :class:`~repro.control.sensor.ThresholdSensor`.
+    """
+
+    def __init__(self, v_low, v_high, delay=0, mode="global", error=0.0,
+                 seed=0):
+        if mode not in ("global", "local"):
+            raise ValueError("mode must be 'global' or 'local'")
+        self.mode = mode
+        self.sensors = [ThresholdSensor(v_low, v_high, delay=delay,
+                                        error=error, seed=seed + q)
+                        for q in range(N_QUADRANTS)]
+        self.reduce_cycles = 0
+        self.boost_cycles = 0
+        self.transitions = 0
+        self._last_signature = None
+
+    def step(self, machine, quadrant_voltages):
+        """Observe the four local voltages; drive the machine's gates."""
+        levels = [sensor.observe(v).level
+                  for sensor, v in zip(self.sensors, quadrant_voltages)]
+        units = {"fu": machine.fus, "dl1": machine.dl1, "il1": machine.il1}
+        if self.mode == "global":
+            any_low = any(l is VoltageLevel.LOW for l in levels)
+            any_high = (not any_low and
+                        any(l is VoltageLevel.HIGH for l in levels))
+            for unit in units.values():
+                unit.gated = any_low
+                unit.phantom = any_high
+            signature = ("G", any_low, any_high)
+            if any_low:
+                self.reduce_cycles += 1
+            elif any_high:
+                self.boost_cycles += 1
+        else:
+            gate = set()
+            phantom = set()
+            for q, level in enumerate(levels):
+                group = QUADRANT_UNIT_GROUPS[q]
+                if group is None:
+                    continue
+                if level is VoltageLevel.LOW:
+                    gate.add(group)
+                elif level is VoltageLevel.HIGH:
+                    phantom.add(group)
+            for name, unit in units.items():
+                unit.gated = name in gate
+                unit.phantom = name in phantom and name not in gate
+            signature = ("L", frozenset(gate), frozenset(phantom))
+            if gate:
+                self.reduce_cycles += 1
+            elif phantom:
+                self.boost_cycles += 1
+        if signature != self._last_signature:
+            self.transitions += 1
+        self._last_signature = signature
+        return levels
+
+    def summary(self):
+        """A plain dict of mode, activity, and thresholds."""
+        return {
+            "mode": self.mode,
+            "reduce_cycles": self.reduce_cycles,
+            "boost_cycles": self.boost_cycles,
+            "transitions": self.transitions,
+            "v_low": self.sensors[0].v_low,
+            "v_high": self.sensors[0].v_high,
+            "delay": self.sensors[0].delay,
+        }
+
+
+class LocalClosedLoopSimulation:
+    """Machine + power split + quadrant network + local controller.
+
+    The local analogue of
+    :class:`~repro.control.loop.ClosedLoopSimulation`.  Emergencies are
+    counted per quadrant *and* for the die-average voltage, so one run
+    quantifies what a global view misses.
+
+    Args:
+        machine: the (warmed) cycle simulator.
+        power_model: its power model.
+        quadrant_pdn: a :class:`~repro.pdn.quadrants.QuadrantPdn`.
+        controller: a :class:`LocalThresholdController`, or ``None`` for
+            an uncontrolled characterization run.
+        nominal: nominal voltage for emergency accounting.
+    """
+
+    def __init__(self, machine, power_model, quadrant_pdn, controller=None,
+                 nominal=NOMINAL_VOLTAGE):
+        if not isinstance(quadrant_pdn, QuadrantPdn):
+            raise TypeError("quadrant_pdn must be a QuadrantPdn")
+        self.machine = machine
+        self.power_model = power_model
+        self.pdn = quadrant_pdn
+        self.controller = controller
+        self.nominal = nominal
+        i_min, _ = power_model.current_envelope()
+        start = np.full(N_QUADRANTS, i_min / N_QUADRANTS)
+        self.sim = StateSpaceSimulator(
+            quadrant_pdn.discretize(machine.config.clock_hz),
+            initial_current=start)
+        self.quadrant_counters = [EmergencyCounter(nominal=nominal)
+                                  for _ in range(N_QUADRANTS)]
+        self.average_counter = EmergencyCounter(nominal=nominal)
+        self._energy = 0.0
+
+    def step(self):
+        """One coupled cycle; returns the four quadrant voltages."""
+        activity = self.machine.step()
+        breakdown = self.power_model.breakdown(activity)
+        currents = split_power(breakdown) / self.nominal
+        self._energy += float(sum(breakdown.values())) \
+            * self.machine.config.cycle_time
+        voltages = self.sim.step(currents)
+        for counter, v in zip(self.quadrant_counters, voltages):
+            counter.observe(float(v))
+        self.average_counter.observe(float(np.mean(voltages)))
+        if self.controller is not None:
+            self.controller.step(self.machine, voltages)
+        return voltages
+
+    def run(self, max_cycles=None, max_instructions=None):
+        """Run to a limit; returns a summary dict."""
+        machine = self.machine
+        while not machine.done:
+            if max_cycles is not None and machine.cycle >= max_cycles:
+                break
+            if (max_instructions is not None and
+                    machine.stats.committed >= max_instructions):
+                break
+            self.step()
+        if self.controller is not None:
+            for unit in (machine.fus, machine.dl1, machine.il1):
+                unit.gated = False
+                unit.phantom = False
+        return {
+            "cycles": machine.stats.cycles,
+            "committed": machine.stats.committed,
+            "energy": self._energy,
+            "quadrants": [c.summary() for c in self.quadrant_counters],
+            "average": self.average_counter.summary(),
+            "controller": (self.controller.summary()
+                           if self.controller else None),
+        }
+
+    @property
+    def local_emergency_cycles(self):
+        """Out-of-spec cycles summed over quadrants (a cycle bad in two
+        quadrants counts twice; use per-quadrant summaries for detail)."""
+        return sum(c.emergency_cycles for c in self.quadrant_counters)

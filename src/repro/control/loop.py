@@ -1,0 +1,177 @@
+"""The closed loop: processor -> power -> PDN -> controller -> processor.
+
+This is the paper's Figure 7 coupling plus the Figure 12 feedback path:
+each cycle the simulator's activity becomes watts, watts become amperes,
+the discretized network produces the die voltage, and the threshold
+controller (if any) gates or phantom-fires unit groups for the *next*
+cycle.  The one cycle of structural latency is the minimum any real
+implementation has; the sensor's own delay stacks on top, matching the
+timing the threshold solver designs against.
+"""
+
+import numpy as np
+
+from repro.control.emergencies import EmergencyCounter, NOMINAL_VOLTAGE
+from repro.pdn.discrete import PdnSimulator
+
+
+class LoopResult:
+    """Outcome of one closed-loop run.
+
+    Attributes:
+        cycles / committed / ipc: performance figures.
+        energy: total energy over the run, joules.
+        emergencies: an :class:`EmergencyCounter` summary dict.
+        machine_stats: the :class:`~repro.uarch.stats.MachineStats`.
+        controller: the controller summary dict (``None`` if uncontrolled).
+        voltages / currents: per-cycle traces (numpy arrays) when trace
+            recording was enabled, else ``None``.
+    """
+
+    def __init__(self, cycles, committed, energy, emergencies,
+                 machine_stats, controller=None, voltages=None,
+                 currents=None):
+        self.cycles = cycles
+        self.committed = committed
+        self.energy = energy
+        self.emergencies = emergencies
+        self.machine_stats = machine_stats
+        self.controller = controller
+        self.voltages = voltages
+        self.currents = currents
+
+    @property
+    def ipc(self):
+        """Committed instructions per cycle over the run."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    def __repr__(self):
+        return ("LoopResult(cycles=%d, committed=%d, ipc=%.3f, "
+                "energy=%.3g J, emergencies=%d)" % (
+                    self.cycles, self.committed, self.ipc, self.energy,
+                    self.emergencies["emergency_cycles"]))
+
+
+class ClosedLoopSimulation:
+    """Couples a machine, a power model, a PDN, and (optionally) a
+    threshold controller.
+
+    Args:
+        machine: a :class:`~repro.uarch.core.Machine` (already fast-
+            forwarded if warm-up is desired).
+        power_model: the machine's :class:`~repro.power.model.PowerModel`.
+        pdn: a :class:`~repro.pdn.rlc.SecondOrderPdn`, normally built by
+            :func:`repro.control.thresholds.design_pdn` so the regulator
+            setpoint matches the machine's minimum current.
+        controller: a :class:`~repro.control.controller.ThresholdController`
+            or ``None`` for an uncontrolled (characterization) run.
+        nominal: nominal die voltage for power->current conversion and
+            emergency accounting.
+        record_traces: keep per-cycle voltage and current arrays.
+    """
+
+    def __init__(self, machine, power_model, pdn, controller=None,
+                 nominal=NOMINAL_VOLTAGE, record_traces=False):
+        self.machine = machine
+        self.power_model = power_model
+        self.pdn = pdn
+        self.controller = controller
+        self.nominal = nominal
+        self.record_traces = record_traces
+        i_min, _ = power_model.current_envelope()
+        self.pdn_sim = PdnSimulator(pdn, clock_hz=machine.config.clock_hz,
+                                    initial_current=i_min)
+        self.counter = EmergencyCounter(nominal=nominal)
+        self._energy = 0.0
+        self._voltages = [] if record_traces else None
+        self._currents = [] if record_traces else None
+        # Current-driven controllers (the pessimistic ramp strawman)
+        # expose step_current instead of the voltage-driven step.
+        self._controller_uses_current = (
+            controller is not None and hasattr(controller, "step_current"))
+
+    def step(self):
+        """One cycle of the coupled system; returns the die voltage."""
+        machine = self.machine
+        activity = machine.step()
+        power = self.power_model.power(activity)
+        current = power / self.nominal
+        voltage = self.pdn_sim.step(current)
+        self._energy += power * machine.config.cycle_time
+        self.counter.observe(voltage)
+        if self.record_traces:
+            self._voltages.append(voltage)
+            self._currents.append(current)
+        if self.controller is not None:
+            if self._controller_uses_current:
+                self.controller.step_current(machine, current)
+            else:
+                self.controller.step(machine, voltage)
+        return voltage
+
+    def run(self, max_cycles=None, max_instructions=None):
+        """Run to completion or a limit; returns a :class:`LoopResult`."""
+        machine = self.machine
+        while not machine.done:
+            if max_cycles is not None and machine.cycle >= max_cycles:
+                break
+            if (max_instructions is not None and
+                    machine.stats.committed >= max_instructions):
+                break
+            self.step()
+        if self.controller is not None:
+            self.controller.actuator.release(machine)
+        return LoopResult(
+            cycles=machine.stats.cycles,
+            committed=machine.stats.committed,
+            energy=self._energy,
+            emergencies=self.counter.summary(),
+            machine_stats=machine.stats,
+            controller=(self.controller.summary()
+                        if self.controller else None),
+            voltages=(np.asarray(self._voltages)
+                      if self.record_traces else None),
+            currents=(np.asarray(self._currents)
+                      if self.record_traces else None),
+        )
+
+
+def run_workload(stream, pdn, config=None, power_params=None,
+                 controller_factory=None, warmup_instructions=60000,
+                 max_cycles=30000, max_instructions=None,
+                 record_traces=False):
+    """Convenience wrapper: build, warm, and run one workload.
+
+    Args:
+        stream: dynamic instruction stream (profile stream, sequencer...).
+        pdn: the supply network to couple.
+        config: machine configuration (Table 1 default).
+        power_params: power model parameters.
+        controller_factory: ``f(machine, power_model) -> controller`` or
+            ``None`` for an uncontrolled run.  A factory (rather than an
+            instance) because per-run sensors carry state.
+        warmup_instructions: functional fast-forward length before the
+            timed region.
+        max_cycles / max_instructions: timed-region limits.
+        record_traces: keep voltage/current arrays on the result.
+
+    Returns:
+        A :class:`LoopResult`.
+    """
+    from repro.power.model import PowerModel
+    from repro.uarch.config import MachineConfig
+    from repro.uarch.core import Machine
+
+    config = config or MachineConfig()
+    machine = Machine(config, stream)
+    power_model = PowerModel(config, power_params)
+    if warmup_instructions:
+        machine.fast_forward(warmup_instructions)
+    controller = (controller_factory(machine, power_model)
+                  if controller_factory else None)
+    loop = ClosedLoopSimulation(machine, power_model, pdn,
+                                controller=controller,
+                                record_traces=record_traces)
+    return loop.run(max_cycles=max_cycles, max_instructions=max_instructions)

@@ -1,0 +1,208 @@
+"""P-I-D voltage control (the paper's Section 6 exploration).
+
+The paper considers PID controllers (as prior thermal work used) and
+raises two concerns: a PID needs a *digitized* voltage reading rather
+than a 3-state threshold sensor (more complexity and latency), and the
+multiply-accumulate control law adds response delay.  This module
+implements the machinery so the comparison can be run:
+
+* :class:`DigitizingSensor` -- an ADC-style sensor: quantized voltage
+  with configurable resolution, conversion delay, and noise.
+* :class:`ProportionalActuator` -- maps a control effort in [-1, 1]
+  onto graded gating/phantom-firing of the unit groups (a PID's output
+  is continuous; the microarchitecture's levers are discrete, so effort
+  is quantized onto increasing group subsets).
+* :class:`PidController` -- a textbook discrete PID with anti-windup,
+  driving the proportional actuator.
+
+Default gains come from :func:`default_gains`, scaled from the
+network's physical parameters.
+"""
+
+import random
+
+from repro.control.actuators import ActuatorCommand
+
+
+class DigitizingSensor:
+    """ADC-style voltage sensor.
+
+    Args:
+        v_min / v_max: conversion range, volts.
+        bits: resolution; readings quantize to ``2**bits`` levels.
+        delay: conversion latency in cycles (the paper expects this to
+            exceed the threshold sensor's 1-2 cycles).
+        error: white-noise amplitude, volts (applied before
+            quantization).
+        seed: noise RNG seed.
+    """
+
+    def __init__(self, v_min=0.90, v_max=1.10, bits=6, delay=3, error=0.0,
+                 seed=0):
+        if v_max <= v_min:
+            raise ValueError("v_max must exceed v_min")
+        if bits < 1:
+            raise ValueError("need at least 1 bit")
+        if delay < 0 or error < 0:
+            raise ValueError("delay and error must be non-negative")
+        self.v_min = v_min
+        self.v_max = v_max
+        self.bits = bits
+        self.levels = 2 ** bits
+        self.lsb = (v_max - v_min) / self.levels
+        self.delay = int(delay)
+        self.error = error
+        self._rng = random.Random(seed)
+        self._history = []
+
+    def observe(self, voltage):
+        """Feed the true voltage; returns the quantized, delayed reading."""
+        self._history.append(voltage)
+        if len(self._history) > self.delay + 1:
+            self._history.pop(0)
+        v = self._history[0]
+        if self.error > 0.0:
+            v += self._rng.uniform(-self.error, self.error)
+        v = min(max(v, self.v_min), self.v_max - 1e-12)
+        code = int((v - self.v_min) / self.lsb)
+        return self.v_min + (code + 0.5) * self.lsb
+
+    def reset(self):
+        """Clear the conversion pipeline (between runs)."""
+        self._history = []
+
+
+class ProportionalActuator:
+    """Discretized proportional actuation.
+
+    Positive effort (voltage sagging) gates unit groups, coarsest
+    levers last; negative effort phantom-fires them.  Effort magnitude
+    picks how many groups engage:
+
+    ====================  =========================
+    |effort|              groups engaged
+    ====================  =========================
+    < 1/3                 none
+    1/3 .. 2/3            fu
+    2/3 .. 1              fu + dl1
+    >= 1                  fu + dl1 + il1
+    ====================  =========================
+    """
+
+    _LADDER = ((), ("fu",), ("fu", "dl1"), ("fu", "dl1", "il1"))
+
+    def __init__(self):
+        self.reduce_cycles = 0
+        self.boost_cycles = 0
+        self.kind = "proportional"
+
+    def _groups_for(self, magnitude):
+        if magnitude >= 1.0:
+            return self._LADDER[3]
+        return self._LADDER[int(magnitude * 3.0)]
+
+    def apply_effort(self, machine, effort):
+        """Drive gating/phantom flags from a control effort in [-1, 1]."""
+        effort = max(-1.0, min(1.0, effort))
+        gate = self._groups_for(effort) if effort > 0 else ()
+        phantom = self._groups_for(-effort) if effort < 0 else ()
+        units = {"fu": machine.fus, "dl1": machine.dl1, "il1": machine.il1}
+        for name, unit in units.items():
+            unit.gated = name in gate
+            unit.phantom = name in phantom
+        if gate:
+            self.reduce_cycles += 1
+        if phantom:
+            self.boost_cycles += 1
+
+    def release(self, machine):
+        """Drop all actuation (effort zero)."""
+        self.apply_effort(machine, 0.0)
+
+
+def default_gains(pdn, i_min, i_max):
+    """Empirically tuned gains for the canonical network.
+
+    Effectively a PD controller: proportional action engages the first
+    actuation rung at ~40 mV of error, derivative action (scaled to the
+    resonant period) damps the ringing, and the integral gain defaults
+    to zero -- a workload whose mean voltage sits below the setpoint
+    (any busy program, through its IR drop) winds an integrator up until
+    the machine is permanently throttled, one of the practical problems
+    the paper's Section 6 alludes to.
+    """
+    period = pdn.resonant_period_cycles()
+    kp = 8.0
+    ki = 0.0
+    kd = kp * period / 60.0
+    return kp, ki, kd
+
+
+class PidController:
+    """Discrete PID on the voltage error, with anti-windup.
+
+    Args:
+        kp / ki / kd: gains (per volt of error; output is effort).
+        sensor: a :class:`DigitizingSensor` (defaults to a 6-bit,
+            3-cycle ADC).
+        setpoint: regulation target, volts.
+        actuator: a :class:`ProportionalActuator`.
+        integral_limit: anti-windup clamp on the integral term's
+            contribution (in effort units).
+    """
+
+    def __init__(self, kp, ki, kd, sensor=None, setpoint=1.0,
+                 actuator=None, integral_limit=1.0):
+        self.kp = kp
+        self.ki = ki
+        self.kd = kd
+        self.sensor = sensor if sensor is not None else DigitizingSensor()
+        self.setpoint = setpoint
+        self.actuator = actuator if actuator is not None \
+            else ProportionalActuator()
+        self.integral_limit = integral_limit
+        self._integral = 0.0
+        self._last_error = None
+        self.reduce_cycles = 0
+        self.boost_cycles = 0
+        self.transitions = 0
+
+    def step(self, machine, voltage):
+        """Observe the true voltage, compute effort, actuate.
+
+        Error convention: sagging voltage gives positive error and
+        positive (gating) effort.
+        """
+        reading = self.sensor.observe(voltage)
+        error = self.setpoint - reading
+        self._integral += self.ki * error
+        self._integral = max(-self.integral_limit,
+                             min(self.integral_limit, self._integral))
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = error - self._last_error
+        self._last_error = error
+        effort = self.kp * error + self._integral + self.kd * derivative
+        self.actuator.apply_effort(machine, effort)
+        if effort > 1.0 / 3.0:
+            self.reduce_cycles += 1
+            command = ActuatorCommand.REDUCE
+        elif effort < -1.0 / 3.0:
+            self.boost_cycles += 1
+            command = ActuatorCommand.BOOST
+        else:
+            command = ActuatorCommand.NONE
+        return command
+
+    def summary(self):
+        """A plain dict of the loop activity and gains."""
+        return {
+            "reduce_cycles": self.reduce_cycles,
+            "boost_cycles": self.boost_cycles,
+            "transitions": self.transitions,
+            "kp": self.kp,
+            "ki": self.ki,
+            "kd": self.kd,
+            "delay": self.sensor.delay,
+            "actuator": self.actuator.kind,
+        }

@@ -1,0 +1,63 @@
+"""A pessimistic ramp controller -- the strawman of Section 2.3.
+
+The paper argues a microarchitectural controller can afford to be
+*greedy*: let current jump immediately when work arrives, because short
+bursts cannot move the voltage much (Figure 3), and intervene only when
+the threshold sensor says danger is near.  The pessimistic alternative
+it contrasts -- "a more pessimistic policy that slowly re-activated
+execution units to lessen the impact of the swing" -- throttles every
+low-to-high power transition whether or not the voltage was at risk.
+
+:class:`PessimisticRampController` implements that strawman so the
+ablation bench can quantify what greediness buys: it watches the
+*current* (not the voltage) and, whenever the draw rises faster than a
+slew budget allows, gates the functional units for the next cycle,
+enforcing a gradual ramp.  It provides no worst-case guarantee; it
+exists to be measured against.
+"""
+
+from repro.control.actuators import Actuator, ActuatorCommand
+
+
+class PessimisticRampController:
+    """Slew-rate limiter on the processor current.
+
+    Args:
+        max_step: largest allowed cycle-to-cycle current increase, in
+            amperes; rises beyond it trigger a gating cycle.
+        actuator: the gating mechanism (defaults to FU-only, the
+            lightest-touch throttle).
+    """
+
+    def __init__(self, max_step=2.0, actuator=None):
+        if max_step <= 0:
+            raise ValueError("max_step must be positive")
+        self.max_step = max_step
+        self.actuator = actuator if actuator is not None else Actuator("fu")
+        self._last_current = None
+        self.reduce_cycles = 0
+        self.boost_cycles = 0
+        self.transitions = 0
+
+    def step_current(self, machine, current):
+        """Observe this cycle's current; throttle the next if it rose
+        too fast.  Returns the issued command."""
+        if (self._last_current is not None and
+                current - self._last_current > self.max_step):
+            command = ActuatorCommand.REDUCE
+            self.reduce_cycles += 1
+        else:
+            command = ActuatorCommand.NONE
+        self._last_current = current
+        self.actuator.apply(machine, command)
+        return command
+
+    def summary(self):
+        """A plain dict of the throttle activity and settings."""
+        return {
+            "reduce_cycles": self.reduce_cycles,
+            "boost_cycles": self.boost_cycles,
+            "transitions": self.transitions,
+            "max_step": self.max_step,
+            "actuator": self.actuator.kind,
+        }

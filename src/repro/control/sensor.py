@@ -1,0 +1,113 @@
+"""The three-state threshold voltage sensor.
+
+Section 4.2: the sensor "registers one of three possible output values
+to the compensation logic: Voltage Low, Voltage Normal, and Voltage
+High" -- it does not digitize the level.  Real implementations (bandgap
+comparators, inverter-chain delay detectors) have 1-2 cycles of latency
+and bounded error; both are modeled here: readings are delayed by
+``delay`` cycles and perturbed by white noise of amplitude ``error``.
+"""
+
+import enum
+import random
+
+
+class VoltageLevel(enum.Enum):
+    """The sensor's three-valued output."""
+
+    LOW = -1
+    NORMAL = 0
+    HIGH = 1
+
+
+class SensorReading:
+    """One sensor output: the level plus the (noisy, delayed) voltage it
+    was derived from (exposed for analysis; the controller only uses
+    ``level``)."""
+
+    __slots__ = ("level", "observed")
+
+    def __init__(self, level, observed):
+        self.level = level
+        self.observed = observed
+
+
+class ThresholdSensor:
+    """Delayed, noisy threshold comparison.
+
+    Args:
+        v_low: voltage-low threshold (volts).
+        v_high: voltage-high threshold (volts).
+        delay: reading latency in cycles; the level reported this cycle
+            reflects the true voltage ``delay`` cycles ago.  Zero means
+            a same-cycle reading.
+        error: white-noise amplitude (volts); each reading is perturbed
+            by a uniform sample in ``[-error, +error]``, following the
+            paper's random-number-generator noise injection (Section 4.5).
+        seed: RNG seed for reproducible noise.
+    """
+
+    def __init__(self, v_low, v_high, delay=0, error=0.0, seed=0,
+                 hysteresis=0.0):
+        if v_low >= v_high:
+            raise ValueError("v_low (%g) must be below v_high (%g)"
+                             % (v_low, v_high))
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if error < 0:
+            raise ValueError("error must be non-negative")
+        if hysteresis < 0:
+            raise ValueError("hysteresis must be non-negative")
+        if v_low + hysteresis >= v_high - hysteresis:
+            raise ValueError("hysteresis bands overlap the window")
+        self.v_low = v_low
+        self.v_high = v_high
+        self.delay = int(delay)
+        self.error = error
+        #: Deassertion margin, volts.  Once LOW asserts it holds until the
+        #: reading recovers past ``v_low + hysteresis`` (symmetrically for
+        #: HIGH).  Holding actuation *longer* than the solved design never
+        #: weakens the worst-case guarantee -- it only trades performance/
+        #: energy for fewer controller transitions (comparator chatter).
+        self.hysteresis = hysteresis
+        self._rng = random.Random(seed)
+        self._history = []  # pending true voltages, oldest first
+        self._state = VoltageLevel.NORMAL
+
+    def observe(self, voltage):
+        """Feed the current true voltage; returns this cycle's reading.
+
+        Until ``delay`` cycles of history exist, the sensor reports the
+        oldest voltage it has seen (the power-on level).
+        """
+        self._history.append(voltage)
+        if len(self._history) > self.delay + 1:
+            self._history.pop(0)
+        observed = self._history[0]
+        if self.error > 0.0:
+            observed = observed + self._rng.uniform(-self.error, self.error)
+        if observed < self.v_low:
+            level = VoltageLevel.LOW
+        elif observed > self.v_high:
+            level = VoltageLevel.HIGH
+        elif (self._state is VoltageLevel.LOW and
+                observed < self.v_low + self.hysteresis):
+            level = VoltageLevel.LOW      # hold until recovered past band
+        elif (self._state is VoltageLevel.HIGH and
+                observed > self.v_high - self.hysteresis):
+            level = VoltageLevel.HIGH
+        else:
+            level = VoltageLevel.NORMAL
+        self._state = level
+        return SensorReading(level, observed)
+
+    def reset(self):
+        """Clear delay history and hysteresis state (between runs)."""
+        self._history = []
+        self._state = VoltageLevel.NORMAL
+
+    @property
+    def window_mv(self):
+        """The safe operating window, millivolts (Table 3's rightmost
+        column)."""
+        return (self.v_high - self.v_low) * 1000.0

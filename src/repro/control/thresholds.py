@@ -1,0 +1,343 @@
+"""Control-theoretic design of the threshold controller (Figure 13).
+
+This module replaces the paper's MATLAB/Simulink step.  The design flow:
+
+1. Analyze the processor power model for its current envelope
+   ``[i_min, i_max]`` and the supply network for its resonant frequency.
+2. Solve for the **target impedance**: the peak impedance at which the
+   theoretical worst-case input -- a full-envelope square wave at the
+   resonant frequency -- keeps the die voltage within +/-5% of nominal
+   with no control at all.  "N% of target impedance" networks scale this
+   peak (Table 2's sweep).
+3. Solve for the **voltage thresholds**: the widest ``(v_low, v_high)``
+   window such that a threshold controller with a given sensor delay,
+   reacting by forcing the current to its actuator's response envelope,
+   provably keeps the worst case in spec (Table 3).  Sensor error
+   narrows the window by the error bound on each side (Section 4.5).
+
+The worst-case analysis is adversarial simulation on the exact
+discretized network: the "program" plays the resonant square wave except
+where the controller overrides it.  Because the network is linear and
+the input set is bounded by the envelope, the square wave at resonance
+maximizes droop, and safety against it bounds safety against any
+program (the property the paper's guarantees rest on).
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.pdn.discrete import DiscretePdn
+from repro.pdn.rlc import (
+    NOMINAL_CLOCK_HZ,
+    NOMINAL_DC_RESISTANCE,
+    NOMINAL_RESONANT_HZ,
+    PdnParameters,
+    SecondOrderPdn,
+)
+
+#: Nominal die voltage the regulator holds at minimum power (Section 3.1).
+NOMINAL_VOLTAGE = 1.0
+
+#: The +/- voltage specification.
+SPEC_FRACTION = 0.05
+
+
+class ControlInfeasibleError(RuntimeError):
+    """No threshold setting can meet the spec (actuator too weak or
+    sensor too slow) -- the paper's 'unstable' FU-only regime."""
+
+
+@dataclass(frozen=True)
+class ThresholdDesign:
+    """Solved controller design.
+
+    Attributes:
+        v_low / v_high: thresholds in volts.
+        delay: sensor delay (cycles) the design guarantees.
+        error: sensor error (volts) the thresholds are margined for.
+        i_min / i_max: processor current envelope used as the adversary.
+        i_reduce / i_boost: actuator response currents.
+        v_worst_low / v_worst_high: voltage extremes reached in the
+            verified worst case (within spec by construction).
+    """
+
+    v_low: float
+    v_high: float
+    delay: int
+    error: float
+    i_min: float
+    i_max: float
+    i_reduce: float
+    i_boost: float
+    v_worst_low: float
+    v_worst_high: float
+
+    @property
+    def window_mv(self):
+        """Safe operating window, millivolts (Table 3)."""
+        return (self.v_high - self.v_low) * 1000.0
+
+
+def pdn_with_regulator(peak_impedance, i_min,
+                       dc_resistance=NOMINAL_DC_RESISTANCE,
+                       resonant_hz=NOMINAL_RESONANT_HZ,
+                       nominal=NOMINAL_VOLTAGE):
+    """A network whose die voltage is exactly ``nominal`` at ``i_min``.
+
+    The paper assumes "a capable voltage regulator can maintain the
+    ideal supply level of 1.0 V when the processor is at its minimum
+    power level"; the regulator setpoint therefore sits ``R * i_min``
+    above nominal.
+    """
+    params = PdnParameters.from_spec(
+        dc_resistance=dc_resistance,
+        resonant_hz=resonant_hz,
+        peak_impedance=peak_impedance,
+        vdd=nominal + dc_resistance * i_min)
+    return SecondOrderPdn(params)
+
+
+def worst_case_extremes(pdn, i_min, i_max, clock_hz=NOMINAL_CLOCK_HZ,
+                        n_periods=40):
+    """Voltage extremes under the uncontrolled worst-case input.
+
+    Runs the full-envelope resonant square wave in both phase polarities
+    from both equilibria and returns the global ``(v_min, v_max)``.
+    """
+    discrete = DiscretePdn(pdn, clock_hz=clock_hz)
+    v_min = float("inf")
+    v_max = float("-inf")
+    for high_first in (True, False):
+        wave = _square_wave(pdn, i_min, i_max, clock_hz, n_periods,
+                            high_first)
+        start = i_min if high_first else i_max
+        v = discrete.simulate(wave, initial_current=start)
+        v_min = min(v_min, float(v.min()))
+        v_max = max(v_max, float(v.max()))
+    return v_min, v_max
+
+
+def _square_wave(pdn, i_min, i_max, clock_hz, n_periods, high_first,
+                 phase_offset=0):
+    from repro.pdn.waveforms import resonant_square_wave
+    period = pdn.resonant_period_cycles(clock_hz)
+    lead = int(math.ceil(2 * period)) + int(phase_offset)
+    n = int(math.ceil(lead + n_periods * period))
+    return resonant_square_wave(pdn, n, i_min, i_max, clock_hz=clock_hz,
+                                start=lead, phase_high_first=high_first)
+
+
+def solve_target_impedance(i_min, i_max,
+                           dc_resistance=NOMINAL_DC_RESISTANCE,
+                           resonant_hz=NOMINAL_RESONANT_HZ,
+                           clock_hz=NOMINAL_CLOCK_HZ,
+                           nominal=NOMINAL_VOLTAGE,
+                           fraction=SPEC_FRACTION,
+                           tolerance=1e-4):
+    """Peak impedance at which the worst case exactly meets the spec.
+
+    Bisection on peak impedance: at the returned value, the
+    uncontrolled full-envelope resonant square wave reaches but does not
+    exceed +/- ``fraction`` of nominal -- the industry definition of
+    target impedance made operational (Section 2.1).
+    """
+    if i_max <= i_min:
+        raise ValueError("i_max must exceed i_min")
+    allowed = fraction * nominal
+
+    def excursion(peak):
+        pdn = pdn_with_regulator(peak, i_min, dc_resistance=dc_resistance,
+                                 resonant_hz=resonant_hz, nominal=nominal)
+        v_min, v_max = worst_case_extremes(pdn, i_min, i_max,
+                                           clock_hz=clock_hz)
+        return max(nominal - v_min, v_max - nominal)
+
+    lo = dc_resistance * 1.05
+    hi = dc_resistance * 2.0
+    while excursion(hi) < allowed:
+        hi *= 2.0
+        if hi > 1.0:
+            raise RuntimeError("could not bracket the target impedance")
+    if excursion(lo) > allowed:
+        raise ControlInfeasibleError(
+            "even a critically-damped network violates the spec for this "
+            "current envelope; the DC IR drop alone is too large")
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if excursion(mid) > allowed:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < tolerance * lo:
+            break
+    return lo
+
+
+# ----------------------------------------------------------------------
+# Threshold solving
+# ----------------------------------------------------------------------
+
+def _controlled_extremes(pdn, v_low, v_high, delay, i_min, i_max,
+                         i_reduce, i_boost, clock_hz, n_periods,
+                         high_first, phase_offset=0):
+    """Voltage extremes of the threshold-controlled worst case.
+
+    Mirrors the closed loop's timing exactly: each cycle the current is
+    chosen from the sensor reading of ``delay + 1`` cycles ago (one
+    cycle of structural feedback latency plus the sensor delay), then
+    the network advances one cycle.
+    """
+    wave = _square_wave(pdn, i_min, i_max, clock_hz, n_periods, high_first,
+                        phase_offset=phase_offset)
+    discrete = DiscretePdn(pdn, clock_hz=clock_hz)
+    a00, a01 = discrete.ad[0]
+    a10, a11 = discrete.ad[1]
+    b0, b1 = discrete.bd[:, 0]
+    vdd = pdn.params.vdd
+    e0, e1 = discrete.ed[:, 0] * vdd
+    start = i_min if high_first else i_max
+    x0, x1 = discrete.equilibrium_state(start)
+    v_min = v_max = x1
+    pending = [x1] * (delay + 1)   # sensor pipeline of true voltages
+    for i_program in wave:
+        observed = pending[0]
+        if observed < v_low:
+            current = i_reduce
+        elif observed > v_high:
+            current = i_boost
+        else:
+            current = i_program
+        nx0 = a00 * x0 + a01 * x1 + b0 * current + e0
+        nx1 = a10 * x0 + a11 * x1 + b1 * current + e1
+        x0, x1 = nx0, nx1
+        if x1 < v_min:
+            v_min = x1
+        elif x1 > v_max:
+            v_max = x1
+        pending.append(x1)
+        pending.pop(0)
+    return v_min, v_max
+
+
+def solve_thresholds(pdn, i_min, i_max, delay, i_reduce=None, i_boost=None,
+                     error=0.0, clock_hz=NOMINAL_CLOCK_HZ,
+                     nominal=NOMINAL_VOLTAGE, fraction=SPEC_FRACTION,
+                     n_periods=30, resolution=5e-5):
+    """Solve the widest safe threshold window for one sensor delay.
+
+    Bisection on each threshold against the adversarial resonant square
+    wave (both polarities), with the other threshold held at its current
+    estimate; two alternating passes are enough because widening one
+    threshold only weakens the other side's worst case monotonically.
+
+    Args:
+        pdn: the (scaled) supply network.
+        i_min / i_max: program current envelope (the adversary's range).
+        delay: sensor delay in cycles.
+        i_reduce / i_boost: actuator response currents; default to the
+            envelope bounds (the ideal actuator).
+        error: sensor error bound in volts; the returned thresholds are
+            margined inward by this amount (Section 4.5).
+
+    Returns:
+        A :class:`ThresholdDesign`.
+
+    Raises:
+        ControlInfeasibleError: if no window satisfies the spec.
+    """
+    if i_reduce is None:
+        i_reduce = i_min
+    if i_boost is None:
+        i_boost = i_max
+    lo_bound = nominal * (1.0 - fraction)
+    hi_bound = nominal * (1.0 + fraction)
+
+    period = pdn.resonant_period_cycles(clock_hz)
+    step = max(1, int(round(period / 8.0)))
+    offsets = tuple(range(0, int(round(period)), step))
+
+    def safe(v_low, v_high):
+        for high_first in (True, False):
+            for offset in offsets:
+                v_mn, v_mx = _controlled_extremes(
+                    pdn, v_low, v_high, delay, i_min, i_max, i_reduce,
+                    i_boost, clock_hz, n_periods, high_first,
+                    phase_offset=offset)
+                if v_mn < lo_bound or v_mx > hi_bound:
+                    return False
+        return True
+
+    v_low, v_high = nominal - 1e-4, nominal + 1e-4
+    if not safe(v_low, v_high):
+        raise ControlInfeasibleError(
+            "delay=%d: even hair-trigger thresholds cannot hold the spec "
+            "(actuator lever too weak or sensor too slow)" % delay)
+
+    for _ in range(2):
+        # Widen v_low downward as far as safety allows.
+        lo, hi = lo_bound, v_low
+        if safe(lo, v_high):
+            v_low = lo
+        else:
+            while hi - lo > resolution:
+                mid = 0.5 * (lo + hi)
+                if safe(mid, v_high):
+                    hi = mid
+                else:
+                    lo = mid
+            v_low = hi
+        # Widen v_high upward as far as safety allows.
+        lo, hi = v_high, hi_bound
+        if safe(v_low, hi):
+            v_high = hi
+        else:
+            while hi - lo > resolution:
+                mid = 0.5 * (lo + hi)
+                if safe(v_low, mid):
+                    lo = mid
+                else:
+                    hi = mid
+            v_high = lo
+
+    v_mins = []
+    v_maxs = []
+    for high_first in (True, False):
+        for offset in offsets:
+            v_mn, v_mx = _controlled_extremes(
+                pdn, v_low, v_high, delay, i_min, i_max, i_reduce, i_boost,
+                clock_hz, n_periods, high_first, phase_offset=offset)
+            v_mins.append(v_mn)
+            v_maxs.append(v_mx)
+
+    v_low_final = v_low + error
+    v_high_final = v_high - error
+    if v_low_final >= v_high_final:
+        raise ControlInfeasibleError(
+            "delay=%d, error=%.3f V: the error margin consumes the whole "
+            "operating window" % (delay, error))
+    return ThresholdDesign(
+        v_low=v_low_final, v_high=v_high_final, delay=delay, error=error,
+        i_min=i_min, i_max=i_max, i_reduce=i_reduce, i_boost=i_boost,
+        v_worst_low=min(v_mins), v_worst_high=max(v_maxs))
+
+
+def design_pdn(power_model, impedance_percent=100.0,
+               dc_resistance=NOMINAL_DC_RESISTANCE,
+               resonant_hz=NOMINAL_RESONANT_HZ,
+               clock_hz=NOMINAL_CLOCK_HZ,
+               nominal=NOMINAL_VOLTAGE):
+    """Build the supply network for a machine at N% of target impedance.
+
+    Runs the first half of the Figure 13 flow: takes the processor's
+    current envelope from its power model, solves the target impedance,
+    scales it, and returns the network with the regulator setpoint
+    applied.
+    """
+    i_min, i_max = power_model.current_envelope()
+    target = solve_target_impedance(
+        i_min, i_max, dc_resistance=dc_resistance, resonant_hz=resonant_hz,
+        clock_hz=clock_hz, nominal=nominal)
+    return pdn_with_regulator(
+        target * impedance_percent / 100.0, i_min,
+        dc_resistance=dc_resistance, resonant_hz=resonant_hz,
+        nominal=nominal)

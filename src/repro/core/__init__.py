@@ -1,0 +1,68 @@
+"""Public API facade.
+
+The most common entry points, re-exported from their home packages::
+
+    from repro.core import (
+        MachineConfig, Machine, PowerModel,          # the processor
+        SecondOrderPdn, PdnParameters,               # the supply network
+        VoltageControlDesign,                        # the design flow
+        run_workload,                                # one closed-loop run
+        tune_stressmark, stressmark_stream,          # the dI/dt stressmark
+        SPEC2000, get_profile,                       # synthetic benchmarks
+    )
+
+A minimal session (the quickstart example expands on this)::
+
+    design = VoltageControlDesign(impedance_percent=200)
+    spec, period = tune_stressmark(design.pdn, design.config)
+    uncontrolled = design.run(stressmark_stream(spec))
+    controlled = design.run(stressmark_stream(spec), delay=2)
+"""
+
+from repro.core.design import VoltageControlDesign
+from repro.control.loop import run_workload, LoopResult
+from repro.control.thresholds import (
+    design_pdn,
+    solve_target_impedance,
+    solve_thresholds,
+)
+from repro.control.actuators import Actuator, ACTUATOR_KINDS
+from repro.control.controller import ThresholdController
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.pdn.rlc import PdnParameters, SecondOrderPdn
+from repro.power.model import PowerModel
+from repro.power.params import PowerParams
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.spec import ACTIVE_BENCHMARKS, SPEC2000, get_profile
+from repro.workloads.stressmark import (
+    StressmarkSpec,
+    stressmark_stream,
+    tune_stressmark,
+)
+
+__all__ = [
+    "VoltageControlDesign",
+    "run_workload",
+    "LoopResult",
+    "design_pdn",
+    "solve_target_impedance",
+    "solve_thresholds",
+    "Actuator",
+    "ACTUATOR_KINDS",
+    "ThresholdController",
+    "ThresholdSensor",
+    "VoltageLevel",
+    "PdnParameters",
+    "SecondOrderPdn",
+    "PowerModel",
+    "PowerParams",
+    "MachineConfig",
+    "Machine",
+    "ACTIVE_BENCHMARKS",
+    "SPEC2000",
+    "get_profile",
+    "StressmarkSpec",
+    "stressmark_stream",
+    "tune_stressmark",
+]

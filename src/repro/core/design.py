@@ -1,0 +1,129 @@
+"""The end-to-end design flow (the paper's Figure 13) as one object.
+
+``VoltageControlDesign`` packages the whole methodology:
+
+1. analyze the processor (power envelope) and the package (resonance);
+2. solve the target impedance and build the N%-of-target network;
+3. solve thresholds for a sensor delay/error and an actuator's levers;
+4. manufacture controllers and run closed-loop simulations.
+
+Most benches and examples go through this class; the underlying pieces
+remain importable individually for finer control.
+"""
+
+from repro.control.actuators import ACTUATOR_KINDS, Actuator
+from repro.control.controller import ThresholdController
+from repro.control.loop import run_workload
+from repro.control.thresholds import design_pdn, solve_thresholds
+from repro.power.model import PowerModel
+from repro.uarch.config import MachineConfig
+
+
+class VoltageControlDesign:
+    """A solved dI/dt control design for one machine + package point.
+
+    Args:
+        config: machine configuration (Table 1 default).
+        power_params: power model parameters.
+        impedance_percent: package quality as a percentage of target
+            impedance (the paper studies 200%).
+
+    Attributes:
+        config / power_model / pdn: the analyzed system.
+        i_min / i_max: the processor current envelope.
+    """
+
+    def __init__(self, config=None, power_params=None,
+                 impedance_percent=200.0):
+        self.config = config or MachineConfig()
+        self.power_model = PowerModel(self.config, power_params)
+        self.impedance_percent = impedance_percent
+        self.pdn = design_pdn(self.power_model,
+                              impedance_percent=impedance_percent)
+        self.i_min, self.i_max = self.power_model.current_envelope()
+        self._threshold_cache = {}
+
+    def response_currents(self, actuator_kind="ideal"):
+        """``(i_reduce, i_boost)`` for an actuator kind's unit groups.
+
+        The ideal actuator is credited with the full envelope (it can,
+        by definition, force any reachable current); real actuators get
+        the pessimistic lever from
+        :meth:`repro.power.model.PowerModel.response_envelope`.
+        """
+        if actuator_kind == "ideal":
+            return (self.power_model.gated_min_power()
+                    / self.power_model.params.vdd, self.i_max)
+        groups = ACTUATOR_KINDS[actuator_kind]
+        return self.power_model.response_envelope(groups)
+
+    def thresholds(self, delay=2, error=0.0, actuator_kind="ideal"):
+        """Solve (and cache) the threshold design for one operating point.
+
+        Returns:
+            A :class:`~repro.control.thresholds.ThresholdDesign`.
+
+        Raises:
+            ControlInfeasibleError: when the actuator/delay combination
+                cannot hold the +/-5% specification.
+        """
+        key = (delay, round(error, 6), actuator_kind)
+        if key not in self._threshold_cache:
+            i_reduce, i_boost = self.response_currents(actuator_kind)
+            self._threshold_cache[key] = solve_thresholds(
+                self.pdn, self.i_min, self.i_max, delay,
+                i_reduce=i_reduce, i_boost=i_boost, error=error)
+        return self._threshold_cache[key]
+
+    def controller_factory(self, delay=2, error=0.0, actuator_kind="ideal",
+                           seed=0, low_groups=None, high_groups=None):
+        """A factory suitable for :func:`repro.control.loop.run_workload`.
+
+        Each run gets a fresh controller (sensors and actuators carry
+        per-run state).
+        """
+        design = self.thresholds(delay=delay, error=error,
+                                 actuator_kind=actuator_kind)
+
+        def factory(machine, power_model):
+            actuator = Actuator(actuator_kind, low_groups=low_groups,
+                                high_groups=high_groups)
+            return ThresholdController.from_design(design,
+                                                   actuator=actuator,
+                                                   seed=seed)
+        return factory
+
+    def run(self, stream, delay=None, error=0.0, actuator_kind="ideal",
+            warmup_instructions=60000, max_cycles=30000,
+            max_instructions=None, record_traces=False, seed=0):
+        """Closed-loop run of a workload under this design.
+
+        Args:
+            stream: the dynamic instruction stream.
+            delay: sensor delay; ``None`` runs *uncontrolled* (the
+                characterization / baseline mode).
+            error: sensor error bound, volts.
+            actuator_kind: one of :data:`~repro.control.actuators.ACTUATOR_KINDS`.
+            warmup_instructions / max_cycles / max_instructions /
+            record_traces: forwarded to
+                :func:`~repro.control.loop.run_workload`.
+
+        Returns:
+            A :class:`~repro.control.loop.LoopResult`.
+        """
+        factory = None
+        if delay is not None:
+            factory = self.controller_factory(delay=delay, error=error,
+                                              actuator_kind=actuator_kind,
+                                              seed=seed)
+        return run_workload(stream, self.pdn, config=self.config,
+                            power_params=self.power_model.params,
+                            controller_factory=factory,
+                            warmup_instructions=warmup_instructions,
+                            max_cycles=max_cycles,
+                            max_instructions=max_instructions,
+                            record_traces=record_traces)
+
+    def __repr__(self):
+        return ("VoltageControlDesign(impedance=%g%%, envelope=[%.1f, %.1f] A)"
+                % (self.impedance_percent, self.i_min, self.i_max))

@@ -1,0 +1,37 @@
+"""Alpha-flavoured instruction-set substrate.
+
+The paper's experiments run Alpha binaries on SimpleScalar; its dI/dt
+stressmark (Figure 8) is a hand-written Alpha loop.  This package
+provides the minimal ISA machinery this reproduction needs:
+
+* :mod:`repro.isa.opcodes` -- opcode table, instruction classes, and the
+  default execution latencies used by the functional units.
+* :mod:`repro.isa.instruction` -- static and dynamic instruction records.
+  The simulator is *timing*-accurate, not value-accurate: a dynamic
+  instruction carries its register dependences, memory address, and
+  branch outcome, which is everything the pipeline, the caches, and the
+  power model observe.
+* :mod:`repro.isa.program` -- static programs and the sequencer that
+  unrolls them into dynamic instruction streams.
+* :mod:`repro.isa.assembler` -- a small two-pass assembler so workloads
+  (notably the stressmark) can be written as actual assembly text.
+"""
+
+from repro.isa.opcodes import InstrClass, Opcode, OPCODES, default_latencies
+from repro.isa.instruction import StaticInst, DynamicInst, Reg
+from repro.isa.program import Program, Sequencer
+from repro.isa.assembler import assemble, AssemblerError
+
+__all__ = [
+    "InstrClass",
+    "Opcode",
+    "OPCODES",
+    "default_latencies",
+    "StaticInst",
+    "DynamicInst",
+    "Reg",
+    "Program",
+    "Sequencer",
+    "assemble",
+    "AssemblerError",
+]

@@ -1,0 +1,161 @@
+"""A small two-pass assembler for the Alpha-flavoured subset.
+
+Accepts the syntax the paper's Figure 8 uses, e.g.::
+
+    loop:
+        ldt   f1, 0(r4)
+        divt  f3, f1, f2      # f3 <- f1 / f2
+        divt  f3, f3, f2
+        stt   f3, 8(r4)
+        ldq   r7, 8(r4)
+        cmovne r3, r31, r7
+        stq   r3, 0(r4)
+        br    loop
+
+Registers may be written ``r7``/``f3`` or Alpha-style ``$7``/``$f3``.
+Comments run from ``#`` or ``;`` to end of line.  Operand order is
+destination first.  Memory operands are ``displacement(base)``.
+"""
+
+import re
+
+from repro.isa.instruction import Reg, StaticInst
+from repro.isa.opcodes import OPCODES, InstrClass
+from repro.isa.program import DEFAULT_BASE_PC, Program
+
+
+class AssemblerError(ValueError):
+    """Raised for any syntax or semantic error, with a line number."""
+
+    def __init__(self, line_no, message):
+        super().__init__("line %d: %s" % (line_no, message))
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):\s*(.*)$")
+_MEM_RE = re.compile(r"^(-?\d+)?\(([^)]+)\)$")
+_LABEL_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def assemble(text, base_pc=DEFAULT_BASE_PC):
+    """Assemble ``text`` into a :class:`~repro.isa.program.Program`.
+
+    Args:
+        text: assembly source.
+        base_pc: address of the first instruction.
+
+    Returns:
+        A :class:`Program` with branch targets resolved.
+
+    Raises:
+        AssemblerError: on unknown mnemonics, malformed operands,
+            duplicate labels, or (via Program) undefined branch targets.
+    """
+    instructions = []
+    labels = {}
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        match = _LABEL_RE.match(line)
+        if match:
+            label, line = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblerError(line_no, "duplicate label %r" % label)
+            labels[label] = len(instructions)
+            if not line:
+                continue
+        instructions.append(_parse_instruction(line, line_no))
+    return Program(instructions, labels=labels, base_pc=base_pc)
+
+
+def _parse_instruction(line, line_no):
+    parts = line.split(None, 1)
+    mnemonic = parts[0].lower()
+    op = OPCODES.get(mnemonic)
+    if op is None:
+        raise AssemblerError(line_no, "unknown mnemonic %r" % mnemonic)
+    operands = []
+    if len(parts) > 1:
+        operands = [o.strip() for o in parts[1].split(",")]
+        operands = [o for o in operands if o]
+
+    try:
+        return _build(op, operands, line_no)
+    except AssemblerError:
+        raise
+    except (ValueError, IndexError) as exc:
+        raise AssemblerError(line_no, str(exc)) from exc
+
+
+def _build(op, operands, line_no):
+    iclass = op.iclass
+    if iclass is InstrClass.NOP:
+        _expect(operands, 0, op, line_no)
+        return StaticInst(op)
+
+    if iclass is InstrClass.LOAD:
+        _expect(operands, 2, op, line_no)
+        dest = Reg.parse(operands[0])
+        disp, base = _parse_mem(operands[1], line_no)
+        return StaticInst(op, dest=dest, base=base, displacement=disp)
+
+    if iclass is InstrClass.STORE:
+        _expect(operands, 2, op, line_no)
+        src = Reg.parse(operands[0])
+        disp, base = _parse_mem(operands[1], line_no)
+        return StaticInst(op, srcs=(src,), base=base, displacement=disp)
+
+    if iclass is InstrClass.BRANCH:
+        if op.is_return:
+            # ret [ra]
+            srcs = (Reg.parse(operands[0]),) if operands else (Reg.int_reg(26),)
+            return StaticInst(op, srcs=srcs)
+        if op.is_call:
+            # jsr label  |  jsr ra, label
+            if len(operands) == 1:
+                dest, label = Reg.int_reg(26), operands[0]
+            else:
+                _expect(operands, 2, op, line_no)
+                dest, label = Reg.parse(operands[0]), operands[1]
+            _check_label(label, line_no)
+            return StaticInst(op, dest=dest, target_label=label)
+        if op.is_conditional:
+            _expect(operands, 2, op, line_no)
+            src = Reg.parse(operands[0])
+            _check_label(operands[1], line_no)
+            return StaticInst(op, srcs=(src,), target_label=operands[1])
+        _expect(operands, 1, op, line_no)
+        _check_label(operands[0], line_no)
+        return StaticInst(op, target_label=operands[0])
+
+    # Register-to-register ALU/FP forms: dest, src1[, src2...]
+    expected = 1 + op.n_sources if op.writes_dest else op.n_sources
+    _expect(operands, expected, op, line_no)
+    if op.writes_dest:
+        dest = Reg.parse(operands[0])
+        srcs = tuple(Reg.parse(o) for o in operands[1:])
+    else:
+        dest = None
+        srcs = tuple(Reg.parse(o) for o in operands)
+    return StaticInst(op, dest=dest, srcs=srcs)
+
+
+def _expect(operands, n, op, line_no):
+    if len(operands) != n:
+        raise AssemblerError(line_no, "%s expects %d operand(s), got %d"
+                             % (op.name, n, len(operands)))
+
+
+def _parse_mem(text, line_no):
+    match = _MEM_RE.match(text.strip())
+    if not match:
+        raise AssemblerError(line_no, "malformed memory operand %r" % text)
+    disp = int(match.group(1)) if match.group(1) else 0
+    base = Reg.parse(match.group(2))
+    return disp, base
+
+
+def _check_label(label, line_no):
+    if not _LABEL_NAME_RE.match(label):
+        raise AssemblerError(line_no, "malformed label %r" % label)

@@ -1,0 +1,181 @@
+"""Static and dynamic instruction records.
+
+Register namespace: architectural integer registers are 0..31 and
+floating-point registers 32..63.  Following the Alpha convention, ``r31``
+and ``f31`` read as zero and are never tracked as dependences.
+"""
+
+from repro.isa.opcodes import InstrClass, Opcode
+
+#: Number of integer architectural registers.
+N_INT_REGS = 32
+#: Total architectural registers (integer + floating point).
+N_REGS = 64
+#: The integer zero register (Alpha r31).
+ZERO_REG = 31
+#: The floating-point zero register (Alpha f31).
+FZERO_REG = 63
+
+
+class Reg:
+    """Helpers for the flat 0..63 register namespace."""
+
+    @staticmethod
+    def int_reg(n):
+        """Architectural integer register ``rN``."""
+        if not 0 <= n < N_INT_REGS:
+            raise ValueError("integer register index out of range: %r" % n)
+        return n
+
+    @staticmethod
+    def fp_reg(n):
+        """Architectural floating-point register ``fN``."""
+        if not 0 <= n < N_INT_REGS:
+            raise ValueError("fp register index out of range: %r" % n)
+        return N_INT_REGS + n
+
+    @staticmethod
+    def parse(text):
+        """Parse ``"r7"`` / ``"f3"`` / ``"$7"`` / ``"$f3"`` to an index."""
+        t = text.strip().lower().lstrip("$")
+        if not t:
+            raise ValueError("empty register name")
+        if t[0] == "f":
+            return Reg.fp_reg(int(t[1:]))
+        if t[0] == "r":
+            return Reg.int_reg(int(t[1:]))
+        return Reg.int_reg(int(t))
+
+    @staticmethod
+    def name(index):
+        """Inverse of :meth:`parse`."""
+        if not 0 <= index < N_REGS:
+            raise ValueError("register index out of range: %r" % index)
+        if index < N_INT_REGS:
+            return "r%d" % index
+        return "f%d" % (index - N_INT_REGS)
+
+    @staticmethod
+    def is_zero(index):
+        """Whether the register always reads as zero."""
+        return index in (ZERO_REG, FZERO_REG)
+
+
+class StaticInst:
+    """One assembled instruction in a :class:`~repro.isa.program.Program`.
+
+    Attributes:
+        op: the :class:`~repro.isa.opcodes.Opcode`.
+        dest: destination register index, or ``None``.
+        srcs: tuple of source register indices (zero registers excluded).
+        base: base register for memory operands, or ``None``.
+        displacement: byte displacement for memory operands.
+        target_label: label name for branch targets, resolved by the
+            assembler into :attr:`target_index`.
+        target_index: static index of the branch target instruction.
+    """
+
+    __slots__ = ("op", "dest", "srcs", "base", "displacement",
+                 "target_label", "target_index", "index")
+
+    def __init__(self, op, dest=None, srcs=(), base=None, displacement=0,
+                 target_label=None, target_index=None, index=None):
+        if not isinstance(op, Opcode):
+            raise TypeError("op must be an Opcode, got %r" % (op,))
+        self.op = op
+        self.dest = dest
+        self.srcs = tuple(s for s in srcs if not Reg.is_zero(s))
+        self.base = base
+        self.displacement = displacement
+        self.target_label = target_label
+        self.target_index = target_index
+        self.index = index
+
+    @property
+    def iclass(self):
+        """Execution class of the underlying opcode."""
+        return self.op.iclass
+
+    def __repr__(self):
+        parts = [self.op.name]
+        if self.dest is not None:
+            parts.append(Reg.name(self.dest))
+        parts.extend(Reg.name(s) for s in self.srcs)
+        if self.base is not None:
+            parts.append("%d(%s)" % (self.displacement, Reg.name(self.base)))
+        if self.target_label is not None:
+            parts.append(self.target_label)
+        return "<StaticInst %s>" % " ".join(parts)
+
+
+class DynamicInst:
+    """One instruction instance flowing through the pipeline.
+
+    This is the unit of work the cycle simulator consumes.  It carries
+    exactly what timing and power simulation need -- dependences, the
+    effective address of memory operations, and the resolved outcome of
+    branches -- and no architectural values.
+
+    Attributes:
+        seq: global dynamic sequence number (program order).
+        pc: instruction address (used by the branch predictor and I-cache).
+        op: the :class:`~repro.isa.opcodes.Opcode`.
+        dest: destination register index or ``None``.
+        srcs: tuple of source register indices.
+        addr: effective byte address for loads/stores, else ``None``.
+        taken: resolved branch outcome (``False`` for non-branches).
+        target: resolved next PC if taken (branches only).
+    """
+
+    __slots__ = ("seq", "pc", "op", "dest", "srcs", "addr", "taken", "target")
+
+    def __init__(self, seq, pc, op, dest=None, srcs=(), addr=None,
+                 taken=False, target=None):
+        self.seq = seq
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+
+    @property
+    def iclass(self):
+        return self.op.iclass
+
+    @property
+    def is_branch(self):
+        """Whether this is a control-flow instruction."""
+        return self.op.iclass is InstrClass.BRANCH
+
+    @property
+    def is_load(self):
+        """Whether this is a load."""
+        return self.op.iclass is InstrClass.LOAD
+
+    @property
+    def is_store(self):
+        """Whether this is a store."""
+        return self.op.iclass is InstrClass.STORE
+
+    @property
+    def is_mem(self):
+        """Whether this is a memory operation (load or store)."""
+        return self.op.iclass.is_memory
+
+    @property
+    def next_pc(self):
+        """The PC the instruction actually falls through or jumps to."""
+        if self.is_branch and self.taken:
+            return self.target
+        return self.pc + 4
+
+    def __repr__(self):
+        extra = ""
+        if self.is_mem:
+            extra = " addr=%#x" % self.addr
+        if self.is_branch:
+            extra = " taken=%s target=%s" % (self.taken, self.target)
+        return "<DynamicInst #%d pc=%#x %s%s>" % (self.seq, self.pc,
+                                                  self.op.name, extra)

@@ -1,0 +1,177 @@
+"""Opcode table, instruction classes, and execution latencies.
+
+The opcode set is a pragmatic subset of the Alpha ISA -- enough to write
+the paper's stressmark verbatim (``ldt``, ``divt``, ``stt``, ``ldq``,
+``cmovne``, ``stq``, branches) and to synthesize SPEC-like instruction
+mixes.  Each opcode maps to an :class:`InstrClass`, which is what the
+pipeline's functional units and the power model key on.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class InstrClass(enum.Enum):
+    """Execution class of an instruction.
+
+    These map onto Table 1's functional unit pools:  ``IALU`` onto the 8
+    integer ALUs (conditional branches also resolve there), ``IMULT`` and
+    ``IDIV`` onto the 2 integer multiply/divide units, ``FALU`` onto the 4
+    FP adders, ``FMULT``/``FDIV`` onto the 2 FP multiply/divide units, and
+    ``LOAD``/``STORE`` onto the 4 memory ports.
+    """
+
+    IALU = "ialu"
+    IMULT = "imult"
+    IDIV = "idiv"
+    FALU = "falu"
+    FMULT = "fmult"
+    FDIV = "fdiv"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    @property
+    def is_memory(self):
+        """Whether the class is a memory operation."""
+        return self in (InstrClass.LOAD, InstrClass.STORE)
+
+    @property
+    def is_floating_point(self):
+        """Whether the class executes in the FP pipelines."""
+        return self in (InstrClass.FALU, InstrClass.FMULT, InstrClass.FDIV)
+
+    @property
+    def is_control(self):
+        """Whether the class is a branch."""
+        return self is InstrClass.BRANCH
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """One table entry.
+
+    Attributes:
+        name: mnemonic, e.g. ``"divt"``.
+        iclass: execution class.
+        n_sources: number of register source operands the mnemonic takes
+            (memory operands contribute their base register separately).
+        writes_dest: whether the mnemonic produces a register result.
+        is_conditional: for branches, whether the outcome depends on a
+            register (``beq``/``bne``/... vs ``br``).
+        is_call: subroutine call (pushes the return-address stack).
+        is_return: subroutine return (pops the return-address stack).
+    """
+
+    name: str
+    iclass: InstrClass
+    n_sources: int = 2
+    writes_dest: bool = True
+    is_conditional: bool = False
+    is_call: bool = False
+    is_return: bool = False
+
+
+def _op(name, iclass, **kwargs):
+    return Opcode(name=name, iclass=iclass, **kwargs)
+
+
+#: Mnemonic -> Opcode for every instruction this reproduction knows.
+OPCODES = {op.name: op for op in (
+    # Integer ALU.
+    _op("addq", InstrClass.IALU),
+    _op("subq", InstrClass.IALU),
+    _op("and", InstrClass.IALU),
+    _op("bis", InstrClass.IALU),       # Alpha's OR
+    _op("xor", InstrClass.IALU),
+    _op("sll", InstrClass.IALU),
+    _op("srl", InstrClass.IALU),
+    _op("cmpeq", InstrClass.IALU),
+    _op("cmplt", InstrClass.IALU),
+    _op("cmple", InstrClass.IALU),
+    _op("cmovne", InstrClass.IALU),
+    _op("cmoveq", InstrClass.IALU),
+    _op("lda", InstrClass.IALU, n_sources=1),
+    _op("mov", InstrClass.IALU, n_sources=1),
+    # Integer multiply / divide.
+    _op("mulq", InstrClass.IMULT),
+    _op("divq", InstrClass.IDIV),
+    _op("remq", InstrClass.IDIV),
+    # Floating point.
+    _op("addt", InstrClass.FALU),
+    _op("subt", InstrClass.FALU),
+    _op("cmpteq", InstrClass.FALU),
+    _op("cmptlt", InstrClass.FALU),
+    _op("cvtqt", InstrClass.FALU, n_sources=1),
+    _op("cvttq", InstrClass.FALU, n_sources=1),
+    _op("mult", InstrClass.FMULT),
+    _op("divt", InstrClass.FDIV),
+    _op("sqrtt", InstrClass.FDIV, n_sources=1),
+    # Memory.  Loads/stores take a displacement(base) memory operand.
+    _op("ldq", InstrClass.LOAD, n_sources=0),
+    _op("ldl", InstrClass.LOAD, n_sources=0),
+    _op("ldt", InstrClass.LOAD, n_sources=0),
+    _op("lds", InstrClass.LOAD, n_sources=0),
+    _op("stq", InstrClass.STORE, n_sources=1, writes_dest=False),
+    _op("stl", InstrClass.STORE, n_sources=1, writes_dest=False),
+    _op("stt", InstrClass.STORE, n_sources=1, writes_dest=False),
+    _op("sts", InstrClass.STORE, n_sources=1, writes_dest=False),
+    # Control.
+    _op("br", InstrClass.BRANCH, n_sources=0, writes_dest=False),
+    _op("beq", InstrClass.BRANCH, n_sources=1, writes_dest=False,
+        is_conditional=True),
+    _op("bne", InstrClass.BRANCH, n_sources=1, writes_dest=False,
+        is_conditional=True),
+    _op("blt", InstrClass.BRANCH, n_sources=1, writes_dest=False,
+        is_conditional=True),
+    _op("bge", InstrClass.BRANCH, n_sources=1, writes_dest=False,
+        is_conditional=True),
+    _op("jsr", InstrClass.BRANCH, n_sources=0, writes_dest=True, is_call=True),
+    _op("ret", InstrClass.BRANCH, n_sources=1, writes_dest=False,
+        is_return=True),
+    # No-op.
+    _op("nop", InstrClass.NOP, n_sources=0, writes_dest=False),
+)}
+
+
+#: Execution latency (cycles in the functional unit) per class.  Values
+#: follow SimpleScalar's defaults for an aggressive core; the FP divide's
+#: long latency is what opens the stressmark's low-current trough.
+DEFAULT_LATENCY = {
+    InstrClass.IALU: 1,
+    InstrClass.IMULT: 3,
+    InstrClass.IDIV: 20,
+    InstrClass.FALU: 2,
+    InstrClass.FMULT: 4,
+    InstrClass.FDIV: 16,
+    InstrClass.LOAD: 1,   # address generation; cache latency is added on top
+    InstrClass.STORE: 1,
+    InstrClass.BRANCH: 1,
+    InstrClass.NOP: 1,
+}
+
+#: Issue-to-issue interval per class: 1 for fully pipelined units, equal
+#: to the latency for unpipelined ones (divides).
+DEFAULT_INTERVAL = {
+    InstrClass.IALU: 1,
+    InstrClass.IMULT: 1,
+    InstrClass.IDIV: 20,
+    InstrClass.FALU: 1,
+    InstrClass.FMULT: 1,
+    InstrClass.FDIV: 16,
+    InstrClass.LOAD: 1,
+    InstrClass.STORE: 1,
+    InstrClass.BRANCH: 1,
+    InstrClass.NOP: 1,
+}
+
+
+def default_latencies():
+    """A fresh copy of the class -> latency map (safe to mutate)."""
+    return dict(DEFAULT_LATENCY)
+
+
+def default_intervals():
+    """A fresh copy of the class -> issue interval map (safe to mutate)."""
+    return dict(DEFAULT_INTERVAL)

@@ -1,0 +1,196 @@
+"""Static programs and the sequencer that unrolls them.
+
+A :class:`Program` is an assembled list of static instructions plus the
+labels that name positions in it.  A :class:`Sequencer` walks a program in
+architectural order, resolving branch outcomes and effective addresses,
+and yields the :class:`~repro.isa.instruction.DynamicInst` stream the
+cycle simulator consumes.
+
+The sequencer is deliberately value-free: conditional branch outcomes
+come from a pluggable policy (default: backward taken / forward not
+taken, i.e. loops loop), and memory addresses come from per-register base
+values plus displacements.  For the workloads in this reproduction --
+above all the stressmark, whose loop touches one buffer through one base
+register -- that is an exact model.
+"""
+
+from repro.isa.instruction import DynamicInst, StaticInst
+
+#: Default code base address.
+DEFAULT_BASE_PC = 0x12000
+
+#: Default data base for register ``rN``: distinct, cache-line-aligned.
+def _default_reg_base(reg):
+    return 0x100000 + reg * 0x10000
+
+
+class Program:
+    """An assembled static program.
+
+    Attributes:
+        instructions: tuple of :class:`StaticInst`, with resolved branch
+            target indices.
+        labels: mapping of label name -> static instruction index.
+        base_pc: address of instruction 0; instruction *i* sits at
+            ``base_pc + 4 i``.
+    """
+
+    def __init__(self, instructions, labels=None, base_pc=DEFAULT_BASE_PC):
+        self.instructions = tuple(instructions)
+        self.labels = dict(labels or {})
+        self.base_pc = base_pc
+        for i, inst in enumerate(self.instructions):
+            if not isinstance(inst, StaticInst):
+                raise TypeError("instruction %d is not a StaticInst: %r"
+                                % (i, inst))
+            inst.index = i
+            if inst.target_label is not None and inst.target_index is None:
+                try:
+                    inst.target_index = self.labels[inst.target_label]
+                except KeyError:
+                    raise ValueError("undefined label %r in instruction %d"
+                                     % (inst.target_label, i)) from None
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def __getitem__(self, index):
+        return self.instructions[index]
+
+    def pc_of(self, index):
+        """Address of static instruction ``index``."""
+        return self.base_pc + 4 * index
+
+    def index_of_pc(self, pc):
+        """Static index of the instruction at ``pc``."""
+        offset = pc - self.base_pc
+        if offset % 4 != 0 or not 0 <= offset // 4 < len(self.instructions):
+            raise ValueError("pc %#x is not in this program" % pc)
+        return offset // 4
+
+
+def backward_taken_policy(static_inst, execution_count):
+    """Default conditional-branch policy: backward taken, forward not.
+
+    Loops written with a backward conditional branch iterate forever (the
+    sequencer's ``max_instructions`` bounds the run), and forward guards
+    fall through -- the common shape of hot loops.
+    """
+    return static_inst.target_index is not None and \
+        static_inst.target_index <= static_inst.index
+
+
+def loop_count_policy(n_iterations):
+    """Branch policy that lets each backward branch loop ``n`` times.
+
+    Returns a policy function that takes a backward branch the first
+    ``n_iterations - 1`` times it executes and falls through afterwards,
+    turning an infinite assembly loop into a bounded run.
+    """
+    def policy(static_inst, execution_count):
+        if static_inst.target_index is None or \
+                static_inst.target_index > static_inst.index:
+            return False
+        return (execution_count % n_iterations) != n_iterations - 1
+    return policy
+
+
+class Sequencer:
+    """Unrolls a :class:`Program` into a dynamic instruction stream.
+
+    Args:
+        program: the program to execute.
+        branch_policy: ``f(static_inst, execution_count) -> bool`` giving
+            the outcome of each conditional branch execution.  Defaults to
+            :func:`backward_taken_policy`.
+        reg_bases: mapping of register index -> base byte address used to
+            compute effective addresses; unknown registers get distinct
+            defaults so different base registers touch different lines.
+        max_instructions: hard cap on the dynamic stream length (infinite
+            loops are the normal case for the stressmark).
+        start_label: label to begin execution at (default: instruction 0).
+    """
+
+    def __init__(self, program, branch_policy=None, reg_bases=None,
+                 max_instructions=None, start_label=None):
+        self.program = program
+        self.branch_policy = branch_policy or backward_taken_policy
+        self.reg_bases = dict(reg_bases or {})
+        self.max_instructions = max_instructions
+        if start_label is not None:
+            self.start_index = program.labels[start_label]
+        else:
+            self.start_index = 0
+        self._exec_counts = [0] * len(program)
+
+    def _address(self, inst):
+        base = self.reg_bases.get(inst.base)
+        if base is None:
+            base = _default_reg_base(inst.base)
+        return base + inst.displacement
+
+    def __iter__(self):
+        """Yield :class:`DynamicInst` in architectural execution order."""
+        program = self.program
+        if len(program) == 0:
+            return
+        index = self.start_index
+        seq = 0
+        call_stack = []
+        limit = self.max_instructions
+        while 0 <= index < len(program):
+            if limit is not None and seq >= limit:
+                return
+            static = program[index]
+            op = static.op
+            taken = False
+            target_pc = None
+            next_index = index + 1
+            if op.iclass.is_control:
+                if op.is_return:
+                    taken = True
+                    next_index = call_stack.pop() if call_stack else len(program)
+                    target_pc = program.base_pc + 4 * next_index
+                elif op.is_call:
+                    taken = True
+                    call_stack.append(index + 1)
+                    next_index = static.target_index
+                    target_pc = program.pc_of(next_index)
+                elif op.is_conditional:
+                    taken = self.branch_policy(static, self._exec_counts[index])
+                    if taken:
+                        next_index = static.target_index
+                        target_pc = program.pc_of(next_index)
+                else:  # unconditional br/jmp
+                    taken = True
+                    next_index = static.target_index
+                    target_pc = program.pc_of(next_index)
+            addr = self._address(static) if op.iclass.is_memory else None
+            yield DynamicInst(
+                seq=seq,
+                pc=program.pc_of(index),
+                op=op,
+                dest=static.dest,
+                srcs=static.srcs + ((static.base,) if static.base is not None
+                                    and not _is_zero(static.base) else ()),
+                addr=addr,
+                taken=taken,
+                target=target_pc,
+            )
+            self._exec_counts[index] += 1
+            seq += 1
+            index = next_index
+
+    def run(self, n):
+        """Materialize the first ``n`` dynamic instructions as a list."""
+        out = []
+        for inst in self:
+            out.append(inst)
+            if len(out) >= n:
+                break
+        return out
+
+
+def _is_zero(reg):
+    from repro.isa.instruction import Reg
+    return Reg.is_zero(reg)

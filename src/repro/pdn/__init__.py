@@ -1,0 +1,74 @@
+"""Power delivery network (PDN) substrate.
+
+The paper models the supply network seen by the die as an underdamped
+second-order linear system (their Section 2.2, built in MATLAB).  This
+package provides the same model in three complementary forms:
+
+* :mod:`repro.pdn.rlc` -- the continuous-time model: component values,
+  impedance-vs-frequency, poles, and closed-form impulse/step responses.
+* :mod:`repro.pdn.discrete` -- an exact zero-order-hold discretization at
+  the CPU clock, suitable for streaming per-cycle voltage simulation and
+  for closing a control loop around the processor model.
+* :mod:`repro.pdn.convolve` -- the paper's original formulation: convolve
+  a per-cycle current trace with the network's pulse response.  Used as a
+  cross-check for the recursive simulator.
+
+:mod:`repro.pdn.waveforms` builds the canonical current stimuli of the
+paper's Figures 3--6 (narrow spike, wide spike, notched spike, resonant
+pulse train) and the theoretical worst-case resonant square wave, and
+:mod:`repro.pdn.itrs` carries the ITRS roadmap impedance-trend data behind
+Figure 1.
+"""
+
+from repro.pdn.rlc import PdnParameters, SecondOrderPdn
+from repro.pdn.discrete import DiscretePdn, PdnSimulator
+from repro.pdn.convolve import pulse_response_kernel, convolve_voltage
+from repro.pdn.waveforms import (
+    flat_current,
+    current_spike,
+    notched_spike,
+    pulse_train,
+    resonant_square_wave,
+    worst_case_waveform,
+)
+from repro.pdn.itrs import ItrsDataPoint, impedance_trend, relative_impedance_trend
+from repro.pdn.statespace import (
+    DiscreteStateSpace,
+    StateSpacePdn,
+    StateSpaceSimulator,
+)
+from repro.pdn.ladder import LadderParameters, LadderPdn, fit_second_order
+from repro.pdn.quadrants import (
+    QuadrantParameters,
+    QuadrantPdn,
+    QUADRANT_FLOORPLAN,
+    split_power,
+)
+
+__all__ = [
+    "PdnParameters",
+    "SecondOrderPdn",
+    "DiscretePdn",
+    "PdnSimulator",
+    "pulse_response_kernel",
+    "convolve_voltage",
+    "flat_current",
+    "current_spike",
+    "notched_spike",
+    "pulse_train",
+    "resonant_square_wave",
+    "worst_case_waveform",
+    "ItrsDataPoint",
+    "impedance_trend",
+    "relative_impedance_trend",
+    "StateSpacePdn",
+    "DiscreteStateSpace",
+    "StateSpaceSimulator",
+    "LadderParameters",
+    "LadderPdn",
+    "fit_second_order",
+    "QuadrantParameters",
+    "QuadrantPdn",
+    "QUADRANT_FLOORPLAN",
+    "split_power",
+]

@@ -1,0 +1,84 @@
+"""Reference convolution-based voltage simulation.
+
+This is the formulation the paper actually describes (Section 3.1): the
+per-cycle supply voltage is the convolution of the per-cycle current trace
+with the network's response, as in Grochowski et al.  We keep it as the
+slow-but-obviously-correct cross-check for the recursive ZOH simulator in
+:mod:`repro.pdn.discrete`; the two agree to floating-point accuracy
+because the ZOH recursion is exact for piecewise-constant current.
+"""
+
+import numpy as np
+
+from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+from repro.pdn.discrete import cycles_for_settling
+
+
+def pulse_response_kernel(pdn, clock_hz=NOMINAL_CLOCK_HZ, n_cycles=None,
+                          tolerance=1e-6):
+    """Discrete droop kernel: response to one cycle of unit current.
+
+    ``kernel[k]`` is the droop (volts) observed ``k`` cycles after a
+    one-cycle-wide, 1 A current pulse, computed from the analytic step
+    response: ``kernel[k] = S((k+1) dt) - S(k dt)``.
+
+    Args:
+        pdn: a :class:`~repro.pdn.rlc.SecondOrderPdn`.
+        clock_hz: CPU clock used to discretize.
+        n_cycles: kernel length; defaults to the settling time at
+            ``tolerance``.
+        tolerance: relative transient size at which the kernel may be
+            truncated when ``n_cycles`` is not given.
+
+    Returns:
+        1-D numpy array of length ``n_cycles``.
+    """
+    if n_cycles is None:
+        n_cycles = cycles_for_settling(pdn, clock_hz=clock_hz, tolerance=tolerance)
+    dt = 1.0 / clock_hz
+    edges = np.arange(n_cycles + 1) * dt
+    s = pdn.step_response(edges)
+    return np.diff(s)
+
+
+def convolve_voltage(pdn, current, clock_hz=NOMINAL_CLOCK_HZ, kernel=None,
+                     initial_current=None):
+    """Per-cycle voltage trace via direct convolution.
+
+    Matches the conventions of :meth:`repro.pdn.discrete.DiscretePdn.simulate`:
+    the network starts in equilibrium at ``initial_current`` (default: the
+    first sample), and ``voltage[n]`` is the die voltage at the *start* of
+    cycle ``n`` -- i.e. cycle ``n``'s own current has not yet acted.
+
+    Only current *deviations* from the initial equilibrium are convolved,
+    so the trace starts exactly at ``vdd - R * initial_current``.
+
+    Args:
+        pdn: a :class:`~repro.pdn.rlc.SecondOrderPdn`.
+        current: 1-D per-cycle current array, amperes.
+        clock_hz: CPU clock frequency.
+        kernel: optional precomputed :func:`pulse_response_kernel`.
+        initial_current: equilibrium current before cycle 0.
+
+    Returns:
+        1-D numpy array of voltages, same length as ``current``.
+    """
+    current = np.asarray(current, dtype=float)
+    if current.ndim != 1:
+        raise ValueError("current must be 1-D, got shape %r" % (current.shape,))
+    if current.size == 0:
+        return np.empty(0)
+    if initial_current is None:
+        initial_current = float(current[0])
+    if kernel is None:
+        kernel = pulse_response_kernel(pdn, clock_hz=clock_hz)
+    deviation = current - initial_current
+    droop = np.convolve(deviation, kernel)[:current.size]
+    vdd = pdn.params.vdd
+    r = pdn.params.resistance
+    baseline = vdd - r * initial_current
+    # voltage[n] reflects currents of cycles 0..n-1 only: shift by one.
+    out = np.empty(current.size)
+    out[0] = baseline
+    out[1:] = baseline - droop[:-1]
+    return out

@@ -1,0 +1,119 @@
+"""ITRS roadmap impedance-trend data behind the paper's Figure 1.
+
+The paper extracts two series from the 2001 ITRS roadmap: the *relative*
+target impedance of power supply networks for cost-performance and
+high-performance systems across technology generations.  Its two
+headline observations are (Section 1):
+
+1. target impedance must drop roughly 2x every 3--5 years, and
+2. the gap between cost-performance and high-performance targets shrinks
+   over time.
+
+The tabulated values below are reconstructed from the roadmap's Vdd,
+maximum-power and maximum-current projections (``Z_target ~ 0.05 * Vdd /
+I_max``), normalized to the 2001 high-performance value, and exhibit both
+trends.  Absolute ohm values for a given design should come from
+:func:`repro.pdn.rlc.PdnParameters.from_spec` instead; this module exists
+to regenerate Figure 1.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ItrsDataPoint:
+    """One roadmap generation.
+
+    Attributes:
+        year: calendar year of the technology node.
+        node_nm: feature size in nanometres.
+        vdd: projected supply voltage, volts.
+        cost_performance: relative target impedance, cost-performance
+            segment (normalized to high-performance 2001 = 1.0).
+        high_performance: relative target impedance, high-performance
+            segment.
+    """
+
+    year: int
+    node_nm: int
+    vdd: float
+    cost_performance: float
+    high_performance: float
+
+
+# Reconstructed from ITRS 2001 projections (Tables 4c/4d style data):
+# Vdd scaling 1.1V -> 0.4V over 2001-2016, high-performance max current
+# growing from ~60A toward ~300A, cost-performance from ~25A toward ~200A.
+_ROADMAP = (
+    ItrsDataPoint(2001, 130, 1.10, 4.00, 1.000),
+    ItrsDataPoint(2002, 115, 1.05, 3.30, 0.870),
+    ItrsDataPoint(2003, 100, 1.00, 2.70, 0.760),
+    ItrsDataPoint(2004, 90, 1.00, 2.20, 0.670),
+    ItrsDataPoint(2005, 80, 0.95, 1.80, 0.580),
+    ItrsDataPoint(2006, 70, 0.90, 1.45, 0.500),
+    ItrsDataPoint(2007, 65, 0.80, 1.15, 0.420),
+    ItrsDataPoint(2010, 45, 0.70, 0.62, 0.270),
+    ItrsDataPoint(2013, 32, 0.50, 0.33, 0.160),
+    ItrsDataPoint(2016, 22, 0.40, 0.18, 0.100),
+)
+
+
+def roadmap():
+    """The full reconstructed roadmap, ordered by year."""
+    return _ROADMAP
+
+
+def impedance_trend(segment="high_performance"):
+    """Return ``(years, relative_impedances)`` for one market segment.
+
+    Args:
+        segment: ``"high_performance"`` or ``"cost_performance"``.
+
+    Returns:
+        Two tuples of equal length.
+    """
+    if segment not in ("high_performance", "cost_performance"):
+        raise ValueError("unknown segment %r" % segment)
+    years = tuple(p.year for p in _ROADMAP)
+    values = tuple(getattr(p, segment) for p in _ROADMAP)
+    return years, values
+
+
+def relative_impedance_trend():
+    """Both Figure 1 series: ``(years, cost_perf, high_perf)``."""
+    years = tuple(p.year for p in _ROADMAP)
+    cost = tuple(p.cost_performance for p in _ROADMAP)
+    high = tuple(p.high_performance for p in _ROADMAP)
+    return years, cost, high
+
+
+def halving_time_years(segment="high_performance"):
+    """Fitted number of years for the target impedance to halve.
+
+    The paper reads "roughly 2x every 3-5 years" off Figure 1; this fits
+    an exponential to the series and reports the halving time so the
+    bench can assert the claim.
+    """
+    years, values = impedance_trend(segment)
+    n = len(years)
+    mean_y = sum(years) / n
+    logs = [math.log(v) for v in values]
+    mean_l = sum(logs) / n
+    cov = sum((y - mean_y) * (l - mean_l) for y, l in zip(years, logs))
+    var = sum((y - mean_y) ** 2 for y in years)
+    slope = cov / var
+    if slope >= 0:
+        raise ValueError("impedance trend is not decreasing")
+    return math.log(0.5) / slope
+
+
+def segment_gap_ratio(year):
+    """Cost-performance / high-performance target ratio at ``year``.
+
+    Figure 1's second observation is that this ratio shrinks over time.
+    """
+    for p in _ROADMAP:
+        if p.year == year:
+            return p.cost_performance / p.high_performance
+    raise KeyError("year %r is not a roadmap generation" % year)

@@ -1,0 +1,171 @@
+"""Two-stage ladder supply network (a later-stage model).
+
+The paper's Section 6 notes that its second-order model is "somewhat
+more abstract than the more detailed circuit models that packaging
+engineers typically rely on" and calls validation across modeling
+levels important long-term work.  This module provides the next rung:
+a fourth-order, two-stage RLC ladder --
+
+    Vreg --R1--L1--+--R2--L2--+---> i_load(t)
+                   |          |
+                  C1         C2
+                   |          |
+                  GND        GND
+
+stage 1 being the board/regulator path into the bulk decoupling C1,
+stage 2 the package path into the on-die decoupling C2.  The ladder has
+a low-frequency board resonance and the mid-frequency package resonance
+the paper studies; :func:`fit_second_order` collapses it back to the
+canonical model so the validation bench can quantify what the
+simplification loses.
+
+States: ``[i_L1, v_1, i_L2, v_2]`` (stage currents and node voltages);
+the die voltage is ``v_2``.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pdn.rlc import (
+    NOMINAL_DC_RESISTANCE,
+    NOMINAL_RESONANT_HZ,
+    NOMINAL_VDD,
+    PdnParameters,
+    SecondOrderPdn,
+)
+from repro.pdn.statespace import StateSpacePdn
+
+
+@dataclass(frozen=True)
+class LadderParameters:
+    """Component values of the two-stage ladder.
+
+    Attributes:
+        r1, l1, c1: board-stage resistance, inductance, bulk decoupling.
+        r2, l2, c2: package-stage resistance, inductance, die decoupling.
+        vdd: regulator voltage.
+    """
+
+    r1: float
+    l1: float
+    c1: float
+    r2: float
+    l2: float
+    c2: float
+    vdd: float = NOMINAL_VDD
+
+    def __post_init__(self):
+        for name in ("r1", "l1", "c1", "r2", "l2", "c2", "vdd"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError("%s must be positive" % name)
+
+    @classmethod
+    def representative(cls, die_resonant_hz=NOMINAL_RESONANT_HZ,
+                       die_peak_impedance=2.6e-3,
+                       dc_resistance=NOMINAL_DC_RESISTANCE,
+                       vdd=NOMINAL_VDD):
+        """A plausible board+package split around a target die stage.
+
+        The package stage is sized like the canonical second-order model
+        (same resonance and peak); the board stage sits two decades
+        lower in frequency with ten times the bulk capacitance, the
+        usual hierarchy (regulator < 1 kHz, board ~ sub-MHz, package
+        tens of MHz).
+        """
+        # Package stage: reuse the canonical sizing.
+        pkg = PdnParameters.from_spec(
+            dc_resistance=dc_resistance * 0.6,
+            resonant_hz=die_resonant_hz,
+            peak_impedance=die_peak_impedance,
+            vdd=vdd)
+        # Board stage: resonance ~100x lower, bulk capacitance much larger.
+        board_f0 = die_resonant_hz / 100.0
+        c1 = pkg.capacitance * 50.0
+        l1 = 1.0 / ((2.0 * math.pi * board_f0) ** 2 * c1)
+        return cls(r1=dc_resistance * 0.4, l1=l1, c1=c1,
+                   r2=pkg.resistance, l2=pkg.inductance, c2=pkg.capacitance,
+                   vdd=vdd)
+
+
+class LadderPdn:
+    """The fourth-order ladder as a :class:`StateSpacePdn`.
+
+    Exposes the same design-level queries as
+    :class:`~repro.pdn.rlc.SecondOrderPdn` where they make sense, plus
+    the state-space machinery for simulation.
+    """
+
+    def __init__(self, params):
+        self.params = params
+        p = params
+        # d i_L1/dt = (Vdd - v1 - R1 i_L1) / L1
+        # d v1/dt   = (i_L1 - i_L2) / C1
+        # d i_L2/dt = (v1 - v2 - R2 i_L2) / L2
+        # d v2/dt   = (i_L2 - i_load) / C2
+        a = np.array([
+            [-p.r1 / p.l1, -1.0 / p.l1, 0.0, 0.0],
+            [1.0 / p.c1, 0.0, -1.0 / p.c1, 0.0],
+            [0.0, 1.0 / p.l2, -p.r2 / p.l2, -1.0 / p.l2],
+            [0.0, 0.0, 1.0 / p.c2, 0.0],
+        ])
+        b = np.array([[0.0], [0.0], [0.0], [-1.0 / p.c2]])
+        w = np.array([p.vdd / p.l1, 0.0, 0.0, 0.0])
+        c = np.array([[0.0, 0.0, 0.0, 1.0]])  # die voltage v2
+        self.model = StateSpacePdn(a, b, w, c)
+
+    @property
+    def vdd(self):
+        """Regulator voltage, volts."""
+        return self.params.vdd
+
+    @property
+    def dc_resistance(self):
+        """Total series resistance seen from the die, ohms."""
+        return self.params.r1 + self.params.r2
+
+    def impedance(self, freq_hz):
+        """|Z(f)| from the die's perspective, ohms."""
+        return self.model.impedance(freq_hz)
+
+    def peak_impedance(self, f_lo=5e6, f_hi=500e6, n_points=20001):
+        """Peak of |Z| in the mid-frequency (package) band."""
+        freqs = np.linspace(f_lo, f_hi, n_points)
+        mags = self.model.impedance(freqs)
+        idx = int(np.argmax(mags))
+        return float(mags[idx]), float(freqs[idx])
+
+    def resonances(self, f_lo=1e4, f_hi=500e6, n_points=4096):
+        """Frequencies of local impedance maxima (board and package)."""
+        freqs = np.geomspace(f_lo, f_hi, n_points)
+        mags = self.model.impedance(freqs)
+        peaks = []
+        for i in range(1, n_points - 1):
+            if mags[i] > mags[i - 1] and mags[i] >= mags[i + 1]:
+                peaks.append(float(freqs[i]))
+        return peaks
+
+    def discretize(self, clock_hz=None):
+        """Exact ZOH discretization at the CPU clock."""
+        from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+        return self.model.discretize(clock_hz or NOMINAL_CLOCK_HZ)
+
+
+def fit_second_order(ladder):
+    """Collapse a ladder to the canonical second-order model.
+
+    Matches the paper's early-stage abstraction: same DC resistance,
+    same package-band resonant frequency, same peak impedance.  The
+    regulator setpoint (vdd) carries over unchanged.
+
+    Returns:
+        A :class:`~repro.pdn.rlc.SecondOrderPdn`.
+    """
+    peak, f_peak = ladder.peak_impedance()
+    params = PdnParameters.from_spec(
+        dc_resistance=ladder.dc_resistance,
+        resonant_hz=f_peak,
+        peak_impedance=peak,
+        vdd=ladder.params.vdd)
+    return SecondOrderPdn(params)

@@ -1,0 +1,183 @@
+"""Per-quadrant (local) supply network -- the paper's Section 6 locality.
+
+"Local power supply swings in different chip quadrants can be an
+important issue to consider, in addition to the more global effects
+considered here."  This module models that next level: a shared package
+stage feeding four on-die quadrant grids, each with its own parasitic
+branch, local decoupling, and local load current::
+
+                       +--Rq,Lq--+-- i_q0(t)
+                       |        Cq
+    Vreg --R0--L0--+---+--Rq,Lq--+-- i_q1(t)
+                   |   |        Cq
+                  C0   +--Rq,Lq--+-- i_q2(t)
+                   |   |        Cq
+                  GND  +--Rq,Lq--+-- i_q3(t)
+                                Cq
+
+Ten states: the package branch current and node voltage, plus a branch
+current and node voltage per quadrant.  Outputs are the four quadrant
+voltages.  A quadrant whose units burst locally droops deeper than the
+die-average voltage -- the effect a global sensor under-reports.
+"""
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pdn.rlc import (
+    NOMINAL_DC_RESISTANCE,
+    NOMINAL_RESONANT_HZ,
+    NOMINAL_VDD,
+)
+from repro.pdn.statespace import StateSpacePdn
+
+#: Number of die quadrants.
+N_QUADRANTS = 4
+
+
+@dataclass(frozen=True)
+class QuadrantParameters:
+    """Component values of the hierarchical network.
+
+    Attributes:
+        r0, l0, c0: shared package branch and on-package bulk decap.
+        rq, lq, cq: per-quadrant branch and local decap (all quadrants
+            identical; asymmetric floorplans can subclass).
+        vdd: regulator voltage.
+    """
+
+    r0: float
+    l0: float
+    c0: float
+    rq: float
+    lq: float
+    cq: float
+    vdd: float = NOMINAL_VDD
+
+    def __post_init__(self):
+        for name in ("r0", "l0", "c0", "rq", "lq", "cq", "vdd"):
+            if getattr(self, name) <= 0.0:
+                raise ValueError("%s must be positive" % name)
+
+    @classmethod
+    def representative(cls, package_resonant_hz=NOMINAL_RESONANT_HZ,
+                       package_peak=2.6e-3,
+                       dc_resistance=NOMINAL_DC_RESISTANCE,
+                       local_resonant_hz=None, vdd=NOMINAL_VDD):
+        """Split a canonical package model into package + quadrant grids.
+
+        The package stage carries the familiar mid-frequency resonance;
+        each quadrant's local grid resonates higher (smaller inductance
+        into a quarter of the die decap), the standard on-die hierarchy.
+        """
+        from repro.pdn.rlc import PdnParameters
+        pkg = PdnParameters.from_spec(dc_resistance=dc_resistance * 0.7,
+                                      resonant_hz=package_resonant_hz,
+                                      peak_impedance=package_peak, vdd=vdd)
+        if local_resonant_hz is None:
+            local_resonant_hz = package_resonant_hz * 4.0
+        cq = pkg.capacitance / N_QUADRANTS
+        lq = 1.0 / ((2.0 * math.pi * local_resonant_hz) ** 2 * cq)
+        return cls(r0=pkg.resistance, l0=pkg.inductance,
+                   c0=pkg.capacitance * 0.5,
+                   rq=dc_resistance * 0.3 * N_QUADRANTS, lq=lq, cq=cq,
+                   vdd=vdd)
+
+
+class QuadrantPdn:
+    """The hierarchical network as a multi-input state-space model.
+
+    Inputs: the four quadrant load currents (amperes).  Outputs: the
+    four quadrant voltages (volts).  Use :meth:`discretize` /
+    :class:`~repro.pdn.statespace.StateSpaceSimulator` for per-cycle
+    simulation in the closed loop.
+    """
+
+    def __init__(self, params):
+        self.params = params
+        p = params
+        n = 2 + 2 * N_QUADRANTS
+        a = np.zeros((n, n))
+        b = np.zeros((n, N_QUADRANTS))
+        w = np.zeros(n)
+        # State order: [i_L0, v0, i_q0, v_q0, i_q1, v_q1, ...].
+        a[0, 0] = -p.r0 / p.l0
+        a[0, 1] = -1.0 / p.l0
+        w[0] = p.vdd / p.l0
+        a[1, 0] = 1.0 / p.c0
+        for q in range(N_QUADRANTS):
+            iq = 2 + 2 * q
+            vq = iq + 1
+            a[1, iq] = -1.0 / p.c0        # branch currents leave node v0
+            a[iq, 1] = 1.0 / p.lq
+            a[iq, vq] = -1.0 / p.lq
+            a[iq, iq] = -p.rq / p.lq
+            a[vq, iq] = 1.0 / p.cq
+            b[vq, q] = -1.0 / p.cq
+        c = np.zeros((N_QUADRANTS, n))
+        for q in range(N_QUADRANTS):
+            c[q, 3 + 2 * q] = 1.0
+        self.model = StateSpacePdn(a, b, w, c)
+
+    @property
+    def vdd(self):
+        """Regulator voltage, volts."""
+        return self.params.vdd
+
+    @property
+    def dc_resistance(self):
+        """Series resistance from the regulator to one quadrant when all
+        quadrants draw equally (package R plus one branch R)."""
+        return self.params.r0 + self.params.rq / 1.0
+
+    def impedance(self, freq_hz, source_quadrant=0, observed_quadrant=0):
+        """|dV_q_observed / dI_q_source| at a frequency, ohms.
+
+        ``source == observed`` gives the local self-impedance; different
+        quadrants give the (smaller) coupling impedance through the
+        shared package node.
+        """
+        return self.model.impedance(freq_hz, input_index=source_quadrant,
+                                    output_index=observed_quadrant)
+
+    def discretize(self, clock_hz=None):
+        """Exact ZOH discretization at the CPU clock."""
+        from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+        return self.model.discretize(clock_hz or NOMINAL_CLOCK_HZ)
+
+
+#: Structure -> quadrant floorplan used by the quadrant power split.
+QUADRANT_FLOORPLAN = {
+    0: ("l1i", "bpred", "decode"),                 # front end
+    1: ("ruu", "regfile", "resultbus"),            # window
+    2: ("int_alu", "int_mult", "fp_alu", "fp_mult"),  # execute
+    3: ("lsq", "l1d", "l2", "memctl"),             # memory
+}
+
+
+def split_power(breakdown, floorplan=None):
+    """Split a power-model breakdown dict into per-quadrant watts.
+
+    Structure power lands in its floorplan quadrant; base power (clock
+    tree, leakage) spreads evenly across the die.
+
+    Args:
+        breakdown: output of
+            :meth:`repro.power.model.PowerModel.breakdown`.
+        floorplan: quadrant -> structure names; defaults to
+            :data:`QUADRANT_FLOORPLAN`.
+
+    Returns:
+        A length-4 numpy array of watts.
+    """
+    floorplan = floorplan or QUADRANT_FLOORPLAN
+    out = np.zeros(N_QUADRANTS)
+    owner = {name: q for q, names in floorplan.items() for name in names}
+    for name, watts in breakdown.items():
+        if name == "base":
+            out += watts / N_QUADRANTS
+        else:
+            out[owner[name]] += watts
+    return out

@@ -1,0 +1,171 @@
+"""Generic linear state-space PDN simulation.
+
+:mod:`repro.pdn.discrete` hand-unrolls the canonical two-state network.
+Higher-fidelity models -- the two-stage ladder of
+:mod:`repro.pdn.ladder`, the multi-quadrant network of
+:mod:`repro.pdn.quadrants` -- have more states and possibly several
+load-current inputs, so this module provides the general machinery:
+exact zero-order-hold discretization of
+
+    dx/dt = A x + B u + w
+
+(``u`` the per-cycle load current vector, ``w`` a constant source term
+from the regulator voltage) and a streaming simulator with the same
+cycle conventions as :class:`~repro.pdn.discrete.PdnSimulator`.
+"""
+
+import numpy as np
+from scipy.linalg import expm
+
+from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+
+
+class StateSpacePdn:
+    """Continuous model ``dx/dt = A x + B u + w``, outputs ``y = C x``.
+
+    Args:
+        a: (n, n) state matrix.
+        b: (n, m) input matrix (m load-current inputs).
+        w: (n,) constant source vector (regulator drive).
+        c: (p, n) output matrix (die voltages of interest).
+    """
+
+    def __init__(self, a, b, w, c):
+        self.a = np.asarray(a, dtype=float)
+        self.b = np.asarray(b, dtype=float)
+        self.w = np.asarray(w, dtype=float)
+        self.c = np.asarray(c, dtype=float)
+        n = self.a.shape[0]
+        if self.a.shape != (n, n):
+            raise ValueError("A must be square")
+        if self.b.ndim != 2 or self.b.shape[0] != n:
+            raise ValueError("B must be (n, m)")
+        if self.w.shape != (n,):
+            raise ValueError("w must be (n,)")
+        if self.c.ndim != 2 or self.c.shape[1] != n:
+            raise ValueError("C must be (p, n)")
+
+    @property
+    def n_states(self):
+        """State dimension."""
+        return self.a.shape[0]
+
+    @property
+    def n_inputs(self):
+        """Number of load-current inputs."""
+        return self.b.shape[1]
+
+    @property
+    def n_outputs(self):
+        """Number of observed voltages."""
+        return self.c.shape[0]
+
+    def equilibrium(self, u):
+        """Steady state for constant input ``u`` (scalar or (m,))."""
+        u = np.broadcast_to(np.asarray(u, dtype=float), (self.n_inputs,))
+        return np.linalg.solve(self.a, -(self.b @ u + self.w))
+
+    def impedance(self, freq_hz, input_index=0, output_index=0):
+        """|dV_out / dI_in| at a frequency (scalar or array), ohms."""
+        f = np.atleast_1d(np.asarray(freq_hz, dtype=float))
+        out = np.empty(f.shape)
+        eye = np.eye(self.n_states)
+        for i, fi in enumerate(f):
+            s = 2j * np.pi * fi
+            h = self.c @ np.linalg.solve(s * eye - self.a, self.b)
+            out[i] = abs(h[output_index, input_index])
+        if np.isscalar(freq_hz):
+            return float(out[0])
+        return out
+
+    def discretize(self, clock_hz=NOMINAL_CLOCK_HZ):
+        """Exact ZOH discretization at the CPU clock."""
+        return DiscreteStateSpace(self, clock_hz)
+
+
+class DiscreteStateSpace:
+    """ZOH form ``x[k+1] = Ad x[k] + Bd u[k] + wd``; ``y = C x``."""
+
+    def __init__(self, model, clock_hz=NOMINAL_CLOCK_HZ):
+        self.model = model
+        self.clock_hz = float(clock_hz)
+        self.dt = 1.0 / self.clock_hz
+        a = model.a
+        self.ad = expm(a * self.dt)
+        a_inv = np.linalg.inv(a)
+        gain = a_inv @ (self.ad - np.eye(model.n_states))
+        self.bd = gain @ model.b
+        self.wd = gain @ model.w
+
+    def simulate(self, currents, initial_current=None):
+        """Output voltage trace for a per-cycle current input.
+
+        Args:
+            currents: (n_cycles,) for a single-input model, or
+                (n_cycles, m).
+            initial_current: equilibrium input before cycle 0 (defaults
+                to the first sample).
+
+        Returns:
+            (n_cycles, p) array of output voltages; squeezed to 1-D for
+            single-output models.
+        """
+        currents = np.asarray(currents, dtype=float)
+        if currents.ndim == 1:
+            currents = currents[:, None]
+        if currents.shape[1] != self.model.n_inputs:
+            raise ValueError("expected %d input columns, got %d"
+                             % (self.model.n_inputs, currents.shape[1]))
+        if initial_current is None:
+            initial_current = currents[0]
+        x = self.model.equilibrium(initial_current)
+        c = self.model.c
+        out = np.empty((currents.shape[0], self.model.n_outputs))
+        for k in range(currents.shape[0]):
+            out[k] = c @ x
+            x = self.ad @ x + self.bd @ currents[k] + self.wd
+        if self.model.n_outputs == 1:
+            return out[:, 0]
+        return out
+
+
+class StateSpaceSimulator:
+    """Streaming per-cycle simulator (the closed-loop counterpart).
+
+    Mirrors :class:`~repro.pdn.discrete.PdnSimulator`: :meth:`step`
+    takes the current drawn during a cycle and returns the output
+    voltage(s) at the start of that cycle.
+    """
+
+    def __init__(self, discrete, initial_current=0.0):
+        if isinstance(discrete, StateSpacePdn):
+            discrete = discrete.discretize()
+        self.discrete = discrete
+        self.reset(initial_current)
+
+    def reset(self, initial_current=0.0):
+        """Return to equilibrium at ``initial_current``."""
+        self._x = self.discrete.model.equilibrium(initial_current)
+        self.cycles = 0
+
+    @property
+    def voltages(self):
+        """Output voltages at the start of the current cycle."""
+        return self.discrete.model.c @ self._x
+
+    @property
+    def voltage(self):
+        """First output voltage (convenience for single-output models)."""
+        return float(self.voltages[0])
+
+    def step(self, current):
+        """Advance one cycle; returns the pre-step output voltage(s)."""
+        v = self.discrete.model.c @ self._x
+        u = np.broadcast_to(np.asarray(current, dtype=float),
+                            (self.discrete.model.n_inputs,))
+        self._x = self.discrete.ad @ self._x + self.discrete.bd @ u \
+            + self.discrete.wd
+        self.cycles += 1
+        if v.shape == (1,):
+            return float(v[0])
+        return v

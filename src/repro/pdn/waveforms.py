@@ -1,0 +1,177 @@
+"""Canonical current stimuli from the paper's Section 2.3.
+
+These builders produce per-cycle current arrays (amperes) matching the
+experiments of Figures 3--6 plus the theoretical worst-case input used by
+the threshold solver:
+
+* :func:`current_spike` -- narrow (Fig 3) and wide (Fig 4) spikes.
+* :func:`notched_spike` -- the "controller kicked in" notched spike (Fig 5).
+* :func:`pulse_train` -- pulses at the resonant frequency (Fig 6).
+* :func:`resonant_square_wave` / :func:`worst_case_waveform` -- the
+  maximum-height square wave at the resonant frequency, the worst case a
+  processor bounded by ``[i_min, i_max]`` can present to the network.
+"""
+
+import math
+
+import numpy as np
+
+from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+
+
+def flat_current(n_cycles, level):
+    """Constant current draw of ``level`` amperes for ``n_cycles``."""
+    _check_positive_length(n_cycles)
+    return np.full(int(n_cycles), float(level))
+
+
+def current_spike(n_cycles, base, peak, start, width):
+    """A rectangular spike on a flat baseline.
+
+    Args:
+        n_cycles: total trace length.
+        base: baseline current, A.
+        peak: current during the spike, A.
+        start: cycle index at which the spike begins.
+        width: spike duration in cycles (Fig 3 uses 5, Fig 4 uses 10 at
+            the paper's illustrative scale).
+
+    Returns:
+        1-D numpy array of currents.
+    """
+    _check_positive_length(n_cycles)
+    if width < 0:
+        raise ValueError("width must be non-negative, got %r" % width)
+    if start < 0:
+        raise ValueError("start must be non-negative, got %r" % start)
+    trace = np.full(int(n_cycles), float(base))
+    trace[int(start):int(start + width)] = float(peak)
+    return trace
+
+
+def notched_spike(n_cycles, base, peak, start, width, notch_start, notch_width,
+                  notch_level=None):
+    """A wide spike with a forced notch back toward the baseline.
+
+    Figure 5's scenario: current spikes high, and partway through the
+    burst the microarchitectural control forces it down (e.g. by gating
+    functional units), giving the network a chance to recover.
+
+    Args:
+        n_cycles: total trace length.
+        base, peak: baseline and spike currents, A.
+        start, width: spike placement, as in :func:`current_spike`.
+        notch_start: cycle offset *within the spike* where the notch begins.
+        notch_width: notch duration in cycles.
+        notch_level: current during the notch; defaults to ``base``.
+
+    Returns:
+        1-D numpy array of currents.
+    """
+    trace = current_spike(n_cycles, base, peak, start, width)
+    if notch_level is None:
+        notch_level = base
+    if notch_start < 0 or notch_start + notch_width > width:
+        raise ValueError("notch [%r, %r) must lie within the spike width %r"
+                         % (notch_start, notch_start + notch_width, width))
+    lo = int(start + notch_start)
+    trace[lo:lo + int(notch_width)] = float(notch_level)
+    return trace
+
+
+def pulse_train(n_cycles, base, peak, start, pulse_width, period, n_pulses):
+    """A train of rectangular pulses (Figure 6).
+
+    The paper stimulates the network with 30-cycle-wide pulses on a
+    60-cycle period -- the resonant period of a 50 MHz package at 3 GHz --
+    and shows the second pulse digs a deeper droop than the first.
+
+    Args:
+        n_cycles: total trace length.
+        base, peak: baseline and pulse currents, A.
+        start: cycle of the first pulse's rising edge.
+        pulse_width: cycles per pulse.
+        period: cycles between successive rising edges.
+        n_pulses: number of pulses.
+
+    Returns:
+        1-D numpy array of currents.
+    """
+    _check_positive_length(n_cycles)
+    if pulse_width > period:
+        raise ValueError("pulse_width (%r) cannot exceed period (%r)"
+                         % (pulse_width, period))
+    trace = np.full(int(n_cycles), float(base))
+    for k in range(int(n_pulses)):
+        lo = int(start + k * period)
+        hi = min(int(n_cycles), lo + int(pulse_width))
+        if lo >= n_cycles:
+            break
+        trace[lo:hi] = float(peak)
+    return trace
+
+
+def resonant_square_wave(pdn, n_cycles, i_min, i_max, clock_hz=NOMINAL_CLOCK_HZ,
+                         start=0, phase_high_first=True):
+    """Square wave between ``i_min`` and ``i_max`` at the PDN resonance.
+
+    This is the theoretical worst case for a load bounded by
+    ``[i_min, i_max]``: a 50% duty-cycle square wave whose period equals
+    the network's resonant period pumps the resonance harder every cycle
+    (Figure 6's effect taken to steady state).  The threshold solver uses
+    it as the adversarial input.
+
+    Args:
+        pdn: a :class:`~repro.pdn.rlc.SecondOrderPdn`, used only for its
+            resonant period.
+        n_cycles: trace length.
+        i_min, i_max: the processor's minimum and maximum current, A.
+        clock_hz: CPU clock frequency.
+        start: cycles of ``i_min`` (or ``i_max``) to hold before the wave
+            begins.
+        phase_high_first: whether the wave starts with its high phase.
+
+    Returns:
+        1-D numpy array of currents.
+    """
+    _check_positive_length(n_cycles)
+    if i_max < i_min:
+        raise ValueError("i_max (%r) must be >= i_min (%r)" % (i_max, i_min))
+    period = pdn.resonant_period_cycles(clock_hz)
+    half = period / 2.0
+    n = int(n_cycles)
+    idx = np.arange(n, dtype=float) - float(start)
+    # Nudge by half a cycle so that phase boundaries landing exactly on a
+    # cycle edge (the common integer-period case) are not split by float
+    # round-off.
+    phase = np.floor_divide(np.maximum(idx, 0.0) + 1e-9, half).astype(int)
+    high = (phase % 2 == 0) if phase_high_first else (phase % 2 == 1)
+    trace = np.where(high, float(i_max), float(i_min))
+    lead = float(i_min) if phase_high_first else float(i_max)
+    trace[:int(start)] = lead
+    return trace
+
+
+def worst_case_waveform(pdn, i_min, i_max, clock_hz=NOMINAL_CLOCK_HZ,
+                        n_periods=20, lead_in=None):
+    """The adversarial input used for control-theoretic threshold design.
+
+    A long resonant square wave preceded by an equilibrium lead-in at
+    ``i_min``, long enough (``n_periods`` resonant periods) that the
+    droop envelope reaches its steady-state worst case.
+
+    Returns:
+        1-D numpy array of currents.
+    """
+    period = pdn.resonant_period_cycles(clock_hz)
+    if lead_in is None:
+        lead_in = int(math.ceil(2 * period))
+    n_cycles = int(math.ceil(lead_in + n_periods * period))
+    return resonant_square_wave(pdn, n_cycles, i_min, i_max,
+                                clock_hz=clock_hz, start=lead_in,
+                                phase_high_first=True)
+
+
+def _check_positive_length(n_cycles):
+    if n_cycles <= 0:
+        raise ValueError("n_cycles must be positive, got %r" % n_cycles)

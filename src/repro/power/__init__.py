@@ -1,0 +1,29 @@
+"""Wattch-style structural power model.
+
+Converts the cycle simulator's per-cycle activity into watts (and, at
+the nominal supply voltage, amperes) the way the paper's modified Wattch
+does (Section 3.1):
+
+* **structural accounting** -- each microarchitectural structure has a
+  maximum power at 3 GHz / 1.0 V and dissipates in proportion to its
+  per-cycle activity (:mod:`repro.power.params`,
+  :mod:`repro.power.model`);
+* **conditional clock gating** -- idle structures fall to a small idle
+  fraction of their maximum, and structures gated by the dI/dt actuator
+  fall further still;
+* **phantom firing** -- an actuated unit group can be charged at full
+  power regardless of useful activity (the voltage-high response);
+* **multi-cycle energy spreading** -- the paper's fix for overestimated
+  current swings: a long operation's energy is spread over its occupancy
+  rather than charged at issue.  Both behaviours are implemented so the
+  ablation bench can quantify the difference.
+
+:mod:`repro.power.trace` provides current-trace containers and energy
+accounting.
+"""
+
+from repro.power.params import PowerParams, STRUCTURES
+from repro.power.model import PowerModel
+from repro.power.trace import CurrentTrace
+
+__all__ = ["PowerParams", "STRUCTURES", "PowerModel", "CurrentTrace"]

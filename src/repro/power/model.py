@@ -1,0 +1,285 @@
+"""Activity -> power conversion.
+
+Every cycle, :meth:`PowerModel.power` maps the simulator's
+:class:`~repro.uarch.activity.CycleActivity` to watts:
+
+``P = base + sum_s max_s * fraction_s``
+
+where ``fraction_s`` is the structure's utilization this cycle, floored
+at the idle factor (conditional clocking), forced to the gated factor if
+the actuator has stopped the structure's clock, and forced to 1.0 if the
+actuator is phantom-firing it.
+"""
+
+from repro.isa.opcodes import InstrClass
+from repro.power.params import DL1_GROUP, FU_GROUP, IL1_GROUP, PowerParams
+
+
+class PowerModel:
+    """Structural power model bound to a machine configuration.
+
+    Args:
+        config: the :class:`~repro.uarch.config.MachineConfig` whose
+            widths normalize activity fractions.
+        params: a :class:`~repro.power.params.PowerParams`; defaults to
+            the canonical 3 GHz / 1.0 V budget.
+    """
+
+    def __init__(self, config, params=None):
+        self.config = config
+        self.params = params or PowerParams()
+        self._pool_counts = {
+            "int_alu": config.n_int_alu,
+            "int_mult": config.n_int_mult,
+            "fp_alu": config.n_fp_alu,
+            "fp_mult": config.n_fp_mult,
+        }
+        # Representative latency per pool for the no-spreading mode (the
+        # energy of an op charged entirely at issue).
+        self._pool_issue_energy_cycles = {
+            "int_alu": config.latencies[InstrClass.IALU],
+            "int_mult": config.latencies[InstrClass.IMULT],
+            "fp_alu": config.latencies[InstrClass.FALU],
+            "fp_mult": config.latencies[InstrClass.FMULT],
+        }
+
+    # ------------------------------------------------------------------
+    # Per-cycle conversion
+    # ------------------------------------------------------------------
+
+    def fractions(self, activity):
+        """Structure -> raw utilization fraction for one cycle.
+
+        Fractions may exceed 1.0 in the no-spreading mode (that is the
+        point of the paper's spreading fix); they are not clamped.
+        """
+        cfg = self.config
+        out = {}
+        out["l1i"] = 1.0 if activity.l1i_accesses else 0.0
+        out["bpred"] = min(1.0, activity.bpred_lookups / 2.0)
+        out["decode"] = min(1.0, activity.decoded / cfg.decode_width)
+        # RUU: dispatch writes, issue selects, writebacks wake up.
+        out["ruu"] = min(1.0, (activity.dispatched + activity.issued_total +
+                               activity.writebacks) / (3.0 * cfg.issue_width))
+        out["lsq"] = min(1.0, activity.issued_mem_port / cfg.n_mem_ports)
+        out["regfile"] = min(1.0, (activity.regfile_reads +
+                                   activity.regfile_writes)
+                             / (3.0 * cfg.issue_width))
+        if self.params.spread_multicycle:
+            out["int_alu"] = activity.busy_int_alu / cfg.n_int_alu
+            out["int_mult"] = activity.busy_int_mult / cfg.n_int_mult
+            out["fp_alu"] = activity.busy_fp_alu / cfg.n_fp_alu
+            out["fp_mult"] = activity.busy_fp_mult / cfg.n_fp_mult
+        else:
+            e = self._pool_issue_energy_cycles
+            out["int_alu"] = (activity.issued_int_alu * e["int_alu"]
+                              / cfg.n_int_alu)
+            out["int_mult"] = (activity.issued_int_mult * e["int_mult"]
+                               / cfg.n_int_mult)
+            out["fp_alu"] = (activity.issued_fp_alu * e["fp_alu"]
+                             / cfg.n_fp_alu)
+            out["fp_mult"] = (activity.issued_fp_mult * e["fp_mult"]
+                              / cfg.n_fp_mult)
+        out["l1d"] = min(1.0, activity.l1d_accesses / cfg.n_mem_ports)
+        out["l2"] = 1.0 if activity.l2_accesses else 0.0
+        out["memctl"] = 1.0 if activity.memory_accesses else 0.0
+        out["resultbus"] = min(1.0, activity.writebacks / cfg.issue_width)
+        return out
+
+    def breakdown(self, activity):
+        """Structure -> watts for one cycle (plus ``"base"``)."""
+        params = self.params
+        fractions = self.fractions(activity)
+        gated = set()
+        phantom = set()
+        if activity.fu_gated:
+            gated.update(FU_GROUP)
+        if activity.fu_phantom:
+            phantom.update(FU_GROUP)
+        if activity.dl1_gated:
+            gated.update(DL1_GROUP)
+        if activity.dl1_phantom:
+            phantom.update(DL1_GROUP)
+        if activity.il1_gated:
+            gated.update(IL1_GROUP)
+        if activity.il1_phantom:
+            phantom.update(IL1_GROUP)
+        out = {"base": params.base_power}
+        for name, max_watts in params.structures.items():
+            if name in phantom:
+                fraction = 1.0
+            elif name in gated:
+                fraction = params.gated_factor
+            else:
+                fraction = max(fractions.get(name, 0.0), params.idle_factor)
+            out[name] = max_watts * fraction
+        return out
+
+    def power(self, activity):
+        """Total watts this cycle.
+
+        Fused equivalent of ``sum(breakdown(activity).values())`` --
+        the closed loop calls this every cycle, so it avoids building
+        the per-structure dictionaries (kept exactly in sync by the
+        ``test_breakdown_sums_to_power`` regression test).
+        """
+        params = self.params
+        s = params.structures
+        idle = params.idle_factor
+        gated = params.gated_factor
+        cfg = self.config
+        total = params.base_power
+
+        def contrib(watts, fraction):
+            return watts * (fraction if fraction > idle else idle)
+
+        # FU group.
+        if activity.fu_phantom:
+            total += s["int_alu"] + s["int_mult"] + s["fp_alu"] + s["fp_mult"]
+        elif activity.fu_gated:
+            total += (s["int_alu"] + s["int_mult"] + s["fp_alu"]
+                      + s["fp_mult"]) * gated
+        elif params.spread_multicycle:
+            total += contrib(s["int_alu"],
+                             activity.busy_int_alu / cfg.n_int_alu)
+            total += contrib(s["int_mult"],
+                             activity.busy_int_mult / cfg.n_int_mult)
+            total += contrib(s["fp_alu"], activity.busy_fp_alu / cfg.n_fp_alu)
+            total += contrib(s["fp_mult"],
+                             activity.busy_fp_mult / cfg.n_fp_mult)
+        else:
+            e = self._pool_issue_energy_cycles
+            total += contrib(s["int_alu"], activity.issued_int_alu
+                             * e["int_alu"] / cfg.n_int_alu)
+            total += contrib(s["int_mult"], activity.issued_int_mult
+                             * e["int_mult"] / cfg.n_int_mult)
+            total += contrib(s["fp_alu"], activity.issued_fp_alu
+                             * e["fp_alu"] / cfg.n_fp_alu)
+            total += contrib(s["fp_mult"], activity.issued_fp_mult
+                             * e["fp_mult"] / cfg.n_fp_mult)
+
+        # Caches under actuator control.
+        if activity.dl1_phantom:
+            total += s["l1d"]
+        elif activity.dl1_gated:
+            total += s["l1d"] * gated
+        else:
+            total += contrib(s["l1d"], min(1.0, activity.l1d_accesses
+                                           / cfg.n_mem_ports))
+        if activity.il1_phantom:
+            total += s["l1i"]
+        elif activity.il1_gated:
+            total += s["l1i"] * gated
+        else:
+            total += contrib(s["l1i"], 1.0 if activity.l1i_accesses else 0.0)
+
+        # Everything else.
+        total += contrib(s["bpred"], min(1.0, activity.bpred_lookups / 2.0))
+        total += contrib(s["decode"],
+                         min(1.0, activity.decoded / cfg.decode_width))
+        total += contrib(s["ruu"], min(1.0, (activity.dispatched
+                                             + activity.issued_total
+                                             + activity.writebacks)
+                                       / (3.0 * cfg.issue_width)))
+        total += contrib(s["lsq"], min(1.0, activity.issued_mem_port
+                                       / cfg.n_mem_ports))
+        total += contrib(s["regfile"], min(1.0, (activity.regfile_reads
+                                                 + activity.regfile_writes)
+                                           / (3.0 * cfg.issue_width)))
+        total += contrib(s["l2"], 1.0 if activity.l2_accesses else 0.0)
+        total += contrib(s["memctl"],
+                         1.0 if activity.memory_accesses else 0.0)
+        total += contrib(s["resultbus"], min(1.0, activity.writebacks
+                                             / cfg.issue_width))
+        return total
+
+    def current(self, activity):
+        """Total amperes this cycle (``P / Vdd``)."""
+        return self.power(activity) / self.params.vdd
+
+    # ------------------------------------------------------------------
+    # Design-level envelope (used by the threshold solver)
+    # ------------------------------------------------------------------
+
+    def max_power(self):
+        """Every structure at full tilt, watts."""
+        return self.params.base_power + self.params.total_structure_power
+
+    def min_power(self):
+        """Everything idle under conditional clocking (no actuation)."""
+        return (self.params.base_power +
+                self.params.idle_factor * self.params.total_structure_power)
+
+    def gated_min_power(self):
+        """Idle machine with all actuator groups clock-gated."""
+        params = self.params
+        actuated = set(FU_GROUP) | set(DL1_GROUP) | set(IL1_GROUP)
+        total = params.base_power
+        for name, watts in params.structures.items():
+            factor = (params.gated_factor if name in actuated
+                      else params.idle_factor)
+            total += watts * factor
+        return total
+
+    def current_envelope(self):
+        """``(i_min, i_max)`` in amperes: the worst-case swing the PDN
+        must be designed against (minimum-power idle to maximum-power
+        burst)."""
+        return (self.min_power() / self.params.vdd,
+                self.max_power() / self.params.vdd)
+
+    #: Activity level assumed for structures that keep running while a
+    #: voltage-low response is active (they are not at max -- commit has
+    #: stalled -- but they are far from idle).
+    BYSTANDER_ACTIVITY = 0.55
+
+    def response_envelope(self, groups=("fu", "dl1", "il1")):
+        """Currents an actuator over ``groups`` can force, amperes.
+
+        Returns ``(i_reduce, i_boost)``:
+
+        * ``i_reduce`` -- the worst-case (highest) current while the
+          actuated groups are clock-gated.  Gating a group does *not*
+          quiesce the rest of the machine: with only the FUs gated, the
+          front end keeps fetching into the window and the memory ports
+          keep issuing, so those bystander structures are charged at
+          :data:`BYSTANDER_ACTIVITY`; adding DL1 stops the memory path;
+          only adding IL1 stalls fetch and lets everything idle.  This
+          is why the FU-only lever is weak -- the paper's finding that
+          FU-only control "does not have the necessary leverage" and
+          destabilizes at larger delays.
+        * ``i_boost`` -- the pessimistic (lowest) current a voltage-high
+          response can force: the actuated groups phantom-fired at full
+          power with everything else idle.
+        """
+        from repro.power.params import DL1_GROUP, FU_GROUP, IL1_GROUP
+        group_structures = {"fu": FU_GROUP, "dl1": DL1_GROUP,
+                            "il1": IL1_GROUP}
+        actuated = set()
+        for g in groups:
+            if g not in group_structures:
+                raise ValueError("unknown actuator group %r" % g)
+            actuated.update(group_structures[g])
+        # Which structures keep running while the reduce response holds.
+        front_end = {"l1i", "bpred", "decode", "ruu"}
+        memory_path = {"lsq", "l1d", "l2", "memctl", "regfile", "resultbus"}
+        if "il1" in groups:
+            bystanders = set()
+        elif "dl1" in groups:
+            bystanders = front_end - set(IL1_GROUP)
+        else:
+            bystanders = (front_end | memory_path) - actuated
+        params = self.params
+        reduce_power = params.base_power
+        boost_power = params.base_power
+        for name, watts in params.structures.items():
+            if name in actuated:
+                reduce_power += watts * params.gated_factor
+                boost_power += watts
+            elif name in bystanders:
+                reduce_power += watts * self.BYSTANDER_ACTIVITY
+                boost_power += watts * params.idle_factor
+            else:
+                reduce_power += watts * params.idle_factor
+                boost_power += watts * params.idle_factor
+        return (reduce_power / params.vdd, boost_power / params.vdd)

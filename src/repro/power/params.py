@@ -1,0 +1,99 @@
+"""Per-structure maximum power figures.
+
+The budget below describes a 3 GHz, 1.0 V, 8-wide out-of-order processor
+-- Wattch's Alpha-like breakdown scaled with the ITRS factors the paper
+cites (Section 3.1).  Absolute watts matter less than the *shape*: which
+structures dominate, what fraction of total power the actuator's unit
+groups control, and how far apart the minimum and maximum power levels
+sit (that distance is the worst-case dI/dt the network must survive).
+
+Structure names here are a contract with
+:class:`repro.power.model.PowerModel`, which knows how to derive each
+structure's per-cycle activity fraction from a
+:class:`~repro.uarch.activity.CycleActivity`.
+"""
+
+from dataclasses import dataclass, field
+
+#: Maximum power (watts) of each conditionally-clocked structure at
+#: 3 GHz / 1.0 V.  Totals ~52.5 W on top of ~12 W of ungated base power.
+STRUCTURES = {
+    # Front end.
+    "l1i": 5.0,        # instruction cache
+    "bpred": 2.0,      # predictor tables + BTB + RAS
+    "decode": 3.5,     # decode/rename
+    # Window.
+    "ruu": 10.5,       # wakeup + select + RUU array
+    "lsq": 3.5,
+    "regfile": 4.5,
+    # Execution (the actuator's "FU" group).
+    "int_alu": 3.5,
+    "int_mult": 1.5,
+    "fp_alu": 3.0,
+    "fp_mult": 2.5,
+    # Memory.
+    "l1d": 8.0,        # data cache
+    "l2": 3.0,
+    "memctl": 1.0,     # memory controller / pins
+    # Result distribution.
+    "resultbus": 3.0,
+}
+
+#: Structures the paper's FU actuator gates or phantom-fires.
+FU_GROUP = ("int_alu", "int_mult", "fp_alu", "fp_mult")
+
+#: Structure gated with the L1 data cache.
+DL1_GROUP = ("l1d",)
+
+#: Structure gated with the L1 instruction cache.
+IL1_GROUP = ("l1i",)
+
+
+@dataclass
+class PowerParams:
+    """Knobs of the power model.
+
+    Attributes:
+        vdd: nominal supply voltage (current = power / vdd).
+        structures: structure -> max watts; defaults to :data:`STRUCTURES`.
+        clock_power: ungateable global clock-tree power, watts.
+        static_power: leakage and always-on logic, watts.
+        idle_factor: fraction of max an idle (conditionally clocked but
+            not actuator-gated) structure dissipates -- Wattch's
+            aggressive-gating style leaves residual clock load.
+        gated_factor: fraction of max an actuator-gated structure
+            dissipates (clock stopped; leakage remains).
+        spread_multicycle: spread a multi-cycle operation's energy over
+            its occupancy (the paper's Wattch fix).  When False, the
+            whole energy is charged in the issue cycle, overestimating
+            current swings.
+    """
+
+    vdd: float = 1.0
+    structures: dict = field(default_factory=lambda: dict(STRUCTURES))
+    clock_power: float = 8.0
+    static_power: float = 4.0
+    idle_factor: float = 0.10
+    gated_factor: float = 0.02
+    spread_multicycle: bool = True
+
+    def __post_init__(self):
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if not 0.0 <= self.gated_factor <= self.idle_factor <= 1.0:
+            raise ValueError(
+                "need 0 <= gated_factor <= idle_factor <= 1, got %r / %r"
+                % (self.gated_factor, self.idle_factor))
+        for name, watts in self.structures.items():
+            if watts < 0:
+                raise ValueError("structure %r has negative power" % name)
+
+    @property
+    def total_structure_power(self):
+        """Sum of all conditionally-clocked maxima, watts."""
+        return sum(self.structures.values())
+
+    @property
+    def base_power(self):
+        """Ungateable power (clock tree + static), watts."""
+        return self.clock_power + self.static_power

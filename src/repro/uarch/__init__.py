@@ -1,0 +1,38 @@
+"""Cycle-level out-of-order processor model.
+
+A from-scratch stand-in for the SimpleScalar/Wattch core the paper
+simulates, configured per its Table 1: an 8-wide machine with a 256-entry
+register update unit (RUU), a 128-entry load/store queue, a combined
+bimodal/gshare branch predictor with BTB and return-address stack, split
+64 KB L1 caches over a 2 MB L2 and 300-cycle memory, and the functional
+unit mix (8 IntALU, 2 IntMult/Div, 4 FPALU, 2 FPMult/Div, 4 memory
+ports).
+
+The simulator is timing-accurate and value-free: it consumes the
+:class:`~repro.isa.instruction.DynamicInst` stream of a workload
+generator and reports, for every cycle, the microarchitectural activity
+(:class:`~repro.uarch.activity.CycleActivity`) that the Wattch-style
+power model converts into current.  Unit groups (functional units, L1
+data cache, L1 instruction cache) expose clock-gating and phantom-firing
+hooks, which is how the paper's dI/dt actuators take hold of the machine.
+"""
+
+from repro.uarch.config import MachineConfig
+from repro.uarch.activity import CycleActivity
+from repro.uarch.branch import CombinedPredictor
+from repro.uarch.cache import Cache, MemoryHierarchy
+from repro.uarch.fu import FuPool, FuComplex
+from repro.uarch.core import Machine
+from repro.uarch.stats import MachineStats
+
+__all__ = [
+    "MachineConfig",
+    "CycleActivity",
+    "CombinedPredictor",
+    "Cache",
+    "MemoryHierarchy",
+    "FuPool",
+    "FuComplex",
+    "Machine",
+    "MachineStats",
+]

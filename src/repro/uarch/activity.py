@@ -1,0 +1,83 @@
+"""Per-cycle microarchitectural activity record.
+
+The power model (:mod:`repro.power`) is structural, in the Wattch style:
+every cycle it converts the counts in this record -- how many
+instructions were fetched, how many operations each functional unit pool
+started, how many cache and register-file accesses occurred -- into a
+power figure.  The cycle simulator fills one :class:`CycleActivity` per
+cycle and hands it over; the record also carries the gating/phantom
+state so conditional clocking can be applied.
+"""
+
+
+class CycleActivity:
+    """Counts of microarchitectural events in one clock cycle."""
+
+    __slots__ = (
+        "cycle",
+        # Front end.
+        "fetched", "l1i_accesses", "bpred_lookups", "decoded",
+        # Window.
+        "dispatched", "ruu_occupancy", "lsq_occupancy",
+        # Issue/execute: operations *started* this cycle per pool.
+        "issued_int_alu", "issued_int_mult", "issued_fp_alu",
+        "issued_fp_mult", "issued_mem_port",
+        # Execute: slots busy this cycle per pool (multi-cycle ops).
+        "busy_int_alu", "busy_int_mult", "busy_fp_alu", "busy_fp_mult",
+        "busy_mem_port",
+        # Memory.
+        "l1d_accesses", "l2_accesses", "memory_accesses",
+        # Back end.
+        "writebacks", "committed", "regfile_reads", "regfile_writes",
+        # Actuator state visible to the power model.
+        "fu_gated", "fu_phantom", "dl1_gated", "dl1_phantom",
+        "il1_gated", "il1_phantom",
+    )
+
+    def __init__(self):
+        self.reset(0)
+
+    def reset(self, cycle):
+        """Zero all counters for a new cycle."""
+        self.cycle = cycle
+        self.fetched = 0
+        self.l1i_accesses = 0
+        self.bpred_lookups = 0
+        self.decoded = 0
+        self.dispatched = 0
+        self.ruu_occupancy = 0
+        self.lsq_occupancy = 0
+        self.issued_int_alu = 0
+        self.issued_int_mult = 0
+        self.issued_fp_alu = 0
+        self.issued_fp_mult = 0
+        self.issued_mem_port = 0
+        self.busy_int_alu = 0
+        self.busy_int_mult = 0
+        self.busy_fp_alu = 0
+        self.busy_fp_mult = 0
+        self.busy_mem_port = 0
+        self.l1d_accesses = 0
+        self.l2_accesses = 0
+        self.memory_accesses = 0
+        self.writebacks = 0
+        self.committed = 0
+        self.regfile_reads = 0
+        self.regfile_writes = 0
+        self.fu_gated = False
+        self.fu_phantom = False
+        self.dl1_gated = False
+        self.dl1_phantom = False
+        self.il1_gated = False
+        self.il1_phantom = False
+
+    @property
+    def issued_total(self):
+        """Operations issued across all pools this cycle."""
+        return (self.issued_int_alu + self.issued_int_mult +
+                self.issued_fp_alu + self.issued_fp_mult +
+                self.issued_mem_port)
+
+    def snapshot(self):
+        """A plain dict copy (for tests and traces)."""
+        return {name: getattr(self, name) for name in self.__slots__}

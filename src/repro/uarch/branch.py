@@ -1,0 +1,210 @@
+"""Branch prediction: combined bimodal/gshare with chooser, BTB, RAS.
+
+Matches Table 1's front end: a combining (tournament) predictor with a
+64 Kbit chooser selecting between a 64 Kbit bimodal table and a 64 Kbit
+gshare, a 1K-entry set-associative branch target buffer, and a 64-entry
+return address stack.
+"""
+
+
+def _saturating_update(counter, taken, maximum=3):
+    """2-bit saturating counter update."""
+    if taken:
+        return counter + 1 if counter < maximum else counter
+    return counter - 1 if counter > 0 else counter
+
+
+class BimodalTable:
+    """PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self.table = [2] * entries  # weakly taken
+
+    def _index(self, pc):
+        return (pc >> 2) & (self.entries - 1)
+
+    def predict(self, pc):
+        """Predicted direction for the branch at ``pc``."""
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        """Train the counter at ``pc`` on the outcome."""
+        i = self._index(pc)
+        self.table[i] = _saturating_update(self.table[i], taken)
+
+
+class GshareTable:
+    """Global-history-xor-PC indexed table of 2-bit counters."""
+
+    def __init__(self, entries, history_bits):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self.history_bits = history_bits
+        self.history_mask = (1 << history_bits) - 1
+        self.history = 0
+        self.table = [2] * entries
+
+    def _index(self, pc):
+        return ((pc >> 2) ^ self.history) & (self.entries - 1)
+
+    def predict(self, pc):
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc, taken):
+        i = self._index(pc)
+        self.table[i] = _saturating_update(self.table[i], taken)
+        self.history = ((self.history << 1) | int(taken)) & self.history_mask
+
+
+class Btb:
+    """Set-associative branch target buffer with LRU replacement."""
+
+    def __init__(self, entries, assoc):
+        if entries % assoc != 0:
+            raise ValueError("entries must be divisible by associativity")
+        self.n_sets = entries // assoc
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("BTB set count must be a power of two")
+        self.assoc = assoc
+        # Each set: list of (tag, target) in LRU order (front = MRU).
+        self.sets = [[] for _ in range(self.n_sets)]
+
+    def _set_and_tag(self, pc):
+        index = (pc >> 2) & (self.n_sets - 1)
+        tag = pc >> 2
+        return self.sets[index], tag
+
+    def lookup(self, pc):
+        """Predicted target for ``pc``, or ``None`` on a BTB miss."""
+        ways, tag = self._set_and_tag(pc)
+        for i, (t, target) in enumerate(ways):
+            if t == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return target
+        return None
+
+    def insert(self, pc, target):
+        """Record (or refresh) the target for the branch at ``pc``."""
+        ways, tag = self._set_and_tag(pc)
+        for i, (t, _) in enumerate(ways):
+            if t == tag:
+                ways.pop(i)
+                break
+        ways.insert(0, (tag, target))
+        if len(ways) > self.assoc:
+            ways.pop()
+
+
+class ReturnAddressStack:
+    """Fixed-depth RAS; overflow wraps (oldest entry lost)."""
+
+    def __init__(self, entries):
+        if entries <= 0:
+            raise ValueError("RAS must have at least one entry")
+        self.entries = entries
+        self.stack = []
+
+    def push(self, return_pc):
+        """Push a return address (a call was predicted)."""
+        self.stack.append(return_pc)
+        if len(self.stack) > self.entries:
+            self.stack.pop(0)
+
+    def pop(self):
+        """Predicted return target, or ``None`` if the stack is empty."""
+        if self.stack:
+            return self.stack.pop()
+        return None
+
+    def __len__(self):
+        return len(self.stack)
+
+
+class Prediction:
+    """Outcome of one front-end lookup."""
+
+    __slots__ = ("taken", "target", "used_gshare")
+
+    def __init__(self, taken, target, used_gshare=False):
+        self.taken = taken
+        self.target = target
+        self.used_gshare = used_gshare
+
+
+class CombinedPredictor:
+    """Tournament predictor + BTB + RAS, with accuracy accounting.
+
+    The simulator asks :meth:`predict` at fetch and calls :meth:`update`
+    at branch resolution with the true outcome; :meth:`update` returns
+    whether the fetch-time prediction was correct (direction *and*
+    target), which is what triggers the pipeline flush and the paper's
+    refill current swing.
+    """
+
+    def __init__(self, config):
+        self.bimodal = BimodalTable(config.bimodal_entries)
+        self.gshare = GshareTable(config.gshare_entries,
+                                  config.gshare_history_bits)
+        self.chooser = BimodalTable(config.chooser_entries)
+        self.btb = Btb(config.btb_entries, config.btb_assoc)
+        self.ras = ReturnAddressStack(config.ras_entries)
+        self.lookups = 0
+        self.mispredictions = 0
+
+    def predict(self, inst):
+        """Predict a branch at fetch time.
+
+        Args:
+            inst: the branch :class:`~repro.isa.instruction.DynamicInst`.
+
+        Returns:
+            A :class:`Prediction`.
+        """
+        self.lookups += 1
+        pc = inst.pc
+        if inst.op.is_return:
+            target = self.ras.pop()
+            return Prediction(taken=True, target=target)
+        if inst.op.is_call:
+            self.ras.push(pc + 4)
+            target = self.btb.lookup(pc)
+            return Prediction(taken=True, target=target)
+        if not inst.op.is_conditional:
+            # Unconditional direct branch: taken, target from BTB.
+            return Prediction(taken=True, target=self.btb.lookup(pc))
+        use_gshare = self.chooser.predict(pc)
+        taken = (self.gshare.predict(pc) if use_gshare
+                 else self.bimodal.predict(pc))
+        target = self.btb.lookup(pc) if taken else None
+        return Prediction(taken=taken, target=target, used_gshare=use_gshare)
+
+    def update(self, inst, prediction):
+        """Train on the resolved outcome; returns ``True`` if mispredicted."""
+        pc = inst.pc
+        actual_taken = inst.taken
+        if inst.op.is_conditional:
+            bim_correct = self.bimodal.predict(pc) == actual_taken
+            gsh_correct = self.gshare.predict(pc) == actual_taken
+            if bim_correct != gsh_correct:
+                self.chooser.update(pc, taken=gsh_correct)
+            self.bimodal.update(pc, actual_taken)
+            self.gshare.update(pc, actual_taken)
+        if actual_taken:
+            self.btb.insert(pc, inst.target)
+        mispredicted = (prediction.taken != actual_taken or
+                        (actual_taken and prediction.target != inst.target))
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def accuracy(self):
+        """Fraction of lookups that were fully correct."""
+        if self.lookups == 0:
+            return 1.0
+        return 1.0 - self.mispredictions / self.lookups

@@ -1,0 +1,130 @@
+"""Set-associative caches and the Table 1 memory hierarchy.
+
+The model is latency-oriented: an access returns the total load-to-use
+latency it would incur and updates tag/LRU state.  Misses are non-blocking
+from the pipeline's perspective (the core schedules completion at
+``now + latency``); bandwidth contention below L1 is not modeled, which
+is the standard early-stage simplification and matches how the paper's
+current traces are shaped (miss *idleness*, not DRAM scheduling, drives
+the dI/dt behaviour).
+"""
+
+
+class Cache:
+    """One set-associative cache level with LRU replacement.
+
+    Attributes:
+        name: label used in stats.
+        hit_latency: cycles for a hit at this level.
+        accesses, misses: counters.
+    """
+
+    def __init__(self, name, size, assoc, line_size, hit_latency):
+        if size <= 0 or assoc <= 0 or line_size <= 0:
+            raise ValueError("cache dimensions must be positive")
+        n_lines = size // line_size
+        if n_lines % assoc != 0:
+            raise ValueError("size/line_size must be divisible by assoc")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_size = line_size
+        self.n_sets = n_lines // assoc
+        if self.n_sets & (self.n_sets - 1):
+            raise ValueError("set count must be a power of two (got %d)"
+                             % self.n_sets)
+        self.hit_latency = hit_latency
+        self.offset_bits = line_size.bit_length() - 1
+        self.set_mask = self.n_sets - 1
+        # sets[i] is a list of tags in LRU order (front = MRU).
+        self.sets = [[] for _ in range(self.n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def lookup(self, addr):
+        """Access the cache; returns ``True`` on hit.  Updates LRU/fills."""
+        self.accesses += 1
+        set_index = (addr >> self.offset_bits) & self.set_mask
+        tag = addr >> self.offset_bits
+        ways = self.sets[set_index]
+        for i, t in enumerate(ways):
+            if t == tag:
+                if i:
+                    ways.insert(0, ways.pop(i))
+                return True
+        self.misses += 1
+        ways.insert(0, tag)
+        if len(ways) > self.assoc:
+            ways.pop()
+        return False
+
+    def contains(self, addr):
+        """Tag check with no side effects (no LRU update, no fill)."""
+        set_index = (addr >> self.offset_bits) & self.set_mask
+        tag = addr >> self.offset_bits
+        return tag in self.sets[set_index]
+
+    def line_of(self, addr):
+        """Line-aligned address containing ``addr``."""
+        return addr >> self.offset_bits << self.offset_bits
+
+    @property
+    def miss_rate(self):
+        """Misses divided by accesses (0.0 when untouched)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset_stats(self):
+        self.accesses = 0
+        self.misses = 0
+
+
+class AccessResult:
+    """Latency and per-level hit record of one hierarchy access."""
+
+    __slots__ = ("latency", "l1_hit", "l2_hit")
+
+    def __init__(self, latency, l1_hit, l2_hit):
+        self.latency = latency
+        self.l1_hit = l1_hit
+        self.l2_hit = l2_hit
+
+
+class MemoryHierarchy:
+    """Split L1s over a unified L2 over fixed-latency main memory."""
+
+    def __init__(self, config):
+        self.config = config
+        self.l1d = Cache("l1d", config.l1d_size, config.l1d_assoc,
+                         config.line_size, config.l1d_latency)
+        self.l1i = Cache("l1i", config.l1i_size, config.l1i_assoc,
+                         config.line_size, config.l1i_latency)
+        self.l2 = Cache("l2", config.l2_size, config.l2_assoc,
+                        config.line_size, config.l2_latency)
+        self.memory_latency = config.memory_latency
+        self.memory_accesses = 0
+
+    def _access(self, l1, addr):
+        if l1.lookup(addr):
+            return AccessResult(l1.hit_latency, True, False)
+        if self.l2.lookup(addr):
+            return AccessResult(l1.hit_latency + self.l2.hit_latency,
+                                False, True)
+        self.memory_accesses += 1
+        latency = l1.hit_latency + self.l2.hit_latency + self.memory_latency
+        return AccessResult(latency, False, False)
+
+    def data_access(self, addr):
+        """A load or store data access; returns an :class:`AccessResult`."""
+        return self._access(self.l1d, addr)
+
+    def inst_access(self, pc):
+        """An instruction fetch access; returns an :class:`AccessResult`."""
+        return self._access(self.l1i, pc)
+
+    def reset_stats(self):
+        self.l1d.reset_stats()
+        self.l1i.reset_stats()
+        self.l2.reset_stats()
+        self.memory_accesses = 0

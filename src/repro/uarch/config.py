@@ -1,0 +1,109 @@
+"""Machine configuration (the paper's Table 1)."""
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import default_intervals, default_latencies
+
+
+@dataclass
+class MachineConfig:
+    """Processor parameters.
+
+    Defaults reproduce Table 1 of the paper; tests and sweeps override
+    individual fields.  All widths are instructions per cycle, latencies
+    are cycles.
+    """
+
+    # Execution core.
+    clock_hz: float = 3.0e9
+    fetch_width: int = 8
+    decode_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+    ruu_size: int = 256
+    lsq_size: int = 128
+    fetch_queue_size: int = 32
+
+    # Functional units (Table 1).
+    n_int_alu: int = 8
+    n_int_mult: int = 2
+    n_fp_alu: int = 4
+    n_fp_mult: int = 2
+    n_mem_ports: int = 4
+
+    # Front end.  The paper notes it added pipeline stages so that refill
+    # after a branch misprediction produces a realistic current swing; the
+    # 10-cycle penalty is the fetch-to-redispatch depth.
+    branch_penalty: int = 10
+
+    # When True, the front end is charged (power-wise) for chasing the
+    # wrong path while a mispredicted branch resolves, instead of going
+    # quiet.  Timing is unaffected -- only the activity record changes.
+    # Off by default: the calibrated experiments use the quiet-shadow
+    # model; the ablation bench quantifies the difference.
+    model_wrong_path: bool = False
+
+    # Branch predictor: combined 64 Kbit chooser / bimodal / gshare
+    # (i.e. 32K 2-bit counters each), 1K-entry BTB, 64-entry RAS.
+    bimodal_entries: int = 32768
+    gshare_entries: int = 32768
+    chooser_entries: int = 32768
+    gshare_history_bits: int = 15
+    btb_entries: int = 1024
+    btb_assoc: int = 4
+    ras_entries: int = 64
+
+    # Memory hierarchy.
+    line_size: int = 64
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 2
+    l1d_latency: int = 2
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 2
+    l1i_latency: int = 1
+    l2_size: int = 2 * 1024 * 1024
+    l2_assoc: int = 4
+    l2_latency: int = 16
+    memory_latency: int = 300
+
+    # Execution latencies / issue intervals per instruction class; copies
+    # of the ISA defaults so a config can be tweaked without global effect.
+    latencies: dict = field(default_factory=default_latencies)
+    intervals: dict = field(default_factory=default_intervals)
+
+    def __post_init__(self):
+        if self.fetch_width <= 0 or self.issue_width <= 0:
+            raise ValueError("pipeline widths must be positive")
+        if self.ruu_size <= 0 or self.lsq_size <= 0:
+            raise ValueError("window sizes must be positive")
+        if self.lsq_size > self.ruu_size:
+            raise ValueError("LSQ cannot be larger than the RUU")
+        for name in ("l1d", "l1i", "l2"):
+            size = getattr(self, name + "_size")
+            assoc = getattr(self, name + "_assoc")
+            if size % (self.line_size * assoc) != 0:
+                raise ValueError("%s: size %d not divisible by line*assoc"
+                                 % (name, size))
+
+    @property
+    def cycle_time(self):
+        """Seconds per cycle."""
+        return 1.0 / self.clock_hz
+
+    def small(self):
+        """A scaled-down copy for fast unit tests (same shape, tiny tables)."""
+        cfg = MachineConfig(
+            clock_hz=self.clock_hz,
+            fetch_width=4, decode_width=4, issue_width=4, commit_width=4,
+            ruu_size=32, lsq_size=16, fetch_queue_size=8,
+            n_int_alu=2, n_int_mult=1, n_fp_alu=2, n_fp_mult=1, n_mem_ports=2,
+            branch_penalty=self.branch_penalty,
+            bimodal_entries=256, gshare_entries=256, chooser_entries=256,
+            gshare_history_bits=8, btb_entries=64, btb_assoc=2, ras_entries=8,
+            line_size=64,
+            l1d_size=4096, l1d_assoc=2, l1d_latency=self.l1d_latency,
+            l1i_size=4096, l1i_assoc=2, l1i_latency=self.l1i_latency,
+            l2_size=64 * 1024, l2_assoc=4, l2_latency=self.l2_latency,
+            memory_latency=self.memory_latency,
+        )
+        return cfg

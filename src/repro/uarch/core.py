@@ -1,0 +1,489 @@
+"""The main cycle loop: an 8-wide out-of-order machine.
+
+Pipeline shape (per cycle, evaluated back to front so that results flow
+with one-cycle granularity)::
+
+    commit <- execute/writeback <- issue <- dispatch <- fetch
+
+* **fetch** pulls up to ``fetch_width`` instructions from the workload's
+  dynamic stream, touching the I-cache per line and consulting the branch
+  predictor.  Fetch breaks on predicted-taken branches, stalls on I-cache
+  misses, and -- since only the correct path exists in the stream --
+  models a misprediction as a fetch hole from the mispredicted fetch to
+  ``resolution + branch_penalty`` (the super-pipelined refill the paper
+  added to Wattch to get realistic current swings).
+* **dispatch** renames register dependences through a producer table and
+  claims RUU (and LSQ) entries.
+* **issue** selects ready entries oldest-first up to ``issue_width``,
+  subject to functional-unit slots, memory ordering, and the actuator's
+  clock gates.
+* **execute** counts down per-entry latency (frozen while the owning
+  unit group is gated), wakes dependents on completion, and resolves
+  branches.
+* **commit** retires done entries in order; stores write the D-cache at
+  commit.
+
+The per-cycle product is a :class:`~repro.uarch.activity.CycleActivity`,
+which the power model converts into amperes.
+"""
+
+import heapq
+
+from repro.isa.opcodes import InstrClass
+from repro.uarch.activity import CycleActivity
+from repro.uarch.branch import CombinedPredictor
+from repro.uarch.cache import MemoryHierarchy
+from repro.uarch.config import MachineConfig
+from repro.uarch.fu import FuComplex
+from repro.uarch.stats import MachineStats
+from repro.uarch.window import (
+    LoadStoreQueue,
+    RuuEntry,
+    ST_DONE,
+    ST_EXECUTING,
+    ST_READY,
+    ST_WAITING,
+)
+
+#: Sentinel for "fetch stalled until a branch resolves".
+_STALL_FOREVER = float("inf")
+
+
+class GatedUnit:
+    """Clock-gating / phantom-firing state for a cache unit group."""
+
+    __slots__ = ("name", "gated", "phantom")
+
+    def __init__(self, name):
+        self.name = name
+        self.gated = False
+        self.phantom = False
+
+
+class Machine:
+    """The out-of-order core.
+
+    Args:
+        config: a :class:`~repro.uarch.config.MachineConfig`.
+        stream: iterable of :class:`~repro.isa.instruction.DynamicInst`
+            in architectural order (from a sequencer or synthesizer).
+
+    The actuation surface used by :mod:`repro.control`:
+
+    * ``machine.fus.gated`` / ``machine.fus.phantom`` -- functional units
+      (fixed and float pipelines; memory ports are not gated, matching
+      the paper's FU actuator).
+    * ``machine.dl1.gated`` / ``machine.dl1.phantom`` -- L1 data cache.
+    * ``machine.il1.gated`` / ``machine.il1.phantom`` -- L1 instruction
+      cache (gating it stalls fetch).
+    """
+
+    def __init__(self, config=None, stream=()):
+        self.config = config or MachineConfig()
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.predictor = CombinedPredictor(self.config)
+        self.fus = FuComplex(self.config)
+        self.dl1 = GatedUnit("dl1")
+        self.il1 = GatedUnit("il1")
+        self.activity = CycleActivity()
+        self.stats = MachineStats()
+
+        self._stream = iter(stream)
+        self._stream_done = False
+        self._next_inst = None
+        self._fetch_queue = []  # (inst, prediction) pairs, program order
+        self._ruu = []          # RuuEntry, program order
+        self._lsq = LoadStoreQueue(self.config.lsq_size)
+        self._producer = {}     # reg index -> producing RuuEntry
+        self._ready = []        # heap of (seq, RuuEntry)
+        self._executing = []    # RuuEntry currently in ST_EXECUTING
+        self._store_waiters = {}  # blocking store RuuEntry -> parked loads
+        self._dl1_parked = []   # loads/stores parked on a gated D-cache
+        self._fetch_stall_until = 0
+        self._last_fetch_line = None
+        self._replay = []       # flushed instructions awaiting re-fetch
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # Public driving interface
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self):
+        """True once the stream is drained and the pipeline is empty."""
+        return (self._peek_inst() is None and
+                not self._fetch_queue and not self._ruu)
+
+    def step(self):
+        """Simulate one clock cycle; returns the cycle's activity record."""
+        activity = self.activity
+        activity.reset(self.cycle)
+        activity.fu_gated = self.fus.gated
+        activity.fu_phantom = self.fus.phantom
+        activity.dl1_gated = self.dl1.gated
+        activity.dl1_phantom = self.dl1.phantom
+        activity.il1_gated = self.il1.gated
+        activity.il1_phantom = self.il1.phantom
+
+        self._commit(activity)
+        self._execute(activity)
+        self._issue(activity)
+        self._dispatch(activity)
+        self._fetch(activity)
+        self.fus.tick()
+
+        pools = self.fus.pools
+        activity.busy_int_alu = pools["int_alu"].busy
+        activity.busy_int_mult = pools["int_mult"].busy
+        activity.busy_fp_alu = pools["fp_alu"].busy
+        activity.busy_fp_mult = pools["fp_mult"].busy
+        activity.busy_mem_port = pools["mem_port"].busy
+        activity.ruu_occupancy = len(self._ruu)
+        activity.lsq_occupancy = len(self._lsq)
+
+        self.stats.record_cycle(activity)
+        self.cycle += 1
+        return activity
+
+    def fast_forward(self, n_instructions):
+        """Functionally warm the machine on the next ``n`` instructions.
+
+        The SimpleScalar-style fast-forward the paper relies on ("after
+        skipping the first billion instructions"): consume instructions
+        from the stream *without* cycle simulation, touching the caches,
+        the branch predictor, the BTB, and the RAS so that a subsequent
+        timed run starts from a warmed state.  Stats counters are left
+        untouched (no cycles pass); cache counters are reset afterwards
+        so miss rates reflect only the timed region.
+
+        Returns the number of instructions actually consumed (less than
+        ``n`` only if the stream ends).
+        """
+        line_mask = ~(self.config.line_size - 1)
+        last_line = None
+        consumed = 0
+        while consumed < n_instructions:
+            inst = self._peek_inst()
+            if inst is None:
+                break
+            self._take_inst()
+            line = inst.pc & line_mask
+            if line != last_line:
+                self.hierarchy.inst_access(inst.pc)
+                last_line = line
+            if inst.is_mem:
+                self.hierarchy.data_access(inst.addr)
+            if inst.is_branch:
+                prediction = self.predictor.predict(inst)
+                self.predictor.update(inst, prediction)
+            consumed += 1
+        self.hierarchy.reset_stats()
+        self.predictor.lookups = 0
+        self.predictor.mispredictions = 0
+        return consumed
+
+    def flush_pipeline(self):
+        """Squash all in-flight work and re-fetch it (Section 6 recovery).
+
+        The paper's default assumption is that actuation can freeze and
+        resume in-flight execution; the alternative it sketches is to
+        flush and replay.  This squashes every un-committed instruction
+        (window, queues, executing operations) back into a replay buffer
+        that fetch will drain before the main stream, and charges the
+        front-end refill penalty.  Cache and predictor *state* survive
+        (only pipeline registers are lost); the RAS may skew slightly on
+        replayed calls/returns, as it does in real machines without RAS
+        checkpointing.
+
+        Returns the number of squashed instructions.
+        """
+        squashed = [entry.inst for entry in self._ruu]
+        squashed.extend(inst for inst, _ in self._fetch_queue)
+        if self._next_inst is not None:
+            # The peeked-but-unfetched instruction follows everything
+            # squashed in program order.
+            squashed.append(self._next_inst)
+            self._next_inst = None
+        self._replay = squashed + self._replay
+        self._ruu = []
+        self._lsq = LoadStoreQueue(self.config.lsq_size)
+        self._producer = {}
+        self._ready = []
+        self._executing = []
+        self._store_waiters = {}
+        self._dl1_parked = []
+        self._fetch_queue = []
+        self._last_fetch_line = None
+        self._fetch_stall_until = self.cycle + self.config.branch_penalty
+        self.stats.flushes += 1
+        return len(squashed)
+
+    def run(self, max_cycles=None, max_instructions=None, cycle_hook=None):
+        """Run until done or a limit is hit.
+
+        Args:
+            max_cycles: stop after this many cycles.
+            max_instructions: stop once this many instructions commit.
+            cycle_hook: optional ``f(machine, activity)`` called per cycle
+                (the closed-loop controller attaches here).
+
+        Returns:
+            The machine's :class:`~repro.uarch.stats.MachineStats`.
+        """
+        while not self.done:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                break
+            if (max_instructions is not None and
+                    self.stats.committed >= max_instructions):
+                break
+            activity = self.step()
+            if cycle_hook is not None:
+                cycle_hook(self, activity)
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+
+    def _commit(self, activity):
+        width = self.config.commit_width
+        ruu = self._ruu
+        while width > 0 and ruu:
+            entry = ruu[0]
+            if entry.state != ST_DONE:
+                break
+            if entry.iclass is InstrClass.STORE:
+                if self.dl1.gated:
+                    break  # store commit needs the D-cache clock
+                self._data_access(entry.inst.addr, activity)
+            ruu.pop(0)
+            if entry.inst.op.iclass.is_memory:
+                self._lsq.commit(entry)
+            dest = entry.inst.dest
+            if dest is not None and self._producer.get(dest) is entry:
+                del self._producer[dest]
+            activity.committed += 1
+            self.stats.committed += 1
+            width -= 1
+
+    def _execute(self, activity):
+        if not self._executing:
+            return
+        fu_gated = self.fus.gated
+        still = []
+        for entry in self._executing:
+            frozen = fu_gated and entry.iclass not in (InstrClass.LOAD,
+                                                       InstrClass.STORE)
+            if not frozen:
+                entry.remaining -= 1
+            if entry.remaining > 0:
+                still.append(entry)
+                continue
+            entry.state = ST_DONE
+            activity.writebacks += 1
+            if entry.inst.dest is not None:
+                activity.regfile_writes += 1
+            for waiter in entry.waiters:
+                waiter.deps -= 1
+                if waiter.deps == 0 and waiter.state == ST_WAITING:
+                    waiter.state = ST_READY
+                    heapq.heappush(self._ready, (waiter.seq, waiter))
+            entry.waiters = []
+            if entry.inst.is_branch:
+                self._resolve_branch(entry)
+        self._executing = still
+
+    def _resolve_branch(self, entry):
+        mispredicted = self.predictor.update(entry.inst, entry.prediction)
+        if mispredicted:
+            # Fetch has been waiting on this branch; restart after the
+            # front-end refill penalty.
+            self._fetch_stall_until = self.cycle + self.config.branch_penalty
+            self.stats.mispredictions += 1
+
+    # _try_issue_entry outcomes.
+    _ISSUED = 0    # claimed an FU slot this cycle
+    _DEFERRED = 1  # structurally blocked; stays in the ready heap
+    _PARKED = 2    # waiting on an event (store issue / D-cache ungate)
+
+    def _issue(self, activity):
+        # Release event-parked memory operations first.
+        if self._dl1_parked and not self.dl1.gated:
+            for entry in self._dl1_parked:
+                heapq.heappush(self._ready, (entry.seq, entry))
+            self._dl1_parked = []
+        width = self.config.issue_width
+        # Bound the number of failed pops: structurally-blocked entries
+        # burn issue attempts (replay slots), keeping the cycle cost and
+        # the modeled issue bandwidth realistic.
+        attempts = width + 8
+        ready = self._ready
+        deferred = []
+        while width > 0 and attempts > 0 and ready:
+            _, entry = heapq.heappop(ready)
+            outcome = self._try_issue_entry(entry, activity)
+            attempts -= 1
+            if outcome == self._ISSUED:
+                width -= 1
+            elif outcome == self._DEFERRED:
+                deferred.append(entry)
+        for entry in deferred:
+            heapq.heappush(ready, (entry.seq, entry))
+
+    def _try_issue_entry(self, entry, activity):
+        iclass = entry.iclass
+        if iclass is InstrClass.LOAD:
+            if self.dl1.gated:
+                self._dl1_parked.append(entry)
+                return self._PARKED
+            blocker = self._lsq.blocking_store(entry)
+            if blocker is not None:
+                self._store_waiters.setdefault(blocker, []).append(entry)
+                return self._PARKED
+            if not self.fus.try_issue(iclass):
+                return self._DEFERRED
+            if self._lsq.load_forwards(entry):
+                latency = self.config.l1d_latency  # store-to-load forward
+            else:
+                latency = self._data_access(entry.inst.addr, activity)
+            entry.remaining = latency
+        elif iclass is InstrClass.STORE:
+            if self.dl1.gated:
+                self._dl1_parked.append(entry)
+                return self._PARKED
+            if not self.fus.try_issue(iclass):
+                return self._DEFERRED
+            entry.remaining = self.config.latencies[iclass]
+            for waiter in self._store_waiters.pop(entry, ()):
+                heapq.heappush(self._ready, (waiter.seq, waiter))
+        else:
+            if not self.fus.try_issue(iclass):
+                return self._DEFERRED
+            entry.remaining = self.config.latencies[iclass]
+        entry.state = ST_EXECUTING
+        self._executing.append(entry)
+        activity.regfile_reads += len(entry.inst.srcs)
+        pool = self.fus.pool_for(iclass).name
+        setattr(activity, "issued_" + pool,
+                getattr(activity, "issued_" + pool) + 1)
+        return self._ISSUED
+
+    def _dispatch(self, activity):
+        width = self.config.decode_width
+        queue = self._fetch_queue
+        while width > 0 and queue:
+            inst, prediction = queue[0]
+            if len(self._ruu) >= self.config.ruu_size:
+                break
+            is_mem = inst.op.iclass.is_memory
+            if is_mem and self._lsq.full:
+                break
+            queue.pop(0)
+            entry = RuuEntry(inst, prediction=prediction)
+            if prediction is not None:
+                entry.mispredicted = (
+                    prediction.taken != inst.taken or
+                    (inst.taken and prediction.target != inst.target))
+            for src in inst.srcs:
+                producer = self._producer.get(src)
+                if producer is not None and producer.state != ST_DONE:
+                    producer.waiters.append(entry)
+                    entry.deps += 1
+            if inst.dest is not None:
+                self._producer[inst.dest] = entry
+            self._ruu.append(entry)
+            if is_mem:
+                self._lsq.dispatch(entry)
+            if entry.deps == 0:
+                entry.state = ST_READY
+                heapq.heappush(self._ready, (entry.seq, entry))
+            activity.dispatched += 1
+            activity.decoded += 1
+            width -= 1
+
+    def _fetch(self, activity):
+        if self.il1.gated or self.cycle < self._fetch_stall_until:
+            if (self.config.model_wrong_path and not self.il1.gated and
+                    self._fetch_stall_until == _STALL_FOREVER):
+                # The real front end chases the wrong path while the
+                # mispredicted branch resolves; charge that activity to
+                # the power model (no architectural effect).
+                activity.l1i_accesses += 1
+                activity.bpred_lookups += 1
+                activity.decoded += self.config.decode_width
+            return
+        width = self.config.fetch_width
+        queue = self._fetch_queue
+        line_mask = ~(self.config.line_size - 1)
+        while width > 0 and len(queue) < self.config.fetch_queue_size:
+            inst = self._peek_inst()
+            if inst is None:
+                return
+            line = inst.pc & line_mask
+            if line != self._last_fetch_line:
+                result = self.hierarchy.inst_access(inst.pc)
+                activity.l1i_accesses += 1
+                if not result.l1_hit:
+                    activity.l2_accesses += 1
+                    if not result.l2_hit:
+                        activity.memory_accesses += 1
+                self._last_fetch_line = line
+                if result.latency > self.config.l1i_latency:
+                    # I-cache miss: this fetch group stops here and fetch
+                    # resumes once the line arrives.
+                    self._fetch_stall_until = self.cycle + result.latency
+                    return
+            self._take_inst()
+            prediction = None
+            if inst.is_branch:
+                activity.bpred_lookups += 1
+                prediction = self.predictor.predict(inst)
+                mispredicted = (
+                    prediction.taken != inst.taken or
+                    (inst.taken and prediction.target != inst.target))
+                queue.append((inst, prediction))
+                activity.fetched += 1
+                self.stats.fetched += 1
+                width -= 1
+                if mispredicted:
+                    # Only the correct path exists in the stream; park
+                    # fetch until the branch resolves and sets the refill
+                    # deadline in _resolve_branch.
+                    self._fetch_stall_until = _STALL_FOREVER
+                    return
+                if prediction.taken:
+                    self._last_fetch_line = None  # redirect breaks the line
+                    return  # taken branches end the fetch group
+                continue
+            queue.append((inst, None))
+            activity.fetched += 1
+            self.stats.fetched += 1
+            width -= 1
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _peek_inst(self):
+        if self._next_inst is None and self._replay:
+            self._next_inst = self._replay.pop(0)
+        if self._next_inst is None and not self._stream_done:
+            try:
+                self._next_inst = next(self._stream)
+            except StopIteration:
+                self._stream_done = True
+        return self._next_inst
+
+    def _take_inst(self):
+        inst = self._next_inst
+        self._next_inst = None
+        return inst
+
+    def _data_access(self, addr, activity):
+        result = self.hierarchy.data_access(addr)
+        activity.l1d_accesses += 1
+        if not result.l1_hit:
+            activity.l2_accesses += 1
+            if not result.l2_hit:
+                activity.memory_accesses += 1
+        return result.latency

@@ -1,0 +1,131 @@
+"""Functional unit pools with clock-gating and phantom-firing hooks.
+
+Table 1's execution resources map onto five pools:
+
+====================  =============================  ==================
+Pool                  Handles                        Count (Table 1)
+====================  =============================  ==================
+``int_alu``           IALU, branch resolution        8
+``int_mult``          IMULT, IDIV                    2
+``fp_alu``            FALU                           4
+``fp_mult``           FMULT, FDIV                    2
+``mem_port``          LOAD, STORE address issue      4
+====================  =============================  ==================
+
+Each pool slot accepts a new operation every *interval* cycles (1 for
+pipelined units, = latency for the divides).  The whole complex exposes
+the two controls the paper's actuators use: **clock gating** (no new
+issue; in-flight operations freeze, because their clocks stop) and
+**phantom firing** (the pool reports full activity to the power model
+while doing no architectural work).
+"""
+
+from repro.isa.opcodes import InstrClass
+
+#: Pool name -> instruction classes it executes.
+POOL_CLASSES = {
+    "int_alu": (InstrClass.IALU, InstrClass.BRANCH, InstrClass.NOP),
+    "int_mult": (InstrClass.IMULT, InstrClass.IDIV),
+    "fp_alu": (InstrClass.FALU,),
+    "fp_mult": (InstrClass.FMULT, InstrClass.FDIV),
+    "mem_port": (InstrClass.LOAD, InstrClass.STORE),
+}
+
+#: Instruction class -> pool name (inverse of POOL_CLASSES).
+CLASS_POOL = {c: pool for pool, classes in POOL_CLASSES.items()
+              for c in classes}
+
+
+class FuPool:
+    """One pool of identical functional units.
+
+    Issue bookkeeping uses per-slot cool-down counters: slot ``i`` can
+    accept an operation when ``cooldown[i] == 0``; issuing an operation
+    with issue interval ``k`` sets it to ``k``.  Counters tick down only
+    on ungated cycles, so gating freezes occupancy exactly as stopping
+    the unit clocks would.
+    """
+
+    __slots__ = ("name", "count", "cooldown", "issued_this_cycle", "busy")
+
+    def __init__(self, name, count):
+        if count <= 0:
+            raise ValueError("pool %r needs at least one unit" % name)
+        self.name = name
+        self.count = count
+        self.cooldown = [0] * count
+        self.issued_this_cycle = 0
+        self.busy = 0  # slots occupied (for activity reporting)
+
+    def try_issue(self, interval):
+        """Claim a free slot for ``interval`` cycles; True on success."""
+        cooldown = self.cooldown
+        for i in range(self.count):
+            if cooldown[i] == 0:
+                cooldown[i] = interval
+                self.issued_this_cycle += 1
+                return True
+        return False
+
+    def tick(self):
+        """Advance one (ungated) cycle."""
+        cooldown = self.cooldown
+        busy = 0
+        for i in range(self.count):
+            if cooldown[i] > 0:
+                cooldown[i] -= 1
+                busy += 1
+        self.busy = busy
+        self.issued_this_cycle = 0
+
+    @property
+    def free_slots(self):
+        """Units in this pool able to accept an operation now."""
+        return sum(1 for c in self.cooldown if c == 0)
+
+
+class FuComplex:
+    """All pools plus the gating/phantom state the actuators drive."""
+
+    def __init__(self, config):
+        self.pools = {
+            "int_alu": FuPool("int_alu", config.n_int_alu),
+            "int_mult": FuPool("int_mult", config.n_int_mult),
+            "fp_alu": FuPool("fp_alu", config.n_fp_alu),
+            "fp_mult": FuPool("fp_mult", config.n_fp_mult),
+            "mem_port": FuPool("mem_port", config.n_mem_ports),
+        }
+        self.intervals = config.intervals
+        #: When True, no pool accepts new operations and in-flight
+        #: execution freezes (the actuator's "voltage low" response).
+        self.gated = False
+        #: When True, the power model charges every pool at full activity
+        #: (the actuator's "voltage high" phantom firing).
+        self.phantom = False
+
+    def pool_for(self, iclass):
+        """The pool that executes instruction class ``iclass``."""
+        return self.pools[CLASS_POOL[iclass]]
+
+    def try_issue(self, iclass):
+        """Attempt to start an operation of class ``iclass`` this cycle."""
+        if self.gated:
+            return False
+        return self.pool_for(iclass).try_issue(self.intervals[iclass])
+
+    def tick(self):
+        """Advance all pools one cycle (no-op while gated: clocks stopped)."""
+        if self.gated:
+            return
+        for pool in self.pools.values():
+            pool.tick()
+
+    def issue_counts(self):
+        """Pool name -> operations issued this cycle (before tick)."""
+        return {name: pool.issued_this_cycle
+                for name, pool in self.pools.items()}
+
+    @property
+    def total_units(self):
+        """Total functional units across all pools."""
+        return sum(pool.count for pool in self.pools.values())

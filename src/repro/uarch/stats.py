@@ -1,0 +1,67 @@
+"""Aggregate run statistics for the cycle simulator."""
+
+
+class MachineStats:
+    """Counters accumulated over a run.
+
+    Attributes:
+        cycles: cycles simulated.
+        committed: instructions retired.
+        fetched: instructions fetched.
+        mispredictions: resolved mispredicted branches.
+        flushes: pipeline flushes (actuation recovery, Section 6).
+        gated_fu_cycles / gated_dl1_cycles / gated_il1_cycles: cycles the
+            respective unit group spent clock-gated by the actuator.
+        phantom_fu_cycles: cycles the FU group spent phantom-firing.
+    """
+
+    def __init__(self):
+        self.cycles = 0
+        self.committed = 0
+        self.fetched = 0
+        self.mispredictions = 0
+        self.flushes = 0
+        self.total_issued = 0
+        self.gated_fu_cycles = 0
+        self.gated_dl1_cycles = 0
+        self.gated_il1_cycles = 0
+        self.phantom_fu_cycles = 0
+
+    def record_cycle(self, activity):
+        """Fold one cycle's activity into the aggregates."""
+        self.cycles += 1
+        self.total_issued += activity.issued_total
+        if activity.fu_gated:
+            self.gated_fu_cycles += 1
+        if activity.dl1_gated:
+            self.gated_dl1_cycles += 1
+        if activity.il1_gated:
+            self.gated_il1_cycles += 1
+        if activity.fu_phantom:
+            self.phantom_fu_cycles += 1
+
+    @property
+    def ipc(self):
+        """Committed instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    def summary(self):
+        """A plain dict of the headline numbers."""
+        return {
+            "cycles": self.cycles,
+            "committed": self.committed,
+            "ipc": self.ipc,
+            "mispredictions": self.mispredictions,
+            "flushes": self.flushes,
+            "gated_fu_cycles": self.gated_fu_cycles,
+            "gated_dl1_cycles": self.gated_dl1_cycles,
+            "gated_il1_cycles": self.gated_il1_cycles,
+            "phantom_fu_cycles": self.phantom_fu_cycles,
+        }
+
+    def __repr__(self):
+        return ("MachineStats(cycles=%d, committed=%d, ipc=%.3f, "
+                "mispredictions=%d)" % (self.cycles, self.committed,
+                                        self.ipc, self.mispredictions))

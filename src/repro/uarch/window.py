@@ -1,0 +1,131 @@
+"""Instruction window structures: RUU entries and the load/store queue.
+
+Following SimpleScalar's design (which the paper's Wattch setup inherits),
+the register update unit (RUU) unifies the reorder buffer and reservation
+stations: every in-flight instruction holds one RUU entry from dispatch
+to commit, and memory operations additionally hold a load/store queue
+(LSQ) entry that enforces memory ordering.
+"""
+
+from repro.isa.opcodes import InstrClass
+
+#: Entry lifecycle states.
+ST_WAITING = 0    # in the window, register operands outstanding
+ST_READY = 1      # operands ready, waiting for issue bandwidth / FU
+ST_EXECUTING = 2  # occupying a functional unit
+ST_DONE = 3       # result produced, waiting to commit
+
+#: Byte granularity at which loads and stores are considered to conflict.
+MEM_GRANULE_BITS = 3
+
+
+def granule_of(addr):
+    """Memory-ordering granule (8-byte aligned block) of an address."""
+    return addr >> MEM_GRANULE_BITS
+
+
+class RuuEntry:
+    """One in-flight instruction.
+
+    Attributes:
+        inst: the :class:`~repro.isa.instruction.DynamicInst`.
+        state: one of the ``ST_*`` constants.
+        deps: number of unavailable register source operands.
+        waiters: entries whose operands this entry produces.
+        remaining: execution cycles left once ``ST_EXECUTING``.
+        prediction: fetch-time branch prediction (branches only).
+        mispredicted: resolved-against-prediction flag (branches only).
+    """
+
+    __slots__ = ("inst", "state", "deps", "waiters", "remaining",
+                 "prediction", "mispredicted")
+
+    def __init__(self, inst, prediction=None):
+        self.inst = inst
+        self.state = ST_WAITING
+        self.deps = 0
+        self.waiters = []
+        self.remaining = 0
+        self.prediction = prediction
+        self.mispredicted = False
+
+    @property
+    def seq(self):
+        """Dynamic sequence number (program order)."""
+        return self.inst.seq
+
+    @property
+    def iclass(self):
+        return self.inst.op.iclass
+
+    def __repr__(self):
+        return "<RuuEntry #%d %s state=%d deps=%d>" % (
+            self.seq, self.inst.op.name, self.state, self.deps)
+
+
+class LoadStoreQueue:
+    """Memory ordering over the in-flight loads and stores.
+
+    The model is conservative but simple: a load may not issue while any
+    un-issued store to the same 8-byte granule sits in the queue; once
+    the conflicting store has issued (its data is ready), the load
+    *forwards* from it and skips the data cache.  Stores write the cache
+    at commit.  This captures what matters for current shaping -- loads
+    serialized behind stores keep units idle -- without a full
+    dependence-speculation model.
+    """
+
+    def __init__(self, capacity):
+        if capacity <= 0:
+            raise ValueError("LSQ capacity must be positive")
+        self.capacity = capacity
+        self.entries = []  # program order
+
+    def __len__(self):
+        return len(self.entries)
+
+    @property
+    def full(self):
+        """Whether the queue has no free entries."""
+        return len(self.entries) >= self.capacity
+
+    def dispatch(self, entry):
+        """Add a load/store entry at dispatch time."""
+        if self.full:
+            raise RuntimeError("dispatch into a full LSQ")
+        self.entries.append(entry)
+
+    def blocking_store(self, entry):
+        """The oldest *older* un-issued store conflicting with this load.
+
+        Returns ``None`` when the load may proceed.  Only stores earlier
+        in program order can block, so the blocking relation is acyclic
+        and loads always eventually unblock.
+        """
+        g = granule_of(entry.inst.addr)
+        for other in self.entries:
+            if other is entry:
+                return None
+            if (other.iclass is InstrClass.STORE and
+                    granule_of(other.inst.addr) == g and
+                    other.state in (ST_WAITING, ST_READY)):
+                return other
+        return None
+
+    def load_forwards(self, entry):
+        """Whether an issued, un-committed older store feeds this load."""
+        g = granule_of(entry.inst.addr)
+        for other in self.entries:
+            if other is entry:
+                return False
+            if (other.iclass is InstrClass.STORE and
+                    granule_of(other.inst.addr) == g and
+                    other.state in (ST_EXECUTING, ST_DONE)):
+                return True
+        return False
+
+    def commit(self, entry):
+        """Remove the (oldest) entry at commit."""
+        if not self.entries or self.entries[0] is not entry:
+            raise RuntimeError("LSQ commit out of order")
+        self.entries.pop(0)

@@ -1,0 +1,47 @@
+"""Workload generators.
+
+Two families, mirroring the paper's evaluation:
+
+* :mod:`repro.workloads.stressmark` -- the dI/dt stressmark of Section
+  3.2: an assembly loop whose long-divide trough and dependent
+  store/ALU burst form a near-square current wave at the package's
+  resonant frequency, plus the auto-tuner that sizes the loop to the
+  resonant period.
+* :mod:`repro.workloads.spec` -- synthetic stand-ins for the 26 SPEC2000
+  benchmarks (the real Alpha binaries being unavailable; see DESIGN.md).
+  Each profile reproduces the characteristics the controller interacts
+  with: instruction mix, ILP, branch predictability, cache behaviour,
+  and -- critically for dI/dt -- the benchmark's phase/burst structure.
+  :mod:`repro.workloads.synthesis` turns a profile into a dynamic
+  instruction stream.
+"""
+
+from repro.workloads.stressmark import (
+    StressmarkSpec,
+    build_stressmark,
+    tune_stressmark,
+)
+from repro.workloads.spec import (
+    SPEC2000,
+    SPEC_INT,
+    SPEC_FP,
+    ACTIVE_BENCHMARKS,
+    get_profile,
+)
+from repro.workloads.synthesis import WorkloadProfile, SyntheticStream
+from repro.workloads.virus import max_power_virus, measure_peak_power
+
+__all__ = [
+    "StressmarkSpec",
+    "build_stressmark",
+    "tune_stressmark",
+    "SPEC2000",
+    "SPEC_INT",
+    "SPEC_FP",
+    "ACTIVE_BENCHMARKS",
+    "get_profile",
+    "WorkloadProfile",
+    "SyntheticStream",
+    "max_power_virus",
+    "measure_peak_power",
+]

@@ -1,0 +1,198 @@
+"""Synthetic profiles for the 26 SPEC2000 benchmarks.
+
+Each profile is a :class:`~repro.workloads.synthesis.WorkloadProfile`
+whose parameters encode the benchmark's published character (instruction
+mix, ILP, cache behaviour, branchiness) and -- the property the paper's
+Figure 10 characterizes -- its *power phase structure*: how strongly and
+how quickly its current draw swings as it alternates between execution
+phases.
+
+The paper's observations this module is calibrated to:
+
+* ``ammp`` "has poor cache performance with many stall cycles and low
+  IPC ... its voltages tend to be quite stable";
+* ``swim`` has "moderately low IPC, but more variations in its
+  behavior", spreading its voltage distribution;
+* eight benchmarks show meaningful voltage variation and are used for
+  the controller studies (:data:`ACTIVE_BENCHMARKS`);
+* under 100% and 200% of target impedance *no* SPEC benchmark has a
+  voltage emergency; a single benchmark crosses at 300% and roughly half
+  at 400%, always at tiny frequencies (Table 2).
+
+These are synthetic stand-ins, not the benchmarks themselves; see
+DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.synthesis import Phase, WorkloadProfile
+
+# ----------------------------------------------------------------------
+# Mix building blocks (fractions are normalized by the synthesizer).
+# ----------------------------------------------------------------------
+
+INT_COMPUTE = {"ialu": 0.62, "imult": 0.04, "load": 0.22, "store": 0.12}
+INT_POINTER = {"ialu": 0.45, "load": 0.38, "store": 0.17}
+INT_MULT_HEAVY = {"ialu": 0.50, "imult": 0.16, "load": 0.22, "store": 0.12}
+FP_VECTOR = {"falu": 0.30, "fmult": 0.22, "load": 0.28, "store": 0.12,
+             "ialu": 0.08}
+FP_COMPUTE = {"falu": 0.34, "fmult": 0.26, "ialu": 0.22, "load": 0.12,
+              "store": 0.06}
+FP_DIVIDE = {"fdiv": 0.10, "falu": 0.25, "fmult": 0.15, "load": 0.30,
+             "ialu": 0.20}
+MEM_STREAM = {"load": 0.45, "store": 0.20, "ialu": 0.30, "imult": 0.05}
+STALL_CHAIN = {"fdiv": 0.16, "load": 0.40, "ialu": 0.44}
+
+
+def _steady(name, mix, dep=8.0, ws=256, stride=0.7, branch=0.12, pred=0.92,
+            code=2048, desc=""):
+    """A single-phase (voltage-stable) profile."""
+    return WorkloadProfile(
+        name=name,
+        phases=(Phase(length=4096, mix=mix, dep_distance=dep, ws_lines=ws,
+                      stride_fraction=stride),),
+        branch_fraction=branch,
+        branch_predictability=pred,
+        code_insts=code,
+        description=desc,
+    )
+
+
+def _phased(name, hot_mix, cold_mix, hot_len, cold_len, hot_dep=16.0,
+            cold_dep=4.0, hot_ws=128, cold_ws=4096, branch=0.08, pred=0.95,
+            stride_hot=0.9, stride_cold=0.5, code=1024, desc=""):
+    """A two-phase (voltage-active) profile.
+
+    The hot phase exposes ILP and hits in the cache (high power); the
+    cold phase serializes behind long dependences and misses (low
+    power).  Short phase lengths put the resulting current square wave
+    near the package's resonant band.
+    """
+    return WorkloadProfile(
+        name=name,
+        phases=(
+            Phase(length=hot_len, mix=hot_mix, dep_distance=hot_dep,
+                  ws_lines=hot_ws, stride_fraction=stride_hot),
+            Phase(length=cold_len, mix=cold_mix, dep_distance=cold_dep,
+                  ws_lines=cold_ws, stride_fraction=stride_cold),
+        ),
+        branch_fraction=branch,
+        branch_predictability=pred,
+        code_insts=code,
+        description=desc,
+    )
+
+
+# ----------------------------------------------------------------------
+# The suite.
+# ----------------------------------------------------------------------
+
+SPEC_INT = {
+    "gzip": _steady("gzip", INT_COMPUTE, dep=6.0, ws=1024, branch=0.11,
+                    desc="compression; steady integer pipeline"),
+    "vpr": _steady("vpr", INT_POINTER, dep=4.0, ws=4096, stride=0.4,
+                   branch=0.13, pred=0.88,
+                   desc="place & route; pointer chasing"),
+    "gcc": _phased("gcc", INT_COMPUTE, INT_POINTER, hot_len=190,
+                   cold_len=64, hot_dep=12.0, cold_dep=3.0, hot_ws=512,
+                   cold_ws=4096, branch=0.16, pred=0.86, code=6144,
+                   desc="compiler; branchy with bursty phases"),
+    "mcf": _steady("mcf", INT_POINTER, dep=2.0, ws=65536, stride=0.1,
+                   branch=0.12, pred=0.85,
+                   desc="network simplex; memory-bound, very low IPC"),
+    "crafty": _steady("crafty", INT_MULT_HEAVY, dep=10.0, ws=512,
+                      branch=0.14, pred=0.90,
+                      desc="chess; integer ILP with multiplies"),
+    "parser": _steady("parser", INT_POINTER, dep=4.0, ws=2048, stride=0.5,
+                      branch=0.15, pred=0.87,
+                      desc="link grammar; pointer-heavy"),
+    "eon": _phased("eon", FP_COMPUTE, STALL_CHAIN, hot_len=170,
+                   cold_len=50, hot_dep=16.0, cold_dep=3.0, hot_ws=256,
+                   cold_ws=1024, branch=0.10, pred=0.93,
+                   desc="C++ ray tracer; alternating fp/int bursts"),
+    "perlbmk": _steady("perlbmk", INT_COMPUTE, dep=6.0, ws=1024,
+                       branch=0.17, pred=0.89, code=8192,
+                       desc="perl interpreter; branchy, big code"),
+    "gap": _steady("gap", INT_MULT_HEAVY, dep=7.0, ws=2048, branch=0.10,
+                   desc="group theory; integer arithmetic"),
+    "vortex": _steady("vortex", INT_COMPUTE, dep=6.0, ws=4096, branch=0.13,
+                      pred=0.91, code=12288,
+                      desc="OO database; large instruction footprint"),
+    "bzip2": _steady("bzip2", INT_COMPUTE, dep=5.0, ws=8192, stride=0.6,
+                     branch=0.11,
+                     desc="compression; steady with working-set pressure"),
+    "twolf": _steady("twolf", INT_POINTER, dep=3.0, ws=8192, stride=0.3,
+                     branch=0.14, pred=0.88,
+                     desc="place & route; cache-missy"),
+}
+
+SPEC_FP = {
+    "wupwise": _steady("wupwise", FP_COMPUTE, dep=14.0, ws=512, branch=0.04,
+                       pred=0.98,
+                       desc="lattice QCD; regular fp compute"),
+    "swim": _phased("swim", FP_VECTOR, MEM_STREAM, hot_len=180,
+                    cold_len=60, hot_dep=20.0, cold_dep=3.0, hot_ws=128,
+                    cold_ws=8192, branch=0.03, pred=0.99,
+                    desc="shallow water; streaming with strong phases"),
+    "mgrid": _phased("mgrid", FP_VECTOR, MEM_STREAM, hot_len=200,
+                     cold_len=56, hot_dep=18.0, cold_dep=3.0, hot_ws=256,
+                     cold_ws=8192, branch=0.03, pred=0.99,
+                     desc="multigrid; grid sweeps with refill dips"),
+    "applu": _steady("applu", FP_VECTOR, dep=12.0, ws=4096, branch=0.04,
+                     pred=0.98,
+                     desc="SSOR solver; steady vector fp"),
+    "mesa": _steady("mesa", FP_COMPUTE, dep=9.0, ws=1024, branch=0.09,
+                    pred=0.94,
+                    desc="software rendering; mixed fp/int"),
+    "galgel": _phased("galgel", FP_COMPUTE, STALL_CHAIN, hot_len=130,
+                      cold_len=36, hot_dep=20.0, cold_dep=1.5, hot_ws=128,
+                      cold_ws=2048, branch=0.05, pred=0.97,
+                      desc="fluid dynamics; sharp burst/stall alternation"),
+    "art": _phased("art", MEM_STREAM, STALL_CHAIN, hot_len=210,
+                   cold_len=70, hot_dep=10.0, cold_dep=2.5, hot_ws=2048,
+                   cold_ws=16384, branch=0.06, pred=0.95,
+                   desc="neural net; streaming with stall phases"),
+    "equake": _steady("equake", MEM_STREAM, dep=5.0, ws=16384, stride=0.4,
+                      branch=0.07, pred=0.95,
+                      desc="sparse solver; memory bound"),
+    "facerec": _phased("facerec", FP_VECTOR, STALL_CHAIN, hot_len=150,
+                       cold_len=44, hot_dep=18.0, cold_dep=2.0, hot_ws=256,
+                       cold_ws=4096, branch=0.06, pred=0.96,
+                       desc="face recognition; fft bursts"),
+    "ammp": _steady("ammp", STALL_CHAIN, dep=2.0, ws=32768, stride=0.15,
+                    branch=0.06, pred=0.95,
+                    desc="molecular dynamics; many stalls, low and "
+                         "stable power (paper's stable example)"),
+    "lucas": _steady("lucas", FP_COMPUTE, dep=11.0, ws=2048, branch=0.02,
+                     pred=0.99,
+                     desc="primality; long fp chains"),
+    "fma3d": _steady("fma3d", FP_VECTOR, dep=10.0, ws=4096, branch=0.07,
+                     pred=0.95,
+                     desc="crash simulation; steady fp"),
+    "sixtrack": _phased("sixtrack", FP_COMPUTE, FP_DIVIDE, hot_len=140,
+                        cold_len=40, hot_dep=18.0, cold_dep=2.0,
+                        hot_ws=256, cold_ws=2048, branch=0.04, pred=0.98,
+                        desc="particle tracking; divide-stall phases"),
+    "apsi": _steady("apsi", FP_VECTOR, dep=9.0, ws=4096, branch=0.05,
+                    pred=0.97,
+                    desc="meteorology; steady vector fp"),
+}
+
+#: name -> profile, all 26 benchmarks.
+SPEC2000 = {**SPEC_INT, **SPEC_FP}
+
+#: The eight benchmarks with meaningful voltage variation that the paper
+#: uses for its controller studies (Sections 4.4--5.3).
+ACTIVE_BENCHMARKS = ("swim", "mgrid", "gcc", "galgel", "facerec",
+                     "sixtrack", "eon", "art")
+
+
+def get_profile(name):
+    """Look up a benchmark profile by name.
+
+    Raises:
+        KeyError: with the list of known names, for typo-friendliness.
+    """
+    try:
+        return SPEC2000[name]
+    except KeyError:
+        raise KeyError("unknown benchmark %r; known: %s"
+                       % (name, ", ".join(sorted(SPEC2000)))) from None

@@ -1,0 +1,181 @@
+"""The dI/dt stressmark (paper Section 3.2).
+
+The loop has the exact structure of the paper's Figure 8:
+
+1. a **trough**: a chain of dependent ``divt`` operations whose long,
+   unpipelined latency stalls the machine at its minimum power;
+2. a **bridge**: ``stt f -> ldq r -> cmovne`` moves the divide result
+   into the integer domain through a store-to-load forward, so that
+   *everything* in the burst is data-dependent on the divide chain and
+   cannot start early;
+3. a **burst**: a wide block of stores and ALU operations, all dependent
+   on the bridged register, that the out-of-order core (window filled
+   during the trough) then issues at full width.
+
+The loop's execution time must match the supply network's resonant
+period; as the paper notes, "adding instructions to manipulate operands
+or increase functional unit activity can affect the loop timing and move
+it off the resonant frequency", so :func:`tune_stressmark` measures the
+achieved period in the cycle simulator and adjusts the burst size until
+the loop resonates.
+"""
+
+from dataclasses import dataclass, replace
+
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import Sequencer
+
+
+@dataclass(frozen=True)
+class StressmarkSpec:
+    """Shape parameters of the stressmark loop.
+
+    Attributes:
+        n_divides: length of the dependent ``divt`` chain (trough).
+        burst_groups: number of 8-instruction burst groups; each group is
+            4 dependent stores + 3 dependent integer ops + 1 FP op, sized
+            to saturate an 8-wide machine for one cycle.
+        unroll: how many copies of the whole body per backward branch
+            (keeps the taken-branch fetch break rare).
+    """
+
+    n_divides: int = 2
+    burst_groups: int = 26
+    unroll: int = 1
+
+    def __post_init__(self):
+        if self.n_divides < 1:
+            raise ValueError("need at least one divide in the trough")
+        if self.burst_groups < 1:
+            raise ValueError("need at least one burst group")
+        if self.unroll < 1:
+            raise ValueError("unroll must be >= 1")
+
+
+#: One burst group: every instruction depends (directly or through the
+#: group's own chain) on r3, the bridged divide result, so the burst
+#: cannot begin until the trough ends.  4 stores + 3 int ops + 1 FP op.
+_BURST_GROUP = """\
+    stq   r3, 0(r4)
+    stq   r3, 8(r4)
+    stq   r3, 16(r4)
+    stq   r3, 24(r4)
+    addq  r8, r3, r3
+    xor   r9, r3, r8
+    addq  r10, r3, r9
+    addt  f5, f3, f3
+"""
+
+
+def stressmark_text(spec):
+    """Assembly text of the stressmark loop for ``spec``."""
+    body = []
+    for u in range(spec.unroll):
+        body.append("    ldt   f1, 0(r4)")
+        # Dependent divide chain: f3 <- ... <- f1.
+        body.append("    divt  f3, f1, f2")
+        for _ in range(spec.n_divides - 1):
+            body.append("    divt  f3, f3, f2")
+        # Bridge to the integer domain (the paper's stt/ldq/cmovne).
+        body.append("    stt   f3, 32(r4)")
+        body.append("    ldq   r7, 32(r4)")
+        body.append("    cmovne r3, r31, r7")
+        for _ in range(spec.burst_groups):
+            body.append(_BURST_GROUP.rstrip("\n"))
+    return "loop:\n" + "\n".join(body) + "\n    br loop\n"
+
+
+def build_stressmark(spec=None, max_instructions=None):
+    """Assemble the stressmark and return ``(program, spec)``.
+
+    Use :class:`~repro.isa.program.Sequencer` (or
+    :func:`stressmark_stream`) to unroll it for the simulator.
+    """
+    spec = spec or StressmarkSpec()
+    return assemble(stressmark_text(spec)), spec
+
+
+def stressmark_stream(spec=None, max_instructions=None):
+    """A ready-to-simulate dynamic instruction stream."""
+    program, spec = build_stressmark(spec)
+    return Sequencer(program, max_instructions=max_instructions)
+
+
+def body_length(spec):
+    """Static instructions per loop iteration (including the branch)."""
+    per_unroll = 1 + spec.n_divides + 3 + 8 * spec.burst_groups
+    return per_unroll * spec.unroll + 1
+
+
+def measure_period(spec, config, warmup_iterations=4, measure_iterations=8):
+    """Measured cycles per loop iteration on the cycle simulator.
+
+    Runs enough iterations to reach steady state, then reports the
+    average iteration time over the measurement window.
+    """
+    from repro.uarch.core import Machine
+
+    n_body = body_length(spec)
+    total_iters = warmup_iterations + measure_iterations
+    stream = stressmark_stream(spec,
+                               max_instructions=n_body * total_iters)
+    machine = Machine(config, stream)
+    # Track iteration completion via committed-instruction counts.
+    boundary = []
+    committed_target = n_body
+    while not machine.done and machine.cycle < 10_000_000:
+        machine.step()
+        if machine.stats.committed >= committed_target:
+            boundary.append(machine.cycle)
+            committed_target += n_body
+    if len(boundary) <= warmup_iterations + 1:
+        raise RuntimeError("stressmark did not complete enough iterations")
+    window = boundary[warmup_iterations:]
+    return (window[-1] - window[0]) / (len(window) - 1)
+
+
+def tune_stressmark(pdn, config, max_rounds=8, tolerance_cycles=2.0):
+    """Size the stressmark loop to the PDN's resonant period.
+
+    Iteratively adjusts the burst size so the measured loop period in the
+    cycle simulator matches ``pdn.resonant_period_cycles``.  The divide
+    chain is sized first (each unpipelined divide contributes its full
+    latency to the trough); the burst then absorbs the residual.
+
+    Args:
+        pdn: a :class:`~repro.pdn.rlc.SecondOrderPdn`.
+        config: the :class:`~repro.uarch.config.MachineConfig` to tune on.
+        max_rounds: tuning iterations.
+        tolerance_cycles: stop when the measured period is within this
+            many cycles of the target.
+
+    Returns:
+        ``(spec, measured_period)``.
+    """
+    target = pdn.resonant_period_cycles(config.clock_hz)
+    div_latency = config.latencies[InstrClass.FDIV]
+    # Trough of roughly half the period.
+    n_div = max(1, int(round((target / 2.0) / div_latency)))
+    # First guess: the burst retires at about half the issue width (the
+    # stores serialize on 4 memory ports while ALU ops fill the rest).
+    groups = max(1, int(round((target / 2.0) * config.issue_width / 2 / 8)))
+    spec = StressmarkSpec(n_divides=n_div, burst_groups=groups)
+    measured = measure_period(spec, config)
+    for _ in range(max_rounds):
+        error = target - measured
+        if abs(error) <= tolerance_cycles:
+            break
+        # Each burst group is 8 instructions; estimate the retire rate
+        # from the current measurement to convert cycles to groups.
+        cycles_per_group = max(0.5, (measured - n_div * div_latency)
+                               / spec.burst_groups)
+        delta = int(round(error / cycles_per_group))
+        if delta == 0:
+            delta = 1 if error > 0 else -1
+        groups = max(1, spec.burst_groups + delta)
+        if groups == spec.burst_groups:
+            break
+        spec = replace(spec, burst_groups=groups)
+        measured = measure_period(spec, config)
+    return spec, measured

@@ -1,0 +1,358 @@
+"""Synthetic workload synthesis.
+
+Real SPEC2000 Alpha binaries are not available to this reproduction (see
+DESIGN.md), so each benchmark is replaced by a *profile*: a statistical
+description of the properties the dI/dt controller actually interacts
+with.  :class:`SyntheticStream` turns a profile into an endless
+:class:`~repro.isa.instruction.DynamicInst` stream.
+
+The synthesis is two-staged, the way real programs behave:
+
+1. **Static body construction** -- for each phase, a fixed sequence of
+   instruction *slots* (opcode, registers, branch sites with their
+   bias, memory slots with their access pattern) is built once from the
+   profile's statistics.  Phase bodies are concatenated -- replicated if
+   needed to reach the profile's code footprint -- into one cyclic
+   super-loop of stable PCs, so branch predictors, BTBs, and the
+   instruction cache warm up exactly as they would on real code.
+2. **Dynamic unrolling** -- the stream walks the super-loop forever.
+   Only data-dependent properties vary per visit: outcomes at the
+   unpredictable branch sites, and addresses at the random-access memory
+   slots (strided slots advance a per-region stride stream).
+
+Phases differ in instruction mix, exposed ILP, and working-set size,
+which is what creates the current-draw phases the paper's Figure 10
+characterizes.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.isa.instruction import DynamicInst
+from repro.isa.opcodes import OPCODES
+
+#: Instruction "kinds" a mix distributes probability over, with the
+#: concrete mnemonic used for each.
+KIND_OPCODES = {
+    "ialu": OPCODES["addq"],
+    "imult": OPCODES["mulq"],
+    "idiv": OPCODES["divq"],
+    "falu": OPCODES["addt"],
+    "fmult": OPCODES["mult"],
+    "fdiv": OPCODES["divt"],
+    "load": OPCODES["ldq"],
+    "store": OPCODES["stq"],
+}
+
+_INT_REG_POOL = tuple(range(1, 31))          # r1..r30
+_FP_REG_POOL = tuple(range(33, 63))          # f1..f30
+_FP_KINDS = frozenset(("falu", "fmult", "fdiv"))
+
+# Slot type tags.
+_OP = 0        # plain operation (may be a memory op)
+_BR_FIXED = 1  # conditional branch with a fixed direction
+_BR_RAND = 2   # conditional branch with coin-flip outcomes
+_JUMP = 3      # unconditional branch closing a region
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One execution phase of a workload.
+
+    Attributes:
+        length: phase duration in instructions (also its body size in
+            the super-loop).
+        mix: kind -> probability (need not include every kind; missing
+            kinds get 0).  Probabilities are normalized.
+        dep_distance: mean producer-to-consumer distance in instructions;
+            small values serialize execution, large values expose ILP.
+        ws_lines: data working set in cache lines; small sets hit in L1,
+            huge sets stream through to memory.
+        stride_fraction: fraction of memory slots that walk the working
+            set sequentially (the rest pick uniform random lines each
+            visit).
+    """
+
+    length: int
+    mix: dict
+    dep_distance: float = 8.0
+    ws_lines: int = 256
+    stride_fraction: float = 0.7
+
+    def __post_init__(self):
+        if self.length < 4:
+            raise ValueError("phase length must be >= 4")
+        if self.dep_distance < 1.0:
+            raise ValueError("dep_distance must be >= 1")
+        if self.ws_lines < 1:
+            raise ValueError("ws_lines must be >= 1")
+        if not 0.0 <= self.stride_fraction <= 1.0:
+            raise ValueError("stride_fraction must be in [0, 1]")
+        unknown = set(self.mix) - set(KIND_OPCODES)
+        if unknown:
+            raise ValueError("unknown instruction kinds: %r" % sorted(unknown))
+        if any(v < 0 for v in self.mix.values()):
+            raise ValueError("mix probabilities must be non-negative")
+        if sum(self.mix.values()) <= 0:
+            raise ValueError("mix must have positive total weight")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """A synthetic benchmark.
+
+    Attributes:
+        name: benchmark label (e.g. ``"swim"``).
+        phases: the repeating phase sequence.
+        branch_fraction: fraction of body slots that are conditional
+            branches (on top of region-closing jumps).
+        branch_predictability: fraction of branch *sites* whose outcome
+            is a fixed per-site direction (learnable); remaining sites
+            flip coins with ``taken_rate`` on every visit.
+        taken_rate: taken probability at the random sites.
+        code_insts: target code footprint in instructions.  The phase
+            cycle is replicated with distinct code regions until the
+            super-loop reaches at least this size, so a big-code
+            benchmark (gcc, vortex) pressures the I-cache even though
+            its phases are short.
+        description: one-line characterization (documentation only).
+    """
+
+    name: str
+    phases: tuple
+    branch_fraction: float = 0.12
+    branch_predictability: float = 0.9
+    taken_rate: float = 0.5
+    code_insts: int = 2048
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.phases:
+            raise ValueError("profile needs at least one phase")
+        if not 0.0 <= self.branch_fraction < 0.5:
+            raise ValueError("branch_fraction must be in [0, 0.5)")
+        if not 0.0 <= self.branch_predictability <= 1.0:
+            raise ValueError("branch_predictability must be in [0, 1]")
+        if not 0.0 <= self.taken_rate <= 1.0:
+            raise ValueError("taken_rate must be in [0, 1]")
+        if self.code_insts < 16:
+            raise ValueError("code_insts must be >= 16")
+
+    def stream(self, seed=0, max_instructions=None):
+        """A fresh dynamic-instruction stream for this profile."""
+        return SyntheticStream(self, seed=seed,
+                               max_instructions=max_instructions)
+
+
+class _Slot:
+    """One static instruction slot in the super-loop."""
+
+    __slots__ = ("kind", "op", "dest", "srcs", "taken", "target",
+                 "addr_random", "region", "space", "ws_lines", "line_offset")
+
+    def __init__(self, kind, op=None, dest=None, srcs=(), taken=None,
+                 target=None, addr_random=False, region=0, space=0,
+                 ws_lines=1, line_offset=0):
+        self.kind = kind
+        self.op = op
+        self.dest = dest
+        self.srcs = srcs
+        self.taken = taken
+        self.target = target
+        self.addr_random = addr_random
+        self.region = region
+        self.space = space
+        self.ws_lines = ws_lines
+        self.line_offset = line_offset
+
+
+class SyntheticStream:
+    """Iterator of :class:`DynamicInst` realizing a profile.
+
+    Deterministic for a given ``(profile, seed)`` pair.
+    """
+
+    _CODE_BASE = 0x400000
+    _LOAD_BASE = 0x10000000
+    _STORE_BASE = 0x20000000
+    _REGION_STRIDE = 0x1000000
+    _LINE = 64
+
+    def __init__(self, profile, seed=0, max_instructions=None):
+        self.profile = profile
+        self.seed = seed
+        self.max_instructions = max_instructions
+        self._rng = random.Random(seed)
+        self._build_rng = random.Random((seed << 16) ^ 0x5EED)
+        self._slots = []
+        self._stride_pos = {}   # region id -> current stride line
+        self._build_body()
+        self._seq = 0
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Static body construction
+    # ------------------------------------------------------------------
+
+    def _build_body(self):
+        profile = self.profile
+        phase_cycle_len = sum(p.length for p in profile.phases)
+        copies = max(1, round(profile.code_insts / phase_cycle_len))
+        region = 0
+        for _ in range(copies):
+            for phase_idx, phase in enumerate(profile.phases):
+                self._build_region(phase, region, phase_idx)
+                region += 1
+        # Close the super-loop: retarget the last region's jump to slot 0.
+        self._slots[-1].target = 0
+
+    def _build_region(self, phase, region, phase_idx):
+        """Append one phase body (a code region ending in a jump)."""
+        rng = self._build_rng
+        profile = self.profile
+        base = len(self._slots)
+        n = phase.length
+        mix_cdf = self._make_cdf(phase.mix)
+        recent_int = []
+        recent_fp = []
+        self._stride_pos[region] = 0
+        i = 0
+        while i < n - 1:
+            pos = base + i
+            at_branch_site = (rng.random() < profile.branch_fraction
+                              and i < n - 3)
+            if at_branch_site:
+                src = self._build_source(rng, phase, recent_int,
+                                         _INT_REG_POOL)
+                predictable = rng.random() < profile.branch_predictability
+                if predictable:
+                    taken = rng.random() < 0.5
+                    slot = _Slot(_BR_FIXED, op=OPCODES["bne"], srcs=(src,),
+                                 taken=taken, target=pos + 2)
+                else:
+                    slot = _Slot(_BR_RAND, op=OPCODES["bne"], srcs=(src,),
+                                 target=pos + 2)
+                self._slots.append(slot)
+                i += 1
+                continue
+            kind = self._pick_from_cdf(rng, mix_cdf)
+            self._slots.append(self._build_op_slot(
+                rng, phase, kind, region, phase_idx, recent_int, recent_fp))
+            i += 1
+        # Region-closing jump; target patched for the final region.
+        self._slots.append(_Slot(_JUMP, op=OPCODES["br"], taken=True,
+                                 target=len(self._slots) + 1))
+
+    def _build_op_slot(self, rng, phase, kind, region, space,
+                       recent_int, recent_fp):
+        if kind == "load":
+            dest = self._build_dest(recent_int, _INT_REG_POOL)
+            src = self._build_source(rng, phase, recent_int, _INT_REG_POOL)
+            return _Slot(_OP, op=KIND_OPCODES[kind], dest=dest, srcs=(src,),
+                         addr_random=rng.random() >= phase.stride_fraction,
+                         region=region, space=space, ws_lines=phase.ws_lines,
+                         line_offset=rng.randrange(phase.ws_lines))
+        if kind == "store":
+            data = self._build_source(rng, phase, recent_int, _INT_REG_POOL)
+            return _Slot(_OP, op=KIND_OPCODES[kind], srcs=(data,),
+                         addr_random=rng.random() >= phase.stride_fraction,
+                         region=region, space=space, ws_lines=phase.ws_lines,
+                         line_offset=rng.randrange(phase.ws_lines))
+        if kind in _FP_KINDS:
+            dest = self._build_dest(recent_fp, _FP_REG_POOL)
+            s1 = self._build_source(rng, phase, recent_fp, _FP_REG_POOL)
+            s2 = self._build_source(rng, phase, recent_fp, _FP_REG_POOL)
+            return _Slot(_OP, op=KIND_OPCODES[kind], dest=dest, srcs=(s1, s2))
+        dest = self._build_dest(recent_int, _INT_REG_POOL)
+        s1 = self._build_source(rng, phase, recent_int, _INT_REG_POOL)
+        s2 = self._build_source(rng, phase, recent_int, _INT_REG_POOL)
+        return _Slot(_OP, op=KIND_OPCODES[kind], dest=dest, srcs=(s1, s2))
+
+    def _build_dest(self, recent, pool):
+        dest = pool[len(recent) % len(pool)]
+        recent.append(dest)
+        return dest
+
+    def _build_source(self, rng, phase, recent, pool):
+        """A source register roughly ``dep_distance`` writes back."""
+        if not recent:
+            return pool[rng.randrange(len(pool))]
+        p = 1.0 / phase.dep_distance
+        back = 1
+        while rng.random() > p and back < len(recent):
+            back += 1
+        return recent[-back]
+
+    @staticmethod
+    def _make_cdf(mix):
+        total = sum(mix.values())
+        cdf = []
+        acc = 0.0
+        for kind in KIND_OPCODES:
+            acc += mix.get(kind, 0.0) / total
+            cdf.append((acc, kind))
+        return cdf
+
+    @staticmethod
+    def _pick_from_cdf(rng, cdf):
+        x = rng.random()
+        for acc, kind in cdf:
+            if x <= acc:
+                return kind
+        return cdf[-1][1]
+
+    # ------------------------------------------------------------------
+    # Dynamic unrolling
+    # ------------------------------------------------------------------
+
+    @property
+    def body_size(self):
+        """Super-loop length in instructions (the code footprint)."""
+        return len(self._slots)
+
+    def _pc(self, pos):
+        return self._CODE_BASE + 4 * pos
+
+    def _address(self, slot):
+        if slot.addr_random:
+            line = self._rng.randrange(slot.ws_lines)
+        else:
+            line = (self._stride_pos[slot.region] + slot.line_offset) \
+                % slot.ws_lines
+            self._stride_pos[slot.region] = \
+                (self._stride_pos[slot.region] + 1) % slot.ws_lines
+        base = (self._STORE_BASE if slot.op.iclass.name == "STORE"
+                else self._LOAD_BASE)
+        # Body copies of the same phase share one data space; distinct
+        # phases get distinct spaces (different data structures).
+        return base + slot.space * self._REGION_STRIDE + line * self._LINE
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if (self.max_instructions is not None and
+                self._seq >= self.max_instructions):
+            raise StopIteration
+        slot = self._slots[self._pos]
+        pc = self._pc(self._pos)
+        kind = slot.kind
+        if kind == _OP:
+            addr = self._address(slot) if slot.op.iclass.is_memory else None
+            inst = DynamicInst(self._seq, pc, slot.op, dest=slot.dest,
+                               srcs=slot.srcs, addr=addr)
+            self._pos += 1
+        elif kind == _JUMP:
+            inst = DynamicInst(self._seq, pc, slot.op, taken=True,
+                               target=self._pc(slot.target))
+            self._pos = slot.target
+        else:
+            if kind == _BR_FIXED:
+                taken = slot.taken
+            else:
+                taken = self._rng.random() < self.profile.taken_rate
+            inst = DynamicInst(self._seq, pc, slot.op, srcs=slot.srcs,
+                               taken=taken, target=self._pc(slot.target))
+            self._pos = slot.target if taken else self._pos + 1
+        self._seq += 1
+        return inst

@@ -1,0 +1,73 @@
+"""A maximum-power virus workload.
+
+The threshold design guards against the *model* envelope
+``[min_power, max_power]``, but no real instruction stream reaches the
+model maximum (no cycle can saturate every structure at once through an
+8-wide issue stage).  This workload is the attempt: maximal sustained
+power through wide, independent, L1-resident work on every pool.  Its
+achieved fraction of the model maximum documents how conservative the
+envelope -- and therefore the solved target impedance -- is.
+"""
+
+from repro.workloads.synthesis import Phase, WorkloadProfile
+
+#: A mix sized to keep all pools busy through an 8-wide issue stage:
+#: memory ports (4/8 slots), integer ALUs, and both FP pools.
+_VIRUS_MIX = {
+    "ialu": 0.34,
+    "imult": 0.06,
+    "falu": 0.14,
+    "fmult": 0.08,
+    "load": 0.24,
+    "store": 0.14,
+}
+
+
+def max_power_virus(length=4096):
+    """A profile that sustains the highest reachable power.
+
+    Properties: enormous dependence distance (everything independent),
+    an L1-resident working set (no miss stalls), almost no branches
+    (no redirect holes), and a mix that feeds every functional-unit
+    pool and all four memory ports.
+    """
+    return WorkloadProfile(
+        name="power_virus",
+        phases=(Phase(length=length, mix=_VIRUS_MIX, dep_distance=64.0,
+                      ws_lines=64, stride_fraction=1.0),),
+        branch_fraction=0.0,
+        branch_predictability=1.0,
+        code_insts=length,
+        description="max sustained power; documents the reachable "
+                    "fraction of the model envelope",
+    )
+
+
+def measure_peak_power(config=None, power_params=None, cycles=4000,
+                       warmup_instructions=30000, seed=1):
+    """Run the virus and report its power against the model envelope.
+
+    Returns:
+        dict with ``mean_power``, ``peak_power``, ``model_max``,
+        ``mean_fraction`` and ``ipc``.
+    """
+    from repro.power.model import PowerModel
+    from repro.power.trace import CurrentTrace
+    from repro.uarch.config import MachineConfig
+    from repro.uarch.core import Machine
+
+    config = config or MachineConfig()
+    model = PowerModel(config, power_params)
+    machine = Machine(config, max_power_virus().stream(seed=seed))
+    machine.fast_forward(warmup_instructions)
+    trace = CurrentTrace(config.clock_hz, vdd=model.params.vdd)
+    machine.run(max_cycles=cycles,
+                cycle_hook=lambda m, a: trace.append(model.power(a)))
+    powers = trace.powers
+    return {
+        "mean_power": float(powers.mean()),
+        "peak_power": float(powers.max()),
+        "model_max": model.max_power(),
+        "mean_fraction": float(powers.mean()) / model.max_power(),
+        "ipc": machine.stats.ipc,
+    }

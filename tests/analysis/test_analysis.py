@@ -1,0 +1,137 @@
+"""Tests for distributions, metrics, and text rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distributions import VoltageDistribution
+from repro.analysis.metrics import (
+    RunComparison,
+    energy_increase_percent,
+    performance_loss_percent,
+)
+from repro.analysis.tables import ascii_chart, format_table, sparkline
+
+
+class FakeResult:
+    def __init__(self, cycles, committed, energy, emergencies=0):
+        self.cycles = cycles
+        self.committed = committed
+        self.energy = energy
+        self.emergencies = {"emergency_cycles": emergencies}
+
+
+class TestVoltageDistribution:
+    def test_fractions_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        d = VoltageDistribution(rng.normal(1.0, 0.005, 10000))
+        assert d.fractions.sum() == pytest.approx(1.0)
+
+    def test_narrow_vs_wide(self):
+        rng = np.random.default_rng(0)
+        narrow = VoltageDistribution(rng.normal(1.0, 0.002, 5000))
+        wide = VoltageDistribution(rng.normal(1.0, 0.01, 5000))
+        assert wide.std > narrow.std
+        assert wide.spread_mv > narrow.spread_mv
+
+    def test_mode(self):
+        d = VoltageDistribution([0.99] * 100 + [1.02] * 5)
+        assert d.mode_voltage() == pytest.approx(0.99, abs=0.005)
+
+    def test_fraction_below(self):
+        v = np.concatenate([np.full(300, 0.96), np.full(700, 1.01)])
+        d = VoltageDistribution(v)
+        assert d.fraction_below(0.98) == pytest.approx(0.3, abs=0.02)
+        assert d.fraction_below(1.05) == pytest.approx(1.0, abs=0.02)
+
+    def test_out_of_range_samples_clipped(self):
+        d = VoltageDistribution([0.5, 1.5, 1.0])
+        assert d.fractions.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoltageDistribution([])
+        with pytest.raises(ValueError):
+            VoltageDistribution([1.0], bins=0)
+        with pytest.raises(ValueError):
+            VoltageDistribution([1.0], v_min=1.1, v_max=0.9)
+
+    def test_render(self):
+        d = VoltageDistribution(np.full(100, 1.0))
+        text = d.render(label="flat")
+        assert "flat" in text
+        assert "#" in text
+
+
+class TestMetrics:
+    def test_performance_loss(self):
+        base = FakeResult(cycles=1000, committed=1000, energy=1.0)
+        slow = FakeResult(cycles=1100, committed=1000, energy=1.0)
+        assert performance_loss_percent(base, slow) == pytest.approx(10.0)
+
+    def test_energy_increase(self):
+        base = FakeResult(cycles=1000, committed=1000, energy=1.0)
+        hot = FakeResult(cycles=1000, committed=1000, energy=1.05)
+        assert energy_increase_percent(base, hot) == pytest.approx(5.0)
+
+    def test_normalized_per_instruction(self):
+        """Runs of different lengths compare fairly via CPI/EPI."""
+        base = FakeResult(cycles=1000, committed=2000, energy=1.0)
+        controlled = FakeResult(cycles=550, committed=1000, energy=0.55)
+        assert performance_loss_percent(base, controlled) == pytest.approx(10.0)
+        assert energy_increase_percent(base, controlled) == pytest.approx(10.0)
+
+    def test_zero_commits_rejected(self):
+        base = FakeResult(cycles=10, committed=0, energy=1.0)
+        with pytest.raises(ValueError):
+            performance_loss_percent(base, base)
+
+    def test_run_comparison(self):
+        base = FakeResult(1000, 1000, 1.0, emergencies=5)
+        ctrl = FakeResult(1050, 1000, 1.02, emergencies=0)
+        cmp = RunComparison.from_results("swim", base, ctrl)
+        assert cmp.perf_loss_percent == pytest.approx(5.0)
+        assert cmp.emergencies_eliminated
+
+    def test_no_emergencies_to_eliminate(self):
+        base = FakeResult(1000, 1000, 1.0, emergencies=0)
+        cmp = RunComparison.from_results("x", base, base)
+        assert not cmp.emergencies_eliminated
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["b", 22.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "alpha" in text
+        assert "22.25" in text
+        # All data rows align on the separator width.
+        assert len(lines[3]) == len(lines[4])
+
+    def test_format_table_row_width_check(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_table_bools(self):
+        text = format_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_sparkline_flat_and_empty(self):
+        assert sparkline([]) == ""
+        assert len(set(sparkline([5, 5, 5]))) == 1
+
+    def test_ascii_chart(self):
+        chart = ascii_chart({"a": [0, 1, 2], "b": [2, 1, 0]},
+                            width=20, height=5)
+        assert "*" in chart and "o" in chart
+        assert "a" in chart.splitlines()[-1]
+
+    def test_ascii_chart_empty(self):
+        assert ascii_chart({}) == ""

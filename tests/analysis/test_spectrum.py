@@ -1,0 +1,103 @@
+"""Tests for the spectral danger analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import (
+    band_fraction,
+    current_spectrum,
+    danger_index,
+    resonant_band_energy,
+)
+from repro.pdn.rlc import default_pdn
+
+CLOCK = 3.0e9
+
+
+@pytest.fixture(scope="module")
+def pdn():
+    return default_pdn(impedance_percent=200.0)
+
+
+def sinusoid(freq, amplitude, n=6000, offset=20.0):
+    t = np.arange(n) / CLOCK
+    return offset + amplitude * np.sin(2 * math.pi * freq * t)
+
+
+class TestCurrentSpectrum:
+    def test_recovers_sinusoid(self):
+        freqs, amps = current_spectrum(sinusoid(50e6, 4.0), CLOCK)
+        peak = int(np.argmax(amps))
+        assert freqs[peak] == pytest.approx(50e6, rel=0.02)
+        assert amps[peak] == pytest.approx(4.0, rel=0.05)
+
+    def test_dc_removed(self):
+        freqs, amps = current_spectrum(np.full(1000, 35.0), CLOCK)
+        assert np.max(amps) == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            current_spectrum([1.0, 2.0], CLOCK)
+
+
+class TestResonantBandEnergy:
+    def test_on_resonance_counted(self, pdn):
+        on = resonant_band_energy(sinusoid(50e6, 4.0), pdn, CLOCK)
+        assert on == pytest.approx(4.0 / math.sqrt(2.0), rel=0.1)
+
+    def test_off_resonance_ignored(self, pdn):
+        off = resonant_band_energy(sinusoid(5e6, 4.0), pdn, CLOCK)
+        assert off < 0.2
+
+    def test_flat_trace_zero(self, pdn):
+        assert resonant_band_energy(np.full(1000, 20.0), pdn, CLOCK) == 0.0
+
+
+class TestDangerIndex:
+    def test_resonant_tone_dominates(self, pdn):
+        on = danger_index(sinusoid(50e6, 4.0), pdn, CLOCK)
+        off = danger_index(sinusoid(5e6, 4.0), pdn, CLOCK)
+        assert on > 5 * off
+
+    def test_predicts_sinusoid_droop(self, pdn):
+        """For a pure resonant tone, the index equals |Z(f0)| * amplitude."""
+        amp = 4.0
+        predicted = danger_index(sinusoid(50e6, amp, n=12000), pdn, CLOCK)
+        expected = pdn.impedance(50e6) * amp
+        assert predicted == pytest.approx(expected, rel=0.1)
+
+    def test_scales_linearly(self, pdn):
+        small = danger_index(sinusoid(50e6, 2.0), pdn, CLOCK)
+        large = danger_index(sinusoid(50e6, 8.0), pdn, CLOCK)
+        assert large == pytest.approx(4 * small, rel=0.05)
+
+
+class TestBandFraction:
+    def test_bounds(self, pdn):
+        f = band_fraction(sinusoid(50e6, 4.0), pdn, CLOCK)
+        assert 0.0 <= f <= 1.0
+        assert f > 0.5  # a pure resonant tone is all in band
+
+    def test_flat_is_zero(self, pdn):
+        assert band_fraction(np.full(1000, 20.0), pdn, CLOCK) == 0.0
+
+
+class TestOrdersWorkloads:
+    def test_stressmark_out_danger_ranks_ammp(self, pdn):
+        """The index must rank the resonant stressmark far above a
+        stable workload's trace -- the Table 2 ordering."""
+        from repro.core import VoltageControlDesign, get_profile
+        from repro.core import stressmark_stream, tune_stressmark
+
+        design = VoltageControlDesign(impedance_percent=200.0)
+        spec, _ = tune_stressmark(design.pdn, design.config)
+        sm = design.run(stressmark_stream(spec), delay=None,
+                        warmup_instructions=2000, max_cycles=6000,
+                        record_traces=True)
+        ammp = design.run(get_profile("ammp").stream(seed=3), delay=None,
+                          warmup_instructions=30000, max_cycles=6000,
+                          record_traces=True)
+        assert (danger_index(sm.currents, design.pdn)
+                > 3 * danger_index(ammp.currents, design.pdn))

@@ -1,0 +1,101 @@
+"""Tests for actuator kinds and their machine-side effects."""
+
+import pytest
+
+from repro.control.actuators import (
+    ACTUATOR_KINDS,
+    Actuator,
+    ActuatorCommand,
+    make_actuator,
+)
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig().small(), [])
+
+
+class TestConstruction:
+    def test_kinds(self):
+        assert set(ACTUATOR_KINDS) == {"fu", "fu_dl1", "fu_dl1_il1", "ideal"}
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Actuator(kind="dvfs")
+
+    def test_unknown_group(self):
+        with pytest.raises(ValueError):
+            Actuator(kind="fu", low_groups=("l3",))
+
+    def test_factory(self):
+        assert make_actuator("fu_dl1").kind == "fu_dl1"
+
+    def test_group_scope(self):
+        assert Actuator("fu").low_groups == ("fu",)
+        assert Actuator("fu_dl1").low_groups == ("fu", "dl1")
+        assert Actuator("fu_dl1_il1").low_groups == ("fu", "dl1", "il1")
+
+
+class TestApplication:
+    def test_reduce_gates_only_controlled_groups(self, machine):
+        Actuator("fu_dl1").apply(machine, ActuatorCommand.REDUCE)
+        assert machine.fus.gated
+        assert machine.dl1.gated
+        assert not machine.il1.gated
+        assert not machine.fus.phantom
+
+    def test_boost_phantom_fires(self, machine):
+        Actuator("fu_dl1_il1").apply(machine, ActuatorCommand.BOOST)
+        assert machine.fus.phantom
+        assert machine.dl1.phantom
+        assert machine.il1.phantom
+        assert not machine.fus.gated
+
+    def test_none_clears_everything(self, machine):
+        act = Actuator("ideal")
+        act.apply(machine, ActuatorCommand.REDUCE)
+        act.apply(machine, ActuatorCommand.NONE)
+        for unit in (machine.fus, machine.dl1, machine.il1):
+            assert not unit.gated
+            assert not unit.phantom
+
+    def test_command_switch_swaps_state(self, machine):
+        act = Actuator("ideal")
+        act.apply(machine, ActuatorCommand.REDUCE)
+        act.apply(machine, ActuatorCommand.BOOST)
+        assert not machine.fus.gated
+        assert machine.fus.phantom
+
+    def test_release(self, machine):
+        act = Actuator("ideal")
+        act.apply(machine, ActuatorCommand.BOOST)
+        act.release(machine)
+        assert not machine.fus.phantom
+
+    def test_usage_counters(self, machine):
+        act = Actuator("fu")
+        act.apply(machine, ActuatorCommand.REDUCE)
+        act.apply(machine, ActuatorCommand.REDUCE)
+        act.apply(machine, ActuatorCommand.BOOST)
+        act.apply(machine, ActuatorCommand.NONE)
+        assert act.reduce_cycles == 2
+        assert act.boost_cycles == 1
+
+
+class TestAsymmetric:
+    def test_independent_group_sets(self, machine):
+        """Section 6's future-work design: gate coarsely on lows, phantom
+        only the FUs on highs."""
+        act = Actuator("ideal", low_groups=("fu", "dl1", "il1"),
+                       high_groups=("fu",))
+        act.apply(machine, ActuatorCommand.BOOST)
+        assert machine.fus.phantom
+        assert not machine.dl1.phantom
+        act.apply(machine, ActuatorCommand.REDUCE)
+        assert machine.dl1.gated
+
+    def test_response_groups_reports_low_lever(self):
+        act = Actuator("ideal", low_groups=("fu",), high_groups=("fu", "dl1"))
+        assert act.response_groups() == ("fu",)

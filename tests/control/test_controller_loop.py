@@ -1,0 +1,179 @@
+"""Tests for the threshold controller FSM and the closed loop."""
+
+import pytest
+
+from repro.control.actuators import Actuator, ActuatorCommand
+from repro.control.controller import ThresholdController
+from repro.control.loop import ClosedLoopSimulation, run_workload
+from repro.control.sensor import ThresholdSensor
+from repro.control.thresholds import (
+    ThresholdDesign,
+    design_pdn,
+    solve_thresholds,
+)
+from repro.power import PowerModel
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.stressmark import (
+    StressmarkSpec,
+    stressmark_stream,
+    tune_stressmark,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="module")
+def model(config):
+    return PowerModel(config)
+
+
+@pytest.fixture(scope="module")
+def pdn200(model):
+    return design_pdn(model, impedance_percent=200.0)
+
+
+@pytest.fixture(scope="module")
+def design200(model, pdn200):
+    i_min, i_max = model.current_envelope()
+    return solve_thresholds(pdn200, i_min, i_max, delay=2,
+                            i_reduce=model.gated_min_power(),
+                            i_boost=i_max)
+
+
+@pytest.fixture(scope="module")
+def tuned_spec(config, pdn200):
+    spec, _ = tune_stressmark(pdn200, config)
+    return spec
+
+
+class TestControllerFsm:
+    def _controller(self, delay=0):
+        sensor = ThresholdSensor(v_low=0.96, v_high=1.04, delay=delay)
+        return ThresholdController(sensor, actuator=Actuator("ideal"))
+
+    def test_requires_sensor(self):
+        with pytest.raises(TypeError):
+            ThresholdController(object())
+
+    def test_low_voltage_reduces(self):
+        machine = Machine(MachineConfig().small(), [])
+        ctrl = self._controller()
+        assert ctrl.step(machine, 0.94) is ActuatorCommand.REDUCE
+        assert machine.fus.gated
+
+    def test_high_voltage_boosts(self):
+        machine = Machine(MachineConfig().small(), [])
+        ctrl = self._controller()
+        assert ctrl.step(machine, 1.06) is ActuatorCommand.BOOST
+        assert machine.fus.phantom
+
+    def test_normal_releases(self):
+        machine = Machine(MachineConfig().small(), [])
+        ctrl = self._controller()
+        ctrl.step(machine, 0.94)
+        assert ctrl.step(machine, 1.0) is ActuatorCommand.NONE
+        assert not machine.fus.gated
+
+    def test_transition_counting(self):
+        machine = Machine(MachineConfig().small(), [])
+        ctrl = self._controller()
+        for v in (1.0, 0.94, 0.94, 1.0, 1.06):
+            ctrl.step(machine, v)
+        assert ctrl.transitions == 3
+        assert ctrl.reduce_cycles == 2
+        assert ctrl.boost_cycles == 1
+
+    def test_from_design(self):
+        design = ThresholdDesign(v_low=0.96, v_high=1.02, delay=3,
+                                 error=0.005, i_min=10, i_max=60,
+                                 i_reduce=12, i_boost=55,
+                                 v_worst_low=0.95, v_worst_high=1.05)
+        ctrl = ThresholdController.from_design(design)
+        assert ctrl.sensor.v_low == 0.96
+        assert ctrl.sensor.delay == 3
+        assert ctrl.sensor.error == 0.005
+
+    def test_summary_fields(self):
+        ctrl = self._controller(delay=2)
+        s = ctrl.summary()
+        assert s["delay"] == 2
+        assert s["actuator"] == "ideal"
+
+
+class TestClosedLoop:
+    def test_uncontrolled_stressmark_has_emergencies(self, config, pdn200,
+                                                     tuned_spec):
+        result = run_workload(stressmark_stream(tuned_spec), pdn200,
+                              config=config, warmup_instructions=2000,
+                              max_cycles=8000)
+        assert result.emergencies["emergency_cycles"] > 0
+
+    def test_controller_eliminates_emergencies(self, config, pdn200,
+                                               design200, tuned_spec):
+        """The headline result: the threshold controller removes all
+        voltage emergencies from the dI/dt stressmark."""
+        def factory(machine, power_model):
+            return ThresholdController.from_design(
+                design200, actuator=Actuator("ideal"))
+        result = run_workload(stressmark_stream(tuned_spec), pdn200,
+                              config=config, warmup_instructions=2000,
+                              max_cycles=8000, controller_factory=factory)
+        assert result.emergencies["emergency_cycles"] == 0
+        assert (result.controller["reduce_cycles"] +
+                result.controller["boost_cycles"]) > 0
+
+    def test_controller_cost_is_bounded(self, config, pdn200, design200,
+                                        tuned_spec):
+        """Control must not cripple the machine: the stressmark loses
+        performance (paper: ~6-25%) but still commits instructions."""
+        base = run_workload(stressmark_stream(tuned_spec), pdn200,
+                            config=config, warmup_instructions=2000,
+                            max_cycles=8000)
+
+        def factory(machine, power_model):
+            return ThresholdController.from_design(
+                design200, actuator=Actuator("fu_dl1_il1"))
+        controlled = run_workload(stressmark_stream(tuned_spec), pdn200,
+                                  config=config, warmup_instructions=2000,
+                                  max_cycles=8000,
+                                  controller_factory=factory)
+        assert controlled.committed > 0.5 * base.committed
+
+    def test_traces_recorded_when_asked(self, config, pdn200, tuned_spec):
+        result = run_workload(stressmark_stream(tuned_spec), pdn200,
+                              config=config, warmup_instructions=1000,
+                              max_cycles=2000, record_traces=True)
+        assert result.voltages is not None
+        assert len(result.voltages) == result.cycles
+        assert len(result.currents) == result.cycles
+
+    def test_traces_absent_by_default(self, config, pdn200, tuned_spec):
+        result = run_workload(stressmark_stream(tuned_spec), pdn200,
+                              config=config, warmup_instructions=1000,
+                              max_cycles=1000)
+        assert result.voltages is None
+
+    def test_energy_positive_and_sane(self, config, model, pdn200,
+                                      tuned_spec):
+        result = run_workload(stressmark_stream(tuned_spec), pdn200,
+                              config=config, warmup_instructions=1000,
+                              max_cycles=5000)
+        max_possible = model.max_power() * result.cycles * config.cycle_time
+        assert 0.0 < result.energy < max_possible
+
+    def test_ipc_property(self, config, pdn200, tuned_spec):
+        result = run_workload(stressmark_stream(tuned_spec), pdn200,
+                              config=config, warmup_instructions=1000,
+                              max_cycles=3000)
+        assert result.ipc == pytest.approx(
+            result.committed / result.cycles)
+
+    def test_step_returns_voltage(self, config, model, pdn200, tuned_spec):
+        machine = Machine(config, stressmark_stream(tuned_spec))
+        loop = ClosedLoopSimulation(machine, model, pdn200)
+        v = loop.step()
+        assert 0.8 < v < 1.2

@@ -1,0 +1,84 @@
+"""Tests for emergency definition and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.control.emergencies import (
+    EmergencyCounter,
+    count_emergencies,
+    is_emergency,
+)
+
+
+class TestIsEmergency:
+    @pytest.mark.parametrize("v,expected", [
+        (1.0, False), (0.951, False), (1.049, False),
+        (0.949, True), (1.051, True), (0.5, True), (1.5, True),
+    ])
+    def test_five_percent_band(self, v, expected):
+        assert is_emergency(v) == expected
+
+    def test_bounds_are_exclusive(self):
+        # Exactly 5% is "swings greater than 5%": not yet an emergency.
+        assert not is_emergency(0.95)
+        assert not is_emergency(1.05)
+
+    def test_custom_nominal(self):
+        assert is_emergency(1.80, nominal=2.0)
+        assert not is_emergency(1.91, nominal=2.0)
+
+
+class TestCountEmergencies:
+    def test_counts(self):
+        v = np.array([1.0, 0.94, 0.96, 1.06, 1.0])
+        assert count_emergencies(v) == 2
+
+    def test_empty(self):
+        assert count_emergencies([]) == 0
+
+    def test_accepts_list(self):
+        assert count_emergencies([0.9, 1.0]) == 1
+
+
+class TestEmergencyCounter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmergencyCounter(nominal=0.0)
+        with pytest.raises(ValueError):
+            EmergencyCounter(fraction=1.5)
+
+    def test_basic_accounting(self):
+        c = EmergencyCounter()
+        for v in (1.0, 0.94, 0.93, 1.0, 1.06, 1.0):
+            c.observe(v)
+        assert c.cycles == 6
+        assert c.emergency_cycles == 3
+        assert c.undershoot_cycles == 2
+        assert c.overshoot_cycles == 1
+        assert c.frequency == pytest.approx(0.5)
+
+    def test_episodes_group_consecutive_cycles(self):
+        c = EmergencyCounter()
+        for v in (0.94, 0.93, 1.0, 0.94, 1.0, 1.06, 1.06):
+            c.observe(v)
+        assert c.episodes == 3
+
+    def test_extremes(self):
+        c = EmergencyCounter()
+        for v in (1.0, 0.97, 1.02):
+            c.observe(v)
+        assert c.v_min == pytest.approx(0.97)
+        assert c.v_max == pytest.approx(1.02)
+
+    def test_empty_summary(self):
+        s = EmergencyCounter().summary()
+        assert s["cycles"] == 0
+        assert s["frequency"] == 0.0
+        assert s["v_min"] is None
+
+    def test_any_flag(self):
+        c = EmergencyCounter()
+        c.observe(1.0)
+        assert not c.any
+        c.observe(0.90)
+        assert c.any

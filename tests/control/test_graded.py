@@ -1,0 +1,120 @@
+"""Tests for the graded two-stage threshold controller."""
+
+import pytest
+
+from repro.control.graded import GradedThresholdController
+from repro.control.thresholds import ThresholdDesign
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+
+
+def design(v_low=0.96, v_high=1.02, delay=0):
+    return ThresholdDesign(v_low=v_low, v_high=v_high, delay=delay,
+                           error=0.0, i_min=15, i_max=65, i_reduce=16,
+                           i_boost=60, v_worst_low=0.95, v_worst_high=1.05)
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig().small(), [])
+
+
+class TestValidation:
+    def test_positive_margin(self):
+        with pytest.raises(ValueError):
+            GradedThresholdController(design(), soft_margin=0.0)
+
+    def test_margins_must_fit_window(self):
+        with pytest.raises(ValueError):
+            GradedThresholdController(design(v_low=0.99, v_high=1.01),
+                                      soft_margin=0.02)
+
+
+class TestStaging:
+    def _ctrl(self, delay=0):
+        return GradedThresholdController(design(delay=delay),
+                                         soft_margin=0.005)
+
+    def test_soft_zone_gates_fus_only(self, machine):
+        ctrl = self._ctrl()
+        ctrl.step(machine, 0.962)  # between hard (0.96) and soft (0.965)
+        assert machine.fus.gated
+        assert not machine.dl1.gated
+        assert ctrl.soft_reduce_cycles == 1
+        assert ctrl.hard_reduce_cycles == 0
+
+    def test_hard_zone_gates_everything(self, machine):
+        ctrl = self._ctrl()
+        ctrl.step(machine, 0.955)
+        assert machine.fus.gated
+        assert machine.dl1.gated
+        assert machine.il1.gated
+        assert ctrl.hard_reduce_cycles == 1
+
+    def test_soft_high_phantom_fires_fus_only(self, machine):
+        ctrl = self._ctrl()
+        ctrl.step(machine, 1.017)  # between soft (1.015) and hard (1.02)
+        assert machine.fus.phantom
+        assert not machine.dl1.phantom
+
+    def test_hard_high_phantom_fires_everything(self, machine):
+        ctrl = self._ctrl()
+        ctrl.step(machine, 1.03)
+        assert machine.dl1.phantom and machine.il1.phantom
+
+    def test_normal_zone_quiet(self, machine):
+        ctrl = self._ctrl()
+        ctrl.step(machine, 1.0)
+        for unit in (machine.fus, machine.dl1, machine.il1):
+            assert not unit.gated and not unit.phantom
+
+    def test_escalation_switches_actuators(self, machine):
+        ctrl = self._ctrl()
+        ctrl.step(machine, 0.962)   # soft
+        ctrl.step(machine, 0.955)   # escalate to hard
+        assert machine.dl1.gated
+        ctrl.step(machine, 0.962)   # de-escalate to soft
+        assert machine.fus.gated and not machine.dl1.gated
+
+    def test_delay_applies(self, machine):
+        ctrl = self._ctrl(delay=2)
+        ctrl.step(machine, 1.0)
+        ctrl.step(machine, 1.0)
+        ctrl.step(machine, 0.95)    # reading still shows 1.0
+        assert not machine.fus.gated
+        ctrl.step(machine, 0.95)
+        ctrl.step(machine, 0.95)    # the 0.95 reading surfaces
+        assert machine.fus.gated
+
+    def test_summary(self, machine):
+        ctrl = self._ctrl()
+        ctrl.step(machine, 0.962)
+        ctrl.step(machine, 0.955)
+        ctrl.step(machine, 1.03)
+        s = ctrl.summary()
+        assert s["soft_reduce_cycles"] == 1
+        assert s["hard_reduce_cycles"] == 1
+        assert s["hard_boost_cycles"] == 1
+        assert "graded" in s["actuator"]
+
+
+class TestClosedLoop:
+    def test_protects_the_stressmark(self):
+        """Same guarantee as the single-stage controller, with fewer
+        full-group (hard) actuations."""
+        from repro.control.loop import run_workload
+        from repro.core import (VoltageControlDesign, stressmark_stream,
+                                tune_stressmark)
+        vcd = VoltageControlDesign(impedance_percent=200.0)
+        spec, _ = tune_stressmark(vcd.pdn, vcd.config)
+        hard = vcd.thresholds(delay=3, actuator_kind="fu_dl1_il1")
+
+        def factory(machine, power_model):
+            return GradedThresholdController(hard, soft_margin=0.004)
+        result = run_workload(stressmark_stream(spec), vcd.pdn,
+                              config=vcd.config,
+                              controller_factory=factory,
+                              warmup_instructions=2000, max_cycles=8000)
+        assert result.emergencies["emergency_cycles"] == 0
+        s = result.controller
+        assert s["soft_reduce_cycles"] + s["soft_boost_cycles"] > 0

@@ -1,0 +1,64 @@
+"""Tests for threshold-sensor hysteresis."""
+
+import pytest
+
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+
+
+def sensor(h=0.005):
+    return ThresholdSensor(v_low=0.96, v_high=1.04, delay=0, hysteresis=h)
+
+
+class TestValidation:
+    def test_nonnegative(self):
+        with pytest.raises(ValueError):
+            sensor(h=-0.001)
+
+    def test_bands_must_not_overlap(self):
+        with pytest.raises(ValueError):
+            ThresholdSensor(v_low=0.99, v_high=1.01, hysteresis=0.02)
+
+
+class TestHysteresisBehaviour:
+    def test_holds_low_until_recovered(self):
+        s = sensor(h=0.005)
+        assert s.observe(0.955).level is VoltageLevel.LOW
+        # Back above v_low but inside the band: still LOW.
+        assert s.observe(0.962).level is VoltageLevel.LOW
+        # Recovered past v_low + h: releases.
+        assert s.observe(0.966).level is VoltageLevel.NORMAL
+
+    def test_holds_high_until_recovered(self):
+        s = sensor(h=0.005)
+        assert s.observe(1.045).level is VoltageLevel.HIGH
+        assert s.observe(1.038).level is VoltageLevel.HIGH
+        assert s.observe(1.034).level is VoltageLevel.NORMAL
+
+    def test_band_only_active_after_assertion(self):
+        s = sensor(h=0.005)
+        # 0.962 is inside the low band but LOW was never asserted.
+        assert s.observe(0.962).level is VoltageLevel.NORMAL
+
+    def test_zero_hysteresis_is_pure_comparator(self):
+        s = sensor(h=0.0)
+        assert s.observe(0.955).level is VoltageLevel.LOW
+        assert s.observe(0.961).level is VoltageLevel.NORMAL
+
+    def test_reset_clears_state(self):
+        s = sensor(h=0.005)
+        s.observe(0.955)
+        s.reset()
+        assert s.observe(0.962).level is VoltageLevel.NORMAL
+
+    def test_reduces_chatter_on_noisy_boundary(self):
+        """A voltage dithering around the threshold produces far fewer
+        transitions with a hysteresis band."""
+        import math
+        trace = [0.9595 + 0.002 * math.sin(i / 2.0) for i in range(300)]
+
+        def transitions(h):
+            s = ThresholdSensor(0.96, 1.04, hysteresis=h)
+            levels = [s.observe(v).level for v in trace]
+            return sum(1 for a, b in zip(levels, levels[1:]) if a is not b)
+
+        assert transitions(0.004) < transitions(0.0) / 2

@@ -1,0 +1,132 @@
+"""Tests for the per-quadrant closed loop and local controller."""
+
+import numpy as np
+import pytest
+
+from repro.control.local import (
+    QUADRANT_UNIT_GROUPS,
+    LocalClosedLoopSimulation,
+    LocalThresholdController,
+)
+from repro.pdn.quadrants import QuadrantParameters, QuadrantPdn
+from repro.power.model import PowerModel
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig().small(), [])
+
+
+def volts(q_low=None, q_high=None):
+    v = [1.0] * 4
+    if q_low is not None:
+        v[q_low] = 0.94
+    if q_high is not None:
+        v[q_high] = 1.06
+    return np.array(v)
+
+
+class TestLocalController:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            LocalThresholdController(0.96, 1.04, mode="diagonal")
+
+    def test_global_mode_any_quadrant_gates_everything(self, machine):
+        ctrl = LocalThresholdController(0.96, 1.04, mode="global")
+        ctrl.step(machine, volts(q_low=1))
+        assert machine.fus.gated and machine.dl1.gated and machine.il1.gated
+
+    def test_global_mode_low_wins_over_high(self, machine):
+        ctrl = LocalThresholdController(0.96, 1.04, mode="global")
+        ctrl.step(machine, volts(q_low=0, q_high=2))
+        assert machine.fus.gated
+        assert not machine.fus.phantom
+
+    def test_local_mode_gates_resident_group_only(self, machine):
+        ctrl = LocalThresholdController(0.96, 1.04, mode="local")
+        ctrl.step(machine, volts(q_low=2))  # execute quadrant -> fu
+        assert machine.fus.gated
+        assert not machine.dl1.gated
+        assert not machine.il1.gated
+
+    def test_local_mode_window_quadrant_has_no_lever(self, machine):
+        ctrl = LocalThresholdController(0.96, 1.04, mode="local")
+        ctrl.step(machine, volts(q_low=1))
+        for unit in (machine.fus, machine.dl1, machine.il1):
+            assert not unit.gated
+
+    def test_local_mode_mixed_actions(self, machine):
+        ctrl = LocalThresholdController(0.96, 1.04, mode="local")
+        ctrl.step(machine, volts(q_low=3, q_high=2))
+        assert machine.dl1.gated
+        assert machine.fus.phantom
+
+    def test_recovery_releases(self, machine):
+        ctrl = LocalThresholdController(0.96, 1.04, mode="local")
+        ctrl.step(machine, volts(q_low=2))
+        ctrl.step(machine, volts())
+        assert not machine.fus.gated
+
+    def test_counters(self, machine):
+        ctrl = LocalThresholdController(0.96, 1.04, mode="global")
+        ctrl.step(machine, volts(q_low=0))
+        ctrl.step(machine, volts(q_high=1))
+        ctrl.step(machine, volts())
+        s = ctrl.summary()
+        assert s["reduce_cycles"] == 1
+        assert s["boost_cycles"] == 1
+        assert s["transitions"] == 3
+
+    def test_mapping_covers_three_groups(self):
+        groups = {g for g in QUADRANT_UNIT_GROUPS.values() if g}
+        assert groups == {"fu", "dl1", "il1"}
+
+
+class TestLocalClosedLoop:
+    #: Network severity at which local emergencies occur while the
+    #: die-average voltage stays in spec (see bench_ext_local_control).
+    PEAK = 3.6e-3
+
+    def _loop(self, controller=None):
+        from repro.core import (VoltageControlDesign, stressmark_stream,
+                                tune_stressmark)
+        design = VoltageControlDesign(impedance_percent=200.0)
+        spec, _ = tune_stressmark(design.pdn, design.config)
+        qpdn = QuadrantPdn(QuadrantParameters.representative(
+            package_peak=self.PEAK))
+        machine = Machine(design.config, stressmark_stream(spec))
+        model = PowerModel(design.config, design.power_model.params)
+        machine.fast_forward(2000)
+        return LocalClosedLoopSimulation(machine, model, qpdn,
+                                         controller=controller), design
+
+    def test_requires_quadrant_pdn(self):
+        machine = Machine(MachineConfig().small(), [])
+        model = PowerModel(machine.config)
+        with pytest.raises(TypeError):
+            LocalClosedLoopSimulation(machine, model, object())
+
+    def test_average_sensor_misses_local_emergencies(self):
+        """The Section 6 motivation, as a measurement: quadrants go out
+        of spec while the die-average voltage never does."""
+        loop, _ = self._loop()
+        result = loop.run(max_cycles=8000)
+        assert loop.local_emergency_cycles > 0
+        assert result["average"]["emergency_cycles"] == 0
+
+    def test_local_sensing_protects_quadrants(self):
+        loop, design = self._loop()
+        thresholds = design.thresholds(delay=2, actuator_kind="fu_dl1_il1")
+        ctrl = LocalThresholdController(thresholds.v_low, thresholds.v_high,
+                                        delay=2, mode="global")
+        protected, _ = self._loop(controller=ctrl)
+        result = protected.run(max_cycles=8000)
+        assert protected.local_emergency_cycles == 0
+        assert result["controller"]["reduce_cycles"] > 0
+
+    def test_energy_accounted(self):
+        loop, _ = self._loop()
+        result = loop.run(max_cycles=1000)
+        assert result["energy"] > 0

@@ -1,0 +1,163 @@
+"""Tests for the PID controller, digitizing sensor, and proportional
+actuator (Section 6 exploration)."""
+
+import pytest
+
+from repro.control.pid import (
+    DigitizingSensor,
+    PidController,
+    ProportionalActuator,
+    default_gains,
+)
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig().small(), [])
+
+
+class TestDigitizingSensor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DigitizingSensor(v_min=1.1, v_max=1.0)
+        with pytest.raises(ValueError):
+            DigitizingSensor(bits=0)
+        with pytest.raises(ValueError):
+            DigitizingSensor(delay=-1)
+
+    def test_quantization(self):
+        sensor = DigitizingSensor(v_min=0.9, v_max=1.1, bits=4, delay=0)
+        # 16 levels of 12.5 mV: readings snap to bin centres.
+        reading = sensor.observe(1.0)
+        assert abs(reading - 1.0) <= sensor.lsb / 2 + 1e-12
+
+    def test_resolution_improves_with_bits(self):
+        coarse = DigitizingSensor(bits=3, delay=0)
+        fine = DigitizingSensor(bits=10, delay=0)
+        v = 0.98765
+        assert abs(fine.observe(v) - v) < abs(coarse.observe(v) - v)
+
+    def test_delay(self):
+        sensor = DigitizingSensor(bits=8, delay=2)
+        readings = [sensor.observe(v) for v in (1.0, 1.0, 0.9, 0.9, 0.9)]
+        assert readings[2] == pytest.approx(1.0, abs=sensor.lsb)
+        assert readings[4] == pytest.approx(0.9, abs=sensor.lsb)
+
+    def test_clamps_out_of_range(self):
+        sensor = DigitizingSensor(v_min=0.9, v_max=1.1, bits=6, delay=0)
+        assert sensor.observe(2.0) <= 1.1
+        assert sensor.observe(0.0) >= 0.9
+
+    def test_reset(self):
+        sensor = DigitizingSensor(bits=8, delay=3)
+        sensor.observe(0.9)
+        sensor.reset()
+        assert sensor.observe(1.0) == pytest.approx(1.0, abs=sensor.lsb)
+
+
+class TestProportionalActuator:
+    def test_effort_ladder(self, machine):
+        act = ProportionalActuator()
+        act.apply_effort(machine, 0.1)
+        assert not machine.fus.gated
+        act.apply_effort(machine, 0.5)
+        assert machine.fus.gated and not machine.dl1.gated
+        act.apply_effort(machine, 0.8)
+        assert machine.fus.gated and machine.dl1.gated
+        assert not machine.il1.gated
+        act.apply_effort(machine, 1.0)
+        assert machine.il1.gated
+
+    def test_negative_effort_phantom_fires(self, machine):
+        act = ProportionalActuator()
+        act.apply_effort(machine, -0.5)
+        assert machine.fus.phantom
+        assert not machine.fus.gated
+
+    def test_effort_clamped(self, machine):
+        act = ProportionalActuator()
+        act.apply_effort(machine, 5.0)
+        assert machine.il1.gated
+        act.apply_effort(machine, -5.0)
+        assert machine.il1.phantom
+
+    def test_release(self, machine):
+        act = ProportionalActuator()
+        act.apply_effort(machine, 1.0)
+        act.release(machine)
+        for unit in (machine.fus, machine.dl1, machine.il1):
+            assert not unit.gated and not unit.phantom
+
+
+class TestPidController:
+    def _pid(self, kp=8.0, ki=0.0, kd=0.0, delay=0):
+        return PidController(kp, ki, kd,
+                             sensor=DigitizingSensor(bits=10, delay=delay))
+
+    def test_sag_produces_gating(self, machine):
+        pid = self._pid(kp=20.0)
+        pid.step(machine, 0.95)  # 50 mV error -> effort 1.0
+        assert machine.fus.gated
+
+    def test_overshoot_produces_phantom(self, machine):
+        pid = self._pid(kp=20.0)
+        pid.step(machine, 1.05)
+        assert machine.fus.phantom
+
+    def test_nominal_is_quiet(self, machine):
+        pid = self._pid(kp=8.0)
+        pid.step(machine, 1.0)
+        assert not machine.fus.gated and not machine.fus.phantom
+
+    def test_integral_windup_clamped(self, machine):
+        pid = PidController(kp=0.0, ki=1.0, kd=0.0, integral_limit=0.5,
+                            sensor=DigitizingSensor(bits=10, delay=0))
+        for _ in range(100):
+            pid.step(machine, 0.90)
+        assert pid._integral == pytest.approx(0.5)
+
+    def test_derivative_reacts_to_slew(self, machine):
+        pid = PidController(kp=0.0, ki=0.0, kd=50.0,
+                            sensor=DigitizingSensor(bits=12, delay=0))
+        pid.step(machine, 1.0)
+        pid.step(machine, 0.98)  # fast 20 mV drop -> large derivative
+        assert machine.fus.gated
+
+    def test_counters_and_summary(self, machine):
+        pid = self._pid(kp=20.0)
+        pid.step(machine, 0.95)
+        pid.step(machine, 1.05)
+        pid.step(machine, 1.0)
+        s = pid.summary()
+        assert s["reduce_cycles"] == 1
+        assert s["boost_cycles"] == 1
+        assert s["actuator"] == "proportional"
+
+    def test_default_gains_pd_form(self):
+        from repro.core import VoltageControlDesign
+        design = VoltageControlDesign(impedance_percent=200.0)
+        kp, ki, kd = default_gains(design.pdn, design.i_min, design.i_max)
+        assert kp > 0 and kd > 0
+        assert ki == 0.0  # windup-safe default
+
+    def test_closed_loop_eliminates_stressmark_emergencies(self):
+        """The Section 6 comparison: a tuned PD loop also protects, at a
+        higher cost than threshold control."""
+        from repro.control.loop import run_workload
+        from repro.core import (VoltageControlDesign, stressmark_stream,
+                                tune_stressmark)
+        design = VoltageControlDesign(impedance_percent=200.0)
+        spec, _ = tune_stressmark(design.pdn, design.config)
+        kp, ki, kd = default_gains(design.pdn, design.i_min, design.i_max)
+
+        def factory(machine, power_model):
+            return PidController(kp, ki, kd,
+                                 sensor=DigitizingSensor(bits=6, delay=3))
+        result = run_workload(stressmark_stream(spec), design.pdn,
+                              config=design.config,
+                              controller_factory=factory,
+                              warmup_instructions=2000, max_cycles=8000)
+        assert result.emergencies["emergency_cycles"] == 0
+        assert result.controller["reduce_cycles"] > 0

@@ -1,0 +1,68 @@
+"""Tests for the pessimistic ramp controller (Section 2.3 strawman)."""
+
+import pytest
+
+from repro.control.actuators import ActuatorCommand
+from repro.control.ramp import PessimisticRampController
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig().small(), [])
+
+
+class TestRampController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PessimisticRampController(max_step=0.0)
+
+    def test_slow_ramp_not_throttled(self, machine):
+        ctrl = PessimisticRampController(max_step=2.0)
+        for current in (10.0, 11.0, 12.0, 13.0):
+            command = ctrl.step_current(machine, current)
+        assert command is ActuatorCommand.NONE
+        assert ctrl.reduce_cycles == 0
+
+    def test_fast_rise_throttled(self, machine):
+        ctrl = PessimisticRampController(max_step=2.0)
+        ctrl.step_current(machine, 10.0)
+        command = ctrl.step_current(machine, 20.0)
+        assert command is ActuatorCommand.REDUCE
+        assert machine.fus.gated
+
+    def test_drop_never_throttled(self, machine):
+        ctrl = PessimisticRampController(max_step=2.0)
+        ctrl.step_current(machine, 50.0)
+        assert ctrl.step_current(machine, 10.0) is ActuatorCommand.NONE
+
+    def test_first_observation_free(self, machine):
+        ctrl = PessimisticRampController(max_step=0.5)
+        assert ctrl.step_current(machine, 60.0) is ActuatorCommand.NONE
+
+    def test_summary(self, machine):
+        ctrl = PessimisticRampController(max_step=1.0)
+        ctrl.step_current(machine, 0.0)
+        ctrl.step_current(machine, 10.0)
+        s = ctrl.summary()
+        assert s["reduce_cycles"] == 1
+        assert s["max_step"] == 1.0
+        assert s["actuator"] == "fu"
+
+    def test_closed_loop_integration(self):
+        """The loop dispatches to step_current for ramp controllers."""
+        from repro.control.loop import run_workload
+        from repro.core import VoltageControlDesign
+        from repro.workloads.spec import get_profile
+
+        design = VoltageControlDesign(impedance_percent=200.0)
+
+        def factory(machine, power_model):
+            return PessimisticRampController(max_step=1.0)
+
+        result = run_workload(get_profile("galgel").stream(seed=3),
+                              design.pdn, config=design.config,
+                              controller_factory=factory,
+                              warmup_instructions=20000, max_cycles=3000)
+        assert result.controller["reduce_cycles"] > 0

@@ -1,0 +1,95 @@
+"""Tests for the three-state threshold sensor."""
+
+import pytest
+
+from repro.control.sensor import SensorReading, ThresholdSensor, VoltageLevel
+
+
+def make_sensor(**kwargs):
+    defaults = dict(v_low=0.96, v_high=1.04, delay=0, error=0.0, seed=3)
+    defaults.update(kwargs)
+    return ThresholdSensor(**defaults)
+
+
+class TestValidation:
+    def test_thresholds_ordered(self):
+        with pytest.raises(ValueError):
+            ThresholdSensor(v_low=1.0, v_high=0.9)
+
+    def test_nonnegative_delay(self):
+        with pytest.raises(ValueError):
+            make_sensor(delay=-1)
+
+    def test_nonnegative_error(self):
+        with pytest.raises(ValueError):
+            make_sensor(error=-0.01)
+
+
+class TestLevels:
+    @pytest.mark.parametrize("v,level", [
+        (1.00, VoltageLevel.NORMAL),
+        (0.961, VoltageLevel.NORMAL),
+        (0.959, VoltageLevel.LOW),
+        (1.041, VoltageLevel.HIGH),
+        (1.039, VoltageLevel.NORMAL),
+    ])
+    def test_zero_delay_thresholding(self, v, level):
+        sensor = make_sensor()
+        assert sensor.observe(v).level is level
+
+    def test_reading_carries_observed_voltage(self):
+        reading = make_sensor().observe(0.97)
+        assert isinstance(reading, SensorReading)
+        assert reading.observed == pytest.approx(0.97)
+
+
+class TestDelay:
+    def test_delayed_reading_lags(self):
+        sensor = make_sensor(delay=2)
+        voltages = [1.0, 1.0, 0.9, 0.9, 0.9]
+        levels = [sensor.observe(v).level for v in voltages]
+        # The 0.9 reading surfaces two cycles after it happened.
+        assert levels[2] is VoltageLevel.NORMAL
+        assert levels[3] is VoltageLevel.NORMAL
+        assert levels[4] is VoltageLevel.LOW
+
+    def test_warmup_reports_oldest(self):
+        sensor = make_sensor(delay=3)
+        assert sensor.observe(0.9).level is VoltageLevel.LOW
+
+    def test_reset_clears_history(self):
+        sensor = make_sensor(delay=2)
+        sensor.observe(0.9)
+        sensor.observe(0.9)
+        sensor.reset()
+        assert sensor.observe(1.0).level is VoltageLevel.NORMAL
+
+
+class TestError:
+    def test_noise_is_bounded(self):
+        sensor = make_sensor(error=0.02)
+        for _ in range(500):
+            reading = sensor.observe(1.0)
+            assert abs(reading.observed - 1.0) <= 0.02 + 1e-12
+
+    def test_noise_flips_borderline_readings(self):
+        sensor = make_sensor(error=0.02)
+        levels = {sensor.observe(0.97).level for _ in range(500)}
+        assert VoltageLevel.LOW in levels
+        assert VoltageLevel.NORMAL in levels
+
+    def test_noise_reproducible_by_seed(self):
+        a = [make_sensor(error=0.01, seed=5).observe(1.0).observed
+             for _ in range(1)]
+        b = [make_sensor(error=0.01, seed=5).observe(1.0).observed
+             for _ in range(1)]
+        assert a == b
+
+    def test_zero_error_is_exact(self):
+        sensor = make_sensor(error=0.0)
+        assert sensor.observe(0.9876).observed == 0.9876
+
+
+class TestWindow:
+    def test_window_mv(self):
+        assert make_sensor().window_mv == pytest.approx(80.0)

@@ -1,0 +1,141 @@
+"""Tests for the control-theoretic design flow (target impedance and
+threshold solving)."""
+
+import pytest
+
+from repro.control.thresholds import (
+    ControlInfeasibleError,
+    ThresholdDesign,
+    design_pdn,
+    pdn_with_regulator,
+    solve_target_impedance,
+    solve_thresholds,
+    worst_case_extremes,
+)
+from repro.power import PowerModel
+from repro.uarch.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel(MachineConfig())
+
+
+@pytest.fixture(scope="module")
+def envelope(model):
+    return model.current_envelope()
+
+
+@pytest.fixture(scope="module")
+def target_impedance(envelope):
+    return solve_target_impedance(*envelope)
+
+
+@pytest.fixture(scope="module")
+def pdn200(model):
+    return design_pdn(model, impedance_percent=200.0)
+
+
+class TestRegulatorSetpoint:
+    def test_nominal_at_min_current(self, envelope, target_impedance):
+        i_min, _ = envelope
+        pdn = pdn_with_regulator(target_impedance, i_min)
+        # Equilibrium voltage at i_min is exactly nominal.
+        v_eq = pdn.params.vdd - pdn.params.resistance * i_min
+        assert v_eq == pytest.approx(1.0, abs=1e-12)
+
+
+class TestTargetImpedance:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solve_target_impedance(10.0, 10.0)
+
+    def test_worst_case_exactly_meets_spec(self, envelope, target_impedance):
+        i_min, i_max = envelope
+        pdn = pdn_with_regulator(target_impedance, i_min)
+        v_min, v_max = worst_case_extremes(pdn, i_min, i_max)
+        worst = max(1.0 - v_min, v_max - 1.0)
+        assert worst == pytest.approx(0.05, abs=0.002)
+        assert worst <= 0.05 + 1e-9
+
+    def test_impedance_above_dc_resistance(self, target_impedance):
+        assert target_impedance > 0.5e-3
+
+    def test_smaller_envelope_allows_higher_impedance(self, envelope):
+        i_min, i_max = envelope
+        narrow = solve_target_impedance(i_min, i_min + (i_max - i_min) / 2)
+        wide = solve_target_impedance(i_min, i_max)
+        assert narrow > wide
+
+    def test_scaled_network_violates_spec(self, model, envelope):
+        """At 200% of target impedance the uncontrolled worst case is out
+        of spec -- the premise of the whole paper."""
+        i_min, i_max = envelope
+        pdn = design_pdn(model, impedance_percent=200.0)
+        v_min, v_max = worst_case_extremes(pdn, i_min, i_max)
+        assert v_min < 0.95
+        assert v_max > 1.05
+
+
+class TestThresholdSolver:
+    @pytest.fixture(scope="class")
+    def designs(self, model, envelope, pdn200):
+        i_min, i_max = envelope
+        i_reduce = model.gated_min_power() / model.params.vdd
+        return [solve_thresholds(pdn200, i_min, i_max, d,
+                                 i_reduce=i_reduce, i_boost=i_max)
+                for d in range(7)]
+
+    def test_thresholds_inside_spec_band(self, designs):
+        for d in designs:
+            assert 0.95 < d.v_low < d.v_high < 1.05
+
+    def test_verified_worst_case_in_spec(self, designs):
+        for d in designs:
+            assert d.v_worst_low >= 0.95 - 1e-6
+            assert d.v_worst_high <= 1.05 + 1e-6
+
+    def test_low_threshold_rises_with_delay(self, designs):
+        """Table 3: slower sensors must be more conservative."""
+        lows = [d.v_low for d in designs]
+        assert lows == sorted(lows)
+        assert lows[-1] - lows[0] > 0.01
+
+    def test_window_shrinks_overall(self, designs):
+        """Table 3: 94 mV at delay 0 down to 41 mV at delay 6 in the
+        paper; the trend (not the absolute values) must reproduce."""
+        assert designs[6].window_mv < designs[0].window_mv
+
+    def test_window_positive(self, designs):
+        for d in designs:
+            assert d.window_mv > 5.0
+
+    def test_error_margins_narrow_window(self, model, envelope, pdn200):
+        i_min, i_max = envelope
+        clean = solve_thresholds(pdn200, i_min, i_max, delay=2)
+        noisy = solve_thresholds(pdn200, i_min, i_max, delay=2, error=0.010)
+        assert noisy.v_low == pytest.approx(clean.v_low + 0.010)
+        assert noisy.v_high == pytest.approx(clean.v_high - 0.010)
+        assert noisy.window_mv == pytest.approx(clean.window_mv - 20.0)
+
+    def test_excessive_error_is_infeasible(self, envelope, pdn200):
+        i_min, i_max = envelope
+        with pytest.raises(ControlInfeasibleError):
+            solve_thresholds(pdn200, i_min, i_max, delay=6, error=0.050)
+
+    def test_weak_actuator_is_infeasible_at_high_delay(self, model,
+                                                       envelope):
+        """The paper's FU-only instability: a small response lever cannot
+        hold the spec once the sensor is slow and the network bad."""
+        i_min, i_max = envelope
+        pdn400 = design_pdn(model, impedance_percent=400.0)
+        i_reduce, i_boost = model.response_envelope(("fu",))
+        with pytest.raises(ControlInfeasibleError):
+            solve_thresholds(pdn400, i_min, i_max, delay=6,
+                             i_reduce=i_reduce, i_boost=i_boost)
+
+    def test_design_dataclass_window(self):
+        d = ThresholdDesign(v_low=0.96, v_high=1.02, delay=1, error=0.0,
+                            i_min=10, i_max=60, i_reduce=12, i_boost=55,
+                            v_worst_low=0.951, v_worst_high=1.049)
+        assert d.window_mv == pytest.approx(60.0)

@@ -1,0 +1,97 @@
+"""Integration tests of the public design-flow facade."""
+
+import pytest
+
+from repro.core import (
+    ACTUATOR_KINDS,
+    VoltageControlDesign,
+    get_profile,
+    stressmark_stream,
+    tune_stressmark,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return VoltageControlDesign(impedance_percent=200.0)
+
+
+@pytest.fixture(scope="module")
+def spec(design):
+    spec, _ = tune_stressmark(design.pdn, design.config)
+    return spec
+
+
+class TestConstruction:
+    def test_envelope_exposed(self, design):
+        assert 0 < design.i_min < design.i_max
+
+    def test_pdn_regulator_setpoint(self, design):
+        v_eq = (design.pdn.params.vdd -
+                design.pdn.params.resistance * design.i_min)
+        assert v_eq == pytest.approx(1.0, abs=1e-9)
+
+    def test_repr(self, design):
+        assert "200" in repr(design)
+
+
+class TestResponseCurrents:
+    def test_ideal_spans_most_of_envelope(self, design):
+        i_reduce, i_boost = design.response_currents("ideal")
+        assert i_reduce < design.i_min
+        assert i_boost == pytest.approx(design.i_max)
+
+    def test_fu_lever_is_smallest(self, design):
+        levers = {}
+        for kind in ACTUATOR_KINDS:
+            i_reduce, i_boost = design.response_currents(kind)
+            levers[kind] = i_boost - i_reduce
+        assert levers["fu"] < levers["fu_dl1"] < levers["fu_dl1_il1"]
+
+
+class TestThresholds:
+    def test_solution_cached(self, design):
+        a = design.thresholds(delay=1)
+        b = design.thresholds(delay=1)
+        assert a is b
+
+    def test_distinct_keys(self, design):
+        assert design.thresholds(delay=1) is not design.thresholds(delay=2)
+
+    def test_error_margining(self, design):
+        clean = design.thresholds(delay=1)
+        noisy = design.thresholds(delay=1, error=0.01)
+        assert noisy.v_low > clean.v_low
+        assert noisy.v_high < clean.v_high
+
+
+class TestRuns:
+    def test_uncontrolled_vs_controlled_stressmark(self, design, spec):
+        base = design.run(stressmark_stream(spec), delay=None,
+                          warmup_instructions=2000, max_cycles=6000)
+        ctrl = design.run(stressmark_stream(spec), delay=2,
+                          warmup_instructions=2000, max_cycles=6000)
+        assert base.emergencies["emergency_cycles"] > 0
+        assert ctrl.emergencies["emergency_cycles"] == 0
+
+    def test_spec_benchmark_unaffected(self, design):
+        """SPEC at 200%: no emergencies with or without the controller,
+        and negligible performance impact (paper Sections 4.4/5.2)."""
+        stream = get_profile("gzip").stream(seed=5)
+        base = design.run(stream, delay=None, warmup_instructions=30000,
+                          max_cycles=6000)
+        stream2 = get_profile("gzip").stream(seed=5)
+        ctrl = design.run(stream2, delay=2, warmup_instructions=30000,
+                          max_cycles=6000)
+        assert base.emergencies["emergency_cycles"] == 0
+        assert ctrl.emergencies["emergency_cycles"] == 0
+        cpi_base = base.cycles / base.committed
+        cpi_ctrl = ctrl.cycles / ctrl.committed
+        assert cpi_ctrl / cpi_base < 1.05
+
+    def test_record_traces(self, design, spec):
+        result = design.run(stressmark_stream(spec), delay=None,
+                            warmup_instructions=1000, max_cycles=1500,
+                            record_traces=True)
+        assert result.voltages is not None
+        assert result.voltages.shape == result.currents.shape

@@ -1,0 +1,219 @@
+"""Tests for the assembler and the program sequencer."""
+
+import pytest
+
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.instruction import Reg
+from repro.isa.opcodes import InstrClass
+from repro.isa.program import (
+    Program,
+    Sequencer,
+    backward_taken_policy,
+    loop_count_policy,
+)
+
+STRESSMARK_TEXT = """
+loop:
+    ldt   f1, 0(r4)
+    divt  f3, f1, f2
+    divt  f3, f3, f2
+    stt   f3, 8(r4)
+    ldq   r7, 8(r4)
+    cmovne r3, r31, r7
+    stq   r3, 0(r4)
+    br    loop
+"""
+
+
+class TestAssembler:
+    def test_stressmark_assembles(self):
+        prog = assemble(STRESSMARK_TEXT)
+        assert len(prog) == 8
+        assert prog.labels == {"loop": 0}
+        assert prog[7].target_index == 0
+
+    def test_operand_decoding(self):
+        prog = assemble("ldt f1, 16(r4)")
+        inst = prog[0]
+        assert inst.dest == Reg.parse("f1")
+        assert inst.base == Reg.parse("r4")
+        assert inst.displacement == 16
+
+    def test_store_source_and_base(self):
+        inst = assemble("stq r3, -8(r5)")[0]
+        assert inst.srcs == (3,)
+        assert inst.base == 5
+        assert inst.displacement == -8
+
+    def test_three_operand_alu(self):
+        inst = assemble("addq r1, r2, r3")[0]
+        assert inst.dest == 1
+        assert inst.srcs == (2, 3)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        # full-line comment
+        addq r1, r2, r3   # trailing comment
+        nop ; semicolon comment
+        """)
+        assert len(prog) == 2
+
+    def test_conditional_branch(self):
+        prog = assemble("""
+        top:
+            subq r1, r1, r2
+            bne r1, top
+        """)
+        inst = prog[1]
+        assert inst.op.is_conditional
+        assert inst.srcs == (1,)
+        assert inst.target_index == 0
+
+    def test_call_and_return(self):
+        prog = assemble("""
+            jsr func
+            nop
+        func:
+            ret
+        """)
+        assert prog[0].op.is_call
+        assert prog[0].target_index == 2
+        assert prog[2].op.is_return
+
+    def test_alpha_style_registers(self):
+        inst = assemble("cmovne $3, $31, $7")[0]
+        assert inst.dest == 3
+        assert inst.srcs == (7,)  # $31 is the zero register, dropped
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            assemble("addq r1, r2")
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            assemble("ldq r1, r2")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("a: nop\na: nop")
+
+    def test_undefined_label(self):
+        with pytest.raises(ValueError, match="undefined label"):
+            assemble("br nowhere")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1\n")
+
+
+class TestSequencer:
+    def test_infinite_loop_bounded_by_max(self):
+        prog = assemble(STRESSMARK_TEXT)
+        stream = list(Sequencer(prog, max_instructions=100))
+        assert len(stream) == 100
+
+    def test_loop_iterates_in_order(self):
+        prog = assemble(STRESSMARK_TEXT)
+        stream = Sequencer(prog, max_instructions=16).run(16)
+        names = [d.op.name for d in stream[:8]]
+        assert names == ["ldt", "divt", "divt", "stt", "ldq", "cmovne",
+                         "stq", "br"]
+        assert [d.op.name for d in stream[8:]] == names
+
+    def test_sequence_numbers_monotonic(self):
+        prog = assemble(STRESSMARK_TEXT)
+        stream = Sequencer(prog, max_instructions=50).run(50)
+        assert [d.seq for d in stream] == list(range(50))
+
+    def test_addresses_stable_across_iterations(self):
+        prog = assemble(STRESSMARK_TEXT)
+        stream = Sequencer(prog, max_instructions=32).run(32)
+        loads = [d for d in stream if d.op.name == "ldt"]
+        assert len({d.addr for d in loads}) == 1
+
+    def test_reg_base_override(self):
+        prog = assemble("ldq r1, 8(r4)")
+        stream = list(Sequencer(prog, reg_bases={Reg.parse("r4"): 0x5000}))
+        assert stream[0].addr == 0x5008
+
+    def test_base_register_is_a_source(self):
+        prog = assemble("ldq r1, 8(r4)")
+        inst = list(Sequencer(prog))[0]
+        assert Reg.parse("r4") in inst.srcs
+
+    def test_falls_off_end(self):
+        prog = assemble("nop\nnop\n")
+        assert len(list(Sequencer(prog))) == 2
+
+    def test_loop_count_policy(self):
+        prog = assemble("""
+        top:
+            addq r1, r1, r2
+            bne r1, top
+        nop
+        """)
+        stream = list(Sequencer(prog, branch_policy=loop_count_policy(3)))
+        # 3 iterations of (addq, bne) then the trailing nop.
+        assert len(stream) == 7
+        assert stream[-1].op.name == "nop"
+
+    def test_backward_taken_policy_directionality(self):
+        prog = assemble("""
+        top:
+            bne r1, forward
+            bne r1, top
+        forward:
+            nop
+        """)
+        backward = prog[1]
+        forward = prog[0]
+        assert backward_taken_policy(backward, 0)
+        assert not backward_taken_policy(forward, 0)
+
+    def test_call_return_flow(self):
+        prog = assemble("""
+            jsr func
+            br end
+        func:
+            addq r1, r1, r1
+            ret
+        end:
+            nop
+        """)
+        names = [d.op.name for d in Sequencer(prog)]
+        assert names == ["jsr", "addq", "ret", "br", "nop"]
+
+    def test_return_without_call_ends_program(self):
+        prog = assemble("ret\nnop")
+        names = [d.op.name for d in Sequencer(prog)]
+        assert names == ["ret"]
+
+    def test_start_label(self):
+        prog = assemble("""
+            nop
+        entry:
+            addq r1, r1, r1
+        """)
+        names = [d.op.name for d in Sequencer(prog, start_label="entry")]
+        assert names == ["addq"]
+
+    def test_pc_mapping_roundtrip(self):
+        prog = assemble(STRESSMARK_TEXT)
+        for i in range(len(prog)):
+            assert prog.index_of_pc(prog.pc_of(i)) == i
+        with pytest.raises(ValueError):
+            prog.index_of_pc(prog.base_pc - 4)
+
+
+class TestProgram:
+    def test_rejects_non_static_inst(self):
+        with pytest.raises(TypeError):
+            Program([object()])
+
+    def test_empty_program_iterates_nothing(self):
+        prog = Program([])
+        assert list(Sequencer(prog)) == []

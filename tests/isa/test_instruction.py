@@ -1,0 +1,86 @@
+"""Tests for register helpers and instruction records."""
+
+import pytest
+
+from repro.isa.instruction import (
+    DynamicInst,
+    FZERO_REG,
+    N_INT_REGS,
+    Reg,
+    StaticInst,
+    ZERO_REG,
+)
+from repro.isa.opcodes import OPCODES
+
+
+class TestReg:
+    def test_int_and_fp_spaces_disjoint(self):
+        assert Reg.int_reg(5) == 5
+        assert Reg.fp_reg(5) == N_INT_REGS + 5
+
+    @pytest.mark.parametrize("text,expected", [
+        ("r0", 0), ("r31", 31), ("f0", 32), ("f31", 63),
+        ("$7", 7), ("$f3", 35), (" r4 ", 4), ("R12", 12), ("F2", 34),
+    ])
+    def test_parse(self, text, expected):
+        assert Reg.parse(text) == expected
+
+    def test_parse_roundtrip(self):
+        for index in range(64):
+            assert Reg.parse(Reg.name(index)) == index
+
+    @pytest.mark.parametrize("bad", ["", "x3", "r32", "f40", "r-1"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            Reg.parse(bad)
+
+    def test_zero_registers(self):
+        assert Reg.is_zero(ZERO_REG)
+        assert Reg.is_zero(FZERO_REG)
+        assert not Reg.is_zero(0)
+
+    def test_name_range_check(self):
+        with pytest.raises(ValueError):
+            Reg.name(64)
+
+
+class TestStaticInst:
+    def test_zero_register_sources_dropped(self):
+        inst = StaticInst(OPCODES["cmovne"], dest=3, srcs=(ZERO_REG, 7))
+        assert inst.srcs == (7,)
+
+    def test_requires_opcode(self):
+        with pytest.raises(TypeError):
+            StaticInst("addq")
+
+    def test_repr_mentions_operands(self):
+        inst = StaticInst(OPCODES["addq"], dest=1, srcs=(2, 3))
+        text = repr(inst)
+        assert "addq" in text and "r1" in text and "r2" in text
+
+
+class TestDynamicInst:
+    def _make(self, name, **kwargs):
+        return DynamicInst(seq=0, pc=0x1000, op=OPCODES[name], **kwargs)
+
+    def test_class_flags(self):
+        assert self._make("ldq", addr=0x10).is_load
+        assert self._make("stq", addr=0x10).is_store
+        assert self._make("ldq", addr=0x10).is_mem
+        assert self._make("bne", taken=True, target=0x2000).is_branch
+        assert not self._make("addq").is_mem
+
+    def test_next_pc_fallthrough(self):
+        assert self._make("addq").next_pc == 0x1004
+
+    def test_next_pc_taken_branch(self):
+        inst = self._make("br", taken=True, target=0x2000)
+        assert inst.next_pc == 0x2000
+
+    def test_next_pc_not_taken_branch(self):
+        inst = self._make("bne", taken=False, target=0x2000)
+        assert inst.next_pc == 0x1004
+
+    def test_repr(self):
+        assert "ldq" in repr(self._make("ldq", addr=0x40))
+        assert "taken" in repr(self._make("bne", taken=True, target=0x2000))

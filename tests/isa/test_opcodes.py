@@ -1,0 +1,82 @@
+"""Tests for the opcode table and latency maps."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    DEFAULT_INTERVAL,
+    DEFAULT_LATENCY,
+    InstrClass,
+    OPCODES,
+    default_intervals,
+    default_latencies,
+)
+
+
+class TestOpcodeTable:
+    def test_stressmark_mnemonics_present(self):
+        """Every mnemonic in the paper's Figure 8 loop must assemble."""
+        for name in ("ldt", "divt", "stt", "ldq", "cmovne", "stq", "br"):
+            assert name in OPCODES
+
+    def test_classes_consistent(self):
+        assert OPCODES["divt"].iclass is InstrClass.FDIV
+        assert OPCODES["ldq"].iclass is InstrClass.LOAD
+        assert OPCODES["stq"].iclass is InstrClass.STORE
+        assert OPCODES["addq"].iclass is InstrClass.IALU
+        assert OPCODES["mulq"].iclass is InstrClass.IMULT
+        assert OPCODES["bne"].iclass is InstrClass.BRANCH
+
+    def test_stores_do_not_write_registers(self):
+        for name, op in OPCODES.items():
+            if op.iclass is InstrClass.STORE:
+                assert not op.writes_dest, name
+
+    def test_conditional_flags(self):
+        assert OPCODES["bne"].is_conditional
+        assert not OPCODES["br"].is_conditional
+        assert OPCODES["jsr"].is_call
+        assert OPCODES["ret"].is_return
+
+    def test_names_match_keys(self):
+        for name, op in OPCODES.items():
+            assert op.name == name
+
+
+class TestClassProperties:
+    def test_memory_classes(self):
+        assert InstrClass.LOAD.is_memory
+        assert InstrClass.STORE.is_memory
+        assert not InstrClass.IALU.is_memory
+
+    def test_fp_classes(self):
+        for c in (InstrClass.FALU, InstrClass.FMULT, InstrClass.FDIV):
+            assert c.is_floating_point
+        assert not InstrClass.IMULT.is_floating_point
+
+    def test_control(self):
+        assert InstrClass.BRANCH.is_control
+        assert not InstrClass.LOAD.is_control
+
+
+class TestLatencies:
+    def test_every_class_has_latency_and_interval(self):
+        for c in InstrClass:
+            assert c in DEFAULT_LATENCY
+            assert c in DEFAULT_INTERVAL
+
+    def test_divides_are_long_and_unpipelined(self):
+        """The stressmark's low-current trough relies on long FP divides."""
+        assert DEFAULT_LATENCY[InstrClass.FDIV] >= 10
+        assert DEFAULT_INTERVAL[InstrClass.FDIV] == DEFAULT_LATENCY[InstrClass.FDIV]
+        assert DEFAULT_INTERVAL[InstrClass.IDIV] == DEFAULT_LATENCY[InstrClass.IDIV]
+
+    def test_simple_ops_single_cycle(self):
+        assert DEFAULT_LATENCY[InstrClass.IALU] == 1
+
+    def test_copies_are_independent(self):
+        lat = default_latencies()
+        lat[InstrClass.IALU] = 99
+        assert DEFAULT_LATENCY[InstrClass.IALU] == 1
+        ival = default_intervals()
+        ival[InstrClass.IALU] = 99
+        assert DEFAULT_INTERVAL[InstrClass.IALU] == 1

@@ -1,0 +1,153 @@
+"""Tests for the ZOH discrete PDN simulators, including agreement with the
+reference convolution path and linear-system property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pdn.convolve import convolve_voltage, pulse_response_kernel
+from repro.pdn.discrete import DiscretePdn, PdnSimulator, cycles_for_settling
+from repro.pdn.rlc import PdnParameters, SecondOrderPdn
+from repro.pdn.waveforms import current_spike, worst_case_waveform
+
+
+@pytest.fixture(scope="module")
+def pdn():
+    return SecondOrderPdn(PdnParameters.from_spec(peak_impedance=10e-3))
+
+
+@pytest.fixture(scope="module")
+def discrete(pdn):
+    return DiscretePdn(pdn)
+
+
+class TestDiscretePdn:
+    def test_flat_current_gives_ir_drop(self, pdn, discrete):
+        v = discrete.simulate(np.full(500, 20.0))
+        expected = pdn.params.vdd - pdn.params.resistance * 20.0
+        assert np.allclose(v, expected, atol=1e-12)
+
+    def test_zero_current_gives_vdd(self, pdn, discrete):
+        v = discrete.simulate(np.zeros(100))
+        assert np.allclose(v, pdn.params.vdd)
+
+    def test_empty_trace(self, discrete):
+        assert discrete.simulate(np.empty(0)).size == 0
+
+    def test_rejects_2d_input(self, discrete):
+        with pytest.raises(ValueError):
+            discrete.simulate(np.zeros((4, 4)))
+
+    def test_step_up_causes_undershoot(self, pdn, discrete):
+        cur = current_spike(2000, base=5.0, peak=25.0, start=10, width=1990)
+        v = discrete.simulate(cur)
+        final = pdn.params.vdd - pdn.params.resistance * 25.0
+        # Underdamped network: the dip goes below the final IR-drop level.
+        assert v.min() < final - 1e-3
+
+    def test_step_down_causes_overshoot(self, pdn, discrete):
+        cur = np.concatenate([np.full(10, 25.0), np.full(1990, 5.0)])
+        v = discrete.simulate(cur, initial_current=25.0)
+        final = pdn.params.vdd - pdn.params.resistance * 5.0
+        assert v.max() > final + 1e-3
+
+    def test_matches_convolution_on_worst_case(self, pdn, discrete):
+        cur = worst_case_waveform(pdn, 5.0, 25.0, n_periods=6)
+        v_rec = discrete.simulate(cur)
+        v_conv = convolve_voltage(pdn, cur)
+        assert np.max(np.abs(v_rec - v_conv)) < 1e-9
+
+    def test_equilibrium_state(self, pdn, discrete):
+        x = discrete.equilibrium_state(12.0)
+        assert x[0] == pytest.approx(12.0)
+        assert x[1] == pytest.approx(pdn.params.vdd - pdn.params.resistance * 12.0)
+
+    def test_rejects_non_pdn(self):
+        with pytest.raises(TypeError):
+            DiscretePdn(object())
+
+
+class TestPdnSimulator:
+    def test_streaming_matches_batch(self, pdn, discrete):
+        rng = np.random.default_rng(7)
+        cur = rng.uniform(0.0, 30.0, size=1000)
+        batch = discrete.simulate(cur, initial_current=cur[0])
+        sim = PdnSimulator(discrete, initial_current=float(cur[0]))
+        stream = sim.run(cur)
+        assert np.max(np.abs(batch - stream)) < 1e-12
+
+    def test_accepts_continuous_pdn(self, pdn):
+        sim = PdnSimulator(pdn, initial_current=10.0)
+        assert sim.voltage == pytest.approx(
+            pdn.params.vdd - pdn.params.resistance * 10.0)
+
+    def test_reset_restores_equilibrium(self, pdn):
+        sim = PdnSimulator(pdn, initial_current=0.0)
+        for _ in range(50):
+            sim.step(30.0)
+        sim.reset(10.0)
+        assert sim.cycles == 0
+        assert sim.voltage == pytest.approx(
+            pdn.params.vdd - pdn.params.resistance * 10.0)
+
+    def test_step_returns_pre_step_voltage(self, pdn):
+        sim = PdnSimulator(pdn, initial_current=0.0)
+        first = sim.step(30.0)
+        # The first returned voltage predates any current change.
+        assert first == pytest.approx(pdn.params.vdd)
+        assert sim.voltage < first  # the 30 A draw has now begun to bite
+
+    def test_cycle_counter(self, pdn):
+        sim = PdnSimulator(pdn)
+        for _ in range(17):
+            sim.step(1.0)
+        assert sim.cycles == 17
+
+
+class TestKernel:
+    def test_kernel_length_defaults_to_settling(self, pdn):
+        k = pulse_response_kernel(pdn, tolerance=1e-6)
+        assert k.size == cycles_for_settling(pdn, tolerance=1e-6)
+
+    def test_kernel_sums_to_zero_ish(self, pdn):
+        # The droop kernel integrates the impulse response over one cycle
+        # per tap; its sum telescopes to ~S(infinity)-S(0) = R.
+        k = pulse_response_kernel(pdn, tolerance=1e-9)
+        assert k.sum() == pytest.approx(pdn.dc_resistance, rel=1e-3)
+
+    def test_explicit_length(self, pdn):
+        assert pulse_response_kernel(pdn, n_cycles=128).size == 128
+
+
+class TestLinearityProperties:
+    @given(hnp.arrays(np.float64, st.integers(10, 120),
+                      elements=st.floats(0.0, 50.0, allow_nan=False)))
+    @settings(max_examples=25, deadline=None)
+    def test_recursion_matches_convolution(self, cur):
+        pdn = SecondOrderPdn(PdnParameters.from_spec(peak_impedance=8e-3))
+        v_rec = DiscretePdn(pdn).simulate(cur, initial_current=0.0)
+        v_conv = convolve_voltage(pdn, cur, initial_current=0.0)
+        assert np.max(np.abs(v_rec - v_conv)) < 1e-9
+
+    @given(hnp.arrays(np.float64, 64, elements=st.floats(0.0, 20.0)),
+           hnp.arrays(np.float64, 64, elements=st.floats(0.0, 20.0)))
+    @settings(max_examples=25, deadline=None)
+    def test_superposition_of_droops(self, a, b):
+        """Droop is linear in current: droop(a+b) == droop(a) + droop(b)."""
+        pdn = SecondOrderPdn(PdnParameters.from_spec(peak_impedance=8e-3))
+        d = DiscretePdn(pdn)
+        vdd = pdn.params.vdd
+        droop_a = vdd - d.simulate(a, initial_current=0.0)
+        droop_b = vdd - d.simulate(b, initial_current=0.0)
+        droop_ab = vdd - d.simulate(a + b, initial_current=0.0)
+        assert np.max(np.abs(droop_ab - (droop_a + droop_b))) < 1e-9
+
+    @given(st.floats(0.0, 50.0))
+    @settings(max_examples=25, deadline=None)
+    def test_constant_current_is_equilibrium(self, level):
+        pdn = SecondOrderPdn(PdnParameters.from_spec(peak_impedance=8e-3))
+        v = DiscretePdn(pdn).simulate(np.full(64, level))
+        expected = pdn.params.vdd - pdn.params.resistance * level
+        assert np.allclose(v, expected, atol=1e-10)

@@ -1,0 +1,60 @@
+"""Tests for the ITRS roadmap data behind Figure 1."""
+
+import pytest
+
+from repro.pdn.itrs import (
+    halving_time_years,
+    impedance_trend,
+    relative_impedance_trend,
+    roadmap,
+    segment_gap_ratio,
+)
+
+
+class TestRoadmapData:
+    def test_years_strictly_increasing(self):
+        years = [p.year for p in roadmap()]
+        assert years == sorted(years)
+        assert len(set(years)) == len(years)
+
+    def test_vdd_decreases(self):
+        vdds = [p.vdd for p in roadmap()]
+        assert all(a >= b for a, b in zip(vdds, vdds[1:]))
+
+    def test_both_series_decrease(self):
+        for segment in ("cost_performance", "high_performance"):
+            _, values = impedance_trend(segment)
+            assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_normalized_to_2001_high_performance(self):
+        _, values = impedance_trend("high_performance")
+        assert values[0] == pytest.approx(1.0)
+
+    def test_unknown_segment_rejected(self):
+        with pytest.raises(ValueError):
+            impedance_trend("mobile")
+
+    def test_relative_trend_shapes(self):
+        years, cost, high = relative_impedance_trend()
+        assert len(years) == len(cost) == len(high)
+        # Cost-performance systems tolerate higher impedance throughout.
+        assert all(c > h for c, h in zip(cost, high))
+
+
+class TestPaperClaims:
+    def test_halving_time_3_to_5_years(self):
+        """Paper: 'target impedance must drop rapidly, at roughly 2x every
+        3-5 years' (Section 1)."""
+        for segment in ("cost_performance", "high_performance"):
+            assert 3.0 <= halving_time_years(segment) <= 5.0
+
+    def test_segment_gap_shrinks(self):
+        """Paper: 'the relative difference between target impedances of the
+        cost-performance and high-performance systems is shrinking'."""
+        first = roadmap()[0].year
+        last = roadmap()[-1].year
+        assert segment_gap_ratio(last) < segment_gap_ratio(first)
+
+    def test_gap_ratio_unknown_year(self):
+        with pytest.raises(KeyError):
+            segment_gap_ratio(1999)

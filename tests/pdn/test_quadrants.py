@@ -1,0 +1,107 @@
+"""Tests for the per-quadrant supply network and power split."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.quadrants import (
+    N_QUADRANTS,
+    QUADRANT_FLOORPLAN,
+    QuadrantParameters,
+    QuadrantPdn,
+    split_power,
+)
+from repro.pdn.statespace import StateSpaceSimulator
+from repro.power.model import PowerModel
+from repro.power.params import STRUCTURES
+from repro.uarch.activity import CycleActivity
+from repro.uarch.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def pdn():
+    return QuadrantPdn(QuadrantParameters.representative())
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuadrantParameters(r0=0, l0=1e-12, c0=1e-6, rq=1e-3, lq=1e-12,
+                               cq=1e-7)
+
+    def test_representative(self):
+        QuadrantParameters.representative()
+
+
+class TestTopology:
+    def test_state_dimensions(self, pdn):
+        assert pdn.model.n_states == 2 + 2 * N_QUADRANTS
+        assert pdn.model.n_inputs == N_QUADRANTS
+        assert pdn.model.n_outputs == N_QUADRANTS
+
+    def test_equilibrium_symmetric(self, pdn):
+        x = pdn.model.equilibrium(np.full(N_QUADRANTS, 5.0))
+        voltages = pdn.model.c @ x
+        assert np.allclose(voltages, voltages[0])
+
+    def test_self_impedance_exceeds_coupling(self, pdn):
+        for f in (20e6, 50e6, 150e6):
+            assert pdn.impedance(f, 0, 0) > pdn.impedance(f, 0, 1)
+
+    def test_quadrants_symmetric(self, pdn):
+        assert pdn.impedance(50e6, 1, 1) == pytest.approx(
+            pdn.impedance(50e6, 3, 3), rel=1e-9)
+
+
+class TestLocalDroop:
+    def test_local_burst_droops_own_quadrant_deepest(self, pdn):
+        sim = StateSpaceSimulator(pdn.discretize(),
+                                  initial_current=np.full(4, 5.0))
+        voltages = []
+        for t in range(600):
+            currents = np.full(4, 5.0)
+            if (t // 30) % 2 == 0:
+                currents[2] = 25.0
+            voltages.append(sim.step(currents))
+        voltages = np.array(voltages)
+        mins = voltages.min(axis=0)
+        assert int(np.argmin(mins)) == 2
+        # The local droop is meaningfully deeper than its neighbours'.
+        others = [mins[q] for q in range(4) if q != 2]
+        assert mins[2] < min(others) - 0.002
+
+    def test_uniform_load_droops_uniformly(self, pdn):
+        sim = StateSpaceSimulator(pdn.discretize(),
+                                  initial_current=np.full(4, 5.0))
+        voltages = []
+        for t in range(300):
+            level = 25.0 if (t // 30) % 2 == 0 else 5.0
+            voltages.append(sim.step(np.full(4, level)))
+        voltages = np.array(voltages)
+        mins = voltages.min(axis=0)
+        assert np.allclose(mins, mins[0], atol=1e-9)
+
+
+class TestPowerSplit:
+    def test_floorplan_covers_every_structure_once(self):
+        placed = [n for names in QUADRANT_FLOORPLAN.values() for n in names]
+        assert sorted(placed) == sorted(STRUCTURES)
+
+    def test_split_conserves_power(self):
+        model = PowerModel(MachineConfig())
+        activity = CycleActivity()
+        activity.busy_int_alu = 4
+        activity.l1d_accesses = 2
+        breakdown = model.breakdown(activity)
+        split = split_power(breakdown)
+        assert split.sum() == pytest.approx(sum(breakdown.values()))
+
+    def test_fu_activity_lands_in_execute_quadrant(self):
+        model = PowerModel(MachineConfig())
+        idle = model.breakdown(CycleActivity())
+        busy_activity = CycleActivity()
+        busy_activity.busy_int_alu = 8
+        busy_activity.busy_fp_alu = 4
+        busy = model.breakdown(busy_activity)
+        delta = split_power(busy) - split_power(idle)
+        assert int(np.argmax(delta)) == 2
+        assert delta[0] == pytest.approx(0.0, abs=1e-12)

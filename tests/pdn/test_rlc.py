@@ -1,0 +1,169 @@
+"""Unit tests for the continuous-time second-order PDN model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.pdn.rlc import (
+    NOMINAL_CLOCK_HZ,
+    NOMINAL_DC_RESISTANCE,
+    NOMINAL_RESONANT_HZ,
+    PdnParameters,
+    SecondOrderPdn,
+    default_pdn,
+)
+
+
+def make_pdn(peak=5e-3):
+    return SecondOrderPdn(PdnParameters.from_spec(peak_impedance=peak))
+
+
+class TestPdnParameters:
+    def test_from_spec_resonant_frequency(self):
+        pdn = make_pdn()
+        assert pdn.resonant_hz == pytest.approx(NOMINAL_RESONANT_HZ, rel=1e-9)
+
+    def test_from_spec_dc_resistance(self):
+        pdn = make_pdn()
+        assert pdn.dc_resistance == NOMINAL_DC_RESISTANCE
+
+    def test_from_spec_peak_impedance_close(self):
+        pdn = make_pdn(peak=5e-3)
+        peak, freq = pdn.peak_impedance()
+        # Approximation L/(R C) ignores the numerator R term; peak should be
+        # within a few percent and never below the requested value.
+        assert peak == pytest.approx(5e-3, rel=0.05)
+        assert peak >= 5e-3
+        assert freq == pytest.approx(NOMINAL_RESONANT_HZ, rel=0.05)
+
+    def test_requires_underdamped_spec(self):
+        with pytest.raises(ValueError):
+            PdnParameters.from_spec(peak_impedance=0.5e-3)
+
+    def test_requires_peak(self):
+        with pytest.raises(ValueError):
+            PdnParameters.from_spec()
+
+    @pytest.mark.parametrize("field", ["resistance", "inductance", "capacitance", "vdd"])
+    def test_rejects_nonpositive_components(self, field):
+        kwargs = dict(resistance=1e-3, inductance=1e-12, capacitance=1e-6, vdd=1.0)
+        kwargs[field] = 0.0
+        with pytest.raises(ValueError):
+            PdnParameters(**kwargs)
+
+
+class TestSecondOrderPdn:
+    def test_underdamped(self):
+        pdn = make_pdn()
+        assert 0.0 < pdn.zeta < 1.0
+
+    def test_rejects_overdamped(self):
+        # Huge R relative to sqrt(L/C) gives zeta >= 1.
+        params = PdnParameters(resistance=1.0, inductance=1e-12, capacitance=1e-6)
+        with pytest.raises(ValueError):
+            SecondOrderPdn(params)
+
+    def test_dc_impedance_equals_resistance(self):
+        pdn = make_pdn()
+        assert pdn.impedance(0.0) == pytest.approx(pdn.dc_resistance, rel=1e-12)
+
+    def test_impedance_vector_matches_scalar(self):
+        pdn = make_pdn()
+        freqs = np.array([1e6, 5e7, 2e8])
+        vec = pdn.impedance(freqs)
+        for f, expected in zip(freqs, vec):
+            assert pdn.impedance(float(f)) == pytest.approx(expected, rel=1e-12)
+
+    def test_impedance_peak_at_resonance(self):
+        pdn = make_pdn()
+        peak, freq = pdn.peak_impedance()
+        below = pdn.impedance(freq / 3.0)
+        above = pdn.impedance(freq * 3.0)
+        assert peak > below
+        assert peak > above
+
+    def test_resonant_period_cycles_matches_paper(self):
+        # 50 MHz resonance at 3 GHz -> 60-cycle period (Figure 6).
+        pdn = make_pdn()
+        assert pdn.resonant_period_cycles(NOMINAL_CLOCK_HZ) == pytest.approx(60.0)
+
+    def test_quality_factor(self):
+        pdn = make_pdn()
+        assert pdn.quality_factor == pytest.approx(1.0 / (2.0 * pdn.zeta))
+
+    def test_poles_conjugate_pair_in_left_half_plane(self):
+        pdn = make_pdn()
+        p1, p2 = pdn.poles()
+        assert p1 == p2.conjugate()
+        assert p1.real < 0.0
+        assert abs(p1) == pytest.approx(pdn.omega0, rel=1e-12)
+
+    def test_settling_time_decreases_with_tolerance(self):
+        pdn = make_pdn()
+        assert pdn.settling_time(0.1) < pdn.settling_time(0.01)
+
+
+class TestTimeDomain:
+    def test_impulse_response_zero_before_t0(self):
+        pdn = make_pdn()
+        t = np.array([-1e-9, -1e-12])
+        assert np.all(pdn.impulse_response(t) == 0.0)
+
+    def test_impulse_response_initial_value(self):
+        # h(0+) = 1/C: the whole impulse of charge lands on the capacitor.
+        pdn = make_pdn()
+        assert pdn.impulse_response(0.0) == pytest.approx(
+            1.0 / pdn.params.capacitance, rel=1e-12)
+
+    def test_step_response_settles_to_dc_resistance(self):
+        pdn = make_pdn()
+        t_late = 20.0 / pdn.alpha
+        assert pdn.step_response(t_late) == pytest.approx(pdn.dc_resistance, rel=1e-6)
+
+    def test_step_response_starts_at_zero(self):
+        pdn = make_pdn()
+        assert pdn.step_response(0.0) == pytest.approx(0.0, abs=1e-15)
+
+    def test_step_is_integral_of_impulse(self):
+        pdn = make_pdn()
+        t_end = 3.0 / pdn.alpha
+        t = np.linspace(0.0, t_end, 200001)
+        h = pdn.impulse_response(t)
+        integral = np.trapezoid(h, t)
+        assert integral == pytest.approx(pdn.step_response(t_end), rel=1e-5)
+
+    def test_step_overshoots_then_rings(self):
+        # Underdamped network: the droop step response overshoots its final
+        # value R (Figure 2, right).
+        pdn = make_pdn()
+        assert pdn.step_overshoot_ratio() > 1.5
+
+
+class TestScaling:
+    def test_scaled_peak_impedance(self):
+        pdn = make_pdn()
+        doubled = pdn.scaled_peak_impedance(2.0)
+        p1, _ = pdn.peak_impedance()
+        p2, _ = doubled.peak_impedance()
+        assert p2 == pytest.approx(2.0 * p1, rel=0.02)
+
+    def test_scaling_preserves_resonance_and_dc(self):
+        pdn = make_pdn()
+        scaled = pdn.scaled_peak_impedance(4.0)
+        assert scaled.resonant_hz == pytest.approx(pdn.resonant_hz, rel=1e-6)
+        assert scaled.dc_resistance == pdn.dc_resistance
+
+    def test_scale_factor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_pdn().scaled_peak_impedance(0.0)
+
+    def test_default_pdn_percent(self):
+        base = default_pdn(impedance_percent=100.0)
+        double = default_pdn(impedance_percent=200.0)
+        p1, _ = base.peak_impedance()
+        p2, _ = double.peak_impedance()
+        assert p2 == pytest.approx(2.0 * p1, rel=0.02)
+
+    def test_repr_mentions_resonance(self):
+        assert "50" in repr(make_pdn())

@@ -1,0 +1,115 @@
+"""Tests for the generic state-space PDN machinery."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.discrete import DiscretePdn
+from repro.pdn.rlc import PdnParameters, SecondOrderPdn
+from repro.pdn.statespace import (
+    DiscreteStateSpace,
+    StateSpacePdn,
+    StateSpaceSimulator,
+)
+
+
+def canonical_as_statespace(pdn):
+    """The canonical 2-state network expressed generically."""
+    p = pdn.params
+    a = np.array([[-p.resistance / p.inductance, -1.0 / p.inductance],
+                  [1.0 / p.capacitance, 0.0]])
+    b = np.array([[0.0], [-1.0 / p.capacitance]])
+    w = np.array([p.vdd / p.inductance, 0.0])
+    c = np.array([[0.0, 1.0]])
+    return StateSpacePdn(a, b, w, c)
+
+
+@pytest.fixture(scope="module")
+def pdn():
+    return SecondOrderPdn(PdnParameters.from_spec(peak_impedance=5e-3))
+
+
+@pytest.fixture(scope="module")
+def generic(pdn):
+    return canonical_as_statespace(pdn)
+
+
+class TestValidation:
+    def test_shape_checks(self):
+        a = np.eye(2)
+        with pytest.raises(ValueError):
+            StateSpacePdn(np.ones((2, 3)), np.ones((2, 1)), np.ones(2),
+                          np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            StateSpacePdn(a, np.ones((3, 1)), np.ones(2), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            StateSpacePdn(a, np.ones((2, 1)), np.ones(3), np.ones((1, 2)))
+        with pytest.raises(ValueError):
+            StateSpacePdn(a, np.ones((2, 1)), np.ones(2), np.ones((1, 3)))
+
+
+class TestAgainstCanonical:
+    """The generic machinery must agree exactly with the hand-unrolled
+    two-state implementation."""
+
+    def test_equilibrium(self, pdn, generic):
+        x = generic.equilibrium(10.0)
+        expected = DiscretePdn(pdn).equilibrium_state(10.0)
+        assert np.allclose(x, expected)
+
+    def test_impedance(self, pdn, generic):
+        for f in (1e6, 50e6, 150e6):
+            assert generic.impedance(f) == pytest.approx(pdn.impedance(f),
+                                                         rel=1e-9)
+
+    def test_batch_simulation(self, pdn, generic):
+        rng = np.random.default_rng(5)
+        cur = rng.uniform(0.0, 40.0, size=400)
+        v_generic = generic.discretize().simulate(cur)
+        v_specific = DiscretePdn(pdn).simulate(cur)
+        assert np.max(np.abs(v_generic - v_specific)) < 1e-12
+
+    def test_streaming_matches_batch(self, generic):
+        rng = np.random.default_rng(6)
+        cur = rng.uniform(0.0, 40.0, size=300)
+        batch = generic.discretize().simulate(cur)
+        sim = StateSpaceSimulator(generic.discretize(),
+                                  initial_current=float(cur[0]))
+        stream = np.array([sim.step(c) for c in cur])
+        assert np.max(np.abs(batch - stream)) < 1e-12
+
+
+class TestMultiInput:
+    def _two_input_model(self, pdn):
+        """Same network, load split across two half-current inputs."""
+        p = pdn.params
+        a = np.array([[-p.resistance / p.inductance, -1.0 / p.inductance],
+                      [1.0 / p.capacitance, 0.0]])
+        b = np.array([[0.0, 0.0],
+                      [-1.0 / p.capacitance, -1.0 / p.capacitance]])
+        w = np.array([p.vdd / p.inductance, 0.0])
+        c = np.array([[0.0, 1.0]])
+        return StateSpacePdn(a, b, w, c)
+
+    def test_split_inputs_superpose(self, pdn):
+        model = self._two_input_model(pdn)
+        rng = np.random.default_rng(7)
+        cur = rng.uniform(0.0, 30.0, size=200)
+        halves = np.column_stack([cur / 2, cur / 2])
+        v_split = model.discretize().simulate(halves)
+        v_whole = DiscretePdn(pdn).simulate(cur)
+        assert np.max(np.abs(v_split - v_whole)) < 1e-12
+
+    def test_input_width_check(self, pdn):
+        model = self._two_input_model(pdn)
+        with pytest.raises(ValueError):
+            model.discretize().simulate(np.zeros((10, 3)))
+
+    def test_simulator_reset(self, pdn):
+        model = self._two_input_model(pdn)
+        sim = StateSpaceSimulator(model, initial_current=5.0)
+        for _ in range(10):
+            sim.step(np.array([20.0, 20.0]))
+        sim.reset(5.0)
+        assert sim.cycles == 0
+        v_eq = pdn.params.vdd - pdn.params.resistance * 10.0
+        assert sim.voltage == pytest.approx(v_eq, abs=1e-9)

@@ -1,0 +1,146 @@
+"""Tests for the canonical current stimuli and their Figure 3--6 behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.discrete import DiscretePdn
+from repro.pdn.rlc import PdnParameters, SecondOrderPdn
+from repro.pdn.waveforms import (
+    current_spike,
+    flat_current,
+    notched_spike,
+    pulse_train,
+    resonant_square_wave,
+    worst_case_waveform,
+)
+
+
+@pytest.fixture(scope="module")
+def pdn():
+    return SecondOrderPdn(PdnParameters.from_spec(peak_impedance=10e-3))
+
+
+@pytest.fixture(scope="module")
+def discrete(pdn):
+    return DiscretePdn(pdn)
+
+
+class TestBuilders:
+    def test_flat(self):
+        trace = flat_current(10, 3.0)
+        assert trace.shape == (10,)
+        assert np.all(trace == 3.0)
+
+    def test_flat_rejects_empty(self):
+        with pytest.raises(ValueError):
+            flat_current(0, 1.0)
+
+    def test_spike_placement(self):
+        trace = current_spike(20, base=1.0, peak=9.0, start=5, width=3)
+        assert np.all(trace[:5] == 1.0)
+        assert np.all(trace[5:8] == 9.0)
+        assert np.all(trace[8:] == 1.0)
+
+    def test_spike_zero_width_is_flat(self):
+        trace = current_spike(20, base=1.0, peak=9.0, start=5, width=0)
+        assert np.all(trace == 1.0)
+
+    def test_spike_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            current_spike(20, 1.0, 9.0, start=-1, width=3)
+
+    def test_notched_spike_shape(self):
+        trace = notched_spike(40, base=1.0, peak=9.0, start=5, width=20,
+                              notch_start=8, notch_width=4)
+        assert np.all(trace[13:17] == 1.0)  # the notch
+        assert np.all(trace[5:13] == 9.0)
+        assert np.all(trace[17:25] == 9.0)
+
+    def test_notch_must_fit_in_spike(self):
+        with pytest.raises(ValueError):
+            notched_spike(40, 1.0, 9.0, start=5, width=10,
+                          notch_start=8, notch_width=4)
+
+    def test_pulse_train_count_and_period(self):
+        trace = pulse_train(200, base=0.0, peak=1.0, start=10,
+                            pulse_width=30, period=60, n_pulses=3)
+        rising = np.flatnonzero(np.diff(trace) > 0) + 1
+        assert list(rising) == [10, 70, 130]
+
+    def test_pulse_train_width_le_period(self):
+        with pytest.raises(ValueError):
+            pulse_train(100, 0.0, 1.0, 0, pulse_width=61, period=60, n_pulses=1)
+
+    def test_pulse_train_truncates_at_end(self):
+        trace = pulse_train(50, base=0.0, peak=1.0, start=40,
+                            pulse_width=30, period=60, n_pulses=2)
+        assert np.all(trace[40:] == 1.0)
+        assert trace.size == 50
+
+    def test_resonant_square_wave_period(self, pdn):
+        trace = resonant_square_wave(pdn, 240, 0.0, 1.0)
+        # 60-cycle resonant period: 30 high, 30 low.
+        assert np.all(trace[:30] == 1.0)
+        assert np.all(trace[30:60] == 0.0)
+        assert np.all(trace[60:90] == 1.0)
+
+    def test_resonant_square_wave_lead_in(self, pdn):
+        trace = resonant_square_wave(pdn, 240, 2.0, 8.0, start=50)
+        assert np.all(trace[:50] == 2.0)
+        assert trace[50] == 8.0
+
+    def test_resonant_square_wave_validates_range(self, pdn):
+        with pytest.raises(ValueError):
+            resonant_square_wave(pdn, 100, 5.0, 1.0)
+
+    def test_worst_case_waveform_starts_at_min(self, pdn):
+        trace = worst_case_waveform(pdn, 3.0, 9.0)
+        assert trace[0] == 3.0
+        assert trace.max() == 9.0
+
+
+class TestFigureBehaviours:
+    """The qualitative results of the paper's Figures 3--6."""
+
+    BASE = 5.0
+    PEAK = 25.0
+
+    def _min_voltage(self, discrete, trace):
+        return discrete.simulate(trace, initial_current=self.BASE).min()
+
+    def test_fig3_vs_fig4_wide_spike_digs_deeper(self, discrete):
+        narrow = current_spike(600, self.BASE, self.PEAK, start=50, width=5)
+        wide = current_spike(600, self.BASE, self.PEAK, start=50, width=30)
+        assert self._min_voltage(discrete, wide) < self._min_voltage(discrete, narrow)
+
+    def test_fig5_notch_recovers_voltage(self, discrete):
+        wide = current_spike(600, self.BASE, self.PEAK, start=50, width=40)
+        notched = notched_spike(600, self.BASE, self.PEAK, start=50, width=40,
+                                notch_start=10, notch_width=15)
+        assert self._min_voltage(discrete, notched) > self._min_voltage(discrete, wide)
+
+    def test_fig6_second_resonant_pulse_digs_deeper(self, pdn, discrete):
+        period = int(round(pdn.resonant_period_cycles()))
+        trace = pulse_train(10 * period, self.BASE, self.PEAK, start=period,
+                            pulse_width=period // 2, period=period, n_pulses=2)
+        v = discrete.simulate(trace, initial_current=self.BASE)
+        first_min = v[period:2 * period].min()
+        second_min = v[2 * period:3 * period].min()
+        assert second_min < first_min
+
+    def test_off_resonance_train_is_milder(self, pdn, discrete):
+        period = int(round(pdn.resonant_period_cycles()))
+        on_res = pulse_train(20 * period, self.BASE, self.PEAK, start=0,
+                             pulse_width=period // 2, period=period, n_pulses=10)
+        off_res = pulse_train(20 * period, self.BASE, self.PEAK, start=0,
+                              pulse_width=period // 2, period=2 * period,
+                              n_pulses=10)
+        assert (discrete.simulate(on_res, initial_current=self.BASE).min()
+                < discrete.simulate(off_res, initial_current=self.BASE).min())
+
+    def test_worst_case_beats_single_step(self, pdn, discrete):
+        """The resonant square wave out-droops a sustained step of equal dI."""
+        step = current_spike(1200, self.BASE, self.PEAK, start=50, width=1150)
+        wave = worst_case_waveform(pdn, self.BASE, self.PEAK, n_periods=15)
+        assert (discrete.simulate(wave, initial_current=self.BASE).min()
+                < discrete.simulate(step, initial_current=self.BASE).min())

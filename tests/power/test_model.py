@@ -1,0 +1,215 @@
+"""Tests for the Wattch-style power model."""
+
+import pytest
+
+from repro.power.model import PowerModel
+from repro.power.params import DL1_GROUP, FU_GROUP, IL1_GROUP, PowerParams
+from repro.uarch.activity import CycleActivity
+from repro.uarch.config import MachineConfig
+
+
+@pytest.fixture
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture
+def model(config):
+    return PowerModel(config)
+
+
+def idle_activity():
+    return CycleActivity()
+
+
+def busy_activity(config):
+    a = CycleActivity()
+    a.fetched = config.fetch_width
+    a.l1i_accesses = 1
+    a.bpred_lookups = 2
+    a.decoded = config.decode_width
+    a.dispatched = config.decode_width
+    a.issued_int_alu = config.n_int_alu
+    a.issued_fp_alu = config.n_fp_alu
+    a.issued_mem_port = config.n_mem_ports
+    a.busy_int_alu = config.n_int_alu
+    a.busy_int_mult = config.n_int_mult
+    a.busy_fp_alu = config.n_fp_alu
+    a.busy_fp_mult = config.n_fp_mult
+    a.busy_mem_port = config.n_mem_ports
+    a.l1d_accesses = config.n_mem_ports
+    a.l2_accesses = 1
+    a.memory_accesses = 1
+    a.writebacks = config.issue_width
+    a.committed = config.commit_width
+    a.regfile_reads = 2 * config.issue_width
+    a.regfile_writes = config.issue_width
+    return a
+
+
+class TestPowerParams:
+    def test_defaults_valid(self):
+        p = PowerParams()
+        assert p.total_structure_power > 0
+        assert p.base_power == p.clock_power + p.static_power
+
+    def test_vdd_positive(self):
+        with pytest.raises(ValueError):
+            PowerParams(vdd=0.0)
+
+    def test_factor_ordering(self):
+        with pytest.raises(ValueError):
+            PowerParams(idle_factor=0.05, gated_factor=0.10)
+
+    def test_negative_structure_power(self):
+        with pytest.raises(ValueError):
+            PowerParams(structures={"l1i": -1.0})
+
+    def test_structures_copied(self):
+        a = PowerParams()
+        a.structures["l1i"] = 0.0
+        assert PowerParams().structures["l1i"] != 0.0
+
+
+class TestEnvelope:
+    def test_ordering(self, model):
+        assert model.gated_min_power() < model.min_power() < model.max_power()
+
+    def test_idle_cycle_power_is_min(self, model):
+        assert model.power(idle_activity()) == pytest.approx(model.min_power())
+
+    def test_busy_cycle_near_max(self, model, config):
+        p = model.power(busy_activity(config))
+        assert p > 0.8 * model.max_power()
+        assert p <= model.max_power() + 1e-9
+
+    def test_current_envelope_scaling(self, config):
+        m1 = PowerModel(config, PowerParams(vdd=1.0))
+        m2 = PowerModel(config, PowerParams(vdd=2.0))
+        assert m2.current_envelope()[1] == pytest.approx(
+            m1.current_envelope()[1] / 2.0)
+
+
+class TestConditionalClocking:
+    def test_idle_structures_at_idle_factor(self, model):
+        b = model.breakdown(idle_activity())
+        p = model.params
+        for name, watts in p.structures.items():
+            assert b[name] == pytest.approx(watts * p.idle_factor)
+
+    def test_activity_raises_power(self, model, config):
+        idle = model.power(idle_activity())
+        a = idle_activity()
+        a.busy_int_alu = config.n_int_alu
+        assert model.power(a) > idle
+
+    def test_current_is_power_over_vdd(self, model, config):
+        a = busy_activity(config)
+        assert model.current(a) == pytest.approx(
+            model.power(a) / model.params.vdd)
+
+
+class TestActuation:
+    def test_gated_groups_drop_below_idle(self, model):
+        a = idle_activity()
+        a.fu_gated = True
+        a.dl1_gated = True
+        a.il1_gated = True
+        b = model.breakdown(a)
+        p = model.params
+        for name in FU_GROUP + DL1_GROUP + IL1_GROUP:
+            assert b[name] == pytest.approx(
+                p.structures[name] * p.gated_factor)
+        assert model.power(a) == pytest.approx(model.gated_min_power())
+
+    def test_gating_overrides_activity(self, model, config):
+        a = busy_activity(config)
+        a.fu_gated = True
+        b = model.breakdown(a)
+        p = model.params
+        for name in FU_GROUP:
+            assert b[name] == pytest.approx(
+                p.structures[name] * p.gated_factor)
+
+    def test_phantom_forces_full_power(self, model):
+        a = idle_activity()
+        a.fu_phantom = True
+        b = model.breakdown(a)
+        for name in FU_GROUP:
+            assert b[name] == pytest.approx(model.params.structures[name])
+
+    def test_phantom_raises_total(self, model):
+        a = idle_activity()
+        base = model.power(a)
+        a.fu_phantom = True
+        a.dl1_phantom = True
+        a.il1_phantom = True
+        assert model.power(a) > base
+
+    def test_gated_fu_group_is_substantial(self, model):
+        """The FU/DL1/IL1 actuator must control a meaningful fraction of
+        max power or the paper's mechanism couldn't reshape current."""
+        controllable = sum(model.params.structures[n]
+                           for n in FU_GROUP + DL1_GROUP + IL1_GROUP)
+        assert controllable / model.max_power() > 0.3
+
+
+class TestEnergySpreading:
+    def test_spreading_reduces_issue_spike(self, config):
+        spread = PowerModel(config, PowerParams(spread_multicycle=True))
+        lumped = PowerModel(config, PowerParams(spread_multicycle=False))
+        a = idle_activity()
+        a.issued_fp_mult = config.n_fp_mult  # two divides issued
+        a.busy_fp_mult = config.n_fp_mult
+        assert lumped.power(a) > spread.power(a)
+
+    def test_spreading_conserves_energy_for_pipelined_ops(self, config):
+        """A 1-cycle ALU op charges the same energy either way."""
+        spread = PowerModel(config, PowerParams(spread_multicycle=True))
+        lumped = PowerModel(config, PowerParams(spread_multicycle=False))
+        a = idle_activity()
+        a.issued_int_alu = 4
+        a.busy_int_alu = 4
+        assert spread.power(a) == pytest.approx(lumped.power(a))
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_power(self, model, config):
+        a = busy_activity(config)
+        assert sum(model.breakdown(a).values()) == pytest.approx(
+            model.power(a))
+
+    def test_all_structures_present(self, model):
+        b = model.breakdown(idle_activity())
+        for name in model.params.structures:
+            assert name in b
+        assert "base" in b
+
+
+class TestFusedPowerEquivalence:
+    """The fused fast-path ``power()`` must match ``breakdown()`` exactly
+    for every activity pattern and actuation state."""
+
+    _COUNTER_FIELDS = (
+        "fetched", "l1i_accesses", "bpred_lookups", "decoded", "dispatched",
+        "issued_int_alu", "issued_int_mult", "issued_fp_alu",
+        "issued_fp_mult", "issued_mem_port", "busy_int_alu", "busy_int_mult",
+        "busy_fp_alu", "busy_fp_mult", "busy_mem_port", "l1d_accesses",
+        "l2_accesses", "memory_accesses", "writebacks", "committed",
+        "regfile_reads", "regfile_writes")
+    _FLAG_FIELDS = ("fu_gated", "fu_phantom", "dl1_gated", "dl1_phantom",
+                    "il1_gated", "il1_phantom")
+
+    @pytest.mark.parametrize("spread", [True, False])
+    def test_randomized_equivalence(self, config, spread):
+        import random
+        rng = random.Random(42)
+        model = PowerModel(config, PowerParams(spread_multicycle=spread))
+        for _ in range(500):
+            a = CycleActivity()
+            for field in self._COUNTER_FIELDS:
+                setattr(a, field, rng.randrange(0, 12))
+            for flag in self._FLAG_FIELDS:
+                setattr(a, flag, rng.random() < 0.3)
+            assert model.power(a) == pytest.approx(
+                sum(model.breakdown(a).values()), abs=1e-9)

@@ -1,0 +1,62 @@
+"""Tests for current-trace containers."""
+
+import numpy as np
+import pytest
+
+from repro.power.trace import CurrentTrace
+
+
+class TestCurrentTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CurrentTrace(clock_hz=0.0)
+        with pytest.raises(ValueError):
+            CurrentTrace(clock_hz=1e9, vdd=0.0)
+
+    def test_empty_trace(self):
+        t = CurrentTrace(3e9)
+        assert len(t) == 0
+        assert t.average_power() == 0.0
+        assert t.swing() == (0.0, 0.0)
+        assert t.total_energy() == 0.0
+
+    def test_energy(self):
+        t = CurrentTrace(clock_hz=1e9)
+        for _ in range(1000):
+            t.append(10.0)  # 10 W for 1000 ns
+        assert t.total_energy() == pytest.approx(10.0 * 1000e-9)
+
+    def test_currents_respect_vdd(self):
+        t = CurrentTrace(clock_hz=1e9, vdd=2.0)
+        t.append(10.0)
+        assert t.currents[0] == pytest.approx(5.0)
+
+    def test_swing(self):
+        t = CurrentTrace(1e9)
+        for p in (10.0, 30.0, 20.0):
+            t.append(p)
+        assert t.swing() == (10.0, 30.0)
+
+    def test_average_power(self):
+        t = CurrentTrace(1e9)
+        for p in (10.0, 20.0):
+            t.append(p)
+        assert t.average_power() == pytest.approx(15.0)
+
+    def test_windowed_swing_sees_local_excursion(self):
+        t = CurrentTrace(1e9)
+        # Slow ramp: tiny local swing despite a big global one.
+        for i in range(1000):
+            t.append(10.0 + i * 0.01)
+        assert t.windowed_max_swing(10) == pytest.approx(0.1, rel=0.2)
+        assert t.swing()[1] - t.swing()[0] == pytest.approx(9.99, rel=0.01)
+
+    def test_windowed_swing_shorter_than_window(self):
+        t = CurrentTrace(1e9)
+        t.append(5.0)
+        t.append(9.0)
+        assert t.windowed_max_swing(100) == pytest.approx(4.0)
+
+    def test_windowed_swing_validation(self):
+        with pytest.raises(ValueError):
+            CurrentTrace(1e9).windowed_max_swing(0)

@@ -1,0 +1,62 @@
+"""Calibration regression snapshot.
+
+The reproduction's experiment shapes rest on a calibrated operating
+point: the power budget's envelope, the solved target impedance, the
+tuned stressmark geometry, and the Table 3 anchor rows.  This module
+pins those numbers (with tolerances generous enough for legitimate
+numerical churn) so an accidental change to the power budget, solver, or
+synthesizer shows up as a named failure here rather than as silent drift
+across every bench.
+
+If a change is *intentional* (e.g. a rebalanced power budget), update
+the expected values below and re-verify EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import VoltageControlDesign, tune_stressmark
+from repro.control.thresholds import solve_target_impedance
+from repro.power.model import PowerModel
+from repro.uarch.config import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PowerModel(MachineConfig())
+
+
+@pytest.fixture(scope="module")
+def design():
+    return VoltageControlDesign(impedance_percent=200.0)
+
+
+class TestCalibrationSnapshot:
+    def test_power_envelope(self, model):
+        i_min, i_max = model.current_envelope()
+        assert i_min == pytest.approx(17.4, abs=0.5)
+        assert i_max == pytest.approx(66.5, abs=0.5)
+        assert model.gated_min_power() == pytest.approx(15.6, abs=0.5)
+
+    def test_target_impedance(self, model):
+        i_min, i_max = model.current_envelope()
+        target = solve_target_impedance(i_min, i_max)
+        assert target == pytest.approx(1.29e-3, rel=0.05)
+
+    def test_stressmark_geometry(self, design):
+        spec, period = tune_stressmark(design.pdn, design.config)
+        assert spec.n_divides == 2
+        assert 18 <= spec.burst_groups <= 28
+        assert period == pytest.approx(60.0, abs=2.0)
+
+    def test_table3_anchor_rows(self, design):
+        d0 = design.thresholds(delay=0)
+        d6 = design.thresholds(delay=6)
+        assert d0.v_low == pytest.approx(0.953, abs=0.003)
+        assert d6.v_low == pytest.approx(0.978, abs=0.003)
+        assert d0.window_mv > d6.window_mv
+
+    def test_actuator_levers(self, design):
+        fu_reduce, _ = design.response_currents("fu")
+        coarse_reduce, _ = design.response_currents("fu_dl1_il1")
+        assert fu_reduce == pytest.approx(36.4, abs=1.0)
+        assert coarse_reduce == pytest.approx(15.6, abs=1.0)

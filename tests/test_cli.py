@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.impedance == 200.0
+        assert args.actuator == "ideal"
+
+    def test_control_options(self):
+        args = build_parser().parse_args(
+            ["control", "swim", "--delay", "4", "--actuator", "fu_dl1"])
+        assert args.workload == "swim"
+        assert args.delay == 4
+        assert args.actuator == "fu_dl1"
+
+
+class TestListCommand:
+    def test_lists_all_benchmarks(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for name in ("ammp", "galgel", "swim", "stressmark"):
+            assert name in text
+
+
+class TestAnalyzeCommand:
+    def test_threshold_table(self):
+        code, text = run_cli("analyze", "--max-delay", "2")
+        assert code == 0
+        assert "current envelope" in text
+        assert "v_low" in text
+        # Three delay rows.
+        assert text.count("0.9") >= 3
+
+
+class TestStressmarkCommand:
+    def test_reports_emergencies(self):
+        code, text = run_cli("stressmark", "--cycles", "6000")
+        assert code == 0
+        assert "tuned" in text
+        assert "emergency cycles" in text
+
+
+class TestCharacterizeCommand:
+    def test_single_benchmark(self):
+        code, text = run_cli("characterize", "gzip", "--cycles", "4000")
+        assert code == 0
+        assert "gzip" in text
+        assert "mean V" in text
+
+
+class TestControlCommand:
+    def test_stressmark_controlled(self):
+        code, text = run_cli("control", "stressmark", "--cycles", "6000")
+        assert code == 0
+        assert "uncontrolled" in text
+        assert "perf loss" in text

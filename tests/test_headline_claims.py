@@ -1,0 +1,99 @@
+"""The paper's headline claims, as one end-to-end integration module.
+
+Each test states a sentence from the paper's abstract/conclusions and
+asserts the corresponding behaviour of this reproduction at reduced
+scale.  These overlap intentionally with finer-grained tests elsewhere:
+this file is the at-a-glance "does the reproduction still tell the
+paper's story" check.
+"""
+
+import pytest
+
+from repro.analysis.metrics import (
+    energy_increase_percent,
+    performance_loss_percent,
+)
+from repro.core import (
+    VoltageControlDesign,
+    get_profile,
+    stressmark_stream,
+    tune_stressmark,
+)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return VoltageControlDesign(impedance_percent=200.0)
+
+
+@pytest.fixture(scope="module")
+def spec(design):
+    spec, period = tune_stressmark(design.pdn, design.config)
+    return spec
+
+
+@pytest.fixture(scope="module")
+def stressmark_baseline(design, spec):
+    return design.run(stressmark_stream(spec), delay=None,
+                      warmup_instructions=2000, max_cycles=10000)
+
+
+class TestHeadlineClaims:
+    def test_stressmark_resonates_at_package_frequency(self, design, spec):
+        """'...a dI/dt stressmark that exercises the system at its
+        resonant frequency.'"""
+        _, period = tune_stressmark(design.pdn, design.config)
+        target = design.pdn.resonant_period_cycles(design.config.clock_hz)
+        assert period == pytest.approx(target, abs=3.0)
+
+    def test_cheap_package_alone_is_unsafe(self, stressmark_baseline):
+        """At 200% of target impedance, packaging alone no longer
+        guarantees safe operation (the paper's premise)."""
+        assert stressmark_baseline.emergencies["emergency_cycles"] > 0
+
+    def test_controller_offers_bounds(self, design):
+        """'our microarchitectural control proposals offer bounds on
+        supply voltage fluctuations': the solved design's verified worst
+        case sits inside the +/-5% band."""
+        for delay in (0, 2, 4, 6):
+            d = design.thresholds(delay=delay, actuator_kind="fu_dl1_il1")
+            assert d.v_worst_low >= 0.95 - 1e-6
+            assert d.v_worst_high <= 1.05 + 1e-6
+
+    def test_controller_eliminates_emergencies(self, design, spec,
+                                               stressmark_baseline):
+        """'...can maintain safe operating voltages' -- zero emergencies
+        on the worst software we can write."""
+        controlled = design.run(stressmark_stream(spec), delay=2,
+                                actuator_kind="fu_dl1_il1",
+                                warmup_instructions=2000, max_cycles=10000)
+        assert controlled.emergencies["emergency_cycles"] == 0
+
+    def test_negligible_impact_on_mainstream_applications(self, design):
+        """'...with almost no performance or energy impact' on real
+        workloads."""
+        for name in ("gzip", "swim"):
+            base = design.run(get_profile(name).stream(seed=7), delay=None,
+                              warmup_instructions=40000, max_cycles=8000)
+            ctrl = design.run(get_profile(name).stream(seed=7), delay=2,
+                              actuator_kind="fu_dl1_il1",
+                              warmup_instructions=40000, max_cycles=8000)
+            assert performance_loss_percent(base, ctrl) < 2.0
+            assert energy_increase_percent(base, ctrl) < 5.0
+
+    def test_stressmark_pays_tens_of_percent(self, design, spec,
+                                             stressmark_baseline):
+        """'the dI/dt stressmark sees performance/energy impact on the
+        order of 20%' at large delays -- bounded, not free."""
+        controlled = design.run(stressmark_stream(spec), delay=5,
+                                actuator_kind="fu_dl1_il1",
+                                warmup_instructions=2000, max_cycles=10000)
+        loss = performance_loss_percent(stressmark_baseline, controlled)
+        assert 3.0 < loss < 40.0
+
+    def test_delay_budget_is_a_few_cycles(self, design):
+        """'microarchitectural control can be built with delay values
+        that are sufficiently small to allow safe operation' -- and the
+        budget shrinks with delay (Table 3's trend)."""
+        windows = [design.thresholds(delay=d).window_mv for d in (0, 3, 6)]
+        assert windows[0] > windows[2] > 0

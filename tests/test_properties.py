@@ -1,0 +1,174 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+Each class targets an invariant that must hold for *any* input, not a
+specific scenario: cache inclusion/LRU laws, predictor accounting,
+sequencer consistency, sensor monotonicity, emergency-counter algebra,
+and the simulator's conservation of instructions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.emergencies import EmergencyCounter, count_emergencies
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.uarch.cache import Cache
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.synthesis import Phase, WorkloadProfile
+
+addresses = st.integers(min_value=0, max_value=0xFFFFF).map(lambda a: a * 8)
+
+
+class TestCacheProperties:
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_immediate_rereference_always_hits(self, addrs):
+        cache = Cache("t", size=1024, assoc=2, line_size=64, hit_latency=1)
+        for addr in addrs:
+            cache.lookup(addr)
+            assert cache.lookup(addr)
+
+    @given(st.lists(addresses, min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_mru_line_never_evicted(self, addrs):
+        cache = Cache("t", size=1024, assoc=2, line_size=64, hit_latency=1)
+        for addr in addrs:
+            cache.lookup(addr)
+            # The line just touched must be resident.
+            assert cache.contains(addr)
+
+    @given(st.lists(addresses, min_size=1, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded_by_capacity(self, addrs):
+        cache = Cache("t", size=512, assoc=2, line_size=64, hit_latency=1)
+        for addr in addrs:
+            cache.lookup(addr)
+        resident = sum(len(ways) for ways in cache.sets)
+        assert resident <= cache.size // cache.line_size
+
+    @given(st.lists(addresses, min_size=1, max_size=100))
+    @settings(max_examples=20, deadline=None)
+    def test_misses_never_exceed_accesses(self, addrs):
+        cache = Cache("t", size=512, assoc=2, line_size=64, hit_latency=1)
+        for addr in addrs:
+            cache.lookup(addr)
+        assert 0 <= cache.misses <= cache.accesses == len(addrs)
+
+
+class TestSensorProperties:
+    @given(st.lists(st.floats(0.8, 1.2), min_size=1, max_size=60),
+           st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_delay_is_pure_shift(self, voltages, delay):
+        """With no noise, a delayed sensor's outputs equal the zero-delay
+        sensor's outputs shifted by the delay (after warm-up)."""
+        fast = ThresholdSensor(0.96, 1.04, delay=0)
+        slow = ThresholdSensor(0.96, 1.04, delay=delay)
+        fast_levels = [fast.observe(v).level for v in voltages]
+        slow_levels = [slow.observe(v).level for v in voltages]
+        for i in range(delay, len(voltages)):
+            assert slow_levels[i] == fast_levels[i - delay]
+
+    @given(st.floats(0.8, 1.2))
+    @settings(max_examples=50, deadline=None)
+    def test_levels_partition_the_range(self, v):
+        sensor = ThresholdSensor(0.96, 1.04, delay=0)
+        level = sensor.observe(v).level
+        if v < 0.96:
+            assert level is VoltageLevel.LOW
+        elif v > 1.04:
+            assert level is VoltageLevel.HIGH
+        else:
+            assert level is VoltageLevel.NORMAL
+
+
+class TestEmergencyCounterProperties:
+    @given(st.lists(st.floats(0.8, 1.2), min_size=0, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_matches_batch(self, voltages):
+        counter = EmergencyCounter()
+        for v in voltages:
+            counter.observe(v)
+        assert counter.emergency_cycles == count_emergencies(voltages)
+        assert counter.cycles == len(voltages)
+
+    @given(st.lists(st.floats(0.8, 1.2), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_episode_and_cycle_relations(self, voltages):
+        counter = EmergencyCounter()
+        for v in voltages:
+            counter.observe(v)
+        assert counter.episodes <= counter.emergency_cycles
+        assert (counter.undershoot_cycles + counter.overshoot_cycles
+                == counter.emergency_cycles)
+        assert 0.0 <= counter.frequency <= 1.0
+
+
+class TestMachineConservation:
+    @given(st.integers(0, 2**16), st.integers(100, 600))
+    @settings(max_examples=8, deadline=None)
+    def test_every_instruction_commits_exactly_once(self, seed, n):
+        """The pipeline neither drops nor duplicates instructions, for
+        arbitrary synthetic workloads."""
+        profile = WorkloadProfile(
+            name="prop",
+            phases=(Phase(length=200, mix={"ialu": 0.5, "load": 0.2,
+                                           "store": 0.15, "falu": 0.15}),),
+            branch_fraction=0.1, code_insts=128)
+        machine = Machine(MachineConfig().small(),
+                          profile.stream(seed=seed, max_instructions=n))
+        stats = machine.run(max_cycles=500000)
+        assert machine.done
+        assert stats.committed == n
+
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=5, deadline=None)
+    def test_flush_preserves_instruction_count(self, seed):
+        profile = WorkloadProfile(
+            name="prop",
+            phases=(Phase(length=200, mix={"ialu": 0.6, "load": 0.25,
+                                           "store": 0.15}),),
+            branch_fraction=0.08, code_insts=128)
+        n = 300
+        machine = Machine(MachineConfig().small(),
+                          profile.stream(seed=seed, max_instructions=n))
+        machine.run(max_cycles=400)
+        machine.flush_pipeline()
+        machine.run(max_cycles=300000)
+        assert machine.done
+        assert machine.stats.committed == n
+
+
+class TestVoltageSafetyInvariant:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=5, deadline=None)
+    def test_controlled_worst_case_never_escapes(self, phase_seed):
+        """The solved thresholds hold for random phase offsets of the
+        adversarial square wave, not just the offsets the solver swept."""
+        import random
+
+        from repro.control.thresholds import (
+            _controlled_extremes,
+            design_pdn,
+            solve_thresholds,
+        )
+        from repro.power.model import PowerModel
+
+        model = PowerModel(MachineConfig())
+        pdn = design_pdn(model, impedance_percent=200.0)
+        i_min, i_max = model.current_envelope()
+        design = solve_thresholds(pdn, i_min, i_max, delay=2,
+                                  i_reduce=model.gated_min_power(),
+                                  i_boost=i_max)
+        offset = random.Random(phase_seed).randrange(0, 60)
+        for high_first in (True, False):
+            v_min, v_max = _controlled_extremes(
+                pdn, design.v_low, design.v_high, 2, i_min, i_max,
+                design.i_reduce, design.i_boost, 3e9, 20, high_first,
+                phase_offset=offset)
+            # Allow a whisker of slack for offsets between solver grid
+            # points; the spec band itself is 100 mV wide.
+            assert v_min > 0.9495
+            assert v_max < 1.0505

@@ -1,0 +1,119 @@
+"""Tests for the set-associative caches and the memory hierarchy."""
+
+import pytest
+
+from repro.uarch.cache import Cache, MemoryHierarchy
+from repro.uarch.config import MachineConfig
+
+
+def small_cache(**kwargs):
+    defaults = dict(name="t", size=1024, assoc=2, line_size=64, hit_latency=2)
+    defaults.update(kwargs)
+    return Cache(**defaults)
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        assert not c.lookup(0x1000)
+        assert c.lookup(0x1000)
+
+    def test_same_line_hits(self):
+        c = small_cache()
+        c.lookup(0x1000)
+        assert c.lookup(0x1000 + 63)   # same 64-byte line
+        assert not c.lookup(0x1000 + 64)  # next line
+
+    def test_lru_within_set(self):
+        c = small_cache()  # 1024/64 = 16 lines, 8 sets, 2 ways
+        stride = 8 * 64  # same set
+        a, b, d = 0x0, stride, 2 * stride
+        c.lookup(a)
+        c.lookup(b)
+        c.lookup(a)      # a is MRU
+        c.lookup(d)      # evicts b
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+
+    def test_contains_has_no_side_effects(self):
+        c = small_cache()
+        assert not c.contains(0x1000)
+        assert c.accesses == 0
+        assert not c.lookup(0x1000)  # still a miss: contains didn't fill
+
+    def test_miss_rate(self):
+        c = small_cache()
+        for _ in range(4):
+            c.lookup(0x40)
+        assert c.miss_rate == pytest.approx(0.25)
+        c.reset_stats()
+        assert c.accesses == 0 and c.miss_rate == 0.0
+
+    def test_line_of(self):
+        c = small_cache()
+        assert c.line_of(0x1003) == 0x1000
+        assert c.line_of(0x1040) == 0x1040
+
+    def test_dimension_checks(self):
+        with pytest.raises(ValueError):
+            small_cache(size=0)
+        with pytest.raises(ValueError):
+            Cache("bad", size=960, assoc=2, line_size=64, hit_latency=1)
+
+
+class TestMemoryHierarchy:
+    @pytest.fixture
+    def hierarchy(self):
+        return MemoryHierarchy(MachineConfig().small())
+
+    def test_cold_access_reaches_memory(self, hierarchy):
+        cfg = hierarchy.config
+        result = hierarchy.data_access(0x8000)
+        assert not result.l1_hit and not result.l2_hit
+        assert result.latency == (cfg.l1d_latency + cfg.l2_latency +
+                                  cfg.memory_latency)
+        assert hierarchy.memory_accesses == 1
+
+    def test_warm_access_hits_l1(self, hierarchy):
+        hierarchy.data_access(0x8000)
+        result = hierarchy.data_access(0x8000)
+        assert result.l1_hit
+        assert result.latency == hierarchy.config.l1d_latency
+
+    def test_l1_victim_hits_l2(self, hierarchy):
+        cfg = hierarchy.config
+        # Fill one L1 set beyond its associativity; L2 (bigger) keeps all.
+        l1_sets = hierarchy.l1d.n_sets
+        stride = l1_sets * cfg.line_size
+        addrs = [0x8000 + i * stride for i in range(cfg.l1d_assoc + 1)]
+        for a in addrs:
+            hierarchy.data_access(a)
+        result = hierarchy.data_access(addrs[0])  # evicted from L1, in L2
+        assert not result.l1_hit and result.l2_hit
+        assert result.latency == cfg.l1d_latency + cfg.l2_latency
+
+    def test_inst_and_data_are_split(self, hierarchy):
+        hierarchy.inst_access(0x8000)
+        result = hierarchy.data_access(0x8000)
+        # D-side L1 misses, but L2 is unified so the I-fetch warmed it.
+        assert not result.l1_hit
+        assert result.l2_hit
+
+    def test_reset_stats(self, hierarchy):
+        hierarchy.data_access(0x8000)
+        hierarchy.inst_access(0x4000)
+        hierarchy.reset_stats()
+        assert hierarchy.l1d.accesses == 0
+        assert hierarchy.l1i.accesses == 0
+        assert hierarchy.l2.accesses == 0
+        assert hierarchy.memory_accesses == 0
+
+    def test_table1_configuration(self):
+        """The default hierarchy matches the paper's Table 1."""
+        h = MemoryHierarchy(MachineConfig())
+        assert h.l1d.size == 64 * 1024 and h.l1d.assoc == 2
+        assert h.l1i.size == 64 * 1024 and h.l1i.assoc == 2
+        assert h.l2.size == 2 * 1024 * 1024 and h.l2.assoc == 4
+        assert h.l2.hit_latency == 16
+        assert h.memory_latency == 300

@@ -1,0 +1,79 @@
+"""Tests for the machine configuration (Table 1)."""
+
+import pytest
+
+from repro.isa.opcodes import InstrClass
+from repro.uarch.config import MachineConfig
+
+
+class TestDefaults:
+    def test_table1_core(self):
+        cfg = MachineConfig()
+        assert cfg.clock_hz == 3.0e9
+        assert cfg.fetch_width == 8
+        assert cfg.decode_width == 8
+        assert cfg.ruu_size == 256
+        assert cfg.lsq_size == 128
+        assert cfg.branch_penalty == 10
+
+    def test_table1_fus(self):
+        cfg = MachineConfig()
+        assert cfg.n_int_alu == 8
+        assert cfg.n_int_mult == 2
+        assert cfg.n_fp_alu == 4
+        assert cfg.n_fp_mult == 2
+        assert cfg.n_mem_ports == 4
+
+    def test_table1_memory(self):
+        cfg = MachineConfig()
+        assert cfg.l1d_size == 64 * 1024 and cfg.l1d_assoc == 2
+        assert cfg.l1i_size == 64 * 1024 and cfg.l1i_assoc == 2
+        assert cfg.l2_size == 2 * 1024 * 1024 and cfg.l2_assoc == 4
+        assert cfg.l2_latency == 16
+        assert cfg.memory_latency == 300
+
+    def test_table1_predictor(self):
+        cfg = MachineConfig()
+        assert cfg.btb_entries == 1024
+        assert cfg.ras_entries == 64
+
+    def test_cycle_time(self):
+        assert MachineConfig().cycle_time == pytest.approx(1.0 / 3.0e9)
+
+
+class TestValidation:
+    def test_positive_widths(self):
+        with pytest.raises(ValueError):
+            MachineConfig(fetch_width=0)
+
+    def test_positive_windows(self):
+        with pytest.raises(ValueError):
+            MachineConfig(ruu_size=0)
+
+    def test_lsq_not_larger_than_ruu(self):
+        with pytest.raises(ValueError):
+            MachineConfig(ruu_size=16, lsq_size=32)
+
+    def test_cache_divisibility(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l1d_size=1000)
+
+
+class TestSmall:
+    def test_small_shape_preserved(self):
+        small = MachineConfig().small()
+        assert small.ruu_size < 256
+        assert small.lsq_size <= small.ruu_size
+        assert small.clock_hz == 3.0e9
+        # Latency maps are intact.
+        assert small.latencies[InstrClass.FDIV] >= 10
+
+    def test_small_is_valid_config(self):
+        # Construction runs the validators.
+        MachineConfig().small()
+
+    def test_latency_maps_are_copies(self):
+        a = MachineConfig()
+        b = MachineConfig()
+        a.latencies[InstrClass.IALU] = 99
+        assert b.latencies[InstrClass.IALU] == 1

@@ -1,0 +1,104 @@
+"""Tests for pipeline flush/replay (Section 6 recovery)."""
+
+import pytest
+
+from repro.isa import Sequencer, assemble
+from repro.uarch import Machine, MachineConfig
+
+PROGRAM = """
+loop:
+    ldq  r1, 0(r4)
+    addq r2, r1, r1
+    divt f3, f1, f2
+    stq  r2, 8(r4)
+    br   loop
+"""
+
+
+def running_machine(n_instructions=200, cycles=500):
+    prog = assemble(PROGRAM)
+    machine = Machine(MachineConfig(),
+                      Sequencer(prog, max_instructions=n_instructions))
+    machine.run(max_cycles=cycles)
+    return machine
+
+
+class TestFlush:
+    def test_flush_empties_pipeline(self):
+        machine = running_machine()
+        machine.flush_pipeline()
+        activity = machine.step()
+        assert activity.ruu_occupancy == 0
+        assert activity.issued_total == 0
+
+    def test_no_instruction_lost(self):
+        """Every squashed instruction replays: final committed count is
+        unchanged by an arbitrary mid-run flush."""
+        reference = running_machine(cycles=10**9)
+        assert reference.done
+        total = reference.stats.committed
+
+        machine = running_machine(cycles=500)
+        machine.flush_pipeline()
+        machine.run()
+        assert machine.stats.committed == total
+
+    def test_flush_costs_cycles(self):
+        clean = running_machine(cycles=10**9)
+        flushed_machine = running_machine(cycles=500)
+        for _ in range(3):
+            flushed_machine.flush_pipeline()
+            flushed_machine.run(max_cycles=flushed_machine.cycle + 50)
+        flushed_machine.run()
+        assert flushed_machine.stats.cycles > clean.stats.cycles
+        assert flushed_machine.stats.flushes == 3
+
+    def test_flush_restarts_after_penalty(self):
+        machine = running_machine(cycles=500)
+        machine.flush_pipeline()
+        fetched_before = machine.stats.fetched
+        for _ in range(machine.config.branch_penalty):
+            machine.step()
+        assert machine.stats.fetched == fetched_before  # refill hole
+        machine.run(max_cycles=machine.cycle + 50)
+        assert machine.stats.fetched > fetched_before
+
+    def test_flush_empty_machine_is_safe(self):
+        machine = Machine(MachineConfig(), [])
+        assert machine.flush_pipeline() == 0
+        assert machine.done
+
+    def test_repeated_flushes_converge(self):
+        machine = running_machine(n_instructions=50, cycles=400)
+        for _ in range(5):
+            machine.flush_pipeline()
+        machine.run()
+        assert machine.stats.committed == 50
+
+
+class TestFlushRecoveryActuator:
+    def test_flush_recovery_squashes_on_reduce(self):
+        from repro.control.actuators import Actuator, ActuatorCommand
+        machine = running_machine(cycles=500)
+        act = Actuator("fu_dl1_il1", recovery="flush")
+        act.apply(machine, ActuatorCommand.REDUCE)
+        assert machine.stats.flushes == 1
+        # Staying in REDUCE does not flush again.
+        act.apply(machine, ActuatorCommand.REDUCE)
+        assert machine.stats.flushes == 1
+        # A fresh episode flushes anew.
+        act.apply(machine, ActuatorCommand.NONE)
+        act.apply(machine, ActuatorCommand.REDUCE)
+        assert machine.stats.flushes == 2
+
+    def test_freeze_recovery_never_flushes(self):
+        from repro.control.actuators import Actuator, ActuatorCommand
+        machine = running_machine(cycles=500)
+        act = Actuator("fu_dl1_il1", recovery="freeze")
+        act.apply(machine, ActuatorCommand.REDUCE)
+        assert machine.stats.flushes == 0
+
+    def test_recovery_validation(self):
+        from repro.control.actuators import Actuator
+        with pytest.raises(ValueError):
+            Actuator("fu", recovery="rollback")

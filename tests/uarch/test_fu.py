@@ -1,0 +1,114 @@
+"""Tests for functional unit pools, gating, and phantom firing."""
+
+import pytest
+
+from repro.isa.opcodes import InstrClass
+from repro.uarch.config import MachineConfig
+from repro.uarch.fu import CLASS_POOL, FuComplex, FuPool, POOL_CLASSES
+
+
+class TestFuPool:
+    def test_pipelined_pool_accepts_per_cycle(self):
+        pool = FuPool("alu", 2)
+        assert pool.try_issue(1)
+        assert pool.try_issue(1)
+        assert not pool.try_issue(1)  # both slots claimed this cycle
+        pool.tick()
+        assert pool.try_issue(1)      # interval 1: free again next cycle
+
+    def test_unpipelined_blocks_for_interval(self):
+        pool = FuPool("div", 1)
+        assert pool.try_issue(3)
+        for _ in range(2):
+            pool.tick()
+            assert not pool.try_issue(3)
+        pool.tick()
+        assert pool.try_issue(3)
+
+    def test_busy_counts(self):
+        pool = FuPool("alu", 4)
+        pool.try_issue(2)
+        pool.try_issue(2)
+        pool.tick()
+        assert pool.busy == 2
+        pool.tick()
+        assert pool.busy == 2  # second (final) cycle of both ops
+        pool.tick()
+        assert pool.busy == 0
+
+    def test_free_slots(self):
+        pool = FuPool("alu", 3)
+        pool.try_issue(5)
+        assert pool.free_slots == 2
+
+    def test_requires_units(self):
+        with pytest.raises(ValueError):
+            FuPool("none", 0)
+
+
+class TestClassMapping:
+    def test_every_class_has_a_pool(self):
+        for iclass in InstrClass:
+            assert iclass in CLASS_POOL
+
+    def test_mapping_is_consistent(self):
+        for pool, classes in POOL_CLASSES.items():
+            for c in classes:
+                assert CLASS_POOL[c] == pool
+
+    def test_divides_share_multiplier_pools(self):
+        assert CLASS_POOL[InstrClass.IDIV] == CLASS_POOL[InstrClass.IMULT]
+        assert CLASS_POOL[InstrClass.FDIV] == CLASS_POOL[InstrClass.FMULT]
+
+
+class TestFuComplex:
+    @pytest.fixture
+    def fus(self):
+        return FuComplex(MachineConfig())
+
+    def test_table1_counts(self, fus):
+        assert fus.pools["int_alu"].count == 8
+        assert fus.pools["int_mult"].count == 2
+        assert fus.pools["fp_alu"].count == 4
+        assert fus.pools["fp_mult"].count == 2
+        assert fus.pools["mem_port"].count == 4
+        assert fus.total_units == 20
+
+    def test_issue_respects_pool_width(self, fus):
+        for _ in range(2):
+            assert fus.try_issue(InstrClass.FMULT)
+        assert not fus.try_issue(InstrClass.FMULT)
+        # Other pools unaffected.
+        assert fus.try_issue(InstrClass.IALU)
+
+    def test_gating_blocks_issue(self, fus):
+        fus.gated = True
+        assert not fus.try_issue(InstrClass.IALU)
+        fus.gated = False
+        assert fus.try_issue(InstrClass.IALU)
+
+    def test_gating_freezes_cooldowns(self, fus):
+        # Claim both FP mult/div units with 16-cycle unpipelined divides.
+        assert fus.try_issue(InstrClass.FDIV)
+        assert fus.try_issue(InstrClass.FDIV)
+        fus.gated = True
+        for _ in range(100):
+            fus.tick()  # clocks stopped: no progress
+        fus.gated = False
+        # After gating lifts, both ops still need their full time.
+        assert fus.pools["fp_mult"].cooldown == [16, 16]
+        assert not fus.try_issue(InstrClass.FDIV)
+
+    def test_unpipelined_divide_interval(self, fus):
+        assert fus.try_issue(InstrClass.FDIV)
+        fus.tick()
+        assert fus.pools["fp_mult"].cooldown[0] == 15
+
+    def test_issue_counts_reset_on_tick(self, fus):
+        fus.try_issue(InstrClass.IALU)
+        fus.try_issue(InstrClass.LOAD)
+        counts = fus.issue_counts()
+        assert counts["int_alu"] == 1
+        assert counts["mem_port"] == 1
+        fus.tick()
+        assert fus.issue_counts()["int_alu"] == 0

@@ -1,0 +1,122 @@
+"""Tests for the RUU entries and load/store queue ordering rules."""
+
+import pytest
+
+from repro.isa.instruction import DynamicInst
+from repro.isa.opcodes import OPCODES
+from repro.uarch.window import (
+    LoadStoreQueue,
+    RuuEntry,
+    ST_DONE,
+    ST_EXECUTING,
+    ST_READY,
+    ST_WAITING,
+    granule_of,
+)
+
+
+def mem_entry(name, addr, seq=0):
+    inst = DynamicInst(seq=seq, pc=0x1000 + 4 * seq, op=OPCODES[name],
+                       addr=addr)
+    return RuuEntry(inst)
+
+
+class TestGranule:
+    def test_eight_byte_blocks(self):
+        assert granule_of(0x1000) == granule_of(0x1007)
+        assert granule_of(0x1000) != granule_of(0x1008)
+
+
+class TestRuuEntry:
+    def test_initial_state(self):
+        e = mem_entry("ldq", 0x1000)
+        assert e.state == ST_WAITING
+        assert e.deps == 0
+        assert e.waiters == []
+
+    def test_seq_and_class(self):
+        e = mem_entry("stq", 0x1000, seq=5)
+        assert e.seq == 5
+        assert e.iclass.is_memory
+
+
+class TestLoadStoreQueue:
+    def test_capacity(self):
+        lsq = LoadStoreQueue(2)
+        lsq.dispatch(mem_entry("ldq", 0x0, seq=0))
+        lsq.dispatch(mem_entry("ldq", 0x8, seq=1))
+        assert lsq.full
+        with pytest.raises(RuntimeError):
+            lsq.dispatch(mem_entry("ldq", 0x10, seq=2))
+
+    def test_positive_capacity(self):
+        with pytest.raises(ValueError):
+            LoadStoreQueue(0)
+
+    def test_older_unissued_store_blocks_load(self):
+        lsq = LoadStoreQueue(8)
+        store = mem_entry("stq", 0x1000, seq=0)
+        load = mem_entry("ldq", 0x1000, seq=1)
+        lsq.dispatch(store)
+        lsq.dispatch(load)
+        assert lsq.blocking_store(load) is store
+
+    def test_younger_store_does_not_block(self):
+        """The regression that deadlocked the stressmark: a load must not
+        wait on a *later* store to the same address."""
+        lsq = LoadStoreQueue(8)
+        load = mem_entry("ldq", 0x1000, seq=0)
+        store = mem_entry("stq", 0x1000, seq=1)
+        lsq.dispatch(load)
+        lsq.dispatch(store)
+        assert lsq.blocking_store(load) is None
+
+    def test_different_granules_do_not_conflict(self):
+        lsq = LoadStoreQueue(8)
+        store = mem_entry("stq", 0x1000, seq=0)
+        load = mem_entry("ldq", 0x1008, seq=1)
+        lsq.dispatch(store)
+        lsq.dispatch(load)
+        assert lsq.blocking_store(load) is None
+
+    def test_issued_store_stops_blocking_and_forwards(self):
+        lsq = LoadStoreQueue(8)
+        store = mem_entry("stq", 0x1000, seq=0)
+        load = mem_entry("ldq", 0x1000, seq=1)
+        lsq.dispatch(store)
+        lsq.dispatch(load)
+        store.state = ST_EXECUTING
+        assert lsq.blocking_store(load) is None
+        assert lsq.load_forwards(load)
+
+    def test_no_forward_from_younger_store(self):
+        lsq = LoadStoreQueue(8)
+        load = mem_entry("ldq", 0x1000, seq=0)
+        store = mem_entry("stq", 0x1000, seq=1)
+        lsq.dispatch(load)
+        lsq.dispatch(store)
+        store.state = ST_DONE
+        assert not lsq.load_forwards(load)
+
+    def test_blocking_store_is_oldest_conflicting(self):
+        lsq = LoadStoreQueue(8)
+        s0 = mem_entry("stq", 0x1000, seq=0)
+        s1 = mem_entry("stq", 0x1000, seq=1)
+        load = mem_entry("ldq", 0x1000, seq=2)
+        for e in (s0, s1, load):
+            lsq.dispatch(e)
+        assert lsq.blocking_store(load) is s0
+        s0.state = ST_EXECUTING
+        assert lsq.blocking_store(load) is s1
+
+    def test_commit_in_order(self):
+        lsq = LoadStoreQueue(8)
+        a = mem_entry("ldq", 0x0, seq=0)
+        b = mem_entry("stq", 0x8, seq=1)
+        lsq.dispatch(a)
+        lsq.dispatch(b)
+        with pytest.raises(RuntimeError):
+            lsq.commit(b)
+        lsq.commit(a)
+        lsq.commit(b)
+        assert len(lsq) == 0

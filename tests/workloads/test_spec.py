@@ -1,0 +1,111 @@
+"""Tests for the synthetic SPEC2000 profile suite."""
+
+import pytest
+
+from repro.power import CurrentTrace, PowerModel
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.spec import (
+    ACTIVE_BENCHMARKS,
+    SPEC2000,
+    SPEC_FP,
+    SPEC_INT,
+    get_profile,
+)
+
+SPEC2000_NAMES = {
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk",
+    "gap", "vortex", "bzip2", "twolf",
+    "wupwise", "swim", "mgrid", "applu", "mesa", "galgel", "art",
+    "equake", "facerec", "ammp", "lucas", "fma3d", "sixtrack", "apsi",
+}
+
+
+class TestSuiteStructure:
+    def test_all_26_benchmarks(self):
+        assert set(SPEC2000) == SPEC2000_NAMES
+        assert len(SPEC2000) == 26
+
+    def test_int_fp_split(self):
+        assert len(SPEC_INT) == 12
+        assert len(SPEC_FP) == 14
+        assert not set(SPEC_INT) & set(SPEC_FP)
+
+    def test_active_benchmarks_exist(self):
+        assert len(ACTIVE_BENCHMARKS) == 8
+        for name in ACTIVE_BENCHMARKS:
+            assert name in SPEC2000
+
+    def test_names_match_keys(self):
+        for name, profile in SPEC2000.items():
+            assert profile.name == name
+
+    def test_get_profile(self):
+        assert get_profile("swim").name == "swim"
+        with pytest.raises(KeyError, match="known:"):
+            get_profile("nosuchbench")
+
+    def test_every_profile_produces_a_stream(self):
+        for profile in SPEC2000.values():
+            stream = list(profile.stream(seed=1, max_instructions=50))
+            assert len(stream) == 50
+
+
+def run_profile(name, cycles=10000, warmup=60000):
+    cfg = MachineConfig()
+    model = PowerModel(cfg)
+    machine = Machine(cfg, get_profile(name).stream(seed=11))
+    machine.fast_forward(warmup)
+    trace = CurrentTrace(cfg.clock_hz)
+    machine.run(max_cycles=cycles,
+                cycle_hook=lambda m, a: trace.append(model.power(a)))
+    return machine, trace
+
+
+class TestPaperCharacterizations:
+    """Figure 10's qualitative observations, in current-trace form."""
+
+    def test_ammp_low_ipc(self):
+        machine, _ = run_profile("ammp")
+        assert machine.stats.ipc < 1.0
+
+    @staticmethod
+    def _voltage_spread(trace):
+        """Std-dev of the die voltage at 100% target impedance -- the
+        width of the benchmark's Figure 10 distribution."""
+        import numpy as np
+        from repro.control.thresholds import pdn_with_regulator
+        from repro.pdn.discrete import DiscretePdn
+        currents = trace.currents
+        pdn = pdn_with_regulator(1.3e-3, float(currents.min()))
+        v = DiscretePdn(pdn).simulate(currents,
+                                      initial_current=float(currents[0]))
+        return float(np.std(v))
+
+    def test_ammp_stable_vs_galgel_variable(self):
+        """Paper, Figure 10: ammp's voltage is 'quite stable' while
+        galgel 'varies across a wider range of voltage levels'."""
+        _, ammp = run_profile("ammp")
+        _, galgel = run_profile("galgel")
+        assert (self._voltage_spread(galgel)
+                > 1.5 * self._voltage_spread(ammp))
+
+    def test_active_benchmarks_swing_more_than_ammp(self):
+        _, ammp = run_profile("ammp")
+        baseline = self._voltage_spread(ammp)
+        for name in ("swim", "galgel"):
+            _, t = run_profile(name)
+            assert self._voltage_spread(t) > baseline
+
+    def test_phased_profiles_have_multiple_phases(self):
+        for name in ACTIVE_BENCHMARKS:
+            assert len(get_profile(name).phases) >= 2, name
+
+    def test_mcf_memory_bound(self):
+        machine, _ = run_profile("mcf")
+        assert machine.hierarchy.l1d.miss_rate > 0.1
+        assert machine.stats.ipc < 1.0
+
+    def test_gzip_healthy_ipc(self):
+        machine, _ = run_profile("gzip")
+        assert machine.stats.ipc > 0.8

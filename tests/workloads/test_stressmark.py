@@ -1,0 +1,123 @@
+"""Tests for the dI/dt stressmark builder and tuner."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.discrete import DiscretePdn
+from repro.pdn.rlc import default_pdn
+from repro.power import CurrentTrace, PowerModel
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.stressmark import (
+    StressmarkSpec,
+    body_length,
+    build_stressmark,
+    measure_period,
+    stressmark_stream,
+    stressmark_text,
+    tune_stressmark,
+)
+
+
+class TestSpec:
+    def test_defaults_valid(self):
+        StressmarkSpec()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_divides=0), dict(burst_groups=0), dict(unroll=0)])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            StressmarkSpec(**kwargs)
+
+
+class TestBuilder:
+    def test_text_assembles(self):
+        program, spec = build_stressmark(StressmarkSpec(n_divides=3,
+                                                        burst_groups=5))
+        assert len(program) == body_length(spec)
+
+    def test_body_length_formula(self):
+        spec = StressmarkSpec(n_divides=2, burst_groups=4, unroll=2)
+        # (ldt + 2 div + stt/ldq/cmovne + 4*8) * 2 + br
+        assert body_length(spec) == (1 + 2 + 3 + 32) * 2 + 1
+
+    def test_divide_chain_is_dependent(self):
+        text = stressmark_text(StressmarkSpec(n_divides=4, burst_groups=1))
+        # Chain: each divt reads f3 written by the previous one.
+        assert text.count("divt  f3, f3, f2") == 3
+        assert text.count("divt  f3, f1, f2") == 1
+
+    def test_burst_depends_on_bridge(self):
+        """Every store in the burst stores r3, the bridged divide result,
+        so the burst cannot start before the trough ends."""
+        text = stressmark_text(StressmarkSpec())
+        assert "cmovne r3, r31, r7" in text
+        for line in text.splitlines():
+            if line.strip().startswith("stq"):
+                assert "r3," in line
+
+
+class TestTiming:
+    def test_measured_period_scales_with_divides(self):
+        cfg = MachineConfig()
+        short = measure_period(StressmarkSpec(n_divides=1, burst_groups=4), cfg)
+        long = measure_period(StressmarkSpec(n_divides=4, burst_groups=4), cfg)
+        assert long > short + 30  # three extra 16-cycle divides
+
+    def test_tuner_hits_resonant_period(self):
+        cfg = MachineConfig()
+        pdn = default_pdn(impedance_percent=200.0)
+        spec, measured = tune_stressmark(pdn, cfg)
+        target = pdn.resonant_period_cycles(cfg.clock_hz)
+        assert measured == pytest.approx(target, abs=3.0)
+
+
+class TestCurrentShape:
+    """Section 3.2's requirement: a near-square current wave with a deep
+    trough and a tall burst at the resonant frequency."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        cfg = MachineConfig()
+        pdn = default_pdn(impedance_percent=200.0)
+        spec, _ = tune_stressmark(pdn, cfg)
+        model = PowerModel(cfg)
+        machine = Machine(cfg, stressmark_stream(
+            spec, max_instructions=body_length(spec) * 40))
+        trace = CurrentTrace(cfg.clock_hz)
+        machine.run(max_cycles=100000,
+                    cycle_hook=lambda m, a: trace.append(model.power(a)))
+        return trace, model, pdn, cfg
+
+    def test_swing_is_large(self, trace):
+        t, model, _, _ = trace
+        warm = t.currents[len(t.currents) // 2:]
+        i_min, i_max = model.current_envelope()
+        swing = warm.max() - warm.min()
+        # The stressmark must mobilize most of the machine's current range.
+        assert swing > 0.5 * (i_max - i_min)
+
+    def test_trough_near_minimum(self, trace):
+        t, model, _, _ = trace
+        warm = t.currents[len(t.currents) // 2:]
+        assert warm.min() < model.current_envelope()[0] * 1.1
+
+    def test_voltage_emergency_at_200_percent(self, trace):
+        """The paper: SPEC has no emergencies at 200% impedance, but the
+        stressmark does."""
+        t, _, pdn, _ = trace
+        v = DiscretePdn(pdn).simulate(t.currents,
+                                      initial_current=t.currents[0])
+        warm = v[len(v) // 2:]
+        assert warm.min() < 0.95 or warm.max() > 1.05
+
+    def test_spectral_peak_near_resonance(self, trace):
+        """The current waveform's energy concentrates at the package's
+        resonant frequency -- that is what makes it a stressmark."""
+        t, _, pdn, cfg = trace
+        warm = t.currents[len(t.currents) // 2:]
+        signal = warm - warm.mean()
+        spectrum = np.abs(np.fft.rfft(signal))
+        freqs = np.fft.rfftfreq(signal.size, d=1.0 / cfg.clock_hz)
+        peak_freq = freqs[int(np.argmax(spectrum))]
+        assert peak_freq == pytest.approx(pdn.resonant_hz, rel=0.2)

@@ -1,0 +1,226 @@
+"""Tests for the synthetic workload generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.opcodes import InstrClass
+from repro.workloads.synthesis import (
+    KIND_OPCODES,
+    Phase,
+    SyntheticStream,
+    WorkloadProfile,
+)
+
+
+def simple_profile(**kwargs):
+    defaults = dict(
+        name="test",
+        phases=(Phase(length=500, mix={"ialu": 0.6, "load": 0.25,
+                                       "store": 0.15}),),
+        branch_fraction=0.1,
+        code_insts=256,
+    )
+    defaults.update(kwargs)
+    return WorkloadProfile(**defaults)
+
+
+class TestPhaseValidation:
+    def test_positive_length(self):
+        with pytest.raises(ValueError):
+            Phase(length=0, mix={"ialu": 1.0})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Phase(length=10, mix={"frobnicate": 1.0})
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            Phase(length=10, mix={"ialu": -1.0})
+
+    def test_empty_mix(self):
+        with pytest.raises(ValueError):
+            Phase(length=10, mix={"ialu": 0.0})
+
+    def test_dep_distance_bound(self):
+        with pytest.raises(ValueError):
+            Phase(length=10, mix={"ialu": 1.0}, dep_distance=0.5)
+
+    def test_stride_fraction_range(self):
+        with pytest.raises(ValueError):
+            Phase(length=10, mix={"ialu": 1.0}, stride_fraction=1.5)
+
+
+class TestProfileValidation:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", phases=())
+
+    def test_branch_fraction_range(self):
+        with pytest.raises(ValueError):
+            simple_profile(branch_fraction=0.6)
+
+    def test_code_size_minimum(self):
+        with pytest.raises(ValueError):
+            simple_profile(code_insts=4)
+
+
+class TestStreamStructure:
+    def test_determinism(self):
+        p = simple_profile()
+        a = [(i.pc, i.op.name, i.addr, i.taken) for i in p.stream(seed=7, max_instructions=500)]
+        b = [(i.pc, i.op.name, i.addr, i.taken) for i in p.stream(seed=7, max_instructions=500)]
+        assert a == b
+
+    def test_seeds_differ(self):
+        p = simple_profile()
+        a = [i.op.name for i in p.stream(seed=1, max_instructions=500)]
+        b = [i.op.name for i in p.stream(seed=2, max_instructions=500)]
+        assert a != b
+
+    def test_max_instructions(self):
+        p = simple_profile()
+        assert len(list(p.stream(max_instructions=123))) == 123
+
+    def test_sequence_numbers(self):
+        p = simple_profile()
+        seqs = [i.seq for i in p.stream(max_instructions=100)]
+        assert seqs == list(range(100))
+
+    def test_pc_chain_is_consistent(self):
+        """Each instruction's next_pc must be the next instruction's pc --
+        the invariant the fetch unit and branch predictor rely on."""
+        p = simple_profile()
+        stream = list(p.stream(max_instructions=2000))
+        for prev, cur in zip(stream, stream[1:]):
+            assert prev.next_pc == cur.pc
+
+    def test_code_footprint_bounded(self):
+        p = simple_profile(code_insts=256)
+        stream = p.stream(max_instructions=5000)
+        limit = SyntheticStream._CODE_BASE + 4 * stream.body_size
+        pcs = {i.pc for i in stream}
+        assert all(SyntheticStream._CODE_BASE <= pc < limit for pc in pcs)
+
+    def test_body_size_near_code_insts(self):
+        p = simple_profile(code_insts=256)
+        stream = p.stream()
+        # One phase of 500 slots: the body is one copy of the phase cycle.
+        assert stream.body_size == 500
+
+    def test_body_replicated_for_big_code(self):
+        from repro.workloads.synthesis import Phase, WorkloadProfile
+        p = WorkloadProfile(name="big",
+                            phases=(Phase(length=100, mix={"ialu": 1.0}),),
+                            branch_fraction=0.0, code_insts=1000)
+        assert p.stream().body_size == pytest.approx(1000, abs=100)
+
+    def test_body_is_stable_across_iterations(self):
+        """The regression that kept predictors cold: the instruction at a
+        given PC must be the same on every loop iteration."""
+        p = simple_profile(code_insts=256)
+        stream = p.stream(seed=3, max_instructions=3000)
+        seen = {}
+        for inst in stream:
+            key = inst.pc
+            sig = (inst.op.name, inst.dest, inst.srcs)
+            if key in seen:
+                assert seen[key] == sig
+            else:
+                seen[key] = sig
+
+    def test_memory_ops_have_addresses(self):
+        p = simple_profile()
+        for inst in p.stream(max_instructions=2000):
+            if inst.is_mem:
+                assert inst.addr is not None
+            else:
+                assert inst.addr is None
+
+    def test_loads_and_stores_in_disjoint_regions(self):
+        p = simple_profile()
+        loads = set()
+        stores = set()
+        for inst in p.stream(max_instructions=3000):
+            if inst.is_load:
+                loads.add(inst.addr)
+            elif inst.is_store:
+                stores.add(inst.addr)
+        assert loads and stores
+        assert not (loads & stores)
+
+    def test_mix_respected(self):
+        p = simple_profile()
+        counts = {}
+        total = 0
+        for inst in p.stream(max_instructions=8000):
+            if inst.is_branch:
+                continue
+            counts[inst.op.name] = counts.get(inst.op.name, 0) + 1
+            total += 1
+        assert counts["addq"] / total == pytest.approx(0.6, abs=0.05)
+        assert counts["ldq"] / total == pytest.approx(0.25, abs=0.05)
+        assert counts["stq"] / total == pytest.approx(0.15, abs=0.05)
+
+    def test_branch_fraction_respected(self):
+        p = simple_profile(branch_fraction=0.2)
+        stream = list(p.stream(max_instructions=8000))
+        frac = sum(1 for i in stream if i.is_branch) / len(stream)
+        # Conditional sites plus the loop-closing branch.
+        assert frac == pytest.approx(0.2, abs=0.05)
+
+    def test_working_set_bounds_addresses(self):
+        phase = Phase(length=1000, mix={"load": 1.0}, ws_lines=8)
+        p = WorkloadProfile(name="ws", phases=(phase,), branch_fraction=0.0,
+                            code_insts=64)
+        lines = {i.addr // 64 for i in p.stream(max_instructions=2000)
+                 if i.is_load}
+        assert len(lines) <= 8
+
+
+class TestPhases:
+    def test_phases_alternate_mix(self):
+        p = WorkloadProfile(
+            name="p",
+            phases=(Phase(length=100, mix={"ialu": 1.0}),
+                    Phase(length=100, mix={"falu": 1.0})),
+            branch_fraction=0.0,
+            code_insts=200,
+        )
+        stream = list(p.stream(max_instructions=200))
+        # Each phase region is its mix plus the region-closing jump.
+        first = {i.op.name for i in stream[:100]}
+        second = {i.op.name for i in stream[100:200]}
+        assert first <= {"addq", "br"}
+        assert "addq" in first
+        assert second <= {"addt", "br"}
+        assert "addt" in second
+
+    def test_phase_cycle_repeats(self):
+        p = WorkloadProfile(
+            name="p",
+            phases=(Phase(length=50, mix={"ialu": 1.0}),
+                    Phase(length=50, mix={"falu": 1.0})),
+            branch_fraction=0.0,
+            code_insts=100,
+        )
+        stream = list(p.stream(max_instructions=250))
+        names = [i.op.name for i in stream]
+        assert "addq" in names[:49]
+        assert "addt" in names[50:99]
+        # Second trip around the super-loop repeats the pattern.
+        assert "addq" in names[100:149]
+        assert "addt" in names[150:199]
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 2**16), st.integers(50, 400))
+    @settings(max_examples=20, deadline=None)
+    def test_stream_always_consistent(self, seed, n):
+        p = simple_profile()
+        stream = list(p.stream(seed=seed, max_instructions=n))
+        assert len(stream) == n
+        for prev, cur in zip(stream, stream[1:]):
+            assert prev.next_pc == cur.pc
+        for inst in stream:
+            assert inst.is_mem == (inst.addr is not None)

@@ -1,0 +1,54 @@
+"""Tests for the maximum-power virus workload."""
+
+import pytest
+
+from repro.workloads.virus import max_power_virus, measure_peak_power
+
+
+class TestVirusProfile:
+    def test_profile_shape(self):
+        profile = max_power_virus()
+        assert profile.branch_fraction == 0.0
+        assert len(profile.phases) == 1
+        assert profile.phases[0].dep_distance >= 32
+
+    def test_stream_has_no_conditional_branches(self):
+        profile = max_power_virus(length=512)
+        for inst in profile.stream(seed=0, max_instructions=1000):
+            if inst.is_branch:
+                assert not inst.op.is_conditional
+
+
+class TestMeasurement:
+    @pytest.fixture(scope="class")
+    def measurement(self):
+        return measure_peak_power(cycles=3000)
+
+    def test_near_peak_ipc(self, measurement):
+        """The virus must actually saturate the 8-wide machine."""
+        assert measurement["ipc"] > 6.0
+
+    def test_substantial_envelope_fraction(self, measurement):
+        """It should reach well over half the model maximum..."""
+        assert measurement["mean_fraction"] > 0.55
+
+    def test_envelope_not_reachable(self, measurement):
+        """...but no program reaches the model maximum itself: the
+        envelope (and hence the target impedance) is conservative."""
+        assert measurement["peak_power"] < measurement["model_max"]
+
+    def test_virus_out_powers_spec(self, measurement):
+        from repro.power.model import PowerModel
+        from repro.power.trace import CurrentTrace
+        from repro.uarch.config import MachineConfig
+        from repro.uarch.core import Machine
+        from repro.workloads.spec import get_profile
+
+        config = MachineConfig()
+        model = PowerModel(config)
+        machine = Machine(config, get_profile("gzip").stream(seed=1))
+        machine.fast_forward(30000)
+        trace = CurrentTrace(config.clock_hz)
+        machine.run(max_cycles=3000,
+                    cycle_hook=lambda m, a: trace.append(model.power(a)))
+        assert measurement["mean_power"] > trace.average_power()

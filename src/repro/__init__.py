@@ -7,7 +7,9 @@ The package couples a second-order power-delivery-network model
 and the paper's contribution -- a threshold voltage controller with
 microarchitectural actuators (:mod:`repro.control`).  Workload generators
 (the dI/dt stressmark and synthetic SPEC2000 profiles) live in
-:mod:`repro.workloads`; reporting helpers in :mod:`repro.analysis`.
+:mod:`repro.workloads`; reporting helpers in :mod:`repro.analysis`;
+fault injection, numeric watchdogs, and the resilience campaign runner
+in :mod:`repro.faults`.
 
 See :mod:`repro.core` for the high-level public API.
 """

@@ -10,6 +10,9 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
   (Figure 10 / Table 2 style).
 * ``control WORKLOAD`` -- one closed-loop run, controlled vs
   uncontrolled, with cost accounting.
+* ``campaign`` -- the fault-injection campaign: sweep sensor/actuator
+  faults across workloads and report resilience (emergencies missed,
+  IPC lost, fail-safe activations).
 * ``list`` -- available synthetic benchmarks.
 """
 
@@ -29,6 +32,7 @@ from repro.core import (
     stressmark_stream,
     tune_stressmark,
 )
+from repro.faults.campaign import FAULT_LIBRARY, run_campaign
 from repro.workloads.spec import SPEC2000
 
 
@@ -72,6 +76,28 @@ def build_parser():
                    help="sensor error, volts")
     p.add_argument("--actuator", choices=sorted(ACTUATOR_KINDS),
                    default="fu_dl1_il1")
+
+    p = sub.add_parser("campaign",
+                       help="fault-injection resilience campaign")
+    _add_common(p)
+    p.add_argument("workloads", nargs="*", default=["swim"],
+                   metavar="WORKLOAD",
+                   help="benchmarks to sweep (default: swim)")
+    p.add_argument("--faults", nargs="+", choices=sorted(FAULT_LIBRARY),
+                   default=None, metavar="FAULT",
+                   help="fault types to inject (default: all)")
+    p.add_argument("--delay", type=int, default=2, help="sensor delay")
+    p.add_argument("--actuator", choices=sorted(ACTUATOR_KINDS),
+                   default="fu_dl1_il1")
+    p.add_argument("--fault-start", type=int, default=500,
+                   help="cycle at which faults activate (default 500)")
+    p.add_argument("--warmup", type=int, default=20000,
+                   help="warm-up instructions per run (default 20000)")
+    p.add_argument("--budget-seconds", type=float, default=120.0,
+                   help="wall-clock cap per run (default 120)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the machine-readable report "
+                        "('-' for stdout)")
 
     sub.add_parser("list", help="list synthetic benchmarks")
     return parser
@@ -175,6 +201,47 @@ def cmd_control(args, out):
     return 0
 
 
+def cmd_campaign(args, out):
+    """The ``campaign`` command: fault sweep + resilience table."""
+    # With ``--json -`` keep stdout pure JSON so it can be piped; the
+    # human-readable table moves to stderr.
+    table_out = sys.stderr if args.json == "-" else out
+    report = run_campaign(
+        workloads=args.workloads, faults=args.faults, cycles=args.cycles,
+        warmup_instructions=args.warmup, seed=args.seed,
+        impedance_percent=args.impedance, delay=args.delay,
+        actuator_kind=args.actuator, fault_start=args.fault_start,
+        budget_seconds=args.budget_seconds)
+    rows = []
+    for o in report.outcomes:
+        rows.append([
+            o.workload, o.fault, o.status, o.emergency_cycles,
+            o.emergencies_missed,
+            "-" if o.ipc_lost_percent is None
+            else "%.2f%%" % o.ipc_lost_percent,
+            o.failsafe_transitions,
+            "yes" if o.failsafe_active else "no",
+        ])
+    print(format_table(
+        ["workload", "fault", "status", "emergencies", "missed",
+         "ipc lost", "failsafe", "degraded"], rows,
+        title="fault campaign: %d cycles, faults from cycle %d, seed %d"
+        % (args.cycles, args.fault_start, args.seed)), file=table_out)
+    for workload, base in sorted(report.baselines.items()):
+        print("baseline %s: %d emergency cycles, ipc %.3f (%s)"
+              % (workload, base["emergency_cycles"], base["ipc"],
+                 base["status"]), file=table_out)
+    if args.json:
+        text = report.to_json()
+        if args.json == "-":
+            print(text, file=out)
+        else:
+            with open(args.json, "w") as fh:
+                fh.write(text + "\n")
+            print("report written to %s" % args.json, file=table_out)
+    return 0
+
+
 def cmd_list(args, out):
     """The ``list`` command: available synthetic workloads."""
     rows = [[name, profile.description]
@@ -190,6 +257,7 @@ _COMMANDS = {
     "stressmark": cmd_stressmark,
     "characterize": cmd_characterize,
     "control": cmd_control,
+    "campaign": cmd_campaign,
     "list": cmd_list,
 }
 

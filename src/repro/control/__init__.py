@@ -42,7 +42,10 @@ from repro.control.actuators import (
     make_actuator,
     ACTUATOR_KINDS,
 )
-from repro.control.controller import ThresholdController
+from repro.control.controller import (
+    PlausibilityMonitor,
+    ThresholdController,
+)
 from repro.control.loop import ClosedLoopSimulation, LoopResult, run_workload
 from repro.control.pid import (
     DigitizingSensor,
@@ -73,6 +76,7 @@ __all__ = [
     "ActuatorCommand",
     "make_actuator",
     "ACTUATOR_KINDS",
+    "PlausibilityMonitor",
     "ThresholdController",
     "ClosedLoopSimulation",
     "LoopResult",

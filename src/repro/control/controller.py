@@ -1,4 +1,4 @@
-"""The threshold controller FSM (Section 4.1).
+"""The threshold controller FSM (Section 4.1) and its fail-safe.
 
 Combines a :class:`~repro.control.sensor.ThresholdSensor` with an
 :class:`~repro.control.actuators.Actuator`: while the (delayed, noisy)
@@ -7,52 +7,182 @@ it reports Voltage High they are phantom-fired; otherwise the machine
 runs normally.  "Once a normal voltage level has been restored, the
 processor transitions back into normal operating mode and standard
 execution resumes."
+
+Beyond the paper, the controller can carry a
+:class:`PlausibilityMonitor`: when the sensor's readings stop being
+physically believable (latched at one emergency level far longer than
+the network dynamics allow, or persistently outside any real voltage),
+the controller declares the sensor faulty and degrades to the
+pessimistic current-driven ramp
+(:class:`~repro.control.ramp.PessimisticRampController`) as a
+fail-safe throttle -- trading the performance the paper's greedy policy
+buys for continued protection without a trustworthy sensor.
 """
 
 from repro.control.actuators import Actuator, ActuatorCommand
-from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.control.sensor import VoltageLevel
+
+
+class PlausibilityMonitor:
+    """Declares a sensor faulty when its readings stop making sense.
+
+    Two independent detectors, both tunable:
+
+    * *stuck*: the sensor has asserted the same non-NORMAL level for
+      ``stuck_cycles`` consecutive cycles.  A healthy loop cannot stay
+      in an emergency that long -- actuation moves the voltage back
+      within a few resonant periods -- so a latched LOW/HIGH means the
+      comparator (or its wiring) is gone.  NORMAL is never treated as
+      stuck: a quiet workload legitimately reads NORMAL forever.
+    * *out-of-bounds*: the observed voltage has been outside
+      ``[v_min, v_max]`` (or non-finite) for ``bound_cycles``
+      consecutive cycles.  The bounds are physical-plausibility limits,
+      far wider than the emergency thresholds.
+
+    Args:
+        stuck_cycles: consecutive identical non-NORMAL readings before
+            the sensor is declared stuck.
+        v_min / v_max: plausible observed-voltage envelope, volts.
+        bound_cycles: consecutive out-of-envelope readings before the
+            sensor is declared implausible.
+    """
+
+    def __init__(self, stuck_cycles=500, v_min=0.0, v_max=2.0,
+                 bound_cycles=64):
+        if stuck_cycles < 1:
+            raise ValueError("stuck_cycles must be at least 1")
+        if bound_cycles < 1:
+            raise ValueError("bound_cycles must be at least 1")
+        if not v_min < v_max:
+            raise ValueError("v_min (%g) must be below v_max (%g)"
+                             % (v_min, v_max))
+        self.stuck_cycles = int(stuck_cycles)
+        self.bound_cycles = int(bound_cycles)
+        self.v_min = v_min
+        self.v_max = v_max
+        self._level = None
+        self._level_run = 0
+        self._oob_run = 0
+
+    def observe(self, reading):
+        """Fold one reading; returns a reason string when the sensor
+        should be declared faulty, else ``None``."""
+        if reading.level is self._level:
+            self._level_run += 1
+        else:
+            self._level = reading.level
+            self._level_run = 1
+        if (self._level is not VoltageLevel.NORMAL and
+                self._level_run >= self.stuck_cycles):
+            return ("sensor stuck at %s for %d cycles"
+                    % (self._level.name, self._level_run))
+        # NaN fails both comparisons, so `not (min <= v <= max)` also
+        # catches non-finite readings.
+        observed = reading.observed
+        if not (self.v_min <= observed <= self.v_max):
+            self._oob_run += 1
+            if self._oob_run >= self.bound_cycles:
+                return ("sensor reading %r outside [%g, %g] V for %d "
+                        "cycles" % (observed, self.v_min, self.v_max,
+                                    self._oob_run))
+        else:
+            self._oob_run = 0
+        return None
+
+    def reset(self):
+        """Forget run-length state (between runs)."""
+        self._level = None
+        self._level_run = 0
+        self._oob_run = 0
 
 
 class ThresholdController:
-    """Sensor + decision logic + actuator.
+    """Sensor + decision logic + actuator (+ optional fail-safe).
 
     Args:
-        sensor: a :class:`ThresholdSensor` (carries thresholds, delay,
-            and error).
+        sensor: a :class:`~repro.control.sensor.ThresholdSensor` or any
+            object with the same ``observe``/``reset`` protocol (e.g. a
+            :class:`~repro.faults.injectors.FaultySensor`).
         actuator: an :class:`Actuator`; defaults to the ideal actuator.
+        monitor: a :class:`PlausibilityMonitor`, or ``None`` to trust
+            the sensor unconditionally (the paper's model).
+        failsafe: the degraded-mode controller used once the monitor
+            declares the sensor faulty; anything with the ramp's
+            ``step_current`` protocol.  Defaults to a
+            :class:`~repro.control.ramp.PessimisticRampController`
+            when a monitor is given.
 
     Use :meth:`step` once per cycle from the closed loop.
     """
 
-    def __init__(self, sensor, actuator=None):
-        if not isinstance(sensor, ThresholdSensor):
-            raise TypeError("sensor must be a ThresholdSensor")
+    #: Tells the closed loop to pass the cycle's current along with the
+    #: voltage, so the fail-safe ramp can throttle on it.
+    accepts_current = True
+
+    def __init__(self, sensor, actuator=None, monitor=None, failsafe=None):
+        if not hasattr(sensor, "observe"):
+            raise TypeError("sensor must provide observe(); got %r"
+                            % type(sensor))
         self.sensor = sensor
         self.actuator = actuator if actuator is not None else Actuator()
+        self.monitor = monitor
+        if failsafe is None and monitor is not None:
+            from repro.control.ramp import PessimisticRampController
+            failsafe = PessimisticRampController(actuator=self.actuator)
+        self.failsafe = failsafe
+        self.failsafe_active = False
+        self.failsafe_transitions = 0
+        self.failsafe_reason = None
         self.command = ActuatorCommand.NONE
         self.reduce_cycles = 0
         self.boost_cycles = 0
         self.transitions = 0
 
     @classmethod
-    def from_design(cls, design, actuator=None, seed=0):
+    def from_design(cls, design, actuator=None, seed=0, monitor=None,
+                    failsafe=None):
         """Build a controller from a solved
         :class:`~repro.control.thresholds.ThresholdDesign`.
 
         The sensor inherits the design's delay and error (the thresholds
         are already margined for the error).
         """
+        from repro.control.sensor import ThresholdSensor
         sensor = ThresholdSensor(design.v_low, design.v_high,
                                  delay=design.delay, error=design.error,
                                  seed=seed)
-        return cls(sensor, actuator=actuator)
+        return cls(sensor, actuator=actuator, monitor=monitor,
+                   failsafe=failsafe)
 
-    def step(self, machine, voltage):
+    def _enter_failsafe(self, machine, reason):
+        """Latch the degraded mode: drop threshold actuation and hand
+        the machine to the current-driven ramp."""
+        self.failsafe_active = True
+        self.failsafe_transitions += 1
+        self.failsafe_reason = reason
+        self.command = ActuatorCommand.NONE
+        self.actuator.apply(machine, ActuatorCommand.NONE)
+
+    def step(self, machine, voltage, current=None):
         """Observe this cycle's voltage and actuate for the next cycle.
+
+        Args:
+            machine: the cycle simulator to actuate.
+            voltage: the true die voltage this cycle.
+            current: the die current this cycle, amperes; only needed
+                when a monitor/fail-safe is configured (the closed loop
+                passes it automatically).
 
         Returns the issued :class:`ActuatorCommand`.
         """
+        if self.failsafe_active:
+            return self._step_failsafe(machine, current)
         reading = self.sensor.observe(voltage)
+        if self.monitor is not None:
+            reason = self.monitor.observe(reading)
+            if reason is not None:
+                self._enter_failsafe(machine, reason)
+                return self._step_failsafe(machine, current)
         if reading.level is VoltageLevel.LOW:
             command = ActuatorCommand.REDUCE
         elif reading.level is VoltageLevel.HIGH:
@@ -69,9 +199,18 @@ class ThresholdController:
         self.actuator.apply(machine, command)
         return command
 
+    def _step_failsafe(self, machine, current):
+        if self.failsafe is not None and current is not None:
+            return self.failsafe.step_current(machine, current)
+        # Without a current measurement the safest degraded action is
+        # to release actuation entirely (an unknown sensor must not
+        # keep the machine gated).
+        self.actuator.apply(machine, ActuatorCommand.NONE)
+        return ActuatorCommand.NONE
+
     def summary(self):
         """A plain dict of the controller activity and settings."""
-        return {
+        s = {
             "reduce_cycles": self.reduce_cycles,
             "boost_cycles": self.boost_cycles,
             "transitions": self.transitions,
@@ -80,4 +219,10 @@ class ThresholdController:
             "delay": self.sensor.delay,
             "error": self.sensor.error,
             "actuator": self.actuator.kind,
+            "failsafe_active": self.failsafe_active,
+            "failsafe_transitions": self.failsafe_transitions,
+            "failsafe_reason": self.failsafe_reason,
         }
+        if self.failsafe is not None:
+            s["failsafe_reduce_cycles"] = self.failsafe.reduce_cycles
+        return s

@@ -5,6 +5,8 @@ where voltage swings greater than 5% occur."  Nominal is 1.0 V, so the
 safe band is [0.95, 1.05] V.
 """
 
+import math
+
 import numpy as np
 
 #: Allowed fractional swing around nominal.
@@ -62,7 +64,19 @@ class EmergencyCounter:
         self._in_episode = False
 
     def observe(self, voltage):
-        """Fold one cycle's voltage into the counts."""
+        """Fold one cycle's voltage into the counts.
+
+        Raises:
+            ValueError: on a NaN/Inf voltage -- a non-finite sample
+                would silently poison ``v_min``/``v_max`` and fail
+                every band comparison, under-counting emergencies.
+        """
+        if not math.isfinite(voltage):
+            raise ValueError(
+                "non-finite voltage %r at cycle %d; emergency counts "
+                "would be corrupted (run under a NumericWatchdog to "
+                "catch the divergence at its source)"
+                % (voltage, self.cycles))
         self.cycles += 1
         if voltage < self.v_min:
             self.v_min = voltage

@@ -9,9 +9,12 @@ implementation has; the sensor's own delay stacks on top, matching the
 timing the threshold solver designs against.
 """
 
+import math
+
 import numpy as np
 
 from repro.control.emergencies import EmergencyCounter, NOMINAL_VOLTAGE
+from repro.faults.watchdog import NumericWatchdog
 from repro.pdn.discrete import PdnSimulator
 
 
@@ -70,10 +73,24 @@ class ClosedLoopSimulation:
         nominal: nominal die voltage for power->current conversion and
             emergency accounting.
         record_traces: keep per-cycle voltage and current arrays.
+        pdn_sim: an existing :class:`~repro.pdn.discrete.PdnSimulator`
+            to reuse (it is reset to the machine's minimum current);
+            campaign runs pass one to avoid re-discretizing the network
+            per run.  ``None`` builds a fresh simulator from ``pdn``.
+        watchdog: a :class:`~repro.faults.watchdog.NumericWatchdog`
+            checking every cycle's voltage; ``None`` installs a default
+            one around ``nominal``, ``False`` disables checking.
+        budget: a :class:`~repro.faults.watchdog.RunBudget` enforced by
+            :meth:`run`, or ``None`` for no budget.
     """
 
     def __init__(self, machine, power_model, pdn, controller=None,
-                 nominal=NOMINAL_VOLTAGE, record_traces=False):
+                 nominal=NOMINAL_VOLTAGE, record_traces=False,
+                 pdn_sim=None, watchdog=None, budget=None):
+        if not (isinstance(nominal, (int, float)) and
+                math.isfinite(nominal) and nominal > 0):
+            raise ValueError("nominal voltage must be a positive finite "
+                             "number, got %r" % (nominal,))
         self.machine = machine
         self.power_model = power_model
         self.pdn = pdn
@@ -81,8 +98,17 @@ class ClosedLoopSimulation:
         self.nominal = nominal
         self.record_traces = record_traces
         i_min, _ = power_model.current_envelope()
-        self.pdn_sim = PdnSimulator(pdn, clock_hz=machine.config.clock_hz,
-                                    initial_current=i_min)
+        if pdn_sim is not None:
+            pdn_sim.reset(initial_current=i_min)
+            self.pdn_sim = pdn_sim
+        else:
+            self.pdn_sim = PdnSimulator(pdn,
+                                        clock_hz=machine.config.clock_hz,
+                                        initial_current=i_min)
+        if watchdog is None:
+            watchdog = NumericWatchdog.for_nominal(nominal)
+        self.watchdog = watchdog or None
+        self.budget = budget
         self.counter = EmergencyCounter(nominal=nominal)
         self._energy = 0.0
         self._voltages = [] if record_traces else None
@@ -91,14 +117,24 @@ class ClosedLoopSimulation:
         # expose step_current instead of the voltage-driven step.
         self._controller_uses_current = (
             controller is not None and hasattr(controller, "step_current"))
+        # Fail-safe-capable controllers take the cycle current alongside
+        # the voltage so their degraded-mode ramp can throttle on it.
+        self._controller_accepts_current = getattr(
+            controller, "accepts_current", False)
 
     def step(self):
-        """One cycle of the coupled system; returns the die voltage."""
+        """One cycle of the coupled system; returns the die voltage.
+
+        Raises:
+            SimulationDiverged: when the watchdog flags the voltage.
+        """
         machine = self.machine
         activity = machine.step()
         power = self.power_model.power(activity)
         current = power / self.nominal
         voltage = self.pdn_sim.step(current)
+        if self.watchdog is not None:
+            self.watchdog.check(machine.cycle, voltage)
         self._energy += power * machine.config.cycle_time
         self.counter.observe(voltage)
         if self.record_traces:
@@ -107,19 +143,34 @@ class ClosedLoopSimulation:
         if self.controller is not None:
             if self._controller_uses_current:
                 self.controller.step_current(machine, current)
+            elif self._controller_accepts_current:
+                self.controller.step(machine, voltage, current)
             else:
                 self.controller.step(machine, voltage)
         return voltage
 
-    def run(self, max_cycles=None, max_instructions=None):
-        """Run to completion or a limit; returns a :class:`LoopResult`."""
+    def run(self, max_cycles=None, max_instructions=None, budget=None):
+        """Run to completion or a limit; returns a :class:`LoopResult`.
+
+        Args:
+            max_cycles / max_instructions: soft limits (a clean stop).
+            budget: overrides the constructor's
+                :class:`~repro.faults.watchdog.RunBudget`; exceeding a
+                budget raises ``SimulationBudgetExceeded`` (a hard
+                abort, unlike the soft limits).
+        """
         machine = self.machine
+        budget = budget if budget is not None else self.budget
+        if budget is not None:
+            budget.start()
         while not machine.done:
             if max_cycles is not None and machine.cycle >= max_cycles:
                 break
             if (max_instructions is not None and
                     machine.stats.committed >= max_instructions):
                 break
+            if budget is not None:
+                budget.check(machine.cycle)
             self.step()
         if self.controller is not None:
             self.controller.actuator.release(machine)

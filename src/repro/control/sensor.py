@@ -10,6 +10,7 @@ and bounded error; both are modeled here: readings are delayed by
 
 import enum
 import random
+from collections import deque
 
 
 class VoltageLevel(enum.Enum):
@@ -71,7 +72,10 @@ class ThresholdSensor:
         #: energy for fewer controller transitions (comparator chatter).
         self.hysteresis = hysteresis
         self._rng = random.Random(seed)
-        self._history = []  # pending true voltages, oldest first
+        # Pending true voltages, oldest first.  A bounded deque keeps
+        # observe() O(1) for any delay (a list with pop(0) is O(delay)
+        # per cycle, which the sensor-delay sweeps feel).
+        self._history = deque(maxlen=self.delay + 1)
         self._state = VoltageLevel.NORMAL
 
     def observe(self, voltage):
@@ -80,9 +84,7 @@ class ThresholdSensor:
         Until ``delay`` cycles of history exist, the sensor reports the
         oldest voltage it has seen (the power-on level).
         """
-        self._history.append(voltage)
-        if len(self._history) > self.delay + 1:
-            self._history.pop(0)
+        self._history.append(voltage)  # maxlen evicts the stalest entry
         observed = self._history[0]
         if self.error > 0.0:
             observed = observed + self._rng.uniform(-self.error, self.error)
@@ -103,7 +105,7 @@ class ThresholdSensor:
 
     def reset(self):
         """Clear delay history and hysteresis state (between runs)."""
-        self._history = []
+        self._history.clear()
         self._state = VoltageLevel.NORMAL
 
     @property

@@ -1,0 +1,62 @@
+"""Fault injection and resilience for the closed loop.
+
+The paper proves its +/-5% guarantee against a *nominal* fault model:
+bounded white sensor noise and a fixed delay.  This package measures
+what happens outside it:
+
+* :mod:`repro.faults.injectors` -- deterministic sensor faults
+  (stuck-at-level, dropout, drift, burst noise) and actuator faults
+  (stuck-gated, stuck-released, delayed release), each activatable on
+  a cycle schedule.
+* :mod:`repro.faults.watchdog` -- numeric watchdogs (NaN/Inf and
+  divergence detection with a structured ``SimulationDiverged``) and
+  per-run cycle/wall-clock budgets.
+* :mod:`repro.faults.campaign` -- the fault-campaign runner sweeping
+  fault types x workloads and emitting a machine-readable resilience
+  report (imported lazily; ``from repro.faults import campaign``).
+
+The matching fail-safe lives in
+:class:`repro.control.controller.PlausibilityMonitor`: a controller
+armed with one degrades to the pessimistic current-driven ramp when
+its sensor stops being believable.
+"""
+
+from repro.faults.injectors import (
+    ActuatorFault,
+    BurstNoiseFault,
+    DelayedReleaseFault,
+    DriftFault,
+    DropoutFault,
+    FaultWindow,
+    FaultyActuator,
+    FaultySensor,
+    SensorFault,
+    StuckGatedFault,
+    StuckLevelFault,
+    StuckReleasedFault,
+)
+from repro.faults.watchdog import (
+    NumericWatchdog,
+    RunBudget,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
+
+__all__ = [
+    "ActuatorFault",
+    "BurstNoiseFault",
+    "DelayedReleaseFault",
+    "DriftFault",
+    "DropoutFault",
+    "FaultWindow",
+    "FaultyActuator",
+    "FaultySensor",
+    "SensorFault",
+    "StuckGatedFault",
+    "StuckLevelFault",
+    "StuckReleasedFault",
+    "NumericWatchdog",
+    "RunBudget",
+    "SimulationBudgetExceeded",
+    "SimulationDiverged",
+]

@@ -1,0 +1,277 @@
+"""The fault-campaign runner: fault types x workloads, under guard.
+
+A campaign answers the question the nominal reproduction cannot: *how
+does the closed loop degrade when its parts break?*  For every
+(workload, fault) pair it runs the controlled loop with the fault
+injected, compares against the healthy controlled baseline, and
+reports:
+
+* ``emergencies_missed`` -- emergency cycles beyond the baseline's
+  (protection the fault cost us);
+* ``ipc_lost_percent`` -- throughput given up relative to the baseline
+  (what the fault, or the fail-safe's pessimism, cost);
+* ``failsafe_transitions`` / ``failsafe_active`` -- whether the
+  plausibility monitor declared the sensor dead and the controller
+  degraded to the current-driven ramp.
+
+Every run executes under a :class:`~repro.faults.watchdog.NumericWatchdog`
+and a shared :class:`~repro.faults.watchdog.RunBudget`, so a divergent
+or hung configuration becomes a reported ``"diverged"``/``"budget"``
+status instead of NaN output or a stuck sweep.  All randomness is
+seeded: the same seed produces a bit-identical report.
+
+One :class:`~repro.pdn.discrete.PdnSimulator` is built per campaign and
+reset between runs (re-discretizing the network costs a matrix
+exponential per run; resetting costs two float stores).
+"""
+
+import json
+
+from repro.control.actuators import Actuator
+from repro.control.controller import PlausibilityMonitor, ThresholdController
+from repro.control.loop import ClosedLoopSimulation
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.faults.injectors import (
+    BurstNoiseFault,
+    DelayedReleaseFault,
+    DriftFault,
+    DropoutFault,
+    FaultyActuator,
+    FaultySensor,
+    StuckGatedFault,
+    StuckLevelFault,
+    StuckReleasedFault,
+)
+from repro.faults.watchdog import (
+    RunBudget,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
+from repro.pdn.discrete import DiscretePdn, PdnSimulator
+from repro.uarch.core import Machine
+
+
+#: name -> factory(start, seed) -> {"sensor": [...], "actuator": [...]}.
+#: Parameters are sized so each fault's effect manifests within a few
+#: thousand cycles at the Table-1 clock.
+FAULT_LIBRARY = {
+    "stuck_low": lambda start, seed: {
+        "sensor": [StuckLevelFault(VoltageLevel.LOW, start=start)]},
+    "stuck_high": lambda start, seed: {
+        "sensor": [StuckLevelFault(VoltageLevel.HIGH, start=start)]},
+    "dropout": lambda start, seed: {
+        "sensor": [DropoutFault(rate=0.7, seed=seed, start=start)]},
+    "drift": lambda start, seed: {
+        "sensor": [DriftFault(rate=-5e-5, start=start)]},
+    "burst_noise": lambda start, seed: {
+        "sensor": [BurstNoiseFault(amplitude=0.08, period=64, burst=16,
+                                   seed=seed, start=start)]},
+    "stuck_gated": lambda start, seed: {
+        "actuator": [StuckGatedFault(start=start)]},
+    "stuck_released": lambda start, seed: {
+        "actuator": [StuckReleasedFault(start=start)]},
+    "delayed_release": lambda start, seed: {
+        "actuator": [DelayedReleaseFault(extra=32, start=start)]},
+}
+
+#: Campaign run states.
+STATUS_OK = "ok"
+STATUS_DIVERGED = "diverged"
+STATUS_BUDGET = "budget"
+
+
+class FaultRunOutcome:
+    """One (workload, fault) cell of the campaign matrix."""
+
+    FIELDS = ("workload", "fault", "status", "cycles", "committed", "ipc",
+              "emergency_cycles", "emergencies_missed", "ipc_lost_percent",
+              "failsafe_transitions", "failsafe_active", "failsafe_reason",
+              "v_min", "v_max", "error")
+
+    def __init__(self, **kwargs):
+        for field in self.FIELDS:
+            try:
+                setattr(self, field, kwargs.pop(field))
+            except KeyError:
+                raise TypeError("missing field %r" % field)
+        if kwargs:
+            raise TypeError("unexpected fields: %s" % sorted(kwargs))
+
+    def to_dict(self):
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self):
+        return ("FaultRunOutcome(%s/%s: %s, %d emergencies, failsafe=%d)"
+                % (self.workload, self.fault, self.status,
+                   self.emergency_cycles, self.failsafe_transitions))
+
+
+class CampaignReport:
+    """The machine-readable result of :func:`run_campaign`."""
+
+    def __init__(self, settings, baselines, outcomes):
+        self.settings = settings
+        self.baselines = baselines      # workload -> baseline dict
+        self.outcomes = outcomes        # list of FaultRunOutcome
+
+    def to_dict(self):
+        return {
+            "settings": dict(self.settings),
+            "baselines": {w: dict(b) for w, b in self.baselines.items()},
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def to_json(self, indent=2):
+        """Deterministic JSON: same seed => byte-identical output."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def worst(self):
+        """The outcome that missed the most emergencies (tie: first)."""
+        if not self.outcomes:
+            return None
+        return max(self.outcomes, key=lambda o: o.emergencies_missed)
+
+
+def _build_controller(thresholds, actuator_kind, seed, bundle, monitor):
+    sensor = ThresholdSensor(thresholds.v_low, thresholds.v_high,
+                             delay=thresholds.delay, error=thresholds.error,
+                             seed=seed)
+    if bundle and bundle.get("sensor"):
+        sensor = FaultySensor(sensor, bundle["sensor"])
+    actuator = Actuator(actuator_kind)
+    if bundle and bundle.get("actuator"):
+        actuator = FaultyActuator(actuator, bundle["actuator"])
+    return ThresholdController(sensor, actuator=actuator, monitor=monitor)
+
+
+def _run_one(design, thresholds, stream, warmup_instructions, cycles,
+             pdn_sim, budget, actuator_kind, seed, bundle, monitor):
+    """One guarded closed-loop run; returns (status, loop, ctrl, error)."""
+    machine = Machine(design.config, stream)
+    if warmup_instructions:
+        machine.fast_forward(warmup_instructions)
+    ctrl = _build_controller(thresholds, actuator_kind, seed, bundle,
+                             monitor)
+    loop = ClosedLoopSimulation(machine, design.power_model, design.pdn,
+                                controller=ctrl, pdn_sim=pdn_sim,
+                                budget=budget)
+    try:
+        loop.run(max_cycles=cycles)
+        return STATUS_OK, loop, ctrl, None
+    except SimulationDiverged as exc:
+        return STATUS_DIVERGED, loop, ctrl, str(exc)
+    except SimulationBudgetExceeded as exc:
+        return STATUS_BUDGET, loop, ctrl, str(exc)
+    finally:
+        # Never leave a faulted actuator holding the machine gated.
+        ctrl.actuator.release(machine)
+
+
+def _outcome(workload, fault, status, loop, ctrl, error, baseline):
+    stats = loop.machine.stats
+    emergencies = loop.counter.summary()
+    summary = ctrl.summary()
+    ipc = stats.committed / stats.cycles if stats.cycles else 0.0
+    missed = None
+    ipc_lost = None
+    if baseline is not None:
+        missed = max(0, emergencies["emergency_cycles"]
+                     - baseline["emergency_cycles"])
+        if baseline["ipc"] > 0:
+            ipc_lost = 100.0 * (baseline["ipc"] - ipc) / baseline["ipc"]
+    return FaultRunOutcome(
+        workload=workload, fault=fault, status=status,
+        cycles=stats.cycles, committed=stats.committed, ipc=ipc,
+        emergency_cycles=emergencies["emergency_cycles"],
+        emergencies_missed=missed, ipc_lost_percent=ipc_lost,
+        failsafe_transitions=summary["failsafe_transitions"],
+        failsafe_active=summary["failsafe_active"],
+        failsafe_reason=summary["failsafe_reason"],
+        v_min=emergencies["v_min"], v_max=emergencies["v_max"],
+        error=error)
+
+
+def run_campaign(workloads=("swim",), faults=None, cycles=6000,
+                 warmup_instructions=20000, seed=0, impedance_percent=200.0,
+                 delay=2, error=0.0, actuator_kind="fu_dl1_il1",
+                 fault_start=500, budget_seconds=120.0,
+                 stuck_cycles=500, design=None):
+    """Sweep fault types x workloads under watchdog and budget.
+
+    Args:
+        workloads: benchmark names (or ``"stressmark"``).
+        faults: names from :data:`FAULT_LIBRARY`; ``None`` runs all.
+        cycles / warmup_instructions: per-run timed region and warm-up.
+        seed: master seed for workload synthesis, sensor noise, and
+            stochastic faults; the report is a pure function of it.
+        impedance_percent / delay / error / actuator_kind: the control
+            design point (see
+            :class:`~repro.core.design.VoltageControlDesign`).
+        fault_start: cycle (within the timed region) at which injected
+            faults activate.
+        budget_seconds: wall-clock cap per run (``None`` disables).
+        stuck_cycles: plausibility-monitor stuck threshold.
+        design: reuse a solved design (else one is built).
+
+    Returns:
+        A :class:`CampaignReport`.
+    """
+    from repro.core import (
+        VoltageControlDesign,
+        get_profile,
+        stressmark_stream,
+        tune_stressmark,
+    )
+
+    if faults is None:
+        faults = sorted(FAULT_LIBRARY)
+    unknown = [f for f in faults if f not in FAULT_LIBRARY]
+    if unknown:
+        raise ValueError("unknown fault(s) %s; known: %s"
+                         % (unknown, ", ".join(sorted(FAULT_LIBRARY))))
+    design = design or VoltageControlDesign(
+        impedance_percent=impedance_percent)
+    thresholds = design.thresholds(delay=delay, error=error,
+                                   actuator_kind=actuator_kind)
+    # One discretization for the whole campaign, reset between runs.
+    pdn_sim = PdnSimulator(
+        DiscretePdn(design.pdn, clock_hz=design.config.clock_hz))
+    budget = (RunBudget(max_seconds=budget_seconds)
+              if budget_seconds else None)
+    tuned = {}
+
+    def stream_for(name):
+        if name == "stressmark":
+            if "spec" not in tuned:
+                tuned["spec"], _ = tune_stressmark(design.pdn, design.config)
+            return stressmark_stream(tuned["spec"]), 2000
+        return (get_profile(name).stream(seed=seed), warmup_instructions)
+
+    def monitor():
+        return PlausibilityMonitor(stuck_cycles=stuck_cycles)
+
+    baselines = {}
+    outcomes = []
+    for workload in workloads:
+        stream, warmup = stream_for(workload)
+        status, loop, ctrl, err = _run_one(
+            design, thresholds, stream, warmup, cycles, pdn_sim, budget,
+            actuator_kind, seed, None, monitor())
+        base = _outcome(workload, "none", status, loop, ctrl, err, None)
+        baselines[workload] = base.to_dict()
+        for fault in faults:
+            bundle = FAULT_LIBRARY[fault](fault_start, seed)
+            stream, warmup = stream_for(workload)
+            status, loop, ctrl, err = _run_one(
+                design, thresholds, stream, warmup, cycles, pdn_sim,
+                budget, actuator_kind, seed, bundle, monitor())
+            outcomes.append(_outcome(workload, fault, status, loop, ctrl,
+                                     err, baselines[workload]))
+    settings = {
+        "workloads": list(workloads), "faults": list(faults),
+        "cycles": cycles, "warmup_instructions": warmup_instructions,
+        "seed": seed, "impedance_percent": impedance_percent,
+        "delay": delay, "error": error, "actuator_kind": actuator_kind,
+        "fault_start": fault_start, "stuck_cycles": stuck_cycles,
+    }
+    return CampaignReport(settings, baselines, outcomes)

@@ -1,0 +1,330 @@
+"""Deterministic fault injectors for the sensor and the actuators.
+
+The paper's guarantee (Section 4.5) is conditioned on a *well-behaved*
+sensor: bounded white noise, a fixed known delay.  Real comparators
+stick, drop readings, and drift with temperature; real gating logic can
+latch or release late.  The injectors here wrap a healthy
+:class:`~repro.control.sensor.ThresholdSensor` or
+:class:`~repro.control.actuators.Actuator` and corrupt its behaviour on
+a cycle schedule, so the closed loop can be measured *outside* the
+nominal fault model.
+
+Every injector is deterministic under its seed: the same fault list on
+the same voltage sequence produces bit-identical readings, which is
+what makes fault-campaign reports reproducible.
+
+Sensor faults act at two points in the pipeline:
+
+* *input* faults (:class:`DriftFault`, :class:`BurstNoiseFault`)
+  perturb the voltage before it enters the wrapped sensor, so the
+  corruption rides through the sensor's own delay and thresholding;
+* *reading* faults (:class:`StuckLevelFault`, :class:`DropoutFault`)
+  corrupt the finished reading on its way to the controller.
+
+Actuator faults rewrite the controller's command before it reaches the
+real gating logic (:class:`StuckGatedFault`, :class:`StuckReleasedFault`,
+:class:`DelayedReleaseFault`).
+"""
+
+import random
+
+from repro.control.actuators import ActuatorCommand
+from repro.control.sensor import SensorReading, VoltageLevel
+
+
+class FaultWindow:
+    """When a fault is active, in cycles since the wrapper was built.
+
+    Args:
+        start: first active cycle.
+        duration: number of active cycles, or ``None`` for "until the
+            end of the run".
+    """
+
+    def __init__(self, start=0, duration=None):
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive (or None)")
+        self.start = int(start)
+        self.duration = None if duration is None else int(duration)
+
+    def active(self, cycle):
+        """Whether the fault applies at ``cycle``."""
+        if cycle < self.start:
+            return False
+        return self.duration is None or cycle < self.start + self.duration
+
+    def reset(self):
+        """Restore any per-run state (RNGs, hold counters)."""
+
+    def __repr__(self):
+        span = ("%d.." % self.start if self.duration is None
+                else "%d..%d" % (self.start, self.start + self.duration))
+        return "<%s cycles %s>" % (type(self).__name__, span)
+
+
+# ----------------------------------------------------------------------
+# Sensor faults
+# ----------------------------------------------------------------------
+
+class SensorFault(FaultWindow):
+    """Base class: identity transforms at both pipeline points."""
+
+    def transform_input(self, cycle, voltage):
+        """Perturb the true voltage before the sensor sees it."""
+        return voltage
+
+    def transform_reading(self, cycle, reading, last_reading):
+        """Corrupt the finished reading (``last_reading`` is the
+        previous reading the controller received, or ``None``)."""
+        return reading
+
+
+class StuckLevelFault(SensorFault):
+    """Comparator output latched at one level (stuck-at fault)."""
+
+    def __init__(self, level, start=0, duration=None):
+        super().__init__(start=start, duration=duration)
+        if not isinstance(level, VoltageLevel):
+            raise TypeError("level must be a VoltageLevel")
+        self.level = level
+
+    def transform_reading(self, cycle, reading, last_reading):
+        return SensorReading(self.level, reading.observed)
+
+
+class DropoutFault(SensorFault):
+    """Readings randomly fail to update: the controller sees the stale
+    previous reading instead (a dropped sample holds the output latch).
+
+    Args:
+        rate: per-cycle dropout probability in ``[0, 1]``.
+        seed: RNG seed; dropouts are reproducible.
+    """
+
+    def __init__(self, rate=0.5, seed=0, start=0, duration=None):
+        super().__init__(start=start, duration=duration)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        self.rate = rate
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def transform_reading(self, cycle, reading, last_reading):
+        if self._rng.random() < self.rate and last_reading is not None:
+            return last_reading
+        return reading
+
+    def reset(self):
+        self._rng = random.Random(self.seed)
+
+
+class DriftFault(SensorFault):
+    """Slow reference drift: the sensed voltage gains a ramp offset,
+    equivalent to both thresholds drifting the opposite way.
+
+    Args:
+        rate: offset slope, volts per active cycle (negative rates make
+            the sensor read progressively low, pushing it toward
+            spurious LOW assertions).
+    """
+
+    def __init__(self, rate=-1e-5, start=0, duration=None):
+        super().__init__(start=start, duration=duration)
+        if rate == 0.0:
+            raise ValueError("rate must be non-zero")
+        self.rate = rate
+
+    def transform_input(self, cycle, voltage):
+        return voltage + self.rate * (cycle - self.start + 1)
+
+
+class BurstNoiseFault(SensorFault):
+    """Periodic bursts of large noise (supply coupling, EMI) far beyond
+    the design's margined white-noise error.
+
+    Args:
+        amplitude: uniform noise amplitude during a burst, volts.
+        period: cycles between burst starts.
+        burst: burst length in cycles (must fit in ``period``).
+        seed: RNG seed for reproducible noise.
+    """
+
+    def __init__(self, amplitude=0.05, period=64, burst=8, seed=0,
+                 start=0, duration=None):
+        super().__init__(start=start, duration=duration)
+        if amplitude <= 0:
+            raise ValueError("amplitude must be positive")
+        if period < 1 or not 1 <= burst <= period:
+            raise ValueError("need 1 <= burst <= period")
+        self.amplitude = amplitude
+        self.period = int(period)
+        self.burst = int(burst)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def transform_input(self, cycle, voltage):
+        if (cycle - self.start) % self.period < self.burst:
+            return voltage + self._rng.uniform(-self.amplitude,
+                                               self.amplitude)
+        return voltage
+
+    def reset(self):
+        self._rng = random.Random(self.seed)
+
+
+class FaultySensor:
+    """A sensor wrapper that applies a list of :class:`SensorFault`\\ s.
+
+    Drop-in for :class:`~repro.control.sensor.ThresholdSensor` wherever
+    only ``observe``/``reset`` and the threshold attributes are used
+    (attribute access falls through to the wrapped sensor).
+    """
+
+    def __init__(self, sensor, faults=()):
+        if not hasattr(sensor, "observe"):
+            raise TypeError("sensor must provide observe(); got %r"
+                            % type(sensor))
+        self.sensor = sensor
+        self.faults = tuple(faults)
+        for f in self.faults:
+            if not isinstance(f, SensorFault):
+                raise TypeError("expected SensorFault, got %r" % type(f))
+        self._cycle = 0
+        self._last = None
+
+    def observe(self, voltage):
+        """Feed the true voltage through the fault pipeline."""
+        cycle = self._cycle
+        self._cycle = cycle + 1
+        for f in self.faults:
+            if f.active(cycle):
+                voltage = f.transform_input(cycle, voltage)
+        reading = self.sensor.observe(voltage)
+        for f in self.faults:
+            if f.active(cycle):
+                reading = f.transform_reading(cycle, reading, self._last)
+        self._last = reading
+        return reading
+
+    def reset(self):
+        """Reset the wrapped sensor, the cycle counter, and all faults."""
+        self.sensor.reset()
+        self._cycle = 0
+        self._last = None
+        for f in self.faults:
+            f.reset()
+
+    def __getattr__(self, name):
+        try:
+            sensor = self.__dict__["sensor"]
+        except KeyError:
+            raise AttributeError(name)
+        return getattr(sensor, name)
+
+    def __repr__(self):
+        return "<FaultySensor %r faults=%r>" % (self.sensor,
+                                                list(self.faults))
+
+
+# ----------------------------------------------------------------------
+# Actuator faults
+# ----------------------------------------------------------------------
+
+class ActuatorFault(FaultWindow):
+    """Base class: identity transform on the controller's command."""
+
+    def transform_command(self, cycle, command):
+        return command
+
+
+class StuckGatedFault(ActuatorFault):
+    """Gating logic latched on: the units stay clock-gated regardless
+    of the controller (a fail-slow machine)."""
+
+    def transform_command(self, cycle, command):
+        return ActuatorCommand.REDUCE
+
+
+class StuckReleasedFault(ActuatorFault):
+    """Gating logic latched off: the actuator silently ignores every
+    command, leaving the loop open (a fail-dangerous machine)."""
+
+    def transform_command(self, cycle, command):
+        return ActuatorCommand.NONE
+
+
+class DelayedReleaseFault(ActuatorFault):
+    """Gating releases late: after the controller stops commanding
+    REDUCE, the units stay gated for ``extra`` more cycles.
+
+    Args:
+        extra: additional gated cycles per release.
+    """
+
+    def __init__(self, extra=8, start=0, duration=None):
+        super().__init__(start=start, duration=duration)
+        if extra < 1:
+            raise ValueError("extra must be at least 1")
+        self.extra = int(extra)
+        self._hold = 0
+
+    def transform_command(self, cycle, command):
+        if command is ActuatorCommand.REDUCE:
+            self._hold = self.extra
+            return command
+        if self._hold > 0:
+            self._hold -= 1
+            return ActuatorCommand.REDUCE
+        return command
+
+    def reset(self):
+        self._hold = 0
+
+
+class FaultyActuator:
+    """An actuator wrapper that applies a list of
+    :class:`ActuatorFault`\\ s to each command before the real gating
+    logic sees it.  End-of-run :meth:`release` bypasses the faults (the
+    run is over; the wrapper must not leave the machine gated for the
+    next one)."""
+
+    def __init__(self, actuator, faults=()):
+        if not hasattr(actuator, "apply"):
+            raise TypeError("actuator must provide apply(); got %r"
+                            % type(actuator))
+        self.actuator = actuator
+        self.faults = tuple(faults)
+        for f in self.faults:
+            if not isinstance(f, ActuatorFault):
+                raise TypeError("expected ActuatorFault, got %r" % type(f))
+        self._cycle = 0
+
+    def apply(self, machine, command):
+        cycle = self._cycle
+        self._cycle = cycle + 1
+        for f in self.faults:
+            if f.active(cycle):
+                command = f.transform_command(cycle, command)
+        self.actuator.apply(machine, command)
+
+    def release(self, machine):
+        self.actuator.release(machine)
+
+    def reset(self):
+        """Reset the cycle counter and all fault state."""
+        self._cycle = 0
+        for f in self.faults:
+            f.reset()
+
+    def __getattr__(self, name):
+        try:
+            actuator = self.__dict__["actuator"]
+        except KeyError:
+            raise AttributeError(name)
+        return getattr(actuator, name)
+
+    def __repr__(self):
+        return "<FaultyActuator %r faults=%r>" % (self.actuator,
+                                                  list(self.faults))

@@ -1,0 +1,155 @@
+"""Numeric watchdogs and run budgets for the closed loop.
+
+The reproduction's credibility rests on the voltage traces being finite
+and physical.  A mis-parameterized PDN, a corrupted state vector, or a
+bug in an injected fault model can silently turn a campaign's output
+into NaN soup -- or spin a run forever.  The guards here fail *loudly*
+and *early* instead:
+
+* :class:`NumericWatchdog` checks every per-cycle voltage for NaN/Inf
+  and for divergence beyond physically plausible bounds, raising a
+  structured :class:`SimulationDiverged` that carries the offending
+  cycle and a tail of the recent trace for post-mortem.
+* :class:`RunBudget` bounds a run in cycles and wall-clock seconds so a
+  fault-campaign sweep cannot hang on one pathological configuration;
+  exceeding it raises :class:`SimulationBudgetExceeded`.
+
+Both are cheap enough to leave enabled inside the cycle loop: one
+``math.isfinite`` plus two comparisons per cycle for the watchdog, and
+a throttled ``time.monotonic`` call for the budget.
+"""
+
+import math
+import time
+from collections import deque
+
+
+class SimulationDiverged(RuntimeError):
+    """The numeric state of a simulation left the physical envelope.
+
+    Attributes:
+        cycle: cycle index at which divergence was detected.
+        value: the offending voltage (may be NaN/Inf).
+        reason: short machine-readable cause (``"non-finite"`` or
+            ``"out-of-bounds"``).
+        trace_tail: the most recent voltages before (and including) the
+            offending sample, oldest first -- the post-mortem context.
+    """
+
+    def __init__(self, cycle, value, reason, trace_tail=()):
+        self.cycle = cycle
+        self.value = value
+        self.reason = reason
+        self.trace_tail = list(trace_tail)
+        super().__init__(
+            "simulation diverged at cycle %d: voltage %r (%s); "
+            "trace tail: %s" % (cycle, value, reason,
+                                ["%.6g" % v for v in self.trace_tail]))
+
+
+class SimulationBudgetExceeded(RuntimeError):
+    """A run overran its cycle or wall-clock budget.
+
+    Attributes:
+        cycle: cycle index at which the budget tripped.
+        kind: ``"cycles"`` or ``"wall-clock"``.
+        limit: the configured limit that was exceeded.
+    """
+
+    def __init__(self, cycle, kind, limit):
+        self.cycle = cycle
+        self.kind = kind
+        self.limit = limit
+        super().__init__("run exceeded its %s budget (%g) at cycle %d"
+                         % (kind, limit, cycle))
+
+
+class NumericWatchdog:
+    """Per-cycle voltage sanity check.
+
+    Args:
+        v_min / v_max: divergence bounds, volts.  These are *not* the
+            emergency thresholds -- emergencies are expected, counted
+            behaviour -- but the envelope outside which the numerics
+            must have gone wrong (default: half to 1.5x nominal).
+        tail: how many recent samples to keep for the post-mortem
+            :attr:`SimulationDiverged.trace_tail`.
+    """
+
+    def __init__(self, v_min=0.5, v_max=1.5, tail=32):
+        if not (v_min < v_max):
+            raise ValueError("v_min (%g) must be below v_max (%g)"
+                             % (v_min, v_max))
+        if tail < 1:
+            raise ValueError("tail must be at least 1")
+        self.v_min = v_min
+        self.v_max = v_max
+        self._tail = deque(maxlen=int(tail))
+
+    @classmethod
+    def for_nominal(cls, nominal, fraction=0.5, tail=32):
+        """A watchdog with bounds at ``nominal * (1 +/- fraction)``."""
+        return cls(v_min=nominal * (1.0 - fraction),
+                   v_max=nominal * (1.0 + fraction), tail=tail)
+
+    def check(self, cycle, voltage):
+        """Fold one voltage sample; raises :class:`SimulationDiverged`."""
+        self._tail.append(voltage)
+        if not math.isfinite(voltage):
+            raise SimulationDiverged(cycle, voltage, "non-finite",
+                                     self._tail)
+        if voltage < self.v_min or voltage > self.v_max:
+            raise SimulationDiverged(cycle, voltage, "out-of-bounds",
+                                     self._tail)
+
+    def reset(self):
+        """Drop the trace tail (between runs)."""
+        self._tail.clear()
+
+
+class RunBudget:
+    """Cycle and wall-clock ceiling for one simulation run.
+
+    Args:
+        max_cycles: hard cap on cycles checked this run, or ``None``.
+        max_seconds: hard cap on wall-clock seconds, or ``None``.
+        check_every: how many :meth:`check` calls between wall-clock
+            reads (``time.monotonic`` is cheap but not free inside a
+            cycle loop).
+
+    Call :meth:`start` at the top of each run (budgets are reusable
+    across runs), then :meth:`check` once per cycle.
+    """
+
+    def __init__(self, max_cycles=None, max_seconds=None, check_every=1024):
+        if max_cycles is not None and max_cycles <= 0:
+            raise ValueError("max_cycles must be positive")
+        if max_seconds is not None and max_seconds < 0:
+            raise ValueError("max_seconds must be non-negative")
+        if check_every < 1:
+            raise ValueError("check_every must be at least 1")
+        self.max_cycles = max_cycles
+        self.max_seconds = max_seconds
+        self.check_every = int(check_every)
+        self._checks = 0
+        self._deadline = None
+
+    def start(self):
+        """Arm the budget for a fresh run."""
+        self._checks = 0
+        self._deadline = (time.monotonic() + self.max_seconds
+                          if self.max_seconds is not None else None)
+
+    def check(self, cycle):
+        """One cycle's bookkeeping; raises
+        :class:`SimulationBudgetExceeded` past either limit."""
+        if self._deadline is None and self.max_seconds is not None:
+            self.start()
+        self._checks += 1
+        if self.max_cycles is not None and self._checks > self.max_cycles:
+            raise SimulationBudgetExceeded(cycle, "cycles", self.max_cycles)
+        if (self._deadline is not None and
+                self._checks % self.check_every == 0 and
+                time.monotonic() > self._deadline):
+            raise SimulationBudgetExceeded(cycle, "wall-clock",
+                                           self.max_seconds)

@@ -112,13 +112,19 @@ class PdnSimulator:
     # Scalar unrolled form of the 2x2 recursion; ~6x faster per step than
     # numpy matrix ops at this size, which matters inside the cycle loop.
     __slots__ = ("discrete", "_a00", "_a01", "_a10", "_a11",
-                 "_b0", "_b1", "_e0", "_e1", "_x0", "_x1", "cycles")
+                 "_b0", "_b1", "_e0", "_e1", "_x0", "_x1", "cycles",
+                 "watchdog")
 
-    def __init__(self, pdn, clock_hz=NOMINAL_CLOCK_HZ, initial_current=0.0):
+    def __init__(self, pdn, clock_hz=NOMINAL_CLOCK_HZ, initial_current=0.0,
+                 watchdog=None):
         if isinstance(pdn, DiscretePdn):
             self.discrete = pdn
         else:
             self.discrete = DiscretePdn(pdn, clock_hz=clock_hz)
+        #: Optional :class:`~repro.faults.watchdog.NumericWatchdog`;
+        #: when set, every stepped voltage is checked and divergence
+        #: raises ``SimulationDiverged`` instead of emitting NaN.
+        self.watchdog = watchdog
         d = self.discrete
         self._a00, self._a01 = float(d.ad[0, 0]), float(d.ad[0, 1])
         self._a10, self._a11 = float(d.ad[1, 0]), float(d.ad[1, 1])
@@ -143,6 +149,8 @@ class PdnSimulator:
         self._x0 = float(x[0])
         self._x1 = float(x[1])
         self.cycles = 0
+        if self.watchdog is not None:
+            self.watchdog.reset()
 
     def step(self, load_current):
         """Advance one CPU cycle.
@@ -152,11 +160,17 @@ class PdnSimulator:
 
         Returns:
             The die voltage at the start of the cycle, volts.
+
+        Raises:
+            SimulationDiverged: when a watchdog is attached and the
+                voltage left its envelope.
         """
         v = self._x1
         x0 = self._x0
         self._x0 = self._a00 * x0 + self._a01 * v + self._b0 * load_current + self._e0
         self._x1 = self._a10 * x0 + self._a11 * v + self._b1 * load_current + self._e1
+        if self.watchdog is not None:
+            self.watchdog.check(self.cycles, v)
         self.cycles += 1
         return v
 

@@ -82,3 +82,22 @@ class TestEmergencyCounter:
         assert not c.any
         c.observe(0.90)
         assert c.any
+
+
+class TestNonFiniteRejection:
+    def test_nan_rejected(self):
+        c = EmergencyCounter()
+        c.observe(1.0)
+        with pytest.raises(ValueError, match="non-finite"):
+            c.observe(float("nan"))
+        # The counts were not corrupted by the bad sample.
+        assert c.cycles == 1
+        assert c.v_min == pytest.approx(1.0)
+
+    def test_inf_rejected(self):
+        c = EmergencyCounter()
+        with pytest.raises(ValueError, match="non-finite"):
+            c.observe(float("inf"))
+        with pytest.raises(ValueError, match="non-finite"):
+            c.observe(float("-inf"))
+        assert c.cycles == 0

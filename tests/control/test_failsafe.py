@@ -1,0 +1,185 @@
+"""Tests for the plausibility monitor and the fail-safe degraded mode."""
+
+import pytest
+
+from repro.control.actuators import Actuator, ActuatorCommand
+from repro.control.controller import PlausibilityMonitor, ThresholdController
+from repro.control.ramp import PessimisticRampController
+from repro.control.sensor import SensorReading, ThresholdSensor, VoltageLevel
+from repro.faults.injectors import FaultySensor, StuckLevelFault
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig().small(), [])
+
+
+def reading(level, observed=1.0):
+    return SensorReading(level, observed)
+
+
+class TestPlausibilityMonitor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlausibilityMonitor(stuck_cycles=0)
+        with pytest.raises(ValueError):
+            PlausibilityMonitor(bound_cycles=0)
+        with pytest.raises(ValueError):
+            PlausibilityMonitor(v_min=2.0, v_max=1.0)
+
+    def test_stuck_low_detected(self):
+        m = PlausibilityMonitor(stuck_cycles=5)
+        for _ in range(4):
+            assert m.observe(reading(VoltageLevel.LOW, 0.94)) is None
+        reason = m.observe(reading(VoltageLevel.LOW, 0.94))
+        assert reason is not None and "stuck at LOW" in reason
+
+    def test_normal_never_stuck(self):
+        m = PlausibilityMonitor(stuck_cycles=3)
+        for _ in range(100):
+            assert m.observe(reading(VoltageLevel.NORMAL)) is None
+
+    def test_level_change_resets_run(self):
+        m = PlausibilityMonitor(stuck_cycles=3)
+        seq = [VoltageLevel.LOW, VoltageLevel.LOW, VoltageLevel.NORMAL,
+               VoltageLevel.LOW, VoltageLevel.LOW]
+        assert all(m.observe(reading(lv, 0.94)) is None for lv in seq)
+
+    def test_out_of_bounds_detected(self):
+        m = PlausibilityMonitor(bound_cycles=3, v_min=0.0, v_max=2.0)
+        assert m.observe(reading(VoltageLevel.HIGH, 5.0)) is None
+        assert m.observe(reading(VoltageLevel.HIGH, 5.0)) is None
+        reason = m.observe(reading(VoltageLevel.HIGH, 5.0))
+        assert reason is not None and "outside" in reason
+
+    def test_nan_counts_as_out_of_bounds(self):
+        m = PlausibilityMonitor(bound_cycles=2)
+        assert m.observe(reading(VoltageLevel.NORMAL,
+                                 float("nan"))) is None
+        assert m.observe(reading(VoltageLevel.NORMAL,
+                                 float("nan"))) is not None
+
+    def test_in_bounds_resets_run(self):
+        m = PlausibilityMonitor(bound_cycles=2)
+        m.observe(reading(VoltageLevel.NORMAL, 5.0))
+        m.observe(reading(VoltageLevel.NORMAL, 1.0))
+        assert m.observe(reading(VoltageLevel.NORMAL, 5.0)) is None
+
+    def test_reset(self):
+        m = PlausibilityMonitor(stuck_cycles=2)
+        m.observe(reading(VoltageLevel.LOW, 0.94))
+        m.reset()
+        assert m.observe(reading(VoltageLevel.LOW, 0.94)) is None
+
+
+def stuck_low_controller(stuck_cycles=5, **ctrl_kwargs):
+    base = ThresholdSensor(v_low=0.96, v_high=1.04)
+    sensor = FaultySensor(base, [StuckLevelFault(VoltageLevel.LOW)])
+    monitor = PlausibilityMonitor(stuck_cycles=stuck_cycles)
+    return ThresholdController(sensor, actuator=Actuator("ideal"),
+                               monitor=monitor, **ctrl_kwargs)
+
+
+class TestFailsafeDegradation:
+    def test_stuck_low_triggers_failsafe(self, machine):
+        ctrl = stuck_low_controller(stuck_cycles=5)
+        for _ in range(4):
+            assert ctrl.step(machine, 1.0, 20.0) is ActuatorCommand.REDUCE
+        # Fifth identical LOW trips the monitor; actuation is dropped.
+        command = ctrl.step(machine, 1.0, 20.0)
+        assert ctrl.failsafe_active
+        assert ctrl.failsafe_transitions == 1
+        assert "stuck at LOW" in ctrl.failsafe_reason
+        assert command is ActuatorCommand.NONE
+        assert not machine.fus.gated
+
+    def test_failsafe_ramp_throttles_current_steps(self, machine):
+        ctrl = stuck_low_controller(
+            stuck_cycles=2,
+            failsafe=PessimisticRampController(max_step=2.0,
+                                               actuator=Actuator("fu")))
+        ctrl.step(machine, 1.0, 10.0)
+        ctrl.step(machine, 1.0, 10.0)   # monitor trips here
+        assert ctrl.failsafe_active
+        # Degraded mode: a fast current rise is throttled, slow is not.
+        assert ctrl.step(machine, 1.0, 11.0) is ActuatorCommand.NONE
+        assert ctrl.step(machine, 1.0, 30.0) is ActuatorCommand.REDUCE
+        assert machine.fus.gated
+
+    def test_sensor_no_longer_consulted_after_failsafe(self, machine):
+        ctrl = stuck_low_controller(stuck_cycles=2)
+        ctrl.step(machine, 1.0, 10.0)
+        ctrl.step(machine, 1.0, 10.0)
+        observed_before = ctrl.sensor._cycle
+        ctrl.step(machine, 1.0, 10.0)
+        assert ctrl.sensor._cycle == observed_before
+
+    def test_without_current_failsafe_releases(self, machine):
+        ctrl = stuck_low_controller(stuck_cycles=2)
+        ctrl.step(machine, 1.0)
+        ctrl.step(machine, 1.0)
+        assert ctrl.failsafe_active
+        assert ctrl.step(machine, 1.0) is ActuatorCommand.NONE
+        assert not machine.fus.gated
+
+    def test_summary_reports_failsafe(self, machine):
+        ctrl = stuck_low_controller(stuck_cycles=2)
+        ctrl.step(machine, 1.0, 10.0)
+        ctrl.step(machine, 1.0, 10.0)
+        ctrl.step(machine, 1.0, 30.0)
+        s = ctrl.summary()
+        assert s["failsafe_active"] is True
+        assert s["failsafe_transitions"] == 1
+        assert "stuck at LOW" in s["failsafe_reason"]
+        assert s["failsafe_reduce_cycles"] >= 0
+
+    def test_no_monitor_means_no_failsafe(self, machine):
+        sensor = FaultySensor(ThresholdSensor(v_low=0.96, v_high=1.04),
+                              [StuckLevelFault(VoltageLevel.LOW)])
+        ctrl = ThresholdController(sensor, actuator=Actuator("ideal"))
+        for _ in range(50):
+            ctrl.step(machine, 1.0, 20.0)
+        assert not ctrl.failsafe_active
+        assert ctrl.reduce_cycles == 50
+
+    def test_healthy_sensor_never_degrades(self, machine):
+        sensor = ThresholdSensor(v_low=0.96, v_high=1.04)
+        ctrl = ThresholdController(
+            sensor, actuator=Actuator("ideal"),
+            monitor=PlausibilityMonitor(stuck_cycles=10))
+        # Emergencies shorter than the stuck threshold: stays nominal.
+        for v in ([0.94] * 5 + [1.0] * 5) * 20:
+            ctrl.step(machine, v, 20.0)
+        assert not ctrl.failsafe_active
+        assert ctrl.failsafe_transitions == 0
+
+    def test_end_to_end_stuck_low_run_completes(self):
+        """Acceptance scenario: a stuck-LOW sensor mid-run activates
+        the fail-safe and the closed loop completes with the
+        transition reported in the LoopResult summary."""
+        from repro.control.loop import run_workload
+        from repro.core import VoltageControlDesign
+        from repro.workloads.spec import get_profile
+
+        design = VoltageControlDesign(impedance_percent=200.0)
+        thresholds = design.thresholds(delay=2,
+                                       actuator_kind="fu_dl1_il1")
+
+        def factory(machine, power_model):
+            base = ThresholdSensor(thresholds.v_low, thresholds.v_high,
+                                   delay=thresholds.delay)
+            sensor = FaultySensor(
+                base, [StuckLevelFault(VoltageLevel.LOW, start=500)])
+            return ThresholdController(
+                sensor, actuator=Actuator("fu_dl1_il1"),
+                monitor=PlausibilityMonitor(stuck_cycles=200))
+
+        result = run_workload(get_profile("swim").stream(seed=3),
+                              design.pdn, config=design.config,
+                              controller_factory=factory,
+                              warmup_instructions=10000, max_cycles=3000)
+        assert result.cycles == 3000
+        assert result.controller["failsafe_active"] is True
+        assert result.controller["failsafe_transitions"] == 1

@@ -93,3 +93,46 @@ class TestError:
 class TestWindow:
     def test_window_mv(self):
         assert make_sensor().window_mv == pytest.approx(80.0)
+
+
+class TestDelayHysteresisInteraction:
+    """The hysteresis band must act on the *delayed* reading stream."""
+
+    def test_hysteresis_applies_to_delayed_readings(self):
+        s = make_sensor(delay=2, hysteresis=0.005)
+        # True voltages: dip below v_low, then recover into the band.
+        voltages = [1.0, 1.0, 0.955, 0.962, 0.97]
+        levels = [s.observe(v).level for v in voltages]
+        # The dip surfaces two cycles late...
+        assert levels[2] is VoltageLevel.NORMAL
+        assert levels[3] is VoltageLevel.NORMAL
+        assert levels[4] is VoltageLevel.LOW
+        # ...and the in-band recovery (0.962) holds LOW, releasing only
+        # once the delayed reading clears v_low + hysteresis.
+        assert s.observe(1.0).level is VoltageLevel.LOW   # sees 0.962
+        assert s.observe(1.0).level is VoltageLevel.NORMAL  # sees 0.97
+
+    def test_reset_clears_hysteresis_and_history_together(self):
+        s = make_sensor(delay=2, hysteresis=0.005)
+        for v in (0.95, 0.95, 0.95):
+            s.observe(v)
+        assert s.observe(0.95).level is VoltageLevel.LOW
+        s.reset()
+        # In-band value right after reset: no held LOW, no stale history.
+        assert s.observe(0.962).level is VoltageLevel.NORMAL
+
+    def test_large_delay_keeps_bounded_history(self):
+        s = make_sensor(delay=1000)
+        for _ in range(5000):
+            s.observe(1.0)
+        assert len(s._history) == 1001
+
+
+class TestDeterminism:
+    def test_same_seed_same_levels_with_noise_and_delay(self):
+        trace = [1.0 - 0.0005 * (i % 40) for i in range(400)]
+        runs = []
+        for _ in range(2):
+            s = make_sensor(delay=3, error=0.01, seed=17)
+            runs.append([s.observe(v).level for v in trace])
+        assert runs[0] == runs[1]

@@ -1,0 +1,106 @@
+"""Tests for the fault-campaign runner and its report."""
+
+import json
+
+import pytest
+
+from repro.core import VoltageControlDesign
+from repro.faults.campaign import (
+    FAULT_LIBRARY,
+    CampaignReport,
+    FaultRunOutcome,
+    run_campaign,
+)
+
+CAMPAIGN_KW = dict(workloads=("swim",), cycles=2000,
+                   warmup_instructions=8000, seed=3, fault_start=200,
+                   stuck_cycles=300, budget_seconds=None)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return VoltageControlDesign(impedance_percent=200.0)
+
+
+@pytest.fixture(scope="module")
+def small_report(design):
+    return run_campaign(faults=["stuck_low", "stuck_released", "dropout"],
+                        design=design, **CAMPAIGN_KW)
+
+
+class TestRunCampaign:
+    def test_unknown_fault_rejected(self, design):
+        with pytest.raises(ValueError, match="unknown fault"):
+            run_campaign(faults=["gremlins"], design=design, **CAMPAIGN_KW)
+
+    def test_matrix_shape(self, small_report):
+        assert len(small_report.outcomes) == 3
+        assert {o.fault for o in small_report.outcomes} == {
+            "stuck_low", "stuck_released", "dropout"}
+        assert set(small_report.baselines) == {"swim"}
+
+    def test_all_runs_complete(self, small_report):
+        for o in small_report.outcomes:
+            assert o.status == "ok"
+            assert o.cycles == 2000
+            assert o.error is None
+
+    def test_stuck_low_activates_failsafe(self, small_report):
+        o = {x.fault: x for x in small_report.outcomes}["stuck_low"]
+        assert o.failsafe_active
+        assert o.failsafe_transitions == 1
+        assert "stuck at LOW" in o.failsafe_reason
+
+    def test_baseline_does_not_degrade(self, small_report):
+        base = small_report.baselines["swim"]
+        assert base["failsafe_transitions"] == 0
+        assert base["status"] == "ok"
+
+    def test_metrics_relative_to_baseline(self, small_report):
+        for o in small_report.outcomes:
+            assert o.emergencies_missed >= 0
+            assert o.ipc_lost_percent is not None
+
+    def test_report_is_reproducible(self, design, small_report):
+        again = run_campaign(
+            faults=["stuck_low", "stuck_released", "dropout"],
+            design=design, **CAMPAIGN_KW)
+        assert again.to_json() == small_report.to_json()
+
+    def test_json_round_trips(self, small_report):
+        data = json.loads(small_report.to_json())
+        assert data["settings"]["seed"] == 3
+        assert len(data["outcomes"]) == 3
+        for entry in data["outcomes"]:
+            assert set(entry) == set(FaultRunOutcome.FIELDS)
+
+
+class TestReportHelpers:
+    def test_worst_picks_most_missed(self):
+        def outcome(fault, missed):
+            return FaultRunOutcome(
+                workload="w", fault=fault, status="ok", cycles=1,
+                committed=1, ipc=1.0, emergency_cycles=missed,
+                emergencies_missed=missed, ipc_lost_percent=0.0,
+                failsafe_transitions=0, failsafe_active=False,
+                failsafe_reason=None, v_min=1.0, v_max=1.0, error=None)
+        report = CampaignReport({}, {}, [outcome("a", 1), outcome("b", 9)])
+        assert report.worst().fault == "b"
+
+    def test_worst_of_empty(self):
+        assert CampaignReport({}, {}, []).worst() is None
+
+    def test_outcome_rejects_unknown_fields(self):
+        with pytest.raises(TypeError):
+            FaultRunOutcome(bogus=1)
+
+
+class TestFaultLibrary:
+    @pytest.mark.parametrize("name", sorted(FAULT_LIBRARY))
+    def test_factories_build(self, name):
+        bundle = FAULT_LIBRARY[name](100, 7)
+        faults = bundle.get("sensor", []) + bundle.get("actuator", [])
+        assert faults
+        for fault in faults:
+            assert not fault.active(99)
+            assert fault.active(100)

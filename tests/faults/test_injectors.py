@@ -1,0 +1,198 @@
+"""Tests for the sensor/actuator fault injectors."""
+
+import pytest
+
+from repro.control.actuators import Actuator, ActuatorCommand
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.faults.injectors import (
+    BurstNoiseFault,
+    DelayedReleaseFault,
+    DriftFault,
+    DropoutFault,
+    FaultWindow,
+    FaultyActuator,
+    FaultySensor,
+    StuckGatedFault,
+    StuckLevelFault,
+    StuckReleasedFault,
+)
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+
+
+def sensor(**kwargs):
+    defaults = dict(v_low=0.96, v_high=1.04, delay=0, error=0.0, seed=3)
+    defaults.update(kwargs)
+    return ThresholdSensor(**defaults)
+
+
+@pytest.fixture
+def machine():
+    return Machine(MachineConfig().small(), [])
+
+
+class TestFaultWindow:
+    def test_open_ended(self):
+        w = FaultWindow(start=10)
+        assert not w.active(9)
+        assert w.active(10)
+        assert w.active(10 ** 9)
+
+    def test_bounded(self):
+        w = FaultWindow(start=5, duration=3)
+        assert [w.active(c) for c in range(4, 9)] == [
+            False, True, True, True, False]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultWindow(start=-1)
+        with pytest.raises(ValueError):
+            FaultWindow(duration=0)
+
+
+class TestStuckLevel:
+    def test_forces_level_regardless_of_voltage(self):
+        s = FaultySensor(sensor(), [StuckLevelFault(VoltageLevel.LOW)])
+        for v in (1.0, 1.06, 0.94):
+            assert s.observe(v).level is VoltageLevel.LOW
+
+    def test_respects_window(self):
+        s = FaultySensor(sensor(),
+                         [StuckLevelFault(VoltageLevel.LOW, start=2)])
+        assert s.observe(1.0).level is VoltageLevel.NORMAL
+        assert s.observe(1.0).level is VoltageLevel.NORMAL
+        assert s.observe(1.0).level is VoltageLevel.LOW
+
+    def test_requires_voltage_level(self):
+        with pytest.raises(TypeError):
+            StuckLevelFault("low")
+
+
+class TestDropout:
+    def test_holds_stale_reading(self):
+        s = FaultySensor(sensor(), [DropoutFault(rate=1.0, seed=1)])
+        first = s.observe(0.94)           # LOW, nothing stale to hold yet
+        assert first.level is VoltageLevel.LOW
+        # Every later reading is dropped: the stale LOW persists.
+        assert s.observe(1.0).level is VoltageLevel.LOW
+        assert s.observe(1.0).level is VoltageLevel.LOW
+
+    def test_zero_rate_is_transparent(self):
+        s = FaultySensor(sensor(), [DropoutFault(rate=0.0, seed=1)])
+        assert s.observe(1.0).level is VoltageLevel.NORMAL
+        assert s.observe(0.94).level is VoltageLevel.LOW
+
+    def test_rate_validated(self):
+        with pytest.raises(ValueError):
+            DropoutFault(rate=1.5)
+
+
+class TestDrift:
+    def test_negative_drift_eventually_reads_low(self):
+        s = FaultySensor(sensor(), [DriftFault(rate=-1e-3)])
+        levels = [s.observe(1.0).level for _ in range(100)]
+        assert levels[0] is VoltageLevel.NORMAL
+        assert levels[-1] is VoltageLevel.LOW
+
+    def test_rides_through_sensor_delay(self):
+        s = FaultySensor(sensor(delay=3), [DriftFault(rate=-0.05)])
+        levels = [s.observe(1.0).level for _ in range(6)]
+        # Cycle 0's drifted value (0.95) only surfaces after the delay.
+        assert levels[0] is VoltageLevel.LOW  # warm-up reports oldest
+        assert all(lv is VoltageLevel.LOW for lv in levels[3:])
+
+
+class TestBurstNoise:
+    def test_quiet_between_bursts(self):
+        f = BurstNoiseFault(amplitude=0.5, period=10, burst=2, seed=7)
+        s = FaultySensor(sensor(), [f])
+        observed = [s.observe(1.0).observed for _ in range(10)]
+        assert observed[2:] == [1.0] * 8       # outside the burst
+        assert any(abs(v - 1.0) > 0 for v in observed[:2])
+
+    def test_noise_bounded(self):
+        f = BurstNoiseFault(amplitude=0.05, period=4, burst=4, seed=7)
+        s = FaultySensor(sensor(), [f])
+        for _ in range(200):
+            assert abs(s.observe(1.0).observed - 1.0) <= 0.05 + 1e-12
+
+
+class TestDeterminism:
+    """Same seed => identical fault behaviour (the campaign guarantee)."""
+
+    @pytest.mark.parametrize("make_fault", [
+        lambda: DropoutFault(rate=0.5, seed=9),
+        lambda: BurstNoiseFault(amplitude=0.06, period=16, burst=4, seed=9),
+    ])
+    def test_two_instances_agree(self, make_fault):
+        trace = [1.0 - 0.002 * (i % 50) for i in range(300)]
+        runs = []
+        for _ in range(2):
+            s = FaultySensor(sensor(seed=4), [make_fault()])
+            runs.append([(r.level, r.observed)
+                         for r in map(s.observe, trace)])
+        assert runs[0] == runs[1]
+
+    def test_reset_restores_fault_state(self):
+        s = FaultySensor(sensor(seed=4), [DropoutFault(rate=0.5, seed=9)])
+        trace = [1.0, 0.94, 1.0, 0.95, 1.0] * 20
+        first = [s.observe(v).level for v in trace]
+        s.reset()
+        second = [s.observe(v).level for v in trace]
+        assert first == second
+
+
+class TestFaultySensorWrapper:
+    def test_delegates_attributes(self):
+        s = FaultySensor(sensor(delay=2), [])
+        assert s.v_low == 0.96
+        assert s.delay == 2
+        assert s.window_mv == pytest.approx(80.0)
+
+    def test_rejects_non_sensor(self):
+        with pytest.raises(TypeError):
+            FaultySensor(object())
+
+    def test_rejects_actuator_faults(self):
+        with pytest.raises(TypeError):
+            FaultySensor(sensor(), [StuckGatedFault()])
+
+
+class TestActuatorFaults:
+    def test_stuck_gated_ignores_none(self, machine):
+        a = FaultyActuator(Actuator("fu"), [StuckGatedFault()])
+        a.apply(machine, ActuatorCommand.NONE)
+        assert machine.fus.gated
+
+    def test_stuck_released_ignores_reduce(self, machine):
+        a = FaultyActuator(Actuator("fu"), [StuckReleasedFault()])
+        a.apply(machine, ActuatorCommand.REDUCE)
+        assert not machine.fus.gated
+
+    def test_delayed_release_holds_gating(self, machine):
+        a = FaultyActuator(Actuator("fu"), [DelayedReleaseFault(extra=2)])
+        a.apply(machine, ActuatorCommand.REDUCE)
+        assert machine.fus.gated
+        a.apply(machine, ActuatorCommand.NONE)   # held (1 of 2)
+        assert machine.fus.gated
+        a.apply(machine, ActuatorCommand.NONE)   # held (2 of 2)
+        assert machine.fus.gated
+        a.apply(machine, ActuatorCommand.NONE)   # finally releases
+        assert not machine.fus.gated
+
+    def test_release_bypasses_faults(self, machine):
+        a = FaultyActuator(Actuator("fu"), [StuckGatedFault()])
+        a.apply(machine, ActuatorCommand.NONE)
+        assert machine.fus.gated
+        a.release(machine)
+        assert not machine.fus.gated
+
+    def test_delegates_attributes(self):
+        a = FaultyActuator(Actuator("fu_dl1"), [])
+        assert a.kind == "fu_dl1"
+        assert a.response_groups() == ("fu", "dl1")
+
+    def test_rejects_sensor_faults(self):
+        with pytest.raises(TypeError):
+            FaultyActuator(Actuator("fu"),
+                           [StuckLevelFault(VoltageLevel.LOW)])

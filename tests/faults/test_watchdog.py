@@ -1,0 +1,194 @@
+"""Tests for the numeric watchdogs, run budgets, and loop guards."""
+
+import math
+
+import pytest
+
+from repro.control.loop import ClosedLoopSimulation
+from repro.control.thresholds import design_pdn
+from repro.faults.watchdog import (
+    NumericWatchdog,
+    RunBudget,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
+from repro.pdn.discrete import PdnSimulator
+from repro.power import PowerModel
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.spec import get_profile
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="module")
+def model(config):
+    return PowerModel(config)
+
+
+@pytest.fixture(scope="module")
+def pdn(model):
+    return design_pdn(model, impedance_percent=200.0)
+
+
+class TestNumericWatchdog:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NumericWatchdog(v_min=1.0, v_max=0.5)
+        with pytest.raises(ValueError):
+            NumericWatchdog(tail=0)
+
+    def test_passes_sane_voltages(self):
+        w = NumericWatchdog(v_min=0.5, v_max=1.5)
+        for cycle, v in enumerate((1.0, 0.94, 1.06, 0.51, 1.49)):
+            w.check(cycle, v)  # no raise
+
+    def test_nan_raises_with_context(self):
+        w = NumericWatchdog(tail=4)
+        for cycle in range(6):
+            w.check(cycle, 1.0 + cycle * 0.001)
+        with pytest.raises(SimulationDiverged) as info:
+            w.check(6, float("nan"))
+        err = info.value
+        assert err.cycle == 6
+        assert math.isnan(err.value)
+        assert err.reason == "non-finite"
+        # Tail holds the most recent samples including the bad one.
+        assert len(err.trace_tail) == 4
+        assert err.trace_tail[-2] == pytest.approx(1.005)
+
+    def test_out_of_bounds_raises(self):
+        w = NumericWatchdog(v_min=0.5, v_max=1.5)
+        with pytest.raises(SimulationDiverged) as info:
+            w.check(3, 1.7)
+        assert info.value.reason == "out-of-bounds"
+        assert info.value.cycle == 3
+
+    def test_for_nominal(self):
+        w = NumericWatchdog.for_nominal(1.0, fraction=0.25)
+        w.check(0, 0.8)
+        with pytest.raises(SimulationDiverged):
+            w.check(1, 0.7)
+
+    def test_reset_clears_tail(self):
+        w = NumericWatchdog(tail=8)
+        w.check(0, 1.0)
+        w.reset()
+        with pytest.raises(SimulationDiverged) as info:
+            w.check(1, float("inf"))
+        assert info.value.trace_tail == [float("inf")]
+
+
+class TestRunBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunBudget(max_cycles=0)
+        with pytest.raises(ValueError):
+            RunBudget(max_seconds=-1.0)
+        with pytest.raises(ValueError):
+            RunBudget(check_every=0)
+
+    def test_cycle_budget(self):
+        b = RunBudget(max_cycles=5)
+        b.start()
+        for cycle in range(5):
+            b.check(cycle)
+        with pytest.raises(SimulationBudgetExceeded) as info:
+            b.check(5)
+        assert info.value.kind == "cycles"
+        assert info.value.limit == 5
+
+    def test_wall_clock_budget(self):
+        b = RunBudget(max_seconds=0.0, check_every=1)
+        b.start()
+        with pytest.raises(SimulationBudgetExceeded) as info:
+            b.check(0)
+        assert info.value.kind == "wall-clock"
+
+    def test_budget_is_reusable(self):
+        b = RunBudget(max_cycles=3)
+        for _ in range(2):
+            b.start()
+            for cycle in range(3):
+                b.check(cycle)
+            with pytest.raises(SimulationBudgetExceeded):
+                b.check(3)
+
+
+class TestPdnSimulatorWatchdog:
+    def test_attached_watchdog_catches_doctored_divergence(self, pdn,
+                                                           config):
+        sim = PdnSimulator(pdn, clock_hz=config.clock_hz,
+                           initial_current=20.0,
+                           watchdog=NumericWatchdog(v_min=0.5, v_max=1.5))
+        # Corrupt the recursion into an unstable one: the voltage state
+        # grows geometrically until the watchdog trips.
+        sim._a10 = 0.0
+        sim._a11 = 1.5
+        sim._b1 = 0.0
+        sim._e1 = 0.0
+        with pytest.raises(SimulationDiverged) as info:
+            for _ in range(64):
+                sim.step(20.0)
+        assert info.value.reason == "out-of-bounds"
+        assert info.value.trace_tail  # post-mortem context present
+
+    def test_no_watchdog_by_default(self, pdn, config):
+        sim = PdnSimulator(pdn, clock_hz=config.clock_hz)
+        assert sim.watchdog is None
+
+
+class TestClosedLoopGuards:
+    def test_rejects_bad_nominal(self, config, model, pdn):
+        machine = Machine(config, [])
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                ClosedLoopSimulation(machine, model, pdn, nominal=bad)
+
+    def test_divergent_pdn_aborts_structured(self, config, model, pdn):
+        """The acceptance scenario: a divergent PDN config aborts via
+        SimulationDiverged, not NaN output or a hang."""
+        machine = Machine(config, get_profile("swim").stream(seed=2))
+        machine.fast_forward(2000)
+        doctored = PdnSimulator(pdn, clock_hz=config.clock_hz)
+        doctored._a10 = 0.0
+        doctored._a11 = 1.02     # slow geometric divergence
+        doctored._b1 = 0.0
+        doctored._e1 = 0.0
+        loop = ClosedLoopSimulation(machine, model, pdn,
+                                    pdn_sim=doctored)
+        with pytest.raises(SimulationDiverged) as info:
+            loop.run(max_cycles=20000)
+        err = info.value
+        assert err.reason in ("non-finite", "out-of-bounds")
+        assert err.cycle < 20000
+        assert len(err.trace_tail) >= 1
+
+    def test_budget_aborts_run(self, config, model, pdn):
+        machine = Machine(config, get_profile("swim").stream(seed=2))
+        machine.fast_forward(2000)
+        budget = RunBudget(max_cycles=100)
+        loop = ClosedLoopSimulation(machine, model, pdn, budget=budget)
+        with pytest.raises(SimulationBudgetExceeded):
+            loop.run(max_cycles=20000)
+        assert machine.cycle <= 101
+
+    def test_watchdog_disabled_with_false(self, config, model, pdn):
+        machine = Machine(config, [])
+        loop = ClosedLoopSimulation(machine, model, pdn, watchdog=False)
+        assert loop.watchdog is None
+
+    def test_shared_pdn_sim_is_reset(self, config, model, pdn):
+        sim = PdnSimulator(pdn, clock_hz=config.clock_hz)
+        sim.step(30.0)
+        sim.step(30.0)
+        machine = Machine(config, [])
+        loop = ClosedLoopSimulation(machine, model, pdn, pdn_sim=sim)
+        assert loop.pdn_sim is sim
+        assert sim.cycles == 0
+        i_min, _ = model.current_envelope()
+        eq = sim.discrete.equilibrium_state(i_min)
+        assert sim.voltage == pytest.approx(eq[1])

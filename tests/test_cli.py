@@ -75,3 +75,24 @@ class TestControlCommand:
         assert code == 0
         assert "uncontrolled" in text
         assert "perf loss" in text
+
+
+class TestCampaignCommand:
+    def test_campaign_table_and_json(self, tmp_path):
+        path = tmp_path / "report.json"
+        code, text = run_cli(
+            "campaign", "swim", "--faults", "stuck_low", "--cycles",
+            "2000", "--warmup", "8000", "--fault-start", "200",
+            "--json", str(path))
+        assert code == 0
+        assert "fault campaign" in text
+        assert "stuck_low" in text
+        assert "baseline swim" in text
+        import json
+        data = json.loads(path.read_text())
+        assert data["outcomes"][0]["fault"] == "stuck_low"
+
+    def test_parser_rejects_unknown_fault(self):
+        import pytest as _pytest
+        with _pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--faults", "bogus"])

@@ -11,13 +11,20 @@ Run lengths are scaled for laptop turnaround (the paper simulates 200M
 instructions per benchmark; see DESIGN.md section 6).  Set
 ``REPRO_BENCH_SCALE`` to an integer >1 to lengthen every timed region
 proportionally.
+
+Solved designs and tuned stressmark specs come from the process-wide
+caches in :mod:`repro.core.factory` (shared with the fault campaign and
+orchestrator workers).  Grid-shaped benches submit their cells through
+:func:`run_grid`, so independent cells run across ``REPRO_JOBS``
+workers and finished cells are memoized on disk (``REPRO_CACHE_DIR``)
+-- an unchanged bench re-run is served entirely from cache.
 """
 
-import functools
 import os
 import pathlib
 
-from repro.core import VoltageControlDesign, get_profile, tune_stressmark
+from repro.core import design_at, get_profile, tuned_stressmark_spec
+from repro.orchestrator import JobSpec, ResultCache, Runner
 from repro.workloads.stressmark import stressmark_stream
 
 #: Scale knob for every timed region.
@@ -40,18 +47,23 @@ ACTIVE = ("swim", "mgrid", "gcc", "galgel", "facerec", "sixtrack", "eon",
 SEED = 11
 
 
-@functools.lru_cache(maxsize=None)
-def design_at(percent):
-    """Cached :class:`VoltageControlDesign` for an impedance level."""
-    return VoltageControlDesign(impedance_percent=float(percent))
+def uncontrolled_spec(name, percent=200, cycles=None):
+    """A :class:`JobSpec` for one uncontrolled characterization cell."""
+    return JobSpec(workload=name, cycles=cycles or RUN_CYCLES,
+                   warmup_instructions=(2000 if name == "stressmark"
+                                        else WARMUP_INSTRUCTIONS),
+                   seed=SEED, impedance_percent=float(percent))
 
 
-@functools.lru_cache(maxsize=None)
-def tuned_stressmark_spec(percent=200):
-    """Cached stressmark spec tuned at an impedance level."""
-    design = design_at(percent)
-    spec, _ = tune_stressmark(design.pdn, design.config)
-    return spec
+def run_grid(specs, jobs=None):
+    """Run a batch of specs through the shared orchestrator.
+
+    Returns the per-cell result dicts in spec order.  Cells hit the
+    content-addressed cache when their spec (and the code version) is
+    unchanged, so bench re-runs only simulate what moved.
+    """
+    runner = Runner(jobs=jobs, cache=ResultCache())
+    return [outcome.result for outcome in runner.run(specs)]
 
 
 def spec_stream(name):

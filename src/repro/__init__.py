@@ -9,7 +9,8 @@ microarchitectural actuators (:mod:`repro.control`).  Workload generators
 (the dI/dt stressmark and synthetic SPEC2000 profiles) live in
 :mod:`repro.workloads`; reporting helpers in :mod:`repro.analysis`;
 fault injection, numeric watchdogs, and the resilience campaign runner
-in :mod:`repro.faults`.
+in :mod:`repro.faults`; parallel experiment orchestration with
+content-addressed result caching in :mod:`repro.orchestrator`.
 
 See :mod:`repro.core` for the high-level public API.
 """

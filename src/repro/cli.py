@@ -13,6 +13,10 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
 * ``campaign`` -- the fault-injection campaign: sweep sensor/actuator
   faults across workloads and report resilience (emergencies missed,
   IPC lost, fail-safe activations).
+* ``sweep`` -- an orchestrated grid (workloads x impedance levels x
+  controllers) run through the parallel, cache-backed orchestrator;
+  emits one merged byte-stable JSON report.  ``REPRO_JOBS`` sets the
+  worker count, ``REPRO_CACHE_DIR`` moves the result cache.
 * ``list`` -- available synthetic benchmarks.
 """
 
@@ -98,6 +102,44 @@ def build_parser():
     p.add_argument("--json", metavar="PATH",
                    help="also write the machine-readable report "
                         "('-' for stdout)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or CPUs)")
+
+    p = sub.add_parser("sweep",
+                       help="orchestrated grid sweep with result caching")
+    p.add_argument("--workloads", nargs="+", required=True,
+                   metavar="WORKLOAD",
+                   help="benchmark names (or 'stressmark')")
+    p.add_argument("--impedances", nargs="+", type=float, default=[200.0],
+                   metavar="PCT",
+                   help="impedance levels, %% of target (default: 200)")
+    p.add_argument("--controllers", nargs="+", default=["none"],
+                   metavar="CTRL",
+                   help="'none' (uncontrolled) or ACTUATOR[:DELAY[:ERROR]]"
+                        ", e.g. fu_dl1_il1:2 (default: none)")
+    p.add_argument("--cycles", type=int, default=20000,
+                   help="timed cycles per cell (default 20000)")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="warm-up instructions per cell (default: 2000 for "
+                        "the stressmark, 60000 otherwise)")
+    p.add_argument("--seed", type=int, default=11,
+                   help="workload seed (default 11)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or CPUs)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-clock budget, seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retries for transiently failing cells (default 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run every cell; do not read or write the cache")
+    p.add_argument("--invalidate", action="store_true",
+                   help="drop this grid's cached cells, then run")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/repro-didt)")
+    p.add_argument("--json", default="-", metavar="PATH",
+                   help="merged report destination ('-' for stdout, "
+                        "the default)")
 
     sub.add_parser("list", help="list synthetic benchmarks")
     return parser
@@ -211,7 +253,7 @@ def cmd_campaign(args, out):
         warmup_instructions=args.warmup, seed=args.seed,
         impedance_percent=args.impedance, delay=args.delay,
         actuator_kind=args.actuator, fault_start=args.fault_start,
-        budget_seconds=args.budget_seconds)
+        budget_seconds=args.budget_seconds, jobs=args.jobs)
     rows = []
     for o in report.outcomes:
         rows.append([
@@ -242,6 +284,81 @@ def cmd_campaign(args, out):
     return 0
 
 
+def _parse_controller(token):
+    """``'none'`` or ``ACTUATOR[:DELAY[:ERROR]]`` -> spec knobs."""
+    if token == "none":
+        return None
+    parts = token.split(":")
+    if len(parts) > 3:
+        raise ValueError("bad controller %r (want "
+                         "ACTUATOR[:DELAY[:ERROR]])" % token)
+    kind = parts[0]
+    if kind != "ideal" and kind not in ACTUATOR_KINDS:
+        raise ValueError("unknown actuator %r (known: ideal, %s)"
+                         % (kind, ", ".join(sorted(ACTUATOR_KINDS))))
+    try:
+        delay = int(parts[1]) if len(parts) > 1 else 2
+        error = float(parts[2]) if len(parts) > 2 else 0.0
+    except ValueError:
+        raise ValueError("bad controller %r (want "
+                         "ACTUATOR[:DELAY[:ERROR]])" % token)
+    return kind, delay, error
+
+
+def cmd_sweep(args, out):
+    """The ``sweep`` command: grid -> orchestrator -> merged JSON."""
+    from repro.orchestrator import JobSpec, ResultCache, Runner, report_json
+
+    try:
+        controllers = [(tok, _parse_controller(tok))
+                       for tok in args.controllers]
+        specs = []
+        for workload in args.workloads:
+            for percent in args.impedances:
+                for _tok, ctrl in controllers:
+                    kwargs = dict(workload=workload, cycles=args.cycles,
+                                  warmup_instructions=args.warmup,
+                                  seed=args.seed,
+                                  impedance_percent=percent)
+                    if ctrl is not None:
+                        kind, delay, error = ctrl
+                        kwargs.update(actuator_kind=kind, delay=delay,
+                                      error=error)
+                    specs.append(JobSpec(**kwargs))
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    if args.invalidate:
+        dropped = sum(cache.invalidate(spec) for spec in specs)
+        print("sweep: invalidated %d cached cell(s)" % dropped,
+              file=sys.stderr)
+    runner = Runner(jobs=args.jobs, cache=cache,
+                    timeout_seconds=args.timeout, retries=args.retries)
+    outcomes = runner.run(specs)
+    settings = {
+        "workloads": list(args.workloads),
+        "impedances": [float(p) for p in args.impedances],
+        "controllers": list(args.controllers),
+        "cycles": args.cycles, "warmup": args.warmup, "seed": args.seed,
+    }
+    text = report_json(outcomes, settings)
+    if args.json == "-":
+        print(text, file=out)
+    else:
+        with open(args.json, "w") as fh:
+            fh.write(text + "\n")
+    hits = sum(1 for o in outcomes if o.cached)
+    errors = sum(1 for o in outcomes
+                 if o.result.get("status") == "error")
+    print("sweep: %d jobs, %d cache hits, %d executed, %d errors"
+          % (len(outcomes), hits, len(outcomes) - hits, errors),
+          file=sys.stderr)
+    if args.json != "-":
+        print("report written to %s" % args.json, file=sys.stderr)
+    return 1 if errors else 0
+
+
 def cmd_list(args, out):
     """The ``list`` command: available synthetic workloads."""
     rows = [[name, profile.description]
@@ -258,6 +375,7 @@ _COMMANDS = {
     "characterize": cmd_characterize,
     "control": cmd_control,
     "campaign": cmd_campaign,
+    "sweep": cmd_sweep,
     "list": cmd_list,
 }
 

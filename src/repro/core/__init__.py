@@ -20,6 +20,12 @@ A minimal session (the quickstart example expands on this)::
 """
 
 from repro.core.design import VoltageControlDesign
+from repro.core.factory import (
+    clear_design_cache,
+    design_at,
+    register_design,
+    tuned_stressmark_spec,
+)
 from repro.control.loop import run_workload, LoopResult
 from repro.control.thresholds import (
     design_pdn,
@@ -43,6 +49,10 @@ from repro.workloads.stressmark import (
 
 __all__ = [
     "VoltageControlDesign",
+    "design_at",
+    "register_design",
+    "tuned_stressmark_spec",
+    "clear_design_cache",
     "run_workload",
     "LoopResult",
     "design_pdn",

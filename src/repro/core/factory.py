@@ -1,0 +1,68 @@
+"""Process-local caches for solved designs and tuned stressmarks.
+
+Building a :class:`~repro.core.design.VoltageControlDesign` costs a
+package analysis plus a matrix exponential, and tuning the stressmark
+costs a small search on top -- cheap once, wasteful when every bench,
+campaign, and orchestrator worker rebuilds the same 200% design.  This
+module is the one shared memo: the bench harness, the fault campaign,
+and orchestrator worker processes all pull designs from here, so each
+*process* pays for each impedance level exactly once.
+
+The cache is deliberately a plain dict rather than ``functools.lru_cache``
+so a pre-built design can be injected (:func:`register_design`) -- test
+fixtures and campaign callers that already solved a design seed the
+cache instead of paying twice.
+"""
+
+from repro.core.design import VoltageControlDesign
+from repro.workloads.stressmark import tune_stressmark
+
+#: impedance percent -> solved design, per process.
+_DESIGNS = {}
+
+#: impedance percent -> tuned stressmark spec, per process.
+_STRESSMARK_SPECS = {}
+
+
+def design_at(percent=200.0):
+    """The process-shared :class:`VoltageControlDesign` for a level.
+
+    Args:
+        percent: package quality, percent of target impedance.
+
+    Returns:
+        The cached design (built on first request for this level).
+    """
+    key = float(percent)
+    if key not in _DESIGNS:
+        _DESIGNS[key] = VoltageControlDesign(impedance_percent=key)
+    return _DESIGNS[key]
+
+
+def register_design(design):
+    """Seed the cache with a pre-built design.
+
+    An existing entry for the same impedance level is kept (the first
+    design wins, so long-lived processes stay deterministic).
+
+    Returns:
+        The design that is now cached for that level.
+    """
+    key = float(design.impedance_percent)
+    return _DESIGNS.setdefault(key, design)
+
+
+def tuned_stressmark_spec(percent=200.0):
+    """The cached stressmark spec tuned against a level's network."""
+    key = float(percent)
+    if key not in _STRESSMARK_SPECS:
+        design = design_at(key)
+        spec, _ = tune_stressmark(design.pdn, design.config)
+        _STRESSMARK_SPECS[key] = spec
+    return _STRESSMARK_SPECS[key]
+
+
+def clear_design_cache():
+    """Drop every cached design and stressmark spec (tests)."""
+    _DESIGNS.clear()
+    _STRESSMARK_SPECS.clear()

@@ -15,41 +15,33 @@ reports:
   degraded to the current-driven ramp.
 
 Every run executes under a :class:`~repro.faults.watchdog.NumericWatchdog`
-and a shared :class:`~repro.faults.watchdog.RunBudget`, so a divergent
-or hung configuration becomes a reported ``"diverged"``/``"budget"``
-status instead of NaN output or a stuck sweep.  All randomness is
-seeded: the same seed produces a bit-identical report.
+and a per-run wall-clock budget, so a divergent or hung configuration
+becomes a reported ``"diverged"``/``"budget"`` status instead of NaN
+output or a stuck sweep.  All randomness is seeded: the same seed
+produces a bit-identical report.
 
-One :class:`~repro.pdn.discrete.PdnSimulator` is built per campaign and
-reset between runs (re-discretizing the network costs a matrix
-exponential per run; resetting costs two float stores).
+Since the orchestrator landed, each (workload, fault) cell is submitted
+as a :class:`~repro.orchestrator.spec.JobSpec` to a
+:class:`~repro.orchestrator.runner.Runner`: cells run in parallel
+across ``REPRO_JOBS`` workers, each worker builds the design and the
+PDN discretization once per impedance level (the worker resets the
+shared :class:`~repro.pdn.discrete.PdnSimulator` between runs), and a
+:class:`~repro.orchestrator.cache.ResultCache` can memoize cells across
+invocations.  The report bytes are unchanged from the inline-loop era.
 """
 
 import json
 
-from repro.control.actuators import Actuator
-from repro.control.controller import PlausibilityMonitor, ThresholdController
-from repro.control.loop import ClosedLoopSimulation
-from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.control.sensor import VoltageLevel
 from repro.faults.injectors import (
     BurstNoiseFault,
     DelayedReleaseFault,
     DriftFault,
     DropoutFault,
-    FaultyActuator,
-    FaultySensor,
     StuckGatedFault,
     StuckLevelFault,
     StuckReleasedFault,
 )
-from repro.faults.watchdog import (
-    RunBudget,
-    SimulationBudgetExceeded,
-    SimulationDiverged,
-)
-from repro.pdn.discrete import DiscretePdn, PdnSimulator
-from repro.uarch.core import Machine
-
 
 #: name -> factory(start, seed) -> {"sensor": [...], "actuator": [...]}.
 #: Parameters are sized so each fault's effect manifests within a few
@@ -132,71 +124,37 @@ class CampaignReport:
         return max(self.outcomes, key=lambda o: o.emergencies_missed)
 
 
-def _build_controller(thresholds, actuator_kind, seed, bundle, monitor):
-    sensor = ThresholdSensor(thresholds.v_low, thresholds.v_high,
-                             delay=thresholds.delay, error=thresholds.error,
-                             seed=seed)
-    if bundle and bundle.get("sensor"):
-        sensor = FaultySensor(sensor, bundle["sensor"])
-    actuator = Actuator(actuator_kind)
-    if bundle and bundle.get("actuator"):
-        actuator = FaultyActuator(actuator, bundle["actuator"])
-    return ThresholdController(sensor, actuator=actuator, monitor=monitor)
-
-
-def _run_one(design, thresholds, stream, warmup_instructions, cycles,
-             pdn_sim, budget, actuator_kind, seed, bundle, monitor):
-    """One guarded closed-loop run; returns (status, loop, ctrl, error)."""
-    machine = Machine(design.config, stream)
-    if warmup_instructions:
-        machine.fast_forward(warmup_instructions)
-    ctrl = _build_controller(thresholds, actuator_kind, seed, bundle,
-                             monitor)
-    loop = ClosedLoopSimulation(machine, design.power_model, design.pdn,
-                                controller=ctrl, pdn_sim=pdn_sim,
-                                budget=budget)
-    try:
-        loop.run(max_cycles=cycles)
-        return STATUS_OK, loop, ctrl, None
-    except SimulationDiverged as exc:
-        return STATUS_DIVERGED, loop, ctrl, str(exc)
-    except SimulationBudgetExceeded as exc:
-        return STATUS_BUDGET, loop, ctrl, str(exc)
-    finally:
-        # Never leave a faulted actuator holding the machine gated.
-        ctrl.actuator.release(machine)
-
-
-def _outcome(workload, fault, status, loop, ctrl, error, baseline):
-    stats = loop.machine.stats
-    emergencies = loop.counter.summary()
-    summary = ctrl.summary()
-    ipc = stats.committed / stats.cycles if stats.cycles else 0.0
+def _result_outcome(workload, fault, result, baseline):
+    """Fold one orchestrator result dict into a FaultRunOutcome."""
+    emergencies = result.get("emergencies") or {}
+    controller = result.get("controller") or {}
+    ipc = result.get("ipc", 0.0)
     missed = None
     ipc_lost = None
     if baseline is not None:
-        missed = max(0, emergencies["emergency_cycles"]
+        missed = max(0, emergencies.get("emergency_cycles", 0)
                      - baseline["emergency_cycles"])
         if baseline["ipc"] > 0:
             ipc_lost = 100.0 * (baseline["ipc"] - ipc) / baseline["ipc"]
     return FaultRunOutcome(
-        workload=workload, fault=fault, status=status,
-        cycles=stats.cycles, committed=stats.committed, ipc=ipc,
-        emergency_cycles=emergencies["emergency_cycles"],
+        workload=workload, fault=fault, status=result["status"],
+        cycles=result.get("cycles", 0), committed=result.get("committed", 0),
+        ipc=ipc,
+        emergency_cycles=emergencies.get("emergency_cycles", 0),
         emergencies_missed=missed, ipc_lost_percent=ipc_lost,
-        failsafe_transitions=summary["failsafe_transitions"],
-        failsafe_active=summary["failsafe_active"],
-        failsafe_reason=summary["failsafe_reason"],
-        v_min=emergencies["v_min"], v_max=emergencies["v_max"],
-        error=error)
+        failsafe_transitions=controller.get("failsafe_transitions", 0),
+        failsafe_active=controller.get("failsafe_active", False),
+        failsafe_reason=controller.get("failsafe_reason"),
+        v_min=emergencies.get("v_min"), v_max=emergencies.get("v_max"),
+        error=result.get("error"))
 
 
 def run_campaign(workloads=("swim",), faults=None, cycles=6000,
                  warmup_instructions=20000, seed=0, impedance_percent=200.0,
                  delay=2, error=0.0, actuator_kind="fu_dl1_il1",
                  fault_start=500, budget_seconds=120.0,
-                 stuck_cycles=500, design=None):
-    """Sweep fault types x workloads under watchdog and budget.
+                 stuck_cycles=500, design=None, jobs=None, cache=None):
+    """Sweep fault types x workloads through the orchestrator.
 
     Args:
         workloads: benchmark names (or ``"stressmark"``).
@@ -211,17 +169,18 @@ def run_campaign(workloads=("swim",), faults=None, cycles=6000,
             faults activate.
         budget_seconds: wall-clock cap per run (``None`` disables).
         stuck_cycles: plausibility-monitor stuck threshold.
-        design: reuse a solved design (else one is built).
+        design: seed the process design cache with a pre-built design
+            (see :func:`repro.core.register_design`).
+        jobs: worker processes; ``None`` resolves ``REPRO_JOBS`` or the
+            CPU count (1 keeps everything in-process).
+        cache: a :class:`~repro.orchestrator.cache.ResultCache` to
+            memoize cells across invocations; ``None`` always executes.
 
     Returns:
         A :class:`CampaignReport`.
     """
-    from repro.core import (
-        VoltageControlDesign,
-        get_profile,
-        stressmark_stream,
-        tune_stressmark,
-    )
+    from repro.core import register_design
+    from repro.orchestrator import JobSpec, Runner
 
     if faults is None:
         faults = sorted(FAULT_LIBRARY)
@@ -229,44 +188,41 @@ def run_campaign(workloads=("swim",), faults=None, cycles=6000,
     if unknown:
         raise ValueError("unknown fault(s) %s; known: %s"
                          % (unknown, ", ".join(sorted(FAULT_LIBRARY))))
-    design = design or VoltageControlDesign(
-        impedance_percent=impedance_percent)
-    thresholds = design.thresholds(delay=delay, error=error,
-                                   actuator_kind=actuator_kind)
-    # One discretization for the whole campaign, reset between runs.
-    pdn_sim = PdnSimulator(
-        DiscretePdn(design.pdn, clock_hz=design.config.clock_hz))
-    budget = (RunBudget(max_seconds=budget_seconds)
-              if budget_seconds else None)
-    tuned = {}
+    if design is not None:
+        register_design(design)
 
-    def stream_for(name):
-        if name == "stressmark":
-            if "spec" not in tuned:
-                tuned["spec"], _ = tune_stressmark(design.pdn, design.config)
-            return stressmark_stream(tuned["spec"]), 2000
-        return (get_profile(name).stream(seed=seed), warmup_instructions)
+    def spec_for(workload, fault):
+        warmup = (2000 if workload == "stressmark"
+                  else warmup_instructions)
+        return JobSpec(workload=workload, cycles=cycles,
+                       warmup_instructions=warmup, seed=seed,
+                       impedance_percent=impedance_percent, delay=delay,
+                       error=error, actuator_kind=actuator_kind,
+                       fault=fault, fault_start=fault_start,
+                       stuck_cycles=stuck_cycles)
 
-    def monitor():
-        return PlausibilityMonitor(stuck_cycles=stuck_cycles)
+    specs = []
+    for workload in workloads:
+        specs.append(spec_for(workload, None))
+        for fault in faults:
+            specs.append(spec_for(workload, fault))
+    runner = Runner(jobs=jobs, cache=cache,
+                    timeout_seconds=(budget_seconds or None))
+    results = runner.run(specs)
 
     baselines = {}
     outcomes = []
+    index = 0
     for workload in workloads:
-        stream, warmup = stream_for(workload)
-        status, loop, ctrl, err = _run_one(
-            design, thresholds, stream, warmup, cycles, pdn_sim, budget,
-            actuator_kind, seed, None, monitor())
-        base = _outcome(workload, "none", status, loop, ctrl, err, None)
+        base = _result_outcome(workload, "none", results[index].result,
+                               None)
         baselines[workload] = base.to_dict()
+        index += 1
         for fault in faults:
-            bundle = FAULT_LIBRARY[fault](fault_start, seed)
-            stream, warmup = stream_for(workload)
-            status, loop, ctrl, err = _run_one(
-                design, thresholds, stream, warmup, cycles, pdn_sim,
-                budget, actuator_kind, seed, bundle, monitor())
-            outcomes.append(_outcome(workload, fault, status, loop, ctrl,
-                                     err, baselines[workload]))
+            outcomes.append(_result_outcome(
+                workload, fault, results[index].result,
+                baselines[workload]))
+            index += 1
     settings = {
         "workloads": list(workloads), "faults": list(faults),
         "cycles": cycles, "warmup_instructions": warmup_instructions,

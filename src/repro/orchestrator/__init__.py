@@ -1,0 +1,71 @@
+"""Parallel experiment orchestration with content-addressed caching.
+
+Every evaluation in this repo -- bench tables, fault campaigns, tuning
+sweeps -- decomposes into independent, deterministic cells.  This
+package runs such cells as first-class jobs:
+
+* :class:`~repro.orchestrator.spec.JobSpec` -- a declarative,
+  content-hashed description of one cell;
+* :class:`~repro.orchestrator.cache.ResultCache` -- disk memoization
+  of finished cells, keyed by spec hash + code-version salt;
+* :class:`~repro.orchestrator.runner.Runner` -- cache-aware execution
+  across a ``multiprocessing`` pool with bounded retries, structured
+  error capture, and deterministic merge order.
+
+A sweep in four lines::
+
+    from repro.orchestrator import JobSpec, ResultCache, Runner
+    specs = [JobSpec(workload=w, impedance_percent=p, seed=11)
+             for w in ("swim", "mgrid") for p in (100, 200)]
+    outcomes = Runner(cache=ResultCache()).run(specs)
+
+Environment knobs: ``REPRO_JOBS`` (worker count), ``REPRO_CACHE_DIR``
+(cache location).  The ``repro-didt sweep`` CLI subcommand fronts this
+package for grid runs.
+"""
+
+from repro.orchestrator.cache import (
+    CACHEABLE_STATUSES,
+    ResultCache,
+    default_cache_root,
+    default_salt,
+)
+from repro.orchestrator.runner import (
+    JobOutcome,
+    Runner,
+    default_jobs,
+    merged_report,
+    report_json,
+)
+from repro.orchestrator.spec import (
+    KIND_RUN,
+    KIND_THRESHOLDS,
+    JobSpec,
+)
+from repro.orchestrator.worker import (
+    STATUS_BUDGET,
+    STATUS_DIVERGED,
+    STATUS_ERROR,
+    STATUS_OK,
+    execute_spec,
+)
+
+__all__ = [
+    "JobSpec",
+    "KIND_RUN",
+    "KIND_THRESHOLDS",
+    "ResultCache",
+    "CACHEABLE_STATUSES",
+    "default_cache_root",
+    "default_salt",
+    "Runner",
+    "JobOutcome",
+    "default_jobs",
+    "merged_report",
+    "report_json",
+    "execute_spec",
+    "STATUS_OK",
+    "STATUS_DIVERGED",
+    "STATUS_BUDGET",
+    "STATUS_ERROR",
+]

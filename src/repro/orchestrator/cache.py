@@ -1,0 +1,147 @@
+"""Content-addressed on-disk memoization of completed job results.
+
+Layout::
+
+    <root>/<salt>/<hh>/<hash>.json
+
+where ``root`` is ``REPRO_CACHE_DIR`` (default ``~/.cache/repro-didt``),
+``salt`` folds in the code version so results computed by older code
+can never satisfy newer code, ``hh`` is the first two hash hex digits
+(keeps directories small), and ``hash`` is the spec's content hash.
+
+Entries are written atomically (temp file + ``os.replace``) and store
+the full canonical spec next to the result; a read validates the stored
+spec against the requesting one, so a truncated file, a hash collision,
+or a hand-edited entry degrades to a cache *miss*, never a wrong or
+crashed run.  Only deterministic outcomes are worth memoizing -- the
+runner caches ``"ok"`` and ``"diverged"`` results and re-executes
+transient ``"budget"``/``"error"`` ones.
+"""
+
+import json
+import os
+import tempfile
+
+from repro import __version__
+
+#: Bump when the result payload schema changes shape.
+RESULT_SCHEMA = 1
+
+#: Statuses that are pure functions of the spec (safe to memoize).
+CACHEABLE_STATUSES = ("ok", "diverged")
+
+
+def default_cache_root():
+    """``REPRO_CACHE_DIR`` or the per-user cache directory."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-didt")
+
+
+def default_salt():
+    """Code-version salt: old caches die with the code that made them."""
+    return "v%s-schema%d" % (__version__, RESULT_SCHEMA)
+
+
+class ResultCache:
+    """Disk cache of job results keyed by spec content hash + salt.
+
+    Args:
+        root: cache directory (default :func:`default_cache_root`).
+        salt: version salt (default :func:`default_salt`).
+        enabled: ``False`` turns every operation into a no-op miss
+            (the ``--no-cache`` path keeps one code path either way).
+    """
+
+    def __init__(self, root=None, salt=None, enabled=True):
+        self.root = str(root) if root else default_cache_root()
+        self.salt = salt or default_salt()
+        self.enabled = bool(enabled)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, spec):
+        """Where this spec's entry lives (whether or not it exists)."""
+        digest = spec.content_hash()
+        return os.path.join(self.root, self.salt, digest[:2],
+                            digest + ".json")
+
+    def get(self, spec):
+        """The cached result dict for ``spec``, or ``None`` on miss.
+
+        Any unreadable, unparsable, or mismatched entry counts as a
+        miss (and is left for the next :meth:`put` to overwrite).
+        """
+        if not self.enabled:
+            return None
+        try:
+            with open(self.path_for(spec), "r") as fh:
+                payload = json.load(fh)
+            if payload.get("salt") != self.salt:
+                raise ValueError("salt mismatch")
+            if payload.get("spec") != spec.to_dict():
+                raise ValueError("spec mismatch")
+            result = payload["result"]
+            if not isinstance(result, dict) or "status" not in result:
+                raise ValueError("malformed result")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec, result):
+        """Store a result atomically; returns the entry path."""
+        if not self.enabled:
+            return None
+        path = self.path_for(spec)
+        payload = {
+            "salt": self.salt,
+            "spec": spec.to_dict(),
+            "result": result,
+        }
+        text = json.dumps(payload, sort_keys=True, indent=2)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text + "\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, spec):
+        """Drop one entry; returns whether anything was removed."""
+        if not self.enabled:
+            return False
+        try:
+            os.unlink(self.path_for(spec))
+            return True
+        except OSError:
+            return False
+
+    def clear(self):
+        """Drop every entry under this cache's salt; returns a count."""
+        removed = 0
+        base = os.path.join(self.root, self.salt)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
+
+    def __repr__(self):
+        return ("ResultCache(root=%r, salt=%r, enabled=%r, hits=%d, "
+                "misses=%d)" % (self.root, self.salt, self.enabled,
+                                self.hits, self.misses))

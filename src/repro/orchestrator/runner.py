@@ -1,0 +1,235 @@
+"""The batch runner: cache check, pool fan-out, retry, merge.
+
+The runner takes an ordered list of
+:class:`~repro.orchestrator.spec.JobSpec` and returns one
+:class:`JobOutcome` per spec *in the same order*, regardless of worker
+count or scheduling -- so a parallel run and a serial run of the same
+batch merge to byte-identical reports.
+
+Execution policy per job:
+
+1. a cache hit (status ``ok``/``diverged``) short-circuits execution;
+2. misses run on a ``multiprocessing`` pool (``REPRO_JOBS`` workers,
+   default the CPU count; 1 runs inline with no pool);
+3. a job that raises an *unexpected* exception is retried up to
+   ``retries`` times (transient failures: worker OOM-kill, pickling
+   hiccups), then recorded as a structured ``status="error"`` outcome
+   -- sibling jobs are never affected;
+4. deterministic outcomes are written back to the cache; transient
+   ``budget``/``error`` outcomes are not.
+
+Progress goes to stderr (one line per finished job) when enabled; it is
+on by default only when stderr is a terminal.
+"""
+
+import json
+import multiprocessing
+import os
+import sys
+import traceback
+
+from repro.orchestrator.cache import CACHEABLE_STATUSES, ResultCache
+from repro.orchestrator.worker import error_result, execute_spec
+
+
+def default_jobs():
+    """``REPRO_JOBS`` if set (and positive), else the CPU count."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError("REPRO_JOBS must be an integer, got %r" % env)
+        if jobs < 1:
+            raise ValueError("REPRO_JOBS must be >= 1, got %d" % jobs)
+        return jobs
+    return os.cpu_count() or 1
+
+
+def _pool_execute(payload):
+    """Pool target: run one spec dict, shipping exceptions as data."""
+    spec_dict, timeout_seconds = payload
+    try:
+        return "ok", execute_spec(spec_dict, timeout_seconds=timeout_seconds)
+    except Exception:
+        return "raise", traceback.format_exc()
+
+
+class JobOutcome:
+    """One finished cell: the spec, its result, and how it got there.
+
+    Attributes:
+        spec: the :class:`JobSpec`.
+        result: the worker's result dict.
+        cached: served from the result cache (no simulation ran).
+        attempts: executions performed (0 for a cache hit).
+    """
+
+    def __init__(self, spec, result, cached=False, attempts=1):
+        self.spec = spec
+        self.result = result
+        self.cached = cached
+        self.attempts = attempts
+
+    def to_dict(self):
+        """Canonical JSON form.  Excludes ``cached``/``attempts`` on
+        purpose: a report must not depend on how results were obtained.
+        """
+        return {"spec": self.spec.to_dict(), "result": self.result}
+
+    def __repr__(self):
+        return ("JobOutcome(%s: %s%s)"
+                % (self.spec.label(), self.result.get("status"),
+                   ", cached" if self.cached else ""))
+
+
+class Runner:
+    """Executes batches of job specs with caching and parallelism.
+
+    Args:
+        jobs: worker processes (default :func:`default_jobs`); 1 runs
+            inline in this process.
+        cache: a :class:`ResultCache`, or ``None`` for no caching.
+        timeout_seconds: per-job wall-clock budget (``None`` disables).
+        retries: extra attempts for jobs that raise unexpectedly.
+        progress: per-job progress lines on stderr; ``None`` enables
+            them only when stderr is a terminal.
+        execute: override for the job-execution function (tests).  A
+            non-default executor forces inline execution -- closures
+            do not survive pickling into a pool.
+    """
+
+    def __init__(self, jobs=None, cache=None, timeout_seconds=None,
+                 retries=1, progress=None, execute=None):
+        self.jobs = int(jobs) if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % self.jobs)
+        self.cache = cache
+        self.timeout_seconds = timeout_seconds
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %d" % retries)
+        self.retries = int(retries)
+        if progress is None:
+            progress = sys.stderr.isatty()
+        self.progress = bool(progress)
+        self._execute = execute or execute_spec
+        self._inline_only = execute is not None
+
+    # -- reporting -----------------------------------------------------
+
+    def _note(self, done, total, outcome):
+        if not self.progress:
+            return
+        how = "cached" if outcome.cached else (
+            "attempt %d" % outcome.attempts if outcome.attempts > 1
+            else "ran")
+        print("[orchestrator] %d/%d %s: %s (%s)"
+              % (done, total, outcome.spec.label(),
+                 outcome.result.get("status"), how), file=sys.stderr)
+
+    # -- execution -----------------------------------------------------
+
+    def _finish(self, outcomes, index, outcome, state):
+        outcomes[index] = outcome
+        status = outcome.result.get("status")
+        if (self.cache is not None and not outcome.cached
+                and status in CACHEABLE_STATUSES):
+            self.cache.put(outcome.spec, outcome.result)
+        state["done"] += 1
+        self._note(state["done"], state["total"], outcome)
+
+    def _run_inline(self, specs, pending, outcomes, state):
+        for index in pending:
+            spec = specs[index]
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = self._execute(
+                        spec, timeout_seconds=self.timeout_seconds)
+                    break
+                except Exception:
+                    if attempts > self.retries:
+                        result = error_result(traceback.format_exc())
+                        break
+            self._finish(outcomes, index,
+                         JobOutcome(spec, result, attempts=attempts), state)
+
+    def _run_pool(self, specs, pending, outcomes, state):
+        # Submit impedance-sorted so a worker draining the queue tends
+        # to see runs of equal design points (each design and PDN
+        # discretization is memoized per worker process).
+        order = sorted(pending,
+                       key=lambda i: (specs[i].impedance_percent, i))
+        attempts = {i: 0 for i in pending}
+        with multiprocessing.Pool(processes=min(self.jobs, len(pending))) \
+                as pool:
+            remaining = order
+            while remaining:
+                handles = []
+                for index in remaining:
+                    attempts[index] += 1
+                    payload = (specs[index].to_dict(), self.timeout_seconds)
+                    handles.append(
+                        (index, pool.apply_async(_pool_execute, (payload,))))
+                failed = []
+                for index, handle in handles:
+                    try:
+                        kind, value = handle.get()
+                    except Exception:
+                        kind, value = "raise", traceback.format_exc()
+                    if kind == "ok":
+                        self._finish(
+                            outcomes, index,
+                            JobOutcome(specs[index], value,
+                                       attempts=attempts[index]), state)
+                    elif attempts[index] > self.retries:
+                        self._finish(
+                            outcomes, index,
+                            JobOutcome(specs[index], error_result(value),
+                                       attempts=attempts[index]), state)
+                    else:
+                        failed.append(index)
+                remaining = failed
+
+    def run(self, specs):
+        """Run a batch; returns a list of :class:`JobOutcome`, one per
+        spec, in input order."""
+        specs = list(specs)
+        outcomes = [None] * len(specs)
+        state = {"done": 0, "total": len(specs)}
+        pending = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                outcomes[index] = JobOutcome(spec, cached, cached=True,
+                                             attempts=0)
+                state["done"] += 1
+                self._note(state["done"], state["total"], outcomes[index])
+            else:
+                pending.append(index)
+        if pending:
+            if self.jobs == 1 or len(pending) == 1 or self._inline_only:
+                self._run_inline(specs, pending, outcomes, state)
+            else:
+                self._run_pool(specs, pending, outcomes, state)
+        return outcomes
+
+
+def merged_report(outcomes, settings=None):
+    """One merged, JSON-safe dict for a batch of outcomes.
+
+    Jobs appear in outcome (= submission) order, so the report is
+    byte-stable across worker counts and cache states.
+    """
+    return {
+        "schema": 1,
+        "settings": dict(settings or {}),
+        "jobs": [o.to_dict() for o in outcomes],
+    }
+
+
+def report_json(outcomes, settings=None, indent=2):
+    """Byte-stable JSON text for :func:`merged_report`."""
+    return json.dumps(merged_report(outcomes, settings), sort_keys=True,
+                      indent=indent)

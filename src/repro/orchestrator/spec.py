@@ -1,0 +1,243 @@
+"""Declarative job specifications with stable content hashes.
+
+A :class:`JobSpec` names one independent, deterministic cell of an
+experiment grid -- everything a worker needs to reproduce the run from
+scratch: the workload, the run length, the seed, the package point, the
+controller knobs, and an optional injected fault.  Two spec objects
+that describe the same experiment hash identically no matter how they
+were constructed (keyword order, dict key order, int-vs-float literals),
+which is what makes the on-disk result cache content-addressed.
+
+Two job kinds exist:
+
+* ``"run"`` -- a closed-loop simulation (the common case);
+* ``"thresholds"`` -- a design-time threshold solve (Table 3 cells),
+  which has no workload, seed, or cycle count; those fields are
+  normalized to fixed values so irrelevant knobs never split the hash.
+"""
+
+import hashlib
+import json
+import math
+
+from repro.control.actuators import ACTUATOR_KINDS
+from repro.faults.campaign import FAULT_LIBRARY
+
+#: Job kinds understood by the worker.
+KIND_RUN = "run"
+KIND_THRESHOLDS = "thresholds"
+
+#: Canonical field order (also the canonical-dict key set).
+_FIELDS = ("kind", "workload", "cycles", "warmup_instructions", "seed",
+           "impedance_percent", "delay", "error", "actuator_kind",
+           "fault", "fault_start", "stuck_cycles", "watchdog_bounds")
+
+#: Warm-up applied when the caller does not choose one.
+DEFAULT_WARMUP = 60000
+STRESSMARK_WARMUP = 2000
+
+
+def _require_int(name, value, minimum=None):
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError("%s must be an int, got %r" % (name, value))
+    if minimum is not None and value < minimum:
+        raise ValueError("%s must be >= %d, got %d" % (name, minimum, value))
+    return value
+
+
+def _require_float(name, value):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError("%s must be a number, got %r" % (name, value))
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError("%s must be finite, got %r" % (name, value))
+    return value
+
+
+class JobSpec:
+    """One cell of an experiment grid (immutable once built).
+
+    Args:
+        workload: benchmark name or ``"stressmark"`` (``None`` only for
+            ``kind="thresholds"`` jobs).
+        cycles: timed cycles for the closed-loop region.
+        warmup_instructions: functional fast-forward before the timed
+            region; ``None`` picks 2000 for the stressmark and 60000
+            otherwise (the repo-wide conventions).
+        seed: master seed for the workload stream, sensor noise, and
+            stochastic faults.
+        impedance_percent: package quality, percent of target impedance.
+        delay: sensor delay in cycles, or ``None`` for an uncontrolled
+            (characterization) run.
+        error: sensor error bound, volts.
+        actuator_kind: one of :data:`~repro.control.actuators.ACTUATOR_KINDS`.
+        fault: a name from :data:`~repro.faults.campaign.FAULT_LIBRARY`
+            to inject, or ``None`` for a healthy run.
+        fault_start: cycle at which the injected fault activates.
+        stuck_cycles: plausibility-monitor stuck threshold for
+            controlled runs.
+        watchdog_bounds: ``(v_min, v_max)`` divergence bounds for the
+            numeric watchdog, or ``None`` for the loop's default.
+        kind: :data:`KIND_RUN` or :data:`KIND_THRESHOLDS`.
+    """
+
+    __slots__ = _FIELDS
+
+    def __init__(self, workload=None, cycles=20000,
+                 warmup_instructions=None, seed=0,
+                 impedance_percent=200.0, delay=None, error=0.0,
+                 actuator_kind="fu_dl1_il1", fault=None, fault_start=500,
+                 stuck_cycles=500, watchdog_bounds=None, kind=KIND_RUN):
+        if kind not in (KIND_RUN, KIND_THRESHOLDS):
+            raise ValueError("unknown job kind %r" % (kind,))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "impedance_percent",
+                           _require_float("impedance_percent",
+                                          impedance_percent))
+        object.__setattr__(self, "error", _require_float("error", error))
+        if actuator_kind != "ideal" and actuator_kind not in ACTUATOR_KINDS:
+            raise ValueError("unknown actuator kind %r (known: ideal, %s)"
+                             % (actuator_kind,
+                                ", ".join(sorted(ACTUATOR_KINDS))))
+        object.__setattr__(self, "actuator_kind", str(actuator_kind))
+
+        if kind == KIND_THRESHOLDS:
+            if delay is None:
+                raise ValueError("thresholds jobs need a sensor delay")
+            object.__setattr__(self, "delay",
+                               _require_int("delay", delay, minimum=0))
+            # Normalize run-only knobs so they never split the hash.
+            object.__setattr__(self, "workload", None)
+            object.__setattr__(self, "cycles", 0)
+            object.__setattr__(self, "warmup_instructions", 0)
+            object.__setattr__(self, "seed", 0)
+            object.__setattr__(self, "fault", None)
+            object.__setattr__(self, "fault_start", 0)
+            object.__setattr__(self, "stuck_cycles", 0)
+            object.__setattr__(self, "watchdog_bounds", None)
+            return
+
+        if not workload or not isinstance(workload, str):
+            raise ValueError("run jobs need a workload name, got %r"
+                             % (workload,))
+        if delay is None:
+            # Uncontrolled runs have no sensor or actuator: pin the
+            # controller-only knobs to their defaults so irrelevant
+            # settings never split the content hash.
+            error = 0.0
+            actuator_kind = "fu_dl1_il1"
+            fault_start = 500
+            stuck_cycles = 500
+            object.__setattr__(self, "error", 0.0)
+            object.__setattr__(self, "actuator_kind", "fu_dl1_il1")
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "cycles",
+                           _require_int("cycles", cycles, minimum=1))
+        if warmup_instructions is None:
+            warmup_instructions = (STRESSMARK_WARMUP
+                                   if workload == "stressmark"
+                                   else DEFAULT_WARMUP)
+        object.__setattr__(self, "warmup_instructions",
+                           _require_int("warmup_instructions",
+                                        warmup_instructions, minimum=0))
+        object.__setattr__(self, "seed", _require_int("seed", seed))
+        if delay is not None:
+            delay = _require_int("delay", delay, minimum=0)
+        object.__setattr__(self, "delay", delay)
+        if fault is not None:
+            if fault not in FAULT_LIBRARY:
+                raise ValueError("unknown fault %r (known: %s)"
+                                 % (fault,
+                                    ", ".join(sorted(FAULT_LIBRARY))))
+            if delay is None:
+                raise ValueError("fault injection needs a controlled "
+                                 "loop (set delay)")
+        object.__setattr__(self, "fault", fault)
+        object.__setattr__(self, "fault_start",
+                           _require_int("fault_start", fault_start,
+                                        minimum=0))
+        object.__setattr__(self, "stuck_cycles",
+                           _require_int("stuck_cycles", stuck_cycles,
+                                        minimum=1))
+        if watchdog_bounds is not None:
+            v_min, v_max = watchdog_bounds
+            v_min = _require_float("watchdog v_min", v_min)
+            v_max = _require_float("watchdog v_max", v_max)
+            if not v_min < v_max:
+                raise ValueError("watchdog bounds must satisfy "
+                                 "v_min < v_max")
+            watchdog_bounds = (v_min, v_max)
+        object.__setattr__(self, "watchdog_bounds", watchdog_bounds)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("JobSpec is immutable")
+
+    @classmethod
+    def thresholds(cls, impedance_percent=200.0, delay=2, error=0.0,
+                   actuator_kind="ideal"):
+        """A design-time threshold-solve job (one Table 3 cell)."""
+        return cls(kind=KIND_THRESHOLDS, impedance_percent=impedance_percent,
+                   delay=delay, error=error, actuator_kind=actuator_kind)
+
+    def to_dict(self):
+        """The canonical dict form (JSON-safe, fixed key set)."""
+        d = {}
+        for field in _FIELDS:
+            value = getattr(self, field)
+            if field == "watchdog_bounds" and value is not None:
+                value = list(value)
+            d[field] = value
+        return d
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild a spec from (any ordering of) its canonical dict."""
+        data = dict(data)
+        unknown = sorted(set(data) - set(_FIELDS))
+        if unknown:
+            raise ValueError("unknown JobSpec fields: %s" % unknown)
+        kwargs = {k: data[k] for k in _FIELDS if k in data}
+        bounds = kwargs.get("watchdog_bounds")
+        if bounds is not None:
+            kwargs["watchdog_bounds"] = tuple(bounds)
+        if kwargs.get("kind", KIND_RUN) == KIND_THRESHOLDS:
+            kwargs = {k: kwargs[k]
+                      for k in ("kind", "impedance_percent", "delay",
+                                "error", "actuator_kind") if k in kwargs}
+        elif kwargs.get("warmup_instructions") is None:
+            kwargs.pop("warmup_instructions", None)
+        return cls(**kwargs)
+
+    def canonical_json(self):
+        """Byte-stable JSON encoding of the canonical dict."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def content_hash(self):
+        """Stable hex digest identifying this experiment cell."""
+        return hashlib.sha256(
+            self.canonical_json().encode("utf-8")).hexdigest()
+
+    def label(self):
+        """Short human-readable tag for progress lines."""
+        if self.kind == KIND_THRESHOLDS:
+            return ("thresholds@%g%% delay=%d %s"
+                    % (self.impedance_percent, self.delay,
+                       self.actuator_kind))
+        ctrl = ("uncontrolled" if self.delay is None
+                else "%s:%d" % (self.actuator_kind, self.delay))
+        tag = "%s@%g%% %s" % (self.workload, self.impedance_percent, ctrl)
+        if self.fault:
+            tag += " fault=%s" % self.fault
+        return tag
+
+    def __eq__(self, other):
+        if not isinstance(other, JobSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self):
+        return hash(self.content_hash())
+
+    def __repr__(self):
+        return "JobSpec(%s)" % self.label()

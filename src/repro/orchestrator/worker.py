@@ -1,0 +1,185 @@
+"""Per-process job execution for the orchestrator.
+
+:func:`execute_spec` is the one function that turns a
+:class:`~repro.orchestrator.spec.JobSpec` into a result dict.  It is
+deliberately module-level (picklable) so a ``multiprocessing`` pool can
+call it, and every expensive artifact it needs is memoized *per
+process*:
+
+* solved designs come from :func:`repro.core.design_at` (one
+  construction per impedance level per worker);
+* tuned stressmark specs come from
+  :func:`repro.core.tuned_stressmark_spec`;
+* the discretized PDN simulator is built once per impedance level and
+  *reset* between jobs (re-discretizing costs a matrix exponential;
+  resetting costs two float stores) -- the same reuse the fault
+  campaign pioneered.
+
+Determinism contract: the result dict is a pure function of the spec.
+A worker that has run a hundred other jobs first returns bit-identical
+bytes to a fresh interpreter running the spec alone, which is what
+makes both the content-addressed cache and the serial-vs-parallel
+byte-stability guarantee sound.
+"""
+
+from repro.control.actuators import Actuator
+from repro.control.controller import PlausibilityMonitor, ThresholdController
+from repro.control.loop import ClosedLoopSimulation
+from repro.control.sensor import ThresholdSensor
+from repro.faults.campaign import FAULT_LIBRARY
+from repro.faults.injectors import FaultyActuator, FaultySensor
+from repro.faults.watchdog import (
+    NumericWatchdog,
+    RunBudget,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
+from repro.orchestrator.spec import KIND_THRESHOLDS, JobSpec
+from repro.pdn.discrete import DiscretePdn, PdnSimulator
+from repro.uarch.core import Machine
+
+#: Job result states (supersets the campaign's).
+STATUS_OK = "ok"
+STATUS_DIVERGED = "diverged"
+STATUS_BUDGET = "budget"
+STATUS_ERROR = "error"
+
+#: impedance percent -> reusable PdnSimulator, per process.
+_PDN_SIMS = {}
+
+
+def _pdn_sim_for(design):
+    key = float(design.impedance_percent)
+    if key not in _PDN_SIMS:
+        _PDN_SIMS[key] = PdnSimulator(
+            DiscretePdn(design.pdn, clock_hz=design.config.clock_hz))
+    return _PDN_SIMS[key]
+
+
+def _stream_for(spec, design):
+    """(stream, warmup) for a run spec, matching campaign conventions."""
+    from repro.core import get_profile, tuned_stressmark_spec
+    from repro.workloads.stressmark import stressmark_stream
+
+    if spec.workload == "stressmark":
+        return (stressmark_stream(
+            tuned_stressmark_spec(design.impedance_percent)),
+            spec.warmup_instructions)
+    return (get_profile(spec.workload).stream(seed=spec.seed),
+            spec.warmup_instructions)
+
+
+def _build_controller(thresholds, spec):
+    """A (possibly faulted) fail-safe-capable threshold controller."""
+    sensor = ThresholdSensor(thresholds.v_low, thresholds.v_high,
+                             delay=thresholds.delay,
+                             error=thresholds.error, seed=spec.seed)
+    bundle = (FAULT_LIBRARY[spec.fault](spec.fault_start, spec.seed)
+              if spec.fault else None)
+    if bundle and bundle.get("sensor"):
+        sensor = FaultySensor(sensor, bundle["sensor"])
+    actuator = Actuator(spec.actuator_kind)
+    if bundle and bundle.get("actuator"):
+        actuator = FaultyActuator(actuator, bundle["actuator"])
+    monitor = PlausibilityMonitor(stuck_cycles=spec.stuck_cycles)
+    return ThresholdController(sensor, actuator=actuator, monitor=monitor)
+
+
+def _thresholds_result(spec, design):
+    d = design.thresholds(delay=spec.delay, error=spec.error,
+                          actuator_kind=spec.actuator_kind)
+    return {
+        "status": STATUS_OK,
+        "error": None,
+        "thresholds": {
+            "v_low": d.v_low, "v_high": d.v_high, "delay": d.delay,
+            "error": d.error, "window_mv": d.window_mv,
+            "i_reduce": d.i_reduce, "i_boost": d.i_boost,
+            "v_worst_low": d.v_worst_low, "v_worst_high": d.v_worst_high,
+        },
+    }
+
+
+def execute_spec(spec, timeout_seconds=None):
+    """Run one job; returns the result dict (never raises for the
+    structured failure modes).
+
+    Args:
+        spec: a :class:`JobSpec` or its canonical dict.
+        timeout_seconds: per-job wall-clock budget enforced with a
+            :class:`~repro.faults.watchdog.RunBudget` inside the cycle
+            loop (``None`` disables).  Not part of the content hash:
+            a timeout is an execution policy, not an experiment knob.
+
+    Returns:
+        A dict with ``status`` (``ok``/``diverged``/``budget``),
+        ``error`` (message or ``None``), performance figures, the
+        emergency-counter summary, and the controller summary (or
+        ``None`` for uncontrolled runs).  Unexpected exceptions
+        propagate to the caller -- the runner turns them into
+        ``status="error"`` after its bounded retries.
+    """
+    from repro.core import design_at
+
+    if not isinstance(spec, JobSpec):
+        spec = JobSpec.from_dict(spec)
+    design = design_at(spec.impedance_percent)
+    if spec.kind == KIND_THRESHOLDS:
+        return _thresholds_result(spec, design)
+
+    stream, warmup = _stream_for(spec, design)
+    machine = Machine(design.config, stream)
+    if warmup:
+        machine.fast_forward(warmup)
+    controller = None
+    if spec.delay is not None:
+        thresholds = design.thresholds(delay=spec.delay, error=spec.error,
+                                       actuator_kind=spec.actuator_kind)
+        controller = _build_controller(thresholds, spec)
+    watchdog = None
+    if spec.watchdog_bounds is not None:
+        watchdog = NumericWatchdog(v_min=spec.watchdog_bounds[0],
+                                   v_max=spec.watchdog_bounds[1])
+    budget = (RunBudget(max_seconds=timeout_seconds)
+              if timeout_seconds is not None else None)
+    loop = ClosedLoopSimulation(machine, design.power_model, design.pdn,
+                                controller=controller,
+                                pdn_sim=_pdn_sim_for(design),
+                                watchdog=watchdog, budget=budget)
+    status, error = STATUS_OK, None
+    try:
+        loop.run(max_cycles=spec.cycles)
+    except SimulationDiverged as exc:
+        status, error = STATUS_DIVERGED, str(exc)
+    except SimulationBudgetExceeded as exc:
+        status, error = STATUS_BUDGET, str(exc)
+    finally:
+        # Never leave a faulted actuator holding the machine gated.
+        if controller is not None:
+            controller.actuator.release(machine)
+    stats = machine.stats
+    return {
+        "status": status,
+        "error": error,
+        "cycles": stats.cycles,
+        "committed": stats.committed,
+        "ipc": stats.committed / stats.cycles if stats.cycles else 0.0,
+        "energy": loop._energy,
+        "emergencies": loop.counter.summary(),
+        "controller": (controller.summary()
+                       if controller is not None else None),
+    }
+
+
+def error_result(message):
+    """The structured payload for a job that kept raising."""
+    return {
+        "status": STATUS_ERROR,
+        "error": message,
+        "cycles": 0,
+        "committed": 0,
+        "ipc": 0.0,
+        "energy": 0.0,
+        "emergencies": None,
+        "controller": None,
+    }

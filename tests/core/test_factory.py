@@ -1,0 +1,44 @@
+"""Tests for the process-wide design/stressmark caches."""
+
+from repro.core import design_at, register_design, tuned_stressmark_spec
+from repro.core import factory
+
+
+class TestDesignAt:
+    def test_same_level_returns_same_object(self):
+        assert design_at(200) is design_at(200.0)
+
+    def test_distinct_levels_are_distinct(self):
+        # 200 is the default design point built by half the suite; a
+        # second cheap probe at the same level must not collide.
+        design = design_at(200)
+        assert design.impedance_percent == 200.0
+
+    def test_register_design_seeds_the_cache(self):
+        class Sentinel:
+            impedance_percent = 977.0
+        sentinel = Sentinel()
+        try:
+            assert register_design(sentinel) is sentinel
+            assert design_at(977.0) is sentinel
+            assert design_at(977) is sentinel
+        finally:
+            factory._DESIGNS.pop(977.0, None)
+
+    def test_register_design_first_wins(self):
+        class Sentinel:
+            impedance_percent = 978.0
+        first, second = Sentinel(), Sentinel()
+        try:
+            register_design(first)
+            assert register_design(second) is first
+            assert design_at(978) is first
+        finally:
+            factory._DESIGNS.pop(978.0, None)
+
+
+class TestTunedStressmark:
+    def test_memoized_per_level(self):
+        spec = tuned_stressmark_spec(200)
+        assert tuned_stressmark_spec(200.0) is spec
+        assert spec.n_divides >= 1

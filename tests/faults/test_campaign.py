@@ -104,3 +104,28 @@ class TestFaultLibrary:
         for fault in faults:
             assert not fault.active(99)
             assert fault.active(100)
+
+
+class TestOrchestratedCampaign:
+    """The campaign now routes through the orchestrator; the report
+    must not depend on worker count or cache state."""
+
+    def test_parallel_report_matches_serial(self, design, small_report):
+        parallel = run_campaign(
+            faults=["stuck_low", "stuck_released", "dropout"],
+            design=design, jobs=2, **CAMPAIGN_KW)
+        assert parallel.to_json() == small_report.to_json()
+
+    def test_cached_rerun_matches_and_skips_simulation(self, design,
+                                                       small_report,
+                                                       tmp_path):
+        from repro.orchestrator import ResultCache
+        cache = ResultCache(root=tmp_path, salt="campaign")
+        kwargs = dict(faults=["stuck_low", "stuck_released", "dropout"],
+                      design=design, jobs=1, cache=cache, **CAMPAIGN_KW)
+        cold = run_campaign(**kwargs)
+        assert cache.hits == 0
+        warm = run_campaign(**kwargs)
+        # 1 baseline + 3 faults, every cell served from cache.
+        assert cache.hits == 4
+        assert warm.to_json() == cold.to_json() == small_report.to_json()

@@ -1,0 +1,139 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.orchestrator import JobSpec, ResultCache
+from repro.orchestrator.cache import default_cache_root, default_salt
+
+
+@pytest.fixture
+def spec():
+    return JobSpec(workload="swim", cycles=100, seed=5)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path, salt="test-salt")
+
+
+RESULT = {"status": "ok", "ipc": 1.25, "emergencies": {"cycles": 100}}
+
+
+class TestHitMiss:
+    def test_cold_cache_misses(self, cache, spec):
+        assert cache.get(spec) is None
+        assert cache.misses == 1
+
+    def test_put_then_hit(self, cache, spec):
+        cache.put(spec, RESULT)
+        assert cache.get(spec) == RESULT
+        assert cache.hits == 1
+
+    def test_hit_across_dict_key_order(self, cache, spec):
+        cache.put(spec, RESULT)
+        shuffled = JobSpec.from_dict(
+            dict(reversed(list(spec.to_dict().items()))))
+        assert cache.get(shuffled) == RESULT
+
+    def test_different_spec_misses(self, cache, spec):
+        cache.put(spec, RESULT)
+        other = JobSpec(workload="swim", cycles=101, seed=5)
+        assert cache.get(other) is None
+
+    def test_payload_bytes_are_stable(self, cache, spec):
+        path1 = cache.put(spec, RESULT)
+        data1 = open(path1, "rb").read()
+        path2 = cache.put(spec, RESULT)
+        assert path1 == path2
+        assert open(path2, "rb").read() == data1
+
+
+class TestSalt:
+    def test_salt_change_invalidates(self, tmp_path, spec):
+        ResultCache(root=tmp_path, salt="code-v1").put(spec, RESULT)
+        assert ResultCache(root=tmp_path,
+                           salt="code-v2").get(spec) is None
+        assert ResultCache(root=tmp_path,
+                           salt="code-v1").get(spec) == RESULT
+
+    def test_default_salt_tracks_version(self):
+        from repro import __version__
+        assert __version__ in default_salt()
+
+
+class TestCorruption:
+    def test_garbage_entry_is_a_miss(self, cache, spec):
+        cache.put(spec, RESULT)
+        with open(cache.path_for(spec), "w") as fh:
+            fh.write("{not json")
+        assert cache.get(spec) is None
+
+    def test_truncated_entry_is_a_miss(self, cache, spec):
+        path = cache.put(spec, RESULT)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[:len(data) // 2])
+        assert cache.get(spec) is None
+
+    def test_spec_mismatch_is_a_miss(self, cache, spec):
+        path = cache.put(spec, RESULT)
+        payload = json.load(open(path))
+        payload["spec"]["seed"] = 999
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert cache.get(spec) is None
+
+    def test_result_without_status_is_a_miss(self, cache, spec):
+        path = cache.put(spec, RESULT)
+        payload = json.load(open(path))
+        payload["result"] = {"weird": True}
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert cache.get(spec) is None
+
+    def test_put_repairs_corrupted_entry(self, cache, spec):
+        cache.put(spec, RESULT)
+        with open(cache.path_for(spec), "w") as fh:
+            fh.write("oops")
+        assert cache.get(spec) is None
+        cache.put(spec, RESULT)
+        assert cache.get(spec) == RESULT
+
+
+class TestInvalidation:
+    def test_invalidate_drops_entry(self, cache, spec):
+        cache.put(spec, RESULT)
+        assert cache.invalidate(spec) is True
+        assert cache.get(spec) is None
+        assert cache.invalidate(spec) is False
+
+    def test_clear_drops_everything_under_salt(self, cache, spec):
+        other = JobSpec(workload="mgrid", cycles=100, seed=5)
+        cache.put(spec, RESULT)
+        cache.put(other, RESULT)
+        assert cache.clear() == 2
+        assert cache.get(spec) is None
+        assert cache.get(other) is None
+
+
+class TestDisabled:
+    def test_noop_everywhere(self, tmp_path, spec):
+        cache = ResultCache(root=tmp_path, salt="s", enabled=False)
+        assert cache.put(spec, RESULT) is None
+        assert cache.get(spec) is None
+        assert cache.invalidate(spec) is False
+        assert list(os.scandir(tmp_path)) == []
+
+
+class TestRoots:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == str(tmp_path / "custom")
+
+    def test_falls_back_to_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_root().endswith(
+            os.path.join(".cache", "repro-didt"))

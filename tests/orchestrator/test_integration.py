@@ -1,0 +1,60 @@
+"""The PR's acceptance scenario, as a test: an 8-cell grid run with
+more than one worker merges to bytes identical to the serial run, and
+an immediate re-run is served entirely from the cache."""
+
+import pytest
+
+from repro.orchestrator import JobSpec, ResultCache, Runner, report_json
+
+
+def grid_specs():
+    """2 workloads x 2 impedance levels x (uncontrolled, controlled)."""
+    specs = []
+    for workload in ("swim", "mgrid"):
+        for percent in (150.0, 200.0):
+            specs.append(JobSpec(workload=workload, cycles=250,
+                                 warmup_instructions=400, seed=9,
+                                 impedance_percent=percent))
+            specs.append(JobSpec(workload=workload, cycles=250,
+                                 warmup_instructions=400, seed=9,
+                                 impedance_percent=percent, delay=2,
+                                 actuator_kind="fu_dl1_il1"))
+    return specs
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("orchestrator-cache")
+
+
+@pytest.fixture(scope="module")
+def parallel_report(cache_dir):
+    specs = grid_specs()
+    cache = ResultCache(root=cache_dir, salt="accept")
+    outcomes = Runner(jobs=2, cache=cache, progress=False).run(specs)
+    return outcomes, report_json(outcomes)
+
+
+class TestAcceptance:
+    def test_grid_is_at_least_eight_cells(self):
+        assert len(grid_specs()) == 8
+
+    def test_parallel_run_completes_every_cell(self, parallel_report):
+        outcomes, _ = parallel_report
+        assert [o.result["status"] for o in outcomes] == ["ok"] * 8
+
+    def test_parallel_matches_serial_byte_for_byte(self, parallel_report):
+        _, parallel_text = parallel_report
+        serial = Runner(jobs=1, cache=None, progress=False).run(
+            grid_specs())
+        assert report_json(serial) == parallel_text
+
+    def test_rerun_is_pure_cache_and_byte_identical(self, parallel_report,
+                                                    cache_dir):
+        _, parallel_text = parallel_report
+        cache = ResultCache(root=cache_dir, salt="accept")
+        again = Runner(jobs=2, cache=cache, progress=False).run(
+            grid_specs())
+        assert all(o.cached for o in again)
+        assert all(o.attempts == 0 for o in again)
+        assert report_json(again) == parallel_text

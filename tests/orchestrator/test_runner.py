@@ -1,0 +1,169 @@
+"""Tests for the batch runner: structured failures, retries, caching,
+and serial-vs-parallel byte stability."""
+
+import pytest
+
+from repro.orchestrator import (
+    JobSpec,
+    ResultCache,
+    Runner,
+    report_json,
+)
+from repro.orchestrator.runner import default_jobs
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(workload="swim", cycles=200, warmup_instructions=400,
+                  seed=5, impedance_percent=200.0)
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+#: Bounds the healthy loop (around 1.0 V nominal) can never leave, so
+#: the watchdog trips on the very first sample: a deliberately
+#: diverging, yet perfectly declarative, job.
+DIVERGING_BOUNDS = (1.49, 1.5)
+
+
+class TestStructuredFailures:
+    def test_diverging_job_reports_without_killing_siblings(self):
+        specs = [tiny_spec(seed=1),
+                 tiny_spec(seed=2, watchdog_bounds=DIVERGING_BOUNDS),
+                 tiny_spec(seed=3)]
+        outcomes = Runner(jobs=2, progress=False).run(specs)
+        statuses = [o.result["status"] for o in outcomes]
+        assert statuses == ["ok", "diverged", "ok"]
+        bad = outcomes[1].result
+        assert "diverged" in bad["error"]
+        assert bad["cycles"] >= 1
+
+    def test_diverged_result_is_cached(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        spec = tiny_spec(watchdog_bounds=DIVERGING_BOUNDS)
+        first = Runner(jobs=1, cache=cache, progress=False).run([spec])[0]
+        assert first.result["status"] == "diverged"
+        assert not first.cached
+        second = Runner(jobs=1, cache=cache, progress=False).run([spec])[0]
+        assert second.cached
+        assert second.result == first.result
+
+    def test_timeout_fires_under_tiny_budget(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        spec = tiny_spec(cycles=5000, warmup_instructions=0)
+        runner = Runner(jobs=1, cache=cache, timeout_seconds=1e-6,
+                        progress=False)
+        outcome = runner.run([spec])[0]
+        assert outcome.result["status"] == "budget"
+        assert "wall-clock" in outcome.result["error"]
+        # A timeout is transient: it must never be memoized.
+        assert cache.get(spec) is None
+
+    def test_merged_report_carries_structured_errors(self):
+        def explode(spec, timeout_seconds=None):
+            raise RuntimeError("flaky infrastructure")
+
+        outcomes = Runner(jobs=1, retries=0, progress=False,
+                          execute=explode).run([tiny_spec()])
+        assert outcomes[0].result["status"] == "error"
+        assert "flaky infrastructure" in outcomes[0].result["error"]
+        text = report_json(outcomes)
+        assert "flaky infrastructure" in text
+
+
+class TestRetries:
+    def test_transient_failure_retried_then_succeeds(self):
+        calls = {"n": 0}
+
+        def flaky(spec, timeout_seconds=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("worker lost")
+            return {"status": "ok", "value": 42}
+
+        outcome = Runner(jobs=1, retries=1, progress=False,
+                         execute=flaky).run([tiny_spec()])[0]
+        assert outcome.result == {"status": "ok", "value": 42}
+        assert outcome.attempts == 2
+
+    def test_retries_are_bounded(self):
+        calls = {"n": 0}
+
+        def always_down(spec, timeout_seconds=None):
+            calls["n"] += 1
+            raise OSError("still down")
+
+        outcome = Runner(jobs=1, retries=2, progress=False,
+                         execute=always_down).run([tiny_spec()])[0]
+        assert outcome.result["status"] == "error"
+        assert calls["n"] == 3
+
+    def test_one_bad_job_does_not_kill_siblings(self):
+        def partial(spec, timeout_seconds=None):
+            if spec.seed == 2:
+                raise RuntimeError("cursed cell")
+            return {"status": "ok", "seed": spec.seed}
+
+        outcomes = Runner(jobs=1, retries=0, progress=False,
+                          execute=partial).run(
+            [tiny_spec(seed=1), tiny_spec(seed=2), tiny_spec(seed=3)])
+        assert [o.result["status"] for o in outcomes] == \
+            ["ok", "error", "ok"]
+        assert outcomes[2].result["seed"] == 3
+
+
+class TestCaching:
+    def test_second_run_is_all_hits_and_byte_identical(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        specs = [tiny_spec(seed=s) for s in (1, 2)]
+        cold = Runner(jobs=1, cache=cache, progress=False).run(specs)
+        warm = Runner(jobs=1, cache=cache, progress=False).run(specs)
+        assert [o.cached for o in cold] == [False, False]
+        assert [o.cached for o in warm] == [True, True]
+        assert report_json(warm) == report_json(cold)
+
+    def test_outcome_dict_hides_execution_provenance(self):
+        outcome = Runner(jobs=1, progress=False).run([tiny_spec()])[0]
+        assert set(outcome.to_dict()) == {"spec", "result"}
+
+
+class TestWorkerResult:
+    def test_result_shape(self):
+        outcome = Runner(jobs=1, progress=False).run(
+            [tiny_spec(delay=2, actuator_kind="fu_dl1_il1")])[0]
+        result = outcome.result
+        assert result["status"] == "ok"
+        assert result["cycles"] == 200
+        assert result["ipc"] > 0
+        assert result["controller"]["actuator"] == "fu_dl1_il1"
+        assert result["emergencies"]["cycles"] == 200
+
+    def test_uncontrolled_has_no_controller_summary(self):
+        result = Runner(jobs=1, progress=False).run([tiny_spec()])[0].result
+        assert result["controller"] is None
+
+    def test_thresholds_job(self):
+        outcome = Runner(jobs=1, progress=False).run(
+            [JobSpec.thresholds(200, delay=2)])[0]
+        thresholds = outcome.result["thresholds"]
+        assert thresholds["v_low"] < thresholds["v_high"]
+        assert thresholds["window_mv"] > 0
+
+
+class TestDefaults:
+    def test_repro_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+
+    def test_repro_jobs_must_be_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_bad_repro_jobs_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.raises(ValueError):
+            default_jobs()
+
+    def test_jobs_argument_validated(self):
+        with pytest.raises(ValueError):
+            Runner(jobs=0)

@@ -1,0 +1,110 @@
+"""Tests for JobSpec canonicalization and content hashing."""
+
+import pytest
+
+from repro.orchestrator import KIND_THRESHOLDS, JobSpec
+
+
+class TestCanonicalForm:
+    def test_round_trips_through_dict(self):
+        spec = JobSpec(workload="swim", cycles=1000, seed=7,
+                       impedance_percent=150, delay=2, error=0.01,
+                       actuator_kind="fu_dl1", fault="dropout",
+                       fault_start=100, stuck_cycles=50)
+        again = JobSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.to_dict() == spec.to_dict()
+
+    def test_hash_stable_across_key_order(self):
+        spec = JobSpec(workload="swim", delay=2, fault="stuck_low")
+        shuffled = dict(reversed(list(spec.to_dict().items())))
+        assert JobSpec.from_dict(shuffled).content_hash() == \
+            spec.content_hash()
+
+    def test_hash_insensitive_to_int_float_literals(self):
+        a = JobSpec(workload="swim", impedance_percent=200)
+        b = JobSpec(workload="swim", impedance_percent=200.0)
+        assert a.content_hash() == b.content_hash()
+
+    def test_hash_changes_with_any_knob(self):
+        base = JobSpec(workload="swim", delay=2)
+        assert JobSpec(workload="mgrid", delay=2).content_hash() != \
+            base.content_hash()
+        assert JobSpec(workload="swim", delay=3).content_hash() != \
+            base.content_hash()
+        assert JobSpec(workload="swim", delay=2,
+                       seed=1).content_hash() != base.content_hash()
+
+    def test_warmup_defaults_per_workload(self):
+        assert JobSpec(workload="swim").warmup_instructions == 60000
+        assert JobSpec(workload="stressmark").warmup_instructions == 2000
+
+    def test_uncontrolled_normalizes_controller_knobs(self):
+        a = JobSpec(workload="swim", delay=None, error=0.02,
+                    actuator_kind="fu_dl1", fault_start=7, stuck_cycles=9)
+        b = JobSpec(workload="swim", delay=None)
+        assert a.content_hash() == b.content_hash()
+
+    def test_immutable(self):
+        spec = JobSpec(workload="swim")
+        with pytest.raises(AttributeError):
+            spec.cycles = 5
+
+
+class TestValidation:
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault"):
+            JobSpec(workload="swim", delay=2, fault="gremlins")
+
+    def test_fault_requires_controlled_loop(self):
+        with pytest.raises(ValueError, match="controlled"):
+            JobSpec(workload="swim", fault="dropout")
+
+    def test_unknown_actuator_rejected(self):
+        with pytest.raises(ValueError, match="unknown actuator"):
+            JobSpec(workload="swim", delay=2, actuator_kind="warp")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(workload="swim", kind="telepathy")
+
+    def test_run_needs_workload(self):
+        with pytest.raises(ValueError, match="workload"):
+            JobSpec()
+
+    def test_cycles_must_be_positive_int(self):
+        with pytest.raises(ValueError):
+            JobSpec(workload="swim", cycles=0)
+        with pytest.raises(ValueError):
+            JobSpec(workload="swim", cycles=2.5)
+
+    def test_watchdog_bounds_ordered(self):
+        with pytest.raises(ValueError, match="v_min < v_max"):
+            JobSpec(workload="swim", watchdog_bounds=(1.2, 0.9))
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = JobSpec(workload="swim").to_dict()
+        data["frobnicate"] = 1
+        with pytest.raises(ValueError, match="unknown JobSpec fields"):
+            JobSpec.from_dict(data)
+
+
+class TestThresholdsKind:
+    def test_normalizes_run_knobs(self):
+        spec = JobSpec.thresholds(200, delay=3)
+        assert spec.kind == KIND_THRESHOLDS
+        assert spec.workload is None
+        assert spec.cycles == 0
+        assert spec.fault is None
+
+    def test_requires_delay(self):
+        with pytest.raises(ValueError, match="delay"):
+            JobSpec(kind=KIND_THRESHOLDS)
+
+    def test_round_trips(self):
+        spec = JobSpec.thresholds(150, delay=4, actuator_kind="fu_dl1")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_label_mentions_design_point(self):
+        label = JobSpec.thresholds(150, delay=4).label()
+        assert "thresholds" in label and "150" in label

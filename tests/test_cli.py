@@ -96,3 +96,60 @@ class TestCampaignCommand:
         import pytest as _pytest
         with _pytest.raises(SystemExit):
             build_parser().parse_args(["campaign", "--faults", "bogus"])
+
+
+class TestSweepCommand:
+    def sweep(self, tmp_path, *extra):
+        path = tmp_path / "report.json"
+        argv = ["sweep", "--workloads", "swim", "--impedances", "200",
+                "--controllers", "none", "fu_dl1_il1:2",
+                "--cycles", "250", "--warmup", "400", "--seed", "9",
+                "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(path)] + list(extra)
+        code, text = run_cli(*argv)
+        return code, path
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "--workloads", "swim"])
+        assert args.impedances == [200.0]
+        assert args.controllers == ["none"]
+        assert args.json == "-"
+        assert not args.no_cache
+
+    def test_bad_controller_token_is_an_error(self, tmp_path, capsys):
+        code, _ = run_cli("sweep", "--workloads", "swim",
+                          "--controllers", "warpdrive", "--jobs", "1")
+        assert code == 2
+        assert "unknown actuator" in capsys.readouterr().err
+
+    def test_grid_report(self, tmp_path):
+        import json
+        code, path = self.sweep(tmp_path)
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert len(data["jobs"]) == 2
+        statuses = [job["result"]["status"] for job in data["jobs"]]
+        assert statuses == ["ok", "ok"]
+        specs = [job["spec"] for job in data["jobs"]]
+        assert specs[0]["delay"] is None
+        assert specs[1]["delay"] == 2
+        assert data["settings"]["workloads"] == ["swim"]
+
+    def test_rerun_hits_cache_and_matches_bytes(self, tmp_path, capsys):
+        _, path1 = self.sweep(tmp_path)
+        first = path1.read_bytes()
+        capsys.readouterr()
+        code, path2 = self.sweep(tmp_path)
+        assert code == 0
+        assert path2.read_bytes() == first
+        err = capsys.readouterr().err
+        assert "2 cache hits, 0 executed" in err
+
+    def test_invalidate_forces_execution(self, tmp_path, capsys):
+        self.sweep(tmp_path)
+        capsys.readouterr()
+        code, _ = self.sweep(tmp_path, "--invalidate")
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "invalidated 2 cached cell(s)" in err
+        assert "0 cache hits, 2 executed" in err

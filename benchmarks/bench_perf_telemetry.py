@@ -1,0 +1,67 @@
+"""Telemetry overhead (pytest-benchmark used for actual timing).
+
+The telemetry contract (DESIGN.md section 9) promises that the
+disabled defaults cost nothing measurable on the closed loop's hot
+path: every per-cycle site binds its instruments once in ``__init__``
+and pays a single ``is not None`` test per cycle when telemetry is
+off.  These benches time the same closed-loop run three ways --
+without telemetry, with the null bundle passed explicitly, and fully
+instrumented -- so a regression that puts work back on the disabled
+path shows up as a gap between the first two rows.
+"""
+
+from repro.control.loop import ClosedLoopSimulation
+from repro.power.model import PowerModel
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.uarch.core import Machine
+
+from harness import design_at, stressmark, tuned_stressmark_spec
+
+CYCLES = 2000
+
+
+def _closed_loop(design, telemetry=None):
+    machine = Machine(design.config, stressmark())
+    machine.fast_forward(2000)
+    factory = design.controller_factory(delay=2,
+                                        actuator_kind="fu_dl1_il1")
+    model = PowerModel(design.config, design.power_model.params)
+    return ClosedLoopSimulation(machine, model, design.pdn,
+                                controller=factory(machine, model),
+                                telemetry=telemetry)
+
+
+def _timed_run(benchmark, design, telemetry):
+    def run():
+        loop = _closed_loop(design, telemetry=telemetry)
+        return loop.run(max_cycles=CYCLES).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles == CYCLES
+
+
+def bench_perf_loop_telemetry_off(benchmark):
+    design = design_at(200)
+    tuned_stressmark_spec(200)
+    _timed_run(benchmark, design, None)
+
+
+def bench_perf_loop_telemetry_null_bundle(benchmark):
+    design = design_at(200)
+    tuned_stressmark_spec(200)
+    _timed_run(benchmark, design, NULL_TELEMETRY)
+
+
+def bench_perf_loop_telemetry_full(benchmark):
+    design = design_at(200)
+    tuned_stressmark_spec(200)
+    telemetry = Telemetry.full()
+
+    def run():
+        telemetry.trace.clear()
+        loop = _closed_loop(design, telemetry=telemetry)
+        return loop.run(max_cycles=CYCLES).cycles
+
+    cycles = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cycles == CYCLES
+    assert telemetry.trace.events(), "instrumented run recorded nothing"

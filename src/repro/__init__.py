@@ -10,9 +10,11 @@ microarchitectural actuators (:mod:`repro.control`).  Workload generators
 :mod:`repro.workloads`; reporting helpers in :mod:`repro.analysis`;
 fault injection, numeric watchdogs, and the resilience campaign runner
 in :mod:`repro.faults`; parallel experiment orchestration with
-content-addressed result caching in :mod:`repro.orchestrator`.
+content-addressed result caching in :mod:`repro.orchestrator`; and
+opt-in metrics, cycle-level event tracing, and span profiling in
+:mod:`repro.telemetry`.
 
 See :mod:`repro.core` for the high-level public API.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

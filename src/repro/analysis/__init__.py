@@ -5,6 +5,8 @@
   deltas between controlled and baseline runs (Figures 14-18).
 * :mod:`repro.analysis.tables` -- plain-text tables and charts so the
   benchmark harness prints the same rows and series the paper reports.
+* :mod:`repro.analysis.tracestats` -- deterministic summaries over
+  recorded telemetry trace events.
 """
 
 from repro.analysis.distributions import VoltageDistribution
@@ -20,6 +22,7 @@ from repro.analysis.spectrum import (
     danger_index,
     resonant_band_energy,
 )
+from repro.analysis.tracestats import format_summary, summarize_events
 
 __all__ = [
     "VoltageDistribution",
@@ -33,4 +36,6 @@ __all__ = [
     "current_spectrum",
     "danger_index",
     "resonant_band_energy",
+    "format_summary",
+    "summarize_events",
 ]

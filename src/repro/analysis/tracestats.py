@@ -1,0 +1,105 @@
+"""Summaries over recorded telemetry traces.
+
+A :class:`~repro.telemetry.trace.TraceRecorder` captures the closed
+loop's qualitative story -- sensor level flips, controller commands,
+actuation windows, emergency episodes -- as cycle-stamped events.  This
+module folds a recorded event list into the small, deterministic
+numbers the CLI and the tests want: how many of each event, how long
+the actuation and emergency windows were, and where the first
+emergency started.
+
+Everything here is pure-Python over the event tuples returned by
+:meth:`TraceRecorder.events`, so it works equally on a live recorder
+and on events re-parsed from an exported JSONL file.
+"""
+
+from repro.telemetry.trace import KIND_BEGIN, KIND_END, KIND_INSTANT
+
+
+def summarize_events(events, last_cycle=None):
+    """Fold trace events into a deterministic summary dict.
+
+    Args:
+        events: an iterable of event dicts (``cycle`` / ``kind`` /
+            ``name`` / ``cat`` / optional ``args``), in recording order
+            -- as produced by
+            :meth:`~repro.telemetry.trace.TraceRecorder.events` or
+            re-parsed from an exported JSONL file.
+        last_cycle: close any still-open begin/end window at this cycle
+            (normally the run's final cycle index).  ``None`` closes
+            open windows at the last event's cycle.
+
+    Returns:
+        A dict with:
+
+        * ``events`` -- total events summarized;
+        * ``counts`` -- ``{name: n}`` for instant events and window
+          *openings* (event names carry their category prefix, e.g.
+          ``sensor.level``);
+        * ``windows`` -- ``{name: {"count", "cycles"}}`` for begin/end
+          pairs (cycles = summed durations, open windows closed at
+          ``last_cycle``);
+        * ``first_emergency_cycle`` -- cycle of the first event in the
+          ``emergency`` category, or ``None``;
+        * ``sensor_transitions`` -- instant count in the ``sensor``
+          category (convenience for the common question).
+    """
+    events = list(events)
+    counts = {}
+    windows = {}
+    open_windows = {}
+    max_cycle = 0
+    first_emergency = None
+    for event in events:
+        cycle, kind = event["cycle"], event["kind"]
+        if cycle > max_cycle:
+            max_cycle = cycle
+        key = event["name"]
+        if first_emergency is None and event["cat"] == "emergency":
+            first_emergency = cycle
+        if kind == KIND_INSTANT:
+            counts[key] = counts.get(key, 0) + 1
+        elif kind == KIND_BEGIN:
+            counts[key] = counts.get(key, 0) + 1
+            open_windows.setdefault(key, []).append(cycle)
+        elif kind == KIND_END:
+            stack = open_windows.get(key)
+            if stack:
+                start = stack.pop()
+                entry = windows.setdefault(key, {"count": 0, "cycles": 0})
+                entry["count"] += 1
+                entry["cycles"] += max(0, cycle - start)
+            # An end with no matching begin (evicted from the ring) is
+            # dropped, mirroring the Chrome exporter.
+    close_at = last_cycle if last_cycle is not None else max_cycle
+    for key in sorted(open_windows):
+        for start in open_windows[key]:
+            entry = windows.setdefault(key, {"count": 0, "cycles": 0})
+            entry["count"] += 1
+            entry["cycles"] += max(0, close_at - start)
+    sensor_transitions = sum(
+        counts[key] for key in counts if key.startswith("sensor."))
+    return {
+        "events": len(events),
+        "counts": dict(sorted(counts.items())),
+        "windows": {key: windows[key] for key in sorted(windows)},
+        "first_emergency_cycle": first_emergency,
+        "sensor_transitions": sensor_transitions,
+    }
+
+
+def format_summary(summary):
+    """Plain-text lines for a :func:`summarize_events` dict."""
+    lines = ["trace: %d events" % summary["events"]]
+    if summary["sensor_transitions"]:
+        lines.append("  sensor transitions: %d"
+                     % summary["sensor_transitions"])
+    for key, count in summary["counts"].items():
+        lines.append("  %-24s %d" % (key, count))
+    for key, entry in summary["windows"].items():
+        lines.append("  %-24s %d window(s), %d cycle(s)"
+                     % (key, entry["count"], entry["cycles"]))
+    if summary["first_emergency_cycle"] is not None:
+        lines.append("  first emergency at cycle %d"
+                     % summary["first_emergency_cycle"])
+    return "\n".join(lines)

@@ -17,6 +17,10 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
   controllers) run through the parallel, cache-backed orchestrator;
   emits one merged byte-stable JSON report.  ``REPRO_JOBS`` sets the
   worker count, ``REPRO_CACHE_DIR`` moves the result cache.
+* ``trace`` (alias ``run``) -- one fully instrumented closed-loop run:
+  cycle-stamped events to Chrome trace-event JSON (``--trace-out``,
+  loadable in Perfetto / ``chrome://tracing``), byte-stable JSONL
+  (``--jsonl-out``), and the metrics registry (``--metrics-out``).
 * ``list`` -- available synthetic benchmarks.
 """
 
@@ -80,6 +84,12 @@ def build_parser():
                    help="sensor error, volts")
     p.add_argument("--actuator", choices=sorted(ACTUATOR_KINDS),
                    default="fu_dl1_il1")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the controlled run's Chrome trace-event "
+                        "JSON here")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the controlled run's metrics registry "
+                        "JSON here")
 
     p = sub.add_parser("campaign",
                        help="fault-injection resilience campaign")
@@ -140,6 +150,43 @@ def build_parser():
     p.add_argument("--json", default="-", metavar="PATH",
                    help="merged report destination ('-' for stdout, "
                         "the default)")
+    p.add_argument("--execution-detail", action="store_true",
+                   help="include the per-job execution sidecar "
+                        "(attempts, cached, wall time) in the report; "
+                        "that section is not byte-stable")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the orchestrator's metrics registry "
+                        "JSON here (cache hits/misses, retries, errors)")
+
+    p = sub.add_parser("trace", aliases=["run"],
+                       help="instrumented closed-loop run with trace/"
+                            "metrics export")
+    _add_common(p)
+    p.add_argument("workload", nargs="?", default="stressmark",
+                   help="benchmark name or 'stressmark' (the default)")
+    p.add_argument("--delay", type=int, default=2, help="sensor delay")
+    p.add_argument("--error", type=float, default=0.0,
+                   help="sensor error, volts")
+    p.add_argument("--actuator", choices=sorted(ACTUATOR_KINDS),
+                   default="fu_dl1_il1")
+    p.add_argument("--uncontrolled", action="store_true",
+                   help="run without the controller (characterization)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="skip the uncontrolled baseline track that is "
+                        "otherwise traced alongside the controlled run")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="warm-up instructions (default: 2000 for the "
+                        "stressmark, 60000 otherwise)")
+    p.add_argument("--capacity", type=int, default=65536,
+                   help="trace ring-buffer capacity, events "
+                        "(default 65536)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write Chrome trace-event JSON here (loadable "
+                        "in Perfetto / chrome://tracing)")
+    p.add_argument("--jsonl-out", metavar="PATH",
+                   help="write the byte-stable JSONL event log here")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the metrics registry JSON here")
 
     sub.add_parser("list", help="list synthetic benchmarks")
     return parser
@@ -216,17 +263,50 @@ def cmd_characterize(args, out):
     return 0
 
 
+def _write_text(path, text):
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+
+
+def _trace_metadata(args, design, controlled=True):
+    """Chrome-trace ``otherData`` describing the traced run."""
+    meta = {
+        "workload": args.workload,
+        "impedance_percent": args.impedance,
+        "cycles": args.cycles,
+        "seed": args.seed,
+        "controlled": controlled,
+    }
+    if controlled:
+        meta.update(delay=args.delay, error=args.error,
+                    actuator=args.actuator)
+    meta.update(design.pdn.describe()
+                if hasattr(design.pdn, "describe") else {})
+    return meta
+
+
 def cmd_control(args, out):
     """The ``control`` command: controlled vs uncontrolled run."""
+    from repro.telemetry import Telemetry
+
     design = _design(args)
     stream, warmup = _stream(design, args.workload, args.seed)
     base = design.run(stream, delay=None, warmup_instructions=warmup,
                       max_cycles=args.cycles)
+    telemetry = (Telemetry.full()
+                 if (args.trace_out or args.metrics_out) else None)
     stream2, _ = _stream(design, args.workload, args.seed)
     controlled = design.run(stream2, delay=args.delay, error=args.error,
                             actuator_kind=args.actuator,
                             warmup_instructions=warmup,
-                            max_cycles=args.cycles)
+                            max_cycles=args.cycles, telemetry=telemetry)
+    if args.trace_out:
+        _write_text(args.trace_out, telemetry.trace.to_chrome_json(
+            metadata=_trace_metadata(args, design)))
+        print("trace written to %s" % args.trace_out, file=sys.stderr)
+    if args.metrics_out:
+        _write_text(args.metrics_out, telemetry.metrics.to_json())
+        print("metrics written to %s" % args.metrics_out, file=sys.stderr)
     rows = [
         ["uncontrolled", base.emergencies["emergency_cycles"],
          "%.4f" % base.emergencies["v_min"], "%.3f" % base.ipc, "-", "-"],
@@ -308,6 +388,7 @@ def _parse_controller(token):
 def cmd_sweep(args, out):
     """The ``sweep`` command: grid -> orchestrator -> merged JSON."""
     from repro.orchestrator import JobSpec, ResultCache, Runner, report_json
+    from repro.telemetry import MetricsRegistry, SpanProfiler, Telemetry
 
     try:
         controllers = [(tok, _parse_controller(tok))
@@ -333,8 +414,12 @@ def cmd_sweep(args, out):
         dropped = sum(cache.invalidate(spec) for spec in specs)
         print("sweep: invalidated %d cached cell(s)" % dropped,
               file=sys.stderr)
+    telemetry = (Telemetry(metrics=MetricsRegistry(),
+                           profiler=SpanProfiler())
+                 if args.metrics_out else None)
     runner = Runner(jobs=args.jobs, cache=cache,
-                    timeout_seconds=args.timeout, retries=args.retries)
+                    timeout_seconds=args.timeout, retries=args.retries,
+                    telemetry=telemetry)
     outcomes = runner.run(specs)
     settings = {
         "workloads": list(args.workloads),
@@ -342,12 +427,17 @@ def cmd_sweep(args, out):
         "controllers": list(args.controllers),
         "cycles": args.cycles, "warmup": args.warmup, "seed": args.seed,
     }
-    text = report_json(outcomes, settings)
+    text = report_json(outcomes, settings,
+                       execution=args.execution_detail)
     if args.json == "-":
         print(text, file=out)
     else:
         with open(args.json, "w") as fh:
             fh.write(text + "\n")
+    if args.metrics_out:
+        _write_text(args.metrics_out, telemetry.metrics.to_json())
+        print("metrics written to %s" % args.metrics_out,
+              file=sys.stderr)
     hits = sum(1 for o in outcomes if o.cached)
     errors = sum(1 for o in outcomes
                  if o.result.get("status") == "error")
@@ -357,6 +447,95 @@ def cmd_sweep(args, out):
     if args.json != "-":
         print("report written to %s" % args.json, file=sys.stderr)
     return 1 if errors else 0
+
+
+def cmd_trace(args, out):
+    """The ``trace`` command: instrumented run(s), traces exported.
+
+    The default traces *two* runs of the workload -- the uncontrolled
+    baseline and the controlled run -- as two process tracks in one
+    Chrome trace, so the emergency windows the controller eliminates
+    sit right above the actuation windows that eliminated them.
+    ``--uncontrolled`` traces only the baseline; ``--no-baseline``
+    only the controlled run.
+    """
+    from repro.analysis.tracestats import format_summary, summarize_events
+    from repro.control.loop import ClosedLoopSimulation
+    from repro.telemetry import Telemetry, TraceRecorder, \
+        merged_chrome_json
+    from repro.uarch.core import Machine
+
+    if args.capacity < 1:
+        print("error: --capacity must be >= 1", file=sys.stderr)
+        return 2
+    design = _design(args)
+
+    def one_run(controlled, telemetry):
+        stream, default_warmup = _stream(design, args.workload, args.seed)
+        warmup = (args.warmup if args.warmup is not None
+                  else default_warmup)
+        machine = Machine(design.config, stream)
+        if warmup:
+            machine.fast_forward(warmup)
+        controller = None
+        if controlled:
+            factory = design.controller_factory(
+                delay=args.delay, error=args.error,
+                actuator_kind=args.actuator, seed=args.seed)
+            controller = factory(machine, design.power_model)
+        loop = ClosedLoopSimulation(machine, design.power_model,
+                                    design.pdn, controller=controller,
+                                    telemetry=telemetry)
+        return loop, loop.run(max_cycles=args.cycles)
+
+    def describe(result, label):
+        e = result.emergencies
+        return ("%s at %g%% impedance, %s: %d cycles, ipc %.3f, "
+                "voltage [%.4f, %.4f] V, %d emergency cycles"
+                % (args.workload, args.impedance, label, result.cycles,
+                   result.ipc, e["v_min"], e["v_max"],
+                   e["emergency_cycles"]))
+
+    telemetry = Telemetry.full(capacity=args.capacity)
+    sections = []
+    if args.uncontrolled:
+        loop, result = one_run(False, telemetry)
+        sections.append(("uncontrolled", telemetry.trace))
+        print(describe(result, "uncontrolled"), file=out)
+    else:
+        if not args.no_baseline:
+            base_tel = Telemetry(
+                trace=TraceRecorder(capacity=args.capacity))
+            _base_loop, base_result = one_run(False, base_tel)
+            sections.append(("uncontrolled", base_tel.trace))
+            print(describe(base_result, "uncontrolled baseline"),
+                  file=out)
+        loop, result = one_run(True, telemetry)
+        sections.append(("controlled", telemetry.trace))
+        print(describe(result, "delay %d, %s actuator"
+                       % (args.delay, args.actuator)), file=out)
+    for label, trace in sections:
+        summary = summarize_events(trace.events(),
+                                   last_cycle=loop.pdn_sim.cycles)
+        print("%s %s" % (label, format_summary(summary)), file=out)
+        if trace.dropped:
+            print("note: %s ring buffer dropped %d event(s); raise "
+                  "--capacity" % (label, trace.dropped), file=sys.stderr)
+    metadata = _trace_metadata(args, design,
+                               controlled=not args.uncontrolled)
+    metadata.update(loop.pdn_sim.describe())
+    if args.trace_out:
+        _write_text(args.trace_out,
+                    merged_chrome_json(sections, metadata=metadata))
+        print("trace written to %s" % args.trace_out, file=sys.stderr)
+    if args.jsonl_out:
+        _write_text(args.jsonl_out, telemetry.trace.to_jsonl())
+        print("events written to %s" % args.jsonl_out, file=sys.stderr)
+    if args.metrics_out:
+        _write_text(args.metrics_out, telemetry.metrics.to_json())
+        print("metrics written to %s" % args.metrics_out,
+              file=sys.stderr)
+    return 0
 
 
 def cmd_list(args, out):
@@ -376,6 +555,8 @@ _COMMANDS = {
     "control": cmd_control,
     "campaign": cmd_campaign,
     "sweep": cmd_sweep,
+    "trace": cmd_trace,
+    "run": cmd_trace,        # alias registered on the trace sub-parser
     "list": cmd_list,
 }
 

@@ -137,6 +137,9 @@ class ThresholdController:
         self.reduce_cycles = 0
         self.boost_cycles = 0
         self.transitions = 0
+        # Optional TraceRecorder (attach_telemetry): command
+        # transitions, actuation windows, and fail-safe trips.
+        self._trace = None
 
     @classmethod
     def from_design(cls, design, actuator=None, seed=0, monitor=None,
@@ -154,12 +157,43 @@ class ThresholdController:
         return cls(sensor, actuator=actuator, monitor=monitor,
                    failsafe=failsafe)
 
+    def attach_telemetry(self, telemetry):
+        """Wire a :class:`~repro.telemetry.Telemetry` bundle into the
+        controller and its sensor (the closed loop calls this).  Only
+        an enabled trace recorder is kept; everything else stays on
+        the zero-cost path."""
+        trace = telemetry.trace if telemetry.trace.enabled else None
+        self._trace = trace
+        if trace is not None:
+            attach = getattr(self.sensor, "attach_trace", None)
+            if attach is not None:
+                attach(trace)
+
+    def _trace_command(self, previous, command):
+        """Emit the transition instant plus actuation window edges."""
+        trace = self._trace
+        trace.instant("controller.command", "controller",
+                      {"from": previous.name, "to": command.name})
+        if previous is ActuatorCommand.REDUCE:
+            trace.end("actuator.gate", "actuator")
+        elif previous is ActuatorCommand.BOOST:
+            trace.end("actuator.phantom", "actuator")
+        if command is ActuatorCommand.REDUCE:
+            trace.begin("actuator.gate", "actuator")
+        elif command is ActuatorCommand.BOOST:
+            trace.begin("actuator.phantom", "actuator")
+
     def _enter_failsafe(self, machine, reason):
         """Latch the degraded mode: drop threshold actuation and hand
         the machine to the current-driven ramp."""
         self.failsafe_active = True
         self.failsafe_transitions += 1
         self.failsafe_reason = reason
+        if self._trace is not None:
+            self._trace.instant("failsafe.enter", "failsafe",
+                                {"reason": reason})
+            if self.command is not ActuatorCommand.NONE:
+                self._trace_command(self.command, ActuatorCommand.NONE)
         self.command = ActuatorCommand.NONE
         self.actuator.apply(machine, ActuatorCommand.NONE)
 
@@ -191,6 +225,8 @@ class ThresholdController:
             command = ActuatorCommand.NONE
         if command is not self.command:
             self.transitions += 1
+            if self._trace is not None:
+                self._trace_command(self.command, command)
         self.command = command
         if command is ActuatorCommand.REDUCE:
             self.reduce_cycles += 1

@@ -97,6 +97,12 @@ class EmergencyCounter:
             self._in_episode = False
 
     @property
+    def in_emergency(self):
+        """Whether the most recent observed cycle was out of spec
+        (exposed so the closed loop can trace episode edges)."""
+        return self._in_episode
+
+    @property
     def frequency(self):
         """Fraction of observed cycles that were out of spec."""
         if self.cycles == 0:

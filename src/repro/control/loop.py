@@ -14,8 +14,13 @@ import math
 import numpy as np
 
 from repro.control.emergencies import EmergencyCounter, NOMINAL_VOLTAGE
-from repro.faults.watchdog import NumericWatchdog
+from repro.faults.watchdog import NumericWatchdog, SimulationDiverged
 from repro.pdn.discrete import PdnSimulator
+from repro.telemetry import NULL_TELEMETRY
+
+#: Millivolt-resolution buckets for the per-cycle voltage histogram
+#: (spans the plausible die-voltage range around a 1.0 V nominal).
+VOLTAGE_BUCKETS = tuple(0.80 + 0.01 * i for i in range(41))
 
 
 class LoopResult:
@@ -82,11 +87,21 @@ class ClosedLoopSimulation:
             one around ``nominal``, ``False`` disables checking.
         budget: a :class:`~repro.faults.watchdog.RunBudget` enforced by
             :meth:`run`, or ``None`` for no budget.
+        telemetry: a :class:`~repro.telemetry.Telemetry` bundle, or
+            ``None`` for the shared all-null bundle.  An enabled trace
+            recorder receives cycle-stamped events (emergency windows,
+            watchdog trips, plus the controller's and sensor's own
+            events); an enabled metrics registry gets the per-cycle
+            voltage histogram and end-of-run gauges; an enabled
+            profiler times the PDN step and the controller update.
+            Telemetry never changes the simulation: results are
+            byte-identical with it on or off.
     """
 
     def __init__(self, machine, power_model, pdn, controller=None,
                  nominal=NOMINAL_VOLTAGE, record_traces=False,
-                 pdn_sim=None, watchdog=None, budget=None):
+                 pdn_sim=None, watchdog=None, budget=None,
+                 telemetry=None):
         if not (isinstance(nominal, (int, float)) and
                 math.isfinite(nominal) and nominal > 0):
             raise ValueError("nominal voltage must be a positive finite "
@@ -121,6 +136,20 @@ class ClosedLoopSimulation:
         # the voltage so their degraded-mode ramp can throttle on it.
         self._controller_accepts_current = getattr(
             controller, "accepts_current", False)
+        telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.telemetry = telemetry
+        # Bind each component once; disabled ones become None so the
+        # per-cycle path pays a single `is not None` test each.
+        self._trace = telemetry.trace if telemetry.trace.enabled else None
+        self._profile = (telemetry.profiler
+                         if telemetry.profiler.enabled else None)
+        self._m_voltage = (
+            telemetry.metrics.histogram("loop.voltage", VOLTAGE_BUCKETS)
+            if telemetry.metrics.enabled else None)
+        self._in_emergency = False
+        if (controller is not None and
+                hasattr(controller, "attach_telemetry")):
+            controller.attach_telemetry(telemetry)
 
     def step(self):
         """One cycle of the coupled system; returns the die voltage.
@@ -129,24 +158,60 @@ class ClosedLoopSimulation:
             SimulationDiverged: when the watchdog flags the voltage.
         """
         machine = self.machine
+        trace = self._trace
+        prof = self._profile
         activity = machine.step()
         power = self.power_model.power(activity)
         current = power / self.nominal
-        voltage = self.pdn_sim.step(current)
+        if trace is not None:
+            # Stamp every event this cycle with the timed-region index
+            # (PDN steps so far), robust to warm-up cycle offsets.
+            trace.cycle = self.pdn_sim.cycles
+        if prof is not None:
+            t0 = prof.clock()
+            voltage = self.pdn_sim.step(current)
+            prof.add("pdn.step", prof.clock() - t0)
+        else:
+            voltage = self.pdn_sim.step(current)
         if self.watchdog is not None:
-            self.watchdog.check(machine.cycle, voltage)
+            if trace is not None:
+                try:
+                    self.watchdog.check(machine.cycle, voltage)
+                except SimulationDiverged as exc:
+                    trace.instant("watchdog.trip", "watchdog",
+                                  {"message": str(exc)})
+                    raise
+            else:
+                self.watchdog.check(machine.cycle, voltage)
         self._energy += power * machine.config.cycle_time
         self.counter.observe(voltage)
+        if self._m_voltage is not None:
+            self._m_voltage.observe(voltage)
+        if trace is not None:
+            in_emergency = self.counter.in_emergency
+            if in_emergency != self._in_emergency:
+                if in_emergency:
+                    trace.begin("emergency", "emergency",
+                                {"kind": ("undershoot"
+                                          if voltage < self.nominal
+                                          else "overshoot")})
+                else:
+                    trace.end("emergency", "emergency")
+                self._in_emergency = in_emergency
         if self.record_traces:
             self._voltages.append(voltage)
             self._currents.append(current)
         if self.controller is not None:
+            if prof is not None:
+                t0 = prof.clock()
             if self._controller_uses_current:
                 self.controller.step_current(machine, current)
             elif self._controller_accepts_current:
                 self.controller.step(machine, voltage, current)
             else:
                 self.controller.step(machine, voltage)
+            if prof is not None:
+                prof.add("controller.step", prof.clock() - t0)
         return voltage
 
     def run(self, max_cycles=None, max_instructions=None, budget=None):
@@ -163,6 +228,8 @@ class ClosedLoopSimulation:
         budget = budget if budget is not None else self.budget
         if budget is not None:
             budget.start()
+        prof = self._profile
+        t_run = prof.clock() if prof is not None else None
         while not machine.done:
             if max_cycles is not None and machine.cycle >= max_cycles:
                 break
@@ -172,8 +239,25 @@ class ClosedLoopSimulation:
             if budget is not None:
                 budget.check(machine.cycle)
             self.step()
+        if prof is not None:
+            prof.add("loop.run", prof.clock() - t_run)
         if self.controller is not None:
             self.controller.actuator.release(machine)
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            stats = machine.stats
+            metrics.gauge("loop.cycles").set(stats.cycles)
+            metrics.gauge("loop.committed").set(stats.committed)
+            metrics.gauge("loop.ipc").set(
+                stats.committed / stats.cycles if stats.cycles else 0.0)
+            metrics.gauge("loop.emergency_cycles").set(
+                self.counter.emergency_cycles)
+            metrics.gauge("loop.emergency_episodes").set(
+                self.counter.episodes)
+            if self.controller is not None and hasattr(self.controller,
+                                                       "transitions"):
+                metrics.gauge("controller.transitions").set(
+                    self.controller.transitions)
         return LoopResult(
             cycles=machine.stats.cycles,
             committed=machine.stats.committed,
@@ -192,7 +276,7 @@ class ClosedLoopSimulation:
 def run_workload(stream, pdn, config=None, power_params=None,
                  controller_factory=None, warmup_instructions=60000,
                  max_cycles=30000, max_instructions=None,
-                 record_traces=False):
+                 record_traces=False, telemetry=None):
     """Convenience wrapper: build, warm, and run one workload.
 
     Args:
@@ -207,6 +291,8 @@ def run_workload(stream, pdn, config=None, power_params=None,
             timed region.
         max_cycles / max_instructions: timed-region limits.
         record_traces: keep voltage/current arrays on the result.
+        telemetry: a :class:`~repro.telemetry.Telemetry` bundle for the
+            closed loop (``None`` keeps the zero-cost null default).
 
     Returns:
         A :class:`LoopResult`.
@@ -224,5 +310,6 @@ def run_workload(stream, pdn, config=None, power_params=None,
                   if controller_factory else None)
     loop = ClosedLoopSimulation(machine, power_model, pdn,
                                 controller=controller,
-                                record_traces=record_traces)
+                                record_traces=record_traces,
+                                telemetry=telemetry)
     return loop.run(max_cycles=max_cycles, max_instructions=max_instructions)

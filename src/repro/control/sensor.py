@@ -77,6 +77,9 @@ class ThresholdSensor:
         # per cycle, which the sensor-delay sweeps feel).
         self._history = deque(maxlen=self.delay + 1)
         self._state = VoltageLevel.NORMAL
+        # Optional TraceRecorder (attach_trace); level transitions are
+        # emitted as "sensor.level" instants when one is attached.
+        self._trace = None
 
     def observe(self, voltage):
         """Feed the current true voltage; returns this cycle's reading.
@@ -100,8 +103,18 @@ class ThresholdSensor:
             level = VoltageLevel.HIGH
         else:
             level = VoltageLevel.NORMAL
+        if self._trace is not None and level is not self._state:
+            self._trace.instant("sensor.level", "sensor",
+                                {"from": self._state.name,
+                                 "to": level.name})
         self._state = level
         return SensorReading(level, observed)
+
+    def attach_trace(self, trace):
+        """Emit level-transition events into a
+        :class:`~repro.telemetry.trace.TraceRecorder` (events inherit
+        the recorder's current ``cycle`` stamp)."""
+        self._trace = trace
 
     def reset(self):
         """Clear delay history and hysteresis state (between runs)."""

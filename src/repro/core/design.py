@@ -95,7 +95,8 @@ class VoltageControlDesign:
 
     def run(self, stream, delay=None, error=0.0, actuator_kind="ideal",
             warmup_instructions=60000, max_cycles=30000,
-            max_instructions=None, record_traces=False, seed=0):
+            max_instructions=None, record_traces=False, seed=0,
+            telemetry=None):
         """Closed-loop run of a workload under this design.
 
         Args:
@@ -105,7 +106,7 @@ class VoltageControlDesign:
             error: sensor error bound, volts.
             actuator_kind: one of :data:`~repro.control.actuators.ACTUATOR_KINDS`.
             warmup_instructions / max_cycles / max_instructions /
-            record_traces: forwarded to
+            record_traces / telemetry: forwarded to
                 :func:`~repro.control.loop.run_workload`.
 
         Returns:
@@ -122,7 +123,8 @@ class VoltageControlDesign:
                             warmup_instructions=warmup_instructions,
                             max_cycles=max_cycles,
                             max_instructions=max_instructions,
-                            record_traces=record_traces)
+                            record_traces=record_traces,
+                            telemetry=telemetry)
 
     def __repr__(self):
         return ("VoltageControlDesign(impedance=%g%%, envelope=[%.1f, %.1f] A)"

@@ -153,7 +153,8 @@ def run_campaign(workloads=("swim",), faults=None, cycles=6000,
                  warmup_instructions=20000, seed=0, impedance_percent=200.0,
                  delay=2, error=0.0, actuator_kind="fu_dl1_il1",
                  fault_start=500, budget_seconds=120.0,
-                 stuck_cycles=500, design=None, jobs=None, cache=None):
+                 stuck_cycles=500, design=None, jobs=None, cache=None,
+                 telemetry=None):
     """Sweep fault types x workloads through the orchestrator.
 
     Args:
@@ -175,6 +176,9 @@ def run_campaign(workloads=("swim",), faults=None, cycles=6000,
             CPU count (1 keeps everything in-process).
         cache: a :class:`~repro.orchestrator.cache.ResultCache` to
             memoize cells across invocations; ``None`` always executes.
+        telemetry: a :class:`~repro.telemetry.Telemetry` bundle for the
+            runner (batch counters and spans).  Observability only:
+            the report is byte-identical with telemetry on or off.
 
     Returns:
         A :class:`CampaignReport`.
@@ -207,7 +211,8 @@ def run_campaign(workloads=("swim",), faults=None, cycles=6000,
         for fault in faults:
             specs.append(spec_for(workload, fault))
     runner = Runner(jobs=jobs, cache=cache,
-                    timeout_seconds=(budget_seconds or None))
+                    timeout_seconds=(budget_seconds or None),
+                    telemetry=telemetry)
     results = runner.run(specs)
 
     baselines = {}

@@ -193,6 +193,13 @@ class FaultySensor:
                 raise TypeError("expected SensorFault, got %r" % type(f))
         self._cycle = 0
         self._last = None
+        self._trace = None
+
+    def attach_trace(self, trace):
+        """Trace level transitions of the *post-fault* readings -- the
+        stream the controller actually consumes.  The wrapped sensor is
+        deliberately left untraced so each transition appears once."""
+        self._trace = trace
 
     def observe(self, voltage):
         """Feed the true voltage through the fault pipeline."""
@@ -205,6 +212,13 @@ class FaultySensor:
         for f in self.faults:
             if f.active(cycle):
                 reading = f.transform_reading(cycle, reading, self._last)
+        if self._trace is not None:
+            prev = (self._last.level if self._last is not None
+                    else VoltageLevel.NORMAL)
+            if reading.level is not prev:
+                self._trace.instant("sensor.level", "sensor",
+                                    {"from": prev.name,
+                                     "to": reading.level.name})
         self._last = reading
         return reading
 

@@ -26,10 +26,12 @@ import json
 import multiprocessing
 import os
 import sys
+import time
 import traceback
 
 from repro.orchestrator.cache import CACHEABLE_STATUSES, ResultCache
 from repro.orchestrator.worker import error_result, execute_spec
+from repro.telemetry import NULL_TELEMETRY
 
 
 def default_jobs():
@@ -47,12 +49,19 @@ def default_jobs():
 
 
 def _pool_execute(payload):
-    """Pool target: run one spec dict, shipping exceptions as data."""
+    """Pool target: run one spec dict, shipping exceptions as data.
+
+    Returns ``(kind, value, wall_seconds)``; the wall time is measured
+    in the worker so the parent can profile job execution without
+    polluting the result dict.
+    """
     spec_dict, timeout_seconds = payload
+    start = time.perf_counter()
     try:
-        return "ok", execute_spec(spec_dict, timeout_seconds=timeout_seconds)
+        result = execute_spec(spec_dict, timeout_seconds=timeout_seconds)
+        return "ok", result, time.perf_counter() - start
     except Exception:
-        return "raise", traceback.format_exc()
+        return "raise", traceback.format_exc(), time.perf_counter() - start
 
 
 class JobOutcome:
@@ -63,19 +72,35 @@ class JobOutcome:
         result: the worker's result dict.
         cached: served from the result cache (no simulation ran).
         attempts: executions performed (0 for a cache hit).
+        wall_seconds: wall time of the final execution attempt
+            (``None`` for cache hits).  Execution detail only -- never
+            cached and excluded from :meth:`to_dict`.
     """
 
-    def __init__(self, spec, result, cached=False, attempts=1):
+    def __init__(self, spec, result, cached=False, attempts=1,
+                 wall_seconds=None):
         self.spec = spec
         self.result = result
         self.cached = cached
         self.attempts = attempts
+        self.wall_seconds = wall_seconds
 
     def to_dict(self):
-        """Canonical JSON form.  Excludes ``cached``/``attempts`` on
-        purpose: a report must not depend on how results were obtained.
+        """Canonical JSON form.  Excludes ``cached``/``attempts``/
+        ``wall_seconds`` on purpose: a report cell must not depend on
+        how its result was obtained (see
+        :func:`merged_report`'s ``execution`` option for the separate,
+        explicitly non-stable execution sidecar).
         """
         return {"spec": self.spec.to_dict(), "result": self.result}
+
+    def execution_dict(self):
+        """How the cell was obtained: ``attempts``, ``cached``, and
+        ``wall_seconds``.  Deliberately separate from :meth:`to_dict`:
+        this sidecar varies with cache state, scheduling, and machine
+        speed, so it must never be cached or byte-compared."""
+        return {"attempts": self.attempts, "cached": self.cached,
+                "wall_seconds": self.wall_seconds}
 
     def __repr__(self):
         return ("JobOutcome(%s: %s%s)"
@@ -97,10 +122,17 @@ class Runner:
         execute: override for the job-execution function (tests).  A
             non-default executor forces inline execution -- closures
             do not survive pickling into a pool.
+        telemetry: a :class:`~repro.telemetry.Telemetry` bundle.  The
+            metrics registry gets batch counters (``orchestrator.jobs``
+            / ``cache_hits`` / ``cache_misses`` / ``retries`` /
+            ``errors``); the profiler gets ``orchestrator.cache_get``,
+            ``orchestrator.cache_put``, and ``orchestrator.job``
+            spans.  Purely observational: outcomes and reports are
+            byte-identical with telemetry on or off.
     """
 
     def __init__(self, jobs=None, cache=None, timeout_seconds=None,
-                 retries=1, progress=None, execute=None):
+                 retries=1, progress=None, execute=None, telemetry=None):
         self.jobs = int(jobs) if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % self.jobs)
@@ -114,6 +146,16 @@ class Runner:
         self.progress = bool(progress)
         self._execute = execute or execute_spec
         self._inline_only = execute is not None
+        self.telemetry = (telemetry if telemetry is not None
+                          else NULL_TELEMETRY)
+        self._metrics = (self.telemetry.metrics.scoped("orchestrator")
+                         if self.telemetry.metrics.enabled else None)
+        self._profile = (self.telemetry.profiler
+                         if self.telemetry.profiler.enabled else None)
+
+    def _count(self, name, amount=1):
+        if self._metrics is not None:
+            self._metrics.counter(name).inc(amount)
 
     # -- reporting -----------------------------------------------------
 
@@ -132,9 +174,19 @@ class Runner:
     def _finish(self, outcomes, index, outcome, state):
         outcomes[index] = outcome
         status = outcome.result.get("status")
+        if status == "error":
+            self._count("errors")
+        if outcome.attempts > 1:
+            self._count("retries", outcome.attempts - 1)
+        if outcome.wall_seconds is not None and self._profile is not None:
+            self._profile.add("orchestrator.job", outcome.wall_seconds)
         if (self.cache is not None and not outcome.cached
                 and status in CACHEABLE_STATUSES):
-            self.cache.put(outcome.spec, outcome.result)
+            if self._profile is not None:
+                with self._profile.span("orchestrator.cache_put"):
+                    self.cache.put(outcome.spec, outcome.result)
+            else:
+                self.cache.put(outcome.spec, outcome.result)
         state["done"] += 1
         self._note(state["done"], state["total"], outcome)
 
@@ -144,6 +196,7 @@ class Runner:
             attempts = 0
             while True:
                 attempts += 1
+                start = time.perf_counter()
                 try:
                     result = self._execute(
                         spec, timeout_seconds=self.timeout_seconds)
@@ -152,8 +205,10 @@ class Runner:
                     if attempts > self.retries:
                         result = error_result(traceback.format_exc())
                         break
+            wall = time.perf_counter() - start
             self._finish(outcomes, index,
-                         JobOutcome(spec, result, attempts=attempts), state)
+                         JobOutcome(spec, result, attempts=attempts,
+                                    wall_seconds=wall), state)
 
     def _run_pool(self, specs, pending, outcomes, state):
         # Submit impedance-sorted so a worker draining the queue tends
@@ -175,19 +230,22 @@ class Runner:
                 failed = []
                 for index, handle in handles:
                     try:
-                        kind, value = handle.get()
+                        kind, value, wall = handle.get()
                     except Exception:
-                        kind, value = "raise", traceback.format_exc()
+                        kind, value, wall = ("raise",
+                                             traceback.format_exc(), None)
                     if kind == "ok":
                         self._finish(
                             outcomes, index,
                             JobOutcome(specs[index], value,
-                                       attempts=attempts[index]), state)
+                                       attempts=attempts[index],
+                                       wall_seconds=wall), state)
                     elif attempts[index] > self.retries:
                         self._finish(
                             outcomes, index,
                             JobOutcome(specs[index], error_result(value),
-                                       attempts=attempts[index]), state)
+                                       attempts=attempts[index],
+                                       wall_seconds=wall), state)
                     else:
                         failed.append(index)
                 remaining = failed
@@ -198,15 +256,25 @@ class Runner:
         specs = list(specs)
         outcomes = [None] * len(specs)
         state = {"done": 0, "total": len(specs)}
+        self._count("jobs", len(specs))
         pending = []
         for index, spec in enumerate(specs):
-            cached = self.cache.get(spec) if self.cache is not None else None
+            if self.cache is None:
+                cached = None
+            elif self._profile is not None:
+                with self._profile.span("orchestrator.cache_get"):
+                    cached = self.cache.get(spec)
+            else:
+                cached = self.cache.get(spec)
             if cached is not None:
+                self._count("cache_hits")
                 outcomes[index] = JobOutcome(spec, cached, cached=True,
                                              attempts=0)
                 state["done"] += 1
                 self._note(state["done"], state["total"], outcomes[index])
             else:
+                if self.cache is not None:
+                    self._count("cache_misses")
                 pending.append(index)
         if pending:
             if self.jobs == 1 or len(pending) == 1 or self._inline_only:
@@ -216,20 +284,33 @@ class Runner:
         return outcomes
 
 
-def merged_report(outcomes, settings=None):
+def merged_report(outcomes, settings=None, execution=False):
     """One merged, JSON-safe dict for a batch of outcomes.
 
     Jobs appear in outcome (= submission) order, so the report is
     byte-stable across worker counts and cache states.
+
+    Args:
+        execution: also include an ``"execution"`` list (one entry per
+            job, in the same order: ``attempts``, ``cached``,
+            ``wall_seconds``).  Off by default because that sidecar
+            depends on cache state, retries, and machine speed -- it
+            is never byte-stable and must not be diffed or cached.
+            The ``"jobs"`` cells themselves are identical either way.
     """
-    return {
+    report = {
         "schema": 1,
         "settings": dict(settings or {}),
         "jobs": [o.to_dict() for o in outcomes],
     }
+    if execution:
+        report["execution"] = [o.execution_dict() for o in outcomes]
+    return report
 
 
-def report_json(outcomes, settings=None, indent=2):
-    """Byte-stable JSON text for :func:`merged_report`."""
-    return json.dumps(merged_report(outcomes, settings), sort_keys=True,
-                      indent=indent)
+def report_json(outcomes, settings=None, indent=2, execution=False):
+    """JSON text for :func:`merged_report` (byte-stable unless the
+    non-stable ``execution`` sidecar is requested)."""
+    return json.dumps(merged_report(outcomes, settings,
+                                    execution=execution),
+                      sort_keys=True, indent=indent)

@@ -100,7 +100,7 @@ def _thresholds_result(spec, design):
     }
 
 
-def execute_spec(spec, timeout_seconds=None):
+def execute_spec(spec, timeout_seconds=None, telemetry=None):
     """Run one job; returns the result dict (never raises for the
     structured failure modes).
 
@@ -110,6 +110,10 @@ def execute_spec(spec, timeout_seconds=None):
             :class:`~repro.faults.watchdog.RunBudget` inside the cycle
             loop (``None`` disables).  Not part of the content hash:
             a timeout is an execution policy, not an experiment knob.
+        telemetry: a :class:`~repro.telemetry.Telemetry` bundle wired
+            into the closed loop (``None`` keeps the null default).
+            Observability only: the result dict is byte-identical with
+            telemetry on or off, so caching stays sound.
 
     Returns:
         A dict with ``status`` (``ok``/``diverged``/``budget``),
@@ -145,7 +149,8 @@ def execute_spec(spec, timeout_seconds=None):
     loop = ClosedLoopSimulation(machine, design.power_model, design.pdn,
                                 controller=controller,
                                 pdn_sim=_pdn_sim_for(design),
-                                watchdog=watchdog, budget=budget)
+                                watchdog=watchdog, budget=budget,
+                                telemetry=telemetry)
     status, error = STATUS_OK, None
     try:
         loop.run(max_cycles=spec.cycles)

@@ -57,6 +57,18 @@ class DiscretePdn:
         self.bd = a_inv @ (self.ad - np.eye(2)) @ b
         self.ed = a_inv @ (self.ad - np.eye(2)) @ e
 
+    def describe(self):
+        """JSON-safe summary of the discretized network (trace
+        metadata: what PDN produced a recorded event stream)."""
+        p = self.pdn.params
+        return {
+            "resistance_ohm": p.resistance,
+            "inductance_h": p.inductance,
+            "capacitance_f": p.capacitance,
+            "vdd": p.vdd,
+            "clock_hz": self.clock_hz,
+        }
+
     def equilibrium_state(self, load_current):
         """Steady state ``[i_L, v]`` for a constant load current."""
         r = self.pdn.params.resistance
@@ -137,6 +149,11 @@ class PdnSimulator:
     def vdd(self):
         """Nominal supply voltage of the underlying network."""
         return self.discrete.pdn.params.vdd
+
+    def describe(self):
+        """JSON-safe summary of the simulated network (see
+        :meth:`DiscretePdn.describe`)."""
+        return self.discrete.describe()
 
     @property
     def voltage(self):

@@ -1,0 +1,99 @@
+"""Telemetry: metrics, cycle-level event tracing, and span profiling.
+
+Three independent components, bundled by :class:`Telemetry`:
+
+* :class:`~repro.telemetry.registry.MetricsRegistry` -- named counters,
+  gauges, and fixed-bucket histograms with deterministic JSON export;
+* :class:`~repro.telemetry.trace.TraceRecorder` -- a bounded ring
+  buffer of cycle-stamped events (sensor transitions, actuation
+  windows, emergencies, watchdog/fail-safe trips), exportable as
+  Chrome trace-event JSON (``chrome://tracing`` / Perfetto) or as
+  byte-stable JSONL (the golden-trace format);
+* :class:`~repro.telemetry.profiler.SpanProfiler` -- wall-time totals
+  for the hot paths, kept strictly out of content hashes and every
+  byte-compared report.
+
+The default everywhere is :data:`NULL_TELEMETRY` (all three components
+null): per-cycle call sites bind each component once at construction
+and skip disabled ones entirely, so the instrumented closed loop runs
+at its uninstrumented speed when telemetry is off
+(``benchmarks/bench_perf_telemetry.py`` measures exactly this).
+
+Determinism contract: everything a :class:`TraceRecorder` or a
+:class:`MetricsRegistry` records is a pure function of the simulation.
+Wall-clock time lives only in the profiler, whose report is labelled
+as such and excluded from goldens, caches, and merged reports.
+"""
+
+from repro.telemetry.profiler import (
+    NULL_PROFILER,
+    NullSpanProfiler,
+    SpanProfiler,
+)
+from repro.telemetry.registry import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.trace import (
+    NULL_TRACE,
+    NullTraceRecorder,
+    TraceRecorder,
+    merged_chrome_json,
+    merged_chrome_trace,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "NullMetricsRegistry", "NULL_METRICS",
+    "TraceRecorder", "NullTraceRecorder", "NULL_TRACE",
+    "merged_chrome_json", "merged_chrome_trace",
+    "SpanProfiler", "NullSpanProfiler", "NULL_PROFILER",
+    "Telemetry", "NULL_TELEMETRY",
+]
+
+
+class Telemetry:
+    """A bundle of the three components (any subset may be real).
+
+    Args:
+        metrics: a :class:`MetricsRegistry` (default: the shared null).
+        trace: a :class:`TraceRecorder` (default: the shared null).
+        profiler: a :class:`SpanProfiler` (default: the shared null).
+    """
+
+    __slots__ = ("metrics", "trace", "profiler")
+
+    def __init__(self, metrics=None, trace=None, profiler=None):
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.trace = trace if trace is not None else NULL_TRACE
+        self.profiler = (profiler if profiler is not None
+                         else NULL_PROFILER)
+
+    @classmethod
+    def full(cls, capacity=65536):
+        """All three components live (the ``trace`` subcommand's
+        configuration)."""
+        return cls(metrics=MetricsRegistry(),
+                   trace=TraceRecorder(capacity=capacity),
+                   profiler=SpanProfiler())
+
+    @property
+    def enabled(self):
+        """Whether any component actually records."""
+        return (self.metrics.enabled or self.trace.enabled
+                or self.profiler.enabled)
+
+    def __repr__(self):
+        live = [name for name, part in (("metrics", self.metrics),
+                                        ("trace", self.trace),
+                                        ("profiler", self.profiler))
+                if part.enabled]
+        return "Telemetry(%s)" % (", ".join(live) if live else "off")
+
+
+#: The shared all-null bundle used as the default everywhere.
+NULL_TELEMETRY = Telemetry()

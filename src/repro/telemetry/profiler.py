@@ -1,0 +1,95 @@
+"""Span profiling of the hot paths (wall time, kept out of goldens).
+
+A :class:`SpanProfiler` accumulates (count, total seconds) per named
+span.  The monotonic clock makes its *seconds* inherently
+non-deterministic, so the profiler lives strictly outside every
+byte-compared artifact: span times never enter a
+:class:`~repro.orchestrator.spec.JobSpec` content hash, a cached
+result payload, a merged orchestrator report, or a golden trace.  The
+deterministic half of the profile -- how many times each span ran --
+is available separately via :meth:`SpanProfiler.counts` for tests that
+want byte-stable assertions.
+
+Per-cycle call sites (the PDN step, the controller update) do not use
+the context manager; they read :attr:`SpanProfiler.clock` directly and
+call :meth:`SpanProfiler.add`, and skip even that when handed the
+:class:`NullSpanProfiler` (``enabled`` is ``False``).
+"""
+
+import json
+import time
+from contextlib import contextmanager
+
+
+class SpanProfiler:
+    """Accumulates wall-time totals per named span.
+
+    Args:
+        clock: a zero-argument monotonic time source in seconds
+            (default :func:`time.perf_counter`); injectable for
+            deterministic tests.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self.clock = clock
+        self._spans = {}          # name -> [count, total_seconds]
+
+    def add(self, name, seconds):
+        """Fold one timed interval into the span's totals."""
+        entry = self._spans.get(name)
+        if entry is None:
+            self._spans[name] = [1, seconds]
+        else:
+            entry[0] += 1
+            entry[1] += seconds
+
+    @contextmanager
+    def span(self, name):
+        """Time a ``with`` block as one interval of span ``name``."""
+        start = self.clock()
+        try:
+            yield self
+        finally:
+            self.add(name, self.clock() - start)
+
+    def counts(self):
+        """Deterministic span -> call-count map (no wall time)."""
+        return {name: entry[0]
+                for name, entry in sorted(self._spans.items())}
+
+    def report(self):
+        """Span -> ``{"count", "seconds"}`` map (wall time included;
+        never feed this into a byte-compared artifact)."""
+        return {name: {"count": entry[0], "seconds": entry[1]}
+                for name, entry in sorted(self._spans.items())}
+
+    def report_json(self, indent=2):
+        """JSON text of :meth:`report` (sorted keys; *not* byte-stable
+        across runs -- the seconds are wall time)."""
+        return json.dumps(self.report(), sort_keys=True, indent=indent)
+
+    def __repr__(self):
+        return "SpanProfiler(%d spans)" % len(self._spans)
+
+
+class NullSpanProfiler(SpanProfiler):
+    """The cheap default: spans cost one no-op call (or nothing, when
+    the call site guards on :attr:`enabled`)."""
+
+    enabled = False
+
+    def add(self, name, seconds):
+        pass
+
+    @contextmanager
+    def span(self, name):
+        yield self
+
+    def __repr__(self):
+        return "NullSpanProfiler()"
+
+
+#: Shared no-op profiler.
+NULL_PROFILER = NullSpanProfiler()

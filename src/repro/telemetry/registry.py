@@ -1,0 +1,290 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments carry hierarchical dotted names (``loop.voltage``,
+``orchestrator.cache_hits``) and live in a :class:`MetricsRegistry`
+whose export is deterministic: :meth:`MetricsRegistry.to_json` emits
+the same bytes for the same instrument values regardless of creation
+or observation order.  Determinism here means *pure function of the
+recorded values* -- wall-clock time never enters a registry (that is
+the :mod:`~repro.telemetry.profiler`'s job, and its report is kept
+out of every byte-compared artifact).
+
+Telemetry must cost nothing when unused, so the default registry
+throughout the repo is a :class:`NullMetricsRegistry`: every lookup
+returns one shared no-op instrument and recording is a single no-op
+method call (call sites that sit in per-cycle paths additionally guard
+on :attr:`MetricsRegistry.enabled` and skip the call entirely).
+"""
+
+import bisect
+import json
+import math
+import re
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def validate_name(name):
+    """Check a hierarchical instrument name; returns it unchanged."""
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        raise ValueError(
+            "instrument name must be dotted lowercase [a-z0-9_] segments, "
+            "got %r" % (name,))
+    return name
+
+
+class Counter:
+    """A monotonically increasing integer-or-float count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0:
+            raise ValueError("counter %s cannot decrease (inc %r)"
+                             % (self.name, amount))
+        self.value += amount
+
+    def __repr__(self):
+        return "Counter(%s=%r)" % (self.name, self.value)
+
+
+class Gauge:
+    """A last-value-wins instrument (``None`` until first set)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+    def __repr__(self):
+        return "Gauge(%s=%r)" % (self.name, self.value)
+
+
+class Histogram:
+    """A fixed-bucket histogram of finite numeric observations.
+
+    Args:
+        name: hierarchical instrument name.
+        bounds: strictly increasing bucket upper bounds.  Observation
+            ``v`` lands in the first bucket with ``v <= bounds[i]``;
+            values above ``bounds[-1]`` land in the implicit overflow
+            bucket, so ``counts`` has ``len(bounds) + 1`` entries.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(self, name, bounds):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram %s needs at least one bound" % name)
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("histogram %s bounds must be finite" % name)
+        if any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError("histogram %s bounds must be strictly "
+                             "increasing, got %r" % (name, bounds))
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value):
+        """Fold one finite observation into the buckets."""
+        if not math.isfinite(value):
+            raise ValueError("histogram %s got non-finite value %r"
+                             % (self.name, value))
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def to_dict(self):
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self):
+        return "Histogram(%s, n=%d)" % (self.name, self.count)
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments with stable export.
+
+    A name maps to exactly one instrument; asking for the same name as
+    a different instrument type (or a histogram with different bounds)
+    is an error -- silent aliasing would corrupt exported counts.
+    """
+
+    #: Hot paths may skip recording entirely when this is ``False``.
+    enabled = True
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    def _claim(self, name, table):
+        validate_name(name)
+        for other in (self._counters, self._gauges, self._histograms):
+            if other is not table and name in other:
+                raise ValueError("instrument %r already registered as a "
+                                 "different type" % name)
+
+    def counter(self, name):
+        """The :class:`Counter` called ``name`` (created on first use)."""
+        if name not in self._counters:
+            self._claim(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name):
+        """The :class:`Gauge` called ``name`` (created on first use)."""
+        if name not in self._gauges:
+            self._claim(name, self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name, bounds=None):
+        """The :class:`Histogram` called ``name``.
+
+        ``bounds`` is required on first use; a later lookup may omit it
+        or must repeat the same bounds.
+        """
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if bounds is not None and tuple(float(b) for b in bounds) \
+                    != existing.bounds:
+                raise ValueError("histogram %r already registered with "
+                                 "different bounds" % name)
+            return existing
+        if bounds is None:
+            raise ValueError("histogram %r needs bounds on first use"
+                             % name)
+        self._claim(name, self._histograms)
+        self._histograms[name] = Histogram(name, bounds)
+        return self._histograms[name]
+
+    def scoped(self, prefix):
+        """A view of this registry that prefixes every name with
+        ``prefix`` + ``"."`` (hierarchical namespacing for subsystems)."""
+        return ScopedRegistry(self, validate_name(prefix))
+
+    def to_dict(self):
+        """Deterministic JSON-safe snapshot (names sorted)."""
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.to_dict()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def to_json(self, indent=2):
+        """Byte-stable JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def __repr__(self):
+        return ("MetricsRegistry(%d counters, %d gauges, %d histograms)"
+                % (len(self._counters), len(self._gauges),
+                   len(self._histograms)))
+
+
+class ScopedRegistry:
+    """A prefixing view over a :class:`MetricsRegistry` (no storage of
+    its own; instruments live in, and export from, the parent)."""
+
+    __slots__ = ("_parent", "_prefix")
+
+    def __init__(self, parent, prefix):
+        self._parent = parent
+        self._prefix = prefix
+
+    @property
+    def enabled(self):
+        return self._parent.enabled
+
+    def counter(self, name):
+        return self._parent.counter(self._prefix + "." + name)
+
+    def gauge(self, name):
+        return self._parent.gauge(self._prefix + "." + name)
+
+    def histogram(self, name, bounds=None):
+        return self._parent.histogram(self._prefix + "." + name, bounds)
+
+    def scoped(self, prefix):
+        return ScopedRegistry(self._parent,
+                              self._prefix + "." + validate_name(prefix))
+
+
+class _NullInstrument:
+    """One shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The cheap default: every lookup returns the shared no-op
+    instrument and the export is empty."""
+
+    enabled = False
+
+    def __init__(self):
+        pass
+
+    def counter(self, name):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, bounds=None):
+        return _NULL_INSTRUMENT
+
+    def scoped(self, prefix):
+        return self
+
+    def to_dict(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def __repr__(self):
+        return "NullMetricsRegistry()"
+
+
+#: Shared no-op registry (safe: it holds no state at all).
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,249 @@
+"""Cycle-stamped event tracing with Chrome trace-event export.
+
+A :class:`TraceRecorder` captures the closed loop's discrete happenings
+-- sensor level transitions, controller command changes, actuator
+gate/phantom-fire windows, emergency onsets, watchdog and fail-safe
+trips -- into a bounded ring buffer.  Events are stamped with the
+*timed-region cycle index* (the loop writes :attr:`TraceRecorder.cycle`
+once per step), never with wall-clock time, so a recorded stream is a
+pure function of the simulation: the golden-trace regression tier
+compares exported bytes directly.
+
+Two exports:
+
+* :meth:`TraceRecorder.to_jsonl` -- one compact sorted-key JSON object
+  per line; the byte-stable form the golden tests pin.
+* :meth:`TraceRecorder.to_chrome_json` -- the Chrome trace-event format
+  (the JSON Object Format with a ``traceEvents`` array), loadable in
+  ``chrome://tracing`` and Perfetto.  One simulated cycle maps to one
+  microsecond of trace time (``ts = cycle``); each event category gets
+  its own named thread track.
+"""
+
+import json
+from collections import deque
+
+#: Event kinds stored in the ring buffer.
+KIND_INSTANT = "instant"
+KIND_BEGIN = "begin"
+KIND_END = "end"
+
+_KINDS = (KIND_INSTANT, KIND_BEGIN, KIND_END)
+
+#: kind -> Chrome trace-event phase.
+_CHROME_PHASE = {KIND_INSTANT: "i", KIND_BEGIN: "B", KIND_END: "E"}
+
+
+class TraceRecorder:
+    """A bounded ring buffer of cycle-stamped events.
+
+    Args:
+        capacity: maximum retained events; when full, the *oldest*
+            event is evicted (and counted in :attr:`dropped`) so the
+            buffer always holds the most recent window of activity.
+
+    Attributes:
+        cycle: the current cycle stamp; emitters that do not pass an
+            explicit cycle inherit it (the closed loop updates it once
+            per step).
+        dropped: events evicted due to the capacity bound.
+    """
+
+    enabled = True
+
+    __slots__ = ("capacity", "cycle", "dropped", "_events")
+
+    def __init__(self, capacity=65536):
+        capacity = int(capacity)
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1, got %d" % capacity)
+        self.capacity = capacity
+        self.cycle = 0
+        self.dropped = 0
+        self._events = deque()
+
+    # -- recording -----------------------------------------------------
+
+    def event(self, kind, name, cat, args=None, cycle=None):
+        """Append one event record (the other emitters wrap this)."""
+        if kind not in _KINDS:
+            raise ValueError("unknown event kind %r (known: %s)"
+                             % (kind, ", ".join(_KINDS)))
+        record = {"cycle": self.cycle if cycle is None else int(cycle),
+                  "kind": kind, "name": name, "cat": cat}
+        if args:
+            record["args"] = dict(args)
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+            self.dropped += 1
+        self._events.append(record)
+
+    def instant(self, name, cat, args=None, cycle=None):
+        """A point event (a transition, a trip)."""
+        self.event(KIND_INSTANT, name, cat, args, cycle)
+
+    def begin(self, name, cat, args=None, cycle=None):
+        """Open a duration window (e.g. an actuation episode)."""
+        self.event(KIND_BEGIN, name, cat, args, cycle)
+
+    def end(self, name, cat, args=None, cycle=None):
+        """Close the most recent open window of the same name/cat."""
+        self.event(KIND_END, name, cat, args, cycle)
+
+    # -- access --------------------------------------------------------
+
+    def events(self):
+        """The retained events, oldest first (a fresh list)."""
+        return list(self._events)
+
+    def __len__(self):
+        return len(self._events)
+
+    def clear(self):
+        """Drop all retained events and reset the drop count."""
+        self._events.clear()
+        self.dropped = 0
+        self.cycle = 0
+
+    # -- export --------------------------------------------------------
+
+    def to_jsonl(self):
+        """Compact one-event-per-line JSON; byte-stable (sorted keys,
+        no whitespace variance), the golden-trace format."""
+        return "\n".join(
+            json.dumps(e, sort_keys=True, separators=(",", ":"))
+            for e in self._events)
+
+    def chrome_trace(self, metadata=None):
+        """The trace as a Chrome trace-event JSON object (a dict).
+
+        Args:
+            metadata: optional JSON-safe dict stored under
+                ``otherData`` (workload name, PDN parameters...).
+
+        Each category becomes a named thread; ``begin`` events without
+        a matching ``end`` are auto-closed at the last seen cycle so
+        viewers never render a window as unfinished, and ``end``
+        events without a matching ``begin`` are dropped.  To combine
+        several recorders (e.g. an uncontrolled baseline next to the
+        controlled run) into one file, see
+        :func:`merged_chrome_trace`.
+        """
+        return merged_chrome_trace([("repro-didt", self)],
+                                   metadata=metadata)
+
+    def to_chrome_json(self, metadata=None, indent=None):
+        """Byte-stable JSON text of :meth:`chrome_trace`."""
+        return json.dumps(self.chrome_trace(metadata), sort_keys=True,
+                          indent=indent)
+
+    def __repr__(self):
+        return ("TraceRecorder(%d/%d events, %d dropped, cycle=%d)"
+                % (len(self._events), self.capacity, self.dropped,
+                   self.cycle))
+
+
+class NullTraceRecorder(TraceRecorder):
+    """The cheap default: records nothing, exports empty."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(capacity=1)
+
+    def event(self, kind, name, cat, args=None, cycle=None):
+        pass
+
+
+def _chrome_section(recorder, pid, process_name):
+    """One recorder's events as a process track (a trace-event list)."""
+    events = recorder.events()
+    cats = sorted({e["cat"] for e in events})
+    tids = {cat: i + 1 for i, cat in enumerate(cats)}
+    trace_events = [{
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+        "args": {"name": process_name},
+    }, {
+        "ph": "M", "pid": pid, "tid": 0, "name": "process_sort_index",
+        "args": {"sort_index": pid},
+    }]
+    for cat in cats:
+        trace_events.append({
+            "ph": "M", "pid": pid, "tid": tids[cat],
+            "name": "thread_name", "args": {"name": cat}})
+        trace_events.append({
+            "ph": "M", "pid": pid, "tid": tids[cat],
+            "name": "thread_sort_index",
+            "args": {"sort_index": tids[cat]}})
+    last_cycle = 0
+    open_windows = {}        # (tid, name) -> open begin count
+    for e in events:
+        cycle = e["cycle"]
+        last_cycle = max(last_cycle, cycle)
+        tid = tids[e["cat"]]
+        phase = _CHROME_PHASE[e["kind"]]
+        if phase == "E":
+            key = (tid, e["name"])
+            if not open_windows.get(key):
+                continue              # unmatched end: drop
+            open_windows[key] -= 1
+        out = {"ph": phase, "ts": cycle, "pid": pid, "tid": tid,
+               "name": e["name"], "cat": e["cat"]}
+        if phase == "i":
+            out["s"] = "t"
+        if phase == "B":
+            key = (tid, e["name"])
+            open_windows[key] = open_windows.get(key, 0) + 1
+        if "args" in e:
+            out["args"] = e["args"]
+        trace_events.append(out)
+    # Auto-close whatever is still open so every window renders.
+    for (tid, name), depth in sorted(open_windows.items()):
+        for _ in range(depth):
+            trace_events.append({"ph": "E", "ts": last_cycle + 1,
+                                 "pid": pid, "tid": tid, "name": name})
+    return trace_events
+
+
+def merged_chrome_trace(sections, metadata=None):
+    """Several recorders as one Chrome trace, one process track each.
+
+    Args:
+        sections: ``(process_name, recorder)`` pairs; section *i*
+            becomes pid *i* (e.g. ``[("uncontrolled", base_trace),
+            ("controlled", trace)]`` renders the two runs one above
+            the other on the shared cycle axis).
+        metadata: optional JSON-safe dict merged into ``otherData``.
+
+    Returns:
+        The trace dict (``traceEvents`` / ``displayTimeUnit`` /
+        ``otherData``), deterministic for deterministic inputs.
+    """
+    trace_events = []
+    dropped = 0
+    for pid, (process_name, recorder) in enumerate(sections):
+        trace_events.extend(_chrome_section(recorder, pid, process_name))
+        dropped += recorder.dropped
+    out = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated cycles (1 cycle = 1 us "
+                               "of trace time)",
+                      "dropped_events": dropped},
+    }
+    if metadata:
+        out["otherData"].update(metadata)
+    return out
+
+
+def merged_chrome_json(sections, metadata=None, indent=None):
+    """Byte-stable JSON text of :func:`merged_chrome_trace`."""
+    return json.dumps(merged_chrome_trace(sections, metadata),
+                      sort_keys=True, indent=indent)
+
+
+#: Shared no-op recorder (holds no state; instant/begin/end all no-op
+#: through the overridden :meth:`event`).
+NULL_TRACE = NullTraceRecorder()

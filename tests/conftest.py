@@ -1,0 +1,22 @@
+"""Shared pytest configuration.
+
+Adds the ``--update-goldens`` option used by the golden-trace
+regression tier (``tests/telemetry/test_goldens.py``): with the flag,
+golden files under ``tests/goldens/`` are rewritten from the current
+simulation output instead of being compared against.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens", action="store_true", default=False,
+        help="rewrite the golden trace files from current output "
+             "instead of comparing against them")
+
+
+@pytest.fixture
+def update_goldens(request):
+    """Whether ``--update-goldens`` was passed."""
+    return request.config.getoption("--update-goldens")

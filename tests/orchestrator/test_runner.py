@@ -9,7 +9,8 @@ from repro.orchestrator import (
     Runner,
     report_json,
 )
-from repro.orchestrator.runner import default_jobs
+from repro.orchestrator.runner import default_jobs, merged_report
+from repro.telemetry import MetricsRegistry, SpanProfiler, Telemetry
 
 
 def tiny_spec(**overrides):
@@ -147,6 +148,107 @@ class TestWorkerResult:
         thresholds = outcome.result["thresholds"]
         assert thresholds["v_low"] < thresholds["v_high"]
         assert thresholds["window_mv"] > 0
+
+
+class TestExecutionSidecar:
+    def test_execution_dict_shape(self):
+        outcome = Runner(jobs=1, progress=False).run([tiny_spec()])[0]
+        ex = outcome.execution_dict()
+        assert set(ex) == {"attempts", "cached", "wall_seconds"}
+        assert ex["attempts"] == 1
+        assert ex["cached"] is False
+        assert ex["wall_seconds"] > 0
+
+    def test_cache_hit_rows_show_zero_attempts(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        spec = tiny_spec()
+        Runner(jobs=1, cache=cache, progress=False).run([spec])
+        warm = Runner(jobs=1, cache=cache, progress=False).run([spec])[0]
+        ex = warm.execution_dict()
+        assert ex == {"attempts": 0, "cached": True,
+                      "wall_seconds": None}
+
+    def test_default_report_has_no_execution_section(self):
+        outcomes = Runner(jobs=1, progress=False).run([tiny_spec()])
+        report = merged_report(outcomes)
+        assert set(report) == {"schema", "settings", "jobs"}
+
+    def test_execution_section_is_aligned_and_opt_in(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        Runner(jobs=1, cache=cache, progress=False).run([specs[0]])
+        outcomes = Runner(jobs=1, cache=cache, progress=False).run(specs)
+        report = merged_report(outcomes, execution=True)
+        assert set(report) == {"schema", "settings", "jobs",
+                               "execution"}
+        assert len(report["execution"]) == len(report["jobs"]) == 2
+        assert report["execution"][0]["cached"] is True
+        assert report["execution"][0]["attempts"] == 0
+        assert report["execution"][1]["cached"] is False
+        assert report["execution"][1]["attempts"] == 1
+        # The job cells themselves are identical either way.
+        assert report["jobs"] == merged_report(outcomes)["jobs"]
+
+    def test_retry_attempts_surface_in_sidecar(self):
+        calls = {"n": 0}
+
+        def flaky(spec, timeout_seconds=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("worker lost")
+            return {"status": "ok"}
+
+        outcome = Runner(jobs=1, retries=1, progress=False,
+                         execute=flaky).run([tiny_spec()])[0]
+        assert outcome.execution_dict()["attempts"] == 2
+
+    def test_report_json_execution_passthrough(self):
+        outcomes = Runner(jobs=1, progress=False).run([tiny_spec()])
+        assert '"execution"' not in report_json(outcomes)
+        assert '"execution"' in report_json(outcomes, execution=True)
+
+
+class TestRunnerTelemetry:
+    def _telemetry(self):
+        return Telemetry(metrics=MetricsRegistry(),
+                         profiler=SpanProfiler())
+
+    def test_counts_jobs_hits_and_misses(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        Runner(jobs=1, cache=cache, progress=False).run([specs[0]])
+        telemetry = self._telemetry()
+        Runner(jobs=1, cache=cache, progress=False,
+               telemetry=telemetry).run(specs)
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["orchestrator.jobs"] == 2
+        assert counters["orchestrator.cache_hits"] == 1
+        assert counters["orchestrator.cache_misses"] == 1
+
+    def test_counts_retries_and_errors(self):
+        def always_down(spec, timeout_seconds=None):
+            raise OSError("down")
+
+        telemetry = self._telemetry()
+        Runner(jobs=1, retries=2, progress=False, execute=always_down,
+               telemetry=telemetry).run([tiny_spec()])
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["orchestrator.errors"] == 1
+        assert counters["orchestrator.retries"] == 2
+
+    def test_job_spans_recorded(self):
+        telemetry = self._telemetry()
+        Runner(jobs=1, progress=False, telemetry=telemetry).run(
+            [tiny_spec()])
+        counts = telemetry.profiler.counts()
+        assert counts.get("orchestrator.job") == 1
+
+    def test_outcomes_unchanged_by_telemetry(self):
+        plain = Runner(jobs=1, progress=False).run([tiny_spec()])
+        instrumented = Runner(jobs=1, progress=False,
+                              telemetry=self._telemetry()).run(
+            [tiny_spec()])
+        assert report_json(plain) == report_json(instrumented)
 
 
 class TestDefaults:

@@ -1,0 +1,100 @@
+"""Golden-trace regression tests.
+
+Each case runs a short controlled closed loop with a trace recorder
+attached and compares the byte-stable JSONL export against a committed
+golden file under ``tests/goldens/``.  The traces pin the *qualitative*
+behaviour of the loop -- when the sensor flips, when the controller
+acts, when emergencies occur -- so an accidental change to sensor
+timing, controller sequencing, or event emission shows up as a byte
+diff.
+
+Regenerate after an intentional behaviour change with::
+
+    pytest tests/telemetry/test_goldens.py --update-goldens
+"""
+
+import pathlib
+
+import pytest
+
+from repro.control.loop import ClosedLoopSimulation
+from repro.core import (
+    design_at,
+    get_profile,
+    stressmark_stream,
+    tuned_stressmark_spec,
+)
+from repro.telemetry import Telemetry, TraceRecorder
+from repro.uarch.core import Machine
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent.parent / "goldens"
+
+#: name -> run parameters.  The stressmark plus one synthesized
+#: workload at two impedance levels (per the golden-trace spec).
+CASES = {
+    "stressmark_200": dict(workload="stressmark", impedance=200.0,
+                           cycles=1500, warmup=2000),
+    "swim_150": dict(workload="swim", impedance=150.0,
+                     cycles=1500, warmup=4000),
+    "swim_250": dict(workload="swim", impedance=250.0,
+                     cycles=1500, warmup=4000),
+}
+
+SEED = 11
+DELAY = 2
+ACTUATOR = "fu_dl1_il1"
+
+
+def record_case(case):
+    """One controlled run of a golden case; returns the JSONL text."""
+    design = design_at(case["impedance"])
+    if case["workload"] == "stressmark":
+        stream = stressmark_stream(
+            tuned_stressmark_spec(case["impedance"]))
+    else:
+        stream = get_profile(case["workload"]).stream(seed=SEED)
+    machine = Machine(design.config, stream)
+    machine.fast_forward(case["warmup"])
+    factory = design.controller_factory(delay=DELAY,
+                                        actuator_kind=ACTUATOR,
+                                        seed=SEED)
+    controller = factory(machine, design.power_model)
+    telemetry = Telemetry(trace=TraceRecorder())
+    loop = ClosedLoopSimulation(machine, design.power_model, design.pdn,
+                                controller=controller,
+                                telemetry=telemetry)
+    loop.run(max_cycles=case["cycles"])
+    return telemetry.trace.to_jsonl()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_trace_matches_golden(name, update_goldens):
+    path = GOLDEN_DIR / ("%s.jsonl" % name)
+    text = record_case(CASES[name]) + "\n"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip("golden %s updated" % name)
+    assert path.exists(), (
+        "golden %s missing; run pytest with --update-goldens" % name)
+    assert text == path.read_text(), (
+        "trace for %s diverged from its golden; if the change is "
+        "intentional, rerun with --update-goldens" % name)
+
+
+def test_recording_is_deterministic_across_runs():
+    """The same case recorded twice yields byte-identical JSONL."""
+    case = CASES["stressmark_200"]
+    assert record_case(case) == record_case(case)
+
+
+def test_goldens_contain_expected_event_classes():
+    """The committed stressmark golden must exercise the sensor and the
+    actuator (the acceptance-level smoke for event coverage)."""
+    path = GOLDEN_DIR / "stressmark_200.jsonl"
+    if not path.exists():
+        pytest.skip("golden not generated yet")
+    text = path.read_text()
+    assert '"cat":"sensor"' in text
+    assert '"cat":"actuator"' in text
+    assert '"cat":"controller"' in text

@@ -1,0 +1,82 @@
+"""Unit tests for the span profiler."""
+
+import json
+
+from repro.telemetry import NULL_PROFILER, SpanProfiler, Telemetry
+
+
+class FakeClock:
+    """A deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.now += self.step
+        return self.now
+
+
+class TestSpanProfiler:
+    def test_add_accumulates(self):
+        p = SpanProfiler()
+        p.add("pdn.step", 0.5)
+        p.add("pdn.step", 0.25)
+        p.add("controller.step", 1.0)
+        assert p.counts() == {"controller.step": 1, "pdn.step": 2}
+        report = p.report()
+        assert report["pdn.step"] == {"count": 2, "seconds": 0.75}
+
+    def test_span_context_manager(self):
+        p = SpanProfiler(clock=FakeClock(step=1.0))
+        with p.span("loop.run"):
+            pass
+        assert p.counts() == {"loop.run": 1}
+        assert p.report()["loop.run"]["seconds"] == 1.0
+
+    def test_span_records_on_exception(self):
+        p = SpanProfiler(clock=FakeClock())
+        try:
+            with p.span("job"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert p.counts() == {"job": 1}
+
+    def test_counts_sorted_and_deterministic(self):
+        p = SpanProfiler()
+        p.add("b", 1.0)
+        p.add("a", 2.0)
+        assert list(p.counts()) == ["a", "b"]
+        text = p.report_json()
+        assert list(json.loads(text)) == ["a", "b"]
+
+
+class TestNullProfiler:
+    def test_noop(self):
+        assert NULL_PROFILER.enabled is False
+        NULL_PROFILER.add("x", 1.0)
+        with NULL_PROFILER.span("y"):
+            pass
+        assert NULL_PROFILER.counts() == {}
+
+
+class TestTelemetryBundle:
+    def test_default_is_all_null(self):
+        t = Telemetry()
+        assert not t.enabled
+        assert not t.metrics.enabled
+        assert not t.trace.enabled
+        assert not t.profiler.enabled
+
+    def test_full_enables_everything(self):
+        t = Telemetry.full(capacity=16)
+        assert t.enabled
+        assert t.metrics.enabled and t.trace.enabled \
+            and t.profiler.enabled
+        assert t.trace.capacity == 16
+
+    def test_partial(self):
+        t = Telemetry(profiler=SpanProfiler())
+        assert t.enabled
+        assert t.profiler.enabled and not t.metrics.enabled

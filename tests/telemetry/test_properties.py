@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the telemetry subsystem.
+
+Invariants that must hold for *any* input: histogram bucket
+conservation, ring-buffer eviction order, and the sensor's traced
+transitions agreeing exactly with the level deltas of its returned
+readings.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.sensor import ThresholdSensor, VoltageLevel
+from repro.telemetry import MetricsRegistry, TraceRecorder
+
+finite = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+
+bounds_lists = st.lists(finite, min_size=1, max_size=8, unique=True) \
+    .map(sorted)
+
+
+class TestHistogramProperties:
+    @given(bounds_lists, st.lists(finite, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_bucket_counts_conserve_observations(self, bounds, values):
+        h = MetricsRegistry().histogram("h", bounds=bounds)
+        for v in values:
+            h.observe(v)
+        assert sum(h.counts) == h.count == len(values)
+        assert len(h.counts) == len(bounds) + 1
+
+    @given(bounds_lists, st.lists(finite, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_each_value_lands_in_its_bucket(self, bounds, values):
+        h = MetricsRegistry().histogram("h", bounds=bounds)
+        for v in values:
+            before = list(h.counts)
+            h.observe(v)
+            changed = [i for i in range(len(h.counts))
+                       if h.counts[i] != before[i]]
+            assert len(changed) == 1
+            i = changed[0]
+            # Bucket i holds values v <= bounds[i] that exceed every
+            # earlier bound; the last bucket is the overflow.
+            if i < len(bounds):
+                assert v <= bounds[i]
+            if i > 0:
+                assert v > bounds[i - 1]
+
+    @given(bounds_lists, st.lists(finite, min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_min_max_sum_track_extremes(self, bounds, values):
+        h = MetricsRegistry().histogram("h", bounds=bounds)
+        for v in values:
+            h.observe(v)
+        assert h.min == min(values)
+        assert h.max == max(values)
+        assert abs(h.total - sum(values)) <= 1e-6 * max(
+            1.0, abs(sum(values)))
+
+
+class TestRingBufferProperties:
+    @given(st.integers(min_value=1, max_value=16),
+           st.lists(st.integers(min_value=0, max_value=10**6),
+                    max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_retains_exactly_the_newest_window(self, capacity, cycles):
+        t = TraceRecorder(capacity=capacity)
+        for i, cycle in enumerate(cycles):
+            t.instant("e%d" % i, "cat", cycle=cycle)
+        kept = t.events()
+        assert len(kept) == min(capacity, len(cycles))
+        assert t.dropped == max(0, len(cycles) - capacity)
+        # The survivors are the most recent events, in arrival order.
+        expected = list(enumerate(cycles))[-capacity:]
+        assert [(e["name"], e["cycle"]) for e in kept] \
+            == [("e%d" % i, c) for i, c in expected]
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=0, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_length_never_exceeds_capacity(self, capacity, n):
+        t = TraceRecorder(capacity=capacity)
+        for i in range(n):
+            t.instant("e", "c", cycle=i)
+            assert len(t) <= capacity
+
+
+class TestSensorTraceProperties:
+    @given(st.lists(st.floats(min_value=0.5, max_value=1.5,
+                              allow_nan=False), min_size=1,
+                    max_size=120),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_traced_transitions_match_reading_deltas(self, voltages,
+                                                     delay):
+        sensor = ThresholdSensor(0.95, 1.05, delay=delay)
+        trace = TraceRecorder()
+        sensor.attach_trace(trace)
+        levels = [sensor.observe(v).level for v in voltages]
+        # The traced instants are exactly the level changes of the
+        # reading sequence (initial state is NORMAL).
+        previous = [VoltageLevel.NORMAL] + levels[:-1]
+        changes = [(p.name, l.name) for p, l in zip(previous, levels)
+                   if l is not p]
+        events = trace.events()
+        assert all(e["name"] == "sensor.level" and e["cat"] == "sensor"
+                   for e in events)
+        assert [(e["args"]["from"], e["args"]["to"]) for e in events] \
+            == changes

@@ -1,0 +1,172 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.registry import validate_name
+
+
+class TestValidateName:
+    def test_accepts_dotted_lowercase(self):
+        for name in ("loop", "loop.voltage", "a.b_c.d0", "x0_y"):
+            assert validate_name(name) == name
+
+    def test_rejects_bad_names(self):
+        for name in ("", ".", "Loop", "loop.", ".loop", "loop..v",
+                     "loop voltage", "loop-voltage", None, 3):
+            with pytest.raises(ValueError):
+                validate_name(name)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("hits")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        c = MetricsRegistry().counter("hits")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_none_until_set_then_last_wins(self):
+        g = MetricsRegistry().gauge("ipc")
+        assert g.value is None
+        g.set(1.5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = MetricsRegistry().histogram("v", bounds=(1.0, 2.0, 3.0))
+        # v <= bounds[i] lands in bucket i; above the last bound lands
+        # in the overflow bucket.
+        h.observe(0.5)     # bucket 0
+        h.observe(1.0)     # bucket 0 (inclusive upper bound)
+        h.observe(1.5)     # bucket 1
+        h.observe(3.0)     # bucket 2
+        h.observe(99.0)    # overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.min == 0.5 and h.max == 99.0
+        assert h.total == pytest.approx(105.0)
+
+    def test_counts_has_overflow_bucket(self):
+        h = MetricsRegistry().histogram("v", bounds=(0.0,))
+        assert len(h.counts) == 2
+
+    def test_rejects_bad_bounds(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.histogram("a", bounds=())
+        with pytest.raises(ValueError):
+            r.histogram("b", bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            r.histogram("c", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            r.histogram("d", bounds=(0.0, float("inf")))
+
+    def test_rejects_non_finite_observation(self):
+        h = MetricsRegistry().histogram("v", bounds=(1.0,))
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                h.observe(bad)
+        assert h.count == 0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("b") is r.gauge("b")
+        assert r.histogram("c", bounds=(1.0,)) is r.histogram("c")
+
+    def test_cross_type_name_conflict(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError):
+            r.gauge("x")
+        with pytest.raises(ValueError):
+            r.histogram("x", bounds=(1.0,))
+
+    def test_histogram_needs_bounds_first_use(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.histogram("h")
+        r.histogram("h", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            r.histogram("h", bounds=(1.0, 3.0))
+
+    def test_rejects_invalid_names(self):
+        r = MetricsRegistry()
+        with pytest.raises(ValueError):
+            r.counter("Bad.Name")
+
+    def test_scoped_prefixes_and_shares_storage(self):
+        r = MetricsRegistry()
+        s = r.scoped("orchestrator")
+        s.counter("hits").inc(3)
+        assert r.counter("orchestrator.hits").value == 3
+        nested = s.scoped("cache")
+        nested.gauge("size").set(7)
+        assert r.gauge("orchestrator.cache.size").value == 7
+        assert s.enabled is True
+
+    def test_export_is_order_independent(self):
+        def build(order):
+            r = MetricsRegistry()
+            for step in order:
+                step(r)
+            return r.to_json()
+
+        steps = [
+            lambda r: r.counter("b.hits").inc(2),
+            lambda r: r.gauge("a.ipc").set(1.25),
+            lambda r: r.histogram("c.v", bounds=(1.0, 2.0)).observe(1.5),
+        ]
+        assert build(steps) == build(list(reversed(steps)))
+
+    def test_export_shape(self):
+        r = MetricsRegistry()
+        r.counter("hits").inc()
+        r.gauge("ipc").set(2.0)
+        r.histogram("v", bounds=(1.0,)).observe(0.5)
+        d = json.loads(r.to_json())
+        assert d == {
+            "counters": {"hits": 1},
+            "gauges": {"ipc": 2.0},
+            "histograms": {"v": {"bounds": [1.0], "counts": [1, 0],
+                                 "count": 1, "sum": 0.5,
+                                 "min": 0.5, "max": 0.5}},
+        }
+
+
+class TestNullRegistry:
+    def test_disabled_and_empty(self):
+        assert NULL_METRICS.enabled is False
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)
+        assert NULL_METRICS.to_dict() == {"counters": {}, "gauges": {},
+                                          "histograms": {}}
+
+    def test_all_lookups_are_shared_noop(self):
+        c = NULL_METRICS.counter("anything")
+        g = NULL_METRICS.gauge("else")
+        h = NULL_METRICS.histogram("more")
+        assert c is g is h
+        c.inc(5)
+        g.set(3)
+        h.observe(1.0)
+        assert c.value == 0
+        assert NULL_METRICS.scoped("deep") is NULL_METRICS

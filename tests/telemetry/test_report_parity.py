@@ -1,0 +1,99 @@
+"""Telemetry must never change a result: byte-parity tests.
+
+The caching and golden-report guarantees rest on one invariant --
+telemetry is purely observational.  These tests compare, byte for
+byte, every report surface with telemetry fully enabled against the
+same run with the null defaults: worker results, content hashes,
+merged orchestrator reports, campaign reports, and the cached
+payloads on disk (which must carry no wall-clock or provenance keys).
+"""
+
+import json
+
+from repro.faults.campaign import run_campaign
+from repro.orchestrator import (
+    JobSpec,
+    ResultCache,
+    Runner,
+    report_json,
+)
+from repro.orchestrator.worker import execute_spec
+from repro.telemetry import Telemetry
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(workload="swim", cycles=200, warmup_instructions=400,
+                  seed=5, impedance_percent=200.0)
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def canonical(result):
+    return json.dumps(result, sort_keys=True)
+
+
+class TestContentHashParity:
+    def test_content_hash_ignores_telemetry_entirely(self):
+        # The spec has no telemetry field at all: the hash is a pure
+        # function of the experiment knobs.
+        spec = tiny_spec()
+        assert "telemetry" not in spec.to_dict()
+        assert spec.content_hash() == tiny_spec().content_hash()
+
+
+class TestWorkerParity:
+    def test_execute_spec_byte_identical_with_telemetry(self):
+        spec = tiny_spec(delay=2, actuator_kind="fu_dl1_il1")
+        plain = execute_spec(spec)
+        instrumented = execute_spec(spec,
+                                    telemetry=Telemetry.full())
+        assert canonical(plain) == canonical(instrumented)
+
+    def test_telemetry_actually_recorded_something(self):
+        telemetry = Telemetry.full()
+        execute_spec(tiny_spec(delay=2, actuator_kind="fu_dl1_il1"),
+                     telemetry=telemetry)
+        assert telemetry.metrics.gauge("loop.cycles").value == 200
+        assert telemetry.profiler.counts()["pdn.step"] == 200
+
+
+class TestRunnerReportParity:
+    def test_merged_report_byte_identical(self):
+        specs = [tiny_spec(seed=1),
+                 tiny_spec(seed=2, delay=2, actuator_kind="fu_dl1_il1")]
+        plain = Runner(jobs=1, progress=False).run(specs)
+        instrumented = Runner(jobs=1, progress=False,
+                              telemetry=Telemetry.full()).run(specs)
+        assert report_json(plain) == report_json(instrumented)
+
+    def test_cached_payload_has_no_wall_clock_keys(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        Runner(jobs=1, cache=cache, progress=False,
+               telemetry=Telemetry.full()).run([tiny_spec()])
+        payload_files = [p for p in tmp_path.rglob("*.json")]
+        assert payload_files
+        for path in payload_files:
+            payload = json.loads(path.read_text())
+            text = json.dumps(payload)
+            for banned in ("wall_seconds", "attempts", "cached",
+                           "seconds"):
+                assert '"%s"' % banned not in text, (
+                    "%s leaked into cached payload %s" % (banned, path))
+
+    def test_cache_entries_shared_across_telemetry_modes(self, tmp_path):
+        cache = ResultCache(root=tmp_path, salt="s")
+        spec = tiny_spec()
+        Runner(jobs=1, cache=cache, progress=False,
+               telemetry=Telemetry.full()).run([spec])
+        warm = Runner(jobs=1, cache=cache, progress=False).run([spec])[0]
+        assert warm.cached
+
+
+class TestCampaignParity:
+    def test_campaign_report_byte_identical(self):
+        kwargs = dict(workloads=["swim"], faults=["stuck_low"],
+                      cycles=300, warmup_instructions=400, seed=3,
+                      fault_start=50, budget_seconds=None, jobs=1)
+        plain = run_campaign(**kwargs)
+        instrumented = run_campaign(telemetry=Telemetry.full(), **kwargs)
+        assert plain.to_json() == instrumented.to_json()

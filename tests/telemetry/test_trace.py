@@ -1,0 +1,178 @@
+"""Unit tests for the trace recorder and its exports."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TRACE,
+    TraceRecorder,
+    merged_chrome_json,
+    merged_chrome_trace,
+)
+
+
+class TestRecording:
+    def test_events_inherit_current_cycle(self):
+        t = TraceRecorder()
+        t.cycle = 41
+        t.instant("sensor.level", "sensor")
+        t.cycle = 42
+        t.begin("actuator.gate", "actuator", {"why": "low"})
+        t.end("actuator.gate", "actuator", cycle=50)
+        events = t.events()
+        assert [e["cycle"] for e in events] == [41, 42, 50]
+        assert events[0] == {"cycle": 41, "kind": "instant",
+                             "name": "sensor.level", "cat": "sensor"}
+        assert events[1]["args"] == {"why": "low"}
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().event("bogus", "n", "c")
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_ring_buffer_evicts_oldest(self):
+        t = TraceRecorder(capacity=3)
+        for i in range(5):
+            t.instant("e%d" % i, "cat", cycle=i)
+        assert len(t) == 3
+        assert t.dropped == 2
+        assert [e["name"] for e in t.events()] == ["e2", "e3", "e4"]
+
+    def test_clear(self):
+        t = TraceRecorder(capacity=1)
+        t.instant("a", "c")
+        t.instant("b", "c")
+        assert t.dropped == 1
+        t.clear()
+        assert len(t) == 0 and t.dropped == 0 and t.cycle == 0
+
+
+class TestJsonl:
+    def test_byte_stable_and_compact(self):
+        def record():
+            t = TraceRecorder()
+            t.instant("sensor.level", "sensor",
+                      {"to": "HIGH", "from": "NORMAL"}, cycle=7)
+            t.begin("emergency", "emergency", cycle=9)
+            return t.to_jsonl()
+
+        text = record()
+        assert text == record()
+        lines = text.split("\n")
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"cycle": 7, "kind": "instant",
+                         "name": "sensor.level", "cat": "sensor",
+                         "args": {"from": "NORMAL", "to": "HIGH"}}
+        # Compact separators, sorted keys: stable bytes.
+        assert ": " not in lines[0]
+        keys = [k for k in json.loads(lines[0])]
+        assert keys == sorted(keys)
+
+    def test_empty(self):
+        assert TraceRecorder().to_jsonl() == ""
+
+
+class TestChromeExport:
+    def _recorder(self):
+        t = TraceRecorder()
+        t.instant("sensor.level", "sensor", cycle=5)
+        t.begin("actuator.gate", "actuator", cycle=6)
+        t.end("actuator.gate", "actuator", cycle=9)
+        return t
+
+    def test_structure(self):
+        trace = self._recorder().chrome_trace(metadata={"workload": "w"})
+        assert set(trace) == {"traceEvents", "displayTimeUnit",
+                              "otherData"}
+        assert trace["otherData"]["workload"] == "w"
+        assert trace["otherData"]["dropped_events"] == 0
+        events = trace["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert phases.count("B") == phases.count("E") == 1
+        for e in events:
+            assert e["pid"] == 0
+            if e["ph"] != "M":
+                assert isinstance(e["ts"], int)
+                assert "cat" in e
+
+    def test_category_threads_named_and_sorted(self):
+        events = self._recorder().chrome_trace()["traceEvents"]
+        names = {e["args"]["name"]: e["tid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        # Categories sorted -> deterministic tids.
+        assert names == {"actuator": 1, "sensor": 2}
+
+    def test_unmatched_end_dropped(self):
+        t = TraceRecorder()
+        t.end("actuator.gate", "actuator", cycle=3)
+        events = t.chrome_trace()["traceEvents"]
+        assert all(e["ph"] != "E" for e in events)
+
+    def test_unmatched_begin_autoclosed(self):
+        t = TraceRecorder()
+        t.begin("emergency", "emergency", cycle=10)
+        t.instant("x", "emergency", cycle=20)
+        events = t.chrome_trace()["traceEvents"]
+        ends = [e for e in events if e["ph"] == "E"]
+        assert len(ends) == 1
+        assert ends[0]["ts"] == 21      # last cycle + 1
+
+    def test_instant_scope(self):
+        events = self._recorder().chrome_trace()["traceEvents"]
+        insts = [e for e in events if e["ph"] == "i"]
+        assert insts and all(e["s"] == "t" for e in insts)
+
+    def test_json_byte_stable(self):
+        a = self._recorder().to_chrome_json(metadata={"k": 1})
+        b = self._recorder().to_chrome_json(metadata={"k": 1})
+        assert a == b
+
+
+class TestMergedChromeTrace:
+    def test_sections_get_distinct_pids(self):
+        base = TraceRecorder()
+        base.begin("emergency", "emergency", cycle=3)
+        base.end("emergency", "emergency", cycle=8)
+        ctl = TraceRecorder()
+        ctl.instant("sensor.level", "sensor", cycle=4)
+        trace = merged_chrome_trace([("uncontrolled", base),
+                                     ("controlled", ctl)])
+        events = trace["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert pids == {0, 1}
+        procs = {e["args"]["name"]: e["pid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs == {"uncontrolled": 0, "controlled": 1}
+
+    def test_dropped_counts_summed(self):
+        a = TraceRecorder(capacity=1)
+        a.instant("x", "c")
+        a.instant("y", "c")
+        b = TraceRecorder(capacity=1)
+        b.instant("z", "c")
+        trace = merged_chrome_trace([("a", a), ("b", b)])
+        assert trace["otherData"]["dropped_events"] == 1
+
+    def test_json_byte_stable(self):
+        def build():
+            t = TraceRecorder()
+            t.instant("e", "c", cycle=1)
+            return merged_chrome_json([("only", t)], metadata={"m": 2})
+        assert build() == build()
+
+
+class TestNullTrace:
+    def test_disabled_and_records_nothing(self):
+        assert NULL_TRACE.enabled is False
+        NULL_TRACE.instant("a", "c")
+        NULL_TRACE.begin("b", "c")
+        NULL_TRACE.end("b", "c")
+        assert len(NULL_TRACE) == 0
+        assert NULL_TRACE.to_jsonl() == ""
+        assert NULL_TRACE.chrome_trace()["otherData"]["dropped_events"] \
+            == 0

@@ -1,0 +1,63 @@
+"""Unit tests for the trace-event summary helpers."""
+
+from repro.analysis.tracestats import format_summary, summarize_events
+from repro.telemetry import TraceRecorder
+
+
+def _events():
+    t = TraceRecorder()
+    t.instant("sensor.level", "sensor", cycle=3)
+    t.instant("sensor.level", "sensor", cycle=10)
+    t.begin("emergency", "emergency", cycle=12)
+    t.end("emergency", "emergency", cycle=20)
+    t.begin("actuator.gate", "actuator", cycle=14)
+    return t.events()
+
+
+class TestSummarizeEvents:
+    def test_counts_and_windows(self):
+        s = summarize_events(_events(), last_cycle=30)
+        assert s["events"] == 5
+        assert s["counts"] == {"actuator.gate": 1, "emergency": 1,
+                               "sensor.level": 2}
+        assert s["windows"]["emergency"] == {"count": 1, "cycles": 8}
+        # Open window closed at last_cycle.
+        assert s["windows"]["actuator.gate"] == {"count": 1,
+                                                 "cycles": 16}
+        assert s["first_emergency_cycle"] == 12
+        assert s["sensor_transitions"] == 2
+
+    def test_open_window_closed_at_max_event_cycle_by_default(self):
+        t = TraceRecorder()
+        t.begin("emergency", "emergency", cycle=5)
+        t.instant("x", "other", cycle=9)
+        s = summarize_events(t.events())
+        assert s["windows"]["emergency"] == {"count": 1, "cycles": 4}
+
+    def test_unmatched_end_dropped(self):
+        t = TraceRecorder()
+        t.end("emergency", "emergency", cycle=7)
+        s = summarize_events(t.events())
+        assert s["windows"] == {}
+        assert s["first_emergency_cycle"] == 7
+
+    def test_empty(self):
+        s = summarize_events([])
+        assert s == {"events": 0, "counts": {}, "windows": {},
+                     "first_emergency_cycle": None,
+                     "sensor_transitions": 0}
+
+    def test_deterministic(self):
+        assert summarize_events(_events(), last_cycle=30) \
+            == summarize_events(_events(), last_cycle=30)
+
+
+class TestFormatSummary:
+    def test_lines(self):
+        text = format_summary(summarize_events(_events(), last_cycle=30))
+        assert text.startswith("trace: 5 events")
+        assert "sensor transitions: 2" in text
+        assert "first emergency at cycle 12" in text
+
+    def test_empty(self):
+        assert format_summary(summarize_events([])) == "trace: 0 events"

@@ -153,3 +153,145 @@ class TestSweepCommand:
         err = capsys.readouterr().err
         assert "invalidated 2 cached cell(s)" in err
         assert "0 cache hits, 2 executed" in err
+
+
+class TestTraceCommand:
+    def trace(self, tmp_path, *extra):
+        argv = ["trace", "stressmark", "--cycles", "800",
+                "--no-baseline"] + list(extra)
+        return run_cli(*argv)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.workload == "stressmark"
+        assert args.delay == 2
+        assert args.actuator == "fu_dl1_il1"
+        assert args.capacity == 65536
+        assert not args.uncontrolled and not args.no_baseline
+
+    def test_run_alias(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "stressmark"
+
+    def test_controlled_summary(self, tmp_path):
+        code, text = self.trace(tmp_path)
+        assert code == 0
+        assert "controlled trace:" in text
+        assert "sensor transitions" in text
+
+    def test_default_includes_baseline_track(self, tmp_path):
+        import json
+        path = tmp_path / "t.json"
+        code, text = run_cli("trace", "stressmark", "--cycles", "800",
+                             "--trace-out", str(path))
+        assert code == 0
+        assert "uncontrolled baseline" in text
+        trace = json.loads(path.read_text())
+        events = trace["traceEvents"]
+        procs = {e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert procs == {"uncontrolled", "controlled"}
+        cats = {e.get("cat") for e in events if e["ph"] != "M"}
+        assert {"sensor", "actuator", "emergency"} <= cats
+
+    def test_chrome_trace_structure(self, tmp_path):
+        import json
+        path = tmp_path / "t.json"
+        code, _ = self.trace(tmp_path, "--trace-out", str(path))
+        assert code == 0
+        trace = json.loads(path.read_text())
+        assert set(trace) == {"traceEvents", "displayTimeUnit",
+                              "otherData"}
+        assert trace["otherData"]["workload"] == "stressmark"
+        phases = [e["ph"] for e in trace["traceEvents"]]
+        assert phases.count("B") == phases.count("E")
+
+    def test_jsonl_and_metrics_outputs(self, tmp_path):
+        import json
+        jsonl = tmp_path / "t.jsonl"
+        metrics = tmp_path / "m.json"
+        code, _ = self.trace(tmp_path, "--jsonl-out", str(jsonl),
+                             "--metrics-out", str(metrics))
+        assert code == 0
+        lines = jsonl.read_text().strip().splitlines()
+        assert lines
+        first = json.loads(lines[0])
+        assert {"cycle", "kind", "name", "cat"} <= set(first)
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["histograms"]["loop.voltage"]["count"] == 800
+
+    def test_uncontrolled_traces_emergencies(self, tmp_path):
+        code, text = run_cli("trace", "stressmark", "--cycles", "800",
+                             "--uncontrolled")
+        assert code == 0
+        assert "uncontrolled trace:" in text
+        assert "first emergency at cycle" in text
+
+    def test_trace_outputs_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        self.trace(tmp_path, "--trace-out", str(a))
+        self.trace(tmp_path, "--trace-out", str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_bad_capacity(self, tmp_path):
+        code, _ = self.trace(tmp_path, "--capacity", "0")
+        assert code == 2
+
+
+class TestControlTraceFlags:
+    def test_control_trace_and_metrics_out(self, tmp_path):
+        import json
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        code, text = run_cli("control", "stressmark", "--cycles",
+                             "2000", "--trace-out", str(trace_path),
+                             "--metrics-out", str(metrics_path))
+        assert code == 0
+        assert "perf loss" in text
+        trace = json.loads(trace_path.read_text())
+        assert trace["otherData"]["workload"] == "stressmark"
+        cats = {e.get("cat") for e in trace["traceEvents"]
+                if e["ph"] != "M"}
+        assert "sensor" in cats
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["gauges"]["loop.cycles"] == 2000
+
+
+class TestSweepTelemetryFlags:
+    def sweep(self, tmp_path, *extra):
+        path = tmp_path / "report.json"
+        argv = ["sweep", "--workloads", "swim", "--impedances", "200",
+                "--controllers", "none",
+                "--cycles", "250", "--warmup", "400", "--seed", "9",
+                "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(path)] + list(extra)
+        code, text = run_cli(*argv)
+        return code, path
+
+    def test_execution_detail_opt_in(self, tmp_path):
+        import json
+        code, path = self.sweep(tmp_path, "--execution-detail")
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert len(data["execution"]) == len(data["jobs"]) == 1
+        assert data["execution"][0]["cached"] is False
+        code, path = self.sweep(tmp_path)
+        assert "execution" not in json.loads(path.read_text())
+
+    def test_default_report_bytes_unchanged_by_flags(self, tmp_path):
+        import json
+        _, path = self.sweep(tmp_path)
+        baseline = json.loads(path.read_text())
+        code, path = self.sweep(tmp_path, "--execution-detail")
+        detailed = json.loads(path.read_text())
+        assert detailed["jobs"] == baseline["jobs"]
+
+    def test_metrics_out(self, tmp_path):
+        import json
+        metrics_path = tmp_path / "metrics.json"
+        code, _ = self.sweep(tmp_path, "--metrics-out",
+                             str(metrics_path))
+        assert code == 0
+        counters = json.loads(metrics_path.read_text())["counters"]
+        assert counters["orchestrator.jobs"] == 1

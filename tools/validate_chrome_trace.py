@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Validate a file against the Chrome trace-event JSON Object Format.
+
+Usage: python tools/validate_chrome_trace.py TRACE.json [CAT ...]
+
+Checks the structural contract Perfetto / ``chrome://tracing`` rely on
+(top-level keys, per-event ``ph``/``pid``/``tid``/``name``, integer
+``ts`` and a ``cat`` on non-metadata events, balanced begin/end
+counts), plus — when category names are given — that each one appears
+in the trace.  Exits non-zero with a message on the first violation;
+used by the CI trace-smoke step.
+"""
+
+import json
+import sys
+
+KNOWN_PHASES = {"M", "B", "E", "i", "X", "C"}
+
+
+def validate(trace, required_cats=()):
+    """Raise ``AssertionError`` on the first structural violation."""
+    assert isinstance(trace, dict), "top level must be a JSON object"
+    assert "traceEvents" in trace, "missing traceEvents"
+    events = trace["traceEvents"]
+    assert isinstance(events, list) and events, "traceEvents empty"
+    begins = ends = 0
+    cats = set()
+    for i, e in enumerate(events):
+        where = "traceEvents[%d]" % i
+        assert isinstance(e, dict), "%s not an object" % where
+        assert e.get("ph") in KNOWN_PHASES, \
+            "%s bad phase %r" % (where, e.get("ph"))
+        assert isinstance(e.get("pid"), int), "%s bad pid" % where
+        assert isinstance(e.get("tid"), int), "%s bad tid" % where
+        assert isinstance(e.get("name"), str) and e["name"], \
+            "%s bad name" % where
+        if e["ph"] == "M":
+            continue
+        assert isinstance(e.get("ts"), int), "%s bad ts" % where
+        assert isinstance(e.get("cat"), str) and e["cat"], \
+            "%s missing cat" % where
+        cats.add(e["cat"])
+        if e["ph"] == "B":
+            begins += 1
+        elif e["ph"] == "E":
+            ends += 1
+    assert begins == ends, \
+        "unbalanced windows: %d begins, %d ends" % (begins, ends)
+    missing = sorted(set(required_cats) - cats)
+    assert not missing, "required categories absent: %s (have: %s)" \
+        % (", ".join(missing), ", ".join(sorted(cats)))
+    return len(events), cats
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path, required = argv[1], argv[2:]
+    with open(path) as fh:
+        trace = json.load(fh)
+    try:
+        count, cats = validate(trace, required)
+    except AssertionError as exc:
+        print("%s: INVALID: %s" % (path, exc), file=sys.stderr)
+        return 1
+    print("%s: ok (%d events; categories: %s)"
+          % (path, count, ", ".join(sorted(cats))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -96,6 +96,56 @@ class EmergencyCounter:
         else:
             self._in_episode = False
 
+    def observe_array(self, voltages):
+        """Fold a whole voltage trace into the counts at once.
+
+        Exactly equivalent to calling :meth:`observe` per sample (the
+        fast-path parity suite and a hypothesis property test pin this),
+        including the failure mode: the finite prefix before the first
+        non-finite sample is folded, then the same ``ValueError`` is
+        raised with the same message.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.ndim != 1:
+            raise ValueError("voltages must be 1-D, got shape %r"
+                             % (v.shape,))
+        bad = None
+        finite = np.isfinite(v)
+        if not finite.all():
+            bad = int(np.argmax(~finite))
+            v = v[:bad]
+        if v.size:
+            self.cycles += int(v.size)
+            v_min = float(v.min())
+            v_max = float(v.max())
+            if v_min < self.v_min:
+                self.v_min = v_min
+            if v_max > self.v_max:
+                self.v_max = v_max
+            low = v < self.low_bound
+            high = v > self.high_bound
+            emergency = low | high
+            n_emergency = int(np.count_nonzero(emergency))
+            if n_emergency:
+                n_low = int(np.count_nonzero(low))
+                self.emergency_cycles += n_emergency
+                self.undershoot_cycles += n_low
+                self.overshoot_cycles += n_emergency - n_low
+                # An episode starts at every False->True edge, with the
+                # streaming in-episode flag as the carry-in.
+                prev = np.empty_like(emergency)
+                prev[0] = self._in_episode
+                prev[1:] = emergency[:-1]
+                self.episodes += int(np.count_nonzero(emergency & ~prev))
+            self._in_episode = bool(emergency[-1])
+        if bad is not None:
+            value = float(np.asarray(voltages, dtype=float)[bad])
+            raise ValueError(
+                "non-finite voltage %r at cycle %d; emergency counts "
+                "would be corrupted (run under a NumericWatchdog to "
+                "catch the divergence at its source)"
+                % (value, self.cycles))
+
     @property
     def in_emergency(self):
         """Whether the most recent observed cycle was out of spec

@@ -10,17 +10,70 @@ timing the threshold solver designs against.
 """
 
 import math
+import operator
 
 import numpy as np
 
 from repro.control.emergencies import EmergencyCounter, NOMINAL_VOLTAGE
-from repro.faults.watchdog import NumericWatchdog, SimulationDiverged
+from repro.faults.watchdog import (
+    NumericWatchdog,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
 from repro.pdn.discrete import PdnSimulator
 from repro.telemetry import NULL_TELEMETRY
 
 #: Millivolt-resolution buckets for the per-cycle voltage histogram
 #: (spans the plausible die-voltage range around a 1.0 V nominal).
 VOLTAGE_BUCKETS = tuple(0.80 + 0.01 * i for i in range(41))
+
+
+class _TraceBuffer:
+    """Growable float64 buffer for per-cycle traces.
+
+    Replaces a plain Python list so the lockstep loop appends without
+    boxing churn at result time and the open-loop fast path can copy a
+    whole batch in one ``extend``; :meth:`view` hands the result out as
+    a numpy view without a final ``asarray`` copy.
+    """
+
+    __slots__ = ("_data", "_n")
+
+    def __init__(self, capacity=4096):
+        self._data = np.empty(capacity)
+        self._n = 0
+
+    def __len__(self):
+        return self._n
+
+    def append(self, value):
+        n = self._n
+        data = self._data
+        if n == data.size:
+            grown = np.empty(data.size * 2)
+            grown[:n] = data
+            self._data = data = grown
+        data[n] = value
+        self._n = n + 1
+
+    def extend(self, values):
+        v = np.asarray(values, dtype=float)
+        n = self._n
+        need = n + v.size
+        data = self._data
+        if need > data.size:
+            capacity = data.size
+            while capacity < need:
+                capacity *= 2
+            grown = np.empty(capacity)
+            grown[:n] = data[:n]
+            self._data = data = grown
+        data[n:need] = v
+        self._n = need
+
+    def view(self):
+        """The recorded samples as a (shared-storage) numpy view."""
+        return self._data[:self._n]
 
 
 class LoopResult:
@@ -98,6 +151,11 @@ class ClosedLoopSimulation:
             byte-identical with it on or off.
     """
 
+    #: Set True (per instance, or on the class for a whole test run) to
+    #: refuse the open-loop fast path even when eligible; the parity
+    #: suite and benchmarks use it to compare the two paths.
+    force_lockstep = False
+
     def __init__(self, machine, power_model, pdn, controller=None,
                  nominal=NOMINAL_VOLTAGE, record_traces=False,
                  pdn_sim=None, watchdog=None, budget=None,
@@ -126,8 +184,8 @@ class ClosedLoopSimulation:
         self.budget = budget
         self.counter = EmergencyCounter(nominal=nominal)
         self._energy = 0.0
-        self._voltages = [] if record_traces else None
-        self._currents = [] if record_traces else None
+        self._voltages = _TraceBuffer() if record_traces else None
+        self._currents = _TraceBuffer() if record_traces else None
         # Current-driven controllers (the pessimistic ramp strawman)
         # expose step_current instead of the voltage-driven step.
         self._controller_uses_current = (
@@ -160,35 +218,38 @@ class ClosedLoopSimulation:
         machine = self.machine
         trace = self._trace
         prof = self._profile
+        pdn_sim = self.pdn_sim
+        counter = self.counter
+        watchdog = self.watchdog
         activity = machine.step()
         power = self.power_model.power(activity)
         current = power / self.nominal
         if trace is not None:
             # Stamp every event this cycle with the timed-region index
             # (PDN steps so far), robust to warm-up cycle offsets.
-            trace.cycle = self.pdn_sim.cycles
+            trace.cycle = pdn_sim.cycles
         if prof is not None:
             t0 = prof.clock()
-            voltage = self.pdn_sim.step(current)
+            voltage = pdn_sim.step(current)
             prof.add("pdn.step", prof.clock() - t0)
         else:
-            voltage = self.pdn_sim.step(current)
-        if self.watchdog is not None:
+            voltage = pdn_sim.step(current)
+        if watchdog is not None:
             if trace is not None:
                 try:
-                    self.watchdog.check(machine.cycle, voltage)
+                    watchdog.check(machine.cycle, voltage)
                 except SimulationDiverged as exc:
                     trace.instant("watchdog.trip", "watchdog",
                                   {"message": str(exc)})
                     raise
             else:
-                self.watchdog.check(machine.cycle, voltage)
+                watchdog.check(machine.cycle, voltage)
         self._energy += power * machine.config.cycle_time
-        self.counter.observe(voltage)
+        counter.observe(voltage)
         if self._m_voltage is not None:
             self._m_voltage.observe(voltage)
         if trace is not None:
-            in_emergency = self.counter.in_emergency
+            in_emergency = counter.in_emergency
             if in_emergency != self._in_emergency:
                 if in_emergency:
                     trace.begin("emergency", "emergency",
@@ -214,8 +275,32 @@ class ClosedLoopSimulation:
                 prof.add("controller.step", prof.clock() - t0)
         return voltage
 
+    @property
+    def fast_path_eligible(self):
+        """Whether :meth:`run` may batch cycles instead of locksteping.
+
+        The open-loop fast path applies exactly when nothing needs the
+        per-cycle voltage while the machine is still running: no
+        controller (the feedback edge), no enabled trace recorder or
+        profiler (both stamp per-cycle events), and no watchdog wired
+        *inside* the PDN simulator (a loop-level :attr:`watchdog` is
+        fine -- it is applied to the batch trace with identical
+        semantics).  Trace recording and metrics stay available; their
+        batch folds are bit-identical to the per-cycle ones.
+        """
+        return (not self.force_lockstep and self.controller is None and
+                self._trace is None and self._profile is None and
+                self.pdn_sim.watchdog is None)
+
     def run(self, max_cycles=None, max_instructions=None, budget=None):
         """Run to completion or a limit; returns a :class:`LoopResult`.
+
+        Uncontrolled, untraced runs take the open-loop fast path (see
+        :attr:`fast_path_eligible`): the machine runs ahead collecting
+        per-cycle activity, then the power, PDN, watchdog, emergency,
+        and histogram folds happen as array operations.  The result --
+        every counter, trace byte, and raised exception -- is identical
+        to the lockstep path; only the wall-clock differs.
 
         Args:
             max_cycles / max_instructions: soft limits (a clean stop).
@@ -230,15 +315,19 @@ class ClosedLoopSimulation:
             budget.start()
         prof = self._profile
         t_run = prof.clock() if prof is not None else None
-        while not machine.done:
-            if max_cycles is not None and machine.cycle >= max_cycles:
-                break
-            if (max_instructions is not None and
-                    machine.stats.committed >= max_instructions):
-                break
-            if budget is not None:
-                budget.check(machine.cycle)
-            self.step()
+        if self.fast_path_eligible:
+            self.telemetry.metrics.counter("loop.fast_path_runs").inc()
+            self._run_open_loop(max_cycles, max_instructions, budget)
+        else:
+            while not machine.done:
+                if max_cycles is not None and machine.cycle >= max_cycles:
+                    break
+                if (max_instructions is not None and
+                        machine.stats.committed >= max_instructions):
+                    break
+                if budget is not None:
+                    budget.check(machine.cycle)
+                self.step()
         if prof is not None:
             prof.add("loop.run", prof.clock() - t_run)
         if self.controller is not None:
@@ -266,17 +355,159 @@ class ClosedLoopSimulation:
             machine_stats=machine.stats,
             controller=(self.controller.summary()
                         if self.controller else None),
-            voltages=(np.asarray(self._voltages)
+            voltages=(self._voltages.view()
                       if self.record_traces else None),
-            currents=(np.asarray(self._currents)
+            currents=(self._currents.view()
                       if self.record_traces else None),
         )
+
+    def _run_open_loop(self, max_cycles, max_instructions, budget):
+        """The batch fast path behind :meth:`run` (same limits).
+
+        Three phases:
+
+        1. *Collect*: run the machine alone, grabbing one tuple of
+           power-model inputs per cycle (plus ``committed``/``fetched``
+           for stats reconstruction and a running mispredictions
+           snapshot).  The loop conditions mirror the lockstep loop
+           exactly, including the per-iteration budget check.
+        2. *Batch*: activity columns -> watts
+           (:meth:`~repro.power.model.PowerModel.power_batch`) ->
+           amperes -> the shared ZOH kernel
+           (:meth:`~repro.pdn.discrete.PdnSimulator.run`) -> volts.
+           Every kernel reproduces the scalar path's floating-point
+           operations in order, so the arrays are bit-identical.
+        3. *Fold*: energy (cumulative sum seeded by the running total),
+           emergency counter, voltage histogram, recorded traces, and
+           the watchdog scan.  On a watchdog trip or a non-finite
+           voltage, only the prefix the lockstep path would have
+           processed is folded, the aggregate stats are trimmed to the
+           cycle the lockstep path would have stopped at, and the same
+           exception (cycle, value, reason, tail -- byte-identical
+           message) is raised.  After a trip the *microarchitectural*
+           state (caches, predictor, in-flight window) and the PDN
+           simulator's internal state reflect the overshoot cycles;
+           nothing observes either post-mortem, every aggregate anyone
+           reads is trimmed.
+        """
+        machine = self.machine
+        stats = machine.stats
+        power_model = self.power_model
+        fields = power_model.batch_fields + ("committed", "fetched")
+        getter = operator.attrgetter(*fields)
+        step = machine.step
+
+        c0 = machine.cycle
+        cycles0 = stats.cycles
+        committed0 = stats.committed
+        fetched0 = stats.fetched
+        issued0 = stats.total_issued
+        gated_fu0 = stats.gated_fu_cycles
+        gated_dl10 = stats.gated_dl1_cycles
+        gated_il10 = stats.gated_il1_cycles
+        phantom_fu0 = stats.phantom_fu_cycles
+
+        rows = []
+        append = rows.append
+        mispredict_snaps = []
+        snap_append = mispredict_snaps.append
+        budget_exc = None
+        while not machine.done:
+            if max_cycles is not None and machine.cycle >= max_cycles:
+                break
+            if (max_instructions is not None and
+                    stats.committed >= max_instructions):
+                break
+            if budget is not None:
+                try:
+                    budget.check(machine.cycle)
+                except SimulationBudgetExceeded as exc:
+                    # Everything collected so far was fully processed by
+                    # the lockstep path before its budget trip; fold it
+                    # all, then re-raise.
+                    budget_exc = exc
+                    break
+            append(getter(step()))
+            snap_append(stats.mispredictions)
+
+        n = len(rows)
+        if n == 0:
+            if budget_exc is not None:
+                raise budget_exc
+            return
+        arr = np.asarray(rows, dtype=float)
+        cols = {name: arr[:, i] for i, name in enumerate(fields)}
+        powers = power_model.power_batch(cols)
+        currents = powers / self.nominal
+        voltages = self.pdn_sim.run(currents)
+
+        watchdog = self.watchdog
+        trip = watchdog.first_violation(voltages) \
+            if watchdog is not None else None
+        bad = None
+        if trip is None:
+            finite = np.isfinite(voltages)
+            if not finite.all():
+                bad = int(np.argmax(~finite))
+
+        # How much of the batch the lockstep path would have folded:
+        # a watchdog trip at sample k stops before that cycle's energy
+        # and counter updates; an unwatched non-finite voltage at k is
+        # caught by the counter *after* the energy update.
+        good = n if trip is None and bad is None else \
+            (trip if trip is not None else bad)
+        energy_upto = good + 1 if bad is not None else good
+
+        cycle_time = machine.config.cycle_time
+        if energy_upto:
+            self._energy = float(np.cumsum(np.concatenate(
+                ([self._energy], powers[:energy_upto] * cycle_time)))[-1])
+        if self._m_voltage is not None and good:
+            self._m_voltage.observe_array(voltages[:good])
+        if self.record_traces and good:
+            self._voltages.extend(voltages[:good])
+            self._currents.extend(currents[:good])
+
+        if trip is None and bad is None:
+            self.counter.observe_array(voltages)
+            if watchdog is not None:
+                watchdog.check_array(c0 + 1, voltages)
+            if budget_exc is not None:
+                raise budget_exc
+            return
+
+        # Divergence: trim the aggregates to the k+1 machine steps the
+        # lockstep path would have taken, then raise its exception.
+        kept = good + 1
+        stats.cycles = cycles0 + kept
+        stats.committed = committed0 + int(cols["committed"][:kept].sum())
+        stats.fetched = fetched0 + int(cols["fetched"][:kept].sum())
+        stats.total_issued = issued0 + \
+            int(cols["issued_total"][:kept].sum())
+        stats.gated_fu_cycles = gated_fu0 + \
+            int(np.count_nonzero(cols["fu_gated"][:kept]))
+        stats.gated_dl1_cycles = gated_dl10 + \
+            int(np.count_nonzero(cols["dl1_gated"][:kept]))
+        stats.gated_il1_cycles = gated_il10 + \
+            int(np.count_nonzero(cols["il1_gated"][:kept]))
+        stats.phantom_fu_cycles = phantom_fu0 + \
+            int(np.count_nonzero(cols["fu_phantom"][:kept]))
+        stats.mispredictions = mispredict_snaps[good]
+        machine.cycle = c0 + kept
+        if trip is not None:
+            self.counter.observe_array(voltages[:good])
+            watchdog.check_array(c0 + 1, voltages)
+            raise AssertionError("watchdog re-scan must raise")
+        # No watchdog: the counter itself rejects the non-finite sample
+        # (folding the finite prefix first), same message and cycle.
+        self.counter.observe_array(voltages[:good + 1])
+        raise AssertionError("counter re-fold must raise")
 
 
 def run_workload(stream, pdn, config=None, power_params=None,
                  controller_factory=None, warmup_instructions=60000,
                  max_cycles=30000, max_instructions=None,
-                 record_traces=False, telemetry=None):
+                 record_traces=False, telemetry=None, power_model=None):
     """Convenience wrapper: build, warm, and run one workload.
 
     Args:
@@ -284,6 +515,11 @@ def run_workload(stream, pdn, config=None, power_params=None,
         pdn: the supply network to couple.
         config: machine configuration (Table 1 default).
         power_params: power model parameters.
+        power_model: a prebuilt :class:`~repro.power.model.PowerModel`
+            to reuse (its config must match ``config``); callers that
+            run many cells against one design pass the design's cached
+            model instead of rebuilding the per-unit weight tables per
+            cell.  Overrides ``power_params``.
         controller_factory: ``f(machine, power_model) -> controller`` or
             ``None`` for an uncontrolled run.  A factory (rather than an
             instance) because per-run sensors carry state.
@@ -303,7 +539,8 @@ def run_workload(stream, pdn, config=None, power_params=None,
 
     config = config or MachineConfig()
     machine = Machine(config, stream)
-    power_model = PowerModel(config, power_params)
+    if power_model is None:
+        power_model = PowerModel(config, power_params)
     if warmup_instructions:
         machine.fast_forward(warmup_instructions)
     controller = (controller_factory(machine, power_model)

@@ -19,6 +19,7 @@ A minimal session (the quickstart example expands on this)::
     controlled = design.run(stressmark_stream(spec), delay=2)
 """
 
+from repro.core.checkpoint import WarmupCache
 from repro.core.design import VoltageControlDesign
 from repro.core.factory import (
     clear_design_cache,
@@ -48,6 +49,7 @@ from repro.workloads.stressmark import (
 )
 
 __all__ = [
+    "WarmupCache",
     "VoltageControlDesign",
     "design_at",
     "register_design",

@@ -1,0 +1,142 @@
+"""Warm-state checkpoint cache for the cycle simulator.
+
+Every campaign job starts the same way: build a machine, then
+``fast_forward`` tens of thousands of instructions so caches and
+predictors are warm before the timed region.  Across a sweep the same
+(workload, seed, warm-up, config) tuple is warmed hundreds of times --
+and because every impedance level shares the default machine
+configuration, the warmed state is identical across the whole grid.
+
+:class:`WarmupCache` memoizes the *pickled bytes* of the warmed
+machine, keyed by a content hash of the machine configuration, a
+caller-supplied stream description, and the warm-up length.  A hit
+costs one ``pickle.loads`` (single-digit milliseconds) instead of the
+full functional warm-up.  Handing out a fresh clone on *every* call --
+including the miss that populated the entry -- keeps the contract
+uniform: the caller always owns a private machine, and the cached bytes
+are never aliased by a running simulation.
+
+Streams that cannot be pickled (the stressmark sequencer carries a
+generator) are detected once and remembered: those keys silently fall
+back to returning the directly-warmed machine.
+
+Set ``REPRO_WARM_CACHE_DIR`` to persist checkpoints on disk next to the
+orchestrator's result cache; entries are written atomically (temp file
+plus rename) so concurrent workers can share a directory.
+"""
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+
+class WarmupCache:
+    """Per-process (optionally on-disk) cache of warmed machines.
+
+    Args:
+        root: directory for persistent checkpoints; ``None`` reads
+            ``REPRO_WARM_CACHE_DIR`` (unset means memory-only).
+
+    Attributes:
+        hits / misses: lookup counters (observability only).
+    """
+
+    def __init__(self, root=None):
+        if root is None:
+            root = os.environ.get("REPRO_WARM_CACHE_DIR") or None
+        self.root = root
+        self._blobs = {}
+        self._unpicklable = set()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(config, stream_desc, warmup):
+        """Content key: config repr + stream description + warm-up.
+
+        ``MachineConfig`` is a plain dataclass, so its ``repr`` is a
+        stable, complete rendering of every timing parameter;
+        ``stream_desc`` must be a JSON-ish tuple that pins the stream's
+        identity (kind, workload, seed, tuning inputs...).
+        """
+        material = repr((repr(config), tuple(stream_desc), int(warmup)))
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def _disk_path(self, key):
+        return os.path.join(self.root, key[:2], key + ".ckpt")
+
+    def _load_disk(self, key):
+        try:
+            with open(self._disk_path(key), "rb") as fh:
+                return fh.read()
+        except OSError:
+            return None
+
+    def _store_disk(self, key, blob):
+        path = self._disk_path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def warmed(self, config, stream_desc, warmup, factory):
+        """A machine warmed by ``warmup`` instructions, cached.
+
+        Args:
+            config: the machine configuration (key material only; the
+                ``factory`` must build its machine from the same one).
+            stream_desc: hashable description pinning the stream.
+            warmup: instructions to fast-forward.
+            factory: zero-argument callable returning a *fresh, cold*
+                machine on a cache miss.
+
+        Returns:
+            A machine equivalent to ``factory()`` after
+            ``fast_forward(warmup)`` -- a private clone on cache hits
+            *and* on the populating miss, or the directly-warmed
+            machine when its stream cannot be pickled.
+        """
+        key = self.key_for(config, stream_desc, warmup)
+        blob = self._blobs.get(key)
+        if blob is None and self.root is not None and \
+                key not in self._unpicklable:
+            blob = self._load_disk(key)
+            if blob is not None:
+                self._blobs[key] = blob
+        if blob is not None:
+            self.hits += 1
+            return pickle.loads(blob)
+        self.misses += 1
+        machine = factory()
+        if warmup:
+            machine.fast_forward(warmup)
+        if key in self._unpicklable:
+            return machine
+        try:
+            blob = pickle.dumps(machine, pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self._unpicklable.add(key)
+            return machine
+        self._blobs[key] = blob
+        if self.root is not None:
+            self._store_disk(key, blob)
+        # Hand back a clone, not the pickled original: the cached bytes
+        # must describe the *warmed* state forever, and the caller is
+        # about to run cycles on the returned machine.
+        return pickle.loads(blob)
+
+    def clear(self):
+        """Drop the in-memory entries (disk files are left alone)."""
+        self._blobs.clear()
+        self._unpicklable.clear()
+        self.hits = 0
+        self.misses = 0

@@ -118,7 +118,7 @@ class VoltageControlDesign:
                                               actuator_kind=actuator_kind,
                                               seed=seed)
         return run_workload(stream, self.pdn, config=self.config,
-                            power_params=self.power_model.params,
+                            power_model=self.power_model,
                             controller_factory=factory,
                             warmup_instructions=warmup_instructions,
                             max_cycles=max_cycles,

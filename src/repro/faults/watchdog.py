@@ -23,6 +23,8 @@ import math
 import time
 from collections import deque
 
+import numpy as np
+
 
 class SimulationDiverged(RuntimeError):
     """The numeric state of a simulation left the physical envelope.
@@ -101,6 +103,45 @@ class NumericWatchdog:
         if voltage < self.v_min or voltage > self.v_max:
             raise SimulationDiverged(cycle, voltage, "out-of-bounds",
                                      self._tail)
+
+    def first_violation(self, voltages):
+        """Index of the first out-of-envelope sample, or ``None``.
+
+        A cheap vectorized scan used by the open-loop fast path to
+        decide how much of a batch trace is trustworthy before folding
+        it into counters.
+        """
+        v = np.asarray(voltages, dtype=float)
+        violation = ~np.isfinite(v) | (v < self.v_min) | (v > self.v_max)
+        if not violation.any():
+            return None
+        return int(np.argmax(violation))
+
+    def check_array(self, first_cycle, voltages):
+        """Fold a batch of samples; raises like per-sample :meth:`check`.
+
+        Args:
+            first_cycle: the cycle index of ``voltages[0]`` (per-sample
+                checks receive the absolute cycle, so the batch form
+                needs the offset to raise with the same cycle number).
+            voltages: the per-cycle voltage trace.
+
+        Equivalent to ``check(first_cycle + i, v)`` per sample: the tail
+        accumulates every sample up to (and including) the first
+        violation, and the raised :class:`SimulationDiverged` carries
+        the same cycle, value, reason, and trace tail.
+        """
+        v = np.asarray(voltages, dtype=float)
+        k = self.first_violation(v)
+        maxlen = self._tail.maxlen
+        end = v.size if k is None else k + 1
+        start = max(0, end - maxlen)
+        self._tail.extend(float(x) for x in v[start:end])
+        if k is None:
+            return
+        value = float(v[k])
+        reason = "non-finite" if not math.isfinite(value) else "out-of-bounds"
+        raise SimulationDiverged(first_cycle + k, value, reason, self._tail)
 
     def reset(self):
         """Drop the trace tail (between runs)."""

@@ -34,6 +34,7 @@ from repro.faults.watchdog import (
     SimulationBudgetExceeded,
     SimulationDiverged,
 )
+from repro.core.checkpoint import WarmupCache
 from repro.orchestrator.spec import KIND_THRESHOLDS, JobSpec
 from repro.pdn.discrete import DiscretePdn, PdnSimulator
 from repro.uarch.core import Machine
@@ -46,6 +47,10 @@ STATUS_ERROR = "error"
 
 #: impedance percent -> reusable PdnSimulator, per process.
 _PDN_SIMS = {}
+
+#: Warmed-machine checkpoints, per process (set ``REPRO_WARM_CACHE_DIR``
+#: to also persist them on disk alongside the result cache).
+_WARM_CACHE = WarmupCache()
 
 
 def _pdn_sim_for(design):
@@ -67,6 +72,29 @@ def _stream_for(spec, design):
             spec.warmup_instructions)
     return (get_profile(spec.workload).stream(seed=spec.seed),
             spec.warmup_instructions)
+
+
+def _warm_machine(spec, design):
+    """A warmed machine for the spec, via the checkpoint cache.
+
+    Profile streams pickle cleanly, so repeated specs over the same
+    (workload, seed, warm-up, config) -- every cell of an impedance
+    sweep, since all levels share the machine configuration -- pay the
+    functional warm-up once per process and a millisecond-scale clone
+    after that.  The stressmark sequencer carries a generator and is
+    detected as unpicklable, falling back to a direct warm-up.
+    """
+    if spec.workload == "stressmark":
+        stream_desc = ("stressmark", float(design.impedance_percent))
+    else:
+        stream_desc = ("profile", spec.workload, spec.seed)
+
+    def factory():
+        stream, _ = _stream_for(spec, design)
+        return Machine(design.config, stream)
+
+    return _WARM_CACHE.warmed(design.config, stream_desc,
+                              spec.warmup_instructions, factory)
 
 
 def _build_controller(thresholds, spec):
@@ -131,10 +159,12 @@ def execute_spec(spec, timeout_seconds=None, telemetry=None):
     if spec.kind == KIND_THRESHOLDS:
         return _thresholds_result(spec, design)
 
-    stream, warmup = _stream_for(spec, design)
-    machine = Machine(design.config, stream)
-    if warmup:
-        machine.fast_forward(warmup)
+    machine = _warm_machine(spec, design)
+    if telemetry is not None and telemetry.metrics.enabled:
+        telemetry.metrics.gauge("worker.warm_cache_hits").set(
+            _WARM_CACHE.hits)
+        telemetry.metrics.gauge("worker.warm_cache_misses").set(
+            _WARM_CACHE.misses)
     controller = None
     if spec.delay is not None:
         thresholds = design.thresholds(delay=spec.delay, error=spec.error,

@@ -28,6 +28,41 @@ from scipy.linalg import expm
 from repro.pdn.rlc import NOMINAL_CLOCK_HZ, SecondOrderPdn
 
 
+def zoh_recurrence(coeffs, x0, x1, currents):
+    """The exact scalar ZOH state recursion, shared by every PDN path.
+
+    One kernel serves :meth:`DiscretePdn.simulate`,
+    :meth:`PdnSimulator.run`, and the closed loop's open-loop fast path,
+    so batch traces are *bit-identical* to stepping
+    :meth:`PdnSimulator.step` over the same currents: the floating-point
+    operations and their order are exactly those of ``step``.  (A
+    transposed-direct-form filter such as ``scipy.signal.lfilter``
+    evaluates the same transfer function but rounds differently, which
+    is why this stays a state recursion.)
+
+    Args:
+        coeffs: ``(a00, a01, a10, a11, b0, b1, e0, e1)`` floats, with the
+            ``e`` terms already scaled by Vdd.
+        x0 / x1: current state (``x1`` is the die voltage).
+        currents: a sequence of per-cycle load currents (a plain list of
+            floats iterates fastest).
+
+    Returns:
+        ``(voltages, x0, x1)`` -- the per-cycle voltage list (the state
+        *before* each cycle's current acts, matching ``step``) and the
+        final state.
+    """
+    a00, a01, a10, a11, b0, b1, e0, e1 = coeffs
+    out = []
+    append = out.append
+    for u in currents:
+        append(x1)
+        t = a00 * x0 + a01 * x1 + b0 * u + e0
+        x1 = a10 * x0 + a11 * x1 + b1 * u + e1
+        x0 = t
+    return out, x0, x1
+
+
 class DiscretePdn:
     """ZOH discretization of a :class:`~repro.pdn.rlc.SecondOrderPdn`.
 
@@ -56,6 +91,14 @@ class DiscretePdn:
         a_inv = np.linalg.inv(a)
         self.bd = a_inv @ (self.ad - np.eye(2)) @ b
         self.ed = a_inv @ (self.ad - np.eye(2)) @ e
+        vdd = pdn.params.vdd
+        #: Scalar recursion coefficients shared with :func:`zoh_recurrence`
+        #: (``e`` terms pre-scaled by Vdd).
+        self.scalar_coeffs = (
+            float(self.ad[0, 0]), float(self.ad[0, 1]),
+            float(self.ad[1, 0]), float(self.ad[1, 1]),
+            float(self.bd[0, 0]), float(self.bd[1, 0]),
+            float(self.ed[0, 0]) * vdd, float(self.ed[1, 0]) * vdd)
 
     def describe(self):
         """JSON-safe summary of the discretized network (trace
@@ -97,15 +140,10 @@ class DiscretePdn:
         if initial_current is None:
             initial_current = float(current[0])
         x = self.equilibrium_state(initial_current)
-        vdd = self.pdn.params.vdd
-        ad = self.ad
-        bd = self.bd[:, 0]
-        ed_vdd = self.ed[:, 0] * vdd
-        out = np.empty(current.size)
-        for n in range(current.size):
-            out[n] = x[1]
-            x = ad @ x + bd * current[n] + ed_vdd
-        return out
+        out, _, _ = zoh_recurrence(self.scalar_coeffs,
+                                   float(x[0]), float(x[1]),
+                                   current.tolist())
+        return np.asarray(out)
 
 
 class PdnSimulator:
@@ -137,12 +175,9 @@ class PdnSimulator:
         #: when set, every stepped voltage is checked and divergence
         #: raises ``SimulationDiverged`` instead of emitting NaN.
         self.watchdog = watchdog
-        d = self.discrete
-        self._a00, self._a01 = float(d.ad[0, 0]), float(d.ad[0, 1])
-        self._a10, self._a11 = float(d.ad[1, 0]), float(d.ad[1, 1])
-        self._b0, self._b1 = float(d.bd[0, 0]), float(d.bd[1, 0])
-        vdd = d.pdn.params.vdd
-        self._e0, self._e1 = float(d.ed[0, 0]) * vdd, float(d.ed[1, 0]) * vdd
+        (self._a00, self._a01, self._a10, self._a11,
+         self._b0, self._b1, self._e0, self._e1) = \
+            self.discrete.scalar_coeffs
         self.reset(initial_current)
 
     @property
@@ -192,10 +227,29 @@ class PdnSimulator:
         return v
 
     def run(self, current):
-        """Convenience wrapper: step through an iterable of currents.
+        """Step through an iterable of currents; returns the voltages.
+
+        With no watchdog attached this routes through the shared
+        :func:`zoh_recurrence` kernel -- the result (and the simulator's
+        state afterwards) is bit-identical to calling :meth:`step` per
+        sample, just without the per-cycle Python dispatch.  With a
+        watchdog the per-sample loop is kept so a divergence raises at
+        exactly the offending cycle.
 
         Returns a numpy array of the per-cycle voltages.
         """
+        if self.watchdog is None:
+            if not isinstance(current, (list, np.ndarray)):
+                current = list(current)
+            currents = np.asarray(current, dtype=float).tolist()
+            # The instance slots (not discrete.scalar_coeffs) are the
+            # source of truth: tests doctor them to force divergence.
+            coeffs = (self._a00, self._a01, self._a10, self._a11,
+                      self._b0, self._b1, self._e0, self._e1)
+            out, self._x0, self._x1 = zoh_recurrence(
+                coeffs, self._x0, self._x1, currents)
+            self.cycles += len(out)
+            return np.asarray(out)
         out = [self.step(i) for i in current]
         return np.asarray(out)
 

@@ -11,6 +11,8 @@ the actuator has stopped the structure's clock, and forced to 1.0 if the
 actuator is phantom-firing it.
 """
 
+import numpy as np
+
 from repro.isa.opcodes import InstrClass
 from repro.power.params import DL1_GROUP, FU_GROUP, IL1_GROUP, PowerParams
 
@@ -42,6 +44,31 @@ class PowerModel:
             "fp_alu": config.latencies[InstrClass.FALU],
             "fp_mult": config.latencies[InstrClass.FMULT],
         }
+        # Per-unit weights and denominators hoisted out of the per-cycle
+        # :meth:`power` path (params and config are fixed at construction;
+        # mutating them afterwards is unsupported -- build a new model).
+        params = self.params
+        st = params.structures
+        self._base = params.base_power
+        self._idle = params.idle_factor
+        self._gatedf = params.gated_factor
+        self._spread = params.spread_multicycle
+        self._fu_lump = (st["int_alu"] + st["int_mult"] + st["fp_alu"]
+                         + st["fp_mult"])
+        self._w_fu = (st["int_alu"], st["int_mult"], st["fp_alu"],
+                      st["fp_mult"])
+        self._n_fu = (config.n_int_alu, config.n_int_mult,
+                      config.n_fp_alu, config.n_fp_mult)
+        e = self._pool_issue_energy_cycles
+        self._e_fu = (e["int_alu"], e["int_mult"], e["fp_alu"],
+                      e["fp_mult"])
+        self._w_misc = (st["l1d"], st["l1i"], st["bpred"], st["decode"],
+                        st["ruu"], st["lsq"], st["regfile"], st["l2"],
+                        st["memctl"], st["resultbus"])
+        self._ruu_denom = 3.0 * config.issue_width
+        self._n_mem_ports = config.n_mem_ports
+        self._decode_width = config.decode_width
+        self._issue_width = config.issue_width
 
     # ------------------------------------------------------------------
     # Per-cycle conversion
@@ -121,76 +148,199 @@ class PowerModel:
         Fused equivalent of ``sum(breakdown(activity).values())`` --
         the closed loop calls this every cycle, so it avoids building
         the per-structure dictionaries (kept exactly in sync by the
-        ``test_breakdown_sums_to_power`` regression test).
+        ``test_breakdown_sums_to_power`` regression test) and reads the
+        per-unit weights precomputed in ``__init__`` instead of the
+        params dictionaries.  The arithmetic (operations and their
+        order) is unchanged, so the totals are bit-identical to the
+        pre-hoisted form -- and to :meth:`power_batch`.
         """
-        params = self.params
-        s = params.structures
-        idle = params.idle_factor
-        gated = params.gated_factor
-        cfg = self.config
-        total = params.base_power
-
-        def contrib(watts, fraction):
-            return watts * (fraction if fraction > idle else idle)
+        idle = self._idle
+        total = self._base
 
         # FU group.
         if activity.fu_phantom:
-            total += s["int_alu"] + s["int_mult"] + s["fp_alu"] + s["fp_mult"]
+            total += self._fu_lump
         elif activity.fu_gated:
-            total += (s["int_alu"] + s["int_mult"] + s["fp_alu"]
-                      + s["fp_mult"]) * gated
-        elif params.spread_multicycle:
-            total += contrib(s["int_alu"],
-                             activity.busy_int_alu / cfg.n_int_alu)
-            total += contrib(s["int_mult"],
-                             activity.busy_int_mult / cfg.n_int_mult)
-            total += contrib(s["fp_alu"], activity.busy_fp_alu / cfg.n_fp_alu)
-            total += contrib(s["fp_mult"],
-                             activity.busy_fp_mult / cfg.n_fp_mult)
+            total += self._fu_lump * self._gatedf
+        elif self._spread:
+            w_ia, w_im, w_fa, w_fm = self._w_fu
+            n_ia, n_im, n_fa, n_fm = self._n_fu
+            f = activity.busy_int_alu / n_ia
+            total += w_ia * (f if f > idle else idle)
+            f = activity.busy_int_mult / n_im
+            total += w_im * (f if f > idle else idle)
+            f = activity.busy_fp_alu / n_fa
+            total += w_fa * (f if f > idle else idle)
+            f = activity.busy_fp_mult / n_fm
+            total += w_fm * (f if f > idle else idle)
         else:
-            e = self._pool_issue_energy_cycles
-            total += contrib(s["int_alu"], activity.issued_int_alu
-                             * e["int_alu"] / cfg.n_int_alu)
-            total += contrib(s["int_mult"], activity.issued_int_mult
-                             * e["int_mult"] / cfg.n_int_mult)
-            total += contrib(s["fp_alu"], activity.issued_fp_alu
-                             * e["fp_alu"] / cfg.n_fp_alu)
-            total += contrib(s["fp_mult"], activity.issued_fp_mult
-                             * e["fp_mult"] / cfg.n_fp_mult)
+            w_ia, w_im, w_fa, w_fm = self._w_fu
+            n_ia, n_im, n_fa, n_fm = self._n_fu
+            e_ia, e_im, e_fa, e_fm = self._e_fu
+            f = activity.issued_int_alu * e_ia / n_ia
+            total += w_ia * (f if f > idle else idle)
+            f = activity.issued_int_mult * e_im / n_im
+            total += w_im * (f if f > idle else idle)
+            f = activity.issued_fp_alu * e_fa / n_fa
+            total += w_fa * (f if f > idle else idle)
+            f = activity.issued_fp_mult * e_fm / n_fm
+            total += w_fm * (f if f > idle else idle)
+
+        (w_l1d, w_l1i, w_bp, w_dec, w_ruu, w_lsq, w_rf, w_l2, w_mc,
+         w_rb) = self._w_misc
+        mem_ports = self._n_mem_ports
 
         # Caches under actuator control.
         if activity.dl1_phantom:
-            total += s["l1d"]
+            total += w_l1d
         elif activity.dl1_gated:
-            total += s["l1d"] * gated
+            total += w_l1d * self._gatedf
         else:
-            total += contrib(s["l1d"], min(1.0, activity.l1d_accesses
-                                           / cfg.n_mem_ports))
+            f = min(1.0, activity.l1d_accesses / mem_ports)
+            total += w_l1d * (f if f > idle else idle)
         if activity.il1_phantom:
-            total += s["l1i"]
+            total += w_l1i
         elif activity.il1_gated:
-            total += s["l1i"] * gated
+            total += w_l1i * self._gatedf
         else:
-            total += contrib(s["l1i"], 1.0 if activity.l1i_accesses else 0.0)
+            f = 1.0 if activity.l1i_accesses else 0.0
+            total += w_l1i * (f if f > idle else idle)
 
         # Everything else.
-        total += contrib(s["bpred"], min(1.0, activity.bpred_lookups / 2.0))
-        total += contrib(s["decode"],
-                         min(1.0, activity.decoded / cfg.decode_width))
-        total += contrib(s["ruu"], min(1.0, (activity.dispatched
-                                             + activity.issued_total
-                                             + activity.writebacks)
-                                       / (3.0 * cfg.issue_width)))
-        total += contrib(s["lsq"], min(1.0, activity.issued_mem_port
-                                       / cfg.n_mem_ports))
-        total += contrib(s["regfile"], min(1.0, (activity.regfile_reads
-                                                 + activity.regfile_writes)
-                                           / (3.0 * cfg.issue_width)))
-        total += contrib(s["l2"], 1.0 if activity.l2_accesses else 0.0)
-        total += contrib(s["memctl"],
-                         1.0 if activity.memory_accesses else 0.0)
-        total += contrib(s["resultbus"], min(1.0, activity.writebacks
-                                             / cfg.issue_width))
+        f = min(1.0, activity.bpred_lookups / 2.0)
+        total += w_bp * (f if f > idle else idle)
+        f = min(1.0, activity.decoded / self._decode_width)
+        total += w_dec * (f if f > idle else idle)
+        f = min(1.0, (activity.dispatched + activity.issued_total
+                      + activity.writebacks) / self._ruu_denom)
+        total += w_ruu * (f if f > idle else idle)
+        f = min(1.0, activity.issued_mem_port / mem_ports)
+        total += w_lsq * (f if f > idle else idle)
+        f = min(1.0, (activity.regfile_reads + activity.regfile_writes)
+                / self._ruu_denom)
+        total += w_rf * (f if f > idle else idle)
+        f = 1.0 if activity.l2_accesses else 0.0
+        total += w_l2 * (f if f > idle else idle)
+        f = 1.0 if activity.memory_accesses else 0.0
+        total += w_mc * (f if f > idle else idle)
+        f = min(1.0, activity.writebacks / self._issue_width)
+        total += w_rb * (f if f > idle else idle)
+        return total
+
+    #: Activity fields :meth:`power_batch` consumes, beyond the pool
+    #: fields that depend on the spreading mode.
+    _BATCH_FLAGS = ("fu_gated", "fu_phantom", "dl1_gated", "dl1_phantom",
+                    "il1_gated", "il1_phantom")
+    _BATCH_MISC = ("l1d_accesses", "l1i_accesses", "bpred_lookups",
+                   "decoded", "dispatched", "issued_total", "writebacks",
+                   "issued_mem_port", "regfile_reads", "regfile_writes",
+                   "l2_accesses", "memory_accesses")
+
+    @property
+    def batch_fields(self):
+        """Activity attribute names :meth:`power_batch` needs, in the
+        column order its ``cols`` mapping should use."""
+        pools = (("busy_int_alu", "busy_int_mult", "busy_fp_alu",
+                  "busy_fp_mult") if self._spread else
+                 ("issued_int_alu", "issued_int_mult", "issued_fp_alu",
+                  "issued_fp_mult"))
+        return self._BATCH_FLAGS + pools + self._BATCH_MISC
+
+    def power_batch(self, cols):
+        """Per-cycle watts for a whole run at once.
+
+        Args:
+            cols: mapping of activity field name (see
+                :attr:`batch_fields`) to a 1-D float64 array of
+                per-cycle values, all the same length.
+
+        Returns:
+            A float64 array of per-cycle totals, *bit-identical* to
+            calling :meth:`power` on each cycle's activity record: every
+            element sees the same floating-point operations in the same
+            order as the scalar path, with ``np.where`` standing in for
+            the scalar branches (gating and phantom branches add their
+            lump terms exactly as the scalar code does).
+        """
+        idle = self._idle
+        gatedf = self._gatedf
+        total = np.full(len(cols["writebacks"]), self._base)
+
+        # FU group: compute the ungated continuation, then select
+        # against the phantom/gated branches per element.
+        w_ia, w_im, w_fa, w_fm = self._w_fu
+        n_ia, n_im, n_fa, n_fm = self._n_fu
+        if self._spread:
+            f = cols["busy_int_alu"] / n_ia
+            t = total + w_ia * np.where(f > idle, f, idle)
+            f = cols["busy_int_mult"] / n_im
+            t = t + w_im * np.where(f > idle, f, idle)
+            f = cols["busy_fp_alu"] / n_fa
+            t = t + w_fa * np.where(f > idle, f, idle)
+            f = cols["busy_fp_mult"] / n_fm
+            t = t + w_fm * np.where(f > idle, f, idle)
+        else:
+            e_ia, e_im, e_fa, e_fm = self._e_fu
+            f = cols["issued_int_alu"] * e_ia / n_ia
+            t = total + w_ia * np.where(f > idle, f, idle)
+            f = cols["issued_int_mult"] * e_im / n_im
+            t = t + w_im * np.where(f > idle, f, idle)
+            f = cols["issued_fp_alu"] * e_fa / n_fa
+            t = t + w_fa * np.where(f > idle, f, idle)
+            f = cols["issued_fp_mult"] * e_fm / n_fm
+            t = t + w_fm * np.where(f > idle, f, idle)
+        fu_p = cols["fu_phantom"] != 0.0
+        fu_g = cols["fu_gated"] != 0.0
+        if fu_p.any() or fu_g.any():
+            total = np.where(fu_p, total + self._fu_lump,
+                             np.where(fu_g,
+                                      total + self._fu_lump * gatedf, t))
+        else:
+            total = t
+
+        (w_l1d, w_l1i, w_bp, w_dec, w_ruu, w_lsq, w_rf, w_l2, w_mc,
+         w_rb) = self._w_misc
+        mem_ports = self._n_mem_ports
+
+        # Caches under actuator control.
+        f = np.minimum(1.0, cols["l1d_accesses"] / mem_ports)
+        t = total + w_l1d * np.where(f > idle, f, idle)
+        dl1_p = cols["dl1_phantom"] != 0.0
+        dl1_g = cols["dl1_gated"] != 0.0
+        if dl1_p.any() or dl1_g.any():
+            total = np.where(dl1_p, total + w_l1d,
+                             np.where(dl1_g, total + w_l1d * gatedf, t))
+        else:
+            total = t
+        f = np.where(cols["l1i_accesses"] != 0.0, 1.0, 0.0)
+        t = total + w_l1i * np.where(f > idle, f, idle)
+        il1_p = cols["il1_phantom"] != 0.0
+        il1_g = cols["il1_gated"] != 0.0
+        if il1_p.any() or il1_g.any():
+            total = np.where(il1_p, total + w_l1i,
+                             np.where(il1_g, total + w_l1i * gatedf, t))
+        else:
+            total = t
+
+        # Everything else.
+        f = np.minimum(1.0, cols["bpred_lookups"] / 2.0)
+        total = total + w_bp * np.where(f > idle, f, idle)
+        f = np.minimum(1.0, cols["decoded"] / self._decode_width)
+        total = total + w_dec * np.where(f > idle, f, idle)
+        f = np.minimum(1.0, (cols["dispatched"] + cols["issued_total"]
+                             + cols["writebacks"]) / self._ruu_denom)
+        total = total + w_ruu * np.where(f > idle, f, idle)
+        f = np.minimum(1.0, cols["issued_mem_port"] / mem_ports)
+        total = total + w_lsq * np.where(f > idle, f, idle)
+        f = np.minimum(1.0, (cols["regfile_reads"]
+                             + cols["regfile_writes"]) / self._ruu_denom)
+        total = total + w_rf * np.where(f > idle, f, idle)
+        f = np.where(cols["l2_accesses"] != 0.0, 1.0, 0.0)
+        total = total + w_l2 * np.where(f > idle, f, idle)
+        f = np.where(cols["memory_accesses"] != 0.0, 1.0, 0.0)
+        total = total + w_mc * np.where(f > idle, f, idle)
+        f = np.minimum(1.0, cols["writebacks"] / self._issue_width)
+        total = total + w_rb * np.where(f > idle, f, idle)
         return total
 
     def current(self, activity):

@@ -28,14 +28,19 @@ which the power model converts into amperes.
 """
 
 import heapq
+from collections import deque
 
 from repro.isa.opcodes import InstrClass
 from repro.uarch.activity import CycleActivity
 from repro.uarch.branch import CombinedPredictor
 from repro.uarch.cache import MemoryHierarchy
 from repro.uarch.config import MachineConfig
-from repro.uarch.fu import FuComplex
+from repro.uarch.fu import CLASS_POOL, FuComplex
 from repro.uarch.stats import MachineStats
+
+#: Instruction class -> the ``CycleActivity`` attribute its issue bumps
+#: (precomputed so the issue path avoids per-issue string concatenation).
+_ISSUED_ATTR = {c: "issued_" + pool for c, pool in CLASS_POOL.items()}
 from repro.uarch.window import (
     LoadStoreQueue,
     RuuEntry,
@@ -91,8 +96,8 @@ class Machine:
         self._stream = iter(stream)
         self._stream_done = False
         self._next_inst = None
-        self._fetch_queue = []  # (inst, prediction) pairs, program order
-        self._ruu = []          # RuuEntry, program order
+        self._fetch_queue = deque()  # (inst, prediction), program order
+        self._ruu = deque()          # RuuEntry, program order
         self._lsq = LoadStoreQueue(self.config.lsq_size)
         self._producer = {}     # reg index -> producing RuuEntry
         self._ready = []        # heap of (seq, RuuEntry)
@@ -117,27 +122,30 @@ class Machine:
     def step(self):
         """Simulate one clock cycle; returns the cycle's activity record."""
         activity = self.activity
+        fus = self.fus
         activity.reset(self.cycle)
-        activity.fu_gated = self.fus.gated
-        activity.fu_phantom = self.fus.phantom
-        activity.dl1_gated = self.dl1.gated
-        activity.dl1_phantom = self.dl1.phantom
-        activity.il1_gated = self.il1.gated
-        activity.il1_phantom = self.il1.phantom
+        activity.fu_gated = fus.gated
+        activity.fu_phantom = fus.phantom
+        dl1 = self.dl1
+        activity.dl1_gated = dl1.gated
+        activity.dl1_phantom = dl1.phantom
+        il1 = self.il1
+        activity.il1_gated = il1.gated
+        activity.il1_phantom = il1.phantom
 
         self._commit(activity)
         self._execute(activity)
         self._issue(activity)
         self._dispatch(activity)
         self._fetch(activity)
-        self.fus.tick()
+        fus.tick()
 
-        pools = self.fus.pools
-        activity.busy_int_alu = pools["int_alu"].busy
-        activity.busy_int_mult = pools["int_mult"].busy
-        activity.busy_fp_alu = pools["fp_alu"].busy
-        activity.busy_fp_mult = pools["fp_mult"].busy
-        activity.busy_mem_port = pools["mem_port"].busy
+        p_ia, p_im, p_fa, p_fm, p_mp = fus._pool_list
+        activity.busy_int_alu = p_ia.busy
+        activity.busy_int_mult = p_im.busy
+        activity.busy_fp_alu = p_fa.busy
+        activity.busy_fp_mult = p_fm.busy
+        activity.busy_mem_port = p_mp.busy
         activity.ruu_occupancy = len(self._ruu)
         activity.lsq_occupancy = len(self._lsq)
 
@@ -205,14 +213,14 @@ class Machine:
             squashed.append(self._next_inst)
             self._next_inst = None
         self._replay = squashed + self._replay
-        self._ruu = []
+        self._ruu = deque()
         self._lsq = LoadStoreQueue(self.config.lsq_size)
         self._producer = {}
         self._ready = []
         self._executing = []
         self._store_waiters = {}
         self._dl1_parked = []
-        self._fetch_queue = []
+        self._fetch_queue = deque()
         self._last_fetch_line = None
         self._fetch_stall_until = self.cycle + self.config.branch_penalty
         self.stats.flushes += 1
@@ -252,12 +260,12 @@ class Machine:
             entry = ruu[0]
             if entry.state != ST_DONE:
                 break
-            if entry.iclass is InstrClass.STORE:
+            if entry.is_store:
                 if self.dl1.gated:
                     break  # store commit needs the D-cache clock
                 self._data_access(entry.inst.addr, activity)
-            ruu.pop(0)
-            if entry.inst.op.iclass.is_memory:
+            ruu.popleft()
+            if entry.granule is not None:
                 self._lsq.commit(entry)
             dest = entry.inst.dest
             if dest is not None and self._producer.get(dest) is entry:
@@ -272,8 +280,9 @@ class Machine:
         fu_gated = self.fus.gated
         still = []
         for entry in self._executing:
-            frozen = fu_gated and entry.iclass not in (InstrClass.LOAD,
-                                                       InstrClass.STORE)
+            # Memory operations (the only entries with a granule) keep
+            # draining while the FU clocks are gated.
+            frozen = fu_gated and entry.granule is None
             if not frozen:
                 entry.remaining -= 1
             if entry.remaining > 0:
@@ -363,9 +372,8 @@ class Machine:
         entry.state = ST_EXECUTING
         self._executing.append(entry)
         activity.regfile_reads += len(entry.inst.srcs)
-        pool = self.fus.pool_for(iclass).name
-        setattr(activity, "issued_" + pool,
-                getattr(activity, "issued_" + pool) + 1)
+        attr = _ISSUED_ATTR[iclass]
+        setattr(activity, attr, getattr(activity, attr) + 1)
         return self._ISSUED
 
     def _dispatch(self, activity):
@@ -378,7 +386,7 @@ class Machine:
             is_mem = inst.op.iclass.is_memory
             if is_mem and self._lsq.full:
                 break
-            queue.pop(0)
+            queue.popleft()
             entry = RuuEntry(inst, prediction=prediction)
             if prediction is not None:
                 entry.mispredicted = (

@@ -7,6 +7,8 @@ to commit, and memory operations additionally hold a load/store queue
 (LSQ) entry that enforces memory ordering.
 """
 
+from collections import deque
+
 from repro.isa.opcodes import InstrClass
 
 #: Entry lifecycle states.
@@ -35,12 +37,20 @@ class RuuEntry:
         remaining: execution cycles left once ``ST_EXECUTING``.
         prediction: fetch-time branch prediction (branches only).
         mispredicted: resolved-against-prediction flag (branches only).
+        seq: dynamic sequence number (program order).
+        iclass: the instruction's :class:`InstrClass`.
+        granule: memory-ordering granule of the access (memory
+            operations only, else ``None``).  Precomputed here because
+            the LSQ ordering scans compare granules on every issue
+            attempt.
     """
 
     __slots__ = ("inst", "state", "deps", "waiters", "remaining",
-                 "prediction", "mispredicted")
+                 "prediction", "mispredicted", "seq", "iclass",
+                 "granule", "is_store")
 
     def __init__(self, inst, prediction=None):
+        iclass = inst.op.iclass
         self.inst = inst
         self.state = ST_WAITING
         self.deps = 0
@@ -48,15 +58,11 @@ class RuuEntry:
         self.remaining = 0
         self.prediction = prediction
         self.mispredicted = False
-
-    @property
-    def seq(self):
-        """Dynamic sequence number (program order)."""
-        return self.inst.seq
-
-    @property
-    def iclass(self):
-        return self.inst.op.iclass
+        self.seq = inst.seq
+        self.iclass = iclass
+        self.is_store = iclass is InstrClass.STORE
+        self.granule = (inst.addr >> MEM_GRANULE_BITS
+                        if iclass.is_memory else None)
 
     def __repr__(self):
         return "<RuuEntry #%d %s state=%d deps=%d>" % (
@@ -79,7 +85,7 @@ class LoadStoreQueue:
         if capacity <= 0:
             raise ValueError("LSQ capacity must be positive")
         self.capacity = capacity
-        self.entries = []  # program order
+        self.entries = deque()  # program order
 
     def __len__(self):
         return len(self.entries)
@@ -101,26 +107,30 @@ class LoadStoreQueue:
         Returns ``None`` when the load may proceed.  Only stores earlier
         in program order can block, so the blocking relation is acyclic
         and loads always eventually unblock.
+
+        The scans here and in :meth:`load_forwards` run on every load
+        issue attempt, so they compare the granules and store flags
+        precomputed on :class:`RuuEntry` and exploit the ``ST_*``
+        ordering (``ST_WAITING < ST_READY < ST_EXECUTING < ST_DONE``)
+        instead of membership tests.
         """
-        g = granule_of(entry.inst.addr)
+        g = entry.granule
         for other in self.entries:
             if other is entry:
                 return None
-            if (other.iclass is InstrClass.STORE and
-                    granule_of(other.inst.addr) == g and
-                    other.state in (ST_WAITING, ST_READY)):
+            if (other.is_store and other.granule == g and
+                    other.state <= ST_READY):
                 return other
         return None
 
     def load_forwards(self, entry):
         """Whether an issued, un-committed older store feeds this load."""
-        g = granule_of(entry.inst.addr)
+        g = entry.granule
         for other in self.entries:
             if other is entry:
                 return False
-            if (other.iclass is InstrClass.STORE and
-                    granule_of(other.inst.addr) == g and
-                    other.state in (ST_EXECUTING, ST_DONE)):
+            if (other.is_store and other.granule == g and
+                    other.state >= ST_EXECUTING):
                 return True
         return False
 
@@ -128,4 +138,4 @@ class LoadStoreQueue:
         """Remove the (oldest) entry at commit."""
         if not self.entries or self.entries[0] is not entry:
             raise RuntimeError("LSQ commit out of order")
-        self.entries.pop(0)
+        self.entries.popleft()

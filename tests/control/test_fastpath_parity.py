@@ -1,0 +1,367 @@
+"""Byte-parity suite for the open-loop fast path.
+
+The fast path's whole contract is *bit-identical outputs*: every array,
+counter, report byte, and raised exception must match what the lockstep
+loop produces for the same run.  These tests run both paths (the
+``force_lockstep`` escape hatch pins the slow one) and compare
+everything observable.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.emergencies import EmergencyCounter
+from repro.control.loop import VOLTAGE_BUCKETS, ClosedLoopSimulation
+from repro.control.thresholds import design_pdn
+from repro.faults.watchdog import (
+    NumericWatchdog,
+    RunBudget,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
+from repro.pdn.discrete import PdnSimulator
+from repro.power import PowerModel
+from repro.telemetry import Telemetry
+from repro.telemetry.registry import Histogram, MetricsRegistry
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.spec import get_profile
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="module")
+def model(config):
+    return PowerModel(config)
+
+
+@pytest.fixture(scope="module")
+def pdn(model):
+    return design_pdn(model, impedance_percent=200.0)
+
+
+def _loop(config, model, pdn, lockstep, metrics=False, **kw):
+    machine = Machine(config, get_profile("swim").stream(seed=11))
+    machine.fast_forward(3000)
+    telemetry = Telemetry(metrics=MetricsRegistry()) if metrics else None
+    loop = ClosedLoopSimulation(machine, model, pdn, record_traces=True,
+                                telemetry=telemetry, **kw)
+    loop.force_lockstep = lockstep
+    return loop
+
+
+def _loop_state(loop):
+    return {
+        "counter": loop.counter.summary(),
+        "energy": loop._energy,
+        "stats": loop.machine.stats.summary(),
+        "machine_cycle": loop.machine.cycle,
+        "pdn": (loop.pdn_sim._x0, loop.pdn_sim._x1, loop.pdn_sim.cycles),
+    }
+
+
+class TestCleanRunParity:
+    def test_everything_bitwise_identical(self, config, model, pdn):
+        slow = _loop(config, model, pdn, lockstep=True, metrics=True)
+        fast = _loop(config, model, pdn, lockstep=False, metrics=True)
+        assert fast.fast_path_eligible
+        assert not slow.fast_path_eligible
+        rs = slow.run(max_cycles=6000)
+        rf = fast.run(max_cycles=6000)
+        assert np.array_equal(rs.voltages, rf.voltages)
+        assert np.array_equal(rs.currents, rf.currents)
+        assert rs.energy == rf.energy
+        assert rs.cycles == rf.cycles
+        assert rs.committed == rf.committed
+        assert rs.emergencies == rf.emergencies
+        assert rs.machine_stats.summary() == rf.machine_stats.summary()
+        assert _loop_state(slow) == _loop_state(fast)
+        # The metrics exports match except the engagement counter.
+        ds = slow.telemetry.metrics.to_dict()
+        df = fast.telemetry.metrics.to_dict()
+        assert df["counters"].pop("loop.fast_path_runs") == 1
+        assert "loop.fast_path_runs" not in ds["counters"]
+        assert ds == df
+
+    def test_result_traces_are_views(self, config, model, pdn):
+        fast = _loop(config, model, pdn, lockstep=False)
+        result = fast.run(max_cycles=2000)
+        assert result.voltages.dtype == np.float64
+        assert result.voltages.shape == (2000,)
+        assert result.voltages.base is not None  # a view, not a copy
+
+    def test_max_instructions_limit_matches(self, config, model, pdn):
+        slow = _loop(config, model, pdn, lockstep=True)
+        fast = _loop(config, model, pdn, lockstep=False)
+        rs = slow.run(max_cycles=20000, max_instructions=4000)
+        rf = fast.run(max_cycles=20000, max_instructions=4000)
+        assert rs.cycles == rf.cycles
+        assert rs.committed == rf.committed
+        assert np.array_equal(rs.voltages, rf.voltages)
+
+
+class TestEligibility:
+    def test_controller_forces_lockstep(self, config, model, pdn):
+        machine = Machine(config, [])
+
+        class _Ctl:
+            actuator = None
+
+            def step(self, machine, voltage):
+                pass
+
+            def summary(self):
+                return {}
+
+        loop = ClosedLoopSimulation(machine, model, pdn, controller=_Ctl())
+        assert not loop.fast_path_eligible
+
+    def test_trace_telemetry_forces_lockstep(self, config, model, pdn):
+        machine = Machine(config, [])
+        loop = ClosedLoopSimulation(machine, model, pdn,
+                                    telemetry=Telemetry.full())
+        assert not loop.fast_path_eligible
+
+    def test_pdn_watchdog_forces_lockstep(self, config, model, pdn):
+        machine = Machine(config, [])
+        sim = PdnSimulator(pdn, clock_hz=config.clock_hz,
+                           watchdog=NumericWatchdog())
+        loop = ClosedLoopSimulation(machine, model, pdn, pdn_sim=sim)
+        assert not loop.fast_path_eligible
+
+    def test_loop_watchdog_and_traces_stay_eligible(self, config, model,
+                                                    pdn):
+        machine = Machine(config, [])
+        loop = ClosedLoopSimulation(machine, model, pdn,
+                                    record_traces=True,
+                                    watchdog=NumericWatchdog())
+        assert loop.fast_path_eligible
+
+
+class TestDivergenceParity:
+    def _trip(self, config, model, pdn, lockstep):
+        loop = _loop(config, model, pdn, lockstep=lockstep, metrics=True,
+                     watchdog=NumericWatchdog(v_min=0.993, v_max=1.02,
+                                              tail=8))
+        with pytest.raises(SimulationDiverged) as info:
+            loop.run(max_cycles=6000)
+        return loop, info.value
+
+    def test_watchdog_trip_bitwise_identical(self, config, model, pdn):
+        slow, es = self._trip(config, model, pdn, lockstep=True)
+        fast, ef = self._trip(config, model, pdn, lockstep=False)
+        assert str(es) == str(ef)
+        assert (es.cycle, es.value, es.reason) == (ef.cycle, ef.value,
+                                                   ef.reason)
+        assert es.trace_tail == ef.trace_tail
+        assert list(slow.watchdog._tail) == list(fast.watchdog._tail)
+        ss, fs = _loop_state(slow), _loop_state(fast)
+        # The PDN simulator's internal state after a trip reflects the
+        # fast path's overshoot (documented: nothing observes it
+        # post-mortem; campaign runs reset the simulator per job).
+        ss.pop("pdn")
+        fs.pop("pdn")
+        assert ss == fs
+        assert np.array_equal(slow._voltages.view(), fast._voltages.view())
+        assert np.array_equal(slow._currents.view(), fast._currents.view())
+        ds = slow.telemetry.metrics.to_dict()
+        df = fast.telemetry.metrics.to_dict()
+        df["counters"].pop("loop.fast_path_runs")
+        assert ds == df
+
+    def _nonfinite(self, config, model, pdn, lockstep):
+        # Unstable doctored recursion with no watchdog: the voltage
+        # doubles each cycle until it overflows to inf, which the
+        # emergency counter must reject identically on both paths.
+        loop = _loop(config, model, pdn, lockstep=lockstep, metrics=True,
+                     watchdog=False)
+        loop.pdn_sim._a10 = 0.0
+        loop.pdn_sim._a11 = 2.0
+        loop.pdn_sim._b1 = 0.0
+        loop.pdn_sim._e1 = 0.0
+        with pytest.raises(ValueError) as info:
+            loop.run(max_cycles=6000)
+        return loop, info.value
+
+    def test_unwatched_nonfinite_bitwise_identical(self, config, model,
+                                                   pdn):
+        slow, es = self._nonfinite(config, model, pdn, lockstep=True)
+        fast, ef = self._nonfinite(config, model, pdn, lockstep=False)
+        assert "non-finite voltage" in str(es)
+        assert str(es) == str(ef)
+        ss, fs = _loop_state(slow), _loop_state(fast)
+        # The doctored recursion's end state differs (the fast path ran
+        # the kernel over the whole batch) -- everything observable
+        # post-mortem must still match.
+        ss.pop("pdn")
+        fs.pop("pdn")
+        assert ss == fs
+        ds = slow.telemetry.metrics.to_dict()
+        df = fast.telemetry.metrics.to_dict()
+        df["counters"].pop("loop.fast_path_runs")
+        assert ds == df
+
+    def test_budget_trip_bitwise_identical(self, config, model, pdn):
+        def run(lockstep):
+            loop = _loop(config, model, pdn, lockstep=lockstep,
+                         budget=RunBudget(max_cycles=1500))
+            with pytest.raises(SimulationBudgetExceeded) as info:
+                loop.run(max_cycles=6000)
+            return loop, info.value
+
+        slow, es = run(True)
+        fast, ef = run(False)
+        assert str(es) == str(ef)
+        assert _loop_state(slow) == _loop_state(fast)
+        assert np.array_equal(slow._voltages.view(), fast._voltages.view())
+
+
+class TestWorkerReportParity:
+    def test_execute_spec_bytes_match_both_paths(self, monkeypatch):
+        from repro.orchestrator import worker
+        from repro.orchestrator.spec import JobSpec
+
+        spec = JobSpec(kind="run", workload="swim",
+                       impedance_percent=200.0, delay=None, cycles=4000,
+                       seed=11)
+        worker._WARM_CACHE.clear()
+        fast_bytes = json.dumps(worker.execute_spec(spec), sort_keys=True)
+        monkeypatch.setattr(ClosedLoopSimulation, "force_lockstep", True)
+        slow_bytes = json.dumps(worker.execute_spec(spec), sort_keys=True)
+        assert fast_bytes == slow_bytes
+
+
+class TestObserveArrayProperties:
+    @given(st.lists(st.floats(min_value=0.5, max_value=1.5,
+                              allow_nan=False), max_size=64),
+           st.lists(st.floats(min_value=0.5, max_value=1.5,
+                              allow_nan=False), max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_counter_matches_repeated_observe(self, first, second):
+        a, b = EmergencyCounter(), EmergencyCounter()
+        for v in first + second:
+            a.observe(v)
+        b.observe_array(first)
+        b.observe_array(second)
+        assert a.summary() == b.summary()
+        assert a.in_emergency == b.in_emergency
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=1.5,
+                              allow_nan=False), max_size=32),
+           st.integers(min_value=0, max_value=8))
+    @settings(max_examples=100, deadline=None)
+    def test_counter_nonfinite_prefix_fold(self, prefix, tail_len):
+        batch = prefix + [float("nan")] + [1.0] * tail_len
+        a, b = EmergencyCounter(), EmergencyCounter()
+        err_a = err_b = None
+        try:
+            for v in batch:
+                a.observe(v)
+        except ValueError as exc:
+            err_a = str(exc)
+        try:
+            b.observe_array(batch)
+        except ValueError as exc:
+            err_b = str(exc)
+        assert err_a == err_b and err_a is not None
+        assert a.summary() == b.summary()
+
+    @given(st.lists(st.floats(min_value=0.7, max_value=1.3,
+                              allow_nan=False), max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_histogram_matches_repeated_observe(self, values):
+        a = Histogram("t.a", VOLTAGE_BUCKETS)
+        b = Histogram("t.b", VOLTAGE_BUCKETS)
+        for v in values:
+            a.observe(v)
+        b.observe_array(values)
+        da, db = a.to_dict(), b.to_dict()
+        assert da == db
+
+    def test_histogram_nonfinite_prefix_fold(self):
+        # Same name on both: it appears in the error message.
+        a = Histogram("t.h", (0.0, 1.0))
+        b = Histogram("t.h", (0.0, 1.0))
+        batch = [0.5, 2.0, float("inf"), 0.1]
+        err_a = err_b = None
+        try:
+            for v in batch:
+                a.observe(v)
+        except ValueError as exc:
+            err_a = str(exc)
+        try:
+            b.observe_array(batch)
+        except ValueError as exc:
+            err_b = str(exc)
+        assert err_a == err_b and err_a is not None
+        assert a.to_dict() == b.to_dict()
+
+    def test_histogram_rejects_2d(self):
+        h = Histogram("t.h", (0.0, 1.0))
+        with pytest.raises(ValueError):
+            h.observe_array(np.zeros((2, 2)))
+
+    def test_counter_rejects_2d(self):
+        with pytest.raises(ValueError):
+            EmergencyCounter().observe_array(np.zeros((2, 2)))
+
+
+class TestPowerBatchParity:
+    def test_power_batch_matches_scalar(self, config, model):
+        import operator
+
+        machine = Machine(config, get_profile("swim").stream(seed=7))
+        machine.fast_forward(2000)
+        fields = model.batch_fields
+        getter = operator.attrgetter(*fields)
+        rows, ref = [], []
+        for i in range(1500):
+            machine.fus.gated = i % 7 == 3
+            machine.fus.phantom = i % 11 == 5
+            machine.dl1.gated = i % 5 == 2
+            machine.il1.phantom = i % 13 == 1
+            machine.step()
+            rows.append(getter(machine.activity))
+            ref.append(model.power(machine.activity))
+        arr = np.asarray(rows, dtype=float)
+        cols = {name: arr[:, i] for i, name in enumerate(fields)}
+        assert np.array_equal(model.power_batch(cols), np.asarray(ref))
+
+    def test_power_matches_breakdown_sum(self, config, model):
+        machine = Machine(config, get_profile("swim").stream(seed=7))
+        machine.fast_forward(2000)
+        for _ in range(200):
+            machine.step()
+            total = model.power(machine.activity)
+            parts = sum(model.breakdown(machine.activity).values())
+            assert total == pytest.approx(parts, abs=1e-12)
+
+
+class TestZohKernelParity:
+    def test_run_matches_step_bitwise(self, config, pdn):
+        currents = (20.0 + 10.0 * np.sin(np.arange(400) / 7.0)).tolist()
+        a = PdnSimulator(pdn, clock_hz=config.clock_hz,
+                         initial_current=20.0)
+        b = PdnSimulator(pdn, clock_hz=config.clock_hz,
+                         initial_current=20.0)
+        stepped = np.asarray([a.step(i) for i in currents])
+        batch = b.run(currents)
+        assert np.array_equal(stepped, batch)
+        assert a._x0 == b._x0 and a._x1 == b._x1
+        assert a.cycles == b.cycles
+
+    def test_simulate_matches_run(self, config, pdn):
+        from repro.pdn.discrete import DiscretePdn
+
+        currents = np.linspace(15.0, 45.0, 300)
+        discrete = DiscretePdn(pdn, clock_hz=config.clock_hz)
+        sim = PdnSimulator(discrete, initial_current=float(currents[0]))
+        assert np.array_equal(discrete.simulate(currents),
+                              sim.run(currents))

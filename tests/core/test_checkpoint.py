@@ -1,0 +1,96 @@
+"""Tests for the warm-state checkpoint cache."""
+
+import pickle
+
+import pytest
+
+from repro.core.checkpoint import WarmupCache
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.spec import get_profile
+from repro.workloads.stressmark import StressmarkSpec, stressmark_stream
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig()
+
+
+def _factory(config, seed=11):
+    return lambda: Machine(config, get_profile("swim").stream(seed=seed))
+
+
+def _run_cycles(machine, n):
+    return [machine.step().committed for _ in range(n)]
+
+
+class TestWarmupCache:
+    def test_hit_returns_equivalent_machine(self, config):
+        cache = WarmupCache(root=False or None)
+        desc = ("profile", "swim", 11)
+        m1 = cache.warmed(config, desc, 2000, _factory(config))
+        m2 = cache.warmed(config, desc, 2000, _factory(config))
+        assert cache.misses == 1 and cache.hits == 1
+        assert m1 is not m2
+        # The clone must *behave* identically: same committed counts
+        # over a timed region, same cache/predictor decisions.
+        assert _run_cycles(m1, 500) == _run_cycles(m2, 500)
+        assert m1.stats.committed == m2.stats.committed
+
+    def test_clone_matches_direct_warmup(self, config):
+        cache = WarmupCache(root=None)
+        cached = cache.warmed(config, ("profile", "swim", 11), 2000,
+                              _factory(config))
+        direct = _factory(config)()
+        direct.fast_forward(2000)
+        assert _run_cycles(cached, 500) == _run_cycles(direct, 500)
+
+    def test_key_separates_inputs(self, config):
+        k = WarmupCache.key_for
+        base = k(config, ("profile", "swim", 11), 2000)
+        assert k(config, ("profile", "swim", 12), 2000) != base
+        assert k(config, ("profile", "art", 11), 2000) != base
+        assert k(config, ("profile", "swim", 11), 2001) != base
+        other = MachineConfig(n_int_alu=config.n_int_alu + 1)
+        assert k(other, ("profile", "swim", 11), 2000) != base
+
+    def test_disk_persistence(self, config, tmp_path):
+        desc = ("profile", "swim", 11)
+        first = WarmupCache(root=str(tmp_path))
+        warmed = first.warmed(config, desc, 2000, _factory(config))
+        # A second cache (a different worker process) hits the disk.
+        second = WarmupCache(root=str(tmp_path))
+        clone = second.warmed(config, desc, 2000, _factory(config))
+        assert second.hits == 1 and second.misses == 0
+        assert _run_cycles(warmed, 300) == _run_cycles(clone, 300)
+
+    def test_unpicklable_stream_falls_back(self, config):
+        cache = WarmupCache(root=None)
+        spec = StressmarkSpec()
+
+        def factory():
+            return Machine(config, stressmark_stream(spec))
+
+        desc = ("stressmark", 200.0)
+        m1 = cache.warmed(config, desc, 500, factory)
+        m2 = cache.warmed(config, desc, 500, factory)
+        # No caching, but both warmed and independent.
+        assert cache.hits == 0 and cache.misses == 2
+        assert m1 is not m2
+        with pytest.raises(Exception):
+            pickle.dumps(m1)
+
+    def test_zero_warmup_skips_fast_forward(self, config):
+        cache = WarmupCache(root=None)
+        machine = cache.warmed(config, ("profile", "swim", 11), 0,
+                               _factory(config))
+        assert machine.cycle == 0
+
+    def test_clear_resets(self, config):
+        cache = WarmupCache(root=None)
+        desc = ("profile", "swim", 11)
+        cache.warmed(config, desc, 1000, _factory(config))
+        cache.clear()
+        assert cache.hits == 0 and cache.misses == 0
+        cache.warmed(config, desc, 1000, _factory(config))
+        assert cache.misses == 1

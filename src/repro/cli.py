@@ -14,9 +14,15 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
   faults across workloads and report resilience (emergencies missed,
   IPC lost, fail-safe activations).
 * ``sweep`` -- an orchestrated grid (workloads x impedance levels x
-  controllers) run through the parallel, cache-backed orchestrator;
-  emits one merged byte-stable JSON report.  ``REPRO_JOBS`` sets the
-  worker count, ``REPRO_CACHE_DIR`` moves the result cache.
+  controllers) run through the parallel, cache-backed, crash-tolerant
+  orchestrator; emits one merged byte-stable JSON report.
+  ``REPRO_JOBS`` sets the worker count, ``REPRO_CACHE_DIR`` moves the
+  result cache.  ``--journal PATH`` write-ahead-logs every job state
+  transition; after a crash, kill, or Ctrl-C, ``sweep --resume PATH``
+  replays the journal and finishes only the remainder.  Exit codes
+  are load-bearing for CI: 0 all cells ok, 1 at least one cell ended
+  ``diverged``/``budget``/``error``/``crashed``, 2 usage error, 3
+  interrupted by SIGINT/SIGTERM (journal flushed, resumable).
 * ``trace`` (alias ``run``) -- one fully instrumented closed-loop run:
   cycle-stamped events to Chrome trace-event JSON (``--trace-out``,
   loadable in Perfetto / ``chrome://tracing``), byte-stable JSONL
@@ -25,7 +31,9 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
 """
 
 import argparse
+import os
 import sys
+import tempfile
 
 from repro.analysis.distributions import VoltageDistribution
 from repro.analysis.metrics import (
@@ -42,6 +50,16 @@ from repro.core import (
 )
 from repro.faults.campaign import FAULT_LIBRARY, run_campaign
 from repro.workloads.spec import SPEC2000
+
+#: ``sweep`` exit codes (documented in the README exit-code table).
+EXIT_OK = 0
+EXIT_CELL_FAILURES = 1
+EXIT_USAGE = 2
+EXIT_INTERRUPTED = 3
+
+#: Cell statuses that make ``sweep`` exit non-zero: a CI grid must
+#: fail loudly instead of shipping a green partial report.
+FAILURE_STATUSES = ("budget", "crashed", "diverged", "error")
 
 
 def _add_common(parser):
@@ -117,9 +135,10 @@ def build_parser():
 
     p = sub.add_parser("sweep",
                        help="orchestrated grid sweep with result caching")
-    p.add_argument("--workloads", nargs="+", required=True,
+    p.add_argument("--workloads", nargs="+", default=None,
                    metavar="WORKLOAD",
-                   help="benchmark names (or 'stressmark')")
+                   help="benchmark names (or 'stressmark'); required "
+                        "unless --resume supplies the grid")
     p.add_argument("--impedances", nargs="+", type=float, default=[200.0],
                    metavar="PCT",
                    help="impedance levels, %% of target (default: 200)")
@@ -140,6 +159,18 @@ def build_parser():
                    help="per-cell wall-clock budget, seconds")
     p.add_argument("--retries", type=int, default=1,
                    help="retries for transiently failing cells (default 1)")
+    p.add_argument("--crash-retries", type=int, default=2,
+                   help="retries for cells whose worker process dies; "
+                        "one more death marks the cell 'crashed' "
+                        "(default 2)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="write-ahead-log every job state transition to "
+                        "this JSONL file (fsync'd; makes the sweep "
+                        "resumable after a crash or kill)")
+    p.add_argument("--resume", metavar="JOURNAL", default=None,
+                   help="resume the sweep recorded in JOURNAL: replay "
+                        "finished cells, run only the remainder, keep "
+                        "journalling to the same file")
     p.add_argument("--no-cache", action="store_true",
                    help="run every cell; do not read or write the cache")
     p.add_argument("--invalidate", action="store_true",
@@ -268,6 +299,24 @@ def _write_text(path, text):
         fh.write(text + "\n")
 
 
+def _write_text_atomic(path, text):
+    """Write ``text`` to ``path`` via a same-directory temp file and
+    :func:`os.replace`, so a crash mid-write never leaves a torn
+    report."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def _trace_metadata(args, design, controlled=True):
     """Chrome-trace ``otherData`` describing the traced run."""
     meta = {
@@ -385,31 +434,92 @@ def _parse_controller(token):
     return kind, delay, error
 
 
+def _sweep_grid(args):
+    """The (specs, settings) pair for the grid flags, or raises
+    ``ValueError`` for a bad token."""
+    from repro.orchestrator import JobSpec
+
+    controllers = [(tok, _parse_controller(tok))
+                   for tok in args.controllers]
+    specs = []
+    for workload in args.workloads:
+        for percent in args.impedances:
+            for _tok, ctrl in controllers:
+                kwargs = dict(workload=workload, cycles=args.cycles,
+                              warmup_instructions=args.warmup,
+                              seed=args.seed,
+                              impedance_percent=percent)
+                if ctrl is not None:
+                    kind, delay, error = ctrl
+                    kwargs.update(actuator_kind=kind, delay=delay,
+                                  error=error)
+                specs.append(JobSpec(**kwargs))
+    settings = {
+        "workloads": list(args.workloads),
+        "impedances": [float(p) for p in args.impedances],
+        "controllers": list(args.controllers),
+        "cycles": args.cycles, "warmup": args.warmup, "seed": args.seed,
+    }
+    return specs, settings
+
+
 def cmd_sweep(args, out):
-    """The ``sweep`` command: grid -> orchestrator -> merged JSON."""
-    from repro.orchestrator import JobSpec, ResultCache, Runner, report_json
+    """The ``sweep`` command: grid -> orchestrator -> merged JSON.
+
+    Exit codes: 0 every cell ``ok``; 1 at least one cell ended in a
+    failure status (``diverged``/``budget``/``error``/``crashed``);
+    2 usage error; 3 interrupted by SIGINT/SIGTERM (journal flushed,
+    ``--resume`` finishes the remainder).
+    """
+    from repro.orchestrator import (
+        JournalError,
+        ResultCache,
+        Runner,
+        SweepInterrupted,
+        SweepJournal,
+        replay_journal,
+        report_json,
+    )
     from repro.telemetry import MetricsRegistry, SpanProfiler, Telemetry
 
-    try:
-        controllers = [(tok, _parse_controller(tok))
-                       for tok in args.controllers]
-        specs = []
-        for workload in args.workloads:
-            for percent in args.impedances:
-                for _tok, ctrl in controllers:
-                    kwargs = dict(workload=workload, cycles=args.cycles,
-                                  warmup_instructions=args.warmup,
-                                  seed=args.seed,
-                                  impedance_percent=percent)
-                    if ctrl is not None:
-                        kind, delay, error = ctrl
-                        kwargs.update(actuator_kind=kind, delay=delay,
-                                      error=error)
-                    specs.append(JobSpec(**kwargs))
-    except ValueError as exc:
-        print("error: %s" % exc, file=sys.stderr)
-        return 2
     cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    journal_path = args.journal
+    resume_results = None
+    try:
+        if args.resume:
+            if journal_path and (os.path.abspath(journal_path)
+                                 != os.path.abspath(args.resume)):
+                raise ValueError("--journal must name the same file as "
+                                 "--resume (or be omitted)")
+            journal_path = args.resume
+            try:
+                replayed = replay_journal(journal_path,
+                                          expected_salt=cache.salt)
+            except OSError as exc:
+                raise ValueError("cannot resume: %s" % exc)
+            if args.workloads:
+                # An explicitly-given grid wins; journalled cells are
+                # still reused wherever their content hashes match.
+                specs, settings = _sweep_grid(args)
+            else:
+                specs = list(replayed.specs)
+                settings = dict(replayed.settings)
+            if not specs:
+                raise ValueError("journal %s holds no job specs (give "
+                                 "--workloads to supply a grid)"
+                                 % journal_path)
+            resume_results = replayed.results
+            print("sweep: resuming %s (%d journalled cell(s), %d "
+                  "reusable)" % (journal_path, len(replayed.specs),
+                                 len(resume_results)), file=sys.stderr)
+        else:
+            if not args.workloads:
+                raise ValueError("--workloads is required (or resume a "
+                                 "journal with --resume)")
+            specs, settings = _sweep_grid(args)
+    except (ValueError, JournalError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
     if args.invalidate:
         dropped = sum(cache.invalidate(spec) for spec in specs)
         print("sweep: invalidated %d cached cell(s)" % dropped,
@@ -417,36 +527,65 @@ def cmd_sweep(args, out):
     telemetry = (Telemetry(metrics=MetricsRegistry(),
                            profiler=SpanProfiler())
                  if args.metrics_out else None)
+    journal = None
+    if journal_path:
+        try:
+            journal = SweepJournal(journal_path,
+                                   fresh=args.resume is None)
+        except (OSError, JournalError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
+        if args.resume:
+            journal.resumed()
+            known = set(replayed.spec_hashes())
+            for spec in specs:
+                if spec.content_hash() not in known:
+                    journal.queued(spec)
+        else:
+            journal.begin_sweep(specs, settings=settings,
+                                salt=cache.salt)
     runner = Runner(jobs=args.jobs, cache=cache,
                     timeout_seconds=args.timeout, retries=args.retries,
+                    crash_retries=args.crash_retries,
+                    journal=journal, resume_results=resume_results,
                     telemetry=telemetry)
-    outcomes = runner.run(specs)
-    settings = {
-        "workloads": list(args.workloads),
-        "impedances": [float(p) for p in args.impedances],
-        "controllers": list(args.controllers),
-        "cycles": args.cycles, "warmup": args.warmup, "seed": args.seed,
-    }
+    try:
+        outcomes = runner.run(specs)
+    except SweepInterrupted as exc:
+        if journal is not None:
+            journal.close()
+        print("sweep: interrupted after %d/%d cell(s)%s"
+              % (len(exc.outcomes), len(specs),
+                 ("; finish with: repro-didt sweep --resume %s"
+                  % journal_path) if journal_path else ""),
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    if journal is not None:
+        journal.end()
+        journal.close()
     text = report_json(outcomes, settings,
                        execution=args.execution_detail)
     if args.json == "-":
         print(text, file=out)
     else:
-        with open(args.json, "w") as fh:
-            fh.write(text + "\n")
+        _write_text_atomic(args.json, text)
     if args.metrics_out:
         _write_text(args.metrics_out, telemetry.metrics.to_json())
         print("metrics written to %s" % args.metrics_out,
               file=sys.stderr)
     hits = sum(1 for o in outcomes if o.cached)
-    errors = sum(1 for o in outcomes
-                 if o.result.get("status") == "error")
+    resumed = sum(1 for o in outcomes if o.source == "journal")
+    failures = sum(1 for o in outcomes
+                   if o.result.get("status") in FAILURE_STATUSES)
+    if resumed:
+        print("sweep: replayed %d cell(s) from the journal" % resumed,
+              file=sys.stderr)
     print("sweep: %d jobs, %d cache hits, %d executed, %d errors"
-          % (len(outcomes), hits, len(outcomes) - hits, errors),
+          % (len(outcomes), hits, len(outcomes) - hits, failures),
           file=sys.stderr)
     if args.json != "-":
         print("report written to %s" % args.json, file=sys.stderr)
-    return 1 if errors else 0
+    return EXIT_CELL_FAILURES if failures else EXIT_OK
 
 
 def cmd_trace(args, out):

@@ -14,6 +14,10 @@ what happens outside it:
 * :mod:`repro.faults.campaign` -- the fault-campaign runner sweeping
   fault types x workloads and emitting a machine-readable resilience
   report (imported lazily; ``from repro.faults import campaign``).
+* :mod:`repro.faults.chaos` -- process-level chaos: kill, hang, or
+  OOM an orchestrator worker at a chosen job, driven by the
+  ``REPRO_CHAOS`` environment variable in the child, to exercise the
+  supervised pool's crash recovery end to end.
 
 The matching fail-safe lives in
 :class:`repro.control.controller.PlausibilityMonitor`: a controller
@@ -21,6 +25,12 @@ armed with one degrades to the pessimistic current-driven ramp when
 its sensor stops being believable.
 """
 
+from repro.faults.chaos import (
+    CHAOS_ENV,
+    CHAOS_MODES,
+    CHAOS_ONCE_ENV,
+    ProcessChaos,
+)
 from repro.faults.injectors import (
     ActuatorFault,
     BurstNoiseFault,
@@ -59,4 +69,8 @@ __all__ = [
     "RunBudget",
     "SimulationBudgetExceeded",
     "SimulationDiverged",
+    "ProcessChaos",
+    "CHAOS_ENV",
+    "CHAOS_ONCE_ENV",
+    "CHAOS_MODES",
 ]

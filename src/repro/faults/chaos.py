@@ -1,0 +1,178 @@
+"""Process-level chaos injection for orchestrator workers.
+
+The injectors in :mod:`repro.faults.injectors` corrupt the *signal
+path* (sensor readings, actuator commands); the chaos monkey here
+corrupts the *execution substrate*: it makes a worker process die,
+hang, or run out of memory at a chosen point, so the supervised pool's
+crash detection, requeueing, and poison isolation can be exercised
+deterministically.
+
+Chaos is enabled purely through the environment -- the worker child
+reads it, the orchestrating parent never does -- which matches how the
+real failure arrives (the OOM killer does not consult your call graph):
+
+* ``REPRO_CHAOS`` -- ``MODE@TRIGGER``:
+
+  - ``MODE`` is ``kill`` (SIGKILL to self: the OOM-killer shape),
+    ``exit`` (``os._exit``: interpreter abort), ``hang`` (sleep past
+    any deadline: a wedged worker), or ``oom`` (raise ``MemoryError``:
+    an allocation failure the worker survives as a Python exception);
+  - ``TRIGGER`` is either an integer *N* (fire on the N-th job this
+    worker process executes, 1-based) or ``spec=HEXPREFIX`` (fire on
+    any job whose spec content hash starts with the prefix -- this is
+    how a *poison spec* is made: it takes its worker down on every
+    attempt, on every worker).
+
+* ``REPRO_CHAOS_ONCE`` -- optional directory holding a fire-once
+  marker.  The first worker to trigger claims the marker atomically
+  (``O_CREAT|O_EXCL``) and fires; everyone else proceeds healthy.
+  This turns "every worker dies at job N" into "exactly one worker
+  dies, once, sweep-wide" -- the transient-crash shape.
+
+Examples::
+
+    REPRO_CHAOS=kill@2 REPRO_CHAOS_ONCE=/tmp/m  repro-didt sweep ...
+    REPRO_CHAOS=oom@spec=3f9a                   repro-didt sweep ...
+"""
+
+import os
+import signal
+import time
+
+#: Environment variable selecting the chaos mode and trigger.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Environment variable naming the fire-once marker directory.
+CHAOS_ONCE_ENV = "REPRO_CHAOS_ONCE"
+
+#: Marker file name inside the fire-once directory.
+ONCE_MARKER = "chaos.fired"
+
+#: Understood chaos modes.
+CHAOS_MODES = ("kill", "exit", "hang", "oom")
+
+#: Exit status used by the ``exit`` mode (distinctive in logs).
+CHAOS_EXIT_CODE = 86
+
+
+class ProcessChaos:
+    """One armed chaos fault for the current worker process.
+
+    Args:
+        mode: one of :data:`CHAOS_MODES`.
+        ordinal: fire on this 1-based per-process job count...
+        spec_prefix: ...or on any spec whose content hash starts with
+            this lowercase hex prefix (exactly one trigger must be
+            given).
+        once_dir: directory for the sweep-wide fire-once marker, or
+            ``None`` to fire every time the trigger matches.
+        hang_seconds: how long the ``hang`` mode sleeps.
+    """
+
+    def __init__(self, mode, ordinal=None, spec_prefix=None,
+                 once_dir=None, hang_seconds=3600.0):
+        if mode not in CHAOS_MODES:
+            raise ValueError("unknown chaos mode %r (known: %s)"
+                             % (mode, ", ".join(CHAOS_MODES)))
+        if (ordinal is None) == (spec_prefix is None):
+            raise ValueError("exactly one of ordinal/spec_prefix "
+                             "must be given")
+        if ordinal is not None:
+            ordinal = int(ordinal)
+            if ordinal < 1:
+                raise ValueError("chaos ordinal must be >= 1, got %d"
+                                 % ordinal)
+        if spec_prefix is not None:
+            spec_prefix = str(spec_prefix).lower()
+            if not spec_prefix or any(c not in "0123456789abcdef"
+                                      for c in spec_prefix):
+                raise ValueError("chaos spec prefix must be non-empty "
+                                 "hex, got %r" % spec_prefix)
+        self.mode = mode
+        self.ordinal = ordinal
+        self.spec_prefix = spec_prefix
+        self.once_dir = str(once_dir) if once_dir else None
+        self.hang_seconds = float(hang_seconds)
+        self.fired = False
+
+    @classmethod
+    def parse(cls, text, once_dir=None, **kwargs):
+        """Build from a ``MODE@TRIGGER`` string (the env-var syntax)."""
+        mode, sep, trigger = str(text).partition("@")
+        if not sep or not trigger:
+            raise ValueError("chaos spec must look like MODE@TRIGGER "
+                             "(e.g. kill@2, oom@spec=3f9a), got %r"
+                             % (text,))
+        if trigger.startswith("spec="):
+            return cls(mode, spec_prefix=trigger[len("spec="):],
+                       once_dir=once_dir, **kwargs)
+        try:
+            ordinal = int(trigger)
+        except ValueError:
+            raise ValueError("chaos trigger must be an integer job "
+                             "ordinal or spec=HEXPREFIX, got %r"
+                             % trigger)
+        return cls(mode, ordinal=ordinal, once_dir=once_dir, **kwargs)
+
+    @classmethod
+    def from_env(cls, environ=None):
+        """The armed chaos fault from ``REPRO_CHAOS``, or ``None``."""
+        environ = os.environ if environ is None else environ
+        text = environ.get(CHAOS_ENV)
+        if not text:
+            return None
+        return cls.parse(text, once_dir=environ.get(CHAOS_ONCE_ENV))
+
+    # -- triggering ----------------------------------------------------
+
+    def matches(self, ordinal, spec_hash=None):
+        """Whether this job (per-process ordinal + spec hash) triggers."""
+        if self.ordinal is not None:
+            return ordinal == self.ordinal
+        return bool(spec_hash) and str(spec_hash).startswith(
+            self.spec_prefix)
+
+    def _claim_once(self):
+        """Atomically claim the sweep-wide fire-once marker."""
+        if self.once_dir is None:
+            return True
+        os.makedirs(self.once_dir, exist_ok=True)
+        path = os.path.join(self.once_dir, ONCE_MARKER)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.write(fd, b"%d\n" % os.getpid())
+        os.close(fd)
+        return True
+
+    def fire(self, ordinal, spec_hash=None):
+        """Inject the fault if this job triggers it.
+
+        Returns ``False`` when nothing fired.  ``oom`` raises
+        ``MemoryError``; ``kill``/``exit`` do not return at all;
+        ``hang`` sleeps (far past any supervisor deadline), then
+        returns ``True`` if somehow still alive.
+        """
+        if not self.matches(ordinal, spec_hash):
+            return False
+        if not self._claim_once():
+            return False
+        self.fired = True
+        if self.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif self.mode == "exit":
+            os._exit(CHAOS_EXIT_CODE)
+        elif self.mode == "hang":
+            deadline = time.monotonic() + self.hang_seconds
+            while time.monotonic() < deadline:
+                time.sleep(min(1.0, self.hang_seconds))
+            return True
+        raise MemoryError("chaos: simulated worker OOM (job %d)"
+                          % ordinal)
+
+    def __repr__(self):
+        trigger = ("@%d" % self.ordinal if self.ordinal is not None
+                   else "@spec=%s" % self.spec_prefix)
+        return "<ProcessChaos %s%s%s>" % (
+            self.mode, trigger, " once" if self.once_dir else "")

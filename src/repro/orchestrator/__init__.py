@@ -19,9 +19,21 @@ A sweep in four lines::
              for w in ("swim", "mgrid") for p in (100, 200)]
     outcomes = Runner(cache=ResultCache()).run(specs)
 
+Crash tolerance: the runner fans out over a
+:class:`~repro.orchestrator.supervise.SupervisedPool` that detects
+worker death and hangs, requeues the in-flight jobs, restarts workers
+with seeded exponential backoff, and isolates poison specs into
+structured ``crashed`` outcomes.  Pair it with a
+:class:`~repro.orchestrator.journal.SweepJournal` (an fsync'd,
+checksummed JSONL write-ahead log) and an interrupted or killed sweep
+is resumable: :func:`~repro.orchestrator.journal.replay_journal`
+reconstructs the grid and the finished cells, and ``repro-didt sweep
+--resume`` finishes the remainder byte-identically.
+
 Environment knobs: ``REPRO_JOBS`` (worker count), ``REPRO_CACHE_DIR``
-(cache location).  The ``repro-didt sweep`` CLI subcommand fronts this
-package for grid runs.
+(cache location), ``REPRO_CHAOS``/``REPRO_CHAOS_ONCE`` (worker chaos
+injection, see :mod:`repro.faults.chaos`).  The ``repro-didt sweep``
+CLI subcommand fronts this package for grid runs.
 """
 
 from repro.orchestrator.cache import (
@@ -29,10 +41,18 @@ from repro.orchestrator.cache import (
     ResultCache,
     default_cache_root,
     default_salt,
+    result_checksum,
+)
+from repro.orchestrator.journal import (
+    JournalError,
+    JournalState,
+    SweepJournal,
+    replay_journal,
 )
 from repro.orchestrator.runner import (
     JobOutcome,
     Runner,
+    SweepInterrupted,
     default_jobs,
     merged_report,
     report_json,
@@ -42,11 +62,18 @@ from repro.orchestrator.spec import (
     KIND_THRESHOLDS,
     JobSpec,
 )
+from repro.orchestrator.supervise import (
+    BackoffPolicy,
+    SupervisedPool,
+)
 from repro.orchestrator.worker import (
     STATUS_BUDGET,
+    STATUS_CRASHED,
     STATUS_DIVERGED,
     STATUS_ERROR,
     STATUS_OK,
+    crashed_result,
+    error_result,
     execute_spec,
 )
 
@@ -58,14 +85,25 @@ __all__ = [
     "CACHEABLE_STATUSES",
     "default_cache_root",
     "default_salt",
+    "result_checksum",
+    "SweepJournal",
+    "JournalState",
+    "JournalError",
+    "replay_journal",
     "Runner",
     "JobOutcome",
+    "SweepInterrupted",
     "default_jobs",
     "merged_report",
     "report_json",
+    "SupervisedPool",
+    "BackoffPolicy",
     "execute_spec",
+    "error_result",
+    "crashed_result",
     "STATUS_OK",
     "STATUS_DIVERGED",
     "STATUS_BUDGET",
     "STATUS_ERROR",
+    "STATUS_CRASHED",
 ]

@@ -10,17 +10,25 @@ can never satisfy newer code, ``hh`` is the first two hash hex digits
 (keeps directories small), and ``hash`` is the spec's content hash.
 
 Entries are written atomically (temp file + ``os.replace``) and store
-the full canonical spec next to the result; a read validates the stored
-spec against the requesting one, so a truncated file, a hash collision,
-or a hand-edited entry degrades to a cache *miss*, never a wrong or
-crashed run.  Only deterministic outcomes are worth memoizing -- the
+the full canonical spec next to the result *plus a payload checksum*
+over the result's canonical JSON; a read validates the stored spec
+against the requesting one and the checksum against the stored result,
+so a truncated file, a torn write, a hash collision, or a hand-edited
+entry degrades to a cache *miss*, never a wrong or crashed run
+(integrity failures are additionally counted in
+:attr:`ResultCache.integrity_misses`).  A writer killed mid-``put``
+leaves an orphaned ``*.tmp`` file behind; :meth:`ResultCache.
+sweep_orphans` reclaims those, and the runner calls it at the start of
+every batch.  Only deterministic outcomes are worth memoizing -- the
 runner caches ``"ok"`` and ``"diverged"`` results and re-executes
-transient ``"budget"``/``"error"`` ones.
+transient ``"budget"``/``"error"``/``"crashed"`` ones.
 """
 
+import hashlib
 import json
 import os
 import tempfile
+import time
 
 from repro import __version__
 
@@ -29,6 +37,12 @@ RESULT_SCHEMA = 1
 
 #: Statuses that are pure functions of the spec (safe to memoize).
 CACHEABLE_STATUSES = ("ok", "diverged")
+
+
+def result_checksum(result):
+    """Hex digest of a result dict's canonical JSON encoding."""
+    text = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def default_cache_root():
@@ -60,6 +74,10 @@ class ResultCache:
         self.enabled = bool(enabled)
         self.hits = 0
         self.misses = 0
+        #: Misses caused by a *present but untrustworthy* entry (bad
+        #: checksum, torn/unparsable JSON, salt or spec mismatch) plus
+        #: orphaned temp files reclaimed by :meth:`sweep_orphans`.
+        self.integrity_misses = 0
 
     def path_for(self, spec):
         """Where this spec's entry lives (whether or not it exists)."""
@@ -70,13 +88,22 @@ class ResultCache:
     def get(self, spec):
         """The cached result dict for ``spec``, or ``None`` on miss.
 
-        Any unreadable, unparsable, or mismatched entry counts as a
-        miss (and is left for the next :meth:`put` to overwrite).
+        A missing entry is a plain miss.  An entry that is *present*
+        but unreadable, unparsable, checksum-mismatched, or describing
+        a different spec is an *integrity* miss: it still returns
+        ``None`` (and is left for the next :meth:`put` to overwrite),
+        but is counted in :attr:`integrity_misses` so partial on-disk
+        state from a killed writer is observable, never silent.
         """
         if not self.enabled:
             return None
         try:
-            with open(self.path_for(spec), "r") as fh:
+            fh = open(self.path_for(spec), "r")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            with fh:
                 payload = json.load(fh)
             if payload.get("salt") != self.salt:
                 raise ValueError("salt mismatch")
@@ -85,11 +112,41 @@ class ResultCache:
             result = payload["result"]
             if not isinstance(result, dict) or "status" not in result:
                 raise ValueError("malformed result")
+            if payload.get("checksum") != result_checksum(result):
+                raise ValueError("payload checksum mismatch")
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
+            self.integrity_misses += 1
             return None
         self.hits += 1
         return result
+
+    def sweep_orphans(self, max_age_seconds=3600.0):
+        """Reclaim ``*.tmp`` files abandoned by a killed writer.
+
+        Only files older than ``max_age_seconds`` are removed, so a
+        concurrent sweep's in-flight atomic write is never yanked out
+        from under it.  Removed orphans count as integrity misses;
+        returns how many were removed.
+        """
+        if not self.enabled:
+            return 0
+        removed = 0
+        cutoff = time.time() - max_age_seconds
+        base = os.path.join(self.root, self.salt)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    pass
+        self.integrity_misses += removed
+        return removed
 
     def put(self, spec, result):
         """Store a result atomically; returns the entry path."""
@@ -100,6 +157,7 @@ class ResultCache:
             "salt": self.salt,
             "spec": spec.to_dict(),
             "result": result,
+            "checksum": result_checksum(result),
         }
         text = json.dumps(payload, sort_keys=True, indent=2)
         os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -143,5 +201,6 @@ class ResultCache:
 
     def __repr__(self):
         return ("ResultCache(root=%r, salt=%r, enabled=%r, hits=%d, "
-                "misses=%d)" % (self.root, self.salt, self.enabled,
-                                self.hits, self.misses))
+                "misses=%d, integrity_misses=%d)"
+                % (self.root, self.salt, self.enabled, self.hits,
+                   self.misses, self.integrity_misses))

@@ -1,0 +1,321 @@
+"""The durable sweep journal: an append-only JSONL write-ahead log.
+
+Every sweep that asks for one gets a journal file recording each job
+state transition as it happens::
+
+    {"event":"begin","schema":1,"salt":"v1.2.0-schema1","settings":{...},"c":"..."}
+    {"event":"queued","job":"<sha256>","spec":{...},"c":"..."}
+    {"event":"dispatched","attempt":1,"job":"<sha256>","c":"..."}
+    {"event":"done","job":"<sha256>","result":{...},"c":"..."}
+    {"event":"interrupted","c":"..."}
+
+Records are keyed by the spec's content hash (never a positional
+index), so a journal survives grid edits: resuming with a superset or
+subset of the original grid reuses exactly the cells whose hashes
+match.  Each line carries a truncated SHA-256 self-checksum (``"c"``)
+over its own canonical body; the writer flushes and ``fsync``\\ s after
+every record so a SIGKILL'd sweep loses at most the line being written.
+
+:func:`replay_journal` reconstructs the sweep state.  Its tolerance
+contract mirrors a classic WAL: a corrupt or half-written *final* line
+is dropped silently (the crash tore the tail), while corruption
+anywhere earlier raises :class:`JournalError` -- that is damage, not a
+crash artifact.  Terminal ``done`` records are last-write-wins, so
+duplicated entries (e.g. from a resumed sweep re-journalling a cache
+hit) are harmless.
+
+Only deterministic results (``ok``/``diverged`` -- the same statuses
+the :class:`~repro.orchestrator.cache.ResultCache` memoizes) are
+reusable on replay; ``budget``/``error``/``crashed`` cells re-run.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.orchestrator.cache import CACHEABLE_STATUSES
+from repro.orchestrator.spec import JobSpec
+
+#: Bump when the journal record schema changes shape.
+JOURNAL_SCHEMA = 1
+
+#: Hex digits of the per-record self-checksum.
+_CHECKSUM_LEN = 12
+
+
+class JournalError(ValueError):
+    """A journal that cannot be trusted (corruption before the tail)."""
+
+
+def _canonical(record):
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(body):
+    return hashlib.sha256(
+        _canonical(body).encode("utf-8")).hexdigest()[:_CHECKSUM_LEN]
+
+
+def encode_record(record):
+    """One journal line (no newline): canonical JSON + self-checksum."""
+    body = {k: v for k, v in record.items() if k != "c"}
+    body["c"] = _checksum({k: v for k, v in body.items() if k != "c"})
+    return _canonical(body)
+
+
+def decode_record(line):
+    """Parse and verify one journal line; raises :class:`JournalError`."""
+    try:
+        record = json.loads(line)
+    except ValueError:
+        raise JournalError("unparsable journal record: %r" % line[:80])
+    if not isinstance(record, dict) or "c" not in record:
+        raise JournalError("journal record missing checksum: %r"
+                           % line[:80])
+    body = {k: v for k, v in record.items() if k != "c"}
+    if _checksum(body) != record["c"]:
+        raise JournalError("journal record checksum mismatch: %r"
+                           % line[:80])
+    return body
+
+
+class SweepJournal:
+    """Append-only writer for one sweep's state transitions.
+
+    Args:
+        path: the journal file.  Parent directories are created.
+        fresh: refuse to write into an existing non-empty file (a fresh
+            sweep must not silently append onto an old journal; resume
+            on purpose with ``fresh=False``).
+        fsync: fsync after every record (the durability point of the
+            whole exercise; only tests should turn it off).
+    """
+
+    def __init__(self, path, fresh=False, fsync=True):
+        self.path = str(path)
+        self.fsync = bool(fsync)
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        if fresh and os.path.exists(self.path) \
+                and os.path.getsize(self.path) > 0:
+            raise JournalError(
+                "journal %s already exists; resume it with --resume or "
+                "remove it first" % self.path)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.records_written = 0
+
+    # -- low-level -----------------------------------------------------
+
+    def _write(self, record):
+        if self._fh is None:
+            raise JournalError("journal %s is closed" % self.path)
+        self._fh.write(encode_record(record) + "\n")
+        self._fh.flush()
+        if self.fsync:
+            os.fsync(self._fh.fileno())
+        self.records_written += 1
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- records -------------------------------------------------------
+
+    def begin(self, settings=None, salt=None):
+        """Header: sweep-level settings and the result-cache salt."""
+        self._write({"event": "begin", "schema": JOURNAL_SCHEMA,
+                     "settings": dict(settings or {}), "salt": salt})
+
+    def resumed(self):
+        """Marker: a later process picked this journal back up."""
+        self._write({"event": "resumed"})
+
+    def queued(self, spec):
+        """A grid cell entered the sweep (records the full spec)."""
+        self._write({"event": "queued", "job": spec.content_hash(),
+                     "spec": spec.to_dict()})
+
+    def begin_sweep(self, specs, settings=None, salt=None):
+        """Convenience: ``begin`` + one ``queued`` record per spec."""
+        self.begin(settings=settings, salt=salt)
+        for spec in specs:
+            self.queued(spec)
+
+    def dispatched(self, job_hash, attempt):
+        self._write({"event": "dispatched", "job": job_hash,
+                     "attempt": int(attempt)})
+
+    def done(self, job_hash, result):
+        """Terminal record carrying the full result payload, so resume
+        can finish a sweep even with ``--no-cache``."""
+        self._write({"event": "done", "job": job_hash, "result": result})
+
+    def crashed(self, job_hash, attempt, reason):
+        """A worker died (or hung past its deadline) holding this job."""
+        self._write({"event": "crashed", "job": job_hash,
+                     "attempt": int(attempt), "reason": str(reason)})
+
+    def failed(self, job_hash, attempt, error):
+        """The job raised; it may still be retried."""
+        self._write({"event": "failed", "job": job_hash,
+                     "attempt": int(attempt), "error": str(error)})
+
+    def interrupted(self):
+        """The sweep is shutting down early (SIGINT/SIGTERM)."""
+        self._write({"event": "interrupted"})
+
+    def end(self):
+        """The sweep ran to completion (every cell terminal)."""
+        self._write({"event": "end"})
+
+    def __repr__(self):
+        return "SweepJournal(path=%r, records=%d)" % (self.path,
+                                                      self.records_written)
+
+
+class JournalState:
+    """What :func:`replay_journal` reconstructs.
+
+    Attributes:
+        specs: the journalled :class:`JobSpec` list, in first-queued
+            order (deduplicated by content hash).
+        settings: the sweep settings from the ``begin`` record.
+        salt: the result-cache salt recorded at ``begin``.
+        results: ``{content_hash: result}`` for cells whose latest
+            terminal status is deterministic (``ok``/``diverged``) --
+            the cells a resume may skip.
+        statuses: ``{content_hash: last-seen state}`` (``queued``,
+            ``dispatched``, ``crashed``, ``failed``, or a terminal
+            result status).
+        interrupted: an ``interrupted`` record was seen.
+        ended: an ``end`` record was seen (nothing left to resume).
+        resumed: at least one ``resumed`` marker was seen.
+        dropped_tail: the final line was corrupt/truncated and ignored.
+    """
+
+    def __init__(self):
+        self.specs = []
+        self.settings = {}
+        self.salt = None
+        self.results = {}
+        self.statuses = {}
+        self.interrupted = False
+        self.ended = False
+        self.resumed = False
+        self.dropped_tail = False
+
+    def spec_hashes(self):
+        """Content hashes of the journalled specs, in queued order."""
+        return [spec.content_hash() for spec in self.specs]
+
+    def pending_specs(self):
+        """Specs without a reusable (deterministic) terminal result."""
+        return [spec for spec in self.specs
+                if spec.content_hash() not in self.results]
+
+    def __repr__(self):
+        return ("JournalState(specs=%d, reusable=%d, interrupted=%r, "
+                "ended=%r)" % (len(self.specs), len(self.results),
+                               self.interrupted, self.ended))
+
+
+def _apply(state, record, specs_by_hash):
+    event = record.get("event")
+    if event == "begin":
+        state.settings = record.get("settings") or {}
+        state.salt = record.get("salt")
+    elif event == "resumed":
+        state.resumed = True
+    elif event == "queued":
+        job = record.get("job")
+        spec_dict = record.get("spec")
+        if not isinstance(job, str) or not isinstance(spec_dict, dict):
+            raise JournalError("malformed queued record: %r" % (record,))
+        if job not in specs_by_hash:
+            try:
+                spec = JobSpec.from_dict(spec_dict)
+            except (ValueError, TypeError) as exc:
+                raise JournalError("unreplayable spec in journal: %s"
+                                   % exc)
+            if spec.content_hash() != job:
+                raise JournalError("queued record hash does not match "
+                                   "its spec (%s)" % job[:12])
+            specs_by_hash[job] = spec
+            state.specs.append(spec)
+            state.statuses.setdefault(job, "queued")
+    elif event == "dispatched":
+        job = record.get("job")
+        if job not in state.results:
+            state.statuses[job] = "dispatched"
+    elif event == "done":
+        job = record.get("job")
+        result = record.get("result")
+        if not isinstance(result, dict) or "status" not in result:
+            raise JournalError("malformed done record: %r" % (record,))
+        status = result["status"]
+        state.statuses[job] = status
+        if status in CACHEABLE_STATUSES:
+            state.results[job] = result
+        else:
+            state.results.pop(job, None)
+    elif event in ("crashed", "failed"):
+        job = record.get("job")
+        if job not in state.results:
+            state.statuses[job] = event
+    elif event == "interrupted":
+        state.interrupted = True
+    elif event == "end":
+        state.ended = True
+    # Unknown events are skipped: a newer writer may add record types,
+    # and an older reader must still recover every cell it understands.
+
+
+def replay_journal(path, expected_salt=None):
+    """Reconstruct a :class:`JournalState` from a journal file.
+
+    Args:
+        path: the journal written by :class:`SweepJournal`.
+        expected_salt: if given and the journal's ``begin`` salt
+            differs, journalled *results* are discarded (they were
+            computed by other code and must re-run) while the specs
+            survive.
+
+    Raises:
+        JournalError: corruption anywhere before the final line.  The
+        final line alone is allowed to be torn -- that is the signature
+        of a killed writer, and the journal is designed to survive it.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        raw = fh.read()
+    lines = raw.split("\n")
+    # A healthy journal ends "...record\n" -> trailing "" element.
+    last = len(lines) - 1
+    while last >= 0 and lines[last] == "":
+        last -= 1
+    state = JournalState()
+    specs_by_hash = {}
+    for pos in range(last + 1):
+        line = lines[pos]
+        try:
+            if line == "":
+                raise JournalError("blank journal record")
+            record = decode_record(line)
+        except JournalError:
+            if pos == last:
+                state.dropped_tail = True
+                break
+            raise JournalError(
+                "corrupt journal record at line %d of %s (only the "
+                "final line may be truncated)" % (pos + 1, path))
+        _apply(state, record, specs_by_hash)
+    if expected_salt is not None and state.salt is not None \
+            and state.salt != expected_salt:
+        state.results = {}
+    return state

@@ -1,4 +1,4 @@
-"""The batch runner: cache check, pool fan-out, retry, merge.
+"""The batch runner: cache check, supervised fan-out, retry, merge.
 
 The runner takes an ordered list of
 :class:`~repro.orchestrator.spec.JobSpec` and returns one
@@ -8,29 +8,54 @@ batch merge to byte-identical reports.
 
 Execution policy per job:
 
-1. a cache hit (status ``ok``/``diverged``) short-circuits execution;
-2. misses run on a ``multiprocessing`` pool (``REPRO_JOBS`` workers,
-   default the CPU count; 1 runs inline with no pool);
-3. a job that raises an *unexpected* exception is retried up to
-   ``retries`` times (transient failures: worker OOM-kill, pickling
-   hiccups), then recorded as a structured ``status="error"`` outcome
-   -- sibling jobs are never affected;
-4. deterministic outcomes are written back to the cache; transient
-   ``budget``/``error`` outcomes are not.
+1. a result replayed from a sweep journal (``resume_results``)
+   short-circuits everything;
+2. a cache hit (status ``ok``/``diverged``) short-circuits execution;
+3. misses run on a :class:`~repro.orchestrator.supervise.
+   SupervisedPool` (``REPRO_JOBS`` workers, default the CPU count; 1
+   runs inline with no pool) that survives worker death: a SIGKILLed,
+   OOM-killed, or hung worker is detected, its in-flight job requeued,
+   and a replacement spawned after deterministic seeded backoff;
+4. a job that *raises* is retried up to ``retries`` times, then
+   recorded as a structured ``status="error"`` outcome; a job that
+   takes its worker down more than ``crash_retries`` times is poisoned
+   into ``status="crashed"`` -- sibling jobs are never affected;
+5. deterministic outcomes are written back to the cache; transient
+   ``budget``/``error``/``crashed`` outcomes are not.
+
+Crash tolerance: pass a :class:`~repro.orchestrator.journal.
+SweepJournal` and every state transition is durably logged before the
+batch moves on.  SIGINT/SIGTERM trigger a *graceful* shutdown -- the
+journal is flushed, workers are torn down, and :class:`SweepInterrupted`
+carries the structured partial outcomes out to the caller (the inline
+and pool paths behave identically).  ``repro-didt sweep --resume``
+replays the journal and finishes only the remainder.
 
 Progress goes to stderr (one line per finished job) when enabled; it is
 on by default only when stderr is a terminal.
 """
 
+import contextlib
 import json
-import multiprocessing
 import os
+import signal
 import sys
+import threading
 import time
 import traceback
 
 from repro.orchestrator.cache import CACHEABLE_STATUSES, ResultCache
-from repro.orchestrator.worker import error_result, execute_spec
+from repro.orchestrator.supervise import (
+    END_ERROR,
+    END_OK,
+    BackoffPolicy,
+    SupervisedPool,
+)
+from repro.orchestrator.worker import (
+    crashed_result,
+    error_result,
+    execute_spec,
+)
 from repro.telemetry import NULL_TELEMETRY
 
 
@@ -48,20 +73,42 @@ def default_jobs():
     return os.cpu_count() or 1
 
 
-def _pool_execute(payload):
-    """Pool target: run one spec dict, shipping exceptions as data.
+class SweepInterrupted(RuntimeError):
+    """A batch shut down early on SIGINT/SIGTERM.
 
-    Returns ``(kind, value, wall_seconds)``; the wall time is measured
-    in the worker so the parent can profile job execution without
-    polluting the result dict.
+    Attributes:
+        outcomes: the :class:`JobOutcome` list for every cell that
+            reached a terminal state before the shutdown (structured,
+            cache-written, journalled -- nothing half-finished).
     """
-    spec_dict, timeout_seconds = payload
-    start = time.perf_counter()
+
+    def __init__(self, outcomes):
+        super().__init__("sweep interrupted after %d finished cell(s)"
+                         % len(outcomes))
+        self.outcomes = list(outcomes)
+
+
+@contextlib.contextmanager
+def _graceful_sigterm():
+    """Route SIGTERM through ``KeyboardInterrupt`` so a host shutdown
+    gets the same journal-flushing, worker-reaping exit as Ctrl-C.
+    Only touches the handler from the main thread (signal rules)."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise KeyboardInterrupt("SIGTERM")
+
     try:
-        result = execute_spec(spec_dict, timeout_seconds=timeout_seconds)
-        return "ok", result, time.perf_counter() - start
-    except Exception:
-        return "raise", traceback.format_exc(), time.perf_counter() - start
+        previous = signal.signal(signal.SIGTERM, _raise)
+    except (ValueError, OSError):
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 class JobOutcome:
@@ -70,25 +117,29 @@ class JobOutcome:
     Attributes:
         spec: the :class:`JobSpec`.
         result: the worker's result dict.
-        cached: served from the result cache (no simulation ran).
-        attempts: executions performed (0 for a cache hit).
+        cached: served without executing (result cache or journal
+            replay -- see ``source``).
+        attempts: executions performed (0 for a cache/journal hit).
         wall_seconds: wall time of the final execution attempt
             (``None`` for cache hits).  Execution detail only -- never
             cached and excluded from :meth:`to_dict`.
+        source: ``"run"``, ``"cache"``, or ``"journal"`` -- where the
+            result came from.  Execution detail only.
     """
 
     def __init__(self, spec, result, cached=False, attempts=1,
-                 wall_seconds=None):
+                 wall_seconds=None, source=None):
         self.spec = spec
         self.result = result
         self.cached = cached
         self.attempts = attempts
         self.wall_seconds = wall_seconds
+        self.source = source or ("cache" if cached else "run")
 
     def to_dict(self):
         """Canonical JSON form.  Excludes ``cached``/``attempts``/
-        ``wall_seconds`` on purpose: a report cell must not depend on
-        how its result was obtained (see
+        ``wall_seconds``/``source`` on purpose: a report cell must not
+        depend on how its result was obtained (see
         :func:`merged_report`'s ``execution`` option for the separate,
         explicitly non-stable execution sidecar).
         """
@@ -105,7 +156,7 @@ class JobOutcome:
     def __repr__(self):
         return ("JobOutcome(%s: %s%s)"
                 % (self.spec.label(), self.result.get("status"),
-                   ", cached" if self.cached else ""))
+                   ", " + self.source if self.source != "run" else ""))
 
 
 class Runner:
@@ -117,6 +168,20 @@ class Runner:
         cache: a :class:`ResultCache`, or ``None`` for no caching.
         timeout_seconds: per-job wall-clock budget (``None`` disables).
         retries: extra attempts for jobs that raise unexpectedly.
+        crash_retries: extra attempts for jobs whose worker process
+            dies (SIGKILL, OOM, hard hang); one more death poisons the
+            job into a structured ``crashed`` outcome.
+        backoff: a :class:`~repro.orchestrator.supervise.BackoffPolicy`
+            applied before replacing crashed workers (default: seeded
+            policy, so restart timing is reproducible).
+        hang_grace: seconds past ``timeout_seconds`` before a silent
+            worker is declared hung and killed (pool path only).
+        journal: a :class:`~repro.orchestrator.journal.SweepJournal`
+            to receive dispatch/done/crash records as they happen, or
+            ``None``.  The runner writes job transitions only; the
+            caller owns ``begin``/``end``.
+        resume_results: ``{content_hash: result}`` replayed from a
+            journal; matching specs skip execution entirely.
         progress: per-job progress lines on stderr; ``None`` enables
             them only when stderr is a terminal.
         execute: override for the job-execution function (tests).  A
@@ -125,14 +190,19 @@ class Runner:
         telemetry: a :class:`~repro.telemetry.Telemetry` bundle.  The
             metrics registry gets batch counters (``orchestrator.jobs``
             / ``cache_hits`` / ``cache_misses`` / ``retries`` /
-            ``errors``); the profiler gets ``orchestrator.cache_get``,
-            ``orchestrator.cache_put``, and ``orchestrator.job``
-            spans.  Purely observational: outcomes and reports are
+            ``errors`` plus the recovery set: ``crashes`` /
+            ``requeues`` / ``worker_restarts`` / ``poisoned`` /
+            ``resumed`` / ``cache.integrity_miss``); the profiler gets
+            ``orchestrator.cache_get``, ``orchestrator.cache_put``,
+            ``orchestrator.job``, and ``orchestrator.backoff`` spans.
+            Purely observational: outcomes and reports are
             byte-identical with telemetry on or off.
     """
 
     def __init__(self, jobs=None, cache=None, timeout_seconds=None,
-                 retries=1, progress=None, execute=None, telemetry=None):
+                 retries=1, crash_retries=2, backoff=None, hang_grace=5.0,
+                 journal=None, resume_results=None, progress=None,
+                 execute=None, telemetry=None):
         self.jobs = int(jobs) if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % self.jobs)
@@ -141,6 +211,14 @@ class Runner:
         if retries < 0:
             raise ValueError("retries must be >= 0, got %d" % retries)
         self.retries = int(retries)
+        if crash_retries < 0:
+            raise ValueError("crash_retries must be >= 0, got %d"
+                             % crash_retries)
+        self.crash_retries = int(crash_retries)
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.hang_grace = float(hang_grace)
+        self.journal = journal
+        self.resume_results = dict(resume_results or {})
         if progress is None:
             progress = sys.stderr.isatty()
         self.progress = bool(progress)
@@ -162,12 +240,22 @@ class Runner:
     def _note(self, done, total, outcome):
         if not self.progress:
             return
-        how = "cached" if outcome.cached else (
+        how = (outcome.source if outcome.cached else (
             "attempt %d" % outcome.attempts if outcome.attempts > 1
-            else "ran")
+            else "ran"))
         print("[orchestrator] %d/%d %s: %s (%s)"
               % (done, total, outcome.spec.label(),
                  outcome.result.get("status"), how), file=sys.stderr)
+
+    # -- journalling ---------------------------------------------------
+
+    def _journal_dispatched(self, spec, attempt):
+        if self.journal is not None:
+            self.journal.dispatched(spec.content_hash(), attempt)
+
+    def _journal_done(self, spec, result):
+        if self.journal is not None:
+            self.journal.done(spec.content_hash(), result)
 
     # -- execution -----------------------------------------------------
 
@@ -176,6 +264,8 @@ class Runner:
         status = outcome.result.get("status")
         if status == "error":
             self._count("errors")
+        elif status == "crashed":
+            self._count("poisoned")
         if outcome.attempts > 1:
             self._count("retries", outcome.attempts - 1)
         if outcome.wall_seconds is not None and self._profile is not None:
@@ -187,6 +277,7 @@ class Runner:
                     self.cache.put(outcome.spec, outcome.result)
             else:
                 self.cache.put(outcome.spec, outcome.result)
+        self._journal_done(outcome.spec, outcome.result)
         state["done"] += 1
         self._note(state["done"], state["total"], outcome)
 
@@ -196,69 +287,111 @@ class Runner:
             attempts = 0
             while True:
                 attempts += 1
+                self._journal_dispatched(spec, attempts)
                 start = time.perf_counter()
                 try:
                     result = self._execute(
                         spec, timeout_seconds=self.timeout_seconds)
                     break
+                except KeyboardInterrupt:
+                    # The in-flight cell is abandoned (its dispatched
+                    # record marks it for resume); run() turns this
+                    # into a SweepInterrupted with the finished cells.
+                    raise
                 except Exception:
+                    message = traceback.format_exc()
+                    if self.journal is not None:
+                        self.journal.failed(spec.content_hash(),
+                                            attempts, message)
                     if attempts > self.retries:
-                        result = error_result(traceback.format_exc())
+                        result = error_result(message)
                         break
             wall = time.perf_counter() - start
             self._finish(outcomes, index,
                          JobOutcome(spec, result, attempts=attempts,
                                     wall_seconds=wall), state)
 
+    def _pool_event(self, kind, index=None, attempt=None, reason=None,
+                    seconds=None, _specs=None):
+        spec = _specs[index] if index is not None else None
+        if kind == "dispatched":
+            self._journal_dispatched(spec, attempt)
+        elif kind == "failed":
+            if self.journal is not None:
+                self.journal.failed(spec.content_hash(), attempt, reason)
+        elif kind == "crashed":
+            self._count("crashes")
+            if self.journal is not None:
+                self.journal.crashed(spec.content_hash(), attempt, reason)
+        elif kind == "requeued":
+            self._count("requeues")
+        elif kind == "worker_restart":
+            self._count("worker_restarts")
+        elif kind == "backoff":
+            if self._profile is not None:
+                self._profile.add("orchestrator.backoff", seconds)
+
     def _run_pool(self, specs, pending, outcomes, state):
-        # Submit impedance-sorted so a worker draining the queue tends
+        # Dispatch impedance-sorted so a worker draining the queue tends
         # to see runs of equal design points (each design and PDN
         # discretization is memoized per worker process).
         order = sorted(pending,
                        key=lambda i: (specs[i].impedance_percent, i))
-        attempts = {i: 0 for i in pending}
-        with multiprocessing.Pool(processes=min(self.jobs, len(pending))) \
-                as pool:
-            remaining = order
-            while remaining:
-                handles = []
-                for index in remaining:
-                    attempts[index] += 1
-                    payload = (specs[index].to_dict(), self.timeout_seconds)
-                    handles.append(
-                        (index, pool.apply_async(_pool_execute, (payload,))))
-                failed = []
-                for index, handle in handles:
-                    try:
-                        kind, value, wall = handle.get()
-                    except Exception:
-                        kind, value, wall = ("raise",
-                                             traceback.format_exc(), None)
-                    if kind == "ok":
-                        self._finish(
-                            outcomes, index,
-                            JobOutcome(specs[index], value,
-                                       attempts=attempts[index],
-                                       wall_seconds=wall), state)
-                    elif attempts[index] > self.retries:
-                        self._finish(
-                            outcomes, index,
-                            JobOutcome(specs[index], error_result(value),
-                                       attempts=attempts[index],
-                                       wall_seconds=wall), state)
-                    else:
-                        failed.append(index)
-                remaining = failed
+        jobs = [(index, specs[index]) for index in order]
+
+        def on_event(kind, **info):
+            self._pool_event(kind, _specs=specs, **info)
+
+        def on_finish(index, end):
+            if end.kind == END_OK:
+                result = end.payload
+            elif end.kind == END_ERROR:
+                result = error_result(end.payload)
+            else:
+                result = crashed_result(end.payload)
+            self._finish(outcomes, index,
+                         JobOutcome(specs[index], result,
+                                    attempts=end.attempts,
+                                    wall_seconds=end.wall_seconds),
+                         state)
+
+        pool = SupervisedPool(workers=min(self.jobs, len(jobs)),
+                              timeout_seconds=self.timeout_seconds,
+                              retries=self.retries,
+                              crash_retries=self.crash_retries,
+                              backoff=self.backoff,
+                              hang_grace=self.hang_grace,
+                              on_event=on_event)
+        pool.run(jobs, on_finish=on_finish)
 
     def run(self, specs):
         """Run a batch; returns a list of :class:`JobOutcome`, one per
-        spec, in input order."""
+        spec, in input order.
+
+        Raises :class:`SweepInterrupted` (carrying the finished
+        outcomes) on SIGINT/SIGTERM; the journal, if any, gets an
+        ``interrupted`` record first, so ``--resume`` picks up exactly
+        where the batch stopped.
+        """
         specs = list(specs)
         outcomes = [None] * len(specs)
         state = {"done": 0, "total": len(specs)}
         self._count("jobs", len(specs))
+        integrity_start = None
+        if self.cache is not None and self.cache.enabled:
+            integrity_start = self.cache.integrity_misses
+            self.cache.sweep_orphans()
         pending = []
         for index, spec in enumerate(specs):
+            replayed = self.resume_results.get(spec.content_hash())
+            if replayed is not None:
+                self._count("resumed")
+                outcomes[index] = JobOutcome(spec, replayed, cached=True,
+                                             attempts=0, source="journal")
+                self._journal_done(spec, replayed)
+                state["done"] += 1
+                self._note(state["done"], state["total"], outcomes[index])
+                continue
             if self.cache is None:
                 cached = None
             elif self._profile is not None:
@@ -270,17 +403,31 @@ class Runner:
                 self._count("cache_hits")
                 outcomes[index] = JobOutcome(spec, cached, cached=True,
                                              attempts=0)
+                self._journal_done(spec, cached)
                 state["done"] += 1
                 self._note(state["done"], state["total"], outcomes[index])
             else:
                 if self.cache is not None:
                     self._count("cache_misses")
                 pending.append(index)
-        if pending:
-            if self.jobs == 1 or len(pending) == 1 or self._inline_only:
-                self._run_inline(specs, pending, outcomes, state)
-            else:
-                self._run_pool(specs, pending, outcomes, state)
+        try:
+            if pending:
+                with _graceful_sigterm():
+                    if (self.jobs == 1 or len(pending) == 1
+                            or self._inline_only):
+                        self._run_inline(specs, pending, outcomes, state)
+                    else:
+                        self._run_pool(specs, pending, outcomes, state)
+        except KeyboardInterrupt:
+            if self.journal is not None:
+                self.journal.interrupted()
+            raise SweepInterrupted(
+                [o for o in outcomes if o is not None])
+        finally:
+            if integrity_start is not None:
+                delta = self.cache.integrity_misses - integrity_start
+                if delta:
+                    self._count("cache.integrity_miss", delta)
         return outcomes
 
 

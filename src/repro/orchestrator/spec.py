@@ -218,6 +218,11 @@ class JobSpec:
         return hashlib.sha256(
             self.canonical_json().encode("utf-8")).hexdigest()
 
+    def short_hash(self):
+        """First 12 hex digits of :meth:`content_hash` -- the form
+        used in journal progress lines and chaos spec triggers."""
+        return self.content_hash()[:12]
+
     def label(self):
         """Short human-readable tag for progress lines."""
         if self.kind == KIND_THRESHOLDS:

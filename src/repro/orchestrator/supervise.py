@@ -1,0 +1,351 @@
+"""A supervised worker pool that survives worker death.
+
+``multiprocessing.Pool`` loses the sweep when a worker is SIGKILLed:
+the ``apply_async`` handle never completes and the pool wedges.  The
+:class:`SupervisedPool` here keeps the orchestrator alive through
+worker OOM-kills, interpreter aborts, and hard hangs:
+
+* each worker process gets a *dedicated* task queue, so the parent
+  always knows exactly which job a dead worker was holding -- crash
+  attribution is exact, never guessed from a broken shared queue;
+* a dead worker's in-flight job is requeued and the worker replaced,
+  after a deterministic exponential backoff with bounded, *seeded*
+  jitter (restart timing never feeds into results, and the jitter
+  sequence is reproducible);
+* a worker that blows past its deadline (job timeout + grace) is
+  SIGKILLed and treated exactly like a crash -- hangs are just slow
+  crashes;
+* a job that takes its worker down more than ``crash_retries`` times
+  is *poisoned*: it ends as a structured ``crashed`` outcome instead
+  of sinking the sweep, and its siblings complete normally.
+
+Jobs that merely *raise* (the worker survives) keep the runner's
+bounded-retry semantics: requeue until ``retries`` is exhausted, then
+a structured ``error`` outcome.
+
+The pool reports progress through two callbacks: ``on_event`` (state
+transitions: ``dispatched``/``failed``/``crashed``/``requeued``/
+``worker_restart``/``backoff``) for journalling and telemetry, and
+``on_finish`` (one call per job, as it reaches a terminal state) for
+result merging.  Chaos injection (:mod:`repro.faults.chaos`) is read
+from the environment *inside the worker child* -- the supervisor never
+special-cases it, which is the point: it recovers from real deaths the
+same way.
+"""
+
+import collections
+import itertools
+import multiprocessing
+import queue as queue_mod
+import random
+import signal
+import time
+import traceback
+
+from repro.faults.chaos import ProcessChaos
+from repro.orchestrator.worker import execute_spec
+
+#: Terminal kinds a job can end with inside the pool.
+END_OK = "ok"
+END_ERROR = "error"
+END_CRASHED = "crashed"
+
+#: One terminal job record: how it ended, the payload (result dict for
+#: ``ok``, message text otherwise), executions, worker deaths it
+#: caused, and the wall time of the final attempt (``None`` if the
+#: final attempt died).
+JobEnd = collections.namedtuple(
+    "JobEnd", ["kind", "payload", "attempts", "crashes", "wall_seconds"])
+
+
+class BackoffPolicy:
+    """Deterministic exponential backoff with bounded, seeded jitter.
+
+    ``delay(n)`` for restart *n* (0-based) is
+    ``min(cap, base * factor**n)`` scaled by a jitter factor drawn
+    uniformly from ``[1 - jitter, 1 + jitter]`` using a private seeded
+    RNG -- two policies built with the same seed produce the same
+    delay sequence, so supervised runs are reproducible end to end.
+    """
+
+    def __init__(self, base_seconds=0.05, factor=2.0, cap_seconds=2.0,
+                 jitter=0.25, seed=0):
+        if base_seconds < 0 or cap_seconds < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if factor < 1.0:
+            raise ValueError("backoff factor must be >= 1, got %r"
+                             % factor)
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1), got %r" % jitter)
+        self.base_seconds = float(base_seconds)
+        self.factor = float(factor)
+        self.cap_seconds = float(cap_seconds)
+        self.jitter = float(jitter)
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def delay(self, restart):
+        """Seconds to wait before restart number ``restart`` (0-based)."""
+        if restart < 0:
+            raise ValueError("restart must be >= 0, got %d" % restart)
+        base = min(self.cap_seconds,
+                   self.base_seconds * self.factor ** restart)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return base
+
+    def __repr__(self):
+        return ("BackoffPolicy(base=%g, factor=%g, cap=%g, jitter=%g, "
+                "seed=%r)" % (self.base_seconds, self.factor,
+                              self.cap_seconds, self.jitter, self.seed))
+
+
+def _worker_main(worker_id, task_queue, result_queue):
+    """Worker child: execute jobs from a dedicated queue until told to
+    stop.  SIGINT and SIGTERM are ignored -- a terminal Ctrl-C (or a
+    supervisor's TERM) signals the whole process group, and shutdown
+    must stay the parent's decision so the journal gets flushed before
+    anything dies; the parent reaps workers explicitly."""
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, signal.SIG_IGN)
+        except (ValueError, OSError):
+            pass
+    chaos = ProcessChaos.from_env()
+    executed = 0
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        index, spec_dict, spec_hash, timeout_seconds = item
+        executed += 1
+        start = time.perf_counter()
+        try:
+            if chaos is not None:
+                chaos.fire(executed, spec_hash)
+            result = execute_spec(spec_dict,
+                                  timeout_seconds=timeout_seconds)
+            kind, value = "ok", result
+        except Exception:
+            kind, value = "raise", traceback.format_exc()
+        result_queue.put((worker_id, index, kind, value,
+                          time.perf_counter() - start))
+
+
+class _Worker:
+    __slots__ = ("id", "process", "task_queue", "job", "deadline")
+
+    def __init__(self, worker_id, process, task_queue):
+        self.id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.job = None
+        self.deadline = None
+
+
+class SupervisedPool:
+    """Run jobs across supervised worker processes.
+
+    Args:
+        workers: worker process count (>= 1).
+        timeout_seconds: per-job wall-clock budget, enforced inside the
+            worker (``RunBudget``) *and* by the parent: a worker that
+            is still holding a job ``hang_grace`` seconds past the
+            budget is killed and the job requeued.  ``None`` disables
+            both (a hung worker then hangs the sweep -- set a timeout
+            for untrusted jobs).
+        retries: extra attempts for jobs that raise (worker survives).
+        crash_retries: extra attempts for jobs whose worker dies; one
+            more death poisons the job into a ``crashed`` outcome.
+        backoff: a :class:`BackoffPolicy` applied before replacing
+            crashed workers (default: a seed-0 policy).
+        hang_grace: seconds past ``timeout_seconds`` before the parent
+            declares a worker hung.
+        on_event: callback ``(kind, **info)`` for state transitions.
+        poll_seconds: parent supervision tick.
+    """
+
+    def __init__(self, workers, timeout_seconds=None, retries=1,
+                 crash_retries=2, backoff=None, hang_grace=5.0,
+                 on_event=None, poll_seconds=0.05):
+        workers = int(workers)
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %d" % workers)
+        if retries < 0:
+            raise ValueError("retries must be >= 0, got %d" % retries)
+        if crash_retries < 0:
+            raise ValueError("crash_retries must be >= 0, got %d"
+                             % crash_retries)
+        self.workers = workers
+        self.timeout_seconds = timeout_seconds
+        self.retries = int(retries)
+        self.crash_retries = int(crash_retries)
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.hang_grace = float(hang_grace)
+        self.on_event = on_event or (lambda kind, **info: None)
+        self.poll_seconds = float(poll_seconds)
+
+    def run(self, jobs, on_finish=None):
+        """Execute ``jobs`` (an iterable of ``(index, spec)``) to
+        terminal states; returns ``{index: JobEnd}``.
+
+        ``on_finish(index, job_end)`` fires in the parent as each job
+        finishes.  Workers are always torn down on the way out, even
+        when the caller interrupts the supervision loop.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return {}
+        specs = dict(jobs)
+        payloads = {
+            index: (index, spec.to_dict(), spec.content_hash(),
+                    self.timeout_seconds)
+            for index, spec in jobs}
+        pending = collections.deque(index for index, _spec in jobs)
+        results = {}
+        attempts = {index: 0 for index in specs}
+        crashes = {index: 0 for index in specs}
+        ctx = multiprocessing.get_context()
+        result_queue = ctx.Queue()
+        workers = {}
+        worker_ids = itertools.count(1)
+        restarts = 0
+
+        def finish(index, end):
+            results[index] = end
+            if on_finish is not None:
+                on_finish(index, end)
+
+        def spawn():
+            worker_id = next(worker_ids)
+            task_queue = ctx.SimpleQueue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(worker_id, task_queue, result_queue), daemon=True)
+            process.start()
+            workers[worker_id] = _Worker(worker_id, process, task_queue)
+
+        def drain(block_seconds=0.0):
+            """Handle queued results; returns whether any arrived."""
+            handled = False
+            while True:
+                try:
+                    if block_seconds:
+                        message = result_queue.get(timeout=block_seconds)
+                    else:
+                        message = result_queue.get_nowait()
+                except queue_mod.Empty:
+                    return handled
+                block_seconds = 0.0
+                handled = True
+                worker_id, index, kind, value, wall = message
+                worker = workers.get(worker_id)
+                if worker is not None and worker.job == index:
+                    worker.job = None
+                    worker.deadline = None
+                if index in results:
+                    continue
+                if kind == "ok":
+                    finish(index, JobEnd(END_OK, value, attempts[index],
+                                         crashes[index], wall))
+                else:
+                    self.on_event("failed", index=index,
+                                  attempt=attempts[index], reason=value)
+                    if attempts[index] > self.retries:
+                        finish(index, JobEnd(END_ERROR, value,
+                                             attempts[index],
+                                             crashes[index], wall))
+                    else:
+                        pending.append(index)
+
+        def handle_death(worker, reason):
+            index, worker.job = worker.job, None
+            if index is None or index in results:
+                return
+            crashes[index] += 1
+            self.on_event("crashed", index=index,
+                          attempt=attempts[index], reason=reason)
+            if crashes[index] > self.crash_retries:
+                finish(index, JobEnd(
+                    END_CRASHED,
+                    "worker %s; job abandoned after %d crash(es)"
+                    % (reason, crashes[index]),
+                    attempts[index], crashes[index], None))
+            else:
+                pending.append(index)
+                self.on_event("requeued", index=index)
+
+        try:
+            for _ in range(min(self.workers, len(jobs))):
+                spawn()
+            while len(results) < len(specs):
+                for worker in workers.values():
+                    if worker.job is not None or not pending:
+                        continue
+                    index = pending.popleft()
+                    if index in results:
+                        continue
+                    attempts[index] += 1
+                    worker.job = index
+                    worker.deadline = (
+                        None if self.timeout_seconds is None
+                        else time.monotonic() + self.timeout_seconds
+                        + self.hang_grace)
+                    worker.task_queue.put(payloads[index])
+                    self.on_event("dispatched", index=index,
+                                  attempt=attempts[index])
+                if drain(self.poll_seconds):
+                    continue
+                now = time.monotonic()
+                crashed_any = False
+                for worker_id in list(workers):
+                    worker = workers[worker_id]
+                    alive = worker.process.is_alive()
+                    hung = (alive and worker.job is not None
+                            and worker.deadline is not None
+                            and now > worker.deadline)
+                    if alive and not hung:
+                        continue
+                    if hung:
+                        worker.process.kill()
+                        reason = ("hung past the %.3gs deadline (killed)"
+                                  % (self.timeout_seconds
+                                     + self.hang_grace))
+                    else:
+                        reason = ("died with exit code %s"
+                                  % (worker.process.exitcode,))
+                    worker.process.join(5)
+                    # The worker may have delivered its result in the
+                    # instant before dying; honour it over a requeue.
+                    drain(0.0)
+                    handle_death(worker, reason)
+                    del workers[worker_id]
+                    crashed_any = True
+                if crashed_any and (pending or not workers):
+                    delay = self.backoff.delay(restarts)
+                    restarts += 1
+                    self.on_event("backoff", seconds=delay)
+                    if delay > 0:
+                        time.sleep(delay)
+                unfinished = len(specs) - len(results)
+                while unfinished > 0 and len(workers) < min(self.workers,
+                                                            unfinished) \
+                        and (pending or not workers):
+                    spawn()
+                    if crashed_any:
+                        self.on_event("worker_restart")
+        finally:
+            for worker in workers.values():
+                try:
+                    worker.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+            deadline = time.monotonic() + 1.0
+            for worker in workers.values():
+                worker.process.join(max(0.0, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.kill()
+                    worker.process.join(5)
+            result_queue.close()
+            result_queue.cancel_join_thread()
+        return results

@@ -44,6 +44,7 @@ STATUS_OK = "ok"
 STATUS_DIVERGED = "diverged"
 STATUS_BUDGET = "budget"
 STATUS_ERROR = "error"
+STATUS_CRASHED = "crashed"
 
 #: impedance percent -> reusable PdnSimulator, per process.
 _PDN_SIMS = {}
@@ -206,10 +207,9 @@ def execute_spec(spec, timeout_seconds=None, telemetry=None):
     }
 
 
-def error_result(message):
-    """The structured payload for a job that kept raising."""
+def _abnormal_result(status, message):
     return {
-        "status": STATUS_ERROR,
+        "status": status,
         "error": message,
         "cycles": 0,
         "committed": 0,
@@ -218,3 +218,16 @@ def error_result(message):
         "emergencies": None,
         "controller": None,
     }
+
+
+def error_result(message):
+    """The structured payload for a job that kept raising."""
+    return _abnormal_result(STATUS_ERROR, message)
+
+
+def crashed_result(message):
+    """The structured payload for a poison job: one that took its
+    worker process down (SIGKILL, OOM-kill, interpreter abort, hard
+    hang) on every permitted attempt.  Never cached -- the next sweep,
+    or ``sweep --resume``, tries it again from scratch."""
+    return _abnormal_result(STATUS_CRASHED, message)

@@ -1,0 +1,108 @@
+"""Tests for process-level chaos injection (parsing, triggering, and
+the fire-once marker).  The destructive modes (``kill``/``exit``) are
+exercised for real, in worker children, by
+``tests/orchestrator/test_supervise.py``."""
+
+import pytest
+
+from repro.faults.chaos import (
+    CHAOS_ENV,
+    CHAOS_MODES,
+    CHAOS_ONCE_ENV,
+    ONCE_MARKER,
+    ProcessChaos,
+)
+
+
+class TestParse:
+    def test_ordinal_trigger(self):
+        chaos = ProcessChaos.parse("kill@3")
+        assert chaos.mode == "kill"
+        assert chaos.ordinal == 3
+        assert chaos.spec_prefix is None
+
+    def test_spec_trigger(self):
+        chaos = ProcessChaos.parse("oom@spec=3F9A")
+        assert chaos.mode == "oom"
+        assert chaos.spec_prefix == "3f9a"
+        assert chaos.ordinal is None
+
+    def test_once_dir_is_threaded_through(self, tmp_path):
+        chaos = ProcessChaos.parse("exit@1", once_dir=str(tmp_path))
+        assert chaos.once_dir == str(tmp_path)
+
+    @pytest.mark.parametrize("text", [
+        "kill", "kill@", "@2", "kill@zero", "warp@2", "kill@0",
+        "kill@spec=", "kill@spec=xyz",
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            ProcessChaos.parse(text)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError):
+            ProcessChaos("kill")
+        with pytest.raises(ValueError):
+            ProcessChaos("kill", ordinal=1, spec_prefix="ab")
+
+    def test_every_documented_mode_parses(self):
+        for mode in CHAOS_MODES:
+            assert ProcessChaos.parse("%s@1" % mode).mode == mode
+
+
+class TestFromEnv:
+    def test_unset_means_disarmed(self):
+        assert ProcessChaos.from_env(environ={}) is None
+        assert ProcessChaos.from_env(environ={CHAOS_ENV: ""}) is None
+
+    def test_armed_from_environment(self, tmp_path):
+        environ = {CHAOS_ENV: "oom@2", CHAOS_ONCE_ENV: str(tmp_path)}
+        chaos = ProcessChaos.from_env(environ=environ)
+        assert chaos.mode == "oom"
+        assert chaos.ordinal == 2
+        assert chaos.once_dir == str(tmp_path)
+
+
+class TestTrigger:
+    def test_ordinal_matching(self):
+        chaos = ProcessChaos("oom", ordinal=2)
+        assert not chaos.matches(1)
+        assert chaos.matches(2)
+        assert not chaos.matches(3)
+
+    def test_spec_prefix_matching(self):
+        chaos = ProcessChaos("oom", spec_prefix="ab12")
+        assert chaos.matches(1, "ab12ff00")
+        assert not chaos.matches(1, "ab11ff00")
+        assert not chaos.matches(1, None)
+
+    def test_no_match_is_a_noop(self):
+        chaos = ProcessChaos("oom", ordinal=5)
+        assert chaos.fire(1) is False
+        assert not chaos.fired
+
+    def test_oom_raises_memory_error(self):
+        chaos = ProcessChaos("oom", ordinal=1)
+        with pytest.raises(MemoryError, match="chaos"):
+            chaos.fire(1)
+        assert chaos.fired
+
+    def test_hang_returns_after_its_sleep(self):
+        chaos = ProcessChaos("hang", ordinal=1, hang_seconds=0.01)
+        assert chaos.fire(1) is True
+
+
+class TestFireOnce:
+    def test_first_claim_wins(self, tmp_path):
+        first = ProcessChaos("oom", ordinal=1, once_dir=str(tmp_path))
+        second = ProcessChaos("oom", ordinal=1, once_dir=str(tmp_path))
+        with pytest.raises(MemoryError):
+            first.fire(1)
+        assert (tmp_path / ONCE_MARKER).exists()
+        assert second.fire(1) is False
+        assert not second.fired
+
+    def test_marker_survives_for_later_processes(self, tmp_path):
+        (tmp_path / ONCE_MARKER).write_text("123\n")
+        chaos = ProcessChaos("oom", ordinal=1, once_dir=str(tmp_path))
+        assert chaos.fire(1) is False

@@ -103,6 +103,75 @@ class TestCorruption:
         assert cache.get(spec) == RESULT
 
 
+class TestIntegrity:
+    def test_plain_miss_is_not_an_integrity_miss(self, cache, spec):
+        assert cache.get(spec) is None
+        assert cache.integrity_misses == 0
+
+    def test_checksum_mismatch_is_an_integrity_miss(self, cache, spec):
+        path = cache.put(spec, RESULT)
+        payload = json.load(open(path))
+        payload["result"]["ipc"] = 99.0  # edit result, keep checksum
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert cache.get(spec) is None
+        assert cache.integrity_misses == 1
+
+    def test_torn_entry_is_an_integrity_miss(self, cache, spec):
+        path = cache.put(spec, RESULT)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[:len(data) // 2])
+        assert cache.get(spec) is None
+        assert cache.integrity_misses == 1
+
+    def test_entry_without_checksum_is_an_integrity_miss(self, cache,
+                                                         spec):
+        path = cache.put(spec, RESULT)
+        payload = json.load(open(path))
+        del payload["checksum"]
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        assert cache.get(spec) is None
+        assert cache.integrity_misses == 1
+
+    def test_healthy_entry_round_trips(self, cache, spec):
+        cache.put(spec, RESULT)
+        assert cache.get(spec) == RESULT
+        assert cache.integrity_misses == 0
+
+
+class TestOrphanSweep:
+    def orphan(self, cache, spec, name="stale.tmp"):
+        directory = os.path.dirname(cache.path_for(spec))
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, name)
+        with open(path, "w") as fh:
+            fh.write("half-written")
+        return path
+
+    def test_aged_orphan_is_reclaimed(self, cache, spec):
+        path = self.orphan(cache, spec)
+        assert cache.sweep_orphans(max_age_seconds=0.0) == 1
+        assert not os.path.exists(path)
+        assert cache.integrity_misses == 1
+
+    def test_fresh_orphan_is_left_alone(self, cache, spec):
+        path = self.orphan(cache, spec)
+        assert cache.sweep_orphans(max_age_seconds=3600.0) == 0
+        assert os.path.exists(path)
+
+    def test_real_entries_survive_the_sweep(self, cache, spec):
+        cache.put(spec, RESULT)
+        self.orphan(cache, spec)
+        cache.sweep_orphans(max_age_seconds=0.0)
+        assert cache.get(spec) == RESULT
+
+    def test_disabled_cache_never_sweeps(self, tmp_path, spec):
+        cache = ResultCache(root=tmp_path, salt="s", enabled=False)
+        assert cache.sweep_orphans(max_age_seconds=0.0) == 0
+
+
 class TestInvalidation:
     def test_invalidate_drops_entry(self, cache, spec):
         cache.put(spec, RESULT)

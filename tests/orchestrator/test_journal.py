@@ -1,0 +1,213 @@
+"""Tests for the durable sweep journal: per-record checksums,
+truncated-tail tolerance, replay semantics, and resume edge cases."""
+
+import pytest
+
+from repro.orchestrator import (
+    JobSpec,
+    JournalError,
+    SweepJournal,
+    replay_journal,
+)
+from repro.orchestrator.journal import decode_record, encode_record
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(workload="swim", cycles=200, warmup_instructions=400,
+                  seed=5, impedance_percent=200.0)
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def ok_result(seed=0):
+    return {"status": "ok", "ipc": 1.0 + seed, "emergencies": {}}
+
+
+SETTINGS = {"workloads": ["swim"], "cycles": 200}
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        line = encode_record({"event": "begin", "schema": 1})
+        body = decode_record(line)
+        assert body == {"event": "begin", "schema": 1}
+
+    def test_checksum_is_order_independent(self):
+        a = encode_record({"event": "done", "job": "ab"})
+        b = encode_record({"job": "ab", "event": "done"})
+        assert a == b
+
+    def test_tampered_record_rejected(self):
+        line = encode_record({"event": "done", "job": "ab"})
+        with pytest.raises(JournalError, match="checksum"):
+            decode_record(line.replace('"ab"', '"cd"'))
+
+    def test_missing_checksum_rejected(self):
+        with pytest.raises(JournalError, match="checksum"):
+            decode_record('{"event":"begin"}')
+
+    def test_unparsable_line_rejected(self):
+        with pytest.raises(JournalError, match="unparsable"):
+            decode_record('{"event":"beg')
+
+
+class TestSweepJournal:
+    def test_fresh_refuses_existing_journal(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin()
+        with pytest.raises(JournalError, match="already exists"):
+            SweepJournal(path, fresh=True)
+
+    def test_fresh_accepts_empty_file(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        path.write_text("")
+        with SweepJournal(path, fresh=True, fsync=False) as journal:
+            journal.begin()
+        assert journal.records_written == 1
+
+    def test_write_after_close_raises(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j", fsync=False)
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.begin()
+
+
+class TestReplay:
+    def write_full_run(self, path, specs, results=None):
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep(specs, settings=SETTINGS, salt="s1")
+            for n, spec in enumerate(specs):
+                journal.dispatched(spec.content_hash(), 1)
+                journal.done(spec.content_hash(),
+                             (results or {}).get(n, ok_result(n)))
+            journal.end()
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j"
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        self.write_full_run(path, specs)
+        state = replay_journal(path)
+        assert state.specs == specs
+        assert state.settings == SETTINGS
+        assert state.salt == "s1"
+        assert state.ended and not state.interrupted
+        assert not state.dropped_tail
+        assert set(state.results) == set(state.spec_hashes())
+        assert state.pending_specs() == []
+
+    def test_truncated_tail_is_dropped_silently(self, tmp_path):
+        path = tmp_path / "j"
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        self.write_full_run(path, specs)
+        with open(path, "a") as fh:
+            fh.write('{"event":"done","job":"feed')  # torn final write
+        state = replay_journal(path)
+        assert state.dropped_tail
+        assert len(state.results) == 2
+
+    def test_corruption_before_the_tail_raises(self, tmp_path):
+        path = tmp_path / "j"
+        self.write_full_run(path, [tiny_spec(seed=1)])
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:-4] + 'XXX"'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="line 2"):
+            replay_journal(path)
+
+    def test_blank_line_mid_file_raises(self, tmp_path):
+        path = tmp_path / "j"
+        self.write_full_run(path, [tiny_spec(seed=1)])
+        lines = path.read_text().splitlines()
+        lines.insert(1, "")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            replay_journal(path)
+
+    def test_duplicate_done_is_last_write_wins(self, tmp_path):
+        path = tmp_path / "j"
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+            journal.done(spec.content_hash(), ok_result(1))
+            journal.done(spec.content_hash(), ok_result(7))
+        state = replay_journal(path)
+        assert state.results[spec.content_hash()] == ok_result(7)
+
+    def test_nondeterministic_terminal_is_not_reusable(self, tmp_path):
+        path = tmp_path / "j"
+        good, bad = tiny_spec(seed=1), tiny_spec(seed=2)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([good, bad], salt="s1")
+            journal.done(good.content_hash(), ok_result(1))
+            journal.done(bad.content_hash(),
+                         {"status": "crashed", "error": "sigkill"})
+        state = replay_journal(path)
+        assert good.content_hash() in state.results
+        assert bad.content_hash() not in state.results
+        assert state.pending_specs() == [bad]
+        assert state.statuses[bad.content_hash()] == "crashed"
+
+    def test_done_supersedes_earlier_crash_record(self, tmp_path):
+        path = tmp_path / "j"
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+            journal.crashed(spec.content_hash(), 1, "exit code -9")
+            journal.dispatched(spec.content_hash(), 2)
+            journal.done(spec.content_hash(), ok_result(1))
+        state = replay_journal(path)
+        assert state.results[spec.content_hash()] == ok_result(1)
+        assert state.pending_specs() == []
+
+    def test_interrupted_and_resumed_markers(self, tmp_path):
+        path = tmp_path / "j"
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+            journal.interrupted()
+        with SweepJournal(path, fsync=False) as journal:
+            journal.resumed()
+        state = replay_journal(path)
+        assert state.interrupted and state.resumed and not state.ended
+
+    def test_salt_mismatch_discards_results_keeps_specs(self, tmp_path):
+        path = tmp_path / "j"
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        self.write_full_run(path, specs)
+        state = replay_journal(path, expected_salt="other-code")
+        assert state.specs == specs
+        assert state.results == {}
+        assert state.pending_specs() == specs
+
+    def test_matching_salt_keeps_results(self, tmp_path):
+        path = tmp_path / "j"
+        self.write_full_run(path, [tiny_spec(seed=1)])
+        assert len(replay_journal(path, expected_salt="s1").results) == 1
+
+    def test_queued_hash_mismatch_raises(self, tmp_path):
+        path = tmp_path / "j"
+        record = encode_record({"event": "queued", "job": "00" * 32,
+                                "spec": tiny_spec().to_dict()})
+        path.write_text(record + "\n" + record + "\n")
+        with pytest.raises(JournalError, match="does not match"):
+            replay_journal(path)
+
+    def test_unknown_event_is_skipped(self, tmp_path):
+        path = tmp_path / "j"
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+            journal._write({"event": "from-the-future", "x": 1})
+            journal.done(spec.content_hash(), ok_result(1))
+        state = replay_journal(path)
+        assert state.results[spec.content_hash()] == ok_result(1)
+
+    def test_duplicate_queued_is_deduplicated(self, tmp_path):
+        path = tmp_path / "j"
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+            journal.queued(spec)
+        state = replay_journal(path)
+        assert state.specs == [spec]

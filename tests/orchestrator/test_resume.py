@@ -1,0 +1,160 @@
+"""Integration tests for crash-tolerant sweeps: Runner + SweepJournal,
+graceful interruption, and resume-to-byte-identical reports."""
+
+import pytest
+
+from repro.orchestrator import (
+    JobSpec,
+    ResultCache,
+    Runner,
+    SweepInterrupted,
+    SweepJournal,
+    execute_spec,
+    replay_journal,
+    report_json,
+)
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(workload="swim", cycles=200, warmup_instructions=400,
+                  seed=5, impedance_percent=200.0)
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def journalled_runner(tmp_path, specs, salt="s1", **kwargs):
+    journal = SweepJournal(tmp_path / "sweep.journal", fsync=False)
+    journal.begin_sweep(specs, salt=salt)
+    runner = Runner(jobs=1, progress=False, journal=journal, **kwargs)
+    return runner, journal
+
+
+class TestJournalledRun:
+    def test_full_run_journals_every_cell(self, tmp_path):
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        runner, journal = journalled_runner(tmp_path, specs)
+        outcomes = runner.run(specs)
+        journal.end()
+        journal.close()
+        state = replay_journal(tmp_path / "sweep.journal")
+        assert state.ended
+        assert state.pending_specs() == []
+        for outcome in outcomes:
+            replayed = state.results[outcome.spec.content_hash()]
+            assert replayed == outcome.result
+
+    def test_cache_hits_are_journalled_too(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", salt="s1")
+        spec = tiny_spec(seed=1)
+        Runner(jobs=1, cache=cache, progress=False).run([spec])
+        runner, journal = journalled_runner(tmp_path, [spec], cache=cache)
+        outcome = runner.run([spec])[0]
+        journal.close()
+        assert outcome.cached and outcome.source == "cache"
+        state = replay_journal(tmp_path / "sweep.journal")
+        assert state.results[spec.content_hash()] == outcome.result
+
+
+class TestInterruption:
+    def interrupt_after(self, n):
+        calls = {"n": 0}
+
+        def execute(spec, timeout_seconds=None):
+            calls["n"] += 1
+            if calls["n"] > n:
+                raise KeyboardInterrupt()
+            return execute_spec(spec, timeout_seconds=timeout_seconds)
+        return execute
+
+    def test_interrupt_yields_partial_outcomes_and_flushed_journal(
+            self, tmp_path):
+        specs = [tiny_spec(seed=n) for n in (1, 2, 3)]
+        runner, journal = journalled_runner(
+            tmp_path, specs, execute=self.interrupt_after(1))
+        with pytest.raises(SweepInterrupted) as exc_info:
+            runner.run(specs)
+        journal.close()
+        finished = exc_info.value.outcomes
+        assert len(finished) == 1
+        assert finished[0].result["status"] == "ok"
+        state = replay_journal(tmp_path / "sweep.journal")
+        assert state.interrupted and not state.ended
+        assert state.pending_specs() == specs[1:]
+
+    def test_resume_completes_byte_identical(self, tmp_path):
+        specs = [tiny_spec(seed=n) for n in (1, 2, 3)]
+        baseline = Runner(jobs=1, progress=False).run(specs)
+
+        runner, journal = journalled_runner(
+            tmp_path, specs, execute=self.interrupt_after(1))
+        with pytest.raises(SweepInterrupted):
+            runner.run(specs)
+        journal.close()
+
+        state = replay_journal(tmp_path / "sweep.journal")
+        journal = SweepJournal(tmp_path / "sweep.journal", fsync=False)
+        journal.resumed()
+        resumed = Runner(jobs=1, progress=False, journal=journal,
+                         resume_results=state.results).run(specs)
+        journal.end()
+        journal.close()
+
+        assert report_json(resumed) == report_json(baseline)
+        assert resumed[0].source == "journal"
+        assert resumed[0].attempts == 0
+        assert [o.source for o in resumed[1:]] == ["run", "run"]
+        assert replay_journal(tmp_path / "sweep.journal").ended
+
+    def test_resume_needs_no_cache(self, tmp_path):
+        # The journal's done records carry full results, so a resume
+        # works even when caching is off entirely.
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        runner, journal = journalled_runner(tmp_path, specs)
+        first = runner.run(specs)
+        journal.close()
+        state = replay_journal(tmp_path / "sweep.journal")
+        again = Runner(jobs=1, cache=None, progress=False,
+                       resume_results=state.results).run(specs)
+        assert all(o.source == "journal" for o in again)
+        assert report_json(again) == report_json(first)
+
+
+class TestGridChanges:
+    def finished_state(self, tmp_path, specs):
+        runner, journal = journalled_runner(tmp_path, specs)
+        runner.run(specs)
+        journal.close()
+        return replay_journal(tmp_path / "sweep.journal")
+
+    def test_resume_with_superset_runs_only_new_cells(self, tmp_path):
+        old = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        state = self.finished_state(tmp_path, old)
+        grid = old + [tiny_spec(seed=3)]
+        outcomes = Runner(jobs=1, progress=False,
+                          resume_results=state.results).run(grid)
+        assert [o.source for o in outcomes] \
+            == ["journal", "journal", "run"]
+        assert all(o.result["status"] == "ok" for o in outcomes)
+
+    def test_resume_with_subset_ignores_dropped_cells(self, tmp_path):
+        old = [tiny_spec(seed=n) for n in (1, 2, 3)]
+        state = self.finished_state(tmp_path, old)
+        outcomes = Runner(jobs=1, progress=False,
+                          resume_results=state.results).run([old[1]])
+        assert len(outcomes) == 1
+        assert outcomes[0].source == "journal"
+        assert outcomes[0].spec == old[1]
+
+    def test_journalled_failure_statuses_rerun(self, tmp_path):
+        spec = tiny_spec(seed=1)
+        journal = SweepJournal(tmp_path / "j", fsync=False)
+        journal.begin_sweep([spec], salt="s1")
+        journal.done(spec.content_hash(),
+                     {"status": "error", "error": "flaky"})
+        journal.close()
+        state = replay_journal(tmp_path / "j")
+        assert state.pending_specs() == [spec]
+        outcomes = Runner(jobs=1, progress=False,
+                          resume_results=state.results).run([spec])
+        assert outcomes[0].source == "run"
+        assert outcomes[0].result["status"] == "ok"

@@ -1,0 +1,163 @@
+"""Tests for the supervised pool: backoff determinism, crash recovery,
+poison-spec isolation, and hang detection.
+
+The pool tests arm real chaos faults (:mod:`repro.faults.chaos`) via
+the environment and run real worker processes -- the same machinery the
+``repro-didt sweep`` chaos tier exercises end to end.
+"""
+
+import pytest
+
+from repro.faults.chaos import CHAOS_ENV, CHAOS_ONCE_ENV
+from repro.orchestrator import BackoffPolicy, JobSpec, SupervisedPool
+from repro.orchestrator.supervise import END_CRASHED, END_OK
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(workload="swim", cycles=200, warmup_instructions=400,
+                  seed=5, impedance_percent=200.0)
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+class TestBackoffPolicy:
+    def test_same_seed_same_sequence(self):
+        a = BackoffPolicy(seed=7)
+        b = BackoffPolicy(seed=7)
+        assert [a.delay(n) for n in range(6)] \
+            == [b.delay(n) for n in range(6)]
+
+    def test_different_seed_different_sequence(self):
+        a = BackoffPolicy(seed=7)
+        b = BackoffPolicy(seed=8)
+        assert [a.delay(n) for n in range(6)] \
+            != [b.delay(n) for n in range(6)]
+
+    def test_exponential_growth_up_to_cap(self):
+        policy = BackoffPolicy(base_seconds=0.1, factor=2.0,
+                               cap_seconds=0.5, jitter=0.0)
+        assert [policy.delay(n) for n in range(5)] \
+            == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_bounded(self):
+        policy = BackoffPolicy(base_seconds=1.0, factor=1.0,
+                               cap_seconds=10.0, jitter=0.25, seed=3)
+        for n in range(50):
+            assert 0.75 <= policy.delay(n) <= 1.25
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(base_seconds=-1)
+        with pytest.raises(ValueError):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            BackoffPolicy().delay(-1)
+
+
+def fast_backoff():
+    return BackoffPolicy(base_seconds=0.01, cap_seconds=0.05, seed=0)
+
+
+class EventLog:
+    def __init__(self):
+        self.events = []
+
+    def __call__(self, kind, **info):
+        self.events.append((kind, info))
+
+    def kinds(self):
+        return [kind for kind, _info in self.events]
+
+
+class TestSupervisedPool:
+    def test_healthy_batch_completes(self):
+        jobs = [(i, tiny_spec(seed=i)) for i in range(3)]
+        results = SupervisedPool(workers=2,
+                                 backoff=fast_backoff()).run(jobs)
+        assert sorted(results) == [0, 1, 2]
+        for end in results.values():
+            assert end.kind == END_OK
+            assert end.payload["status"] == "ok"
+            assert end.crashes == 0
+
+    def test_killed_worker_job_requeues_and_recovers(self, monkeypatch,
+                                                     tmp_path):
+        monkeypatch.setenv(CHAOS_ENV, "kill@1")
+        monkeypatch.setenv(CHAOS_ONCE_ENV, str(tmp_path / "once"))
+        log = EventLog()
+        jobs = [(i, tiny_spec(seed=i)) for i in range(3)]
+        results = SupervisedPool(workers=2, backoff=fast_backoff(),
+                                 on_event=log).run(jobs)
+        assert all(end.kind == END_OK for end in results.values())
+        assert sum(end.crashes for end in results.values()) == 1
+        kinds = log.kinds()
+        # A replacement spawn ("worker_restart") is not guaranteed here:
+        # the surviving worker may absorb the requeued job on its own.
+        assert "crashed" in kinds and "requeued" in kinds
+        assert "backoff" in kinds
+
+    def test_interpreter_abort_is_a_crash_too(self, monkeypatch,
+                                              tmp_path):
+        monkeypatch.setenv(CHAOS_ENV, "exit@1")
+        monkeypatch.setenv(CHAOS_ONCE_ENV, str(tmp_path / "once"))
+        log = EventLog()
+        jobs = [(i, tiny_spec(seed=i)) for i in range(2)]
+        results = SupervisedPool(workers=1, backoff=fast_backoff(),
+                                 on_event=log).run(jobs)
+        assert all(end.kind == END_OK for end in results.values())
+        reasons = [info["reason"] for kind, info in log.events
+                   if kind == "crashed"]
+        assert reasons and "exit code 86" in reasons[0]
+        # A single-worker pool must respawn to make progress.
+        assert "worker_restart" in log.kinds()
+
+    def test_poison_spec_is_isolated(self, monkeypatch):
+        specs = [tiny_spec(seed=i) for i in range(3)]
+        poison = specs[1]
+        monkeypatch.setenv(CHAOS_ENV,
+                           "kill@spec=%s" % poison.short_hash())
+        monkeypatch.delenv(CHAOS_ONCE_ENV, raising=False)
+        results = SupervisedPool(workers=2, crash_retries=1,
+                                 backoff=fast_backoff()).run(
+            list(enumerate(specs)))
+        assert results[1].kind == END_CRASHED
+        assert results[1].crashes == 2
+        assert "abandoned after 2 crash(es)" in results[1].payload
+        assert results[0].kind == END_OK
+        assert results[2].kind == END_OK
+
+    def test_no_crash_retries_poisons_on_first_death(self, monkeypatch):
+        spec = tiny_spec(seed=1)
+        monkeypatch.setenv(CHAOS_ENV, "kill@spec=%s" % spec.short_hash())
+        monkeypatch.delenv(CHAOS_ONCE_ENV, raising=False)
+        results = SupervisedPool(workers=1, crash_retries=0,
+                                 backoff=fast_backoff()).run([(0, spec)])
+        assert results[0].kind == END_CRASHED
+        assert results[0].crashes == 1
+
+    def test_hung_worker_is_killed_and_job_requeued(self, monkeypatch,
+                                                    tmp_path):
+        monkeypatch.setenv(CHAOS_ENV, "hang@1")
+        monkeypatch.setenv(CHAOS_ONCE_ENV, str(tmp_path / "once"))
+        log = EventLog()
+        results = SupervisedPool(workers=1, timeout_seconds=3.0,
+                                 hang_grace=0.2, backoff=fast_backoff(),
+                                 on_event=log).run(
+            [(0, tiny_spec(seed=1))])
+        assert results[0].kind == END_OK
+        reasons = [info["reason"] for kind, info in log.events
+                   if kind == "crashed"]
+        assert reasons and "hung" in reasons[0]
+
+    def test_empty_batch(self):
+        assert SupervisedPool(workers=2).run([]) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisedPool(workers=0)
+        with pytest.raises(ValueError):
+            SupervisedPool(workers=1, retries=-1)
+        with pytest.raises(ValueError):
+            SupervisedPool(workers=1, crash_retries=-1)

@@ -154,6 +154,141 @@ class TestSweepCommand:
         assert "invalidated 2 cached cell(s)" in err
         assert "0 cache hits, 2 executed" in err
 
+    def test_missing_workloads_is_a_usage_error(self, tmp_path, capsys):
+        code, _ = run_cli("sweep", "--jobs", "1",
+                          "--cache-dir", str(tmp_path / "cache"))
+        assert code == 2
+        assert "--workloads is required" in capsys.readouterr().err
+
+    def test_failed_cell_exits_nonzero(self, tmp_path):
+        import json
+        path = tmp_path / "report.json"
+        code, _ = run_cli(
+            "sweep", "--workloads", "swim", "--impedances", "200",
+            "--controllers", "none", "--cycles", "5000",
+            "--warmup", "0", "--jobs", "1", "--timeout", "1e-6",
+            "--no-cache", "--json", str(path))
+        assert code == 1
+        data = json.loads(path.read_text())
+        assert data["jobs"][0]["result"]["status"] == "budget"
+
+
+class TestSweepCrashTolerance:
+    """The journal / resume / chaos surface of ``sweep``."""
+
+    def sweep(self, tmp_path, *extra):
+        path = tmp_path / "report.json"
+        argv = ["sweep", "--workloads", "swim", "--impedances", "200",
+                "--controllers", "none", "fu_dl1_il1:2",
+                "--cycles", "250", "--warmup", "400", "--seed", "9",
+                "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+                "--json", str(path)] + list(extra)
+        code, text = run_cli(*argv)
+        return code, path
+
+    def test_journal_written_and_ended(self, tmp_path):
+        from repro.orchestrator import replay_journal
+        journal = tmp_path / "sweep.journal"
+        code, _ = self.sweep(tmp_path, "--journal", str(journal))
+        assert code == 0
+        state = replay_journal(journal)
+        assert state.ended
+        assert len(state.specs) == 2
+        assert state.pending_specs() == []
+
+    def test_fresh_journal_refuses_to_overwrite(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        self.sweep(tmp_path, "--journal", str(journal))
+        capsys.readouterr()
+        code, _ = self.sweep(tmp_path, "--journal", str(journal))
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_resume_replays_finished_cells(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        _, path = self.sweep(tmp_path, "--journal", str(journal))
+        first = path.read_bytes()
+        capsys.readouterr()
+        code, text = run_cli(
+            "sweep", "--resume", str(journal), "--jobs", "1",
+            "--no-cache", "--json", str(path))
+        assert code == 0
+        assert path.read_bytes() == first
+        err = capsys.readouterr().err
+        assert "resuming" in err
+        assert "replayed 2 cell(s)" in err
+        assert "2 cache hits, 0 executed, 0 errors" in err
+
+    def test_resume_supplies_grid_and_settings(self, tmp_path):
+        import json
+        journal = tmp_path / "sweep.journal"
+        self.sweep(tmp_path, "--journal", str(journal))
+        path = tmp_path / "resumed.json"
+        code, _ = run_cli("sweep", "--resume", str(journal),
+                          "--jobs", "1", "--json", str(path))
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["settings"]["workloads"] == ["swim"]
+        assert len(data["jobs"]) == 2
+
+    def test_resume_missing_journal_is_a_usage_error(self, tmp_path,
+                                                     capsys):
+        code, _ = run_cli("sweep", "--resume",
+                          str(tmp_path / "nope.journal"), "--jobs", "1")
+        assert code == 2
+        assert "cannot resume" in capsys.readouterr().err
+
+    def test_resume_and_journal_must_agree(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        self.sweep(tmp_path, "--journal", str(journal))
+        capsys.readouterr()
+        code, _ = run_cli("sweep", "--resume", str(journal),
+                          "--journal", str(tmp_path / "other.journal"),
+                          "--jobs", "1")
+        assert code == 2
+        assert "same file" in capsys.readouterr().err
+
+    def test_resume_with_explicit_superset_grid(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        self.sweep(tmp_path, "--journal", str(journal))
+        capsys.readouterr()
+        path = tmp_path / "super.json"
+        code, _ = run_cli(
+            "sweep", "--resume", str(journal),
+            "--workloads", "swim", "--impedances", "200",
+            "--controllers", "none", "fu_dl1_il1:2", "fu_dl1_il1:4",
+            "--cycles", "250", "--warmup", "400", "--seed", "9",
+            "--jobs", "1", "--no-cache", "--json", str(path))
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "replayed 2 cell(s)" in err
+        assert "3 jobs, 2 cache hits, 1 executed, 0 errors" in err
+
+    def test_poison_spec_crashes_without_losing_siblings(
+            self, tmp_path, monkeypatch, capsys):
+        import json
+        from repro.faults.chaos import CHAOS_ENV, CHAOS_ONCE_ENV
+        from repro.orchestrator import JobSpec
+        poison = JobSpec(workload="swim", cycles=250,
+                         warmup_instructions=400, seed=9,
+                         impedance_percent=200.0, delay=2)
+        monkeypatch.setenv(CHAOS_ENV,
+                           "kill@spec=%s" % poison.short_hash())
+        monkeypatch.delenv(CHAOS_ONCE_ENV, raising=False)
+        path = tmp_path / "report.json"
+        code, _ = run_cli(
+            "sweep", "--workloads", "swim", "--impedances", "200",
+            "--controllers", "none", "fu_dl1_il1:2",
+            "--cycles", "250", "--warmup", "400", "--seed", "9",
+            "--jobs", "2", "--crash-retries", "0", "--no-cache",
+            "--json", str(path))
+        assert code == 1
+        statuses = {job["spec"]["delay"]: job["result"]["status"]
+                    for job in json.loads(path.read_text())["jobs"]}
+        assert statuses[None] == "ok"
+        assert statuses[2] == "crashed"
+        assert "1 errors" in capsys.readouterr().err
+
 
 class TestTraceCommand:
     def trace(self, tmp_path, *extra):

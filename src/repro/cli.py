@@ -522,6 +522,11 @@ def cmd_sweep(args, out):
         return EXIT_USAGE
     if args.invalidate:
         dropped = sum(cache.invalidate(spec) for spec in specs)
+        if resume_results:
+            # Journal-replayed results would otherwise short-circuit
+            # the very cells the user just asked to invalidate.
+            for spec in specs:
+                resume_results.pop(spec.content_hash(), None)
         print("sweep: invalidated %d cached cell(s)" % dropped,
               file=sys.stderr)
     telemetry = (Telemetry(metrics=MetricsRegistry(),

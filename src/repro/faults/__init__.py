@@ -29,6 +29,7 @@ from repro.faults.chaos import (
     CHAOS_ENV,
     CHAOS_MODES,
     CHAOS_ONCE_ENV,
+    ChaosSet,
     ProcessChaos,
 )
 from repro.faults.injectors import (
@@ -70,6 +71,7 @@ __all__ = [
     "SimulationBudgetExceeded",
     "SimulationDiverged",
     "ProcessChaos",
+    "ChaosSet",
     "CHAOS_ENV",
     "CHAOS_ONCE_ENV",
     "CHAOS_MODES",

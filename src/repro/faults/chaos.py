@@ -11,7 +11,10 @@ Chaos is enabled purely through the environment -- the worker child
 reads it, the orchestrating parent never does -- which matches how the
 real failure arrives (the OOM killer does not consult your call graph):
 
-* ``REPRO_CHAOS`` -- ``MODE@TRIGGER``:
+* ``REPRO_CHAOS`` -- ``MODE@TRIGGER`` (or a comma-separated list of
+  them; each fault in a list keeps its *own* fire-once marker, so
+  ``kill@1,oom@spec=3f9a`` crashes one worker once while the poisoned
+  spec keeps OOMing):
 
   - ``MODE`` is ``kill`` (SIGKILL to self: the OOM-killer shape),
     ``exit`` (``os._exit``: interpreter abort), ``hang`` (sleep past
@@ -67,10 +70,13 @@ class ProcessChaos:
         once_dir: directory for the sweep-wide fire-once marker, or
             ``None`` to fire every time the trigger matches.
         hang_seconds: how long the ``hang`` mode sleeps.
+        marker: file name of the fire-once marker inside ``once_dir``
+            (each fault of a multi-fault set gets a distinct one).
     """
 
     def __init__(self, mode, ordinal=None, spec_prefix=None,
-                 once_dir=None, hang_seconds=3600.0):
+                 once_dir=None, hang_seconds=3600.0,
+                 marker=ONCE_MARKER):
         if mode not in CHAOS_MODES:
             raise ValueError("unknown chaos mode %r (known: %s)"
                              % (mode, ", ".join(CHAOS_MODES)))
@@ -93,6 +99,7 @@ class ProcessChaos:
         self.spec_prefix = spec_prefix
         self.once_dir = str(once_dir) if once_dir else None
         self.hang_seconds = float(hang_seconds)
+        self.marker = str(marker)
         self.fired = False
 
     @classmethod
@@ -116,12 +123,21 @@ class ProcessChaos:
 
     @classmethod
     def from_env(cls, environ=None):
-        """The armed chaos fault from ``REPRO_CHAOS``, or ``None``."""
+        """The armed chaos from ``REPRO_CHAOS``: ``None``, one
+        :class:`ProcessChaos`, or a :class:`ChaosSet` for a
+        comma-separated fault list."""
         environ = os.environ if environ is None else environ
         text = environ.get(CHAOS_ENV)
         if not text:
             return None
-        return cls.parse(text, once_dir=environ.get(CHAOS_ONCE_ENV))
+        once_dir = environ.get(CHAOS_ONCE_ENV)
+        parts = [part for part in text.split(",") if part]
+        if len(parts) == 1:
+            return cls.parse(parts[0], once_dir=once_dir)
+        return ChaosSet([
+            cls.parse(part, once_dir=once_dir,
+                      marker="%s.%d" % (ONCE_MARKER, n))
+            for n, part in enumerate(parts)])
 
     # -- triggering ----------------------------------------------------
 
@@ -137,7 +153,7 @@ class ProcessChaos:
         if self.once_dir is None:
             return True
         os.makedirs(self.once_dir, exist_ok=True)
-        path = os.path.join(self.once_dir, ONCE_MARKER)
+        path = os.path.join(self.once_dir, self.marker)
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
@@ -176,3 +192,28 @@ class ProcessChaos:
                    else "@spec=%s" % self.spec_prefix)
         return "<ProcessChaos %s%s%s>" % (
             self.mode, trigger, " once" if self.once_dir else "")
+
+
+class ChaosSet:
+    """Several armed chaos faults, checked in order on every job.
+
+    Built by :meth:`ProcessChaos.from_env` for a comma-separated
+    ``REPRO_CHAOS``.  Each fault keeps its own fire-once marker, so a
+    set can mix a transient crash (``kill@1`` + ``REPRO_CHAOS_ONCE``)
+    with a persistent failure (``oom@spec=...``).
+    """
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+
+    def fire(self, ordinal, spec_hash=None):
+        """Fire every matching fault; ``kill``/``exit`` never return."""
+        fired = False
+        for fault in self.faults:
+            if fault.fire(ordinal, spec_hash):
+                fired = True
+        return fired
+
+    def __repr__(self):
+        return "<ChaosSet [%s]>" % ", ".join(
+            repr(fault) for fault in self.faults)

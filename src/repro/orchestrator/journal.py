@@ -101,8 +101,31 @@ class SweepJournal:
             raise JournalError(
                 "journal %s already exists; resume it with --resume or "
                 "remove it first" % self.path)
+        if not fresh:
+            self._trim_torn_tail()
         self._fh = open(self.path, "a", encoding="utf-8")
         self.records_written = 0
+
+    def _trim_torn_tail(self):
+        """Drop a torn final line left by a killed writer.
+
+        A SIGKILL mid-record leaves the file ending without a newline;
+        appending onto that fragment would merge two records into one
+        corrupt *mid-file* line, which :func:`replay_journal` rightly
+        refuses (only the final line may be torn).  Truncate back to
+        the last newline before the first append instead -- exactly the
+        bytes a replay would have dropped anyway.
+        """
+        try:
+            with open(self.path, "r+b") as fh:
+                data = fh.read()
+                if not data or data.endswith(b"\n"):
+                    return
+                fh.truncate(data.rfind(b"\n") + 1)
+                fh.flush()
+                os.fsync(fh.fileno())
+        except FileNotFoundError:
+            pass
 
     # -- low-level -----------------------------------------------------
 

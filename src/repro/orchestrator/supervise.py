@@ -36,6 +36,7 @@ same way.
 import collections
 import itertools
 import multiprocessing
+import pickle
 import queue as queue_mod
 import random
 import signal
@@ -204,6 +205,7 @@ class SupervisedPool:
         pending = collections.deque(index for index, _spec in jobs)
         results = {}
         attempts = {index: 0 for index in specs}
+        raises = {index: 0 for index in specs}
         crashes = {index: 0 for index in specs}
         ctx = multiprocessing.get_context()
         result_queue = ctx.Queue()
@@ -236,6 +238,12 @@ class SupervisedPool:
                         message = result_queue.get_nowait()
                 except queue_mod.Empty:
                     return handled
+                except (EOFError, OSError, pickle.UnpicklingError):
+                    # A worker killed mid-send (OOM/SIGKILL while the
+                    # queue's feeder thread was writing) leaves a torn
+                    # pickle; treat it as no message and let the
+                    # liveness check attribute the dead worker.
+                    return handled
                 block_seconds = 0.0
                 handled = True
                 worker_id, index, kind, value, wall = message
@@ -249,9 +257,13 @@ class SupervisedPool:
                     finish(index, JobEnd(END_OK, value, attempts[index],
                                          crashes[index], wall))
                 else:
+                    raises[index] += 1
                     self.on_event("failed", index=index,
                                   attempt=attempts[index], reason=value)
-                    if attempts[index] > self.retries:
+                    # Compare raise-failures (not total dispatches)
+                    # against the retry budget: a crash-requeued
+                    # dispatch must not consume a raise retry.
+                    if raises[index] > self.retries:
                         finish(index, JobEnd(END_ERROR, value,
                                              attempts[index],
                                              crashes[index], wall))

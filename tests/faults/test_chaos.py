@@ -10,6 +10,7 @@ from repro.faults.chaos import (
     CHAOS_MODES,
     CHAOS_ONCE_ENV,
     ONCE_MARKER,
+    ChaosSet,
     ProcessChaos,
 )
 
@@ -106,3 +107,33 @@ class TestFireOnce:
         (tmp_path / ONCE_MARKER).write_text("123\n")
         chaos = ProcessChaos("oom", ordinal=1, once_dir=str(tmp_path))
         assert chaos.fire(1) is False
+
+
+class TestChaosSet:
+    def test_single_fault_stays_a_process_chaos(self):
+        chaos = ProcessChaos.from_env(environ={CHAOS_ENV: "kill@2"})
+        assert isinstance(chaos, ProcessChaos)
+
+    def test_list_builds_set_with_distinct_markers(self, tmp_path):
+        environ = {CHAOS_ENV: "kill@1,oom@spec=ab",
+                   CHAOS_ONCE_ENV: str(tmp_path)}
+        chaos = ProcessChaos.from_env(environ=environ)
+        assert isinstance(chaos, ChaosSet)
+        assert [fault.mode for fault in chaos.faults] == ["kill", "oom"]
+        assert len({fault.marker for fault in chaos.faults}) == 2
+
+    def test_faults_fire_once_each_independently(self, tmp_path):
+        environ = {CHAOS_ENV: "oom@1,oom@2",
+                   CHAOS_ONCE_ENV: str(tmp_path)}
+        chaos = ProcessChaos.from_env(environ=environ)
+        with pytest.raises(MemoryError):
+            chaos.fire(1)
+        with pytest.raises(MemoryError):
+            chaos.fire(2)
+        # Each fault's own marker is claimed; neither re-fires.
+        assert chaos.fire(1) is False
+        assert chaos.fire(2) is False
+
+    def test_malformed_member_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessChaos.from_env(environ={CHAOS_ENV: "kill@1,warp@2"})

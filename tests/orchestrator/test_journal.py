@@ -72,6 +72,49 @@ class TestSweepJournal:
         with pytest.raises(JournalError, match="closed"):
             journal.begin()
 
+    def test_resume_truncates_torn_tail_before_appending(self, tmp_path):
+        # A writer SIGKILLed mid-record leaves a torn final line.  A
+        # resume must not append onto the fragment: that would merge
+        # two records into one corrupt *mid-file* line, which replay
+        # rightly refuses -- permanently bricking the journal.
+        path = tmp_path / "sweep.journal"
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+        with open(path, "a") as fh:
+            fh.write('{"event":"done","job":"feed')  # torn final write
+        with SweepJournal(path, fsync=False) as journal:
+            journal.resumed()
+        state = replay_journal(path)
+        assert state.resumed
+        assert not state.dropped_tail
+        assert state.specs == [spec]
+
+    def test_resume_survives_repeated_torn_tails(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+        for _ in range(2):  # crash, resume, crash again, resume again
+            with open(path, "a") as fh:
+                fh.write('{"event":"dis')
+            with SweepJournal(path, fsync=False) as journal:
+                journal.resumed()
+        state = replay_journal(path)
+        assert state.resumed and state.specs == [spec]
+
+    def test_resume_of_fully_torn_file_starts_clean(self, tmp_path):
+        # The pathological case: the very first record was torn, so
+        # there is no newline anywhere in the file.
+        path = tmp_path / "sweep.journal"
+        path.write_text('{"event":"beg')
+        spec = tiny_spec(seed=1)
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+        state = replay_journal(path)
+        assert not state.dropped_tail
+        assert state.specs == [spec]
+
 
 class TestReplay:
     def write_full_run(self, path, specs, results=None):

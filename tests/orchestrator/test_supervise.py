@@ -10,7 +10,7 @@ import pytest
 
 from repro.faults.chaos import CHAOS_ENV, CHAOS_ONCE_ENV
 from repro.orchestrator import BackoffPolicy, JobSpec, SupervisedPool
-from repro.orchestrator.supervise import END_CRASHED, END_OK
+from repro.orchestrator.supervise import END_CRASHED, END_ERROR, END_OK
 
 
 def tiny_spec(**overrides):
@@ -136,6 +136,32 @@ class TestSupervisedPool:
                                  backoff=fast_backoff()).run([(0, spec)])
         assert results[0].kind == END_CRASHED
         assert results[0].crashes == 1
+
+    def test_raise_budget_exhaustion_yields_error(self, monkeypatch):
+        spec = tiny_spec(seed=1)
+        monkeypatch.setenv(CHAOS_ENV, "oom@spec=%s" % spec.short_hash())
+        monkeypatch.delenv(CHAOS_ONCE_ENV, raising=False)
+        results = SupervisedPool(workers=1, retries=1,
+                                 backoff=fast_backoff()).run([(0, spec)])
+        assert results[0].kind == END_ERROR
+        assert results[0].attempts == 2
+        assert "MemoryError" in results[0].payload
+
+    def test_crash_does_not_consume_raise_budget(self, monkeypatch,
+                                                 tmp_path):
+        # The first execution SIGKILLs its worker (once, sweep-wide);
+        # the execution after that raises (also once).  With retries=1
+        # the raise must still be retried -- a crash-requeued dispatch
+        # is not allowed to eat the raise budget.
+        spec = tiny_spec(seed=1)
+        monkeypatch.setenv(CHAOS_ENV,
+                           "kill@1,oom@spec=%s" % spec.short_hash())
+        monkeypatch.setenv(CHAOS_ONCE_ENV, str(tmp_path / "once"))
+        results = SupervisedPool(workers=1, retries=1,
+                                 backoff=fast_backoff()).run([(0, spec)])
+        assert results[0].kind == END_OK
+        assert results[0].crashes == 1
+        assert results[0].attempts == 3  # crash, raise, success
 
     def test_hung_worker_is_killed_and_job_requeued(self, monkeypatch,
                                                     tmp_path):

@@ -231,6 +231,24 @@ class TestSweepCrashTolerance:
         assert data["settings"]["workloads"] == ["swim"]
         assert len(data["jobs"]) == 2
 
+    def test_invalidate_with_resume_reruns_the_cells(self, tmp_path,
+                                                     capsys):
+        # --invalidate must beat the journal replay too: the whole
+        # point of the flag is forcing a re-execution, so journalled
+        # results may not short-circuit the invalidated cells.
+        journal = tmp_path / "sweep.journal"
+        _, path = self.sweep(tmp_path, "--journal", str(journal))
+        first = path.read_bytes()
+        capsys.readouterr()
+        code, _ = run_cli(
+            "sweep", "--resume", str(journal), "--invalidate",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(path))
+        assert code == 0
+        assert path.read_bytes() == first
+        err = capsys.readouterr().err
+        assert "0 cache hits, 2 executed" in err
+
     def test_resume_missing_journal_is_a_usage_error(self, tmp_path,
                                                      capsys):
         code, _ = run_cli("sweep", "--resume",

@@ -23,6 +23,21 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
   are load-bearing for CI: 0 all cells ok, 1 at least one cell ended
   ``diverged``/``budget``/``error``/``crashed``, 2 usage error, 3
   interrupted by SIGINT/SIGTERM (journal flushed, resumable).
+* ``serve`` -- the sweep service daemon: a journal-backed job queue
+  over HTTP.  Clients POST spec grids, the daemon executes them with
+  the same supervised orchestrator as ``sweep``, results are polled
+  by content hash with ``ETag``/304 caching.  Admitted work is
+  journalled before it is acknowledged, so a killed server restarted
+  on the same ``--journal`` resumes byte-identically.  SIGTERM drains
+  gracefully and exits 3, like an interrupted sweep.
+* ``submit`` -- the matching client: submit a grid to a running
+  server, ride out restarts with deterministic seeded retry/backoff,
+  and write the same merged byte-stable report ``sweep`` emits.
+  Exits 4 when the server stays unreachable past the retry budget.
+* ``poll`` -- check individual job hashes on a server (scripting).
+* ``journal compact PATH`` -- rewrite a sweep journal down to its
+  last-write-wins records (atomic; refuses if a live writer holds it).
+* ``cache stats|clear`` -- inspect or empty the result cache.
 * ``trace`` (alias ``run``) -- one fully instrumented closed-loop run:
   cycle-stamped events to Chrome trace-event JSON (``--trace-out``,
   loadable in Perfetto / ``chrome://tracing``), byte-stable JSONL
@@ -31,6 +46,7 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
 """
 
 import argparse
+import json
 import os
 import sys
 import tempfile
@@ -56,6 +72,9 @@ EXIT_OK = 0
 EXIT_CELL_FAILURES = 1
 EXIT_USAGE = 2
 EXIT_INTERRUPTED = 3
+#: ``submit``/``poll``: the server stayed unreachable (or draining)
+#: past the whole retry budget -- infrastructure, not cell results.
+EXIT_UNAVAILABLE = 4
 
 #: Cell statuses that make ``sweep`` exit non-zero: a CI grid must
 #: fail loudly instead of shipping a green partial report.
@@ -188,6 +207,107 @@ def build_parser():
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the orchestrator's metrics registry "
                         "JSON here (cache hits/misses, retries, errors)")
+
+    p = sub.add_parser("serve",
+                       help="run the sweep service daemon")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port (default 0: ephemeral; the bound "
+                        "port is printed to stderr and written to "
+                        "--port-file)")
+    p.add_argument("--journal", required=True, metavar="PATH",
+                   help="the write-ahead log backing the job queue "
+                        "(created if missing, resumed if present; the "
+                        "server holds its writer lock)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/repro-didt)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="never serve or store cached results")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or CPUs)")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="max cells awaiting dispatch before submissions "
+                        "shed with 429 (default 1024)")
+    p.add_argument("--batch-limit", type=int, default=64,
+                   help="max cells per runner batch (default 64)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-cell wall-clock budget, seconds")
+    p.add_argument("--retries", type=int, default=1,
+                   help="retries for transiently failing cells (default 1)")
+    p.add_argument("--crash-retries", type=int, default=2,
+                   help="retries for cells whose worker process dies "
+                        "(default 2)")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="per-connection socket timeout, seconds "
+                        "(default 30)")
+    p.add_argument("--port-file", metavar="PATH", default=None,
+                   help="atomically write the bound port here (for "
+                        "scripts wrapping an ephemeral --port 0)")
+
+    p = sub.add_parser("submit",
+                       help="submit a grid to a sweep server and wait")
+    p.add_argument("--server", required=True, metavar="URL",
+                   help="base URL of a running server, e.g. "
+                        "http://127.0.0.1:8750")
+    p.add_argument("--workloads", nargs="+", required=True,
+                   metavar="WORKLOAD",
+                   help="benchmark names (or 'stressmark')")
+    p.add_argument("--impedances", nargs="+", type=float, default=[200.0],
+                   metavar="PCT",
+                   help="impedance levels, %% of target (default: 200)")
+    p.add_argument("--controllers", nargs="+", default=["none"],
+                   metavar="CTRL",
+                   help="'none' or ACTUATOR[:DELAY[:ERROR]] "
+                        "(default: none)")
+    p.add_argument("--cycles", type=int, default=20000,
+                   help="timed cycles per cell (default 20000)")
+    p.add_argument("--warmup", type=int, default=None,
+                   help="warm-up instructions per cell")
+    p.add_argument("--seed", type=int, default=11,
+                   help="workload seed (default 11)")
+    p.add_argument("--json", default="-", metavar="PATH",
+                   help="merged report destination ('-' for stdout, "
+                        "the default)")
+    p.add_argument("--no-wait", action="store_true",
+                   help="submit and print the admission receipt "
+                        "without waiting for results")
+    p.add_argument("--poll-seconds", type=float, default=0.5,
+                   help="delay between poll rounds while waiting "
+                        "(default 0.5)")
+    p.add_argument("--retry-budget", type=int, default=8,
+                   help="attempts per request before giving up with "
+                        "exit 4 (default 8; backoff between attempts "
+                        "is deterministic)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="give up waiting after this many seconds "
+                        "(exit 4)")
+
+    p = sub.add_parser("poll",
+                       help="poll job hashes on a sweep server")
+    p.add_argument("jobs", nargs="+", metavar="HASH",
+                   help="job content hashes (from a submit receipt)")
+    p.add_argument("--server", required=True, metavar="URL")
+    p.add_argument("--retry-budget", type=int, default=8,
+                   help="attempts per request before exit 4 (default 8)")
+
+    p = sub.add_parser("journal", help="sweep-journal maintenance")
+    p.add_argument("action", choices=["compact"],
+                   help="compact: atomically rewrite the journal down "
+                        "to its last-write-wins records")
+    p.add_argument("path", metavar="JOURNAL", help="the journal file")
+
+    p = sub.add_parser("cache", help="result-cache maintenance")
+    p.add_argument("action", choices=["stats", "clear"],
+                   help="stats: scan and summarize; clear: drop every "
+                        "entry under the current code-version salt")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache root (default: REPRO_CACHE_DIR or "
+                        "~/.cache/repro-didt)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="stats: skip per-entry checksum verification "
+                        "(fast count only)")
 
     p = sub.add_parser("trace", aliases=["run"],
                        help="instrumented closed-loop run with trace/"
@@ -568,6 +688,20 @@ def cmd_sweep(args, out):
     if journal is not None:
         journal.end()
         journal.close()
+        # A cleanly completed journal is all history; compact it so
+        # repeated resume cycles cannot grow the WAL without bound.
+        # Best-effort: a compaction hiccup must not fail a finished
+        # sweep whose report is about to be written.
+        try:
+            from repro.orchestrator import compact_journal
+            stats = compact_journal(journal_path)
+        except (OSError, JournalError) as exc:
+            print("sweep: journal compaction skipped (%s)" % exc,
+                  file=sys.stderr)
+        else:
+            print("sweep: journal compacted (%d -> %d records)"
+                  % (stats["records_before"], stats["records_after"]),
+                  file=sys.stderr)
     text = report_json(outcomes, settings,
                        execution=args.execution_detail)
     if args.json == "-":
@@ -591,6 +725,173 @@ def cmd_sweep(args, out):
     if args.json != "-":
         print("report written to %s" % args.json, file=sys.stderr)
     return EXIT_CELL_FAILURES if failures else EXIT_OK
+
+
+def cmd_serve(args, out):
+    """The ``serve`` command: run the sweep service daemon.
+
+    Blocks until shutdown.  Exit codes: 0 clean stop, 2 usage error
+    (bad flags, journal locked by another writer), 3 drained after
+    SIGTERM/SIGINT (journal flushed; restarting on the same
+    ``--journal`` resumes the admitted work).
+    """
+    import signal
+    import threading
+
+    from repro.orchestrator import JournalError, ResultCache
+    from repro.server import SweepServer
+
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    try:
+        server = SweepServer(
+            args.journal, cache=cache, jobs=args.jobs,
+            queue_limit=args.queue_limit, batch_limit=args.batch_limit,
+            timeout_seconds=args.timeout, retries=args.retries,
+            crash_retries=args.crash_retries,
+            host=args.host, port=args.port,
+            request_timeout=args.request_timeout)
+    except (OSError, JournalError, ValueError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    port = server.start()
+    if args.port_file:
+        _write_text_atomic(args.port_file, str(port))
+    print("serve: listening on http://%s:%d (journal %s)"
+          % (server.host, port, args.journal), file=sys.stderr)
+    # Between batches the runner's own SIGTERM handler is not
+    # installed; route SIGTERM through KeyboardInterrupt for the whole
+    # executor loop so an idle server drains exactly like a busy one.
+    previous = None
+    if threading.current_thread() is threading.main_thread():
+        def _raise(signum, frame):
+            raise KeyboardInterrupt("SIGTERM")
+        try:
+            previous = signal.signal(signal.SIGTERM, _raise)
+        except (ValueError, OSError):
+            previous = None
+    try:
+        code = server.run()
+    finally:
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
+    if code == EXIT_INTERRUPTED:
+        print("serve: drained; resume with: repro-didt serve --journal "
+              "%s" % args.journal, file=sys.stderr)
+    else:
+        print("serve: stopped cleanly", file=sys.stderr)
+    return code
+
+
+def cmd_submit(args, out):
+    """The ``submit`` command: grid -> server -> merged JSON report.
+
+    The report is byte-identical to what ``sweep`` with the same grid
+    flags would emit.  Exit codes: 0 every cell ``ok``; 1 at least one
+    cell in a failure status; 2 usage/terminal server error; 4 the
+    server stayed unreachable past the retry budget (or ``--deadline``
+    passed).
+    """
+    from repro.orchestrator import JobOutcome, report_json
+    from repro.server import ServerError, ServerUnavailable, SweepClient
+
+    try:
+        specs, settings = _sweep_grid(args)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    client = SweepClient(args.server, retry_budget=args.retry_budget)
+    try:
+        if args.no_wait:
+            payload = client.submit(specs)
+            print(json.dumps(payload, sort_keys=True, indent=2),
+                  file=out)
+            return EXIT_OK
+        results = client.wait(specs, poll_seconds=args.poll_seconds,
+                              deadline_seconds=args.deadline)
+    except ServerUnavailable as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_UNAVAILABLE
+    except TimeoutError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_UNAVAILABLE
+    except ServerError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    outcomes = [JobOutcome(spec, results[spec.content_hash()],
+                           cached=True, attempts=0, source="server")
+                for spec in specs]
+    text = report_json(outcomes, settings)
+    if args.json == "-":
+        print(text, file=out)
+    else:
+        _write_text_atomic(args.json, text)
+        print("report written to %s" % args.json, file=sys.stderr)
+    failures = sum(1 for o in outcomes
+                   if o.result.get("status") in FAILURE_STATUSES)
+    print("submit: %d cell(s) from %s, %d failure(s)"
+          % (len(outcomes), args.server, failures), file=sys.stderr)
+    return EXIT_CELL_FAILURES if failures else EXIT_OK
+
+
+def cmd_poll(args, out):
+    """The ``poll`` command: check job hashes on a running server.
+
+    Prints ``{"jobs": {hash: payload-or-null}}``.  Exit codes: 0 every
+    polled job is known and done, 1 otherwise, 4 server unreachable.
+    """
+    from repro.server import ServerError, ServerUnavailable, SweepClient
+
+    client = SweepClient(args.server, retry_budget=args.retry_budget)
+    payloads = {}
+    code = EXIT_OK
+    try:
+        for job in args.jobs:
+            found, payload, _etag = client.poll(job)
+            payloads[job] = payload if found else None
+            if not found or not payload \
+                    or payload.get("status") != "done":
+                code = EXIT_CELL_FAILURES
+    except (ServerUnavailable, ServerError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return (EXIT_UNAVAILABLE if isinstance(exc, ServerUnavailable)
+                else EXIT_USAGE)
+    print(json.dumps({"jobs": payloads}, sort_keys=True, indent=2),
+          file=out)
+    return code
+
+
+def cmd_journal(args, out):
+    """The ``journal`` command: maintenance on a sweep journal."""
+    from repro.orchestrator import JournalError, compact_journal
+
+    try:
+        stats = compact_journal(args.path)
+    except FileNotFoundError:
+        print("error: no journal at %s" % args.path, file=sys.stderr)
+        return EXIT_USAGE
+    except (OSError, JournalError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    print(json.dumps(stats, sort_keys=True, indent=2), file=out)
+    return EXIT_OK
+
+
+def cmd_cache(args, out):
+    """The ``cache`` command: inspect or empty the result cache."""
+    from repro.orchestrator import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    if args.action == "stats":
+        info = cache.stats(verify=not args.no_verify)
+        print(json.dumps(info, sort_keys=True, indent=2), file=out)
+        return EXIT_OK
+    reclaimed = cache.sweep_orphans(max_age_seconds=0.0)
+    removed = cache.clear()
+    print(json.dumps({"root": cache.root, "salt": cache.salt,
+                      "removed": removed,
+                      "orphan_tmp_reclaimed": reclaimed},
+                     sort_keys=True, indent=2), file=out)
+    return EXIT_OK
 
 
 def cmd_trace(args, out):
@@ -699,6 +1000,11 @@ _COMMANDS = {
     "control": cmd_control,
     "campaign": cmd_campaign,
     "sweep": cmd_sweep,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "poll": cmd_poll,
+    "journal": cmd_journal,
+    "cache": cmd_cache,
     "trace": cmd_trace,
     "run": cmd_trace,        # alias registered on the trace sub-parser
     "list": cmd_list,

@@ -24,7 +24,14 @@ real failure arrives (the OOM killer does not consult your call graph):
     worker process executes, 1-based) or ``spec=HEXPREFIX`` (fire on
     any job whose spec content hash starts with the prefix -- this is
     how a *poison spec* is made: it takes its worker down on every
-    attempt, on every worker).
+    attempt, on every worker);
+  - prefixing the trigger with ``serve=`` moves the fault from the
+    worker child to the sweep *server's* executor (see
+    :mod:`repro.server`): ``kill@serve=2`` SIGKILLs the serving
+    process as it dispatches its 2nd admitted cell, mid-request, so
+    the client -> server -> pool -> journal recovery path is
+    rehearsable end to end.  Worker-scoped and serve-scoped faults
+    coexist in one list; each side arms only its own scope.
 
 * ``REPRO_CHAOS_ONCE`` -- optional directory holding a fire-once
   marker.  The first worker to trigger claims the marker atomically
@@ -54,6 +61,10 @@ ONCE_MARKER = "chaos.fired"
 #: Understood chaos modes.
 CHAOS_MODES = ("kill", "exit", "hang", "oom")
 
+#: Where a fault is armed: in an orchestrator worker child, or in the
+#: sweep server's executor loop.
+CHAOS_SCOPES = ("worker", "serve")
+
 #: Exit status used by the ``exit`` mode (distinctive in logs).
 CHAOS_EXIT_CODE = 86
 
@@ -72,14 +83,20 @@ class ProcessChaos:
         hang_seconds: how long the ``hang`` mode sleeps.
         marker: file name of the fire-once marker inside ``once_dir``
             (each fault of a multi-fault set gets a distinct one).
+        scope: one of :data:`CHAOS_SCOPES` -- where this fault arms
+            (``"worker"``: an orchestrator worker child, the default;
+            ``"serve"``: the sweep server's executor loop).
     """
 
     def __init__(self, mode, ordinal=None, spec_prefix=None,
                  once_dir=None, hang_seconds=3600.0,
-                 marker=ONCE_MARKER):
+                 marker=ONCE_MARKER, scope="worker"):
         if mode not in CHAOS_MODES:
             raise ValueError("unknown chaos mode %r (known: %s)"
                              % (mode, ", ".join(CHAOS_MODES)))
+        if scope not in CHAOS_SCOPES:
+            raise ValueError("unknown chaos scope %r (known: %s)"
+                             % (scope, ", ".join(CHAOS_SCOPES)))
         if (ordinal is None) == (spec_prefix is None):
             raise ValueError("exactly one of ordinal/spec_prefix "
                              "must be given")
@@ -100,16 +117,25 @@ class ProcessChaos:
         self.once_dir = str(once_dir) if once_dir else None
         self.hang_seconds = float(hang_seconds)
         self.marker = str(marker)
+        self.scope = scope
         self.fired = False
 
     @classmethod
     def parse(cls, text, once_dir=None, **kwargs):
-        """Build from a ``MODE@TRIGGER`` string (the env-var syntax)."""
+        """Build from a ``MODE@TRIGGER`` string (the env-var syntax).
+        A ``serve=`` trigger prefix selects the server-executor scope
+        (``kill@serve=2``, ``hang@serve=spec=3f9a``)."""
         mode, sep, trigger = str(text).partition("@")
         if not sep or not trigger:
             raise ValueError("chaos spec must look like MODE@TRIGGER "
-                             "(e.g. kill@2, oom@spec=3f9a), got %r"
-                             % (text,))
+                             "(e.g. kill@2, oom@spec=3f9a, "
+                             "kill@serve=1), got %r" % (text,))
+        if trigger.startswith("serve="):
+            kwargs.setdefault("scope", "serve")
+            trigger = trigger[len("serve="):]
+            if not trigger:
+                raise ValueError("empty serve= chaos trigger in %r"
+                                 % (text,))
         if trigger.startswith("spec="):
             return cls(mode, spec_prefix=trigger[len("spec="):],
                        once_dir=once_dir, **kwargs)
@@ -122,10 +148,17 @@ class ProcessChaos:
         return cls(mode, ordinal=ordinal, once_dir=once_dir, **kwargs)
 
     @classmethod
-    def from_env(cls, environ=None):
-        """The armed chaos from ``REPRO_CHAOS``: ``None``, one
-        :class:`ProcessChaos`, or a :class:`ChaosSet` for a
-        comma-separated fault list."""
+    def from_env(cls, environ=None, scope="worker"):
+        """The armed chaos from ``REPRO_CHAOS`` for one scope:
+        ``None``, one :class:`ProcessChaos`, or a :class:`ChaosSet`
+        for a comma-separated fault list.  Faults whose scope differs
+        are dropped (each side of the client/server split arms only
+        its own), but marker names are assigned over the *full* list,
+        so a worker-scoped and a serve-scoped fault never share a
+        fire-once marker."""
+        if scope not in CHAOS_SCOPES:
+            raise ValueError("unknown chaos scope %r (known: %s)"
+                             % (scope, ", ".join(CHAOS_SCOPES)))
         environ = os.environ if environ is None else environ
         text = environ.get(CHAOS_ENV)
         if not text:
@@ -133,11 +166,17 @@ class ProcessChaos:
         once_dir = environ.get(CHAOS_ONCE_ENV)
         parts = [part for part in text.split(",") if part]
         if len(parts) == 1:
-            return cls.parse(parts[0], once_dir=once_dir)
-        return ChaosSet([
-            cls.parse(part, once_dir=once_dir,
-                      marker="%s.%d" % (ONCE_MARKER, n))
-            for n, part in enumerate(parts)])
+            faults = [cls.parse(parts[0], once_dir=once_dir)]
+        else:
+            faults = [cls.parse(part, once_dir=once_dir,
+                                marker="%s.%d" % (ONCE_MARKER, n))
+                      for n, part in enumerate(parts)]
+        faults = [fault for fault in faults if fault.scope == scope]
+        if not faults:
+            return None
+        if len(faults) == 1:
+            return faults[0]
+        return ChaosSet(faults)
 
     # -- triggering ----------------------------------------------------
 
@@ -190,6 +229,8 @@ class ProcessChaos:
     def __repr__(self):
         trigger = ("@%d" % self.ordinal if self.ordinal is not None
                    else "@spec=%s" % self.spec_prefix)
+        if self.scope != "worker":
+            trigger = "@%s=%s" % (self.scope, trigger[1:])
         return "<ProcessChaos %s%s%s>" % (
             self.mode, trigger, " once" if self.once_dir else "")
 

@@ -47,6 +47,8 @@ from repro.orchestrator.journal import (
     JournalError,
     JournalState,
     SweepJournal,
+    compact_journal,
+    compacted_records,
     replay_journal,
 )
 from repro.orchestrator.runner import (
@@ -90,6 +92,8 @@ __all__ = [
     "JournalState",
     "JournalError",
     "replay_journal",
+    "compact_journal",
+    "compacted_records",
     "Runner",
     "JobOutcome",
     "SweepInterrupted",

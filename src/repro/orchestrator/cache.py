@@ -175,6 +175,56 @@ class ResultCache:
             raise
         return path
 
+    def stats(self, verify=True):
+        """Scan this cache's salt tree and summarize what is on disk.
+
+        Args:
+            verify: also parse every entry and check its payload
+                checksum, counting entries that would degrade to an
+                integrity miss on read (torn writes, hand edits).
+
+        Returns:
+            A JSON-safe dict: ``root``, ``salt``, ``enabled``,
+            ``entries``, ``bytes`` (total size of valid-named
+            entries), ``invalid_entries`` (present but untrustworthy;
+            ``0`` when ``verify`` is off), and ``orphan_tmp`` (temp
+            files abandoned by a killed writer, reclaimable via
+            :meth:`sweep_orphans`).
+        """
+        info = {"root": self.root, "salt": self.salt,
+                "enabled": self.enabled, "entries": 0, "bytes": 0,
+                "invalid_entries": 0, "orphan_tmp": 0}
+        base = os.path.join(self.root, self.salt)
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                if name.endswith(".tmp"):
+                    info["orphan_tmp"] += 1
+                    continue
+                if not name.endswith(".json"):
+                    continue
+                info["entries"] += 1
+                try:
+                    info["bytes"] += os.path.getsize(path)
+                except OSError:
+                    pass
+                if not verify:
+                    continue
+                try:
+                    with open(path, "r") as fh:
+                        payload = json.load(fh)
+                    result = payload["result"]
+                    if not isinstance(result, dict) \
+                            or "status" not in result:
+                        raise ValueError("malformed result")
+                    if payload.get("checksum") != result_checksum(result):
+                        raise ValueError("payload checksum mismatch")
+                    if payload.get("salt") != self.salt:
+                        raise ValueError("salt mismatch")
+                except (OSError, ValueError, KeyError, TypeError):
+                    info["invalid_entries"] += 1
+        return info
+
     def invalidate(self, spec):
         """Drop one entry; returns whether anything was removed."""
         if not self.enabled:

@@ -27,11 +27,27 @@ hit) are harmless.
 Only deterministic results (``ok``/``diverged`` -- the same statuses
 the :class:`~repro.orchestrator.cache.ResultCache` memoizes) are
 reusable on replay; ``budget``/``error``/``crashed`` cells re-run.
+
+Two writer-safety properties round the WAL out.  *Exclusivity*: a
+:class:`SweepJournal` takes an advisory ``flock`` on its file, so two
+sweeps (or servers) pointed at the same ``--journal`` path fail fast
+with a clear :class:`JournalError` instead of interleaving records.
+*Compaction*: the log grows without bound across resume cycles;
+:func:`compact_journal` atomically rewrites it down to the
+last-write-wins records a replay would keep (write temp + fsync +
+rename, taking the same lock), and ``repro-didt sweep`` compacts on
+clean completion.
 """
 
 import hashlib
 import json
 import os
+import tempfile
+
+try:
+    import fcntl
+except ImportError:          # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 from repro.orchestrator.cache import CACHEABLE_STATUSES
 from repro.orchestrator.spec import JobSpec
@@ -45,6 +61,25 @@ _CHECKSUM_LEN = 12
 
 class JournalError(ValueError):
     """A journal that cannot be trusted (corruption before the tail)."""
+
+
+def _lock_or_raise(fh, path):
+    """Take the advisory writer lock on an open journal file.
+
+    ``flock`` locks attach to the open file description, so two opens
+    of the same path conflict even inside one process -- exactly the
+    failure we want loud: two sweeps or servers sharing a ``--journal``
+    would interleave records into an unreplayable log.
+    """
+    if fcntl is None:
+        return
+    try:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        raise JournalError(
+            "journal %s is locked by another live writer (a running "
+            "sweep or server owns it); point this run at its own "
+            "--journal path" % path)
 
 
 def _canonical(record):
@@ -89,6 +124,10 @@ class SweepJournal:
             on purpose with ``fresh=False``).
         fsync: fsync after every record (the durability point of the
             whole exercise; only tests should turn it off).
+
+    Raises:
+        JournalError: the file exists under ``fresh=True``, or another
+        live writer holds the journal's advisory lock.
     """
 
     def __init__(self, path, fresh=False, fsync=True):
@@ -101,10 +140,22 @@ class SweepJournal:
             raise JournalError(
                 "journal %s already exists; resume it with --resume or "
                 "remove it first" % self.path)
-        if not fresh:
-            self._trim_torn_tail()
-        self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh = None
+        self._open(trim=not fresh)
         self.records_written = 0
+
+    def _open(self, trim=False):
+        fh = open(self.path, "a", encoding="utf-8")
+        try:
+            _lock_or_raise(fh, self.path)
+        except JournalError:
+            fh.close()
+            raise
+        # Trim only once the lock is held: truncating a torn tail out
+        # from under a *live* writer would corrupt its next record.
+        if trim:
+            self._trim_torn_tail()
+        self._fh = fh
 
     def _trim_torn_tail(self):
         """Drop a torn final line left by a killed writer.
@@ -197,6 +248,25 @@ class SweepJournal:
     def end(self):
         """The sweep ran to completion (every cell terminal)."""
         self._write({"event": "end"})
+
+    def compact(self):
+        """Rewrite the file down to its last-write-wins records while
+        keeping this journal open for further appends.
+
+        The writer lock is released for the rewrite (the file is
+        swapped by inode) and retaken on the compacted file; see
+        :func:`compact_journal` for what survives.  Returns its stats
+        dict.
+        """
+        if self._fh is None:
+            raise JournalError("journal %s is closed" % self.path)
+        self._fh.close()
+        self._fh = None
+        try:
+            stats = compact_journal(self.path, fsync=self.fsync)
+        finally:
+            self._open()
+        return stats
 
     def __repr__(self):
         return "SweepJournal(path=%r, records=%d)" % (self.path,
@@ -342,3 +412,84 @@ def replay_journal(path, expected_salt=None):
             and state.salt != expected_salt:
         state.results = {}
     return state
+
+
+def compacted_records(state):
+    """The minimal record list whose replay equals ``state``.
+
+    Kept: the ``begin`` header (settings + salt), one ``queued`` per
+    spec in first-queued order, the latest reusable ``done`` per cell,
+    an ``interrupted`` marker if the sweep stopped early, and ``end``
+    if it completed.  Dropped: ``resumed`` markers and per-cell
+    ``dispatched``/``failed``/``crashed`` transitions -- cells whose
+    latest state was transient simply replay as pending, which is what
+    they were.
+    """
+    records = [{"event": "begin", "schema": JOURNAL_SCHEMA,
+                "settings": dict(state.settings), "salt": state.salt}]
+    for spec in state.specs:
+        records.append({"event": "queued", "job": spec.content_hash(),
+                        "spec": spec.to_dict()})
+    for spec in state.specs:
+        job = spec.content_hash()
+        if job in state.results:
+            records.append({"event": "done", "job": job,
+                            "result": state.results[job]})
+    if state.interrupted and not state.ended:
+        records.append({"event": "interrupted"})
+    if state.ended:
+        records.append({"event": "end"})
+    return records
+
+
+def compact_journal(path, fsync=True):
+    """Atomically rewrite a journal down to last-write-wins records.
+
+    The WAL grows without bound across resume cycles (every resumed
+    sweep re-journals its replayed cells); compaction rewrites it to
+    the records :func:`compacted_records` keeps, via a same-directory
+    temp file + fsync + ``os.replace`` so a crash mid-compaction
+    leaves either the old file or the new one, never a torn hybrid.
+    The advisory writer lock is taken for the duration -- compacting a
+    journal a live sweep or server is appending to raises
+    :class:`JournalError` instead of eating its records.
+
+    Returns a stats dict: ``records_before``/``records_after`` and
+    ``bytes_before``/``bytes_after``.
+    """
+    path = str(path)
+    with open(path, "r", encoding="utf-8") as guard:
+        _lock_or_raise(guard, path)
+        raw = guard.read()
+        bytes_before = len(raw.encode("utf-8"))
+        records_before = sum(1 for line in raw.split("\n") if line)
+        state = replay_journal(path)
+        lines = [encode_record(record) + "\n"
+                 for record in compacted_records(state)]
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".compact")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as out:
+                out.write("".join(lines))
+                out.flush()
+                if fsync:
+                    os.fsync(out.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if fsync:
+            dir_fd = os.open(directory, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+    return {
+        "records_before": records_before,
+        "records_after": len(lines),
+        "bytes_before": bytes_before,
+        "bytes_after": os.path.getsize(path),
+    }

@@ -1,0 +1,58 @@
+"""Sweep-as-a-service: a durable, journal-backed job daemon.
+
+``repro-didt serve`` turns the crash-tolerant sweep stack into a
+long-running service: clients POST grids of
+:class:`~repro.orchestrator.spec.JobSpec` cells, the daemon executes
+them through the ordinary :class:`~repro.orchestrator.runner.Runner` /
+supervised-pool machinery, and results are polled back by content
+hash with ``ETag``/304 semantics.  The
+:class:`~repro.orchestrator.journal.SweepJournal` WAL is the durable
+queue: admitted work survives a SIGKILL of the server and resumes on
+restart, byte-identically.
+
+Layout:
+
+* :mod:`repro.server.queue` -- the bounded, idempotent in-memory
+  admission queue (the working set; the journal is the truth);
+* :mod:`repro.server.app` -- :class:`SweepServer`: lifecycle, journal
+  replay at boot, the executor loop, graceful drain (exit 3);
+* :mod:`repro.server.handlers` -- the HTTP surface (submit / poll /
+  healthz / readyz / metrics);
+* :mod:`repro.server.client` -- :class:`SweepClient`: retrying
+  submit/poll/wait with deterministic seeded backoff (powers
+  ``repro-didt submit``).
+
+See DESIGN.md section 12 for the durability model and endpoint table.
+"""
+
+from repro.server.app import EXIT_CLEAN, EXIT_DRAINED, SweepServer
+from repro.server.client import (
+    DEFAULT_RETRY_BUDGET,
+    ServerError,
+    ServerUnavailable,
+    SweepClient,
+)
+from repro.server.queue import (
+    STATUS_DONE,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    JobEntry,
+    JobQueue,
+    QueueFull,
+)
+
+__all__ = [
+    "SweepServer",
+    "EXIT_CLEAN",
+    "EXIT_DRAINED",
+    "SweepClient",
+    "ServerError",
+    "ServerUnavailable",
+    "DEFAULT_RETRY_BUDGET",
+    "JobQueue",
+    "JobEntry",
+    "QueueFull",
+    "STATUS_QUEUED",
+    "STATUS_RUNNING",
+    "STATUS_DONE",
+]

@@ -1,0 +1,387 @@
+"""The sweep service daemon: journal-backed queue + supervised runner.
+
+:class:`SweepServer` wraps the crash-tolerant sweep stack in a
+long-running process.  The division of labour:
+
+* an :class:`~http.server.ThreadingHTTPServer` (background thread,
+  one handler thread per connection) admits jobs and serves results;
+* the *executor loop* (:meth:`SweepServer.run`, the caller's -- main
+  -- thread) drains the queue in batches through the ordinary
+  :class:`~repro.orchestrator.runner.Runner` /
+  :class:`~repro.orchestrator.supervise.SupervisedPool` stack, so
+  worker crash recovery, retry budgets, and chaos injection all work
+  exactly as they do under ``repro-didt sweep``;
+* the :class:`~repro.orchestrator.journal.SweepJournal` WAL is the
+  *durable* queue: an admitted cell is journalled (fsync'd) before the
+  202 leaves the building, so a SIGKILL'd server restarted on the same
+  ``--journal`` replays finished cells and re-queues the remainder
+  without being asked.
+
+Durability contract: the submit *response* is the durability
+acknowledgement.  A crash between admission and the 202 may lose those
+cells -- the client never saw an ACK and must resubmit (the bundled
+client does, on 404 at poll time).  Duplicate ``queued`` records from
+such retries are harmless: journal replay deduplicates by content hash.
+
+Graceful drain: SIGTERM/SIGINT surface as ``KeyboardInterrupt`` in the
+executor thread (the CLI installs the handler; inside a running batch
+the runner's own handler takes over).  The server stops admitting
+(``/readyz`` 503, ``POST /jobs`` 503), lets the runner flush finished
+cells and the ``interrupted`` record, tears the HTTP thread down, and
+:meth:`run` returns exit code 3 -- the same resumable contract as an
+interrupted ``sweep``.
+
+Chaos: the executor arms ``REPRO_CHAOS`` faults in the ``serve`` scope
+(``kill@serve=N`` and friends, see :mod:`repro.faults.chaos`), firing
+as admitted cells are dispatched; worker-scoped faults ride the
+environment into the pool's worker children untouched.
+"""
+
+import os
+import threading
+import time
+from http.server import ThreadingHTTPServer
+
+from repro.faults.chaos import ProcessChaos
+from repro.orchestrator.cache import ResultCache, result_checksum
+from repro.orchestrator.journal import SweepJournal, replay_journal
+from repro.orchestrator.runner import Runner, SweepInterrupted
+from repro.server.handlers import ApiHandler
+from repro.server.queue import JobQueue
+from repro.telemetry import MetricsRegistry, Telemetry
+
+#: Exit codes :meth:`SweepServer.run` returns (mirrors ``sweep``).
+EXIT_CLEAN = 0
+EXIT_DRAINED = 3
+
+#: Executor wake-up period while the queue is empty (also the drain
+#: signal latency bound when idle).
+_IDLE_POLL_SECONDS = 0.2
+
+
+class _LockedJournal:
+    """Serializes journal writes across handler threads and the
+    executor (a :class:`SweepJournal` is not thread-safe, and the
+    admission path appends from whichever handler thread got the
+    request)."""
+
+    def __init__(self, journal):
+        self._journal = journal
+        self._lock = threading.Lock()
+
+    def queued(self, spec):
+        with self._lock:
+            self._journal.queued(spec)
+
+    def done(self, job_hash, result):
+        with self._lock:
+            self._journal.done(job_hash, result)
+
+    def dispatched(self, job_hash, attempt):
+        with self._lock:
+            self._journal.dispatched(job_hash, attempt)
+
+    def failed(self, job_hash, attempt, error):
+        with self._lock:
+            self._journal.failed(job_hash, attempt, error)
+
+    def crashed(self, job_hash, attempt, reason):
+        with self._lock:
+            self._journal.crashed(job_hash, attempt, reason)
+
+    def resumed(self):
+        with self._lock:
+            self._journal.resumed()
+
+    def interrupted(self):
+        with self._lock:
+            self._journal.interrupted()
+
+    def compact(self):
+        with self._lock:
+            return self._journal.compact()
+
+    def close(self):
+        with self._lock:
+            self._journal.close()
+
+
+class _ApiServer(ThreadingHTTPServer):
+    daemon_threads = True
+    #: Leave the listen queue to the OS default but make the intent
+    #: explicit: admission control happens in the handler, not here.
+    allow_reuse_address = True
+
+
+class SweepServer:
+    """The sweep-as-a-service daemon.
+
+    Args:
+        journal_path: the WAL backing the queue (created if missing,
+            resumed if present).  Taking it implies the journal's
+            advisory writer lock -- a second server on the same path
+            fails fast with a ``JournalError``.
+        cache: a :class:`ResultCache` (default: the standard one).
+            Cells whose result is already cached complete at admission
+            without touching the runner.
+        jobs: worker processes per batch (``None``: ``REPRO_JOBS`` or
+            the CPU count).
+        queue_limit: max cells awaiting dispatch; beyond it
+            submissions shed with 429.
+        batch_limit: max cells handed to one runner batch.
+        timeout_seconds / retries / crash_retries / backoff /
+        hang_grace: passed through to every :class:`Runner`.
+        host / port: bind address (port 0 picks an ephemeral port;
+            :meth:`start` returns the real one).
+        request_timeout: per-connection socket timeout, seconds.
+        telemetry: a :class:`~repro.telemetry.Telemetry` bundle
+            (default: a live metrics registry, since ``/healthz`` and
+            ``/metrics`` are fed from it).
+    """
+
+    def __init__(self, journal_path, cache=None, jobs=None,
+                 queue_limit=1024, batch_limit=64, timeout_seconds=None,
+                 retries=1, crash_retries=2, backoff=None, hang_grace=5.0,
+                 host="127.0.0.1", port=0, request_timeout=30.0,
+                 telemetry=None, compact_when_idle=True):
+        self.cache = cache if cache is not None else ResultCache()
+        self.telemetry = (telemetry if telemetry is not None
+                          else Telemetry(metrics=MetricsRegistry()))
+        self._metrics_lock = threading.Lock()
+        self._server_metrics = (
+            self.telemetry.metrics.scoped("server")
+            if self.telemetry.metrics.enabled else None)
+        self.queue = JobQueue(queue_limit)
+        self.jobs = jobs
+        self.batch_limit = int(batch_limit)
+        self.timeout_seconds = timeout_seconds
+        self.retries = retries
+        self.crash_retries = crash_retries
+        self.backoff = backoff
+        self.hang_grace = hang_grace
+        self.host = host
+        self.port = int(port)
+        self.request_timeout = float(request_timeout)
+        self.compact_when_idle = bool(compact_when_idle)
+        self.draining = False
+        self._stop = threading.Event()
+        self._started_at = time.time()
+        self._chaos = ProcessChaos.from_env(scope="serve")
+        self._dispatched = 0
+        self._dirty = False
+        self.httpd = None
+        self._http_thread = None
+
+        replayed = self._replay(journal_path)
+        # Takes the advisory writer lock; a concurrent server on the
+        # same journal dies here with a clear JournalError.
+        self.journal = _LockedJournal(
+            SweepJournal(journal_path, fresh=False))
+        self.journal_path = str(journal_path)
+        if replayed is None:
+            # Fresh journal: stamp the header so replay knows the salt.
+            self.journal._journal.begin(
+                settings={"server": True,
+                          "queue_limit": self.queue.limit},
+                salt=self.cache.salt)
+        else:
+            self.journal.resumed()
+            self._seed_from(replayed)
+
+    # -- boot-time journal replay --------------------------------------
+
+    def _replay(self, journal_path):
+        path = str(journal_path)
+        if not os.path.exists(path) or os.path.getsize(path) == 0:
+            return None
+        return replay_journal(path, expected_salt=self.cache.salt)
+
+    def _seed_from(self, state):
+        """Rebuild the job table from a replayed journal: finished
+        cells become poll-able immediately; the remainder re-queues
+        and runs without waiting to be asked."""
+        finished = 0
+        for spec in state.specs:
+            result = state.results.get(spec.content_hash())
+            if result is not None:
+                self.queue.complete_direct(spec, result,
+                                           etag=result_checksum(result))
+                finished += 1
+        pending = state.pending_specs()
+        if pending:
+            self.queue.admit(pending, enforce_limit=False)
+        self.count("resumed_cells", finished)
+        self.count("requeued_cells", len(pending))
+
+    # -- metrics -------------------------------------------------------
+
+    def count(self, name, amount=1):
+        if self._server_metrics is None or amount == 0:
+            return
+        with self._metrics_lock:
+            self._server_metrics.counter(name).inc(amount)
+
+    def metrics_payload(self):
+        if not self.telemetry.metrics.enabled:
+            return {}
+        # Handler threads may race the executor's counter updates;
+        # retry the snapshot rather than lock every runner increment.
+        for _attempt in range(3):
+            try:
+                return self.telemetry.metrics.to_dict()
+            except RuntimeError:
+                continue
+        return self.telemetry.metrics.to_dict()
+
+    # -- HTTP-facing state ---------------------------------------------
+
+    def submit(self, specs):
+        """Admit a submission (handler threads call this).
+
+        Order matters twice over.  Results already cached complete
+        immediately (journalled ``done``, zero runner jobs -- the
+        repeat-query fast path).  The rest admit atomically against
+        the backlog bound with their ``queued`` records fsync'd
+        *before* the cells become dispatchable (the ``on_fresh``
+        hook): the executor -- or a chaos SIGKILL it triggers -- must
+        never be able to reach a cell the journal does not yet hold.
+        """
+        self.count("submitted_cells", len(specs))
+        for spec in specs:
+            job = spec.content_hash()
+            if self.queue.lookup(job) is not None:
+                continue
+            cached = self.cache.get(spec)
+            if cached is not None:
+                self.journal.queued(spec)
+                self.journal.done(job, cached)
+                self.queue.complete_direct(spec, cached,
+                                           etag=result_checksum(cached))
+                self.count("cache_hits")
+
+        def journal_fresh(fresh):
+            for _job, spec in fresh:
+                self.journal.queued(spec)
+
+        report, fresh = self.queue.admit(specs, on_fresh=journal_fresh)
+        self.count("admitted_cells", len(fresh))
+        return report
+
+    def job_status(self, job_hash):
+        return self.queue.lookup(job_hash)
+
+    def health(self):
+        return {
+            "status": "ok",
+            "draining": self.draining,
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "queue": self.queue.counts(),
+            "journal": self.journal_path,
+        }
+
+    def readiness(self):
+        ready = not self.draining and not self._stop.is_set()
+        return ready, {"ready": ready, "draining": self.draining,
+                       "queue": self.queue.counts()}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self):
+        """Bind and start the HTTP thread; returns the bound port."""
+        handler = type("BoundApiHandler", (ApiHandler,),
+                       {"timeout": self.request_timeout})
+        self.httpd = _ApiServer((self.host, self.port), handler)
+        self.httpd.app = self
+        self.host, self.port = self.httpd.server_address[:2]
+        self._http_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve-http", daemon=True)
+        self._http_thread.start()
+        return self.port
+
+    def stop(self):
+        """Ask the executor loop for a clean (exit 0) shutdown."""
+        self._stop.set()
+        self.queue.kick()
+
+    def run(self):
+        """The executor loop; blocks until shutdown.
+
+        Returns the process exit code: 0 after :meth:`stop`, 3 after a
+        signal-driven drain (``KeyboardInterrupt`` here or a
+        :class:`SweepInterrupted` out of a running batch).
+        """
+        try:
+            while not self._stop.is_set():
+                batch = self.queue.next_batch(self.batch_limit,
+                                              timeout=_IDLE_POLL_SECONDS)
+                if not batch:
+                    self._maybe_compact()
+                    continue
+                self._run_batch(batch)
+        except SweepInterrupted as exc:
+            # The runner journalled `interrupted` and flushed finished
+            # cells already; surface what completed, then drain.
+            for outcome in exc.outcomes:
+                self.queue.complete(
+                    outcome.spec.content_hash(), outcome.result,
+                    etag=result_checksum(outcome.result))
+            self._shutdown()
+            return EXIT_DRAINED
+        except KeyboardInterrupt:
+            # Interrupted while idle (no batch in flight): flush the
+            # interrupted marker ourselves so a restart knows.
+            self.journal.interrupted()
+            self._shutdown()
+            return EXIT_DRAINED
+        self._shutdown()
+        return EXIT_CLEAN
+
+    def _run_batch(self, batch):
+        if self._chaos is not None:
+            for job, _spec in batch:
+                self._dispatched += 1
+                self._chaos.fire(self._dispatched, job)
+        specs = [spec for _job, spec in batch]
+        runner = Runner(jobs=self.jobs, cache=self.cache,
+                        timeout_seconds=self.timeout_seconds,
+                        retries=self.retries,
+                        crash_retries=self.crash_retries,
+                        backoff=self.backoff, hang_grace=self.hang_grace,
+                        journal=self.journal, progress=False,
+                        telemetry=self.telemetry)
+        self.count("batches")
+        outcomes = runner.run(specs)
+        for (job, _spec), outcome in zip(batch, outcomes):
+            self.queue.complete(job, outcome.result,
+                                etag=result_checksum(outcome.result))
+        self.count("completed_cells", len(outcomes))
+        self._dirty = True
+
+    def _maybe_compact(self):
+        """Compact the journal when the queue drains empty, so a
+        long-lived server's WAL tracks its live state instead of its
+        history."""
+        if not (self.compact_when_idle and self._dirty
+                and self.queue.idle()):
+            return
+        self._dirty = False
+        stats = self.journal.compact()
+        self.count("journal_compactions")
+        self.count("journal_bytes_reclaimed",
+                   max(0, stats["bytes_before"] - stats["bytes_after"]))
+
+    def _shutdown(self):
+        self.draining = True
+        if self.httpd is not None:
+            self.httpd.shutdown()
+            self.httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(5.0)
+        self.journal.close()
+
+    def __repr__(self):
+        return ("SweepServer(http://%s:%s, journal=%r, %s)"
+                % (self.host, self.port, self.journal_path,
+                   "draining" if self.draining else "serving"))

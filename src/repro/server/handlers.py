@@ -1,0 +1,162 @@
+"""HTTP request handling for the sweep service.
+
+One :class:`ApiHandler` per connection (``ThreadingHTTPServer`` gives
+each its own thread).  The surface is deliberately small and fully
+JSON:
+
+=======  ==================  =============================================
+Method   Path                Semantics
+=======  ==================  =============================================
+POST     ``/jobs``           Submit cells; idempotent by content hash.
+                             202 admitted, 429 queue full (load shed),
+                             503 draining, 400 malformed, 413 oversized.
+GET      ``/jobs/<hash>``    Poll one cell.  200 with ``ETag`` once
+                             terminal; 304 on ``If-None-Match`` match;
+                             404 unknown.
+GET      ``/healthz``        Liveness: 200 while the process serves.
+GET      ``/readyz``         Admission readiness: 200 admitting,
+                             503 draining.
+GET      ``/metrics``        The telemetry registry as JSON.
+=======  ==================  =============================================
+
+Robustness notes: request bodies are capped (413 beyond
+:data:`MAX_BODY_BYTES`); the per-connection socket timeout is the
+server's ``request_timeout``, so a stalled client cannot pin a handler
+thread forever; every response carries ``Content-Length`` so HTTP/1.1
+keep-alive works with dumb clients.  Error payloads are always
+``{"error": ...}`` JSON.
+"""
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler
+
+from repro.orchestrator.spec import JobSpec
+from repro.server.queue import QueueFull
+
+#: Largest accepted request body (a 10k-cell grid is ~3 MB).
+MAX_BODY_BYTES = 8 << 20
+
+#: Seconds a shed client is told to wait before retrying.
+RETRY_AFTER_SECONDS = 1
+
+_JOB_PATH = re.compile(r"^/jobs/([0-9a-f]{64})$")
+
+
+class ApiHandler(BaseHTTPRequestHandler):
+    """The sweep service's request handler (state lives on the app)."""
+
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self):
+        return self.server.app
+
+    def log_message(self, format, *args):
+        # Request logging is telemetry's job (server.requests counter);
+        # per-line stderr chatter would swamp the drain diagnostics.
+        pass
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send_json(self, code, payload, headers=None):
+        body = (json.dumps(payload, sort_keys=True, indent=2)
+                + "\n").encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, code, message, headers=None):
+        self._send_json(code, {"error": message}, headers=headers)
+
+    def _read_body(self):
+        """The request body, or ``None`` after an error response."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            self._send_error_json(400, "bad Content-Length")
+            return None
+        if length <= 0:
+            self._send_error_json(400, "a JSON body is required")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_error_json(
+                413, "request body exceeds %d bytes" % MAX_BODY_BYTES)
+            return None
+        return self.rfile.read(length)
+
+    # -- routes --------------------------------------------------------
+
+    def do_GET(self):
+        self.app.count("requests")
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            return self._send_json(200, self.app.health())
+        if path == "/readyz":
+            ready, info = self.app.readiness()
+            return self._send_json(200 if ready else 503, info)
+        if path == "/metrics":
+            return self._send_json(200, self.app.metrics_payload())
+        match = _JOB_PATH.match(path)
+        if match:
+            return self._get_job(match.group(1))
+        self._send_error_json(404, "unknown path %r" % path)
+
+    def _get_job(self, job_hash):
+        found = self.app.job_status(job_hash)
+        if found is None:
+            return self._send_error_json(
+                404, "unknown job %s (submit it via POST /jobs; an "
+                "unacknowledged submission is not durable)" % job_hash)
+        status, result, etag = found
+        headers = {}
+        if etag:
+            quoted = '"%s"' % etag
+            if self.headers.get("If-None-Match") == quoted:
+                self.app.count("not_modified")
+                self.send_response(304)
+                self.send_header("ETag", quoted)
+                self.send_header("Content-Length", "0")
+                self.end_headers()
+                return
+            headers["ETag"] = quoted
+        payload = {"job": job_hash, "status": status}
+        if result is not None:
+            payload["result"] = result
+        self._send_json(200, payload, headers=headers)
+
+    def do_POST(self):
+        self.app.count("requests")
+        path = self.path.split("?", 1)[0]
+        if path != "/jobs":
+            return self._send_error_json(404, "unknown path %r" % path)
+        if self.app.draining:
+            return self._send_error_json(
+                503, "draining: the server is shutting down and no "
+                "longer admits jobs",
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+        body = self._read_body()
+        if body is None:
+            return
+        try:
+            payload = json.loads(body)
+            spec_dicts = payload["specs"]
+            if not isinstance(spec_dicts, list) or not spec_dicts:
+                raise ValueError("specs must be a non-empty list")
+            specs = [JobSpec.from_dict(d) for d in spec_dicts]
+        except (ValueError, KeyError, TypeError) as exc:
+            return self._send_error_json(
+                400, "malformed submission: %s" % exc)
+        try:
+            report = self.app.submit(specs)
+        except QueueFull as exc:
+            self.app.count("shed")
+            return self._send_error_json(
+                429, str(exc),
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+        self._send_json(202, {"jobs": report,
+                              "queue": self.app.queue.counts()})

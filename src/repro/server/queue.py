@@ -1,0 +1,198 @@
+"""The server's bounded, idempotent, in-memory admission queue.
+
+The durable source of truth for the sweep service is the
+:class:`~repro.orchestrator.journal.SweepJournal` WAL; this queue is
+the *working set* the executor drains.  Its job table is keyed by
+:meth:`~repro.orchestrator.spec.JobSpec.content_hash`, which makes
+submission idempotent: resubmitting a cell that is already queued,
+running, or done is a no-op that reports the cell's current state --
+exactly what a client retrying after a lost response needs.
+
+Admission control is all-or-nothing: a submission whose *new* cells
+would push the backlog past ``limit`` is rejected whole (the HTTP
+layer turns that into a 429), so a storm of clients degrades to
+explicit load-shedding instead of unbounded memory growth.  Cells
+already known never count against the limit -- repeat traffic is free.
+"""
+
+import collections
+import threading
+
+#: Job states, in lifecycle order.
+STATUS_QUEUED = "queued"
+STATUS_RUNNING = "running"
+STATUS_DONE = "done"
+
+
+class QueueFull(RuntimeError):
+    """Admission rejected: the backlog is at its configured bound.
+
+    Attributes:
+        limit: the configured backlog bound.
+        backlog: cells pending when the submission arrived.
+        rejected: new cells the submission would have added.
+    """
+
+    def __init__(self, limit, backlog, rejected):
+        super().__init__(
+            "queue full: %d pending cell(s) at limit %d; %d new "
+            "cell(s) shed" % (backlog, limit, rejected))
+        self.limit = limit
+        self.backlog = backlog
+        self.rejected = rejected
+
+
+class JobEntry:
+    """One admitted cell: its spec, state, and terminal result."""
+
+    __slots__ = ("spec", "status", "result", "etag")
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.status = STATUS_QUEUED
+        self.result = None
+        self.etag = None
+
+
+class JobQueue:
+    """Thread-safe job table + FIFO dispatch queue.
+
+    Args:
+        limit: maximum cells awaiting dispatch (``QueueFull`` beyond).
+    """
+
+    def __init__(self, limit=1024):
+        limit = int(limit)
+        if limit < 1:
+            raise ValueError("queue limit must be >= 1, got %d" % limit)
+        self.limit = limit
+        self._ready = threading.Condition(threading.Lock())
+        self._entries = {}
+        self._pending = collections.deque()
+
+    # -- admission -----------------------------------------------------
+
+    def admit(self, specs, enforce_limit=True, on_fresh=None):
+        """Atomically admit a submission's new cells.
+
+        Returns ``(report, fresh)``: one ``{"job", "status"}`` dict
+        per submitted spec (in submission order), and the
+        ``(hash, spec)`` list of cells that were actually new and are
+        now pending.  Raises :class:`QueueFull` -- admitting nothing
+        -- if the new cells would exceed the backlog bound.
+
+        ``on_fresh``, if given, is called with the fresh list under
+        the queue lock *before* the cells become dispatchable (and
+        after the limit check).  This is the server's
+        durability-before-visibility hook: the journal record must be
+        fsync'd before an executor thread can pop the cell, or a
+        crash between the two loses acknowledged work.  If the hook
+        raises, nothing is admitted.
+
+        ``enforce_limit=False`` is for boot-time journal replay only:
+        that work was already admitted and durably acknowledged in a
+        previous life, so shedding it now would betray the contract.
+        """
+        with self._ready:
+            fresh = []
+            seen = set()
+            for spec in specs:
+                job = spec.content_hash()
+                if job not in self._entries and job not in seen:
+                    seen.add(job)
+                    fresh.append((job, spec))
+            if enforce_limit and \
+                    len(self._pending) + len(fresh) > self.limit:
+                raise QueueFull(self.limit, len(self._pending),
+                                len(fresh))
+            if on_fresh is not None:
+                on_fresh(fresh)
+            for job, spec in fresh:
+                self._entries[job] = JobEntry(spec)
+                self._pending.append(job)
+            report = [{"job": spec.content_hash(),
+                       "status": self._entries[spec.content_hash()].status}
+                      for spec in specs]
+            if fresh:
+                self._ready.notify_all()
+            return report, fresh
+
+    def complete_direct(self, spec, result, etag=None):
+        """Record a terminal result without ever queueing the cell
+        (cache hits at admission, journal replay at boot).  Idempotent;
+        returns the entry."""
+        with self._ready:
+            job = spec.content_hash()
+            entry = self._entries.get(job)
+            if entry is None:
+                entry = JobEntry(spec)
+                self._entries[job] = entry
+            entry.status = STATUS_DONE
+            entry.result = result
+            entry.etag = etag
+            return entry
+
+    # -- dispatch ------------------------------------------------------
+
+    def next_batch(self, limit=None, timeout=None):
+        """Pop up to ``limit`` pending cells (FIFO), marking them
+        running.  Blocks up to ``timeout`` seconds when nothing is
+        pending; returns a (possibly empty) ``(hash, spec)`` list."""
+        with self._ready:
+            if not self._pending:
+                self._ready.wait(timeout)
+            batch = []
+            while self._pending and (limit is None or len(batch) < limit):
+                job = self._pending.popleft()
+                entry = self._entries[job]
+                entry.status = STATUS_RUNNING
+                batch.append((job, entry.spec))
+            return batch
+
+    def complete(self, job, result, etag=None):
+        """Record a dispatched cell's terminal result."""
+        with self._ready:
+            entry = self._entries[job]
+            entry.status = STATUS_DONE
+            entry.result = result
+            entry.etag = etag
+
+    def kick(self):
+        """Wake a blocked :meth:`next_batch` (shutdown path)."""
+        with self._ready:
+            self._ready.notify_all()
+
+    # -- inspection ----------------------------------------------------
+
+    def lookup(self, job):
+        """``(status, result, etag)`` for a job hash, or ``None``."""
+        with self._ready:
+            entry = self._entries.get(job)
+            if entry is None:
+                return None
+            return entry.status, entry.result, entry.etag
+
+    def counts(self):
+        """``{status: count}`` over the whole job table (all three
+        states always present, so health payloads are stable)."""
+        with self._ready:
+            counts = {STATUS_QUEUED: 0, STATUS_RUNNING: 0,
+                      STATUS_DONE: 0}
+            for entry in self._entries.values():
+                counts[entry.status] += 1
+            return counts
+
+    def pending_count(self):
+        with self._ready:
+            return len(self._pending)
+
+    def idle(self):
+        """Nothing pending and nothing running (safe to compact)."""
+        counts = self.counts()
+        return counts[STATUS_QUEUED] == 0 and counts[STATUS_RUNNING] == 0
+
+    def __repr__(self):
+        counts = self.counts()
+        return ("JobQueue(limit=%d, queued=%d, running=%d, done=%d)"
+                % (self.limit, counts[STATUS_QUEUED],
+                   counts[STATUS_RUNNING], counts[STATUS_DONE]))

@@ -137,3 +137,53 @@ class TestChaosSet:
     def test_malformed_member_rejected(self):
         with pytest.raises(ValueError):
             ProcessChaos.from_env(environ={CHAOS_ENV: "kill@1,warp@2"})
+
+
+class TestScopes:
+    """The ``serve=`` trigger prefix and per-scope arming."""
+
+    def test_default_scope_is_worker(self):
+        assert ProcessChaos.parse("kill@2").scope == "worker"
+
+    def test_serve_prefix_selects_serve_scope(self):
+        chaos = ProcessChaos.parse("kill@serve=2")
+        assert chaos.scope == "serve"
+        assert chaos.ordinal == 2
+
+    def test_serve_prefix_composes_with_spec_trigger(self):
+        chaos = ProcessChaos.parse("hang@serve=spec=3f9a")
+        assert chaos.scope == "serve"
+        assert chaos.spec_prefix == "3f9a"
+
+    def test_empty_serve_trigger_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessChaos.parse("kill@serve=")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessChaos("kill", ordinal=1, scope="moon")
+        with pytest.raises(ValueError):
+            ProcessChaos.from_env(environ={}, scope="moon")
+
+    def test_from_env_filters_by_scope(self):
+        environ = {CHAOS_ENV: "kill@serve=1"}
+        assert ProcessChaos.from_env(environ=environ) is None
+        chaos = ProcessChaos.from_env(environ=environ, scope="serve")
+        assert chaos.scope == "serve"
+        assert chaos.mode == "kill"
+
+    def test_mixed_list_arms_each_side_once(self, tmp_path):
+        environ = {CHAOS_ENV: "kill@2,exit@serve=1",
+                   CHAOS_ONCE_ENV: str(tmp_path)}
+        worker = ProcessChaos.from_env(environ=environ)
+        serve = ProcessChaos.from_env(environ=environ, scope="serve")
+        assert isinstance(worker, ProcessChaos)
+        assert worker.mode == "kill" and worker.scope == "worker"
+        assert isinstance(serve, ProcessChaos)
+        assert serve.mode == "exit" and serve.scope == "serve"
+        # Markers are assigned over the full list before filtering, so
+        # the two sides can never share a fire-once marker.
+        assert worker.marker != serve.marker
+
+    def test_repr_shows_scope(self):
+        assert "serve" in repr(ProcessChaos.parse("kill@serve=2"))

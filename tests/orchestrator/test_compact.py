@@ -1,0 +1,190 @@
+"""Tests for journal compaction and writer exclusivity."""
+
+import pytest
+
+from repro.orchestrator import (
+    JobSpec,
+    JournalError,
+    SweepJournal,
+    compact_journal,
+    compacted_records,
+    replay_journal,
+)
+
+try:
+    import fcntl  # noqa: F401 - availability probe only
+    HAVE_FCNTL = True
+except ImportError:
+    HAVE_FCNTL = False
+
+needs_fcntl = pytest.mark.skipif(not HAVE_FCNTL,
+                                 reason="no fcntl on this platform")
+
+
+def _spec(percent=100.0):
+    return JobSpec(workload="swim", cycles=500,
+                   impedance_percent=percent, seed=11)
+
+
+def _ok(value=1.0):
+    return {"status": "ok", "value": value}
+
+
+def _write_history(path, resume_cycles=3):
+    """A journal with the bloat of several resume cycles."""
+    spec_a, spec_b = _spec(100.0), _spec(200.0)
+    with SweepJournal(path, fsync=False) as journal:
+        journal.begin_sweep([spec_a, spec_b],
+                            settings={"seed": 11}, salt="s1")
+        journal.dispatched(spec_a.content_hash(), 1)
+        journal.failed(spec_a.content_hash(), 1, "flake")
+        journal.dispatched(spec_a.content_hash(), 2)
+        journal.done(spec_a.content_hash(), _ok(1.0))
+        journal.interrupted()
+    for _ in range(resume_cycles):
+        with SweepJournal(path, fsync=False) as journal:
+            journal.resumed()
+            journal.done(spec_a.content_hash(), _ok(1.0))
+            journal.dispatched(spec_b.content_hash(), 1)
+            journal.interrupted()
+    return spec_a, spec_b
+
+
+class TestCompactedRecords:
+    def test_replay_equivalence(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _write_history(str(path))
+        before = replay_journal(str(path))
+        records = compacted_records(before)
+        events = [r["event"] for r in records]
+        assert events == ["begin", "queued", "queued", "done",
+                          "interrupted"]
+
+    def test_ended_journal_keeps_end_and_drops_interrupted(self,
+                                                           tmp_path):
+        path = tmp_path / "done.journal"
+        spec = _spec()
+        with SweepJournal(str(path), fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+            journal.interrupted()   # an earlier life stopped early...
+            journal.done(spec.content_hash(), _ok())
+            journal.end()           # ...but this one completed
+        records = compacted_records(replay_journal(str(path)))
+        assert [r["event"] for r in records] == \
+            ["begin", "queued", "done", "end"]
+
+
+class TestCompactJournal:
+    def test_shrinks_and_preserves_state(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        spec_a, spec_b = _write_history(str(path))
+        before = replay_journal(str(path))
+        stats = compact_journal(str(path), fsync=False)
+        assert stats["records_after"] < stats["records_before"]
+        assert stats["bytes_after"] < stats["bytes_before"]
+        after = replay_journal(str(path))
+        assert after.spec_hashes() == before.spec_hashes()
+        assert after.results == before.results
+        assert after.settings == before.settings
+        assert after.salt == before.salt
+        assert after.interrupted == before.interrupted
+        assert after.ended == before.ended
+        # Dispatched/failed/resumed bloat is gone; cell B is simply
+        # pending again, which is what it was.
+        assert after.statuses[spec_b.content_hash()] == "queued"
+        assert after.pending_specs() == [spec_b]
+
+    def test_compacted_journal_is_appendable(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _spec_a, spec_b = _write_history(str(path))
+        compact_journal(str(path), fsync=False)
+        with SweepJournal(str(path), fsync=False) as journal:
+            journal.resumed()
+            journal.done(spec_b.content_hash(), _ok(2.0))
+            journal.end()
+        state = replay_journal(str(path))
+        assert state.ended
+        assert state.pending_specs() == []
+
+    def test_idempotent(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _write_history(str(path))
+        compact_journal(str(path), fsync=False)
+        first = path.read_bytes()
+        stats = compact_journal(str(path), fsync=False)
+        assert path.read_bytes() == first
+        assert stats["records_before"] == stats["records_after"]
+
+    def test_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            compact_journal(str(tmp_path / "absent.journal"))
+
+    def test_torn_tail_is_dropped_not_kept(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        _write_history(str(path))
+        with open(path, "ab") as fh:
+            fh.write(b'{"event":"done","jo')   # killed mid-record
+        compact_journal(str(path), fsync=False)
+        state = replay_journal(str(path))
+        assert not state.dropped_tail   # the fragment is gone for good
+
+    def test_method_keeps_journal_writable(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        spec = _spec()
+        journal = SweepJournal(str(path), fsync=False)
+        journal.begin_sweep([spec], salt="s1")
+        journal.done(spec.content_hash(), _ok())
+        journal.dispatched(spec.content_hash(), 1)
+        stats = journal.compact()
+        assert stats["records_after"] == 3   # begin, queued, done
+        journal.end()                        # still open for appends
+        journal.close()
+        assert replay_journal(str(path)).ended
+
+    def test_method_on_closed_journal_raises(self, tmp_path):
+        journal = SweepJournal(str(tmp_path / "j"), fsync=False)
+        journal.close()
+        with pytest.raises(JournalError):
+            journal.compact()
+
+
+@needs_fcntl
+class TestWriterExclusivity:
+    def test_second_writer_fails_fast(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path, fsync=False)
+        try:
+            with pytest.raises(JournalError, match="another live writer"):
+                SweepJournal(path, fsync=False)
+        finally:
+            journal.close()
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        SweepJournal(path, fsync=False).close()
+        second = SweepJournal(path, fsync=False)
+        second.close()
+
+    def test_compact_refuses_live_journal(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path, fsync=False)
+        journal.begin(salt="s1")
+        try:
+            with pytest.raises(JournalError, match="another live writer"):
+                compact_journal(path, fsync=False)
+        finally:
+            journal.close()
+
+    def test_trim_waits_for_the_lock(self, tmp_path):
+        # A second opener must fail *before* truncating the torn tail:
+        # the fragment belongs to the live writer's in-flight record.
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path, fsync=False)
+        journal.begin(salt="s1")
+        with open(path, "ab") as fh:
+            fh.write(b'{"torn')
+        size = (tmp_path / "sweep.journal").stat().st_size
+        with pytest.raises(JournalError):
+            SweepJournal(path, fsync=False)
+        assert (tmp_path / "sweep.journal").stat().st_size == size
+        journal.close()

@@ -1,0 +1,204 @@
+"""Subprocess tests of the daemon's signal behaviour.
+
+These run ``repro-didt serve`` as a real child process -- executor on
+the main thread, SIGTERM routed through the graceful-drain path --
+and prove the durability contract end to end:
+
+* SIGTERM -> exit 3, journal flushed with an ``interrupted`` record;
+* a restarted server on the same journal finishes the admitted work
+  and the final report is byte-identical to a local ``Runner`` run;
+* a serve-scoped chaos kill (SIGKILL mid-dispatch, no warning at all)
+  loses nothing that was acknowledged.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.orchestrator import (
+    JobOutcome,
+    JobSpec,
+    ResultCache,
+    Runner,
+    replay_journal,
+    report_json,
+)
+from repro.server import ServerUnavailable, SweepClient
+
+CYCLES = 1500
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(signal, "SIGTERM") or os.name == "nt",
+    reason="POSIX signal semantics required")
+
+
+def _specs():
+    return [JobSpec(workload="swim", cycles=CYCLES,
+                    impedance_percent=p, seed=11)
+            for p in (100.0, 200.0, 300.0)]
+
+
+class _Daemon:
+    """One ``repro-didt serve`` child process."""
+
+    def __init__(self, tmp_path, journal, extra_env=None):
+        self.journal = str(journal)
+        self.port_file = str(tmp_path / ("port-%d" % time.monotonic_ns()))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        env.pop("REPRO_CHAOS", None)
+        env.pop("REPRO_CHAOS_ONCE", None)
+        env.update(extra_env or {})
+        self.process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--journal", self.journal, "--port", "0",
+             "--port-file", self.port_file, "--jobs", "1",
+             "--batch-limit", "1"],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE, text=True)
+        self.port = None
+
+    def wait_ready(self, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.process.poll() is not None:
+                raise AssertionError(
+                    "server died during startup (exit %r): %s"
+                    % (self.process.returncode,
+                       self.process.stderr.read()))
+            if os.path.exists(self.port_file):
+                text = open(self.port_file).read().strip()
+                if text:
+                    self.port = int(text)
+                    break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("server never wrote its port file")
+        client = self.client(retry_budget=20)
+        client.health()
+        return client
+
+    def client(self, retry_budget=8):
+        return SweepClient("http://127.0.0.1:%d" % self.port,
+                           retry_budget=retry_budget)
+
+    def terminate_and_wait(self, timeout=60.0):
+        self.process.send_signal(signal.SIGTERM)
+        return self.process.wait(timeout=timeout)
+
+    def kill_if_alive(self):
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=30)
+
+
+def _local_baseline_report(tmp_path, specs):
+    cache = ResultCache(root=str(tmp_path / "baseline-cache"))
+    outcomes = Runner(jobs=1, cache=cache, progress=False).run(specs)
+    return report_json(outcomes, {"seed": 11})
+
+
+def _served_report(results, specs):
+    outcomes = [JobOutcome(spec, results[spec.content_hash()],
+                           cached=True, attempts=0, source="server")
+                for spec in specs]
+    return report_json(outcomes, {"seed": 11})
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_resumes_byte_identical(self, tmp_path):
+        specs = _specs()
+        journal = tmp_path / "serve.journal"
+        daemon = _Daemon(tmp_path, journal)
+        try:
+            client = daemon.wait_ready()
+            receipt = client.submit(specs)
+            assert len(receipt["jobs"]) == len(specs)
+            # Let the executor get into (or even through) the work,
+            # then pull the plug.  Exit 3 is guaranteed either way.
+            time.sleep(0.3)
+            code = daemon.terminate_and_wait()
+            assert code == 3, daemon.process.stderr.read()
+
+            # The journal was flushed on the way down: every admitted
+            # cell is recorded, and the drain left its marker.
+            state = replay_journal(str(journal))
+            assert set(state.spec_hashes()) == \
+                {s.content_hash() for s in specs}
+            assert state.interrupted
+            assert not state.ended
+        finally:
+            daemon.kill_if_alive()
+
+        # A restarted server picks the journal back up and finishes;
+        # the assembled report is byte-identical to a local run.
+        daemon2 = _Daemon(tmp_path, journal)
+        try:
+            client = daemon2.wait_ready()
+            results = client.wait(specs, poll_seconds=0.1,
+                                  deadline_seconds=240)
+            assert _served_report(results, specs) == \
+                _local_baseline_report(tmp_path, specs)
+            counters = client.metrics()["counters"]
+            assert counters.get("server.resumed_cells", 0) \
+                + counters.get("server.requeued_cells", 0) \
+                == len(specs)
+            assert daemon2.terminate_and_wait() == 3
+        finally:
+            daemon2.kill_if_alive()
+
+    def test_sigterm_while_idle_still_exits_3(self, tmp_path):
+        daemon = _Daemon(tmp_path, tmp_path / "idle.journal")
+        try:
+            daemon.wait_ready()
+            code = daemon.terminate_and_wait()
+            assert code == 3
+            state = replay_journal(str(tmp_path / "idle.journal"))
+            assert state.interrupted
+        finally:
+            daemon.kill_if_alive()
+
+
+class TestServeChaos:
+    def test_sigkill_mid_dispatch_loses_nothing_acknowledged(
+            self, tmp_path):
+        specs = _specs()
+        journal = tmp_path / "chaos.journal"
+        daemon = _Daemon(tmp_path, journal,
+                         extra_env={"REPRO_CHAOS": "kill@serve=1"})
+        try:
+            client = daemon.wait_ready()
+            # The executor SIGKILLs itself dispatching cell 1, which
+            # may beat the 202 out the door -- a lost ACK is exactly
+            # the crash shape the resubmission contract covers.
+            try:
+                client.submit(specs)
+            except ServerUnavailable:
+                pass
+            code = daemon.process.wait(timeout=120)
+            assert code == -signal.SIGKILL
+        finally:
+            daemon.kill_if_alive()
+
+        state = replay_journal(str(journal))
+        assert set(state.spec_hashes()) == \
+            {s.content_hash() for s in specs}
+        assert not state.interrupted
+
+        daemon2 = _Daemon(tmp_path, journal)
+        try:
+            client = daemon2.wait_ready()
+            results = client.wait(specs, poll_seconds=0.1,
+                                  deadline_seconds=240)
+            assert _served_report(results, specs) == \
+                _local_baseline_report(tmp_path, specs)
+            assert daemon2.terminate_and_wait() == 3
+        finally:
+            daemon2.kill_if_alive()

@@ -1,0 +1,152 @@
+"""Unit tests for the server's bounded admission queue."""
+
+import threading
+
+import pytest
+
+from repro.orchestrator import JobSpec
+from repro.server import (
+    STATUS_DONE,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    JobQueue,
+    QueueFull,
+)
+
+
+def _spec(percent):
+    return JobSpec(workload="swim", cycles=500,
+                   impedance_percent=percent, seed=11)
+
+
+class TestAdmission:
+    def test_report_in_submission_order(self):
+        queue = JobQueue(limit=8)
+        specs = [_spec(100.0), _spec(200.0)]
+        report, fresh = queue.admit(specs)
+        assert [r["job"] for r in report] == \
+            [s.content_hash() for s in specs]
+        assert all(r["status"] == STATUS_QUEUED for r in report)
+        assert [job for job, _ in fresh] == \
+            [s.content_hash() for s in specs]
+
+    def test_resubmission_is_idempotent(self):
+        queue = JobQueue(limit=8)
+        queue.admit([_spec(100.0)])
+        report, fresh = queue.admit([_spec(100.0), _spec(200.0)])
+        assert fresh == [(s.content_hash(), s)
+                         for s in [_spec(200.0)]]
+        assert report[0]["status"] == STATUS_QUEUED
+        assert queue.pending_count() == 2
+
+    def test_duplicates_within_one_submission_collapse(self):
+        queue = JobQueue(limit=8)
+        report, fresh = queue.admit([_spec(100.0), _spec(100.0)])
+        assert len(fresh) == 1
+        assert len(report) == 2
+        assert queue.pending_count() == 1
+
+    def test_queue_full_is_all_or_nothing(self):
+        queue = JobQueue(limit=1)
+        queue.admit([_spec(100.0)])
+        with pytest.raises(QueueFull) as excinfo:
+            queue.admit([_spec(200.0), _spec(300.0)])
+        assert excinfo.value.limit == 1
+        assert excinfo.value.rejected == 2
+        assert queue.pending_count() == 1
+        assert queue.lookup(_spec(200.0).content_hash()) is None
+
+    def test_known_cells_do_not_count_against_the_limit(self):
+        queue = JobQueue(limit=1)
+        queue.admit([_spec(100.0)])
+        report, fresh = queue.admit([_spec(100.0)])   # repeat: free
+        assert fresh == []
+        assert report[0]["status"] == STATUS_QUEUED
+
+    def test_boot_replay_bypasses_the_limit(self):
+        queue = JobQueue(limit=1)
+        _report, fresh = queue.admit(
+            [_spec(p) for p in (100.0, 200.0, 300.0)],
+            enforce_limit=False)
+        assert len(fresh) == 3
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(limit=0)
+
+
+class TestDispatch:
+    def test_fifo_order_and_running_state(self):
+        queue = JobQueue(limit=8)
+        specs = [_spec(p) for p in (100.0, 200.0, 300.0)]
+        queue.admit(specs)
+        batch = queue.next_batch(limit=2)
+        assert [job for job, _ in batch] == \
+            [s.content_hash() for s in specs[:2]]
+        for job, _ in batch:
+            assert queue.lookup(job)[0] == STATUS_RUNNING
+        assert queue.pending_count() == 1
+
+    def test_complete_records_result_and_etag(self):
+        queue = JobQueue(limit=8)
+        spec = _spec(100.0)
+        queue.admit([spec])
+        (job, _),  = queue.next_batch()
+        queue.complete(job, {"status": "ok"}, etag="abc")
+        assert queue.lookup(job) == (STATUS_DONE, {"status": "ok"},
+                                     "abc")
+
+    def test_complete_direct_never_queues(self):
+        queue = JobQueue(limit=8)
+        spec = _spec(100.0)
+        queue.complete_direct(spec, {"status": "ok"}, etag="e")
+        assert queue.pending_count() == 0
+        assert queue.lookup(spec.content_hash())[0] == STATUS_DONE
+        assert queue.next_batch(timeout=0.01) == []
+
+    def test_next_batch_blocks_until_admission(self):
+        queue = JobQueue(limit=8)
+        got = []
+
+        def consumer():
+            got.extend(queue.next_batch(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        queue.admit([_spec(100.0)])
+        thread.join(5.0)
+        assert [job for job, _ in got] == [_spec(100.0).content_hash()]
+
+    def test_kick_wakes_a_blocked_consumer(self):
+        queue = JobQueue(limit=8)
+        done = threading.Event()
+
+        def consumer():
+            queue.next_batch(timeout=30.0)
+            done.set()
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        queue.kick()
+        assert done.wait(5.0)
+
+
+class TestInspection:
+    def test_counts_cover_all_states(self):
+        queue = JobQueue(limit=8)
+        assert queue.counts() == {STATUS_QUEUED: 0, STATUS_RUNNING: 0,
+                                  STATUS_DONE: 0}
+        queue.admit([_spec(100.0), _spec(200.0)])
+        queue.next_batch(limit=1)
+        assert queue.counts() == {STATUS_QUEUED: 1, STATUS_RUNNING: 1,
+                                  STATUS_DONE: 0}
+
+    def test_idle_only_when_nothing_in_flight(self):
+        queue = JobQueue(limit=8)
+        assert queue.idle()
+        queue.admit([_spec(100.0)])
+        assert not queue.idle()
+        (job, _), = queue.next_batch()
+        assert not queue.idle()
+        queue.complete(job, {"status": "ok"})
+        assert queue.idle()

@@ -1,0 +1,280 @@
+"""In-process end-to-end tests of the sweep service.
+
+The server's executor loop runs in a background thread here (the
+subprocess drain tests in ``test_drain.py`` exercise the real
+main-thread + signal configuration); the HTTP surface, queue,
+journal-backed durability, and client all run for real over a
+loopback socket.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.orchestrator import (
+    JobOutcome,
+    JobSpec,
+    JournalError,
+    ResultCache,
+    Runner,
+    SweepJournal,
+    replay_journal,
+    report_json,
+)
+from repro.server import ServerError, SweepClient, SweepServer
+
+pytestmark = pytest.mark.usefixtures("cache_env")
+
+CYCLES = 1500
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def _specs(*percents):
+    return [JobSpec(workload="swim", cycles=CYCLES,
+                    impedance_percent=p, seed=11) for p in percents]
+
+
+class _Service:
+    """A running server + its executor thread, torn down cleanly."""
+
+    def __init__(self, tmp_path, **kwargs):
+        self.journal_path = str(tmp_path / "serve.journal")
+        kwargs.setdefault("jobs", 1)
+        self.server = SweepServer(self.journal_path, **kwargs)
+        self.port = self.server.start()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.exit_code = None
+        self.thread.start()
+        self.client = SweepClient("http://127.0.0.1:%d" % self.port,
+                                  retry_budget=3)
+
+    def _run(self):
+        self.exit_code = self.server.run()
+
+    def stop(self):
+        self.server.stop()
+        self.thread.join(30.0)
+        assert not self.thread.is_alive()
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = _Service(tmp_path)
+    yield svc
+    svc.stop()
+
+
+class TestEndToEnd:
+    def test_submit_wait_poll(self, service):
+        specs = _specs(100.0, 200.0)
+        results = service.client.wait(specs, poll_seconds=0.05,
+                                      deadline_seconds=120)
+        assert set(results) == {s.content_hash() for s in specs}
+        assert all(r["status"] == "ok" for r in results.values())
+
+    def test_report_matches_local_runner_bytes(self, service,
+                                               tmp_path):
+        specs = _specs(100.0, 200.0)
+        results = service.client.wait(specs, poll_seconds=0.05,
+                                      deadline_seconds=120)
+        outcomes = [JobOutcome(s, results[s.content_hash()],
+                               cached=True, attempts=0,
+                               source="server") for s in specs]
+        served = report_json(outcomes, {"seed": 11})
+        local_cache = ResultCache(root=str(tmp_path / "local-cache"))
+        baseline = Runner(jobs=1, cache=local_cache,
+                          progress=False).run(specs)
+        assert served == report_json(baseline, {"seed": 11})
+
+    def test_resubmission_runs_nothing_new(self, service):
+        specs = _specs(100.0)
+        service.client.wait(specs, poll_seconds=0.05,
+                            deadline_seconds=120)
+        jobs_before = service.client.metrics()["counters"][
+            "orchestrator.jobs"]
+        again = service.client.wait(specs, poll_seconds=0.05,
+                                    deadline_seconds=30)
+        assert again[specs[0].content_hash()]["status"] == "ok"
+        jobs_after = service.client.metrics()["counters"][
+            "orchestrator.jobs"]
+        assert jobs_after == jobs_before
+
+    def test_etag_304_round_trip(self, service):
+        specs = _specs(100.0)
+        service.client.wait(specs, poll_seconds=0.05,
+                            deadline_seconds=120)
+        job = specs[0].content_hash()
+        found, payload, etag = service.client.poll(job)
+        assert found and etag and payload["status"] == "done"
+        found, payload2, etag2 = service.client.poll(job, etag=etag)
+        assert found and payload2 is None and etag2 == etag
+        assert service.client.metrics()["counters"][
+            "server.not_modified"] >= 1
+
+    def test_health_and_readiness(self, service):
+        health = service.client.health()
+        assert health["status"] == "ok"
+        assert health["draining"] is False
+        assert set(health["queue"]) == {"queued", "running", "done"}
+        ready, info = service.client.ready()
+        assert ready and info["ready"] is True
+
+
+class TestRejections:
+    def test_unknown_job_404(self, service):
+        found, payload, etag = service.client.poll("ab" * 32)
+        assert (found, payload, etag) == (False, None, None)
+
+    def test_malformed_submissions_400(self, service):
+        url = "http://127.0.0.1:%d/jobs" % service.port
+        for body in (b"not json", b'{"specs": []}', b'{"specs": 5}',
+                     b'{"specs": [{"workload": 9}]}', b'{"nope": 1}'):
+            request = urllib.request.Request(url, data=body,
+                                             method="POST")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            assert excinfo.value.code == 400
+
+    def test_oversize_body_413(self, service, monkeypatch):
+        from repro.server import handlers
+        monkeypatch.setattr(handlers, "MAX_BODY_BYTES", 64)
+        with pytest.raises(ServerError) as excinfo:
+            service.client.submit(_specs(100.0, 200.0))
+        assert excinfo.value.status == 413
+
+    def test_unknown_path_404(self, service):
+        with pytest.raises(ServerError) as excinfo:
+            service.client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+
+class TestLoadShedding:
+    def test_429_when_queue_full(self, tmp_path):
+        # No executor: admitted cells stay pending, so the bound bites.
+        server = SweepServer(str(tmp_path / "j.journal"), jobs=1,
+                             queue_limit=2)
+        port = server.start()
+        client = SweepClient("http://127.0.0.1:%d" % port,
+                             retry_budget=1)
+        try:
+            client.submit(_specs(100.0, 200.0))
+            from repro.server.client import ServerUnavailable
+            with pytest.raises(ServerUnavailable) as excinfo:
+                client.submit(_specs(300.0))
+            assert "HTTP 429" in excinfo.value.last_error
+            assert client.metrics()["counters"]["server.shed"] == 1
+        finally:
+            server.stop()
+            server.run()   # drains the stop flag and closes the journal
+
+    def test_draining_server_rejects_with_503(self, tmp_path):
+        server = SweepServer(str(tmp_path / "j.journal"), jobs=1)
+        port = server.start()
+        client = SweepClient("http://127.0.0.1:%d" % port,
+                             retry_budget=1)
+        try:
+            server.draining = True
+            from repro.server.client import ServerUnavailable
+            with pytest.raises(ServerUnavailable) as excinfo:
+                client.submit(_specs(100.0))
+            assert "HTTP 503" in excinfo.value.last_error
+            ready, _info = client.ready()
+            assert not ready
+        finally:
+            server.draining = False
+            server.stop()
+            server.run()
+
+
+class TestDurability:
+    def test_admission_is_journalled_before_the_ack(self, tmp_path):
+        server = SweepServer(str(tmp_path / "j.journal"), jobs=1)
+        port = server.start()
+        client = SweepClient("http://127.0.0.1:%d" % port,
+                             retry_budget=2)
+        try:
+            specs = _specs(100.0, 200.0)
+            receipt = client.submit(specs)
+            assert {j["status"] for j in receipt["jobs"]} == {"queued"}
+            # The ACK is durable: the journal already has the cells.
+            state = replay_journal(server.journal_path)
+            assert set(state.spec_hashes()) == \
+                {s.content_hash() for s in specs}
+        finally:
+            server.stop()
+            server.run()
+
+    def test_boot_replay_serves_finished_and_requeues_pending(
+            self, tmp_path):
+        specs = _specs(100.0, 200.0)
+        done, pending = specs
+        path = str(tmp_path / "old.journal")
+        cache = ResultCache(root=str(tmp_path / "cache"))
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep(specs, salt=cache.salt)
+            journal.done(done.content_hash(),
+                         {"status": "ok", "value": 1.0})
+        server = SweepServer(path, cache=cache, jobs=1)
+        try:
+            status, result, etag = server.queue.lookup(
+                done.content_hash())
+            assert status == "done"
+            assert result == {"status": "ok", "value": 1.0}
+            assert etag
+            assert server.queue.lookup(
+                pending.content_hash())[0] == "queued"
+            assert server.queue.pending_count() == 1
+        finally:
+            server.stop()
+            server.run()
+
+    def test_salt_mismatch_discards_replayed_results(self, tmp_path):
+        spec, = _specs(100.0)
+        path = str(tmp_path / "old.journal")
+        with SweepJournal(path, fsync=False) as journal:
+            journal.begin_sweep([spec], salt="v0.0-other")
+            journal.done(spec.content_hash(), {"status": "ok"})
+        server = SweepServer(path, jobs=1)
+        try:
+            # Stale result re-queued, not served.
+            assert server.queue.lookup(
+                spec.content_hash())[0] == "queued"
+        finally:
+            server.stop()
+            server.run()
+
+    def test_second_server_on_same_journal_fails_fast(self, tmp_path):
+        path = str(tmp_path / "j.journal")
+        server = SweepServer(path, jobs=1)
+        try:
+            with pytest.raises(JournalError, match="another live"):
+                SweepServer(path, jobs=1)
+        finally:
+            server.stop()
+            server.run()
+
+    def test_idle_compaction_bounds_the_journal(self, tmp_path):
+        svc = _Service(tmp_path, compact_when_idle=True)
+        try:
+            specs = _specs(100.0)
+            svc.client.wait(specs, poll_seconds=0.05,
+                            deadline_seconds=120)
+            deadline = threading.Event()
+            for _ in range(200):
+                counters = svc.client.metrics()["counters"]
+                if counters.get("server.journal_compactions", 0) >= 1:
+                    break
+                deadline.wait(0.05)
+            else:
+                pytest.fail("idle compaction never ran")
+            state = replay_journal(svc.journal_path)
+            assert state.results   # compaction kept the done cells
+        finally:
+            svc.stop()

@@ -448,3 +448,235 @@ class TestSweepTelemetryFlags:
         assert code == 0
         counters = json.loads(metrics_path.read_text())["counters"]
         assert counters["orchestrator.jobs"] == 1
+
+
+class TestJournalCommand:
+    """The ``journal compact`` maintenance subcommand."""
+
+    def _journal_with_history(self, tmp_path):
+        from repro.orchestrator import JobSpec, SweepJournal
+        path = tmp_path / "sweep.journal"
+        spec = JobSpec(workload="swim", cycles=250,
+                       impedance_percent=200.0, seed=9)
+        with SweepJournal(str(path), fsync=False) as journal:
+            journal.begin_sweep([spec], salt="s1")
+            journal.dispatched(spec.content_hash(), 1)
+            journal.failed(spec.content_hash(), 1, "flake")
+            journal.dispatched(spec.content_hash(), 2)
+            journal.done(spec.content_hash(),
+                         {"status": "ok", "value": 1.0})
+        return path
+
+    def test_compact_prints_stats_and_shrinks(self, tmp_path):
+        import json
+        from repro.orchestrator import replay_journal
+        path = self._journal_with_history(tmp_path)
+        code, text = run_cli("journal", "compact", str(path))
+        assert code == 0
+        stats = json.loads(text)
+        assert stats["records_after"] < stats["records_before"]
+        state = replay_journal(str(path))
+        assert len(state.results) == 1
+
+    def test_missing_journal_is_a_usage_error(self, tmp_path, capsys):
+        code, _ = run_cli("journal", "compact",
+                          str(tmp_path / "absent.journal"))
+        assert code == 2
+        assert "no journal" in capsys.readouterr().err
+
+    def test_live_journal_is_refused(self, tmp_path, capsys):
+        pytest.importorskip("fcntl")
+        from repro.orchestrator import SweepJournal
+        path = self._journal_with_history(tmp_path)
+        journal = SweepJournal(str(path), fsync=False)
+        try:
+            code, _ = run_cli("journal", "compact", str(path))
+        finally:
+            journal.close()
+        assert code == 2
+        assert "another live writer" in capsys.readouterr().err
+
+    def test_sweep_compacts_on_clean_completion(self, tmp_path,
+                                                capsys):
+        from repro.orchestrator import replay_journal
+        journal = tmp_path / "sweep.journal"
+        path = tmp_path / "report.json"
+        code, _ = run_cli(
+            "sweep", "--workloads", "swim", "--impedances", "200",
+            "--cycles", "250", "--warmup", "400", "--seed", "9",
+            "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--json", str(path), "--journal", str(journal))
+        assert code == 0
+        assert "journal compacted" in capsys.readouterr().err
+        state = replay_journal(str(journal))
+        assert state.ended
+        # Compacted on completion: begin + queued + done + end only.
+        lines = [l for l in journal.read_text().splitlines() if l]
+        assert len(lines) == 4
+
+
+class TestCacheCommand:
+    """The ``cache stats|clear`` maintenance subcommand."""
+
+    def _populated_cache(self, tmp_path):
+        from repro.orchestrator import JobSpec, ResultCache
+        root = tmp_path / "cache"
+        cache = ResultCache(root=str(root))
+        spec = JobSpec(workload="swim", cycles=250,
+                       impedance_percent=200.0, seed=9)
+        cache.put(spec, {"status": "ok", "value": 1.0})
+        return root, cache, spec
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        import json
+        root, _cache, _spec = self._populated_cache(tmp_path)
+        code, text = run_cli("cache", "stats", "--cache-dir", str(root))
+        assert code == 0
+        info = json.loads(text)
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert info["invalid_entries"] == 0
+        assert info["orphan_tmp"] == 0
+
+    def test_stats_flags_corruption_and_orphans(self, tmp_path):
+        import json
+        root, cache, spec = self._populated_cache(tmp_path)
+        entry = cache.path_for(spec)
+        with open(entry, "a") as fh:
+            fh.write("garbage")
+        orphan = entry + ".tmp"
+        with open(orphan, "w") as fh:
+            fh.write("torn write")
+        code, text = run_cli("cache", "stats", "--cache-dir", str(root))
+        assert code == 0
+        info = json.loads(text)
+        assert info["invalid_entries"] == 1
+        assert info["orphan_tmp"] == 1
+        # --no-verify still counts files, just skips the parse.
+        code, text = run_cli("cache", "stats", "--cache-dir",
+                             str(root), "--no-verify")
+        info = json.loads(text)
+        assert info["entries"] == 1
+        assert info["invalid_entries"] == 0
+
+    def test_clear_removes_entries_and_orphans(self, tmp_path):
+        import json
+        import os
+        root, cache, spec = self._populated_cache(tmp_path)
+        orphan = cache.path_for(spec) + ".tmp"
+        with open(orphan, "w") as fh:
+            fh.write("torn write")
+        code, text = run_cli("cache", "clear", "--cache-dir", str(root))
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["removed"] == 1
+        assert summary["orphan_tmp_reclaimed"] == 1
+        assert not os.path.exists(cache.path_for(spec))
+        assert not os.path.exists(orphan)
+        assert cache.get(spec) is None
+
+
+class TestServeSubmitParsers:
+    """Flag surface of the service subcommands (live-server behaviour
+    is covered by tests/server/)."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--journal", "j.journal"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.queue_limit == 1024
+        assert args.batch_limit == 64
+        assert args.request_timeout == 30.0
+        assert args.port_file is None
+
+    def test_serve_requires_journal(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(
+            ["submit", "--server", "http://127.0.0.1:1",
+             "--workloads", "swim"])
+        assert args.retry_budget == 8
+        assert args.poll_seconds == 0.5
+        assert args.json == "-"
+        assert not args.no_wait
+
+    def test_submit_requires_server_and_workloads(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--workloads", "swim"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["submit", "--server", "http://127.0.0.1:1"])
+
+    def test_submit_unreachable_server_exits_4(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "submit", "--server", "http://127.0.0.1:1",
+            "--workloads", "swim", "--cycles", "250",
+            "--retry-budget", "1")
+        assert code == 4
+        assert "server unavailable" in capsys.readouterr().err
+
+    def test_poll_unreachable_server_exits_4(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "poll", "--server", "http://127.0.0.1:1",
+            "--retry-budget", "1", "ab" * 32)
+        assert code == 4
+
+
+class TestSubmitAgainstLiveServer:
+    """``submit``/``poll`` CLI against an in-process daemon."""
+
+    @pytest.fixture
+    def service(self, tmp_path, monkeypatch):
+        import threading
+        monkeypatch.setenv("REPRO_CACHE_DIR",
+                           str(tmp_path / "server-cache"))
+        from repro.server import SweepServer
+        server = SweepServer(str(tmp_path / "serve.journal"), jobs=1)
+        port = server.start()
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        yield "http://127.0.0.1:%d" % port
+        server.stop()
+        thread.join(30.0)
+
+    def test_submit_report_matches_sweep_bytes(self, service,
+                                               tmp_path):
+        grid = ["--workloads", "swim", "--impedances", "200",
+                "--controllers", "none", "--cycles", "250",
+                "--warmup", "400", "--seed", "9"]
+        served = tmp_path / "served.json"
+        code, _ = run_cli("submit", "--server", service,
+                          "--poll-seconds", "0.05",
+                          "--json", str(served), *grid)
+        assert code == 0
+        local = tmp_path / "local.json"
+        code, _ = run_cli("sweep", "--jobs", "1",
+                          "--cache-dir", str(tmp_path / "local-cache"),
+                          "--json", str(local), *grid)
+        assert code == 0
+        assert served.read_bytes() == local.read_bytes()
+
+    def test_no_wait_prints_receipt_then_poll_converges(
+            self, service, tmp_path):
+        import json
+        import time
+        code, text = run_cli(
+            "submit", "--server", service, "--no-wait",
+            "--workloads", "swim", "--cycles", "250",
+            "--warmup", "400", "--seed", "9")
+        assert code == 0
+        receipt = json.loads(text)
+        (job,) = [j["job"] for j in receipt["jobs"]]
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            code, text = run_cli("poll", "--server", service, job)
+            if code == 0:
+                break
+            time.sleep(0.1)
+        assert code == 0
+        payload = json.loads(text)["jobs"][job]
+        assert payload["status"] == "done"
+        assert payload["result"]["status"] == "ok"

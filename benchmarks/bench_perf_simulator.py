@@ -302,6 +302,44 @@ def measure_configurations():
     return out
 
 
+def _git_commit():
+    """The current commit hash, or ``"unknown"`` outside a checkout."""
+    import os
+    import subprocess
+
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            stderr=subprocess.DEVNULL).decode("ascii").strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def default_trend_path():
+    import os
+
+    return os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "results", "perf_trend.jsonl")
+
+
+def append_trend_record(path, meta, after):
+    """Append one per-commit record to the trend JSONL file.
+
+    The trend file is the regression-tracking sibling of the
+    single-generation ``BENCH_perf.json``: one line per ``--emit``
+    run, diffed pairwise by ``tools/check_perf_trend.py`` in CI.
+    """
+    import json
+    import os
+
+    record = {"commit": _git_commit(), "meta": meta, "figures": after}
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return record
+
+
 def main(argv=None):
     import argparse
     import json
@@ -312,6 +350,12 @@ def main(argv=None):
     parser.add_argument("--baseline", default=None,
                         help="earlier emission whose 'after' block becomes "
                              "this file's 'before' block")
+    parser.add_argument("--trend", default=None, metavar="PATH",
+                        help="per-commit trend JSONL to append to "
+                             "(default: benchmarks/results/"
+                             "perf_trend.jsonl)")
+    parser.add_argument("--no-trend", action="store_true",
+                        help="do not append a trend record")
     args = parser.parse_args(argv)
 
     after = measure_configurations()
@@ -338,6 +382,11 @@ def main(argv=None):
     with open(args.emit, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
+    if not args.no_trend:
+        trend_path = args.trend or default_trend_path()
+        record = append_trend_record(trend_path, doc["meta"], after)
+        print("trend: appended %s to %s"
+              % (record["commit"][:12], trend_path))
     print(json.dumps(doc, indent=2))
 
 

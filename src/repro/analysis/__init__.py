@@ -15,7 +15,8 @@ from repro.analysis.metrics import (
     performance_loss_percent,
     RunComparison,
 )
-from repro.analysis.tables import ascii_chart, format_table, sparkline
+from repro.analysis.tables import (ascii_chart, format_suite_table,
+                                   format_table, sparkline)
 from repro.analysis.spectrum import (
     band_fraction,
     current_spectrum,
@@ -30,6 +31,7 @@ __all__ = [
     "performance_loss_percent",
     "RunComparison",
     "ascii_chart",
+    "format_suite_table",
     "format_table",
     "sparkline",
     "band_fraction",

@@ -109,3 +109,34 @@ def ascii_chart(series, width=72, height=14, label_format="%8.3g"):
                        for i, n in enumerate(names))
     lines.append(" " * 10 + legend)
     return "\n".join(lines)
+
+
+def format_suite_table(aggregates, title="suite aggregates"):
+    """Render the per-suite aggregate block of a sweep report.
+
+    Args:
+        aggregates: the report's ``"suites"`` dict
+            (:func:`~repro.orchestrator.runner.suite_aggregates`).
+
+    One row per suite: cell/failure counts, total emergency cycles,
+    the worst minimum voltage seen anywhere in the suite, and the
+    controller win/loss/tie record against the paired uncontrolled
+    cells.
+    """
+    rows = []
+    for name in sorted(aggregates):
+        row = aggregates[name]
+        ctrl = row.get("controller") or {}
+        worst = row.get("worst_v_min")
+        rows.append([
+            name,
+            row.get("cells", 0),
+            row.get("failed", 0),
+            row.get("emergency_cycles", 0),
+            "-" if worst is None else "%.4f" % worst,
+            "%d/%d/%d" % (ctrl.get("wins", 0), ctrl.get("losses", 0),
+                          ctrl.get("ties", 0)),
+        ])
+    return format_table(
+        ["suite", "cells", "failed", "emergencies", "worst v_min",
+         "ctrl w/l/t"], rows, title=title)

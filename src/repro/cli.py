@@ -131,9 +131,10 @@ def build_parser():
     p = sub.add_parser("campaign",
                        help="fault-injection resilience campaign")
     _add_common(p)
-    p.add_argument("workloads", nargs="*", default=["swim"],
+    p.add_argument("workloads", nargs="*", default=None,
                    metavar="WORKLOAD",
-                   help="benchmarks to sweep (default: swim)")
+                   help="benchmarks to sweep (default: swim, the "
+                        "repo-wide default workload)")
     p.add_argument("--faults", nargs="+", choices=sorted(FAULT_LIBRARY),
                    default=None, metavar="FAULT",
                    help="fault types to inject (default: all)")
@@ -156,8 +157,19 @@ def build_parser():
                        help="orchestrated grid sweep with result caching")
     p.add_argument("--workloads", nargs="+", default=None,
                    metavar="WORKLOAD",
-                   help="benchmark names (or 'stressmark'); required "
-                        "unless --resume supplies the grid")
+                   help="benchmark names, 'stressmark', or "
+                        "'trace:NAME' for an imported trace (default: "
+                        "swim, unless --suite or --resume supplies "
+                        "the grid)")
+    p.add_argument("--suite", nargs="+", default=None, metavar="SUITE",
+                   help="named workload suites to expand into the "
+                        "grid (built-ins like spec2000-all26 / "
+                        "stressmark-family, or suites created with "
+                        "'traces suite'); adds per-suite aggregate "
+                        "tables to the report")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="trace store root (default: REPRO_TRACE_DIR "
+                        "or ~/.local/share/repro-didt/traces)")
     p.add_argument("--impedances", nargs="+", type=float, default=[200.0],
                    metavar="PCT",
                    help="impedance levels, %% of target (default: 200)")
@@ -251,9 +263,18 @@ def build_parser():
     p.add_argument("--server", required=True, metavar="URL",
                    help="base URL of a running server, e.g. "
                         "http://127.0.0.1:8750")
-    p.add_argument("--workloads", nargs="+", required=True,
+    p.add_argument("--workloads", nargs="+", default=None,
                    metavar="WORKLOAD",
-                   help="benchmark names (or 'stressmark')")
+                   help="benchmark names, 'stressmark', or "
+                        "'trace:NAME' (default: swim unless --suite "
+                        "supplies the grid)")
+    p.add_argument("--suite", nargs="+", default=None, metavar="SUITE",
+                   help="named suites, expanded by the server at "
+                        "admission; adds per-suite aggregate tables "
+                        "to the report")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="trace store root for trace:NAME resolution "
+                        "(default: REPRO_TRACE_DIR)")
     p.add_argument("--impedances", nargs="+", type=float, default=[200.0],
                    metavar="PCT",
                    help="impedance levels, %% of target (default: 200)")
@@ -338,6 +359,58 @@ def build_parser():
                    help="write the byte-stable JSONL event log here")
     p.add_argument("--metrics-out", metavar="PATH",
                    help="write the metrics registry JSON here")
+
+    p = sub.add_parser("traces",
+                       help="imported power-trace store (import, "
+                            "validate, list, suites)")
+    tsub = p.add_subparsers(dest="traces_command", required=True)
+
+    def _trace_file_flags(tp):
+        tp.add_argument("--units", choices=["A", "W"], default=None,
+                        help="sample units where the file carries none "
+                             "(NPY, headerless CSV): A current or W "
+                             "power")
+        tp.add_argument("--clock-hz", type=float, default=None,
+                        help="sample clock where the file carries none "
+                             "(default: the 3 GHz machine clock)")
+        tp.add_argument("--format", choices=["csv", "npy", "jsonl"],
+                        default=None,
+                        help="trace format (default: by file "
+                             "extension)")
+        tp.add_argument("--name", default=None,
+                        help="store label (default: the file's "
+                             "basename stem)")
+        tp.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="trace store root (default: "
+                             "REPRO_TRACE_DIR or "
+                             "~/.local/share/repro-didt/traces)")
+
+    tp = tsub.add_parser("import",
+                         help="validate a trace file and store it by "
+                              "content hash")
+    tp.add_argument("path", metavar="TRACE", help="CSV/NPY/JSONL file")
+    _trace_file_flags(tp)
+
+    tp = tsub.add_parser("validate",
+                         help="strictly validate a trace file "
+                              "(exit 0 valid, 1 invalid, 2 usage)")
+    tp.add_argument("path", metavar="TRACE", help="CSV/NPY/JSONL file")
+    _trace_file_flags(tp)
+
+    tp = tsub.add_parser("list",
+                         help="list stored traces and suites")
+    tp.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="trace store root (default: REPRO_TRACE_DIR)")
+
+    tp = tsub.add_parser("suite",
+                         help="create an immutable named suite of "
+                              "workloads and/or stored traces")
+    tp.add_argument("name", metavar="NAME", help="suite name")
+    tp.add_argument("members", nargs="+", metavar="MEMBER",
+                    help="benchmark names, 'stressmark', or stored "
+                         "traces (by name, hash, or 'trace:REF')")
+    tp.add_argument("--trace-dir", default=None, metavar="DIR",
+                    help="trace store root (default: REPRO_TRACE_DIR)")
 
     sub.add_parser("list", help="list synthetic benchmarks")
     return parser
@@ -494,11 +567,21 @@ def cmd_control(args, out):
 
 def cmd_campaign(args, out):
     """The ``campaign`` command: fault sweep + resilience table."""
+    from repro.orchestrator import DEFAULT_WORKLOADS
+
+    workloads = list(args.workloads or DEFAULT_WORKLOADS)
+    unknown = [w for w in workloads
+               if w != "stressmark" and w not in SPEC2000]
+    if unknown:
+        print("error: unknown workload(s) %s (known: %s, 'stressmark')"
+              % (", ".join(repr(w) for w in unknown),
+                 ", ".join(sorted(SPEC2000))), file=sys.stderr)
+        return EXIT_USAGE
     # With ``--json -`` keep stdout pure JSON so it can be piped; the
     # human-readable table moves to stderr.
     table_out = sys.stderr if args.json == "-" else out
     report = run_campaign(
-        workloads=args.workloads, faults=args.faults, cycles=args.cycles,
+        workloads=workloads, faults=args.faults, cycles=args.cycles,
         warmup_instructions=args.warmup, seed=args.seed,
         impedance_percent=args.impedance, delay=args.delay,
         actuator_kind=args.actuator, fault_start=args.fault_start,
@@ -535,51 +618,63 @@ def cmd_campaign(args, out):
 
 def _parse_controller(token):
     """``'none'`` or ``ACTUATOR[:DELAY[:ERROR]]`` -> spec knobs."""
-    if token == "none":
-        return None
-    parts = token.split(":")
-    if len(parts) > 3:
-        raise ValueError("bad controller %r (want "
-                         "ACTUATOR[:DELAY[:ERROR]])" % token)
-    kind = parts[0]
-    if kind != "ideal" and kind not in ACTUATOR_KINDS:
-        raise ValueError("unknown actuator %r (known: ideal, %s)"
-                         % (kind, ", ".join(sorted(ACTUATOR_KINDS))))
-    try:
-        delay = int(parts[1]) if len(parts) > 1 else 2
-        error = float(parts[2]) if len(parts) > 2 else 0.0
-    except ValueError:
-        raise ValueError("bad controller %r (want "
-                         "ACTUATOR[:DELAY[:ERROR]])" % token)
-    return kind, delay, error
+    from repro.orchestrator import parse_controller
+
+    return parse_controller(token)
+
+
+def _trace_store_for(args):
+    """The trace store honoring ``--trace-dir``.
+
+    An explicit directory is also exported as ``REPRO_TRACE_DIR`` so
+    pool worker processes (and a locally spawned server) replay from
+    the same store.
+    """
+    from repro.traces import TraceStore
+
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir:
+        os.environ["REPRO_TRACE_DIR"] = os.path.abspath(trace_dir)
+    return TraceStore()
 
 
 def _sweep_grid(args):
     """The (specs, settings) pair for the grid flags, or raises
-    ``ValueError`` for a bad token."""
-    from repro.orchestrator import JobSpec
+    ``ValueError`` for a bad token.
 
-    controllers = [(tok, _parse_controller(tok))
-                   for tok in args.controllers]
-    specs = []
-    for workload in args.workloads:
-        for percent in args.impedances:
-            for _tok, ctrl in controllers:
-                kwargs = dict(workload=workload, cycles=args.cycles,
-                              warmup_instructions=args.warmup,
-                              seed=args.seed,
-                              impedance_percent=percent)
-                if ctrl is not None:
-                    kind, delay, error = ctrl
-                    kwargs.update(actuator_kind=kind, delay=delay,
-                                  error=error)
-                specs.append(JobSpec(**kwargs))
-    settings = {
-        "workloads": list(args.workloads),
-        "impedances": [float(p) for p in args.impedances],
-        "controllers": list(args.controllers),
-        "cycles": args.cycles, "warmup": args.warmup, "seed": args.seed,
-    }
+    Suites named with ``--suite`` expand here (against built-ins and
+    the trace store) and contribute a ``settings["suites"]``
+    membership block, which is what puts per-suite aggregate tables
+    into the merged report.  With neither ``--workloads`` nor
+    ``--suite``, the documented default grid
+    (:data:`~repro.orchestrator.grid.DEFAULT_WORKLOADS`) applies.
+    """
+    from repro.orchestrator import (
+        DEFAULT_WORKLOADS,
+        build_grid,
+        canonical_workloads,
+    )
+
+    workloads = list(args.workloads or [])
+    suite_names = list(getattr(args, "suite", None) or [])
+    store = _trace_store_for(args)
+    members = {}
+    if suite_names:
+        from repro.traces import expand_suites
+        expanded, members = expand_suites(suite_names, store)
+        workloads = workloads + expanded
+    if not workloads:
+        workloads = list(DEFAULT_WORKLOADS)
+    specs, settings = build_grid(
+        workloads, impedances=args.impedances,
+        controllers=args.controllers, cycles=args.cycles,
+        warmup=args.warmup, seed=args.seed, store=store)
+    if members:
+        suites = {}
+        for name in sorted(members):
+            canon, store = canonical_workloads(members[name], store=store)
+            suites[name] = canon
+        settings["suites"] = suites
     return specs, settings
 
 
@@ -617,7 +712,7 @@ def cmd_sweep(args, out):
                                           expected_salt=cache.salt)
             except OSError as exc:
                 raise ValueError("cannot resume: %s" % exc)
-            if args.workloads:
+            if args.workloads or args.suite:
                 # An explicitly-given grid wins; journalled cells are
                 # still reused wherever their content hashes match.
                 specs, settings = _sweep_grid(args)
@@ -633,9 +728,6 @@ def cmd_sweep(args, out):
                   "reusable)" % (journal_path, len(replayed.specs),
                                  len(resume_results)), file=sys.stderr)
         else:
-            if not args.workloads:
-                raise ValueError("--workloads is required (or resume a "
-                                 "journal with --resume)")
             specs, settings = _sweep_grid(args)
     except (ValueError, JournalError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -708,6 +800,12 @@ def cmd_sweep(args, out):
         print(text, file=out)
     else:
         _write_text_atomic(args.json, text)
+    if isinstance(settings, dict) and settings.get("suites"):
+        from repro.analysis.tables import format_suite_table
+        from repro.orchestrator import suite_aggregates
+        print(format_suite_table(
+            suite_aggregates(outcomes, settings["suites"])),
+            file=sys.stderr)
     if args.metrics_out:
         _write_text(args.metrics_out, telemetry.metrics.to_json())
         print("metrics written to %s" % args.metrics_out,
@@ -791,26 +889,58 @@ def cmd_submit(args, out):
     server stayed unreachable past the retry budget (or ``--deadline``
     passed).
     """
-    from repro.orchestrator import JobOutcome, report_json
+    from repro.orchestrator import JobOutcome, JobSpec, report_json
     from repro.server import ServerError, ServerUnavailable, SweepClient
 
-    try:
-        specs, settings = _sweep_grid(args)
-    except ValueError as exc:
-        print("error: %s" % exc, file=sys.stderr)
-        return EXIT_USAGE
+    suite_names = list(args.suite or [])
+    specs = settings = None
+    if not suite_names:
+        try:
+            specs, settings = _sweep_grid(args)
+        except ValueError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
     client = SweepClient(args.server, retry_budget=args.retry_budget)
     try:
-        if args.no_wait:
+        if suite_names:
+            # Suites expand server-side at admission: the server owns
+            # the suite registry and returns the expanded spec list,
+            # so the grid a report names is exactly the grid admitted.
+            _trace_store_for(args)
+            grid = {"impedances": [float(p) for p in args.impedances],
+                    "controllers": list(args.controllers),
+                    "cycles": args.cycles, "warmup": args.warmup,
+                    "seed": args.seed}
+            receipt = client.submit_suites(
+                suite_names, grid, workloads=args.workloads or [])
+            specs = [JobSpec.from_dict(d) for d in receipt["specs"]]
+            settings = dict(grid)
+            settings["workloads"] = list(receipt["workloads"])
+            settings["suites"] = {
+                name: list(members) for name, members
+                in sorted(receipt["suite_members"].items())}
+            if args.no_wait:
+                print(json.dumps(receipt, sort_keys=True, indent=2),
+                      file=out)
+                return EXIT_OK
+            results = client.wait(specs, poll_seconds=args.poll_seconds,
+                                  deadline_seconds=args.deadline,
+                                  submitted=True)
+        elif args.no_wait:
             payload = client.submit(specs)
             print(json.dumps(payload, sort_keys=True, indent=2),
                   file=out)
             return EXIT_OK
-        results = client.wait(specs, poll_seconds=args.poll_seconds,
-                              deadline_seconds=args.deadline)
+        else:
+            results = client.wait(specs, poll_seconds=args.poll_seconds,
+                                  deadline_seconds=args.deadline)
     except ServerUnavailable as exc:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_UNAVAILABLE
+    except (ValueError, KeyError) as exc:
+        print("error: malformed server receipt: %s" % exc,
+              file=sys.stderr)
+        return EXIT_USAGE
     except TimeoutError as exc:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_UNAVAILABLE
@@ -983,6 +1113,74 @@ def cmd_trace(args, out):
     return 0
 
 
+def cmd_traces(args, out):
+    """The ``traces`` command: the imported power-trace store.
+
+    ``import``/``validate`` exit-code contract (documented in the
+    README exit-code table): 0 the file is a valid trace; 1 the file
+    is readable but violates the trace schema (non-finite or negative
+    samples, torn JSONL tail, truncated NPY, mixed units, empty); 2
+    usage error (unreadable path, unknown format, missing units,
+    conflicting flags).
+    """
+    from repro.traces import TraceValidationError, load_trace
+
+    action = args.traces_command
+    store = _trace_store_for(args)
+    if action in ("import", "validate"):
+        try:
+            trace = load_trace(args.path, fmt=args.format,
+                               units=args.units, clock_hz=args.clock_hz,
+                               name=args.name)
+        except TraceValidationError as exc:
+            print("error: invalid trace: %s" % exc, file=sys.stderr)
+            return EXIT_CELL_FAILURES
+        except (OSError, ValueError) as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
+        if action == "validate":
+            print("valid: %s -- %d samples, units %s, clock %g Hz, "
+                  "hash %s" % (args.path, trace.n_samples, trace.units,
+                               trace.clock_hz, trace.content_hash()),
+                  file=out)
+            return EXIT_OK
+        digest = store.put(trace)
+        print("imported %s as trace:%s (%d samples, units %s, "
+              "name %s)" % (args.path, digest, trace.n_samples,
+                            trace.units, trace.name), file=out)
+        return EXIT_OK
+    if action == "list":
+        rows = [[m.get("name") or "-", m["hash"][:12],
+                 m["n_samples"], m["units"], "%g" % m["clock_hz"]]
+                for m in store.list()]
+        print(format_table(
+            ["name", "hash", "samples", "units", "clock (Hz)"], rows,
+            title="trace store at %s" % store.root), file=out)
+        for name, members in sorted(store.list_suites().items()):
+            print("suite %s: %s" % (name, ", ".join(members)), file=out)
+        return EXIT_OK
+    # action == "suite": canonicalise members, then store immutably.
+    members = []
+    try:
+        for token in args.members:
+            if token == "stressmark" or token in SPEC2000:
+                members.append(token)
+                continue
+            ref = token[len("trace:"):] if token.startswith("trace:") \
+                else token
+            try:
+                members.append("trace:" + store.resolve(ref))
+            except KeyError as exc:
+                raise ValueError(exc.args[0] if exc.args else str(exc))
+        path = store.put_suite(args.name, members)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    print("suite %s: %d member(s) -> %s"
+          % (args.name, len(members), path), file=out)
+    return EXIT_OK
+
+
 def cmd_list(args, out):
     """The ``list`` command: available synthetic workloads."""
     rows = [[name, profile.description]
@@ -1005,6 +1203,7 @@ _COMMANDS = {
     "poll": cmd_poll,
     "journal": cmd_journal,
     "cache": cmd_cache,
+    "traces": cmd_traces,
     "trace": cmd_trace,
     "run": cmd_trace,        # alias registered on the trace sub-parser
     "list": cmd_list,

@@ -51,6 +51,12 @@ from repro.orchestrator.journal import (
     compacted_records,
     replay_journal,
 )
+from repro.orchestrator.grid import (
+    DEFAULT_WORKLOADS,
+    build_grid,
+    canonical_workloads,
+    parse_controller,
+)
 from repro.orchestrator.runner import (
     JobOutcome,
     Runner,
@@ -58,10 +64,12 @@ from repro.orchestrator.runner import (
     default_jobs,
     merged_report,
     report_json,
+    suite_aggregates,
 )
 from repro.orchestrator.spec import (
     KIND_RUN,
     KIND_THRESHOLDS,
+    KIND_TRACE,
     JobSpec,
 )
 from repro.orchestrator.supervise import (
@@ -83,6 +91,12 @@ __all__ = [
     "JobSpec",
     "KIND_RUN",
     "KIND_THRESHOLDS",
+    "KIND_TRACE",
+    "DEFAULT_WORKLOADS",
+    "build_grid",
+    "canonical_workloads",
+    "parse_controller",
+    "suite_aggregates",
     "ResultCache",
     "CACHEABLE_STATUSES",
     "default_cache_root",

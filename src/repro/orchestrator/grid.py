@@ -1,0 +1,139 @@
+"""Workload-grid construction shared by the CLI and the server.
+
+Both ``repro-didt sweep``/``submit`` and the server's suite admission
+build the same cross product (workloads x impedances x controllers),
+so the grid lives here: one canonicalisation of workload tokens, one
+documented default workload, one error vocabulary for bad names.
+
+Workload tokens:
+
+* a SPEC2000 benchmark name (``swim``, ``gcc``, ...),
+* ``stressmark``,
+* ``trace:<ref>`` -- an imported trace by name, content hash, or hash
+  prefix; canonicalised to ``trace:<64-hex>`` so job hashes key on
+  trace *content*, never on a mutable label.
+"""
+
+from repro.orchestrator.spec import KIND_TRACE, JobSpec
+
+#: The documented default workload grid (used by ``sweep`` and
+#: ``campaign`` when no workloads are named -- the paper's running
+#: example benchmark).
+DEFAULT_WORKLOADS = ("swim",)
+
+#: Prefix marking an imported-trace workload token.
+TRACE_PREFIX = "trace:"
+
+
+def parse_controller(token):
+    """``'none'`` or ``ACTUATOR[:DELAY[:ERROR]]`` -> spec knobs."""
+    from repro.control.actuators import ACTUATOR_KINDS
+
+    if token == "none":
+        return None
+    parts = token.split(":")
+    if len(parts) > 3:
+        raise ValueError("bad controller %r (want "
+                         "ACTUATOR[:DELAY[:ERROR]])" % token)
+    kind = parts[0]
+    if kind != "ideal" and kind not in ACTUATOR_KINDS:
+        raise ValueError("unknown actuator %r (known: ideal, %s)"
+                         % (kind, ", ".join(sorted(ACTUATOR_KINDS))))
+    try:
+        delay = int(parts[1]) if len(parts) > 1 else 2
+        error = float(parts[2]) if len(parts) > 2 else 0.0
+    except ValueError:
+        raise ValueError("bad controller %r (want "
+                         "ACTUATOR[:DELAY[:ERROR]])" % token)
+    return kind, delay, error
+
+
+def canonical_workloads(workloads, store=None):
+    """Validate and canonicalise workload tokens.
+
+    Benchmark names are checked against the synthesized SPEC2000
+    profiles (plus ``stressmark``); ``trace:`` tokens are resolved
+    through the trace store to their full content hash.
+
+    Raises:
+        ValueError: an unknown benchmark or trace token (a clean
+            usage error, never a raw ``KeyError`` traceback).
+    """
+    from repro.workloads.spec import SPEC2000
+
+    canonical = []
+    for token in workloads:
+        token = str(token)
+        if token.startswith(TRACE_PREFIX):
+            ref = token[len(TRACE_PREFIX):]
+            if store is None:
+                from repro.traces.store import TraceStore
+                store = TraceStore()
+            try:
+                canonical.append(TRACE_PREFIX + store.resolve(ref))
+            except KeyError as exc:
+                raise ValueError(str(exc.args[0]) if exc.args else str(exc))
+        elif token == "stressmark" or token in SPEC2000:
+            canonical.append(token)
+        else:
+            raise ValueError(
+                "unknown workload %r (known: %s, 'stressmark', or "
+                "'trace:NAME' for an imported trace)"
+                % (token, ", ".join(sorted(SPEC2000))))
+    return canonical, store
+
+
+def build_grid(workloads, impedances, controllers, cycles, warmup=None,
+               seed=11, store=None):
+    """The (specs, settings) pair for a workload grid.
+
+    ``controllers`` are tokens (``none`` / ``ACTUATOR[:DELAY[:ERROR]]``);
+    duplicate cells (e.g. a trace imported under two names) collapse to
+    one job.  ``settings`` is the sweep-report settings dict.
+
+    Raises:
+        ValueError: bad workload/controller token, or a trace shorter
+            than the requested warm-up skip.
+    """
+    parsed = [(tok, parse_controller(tok)) for tok in controllers]
+    canonical, store = canonical_workloads(workloads, store=store)
+    for token in canonical:
+        if not token.startswith(TRACE_PREFIX):
+            continue
+        digest = token[len(TRACE_PREFIX):]
+        meta = store.meta_for(digest) if store is not None else None
+        if meta is not None and int(meta["n_samples"]) <= int(warmup or 0):
+            raise ValueError(
+                "trace %s (%s) holds %d samples, not more than the "
+                "%d-cycle --warmup skip"
+                % (meta.get("name") or digest[:12], digest[:12],
+                   meta["n_samples"], int(warmup or 0)))
+    specs = []
+    seen = set()
+    for token in canonical:
+        for percent in impedances:
+            for _tok, ctrl in parsed:
+                kwargs = dict(cycles=cycles, warmup_instructions=warmup,
+                              seed=seed, impedance_percent=percent)
+                if token.startswith(TRACE_PREFIX):
+                    kwargs.update(kind=KIND_TRACE,
+                                  workload=token[len(TRACE_PREFIX):])
+                else:
+                    kwargs.update(workload=token)
+                if ctrl is not None:
+                    kind, delay, error = ctrl
+                    kwargs.update(actuator_kind=kind, delay=delay,
+                                  error=error)
+                spec = JobSpec(**kwargs)
+                digest = spec.content_hash()
+                if digest in seen:
+                    continue
+                seen.add(digest)
+                specs.append(spec)
+    settings = {
+        "workloads": list(canonical),
+        "impedances": [float(p) for p in impedances],
+        "controllers": list(controllers),
+        "cycles": cycles, "warmup": warmup, "seed": seed,
+    }
+    return specs, settings

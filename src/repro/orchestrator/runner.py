@@ -431,11 +431,92 @@ class Runner:
         return outcomes
 
 
+def _workload_token(spec):
+    """The suite-membership token for a spec (``trace:<hash>`` for
+    trace jobs, the plain workload name otherwise)."""
+    return (("trace:" + spec.workload) if spec.kind == "trace"
+            else spec.workload)
+
+
+def suite_aggregates(outcomes, suites):
+    """Per-suite aggregate rows for a report.
+
+    Args:
+        outcomes: the sweep's :class:`JobOutcome` list.
+        suites: ``{suite name: [workload tokens]}`` membership.
+
+    Returns:
+        ``{suite: row}`` where each row carries ``cells`` / ``failed``
+        counts, total ``emergency_cycles``, the suite's worst
+        ``worst_v_min`` droop, and a ``controller`` win/loss record:
+        every controlled cell is paired with the uncontrolled cell of
+        the same (workload, impedance, cycles, warmup, seed) and wins
+        when it shows strictly fewer emergency cycles.
+
+    Deterministic: depends only on the outcome cells, so the suites
+    block stays byte-stable across serial/parallel/cached paths.
+    """
+    aggregates = {}
+    for name in sorted(suites):
+        members = set(suites[name])
+        cells = [o for o in outcomes
+                 if o.spec.kind != "thresholds"
+                 and _workload_token(o.spec) in members]
+        failed = sum(1 for o in cells
+                     if o.result.get("status") not in ("ok", "diverged"))
+        emergency_cycles = 0
+        worst_v_min = None
+        baselines = {}
+        for o in cells:
+            summary = o.result.get("emergencies") or {}
+            emergency_cycles += int(summary.get("emergency_cycles") or 0)
+            v_min = summary.get("v_min")
+            if v_min is not None and (worst_v_min is None
+                                      or v_min < worst_v_min):
+                worst_v_min = v_min
+            if o.spec.delay is None:
+                key = (_workload_token(o.spec), o.spec.impedance_percent,
+                       o.spec.cycles, o.spec.warmup_instructions,
+                       o.spec.seed)
+                baselines[key] = summary.get("emergency_cycles")
+        wins = losses = ties = pairs = 0
+        for o in cells:
+            if o.spec.delay is None:
+                continue
+            key = (_workload_token(o.spec), o.spec.impedance_percent,
+                   o.spec.cycles, o.spec.warmup_instructions, o.spec.seed)
+            base = baselines.get(key)
+            controlled = (o.result.get("emergencies")
+                          or {}).get("emergency_cycles")
+            if base is None or controlled is None:
+                continue
+            pairs += 1
+            if controlled < base:
+                wins += 1
+            elif controlled > base:
+                losses += 1
+            else:
+                ties += 1
+        aggregates[name] = {
+            "cells": len(cells),
+            "failed": failed,
+            "emergency_cycles": emergency_cycles,
+            "worst_v_min": worst_v_min,
+            "controller": {"wins": wins, "losses": losses, "ties": ties,
+                           "pairs": pairs},
+        }
+    return aggregates
+
+
 def merged_report(outcomes, settings=None, execution=False):
     """One merged, JSON-safe dict for a batch of outcomes.
 
     Jobs appear in outcome (= submission) order, so the report is
     byte-stable across worker counts and cache states.
+
+    When ``settings`` carries a ``"suites"`` membership dict (written
+    by ``sweep --suite``), the report gains a ``"suites"`` block of
+    per-suite aggregates (:func:`suite_aggregates`).
 
     Args:
         execution: also include an ``"execution"`` list (one entry per
@@ -450,6 +531,10 @@ def merged_report(outcomes, settings=None, execution=False):
         "settings": dict(settings or {}),
         "jobs": [o.to_dict() for o in outcomes],
     }
+    suites = (settings or {}).get("suites") if isinstance(
+        settings, dict) else None
+    if suites:
+        report["suites"] = suite_aggregates(outcomes, suites)
     if execution:
         report["execution"] = [o.execution_dict() for o in outcomes]
     return report

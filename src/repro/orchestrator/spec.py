@@ -8,17 +8,22 @@ that describe the same experiment hash identically no matter how they
 were constructed (keyword order, dict key order, int-vs-float literals),
 which is what makes the on-disk result cache content-addressed.
 
-Two job kinds exist:
+Three job kinds exist:
 
 * ``"run"`` -- a closed-loop simulation (the common case);
 * ``"thresholds"`` -- a design-time threshold solve (Table 3 cells),
   which has no workload, seed, or cycle count; those fields are
-  normalized to fixed values so irrelevant knobs never split the hash.
+  normalized to fixed values so irrelevant knobs never split the hash;
+* ``"trace"`` -- a replay of an imported power trace, whose
+  ``workload`` is the trace's 64-hex *content hash* (never its mutable
+  name), so the job hash keys on trace content and two imports of the
+  same file share every cached result.
 """
 
 import hashlib
 import json
 import math
+import re
 
 from repro.control.actuators import ACTUATOR_KINDS
 from repro.faults.campaign import FAULT_LIBRARY
@@ -26,6 +31,9 @@ from repro.faults.campaign import FAULT_LIBRARY
 #: Job kinds understood by the worker.
 KIND_RUN = "run"
 KIND_THRESHOLDS = "thresholds"
+KIND_TRACE = "trace"
+
+_TRACE_HASH = re.compile(r"^[0-9a-f]{64}$")
 
 #: Canonical field order (also the canonical-dict key set).
 _FIELDS = ("kind", "workload", "cycles", "warmup_instructions", "seed",
@@ -78,7 +86,10 @@ class JobSpec:
             controlled runs.
         watchdog_bounds: ``(v_min, v_max)`` divergence bounds for the
             numeric watchdog, or ``None`` for the loop's default.
-        kind: :data:`KIND_RUN` or :data:`KIND_THRESHOLDS`.
+        kind: :data:`KIND_RUN`, :data:`KIND_THRESHOLDS`, or
+            :data:`KIND_TRACE` (workload = trace content hash; warm-up
+            defaults to a 0-cycle head skip; faults and watchdog
+            bounds do not apply).
     """
 
     __slots__ = _FIELDS
@@ -88,7 +99,7 @@ class JobSpec:
                  impedance_percent=200.0, delay=None, error=0.0,
                  actuator_kind="fu_dl1_il1", fault=None, fault_start=500,
                  stuck_cycles=500, watchdog_bounds=None, kind=KIND_RUN):
-        if kind not in (KIND_RUN, KIND_THRESHOLDS):
+        if kind not in (KIND_RUN, KIND_THRESHOLDS, KIND_TRACE):
             raise ValueError("unknown job kind %r" % (kind,))
         object.__setattr__(self, "kind", kind)
         object.__setattr__(self, "impedance_percent",
@@ -120,6 +131,17 @@ class JobSpec:
         if not workload or not isinstance(workload, str):
             raise ValueError("run jobs need a workload name, got %r"
                              % (workload,))
+        if kind == KIND_TRACE:
+            if not _TRACE_HASH.match(workload):
+                raise ValueError("trace jobs take the trace's 64-hex "
+                                 "content hash as workload, got %r"
+                                 % (workload,))
+            if fault is not None:
+                raise ValueError("trace jobs cannot inject machine "
+                                 "faults (a trace has no pipeline)")
+            # A trace replay never diverges numerically the way the
+            # uarch loop can; the watchdog knob does not apply.
+            watchdog_bounds = None
         if delay is None:
             # Uncontrolled runs have no sensor or actuator: pin the
             # controller-only knobs to their defaults so irrelevant
@@ -134,9 +156,14 @@ class JobSpec:
         object.__setattr__(self, "cycles",
                            _require_int("cycles", cycles, minimum=1))
         if warmup_instructions is None:
-            warmup_instructions = (STRESSMARK_WARMUP
-                                   if workload == "stressmark"
-                                   else DEFAULT_WARMUP)
+            if kind == KIND_TRACE:
+                # Imported traces arrive pre-warmed by their exporter;
+                # warm-up is an explicit head skip in cycles.
+                warmup_instructions = 0
+            else:
+                warmup_instructions = (STRESSMARK_WARMUP
+                                       if workload == "stressmark"
+                                       else DEFAULT_WARMUP)
         object.__setattr__(self, "warmup_instructions",
                            _require_int("warmup_instructions",
                                         warmup_instructions, minimum=0))
@@ -231,7 +258,9 @@ class JobSpec:
                        self.actuator_kind))
         ctrl = ("uncontrolled" if self.delay is None
                 else "%s:%d" % (self.actuator_kind, self.delay))
-        tag = "%s@%g%% %s" % (self.workload, self.impedance_percent, ctrl)
+        name = ("trace:%s" % self.workload[:12]
+                if self.kind == KIND_TRACE else self.workload)
+        tag = "%s@%g%% %s" % (name, self.impedance_percent, ctrl)
         if self.fault:
             tag += " fault=%s" % self.fault
         return tag

@@ -35,7 +35,7 @@ from repro.faults.watchdog import (
     SimulationDiverged,
 )
 from repro.core.checkpoint import WarmupCache
-from repro.orchestrator.spec import KIND_THRESHOLDS, JobSpec
+from repro.orchestrator.spec import KIND_THRESHOLDS, KIND_TRACE, JobSpec
 from repro.pdn.discrete import DiscretePdn, PdnSimulator
 from repro.uarch.core import Machine
 
@@ -48,6 +48,10 @@ STATUS_CRASHED = "crashed"
 
 #: impedance percent -> reusable PdnSimulator, per process.
 _PDN_SIMS = {}
+
+#: trace-store root -> TraceStore, per process (pool workers inherit
+#: ``REPRO_TRACE_DIR`` through the environment).
+_TRACE_STORES = {}
 
 #: Warmed-machine checkpoints, per process (set ``REPRO_WARM_CACHE_DIR``
 #: to also persist them on disk alongside the result cache).
@@ -114,6 +118,34 @@ def _build_controller(thresholds, spec):
     return ThresholdController(sensor, actuator=actuator, monitor=monitor)
 
 
+def _trace_store():
+    from repro.traces.store import TraceStore, default_trace_root
+
+    root = default_trace_root()
+    if root not in _TRACE_STORES:
+        _TRACE_STORES[root] = TraceStore(root)
+    return _TRACE_STORES[root]
+
+
+def _trace_result(spec, design):
+    """Replay an imported trace; raises for a missing trace (the
+    runner's retry/error machinery reports it like any worker fault)."""
+    from repro.traces.replay import replay_trace
+
+    store = _trace_store()
+    trace = store.get(spec.workload)
+    if trace is None:
+        raise FileNotFoundError(
+            "trace %s is not in the trace store at %s (import it with "
+            "'repro-didt traces import', or point REPRO_TRACE_DIR at "
+            "the right store)" % (spec.workload, store.root))
+    return replay_trace(trace, design, cycles=spec.cycles,
+                        warmup=spec.warmup_instructions, delay=spec.delay,
+                        error=spec.error, actuator_kind=spec.actuator_kind,
+                        seed=spec.seed, stuck_cycles=spec.stuck_cycles,
+                        pdn_sim=_pdn_sim_for(design))
+
+
 def _thresholds_result(spec, design):
     d = design.thresholds(delay=spec.delay, error=spec.error,
                           actuator_kind=spec.actuator_kind)
@@ -159,6 +191,8 @@ def execute_spec(spec, timeout_seconds=None, telemetry=None):
     design = design_at(spec.impedance_percent)
     if spec.kind == KIND_THRESHOLDS:
         return _thresholds_result(spec, design)
+    if spec.kind == KIND_TRACE:
+        return _trace_result(spec, design)
 
     machine = _warm_machine(spec, design)
     if telemetry is not None and telemetry.metrics.enabled:

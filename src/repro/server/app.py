@@ -143,8 +143,12 @@ class SweepServer:
                  queue_limit=1024, batch_limit=64, timeout_seconds=None,
                  retries=1, crash_retries=2, backoff=None, hang_grace=5.0,
                  host="127.0.0.1", port=0, request_timeout=30.0,
-                 telemetry=None, compact_when_idle=True):
+                 telemetry=None, compact_when_idle=True,
+                 trace_store=None):
         self.cache = cache if cache is not None else ResultCache()
+        #: Trace store backing suite expansion and trace-job replay
+        #: (``None``: built lazily from ``REPRO_TRACE_DIR``).
+        self.trace_store = trace_store
         self.telemetry = (telemetry if telemetry is not None
                           else Telemetry(metrics=MetricsRegistry()))
         self._metrics_lock = threading.Lock()
@@ -234,6 +238,54 @@ class SweepServer:
         return self.telemetry.metrics.to_dict()
 
     # -- HTTP-facing state ---------------------------------------------
+
+    def expand_suites(self, request):
+        """Expand a suite-submission request at admission.
+
+        Args:
+            request: ``{"names": [...], "workloads": [...], grid
+                knobs}`` as posted by
+                :meth:`~repro.server.client.SweepClient.submit_suites`.
+
+        Returns:
+            ``(specs, workloads, members)`` -- the expanded grid's
+            :class:`JobSpec` list, the canonical workload-token list,
+            and the per-suite membership dict, all echoed back in the
+            202 receipt so the client can build the same report
+            ``sweep --suite`` writes.
+
+        Raises:
+            ValueError: unknown suite/workload/controller tokens (the
+                handler maps this to a 400).
+        """
+        from repro.orchestrator.grid import build_grid, canonical_workloads
+        from repro.traces.store import TraceStore
+        from repro.traces.suites import expand_suites
+
+        if not isinstance(request, dict):
+            raise ValueError("suites must be an object")
+        names = request.get("names")
+        if not isinstance(names, list) or not names \
+                or not all(isinstance(n, str) for n in names):
+            raise ValueError("suites.names must be a non-empty list "
+                             "of suite names")
+        store = self.trace_store
+        if store is None:
+            store = self.trace_store = TraceStore()
+        explicit = request.get("workloads") or []
+        expanded, members = expand_suites(names, store)
+        specs, settings = build_grid(
+            list(explicit) + expanded,
+            impedances=request.get("impedances") or [200.0],
+            controllers=request.get("controllers") or ["none"],
+            cycles=request.get("cycles", 20000),
+            warmup=request.get("warmup"),
+            seed=request.get("seed", 11), store=store)
+        canonical_members = {}
+        for name in sorted(members):
+            canon, store = canonical_workloads(members[name], store=store)
+            canonical_members[name] = canon
+        return specs, settings["workloads"], canonical_members
 
     def submit(self, specs):
         """Admit a submission (handler threads call this).

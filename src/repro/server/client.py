@@ -168,6 +168,29 @@ class SweepClient:
             payload={"specs": [spec.to_dict() for spec in specs]})
         return payload
 
+    def submit_suites(self, names, grid, workloads=()):
+        """POST named suites for server-side expansion.
+
+        Args:
+            names: suite names the server resolves at admission.
+            grid: the grid knobs (``impedances``, ``controllers``,
+                ``cycles``, ``warmup``, ``seed``).
+            workloads: explicit workload tokens to sweep alongside the
+                suites.
+
+        Returns:
+            The 202 receipt, which additionally carries the expanded
+            ``specs`` (canonical dicts), the canonical ``workloads``
+            list, and the ``suite_members`` dict -- everything needed
+            to build the same report ``sweep --suite`` writes.
+        """
+        request = dict(grid)
+        request["names"] = list(names)
+        request["workloads"] = list(workloads)
+        _status, _headers, payload = self._request(
+            "POST", "/jobs", payload={"suites": request})
+        return payload
+
     def poll(self, job_hash, etag=None):
         """GET one job.  Returns ``(found, payload, etag)``:
         ``(False, None, None)`` on 404; on a 304 the payload is
@@ -187,17 +210,25 @@ class SweepClient:
             return True, None, new_etag
         return True, payload, new_etag
 
-    def wait(self, specs, poll_seconds=0.5, deadline_seconds=None):
+    def wait(self, specs, poll_seconds=0.5, deadline_seconds=None,
+             submitted=False):
         """Submit and block until every cell is terminal.
 
         Resubmits any cell the server reports 404 for (a submission
         lost to a crash before its ACK -- resubmission is idempotent).
         Returns ``{content_hash: result}`` in no particular order.
 
+        Args:
+            submitted: skip the initial submission (the specs were
+                already admitted, e.g. via :meth:`submit_suites`); the
+                404 resubmission path still applies and stays
+                idempotent.
+
         Raises :class:`TimeoutError` past ``deadline_seconds``,
         :class:`ServerUnavailable` when the retry budget runs dry.
         """
-        self.submit(specs)
+        if not submitted:
+            self.submit(specs)
         by_hash = {spec.content_hash(): spec for spec in specs}
         results = {}
         etags = {}

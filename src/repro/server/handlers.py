@@ -8,6 +8,9 @@ JSON:
 Method   Path                Semantics
 =======  ==================  =============================================
 POST     ``/jobs``           Submit cells; idempotent by content hash.
+                             The body carries ``specs`` and/or a
+                             ``suites`` request (named suites + grid
+                             knobs) expanded server-side at admission.
                              202 admitted, 429 queue full (load shed),
                              503 draining, 400 malformed, 413 oversized.
 GET      ``/jobs/<hash>``    Poll one cell.  200 with ``ETag`` once
@@ -142,12 +145,31 @@ class ApiHandler(BaseHTTPRequestHandler):
         body = self._read_body()
         if body is None:
             return
+        extra = {}
         try:
             payload = json.loads(body)
-            spec_dicts = payload["specs"]
-            if not isinstance(spec_dicts, list) or not spec_dicts:
-                raise ValueError("specs must be a non-empty list")
+            if not isinstance(payload, dict):
+                raise ValueError("body must be a JSON object")
+            spec_dicts = payload.get("specs") or []
+            if not isinstance(spec_dicts, list):
+                raise ValueError("specs must be a list")
             specs = [JobSpec.from_dict(d) for d in spec_dicts]
+            suites_request = payload.get("suites")
+            if suites_request is not None:
+                # Suite names expand *at admission*, against the
+                # server's own registry: the receipt's spec list is
+                # exactly what was admitted.
+                suite_specs, workloads, members = \
+                    self.app.expand_suites(suites_request)
+                specs = specs + suite_specs
+                extra = {
+                    "specs": [s.to_dict() for s in specs],
+                    "workloads": workloads,
+                    "suite_members": members,
+                }
+            if not specs:
+                raise ValueError("specs must be a non-empty list "
+                                 "(or name suites to expand)")
         except (ValueError, KeyError, TypeError) as exc:
             return self._send_error_json(
                 400, "malformed submission: %s" % exc)
@@ -158,5 +180,6 @@ class ApiHandler(BaseHTTPRequestHandler):
             return self._send_error_json(
                 429, str(exc),
                 headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
-        self._send_json(202, {"jobs": report,
-                              "queue": self.app.queue.counts()})
+        response = {"jobs": report, "queue": self.app.queue.counts()}
+        response.update(extra)
+        self._send_json(202, response)

@@ -1,0 +1,60 @@
+"""External power-trace ingestion, storage, replay, and suites.
+
+``repro.traces`` turns real per-cycle current/power traces into
+first-class workloads: a versioned file schema with a strict validator
+(:mod:`~repro.traces.schema`), a content-addressed on-disk store with
+the result cache's atomic-write / corrupt-as-miss discipline
+(:mod:`~repro.traces.store`), deterministic replay through the PDN +
+sensor + controller loop (:mod:`~repro.traces.replay`), and named
+immutable workload suites (:mod:`~repro.traces.suites`).
+"""
+
+from repro.traces.replay import (
+    GROUP_WEIGHTS,
+    TraceMachine,
+    TraceReplayError,
+    modulated_current,
+    replay_trace,
+)
+from repro.traces.schema import (
+    FORMATS,
+    TRACE_SCHEMA,
+    UNITS,
+    Trace,
+    TraceValidationError,
+    detect_format,
+    load_trace,
+    trace_content_hash,
+    validate_samples,
+)
+from repro.traces.store import STORE_LAYOUT, TraceStore, default_trace_root
+from repro.traces.suites import (
+    BUILTIN_SUITES,
+    expand_suite,
+    expand_suites,
+    known_suites,
+)
+
+__all__ = [
+    "BUILTIN_SUITES",
+    "FORMATS",
+    "GROUP_WEIGHTS",
+    "STORE_LAYOUT",
+    "TRACE_SCHEMA",
+    "Trace",
+    "TraceMachine",
+    "TraceReplayError",
+    "TraceStore",
+    "TraceValidationError",
+    "UNITS",
+    "default_trace_root",
+    "detect_format",
+    "expand_suite",
+    "expand_suites",
+    "known_suites",
+    "load_trace",
+    "modulated_current",
+    "replay_trace",
+    "trace_content_hash",
+    "validate_samples",
+]

@@ -1,0 +1,205 @@
+"""Replay an imported trace through the PDN + sensor + controller loop.
+
+An imported trace fixes the per-cycle load current, so replay has no
+microarchitectural machine to simulate -- what remains is exactly the
+paper's control problem: the PDN's voltage response, the delayed noisy
+threshold sensor, and the actuator shaping next cycle's current.
+
+Two paths, mirroring :class:`~repro.control.loop.ClosedLoopSimulation`:
+
+* **uncontrolled** replay is vectorized -- one
+  :meth:`~repro.pdn.discrete.PdnSimulator.run` over the whole window
+  plus the batch emergency fold and a cumulative-sum energy fold --
+  and is *bit-identical* to the per-cycle loop (the PDN kernel, the
+  counter's ``observe_array``, and the ``np.cumsum`` fold are each
+  individually pinned to their scalar forms; ``force_lockstep``
+  keeps the scalar path alive for parity tests);
+* **controlled** replay steps in lockstep with a real
+  :class:`~repro.control.controller.ThresholdController` driving a
+  minimal :class:`TraceMachine` adapter.
+
+Since a trace has no functional units to actually gate, actuation is
+modeled on the current itself: gating a unit group removes that
+group's share of the *modulated* portion of the sample (the span above
+the trace's floor), and phantom firing adds the share of the headroom
+up to the trace's ceiling::
+
+    reduce:  i = floor + (1 - sum(gated weights))   * (sample - floor)
+    boost:   i = sample + sum(phantom weights) * (ceiling - sample)
+
+with fixed documented weights (``fu`` 0.5, ``dl1`` 0.3, ``il1`` 0.2 --
+the execution-core share dominating, per the paper's per-unit current
+breakdown).  The floor/ceiling are the replayed window's own min/max,
+so the model never invents currents outside what the exporter saw.
+
+Warm-up for a trace job is a *head skip* in cycles (default 0): traces
+arrive already warmed by their exporter, and skipping more cycles than
+the trace holds is an error, not an empty run.
+"""
+
+import numpy as np
+
+from repro.control.actuators import Actuator
+from repro.control.controller import PlausibilityMonitor, ThresholdController
+from repro.control.emergencies import NOMINAL_VOLTAGE, EmergencyCounter
+from repro.control.sensor import ThresholdSensor
+from repro.pdn.discrete import DiscretePdn, PdnSimulator
+
+#: Unit-group share of the modulated current (sums to 1.0 so the
+#: full ``ideal``/``fu_dl1_il1`` gate reaches the trace floor).
+GROUP_WEIGHTS = {"fu": 0.5, "dl1": 0.3, "il1": 0.2}
+
+
+class TraceReplayError(ValueError):
+    """The trace cannot drive this design (clock mismatch, too short)."""
+
+
+class _UnitFlags:
+    __slots__ = ("gated", "phantom")
+
+    def __init__(self):
+        self.gated = False
+        self.phantom = False
+
+
+class TraceMachine:
+    """The minimal machine surface an :class:`Actuator` drives.
+
+    Real machines expose ``fus``/``dl1``/``il1`` units with
+    ``gated``/``phantom`` flags plus ``flush_pipeline``; a trace has
+    no pipeline, so the flags feed the current-modulation model and a
+    flush is a counted no-op.
+    """
+
+    def __init__(self):
+        self.fus = _UnitFlags()
+        self.dl1 = _UnitFlags()
+        self.il1 = _UnitFlags()
+        self.flushes = 0
+
+    def flush_pipeline(self):
+        self.flushes += 1
+
+    def gated_weight(self):
+        return ((GROUP_WEIGHTS["fu"] if self.fus.gated else 0.0)
+                + (GROUP_WEIGHTS["dl1"] if self.dl1.gated else 0.0)
+                + (GROUP_WEIGHTS["il1"] if self.il1.gated else 0.0))
+
+    def phantom_weight(self):
+        return ((GROUP_WEIGHTS["fu"] if self.fus.phantom else 0.0)
+                + (GROUP_WEIGHTS["dl1"] if self.dl1.phantom else 0.0)
+                + (GROUP_WEIGHTS["il1"] if self.il1.phantom else 0.0))
+
+
+def modulated_current(sample, machine, floor, ceiling):
+    """The actuated current for this cycle's trace sample."""
+    gated = machine.gated_weight()
+    if gated:
+        return floor + (1.0 - gated) * (sample - floor)
+    phantom = machine.phantom_weight()
+    if phantom:
+        return sample + phantom * (ceiling - sample)
+    return sample
+
+
+def replay_trace(trace, design, cycles, warmup=0, delay=None, error=0.0,
+                 actuator_kind="fu_dl1_il1", seed=0, stuck_cycles=500,
+                 pdn_sim=None, force_lockstep=False):
+    """Replay a stored trace; returns the worker-shaped result dict.
+
+    Args:
+        trace: a validated :class:`~repro.traces.schema.Trace`.
+        design: a solved
+            :class:`~repro.core.design.VoltageControlDesign`.
+        cycles: replay window length (capped at what the trace holds
+            past the warm-up skip).
+        warmup: head cycles to skip before the timed window.
+        delay / error / actuator_kind / seed / stuck_cycles: the
+            controller knobs, exactly as a run-kind job spells them;
+            ``delay=None`` replays uncontrolled.
+        pdn_sim: a reusable :class:`PdnSimulator` for this design
+            (reset here; built fresh when omitted).
+        force_lockstep: keep the scalar per-cycle path for an
+            uncontrolled replay (bitwise-parity tests).
+
+    The result matches :func:`~repro.orchestrator.worker.execute_spec`
+    shape; ``committed``/``ipc`` are 0 -- a trace carries no committed
+    instructions.
+
+    Raises:
+        TraceReplayError: clock mismatch, or the trace is shorter
+            than the warm-up skip.
+    """
+    if float(trace.clock_hz) != float(design.config.clock_hz):
+        raise TraceReplayError(
+            "trace %s is sampled at %g Hz but the design clocks at "
+            "%g Hz; re-sample the trace at the design clock"
+            % (trace.name or trace.content_hash()[:12], trace.clock_hz,
+               design.config.clock_hz))
+    currents = trace.currents(nominal_volts=NOMINAL_VOLTAGE)
+    warmup = int(warmup)
+    if warmup >= currents.size:
+        raise TraceReplayError(
+            "trace %s holds %d samples, not more than the %d-cycle "
+            "warm-up skip" % (trace.name or trace.content_hash()[:12],
+                              currents.size, warmup))
+    window = currents[warmup:warmup + int(cycles)]
+    if pdn_sim is None:
+        pdn_sim = PdnSimulator(
+            DiscretePdn(design.pdn, clock_hz=design.config.clock_hz))
+    # The first sample is the equilibrium point, matching how
+    # DiscretePdn.simulate seeds its initial state from current[0].
+    saved_watchdog = pdn_sim.watchdog
+    pdn_sim.watchdog = None
+    pdn_sim.reset(initial_current=float(window[0]))
+    counter = EmergencyCounter()
+    cycle_time = design.config.cycle_time
+    controller = None
+    if delay is not None:
+        thresholds = design.thresholds(delay=delay, error=error,
+                                       actuator_kind=actuator_kind)
+        sensor = ThresholdSensor(thresholds.v_low, thresholds.v_high,
+                                 delay=thresholds.delay,
+                                 error=thresholds.error, seed=seed)
+        controller = ThresholdController(
+            sensor, actuator=Actuator(actuator_kind),
+            monitor=PlausibilityMonitor(stuck_cycles=stuck_cycles))
+    try:
+        if controller is None and not force_lockstep:
+            voltages = pdn_sim.run(window)
+            counter.observe_array(voltages)
+            powers = window * NOMINAL_VOLTAGE
+            energy = float(np.cumsum(np.concatenate(
+                ([0.0], powers * cycle_time)))[-1])
+        else:
+            machine = TraceMachine()
+            floor = float(window.min())
+            ceiling = float(window.max())
+            energy = 0.0
+            for sample in window.tolist():
+                if controller is not None:
+                    current = modulated_current(sample, machine, floor,
+                                                ceiling)
+                else:
+                    current = sample
+                voltage = pdn_sim.step(current)
+                power = current * NOMINAL_VOLTAGE
+                energy += power * cycle_time
+                counter.observe(voltage)
+                if controller is not None:
+                    controller.step(machine, voltage, current)
+    finally:
+        pdn_sim.watchdog = saved_watchdog
+        if controller is not None:
+            controller.actuator.release(machine)
+    return {
+        "status": "ok",
+        "error": None,
+        "cycles": int(window.size),
+        "committed": 0,
+        "ipc": 0.0,
+        "energy": energy,
+        "emergencies": counter.summary(),
+        "controller": (controller.summary()
+                       if controller is not None else None),
+    }

@@ -1,0 +1,365 @@
+"""Versioned schema for externally produced per-cycle power traces.
+
+A *trace* is a 1-D series of per-cycle samples -- die current in
+amperes (units ``"A"``) or die power in watts (units ``"W"``) --
+together with the clock the exporter sampled at.  Traces arrive from
+outside this repo (architectural simulators, RTL power tools, silicon
+measurements), so the loaders here are deliberately strict: a file
+that is truncated, torn, mixed-unit, empty, or carries a non-finite or
+negative sample is rejected with a cycle-indexed
+:class:`TraceValidationError` instead of being silently repaired.
+(Contrast the sweep journal, which *tolerates* a torn final line on
+replay: a journal tail is our own crash artifact, while a torn trace
+is someone else's export bug and must be re-exported.)
+
+Three on-disk formats are accepted (see DESIGN.md section 13):
+
+* **CSV** -- optional header naming the value column ``current_a`` or
+  ``power_w`` (which fixes the units; a file carrying *both* columns
+  is rejected as mixed-unit); headerless files are a single numeric
+  column and need explicit units.  A ``cycle`` column, if present, is
+  ignored.
+* **NPY** -- a 1-D numeric array; units must be given by the caller.
+* **JSONL** -- a header object line ``{"schema": 1, "units": ...,
+  "clock_hz": ..., "name": ...}`` followed by one JSON number per
+  line.
+
+The content hash (:func:`trace_content_hash`) covers the schema
+version, units, clock, and the raw little-endian float64 sample bytes
+-- the name is a mutable label and deliberately excluded, like a git
+ref over a git object.
+"""
+
+import hashlib
+import json
+import math
+import os
+
+import numpy as np
+
+from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+
+#: Bump when the trace schema (formats, hashing, meta) changes shape.
+TRACE_SCHEMA = 1
+
+#: Accepted sample units: amperes or watts.
+UNITS = ("A", "W")
+
+#: Accepted on-disk formats.
+FORMATS = ("csv", "npy", "jsonl")
+
+#: CSV value-column name -> units.
+_COLUMN_UNITS = {"current_a": "A", "power_w": "W"}
+
+_EXTENSIONS = {".csv": "csv", ".npy": "npy",
+               ".jsonl": "jsonl", ".ndjson": "jsonl"}
+
+
+class TraceValidationError(ValueError):
+    """The trace file or its samples violate the schema."""
+
+
+def validate_samples(samples):
+    """Strictly validate a sample array; raises with the cycle index.
+
+    Rejects empty and non-1-D arrays, and the *first* (in cycle order)
+    non-finite or negative sample -- a negative die current/power is
+    always an exporter bug, and a NaN would silently poison every
+    downstream PDN state and emergency count.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if samples.ndim != 1:
+        raise TraceValidationError(
+            "trace samples must be 1-D, got shape %r" % (samples.shape,))
+    if samples.size == 0:
+        raise TraceValidationError("trace is empty (no samples)")
+    bad = ~np.isfinite(samples) | (samples < 0.0)
+    if bad.any():
+        cycle = int(np.argmax(bad))
+        value = samples[cycle]
+        kind = ("non-finite" if not math.isfinite(value) else "negative")
+        raise TraceValidationError(
+            "%s sample %r at cycle %d" % (kind, float(value), cycle))
+    return samples
+
+
+def trace_content_hash(units, clock_hz, samples):
+    """Stable hex digest over schema + units + clock + sample bytes."""
+    header = json.dumps(
+        {"clock_hz": float(clock_hz), "schema": TRACE_SCHEMA,
+         "units": units},
+        sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256()
+    digest.update(header.encode("utf-8"))
+    digest.update(b"\n")
+    digest.update(np.ascontiguousarray(samples, dtype="<f8").tobytes())
+    return digest.hexdigest()
+
+
+class Trace:
+    """One validated imported trace (immutable by convention).
+
+    Args:
+        samples: 1-D per-cycle values (amperes or watts, per
+            ``units``); validated on construction unless ``validate``
+            is off (the store's read path re-validates via the content
+            hash instead).
+        units: ``"A"`` or ``"W"``.
+        clock_hz: the exporter's sample clock.  Replay refuses traces
+            whose clock does not match the simulated design's.
+        name: a human label (mutable, excluded from the hash).
+    """
+
+    __slots__ = ("samples", "units", "clock_hz", "name")
+
+    def __init__(self, samples, units="A", clock_hz=NOMINAL_CLOCK_HZ,
+                 name=None, validate=True):
+        if units not in UNITS:
+            raise TraceValidationError(
+                "unknown units %r (known: %s)" % (units, ", ".join(UNITS)))
+        if isinstance(clock_hz, bool) or \
+                not isinstance(clock_hz, (int, float)) \
+                or not math.isfinite(float(clock_hz)) \
+                or float(clock_hz) <= 0:
+            raise TraceValidationError(
+                "clock_hz must be a positive finite number, got %r"
+                % (clock_hz,))
+        samples = np.ascontiguousarray(samples, dtype=np.float64)
+        if validate:
+            samples = validate_samples(samples)
+        self.samples = samples
+        self.units = units
+        self.clock_hz = float(clock_hz)
+        self.name = str(name) if name else None
+
+    @property
+    def n_samples(self):
+        return int(self.samples.size)
+
+    def currents(self, nominal_volts=1.0):
+        """Per-cycle currents in amperes (``W`` divides by the nominal
+        die voltage, the same convention the closed loop uses for its
+        power -> current conversion)."""
+        if self.units == "A":
+            return self.samples
+        return self.samples / float(nominal_volts)
+
+    def content_hash(self):
+        return trace_content_hash(self.units, self.clock_hz, self.samples)
+
+    def meta(self):
+        """JSON-safe descriptive header (hash included)."""
+        return {
+            "schema": TRACE_SCHEMA,
+            "hash": self.content_hash(),
+            "name": self.name,
+            "units": self.units,
+            "clock_hz": self.clock_hz,
+            "n_samples": self.n_samples,
+        }
+
+    def __repr__(self):
+        return ("Trace(%s, %d samples, %s, %.3g Hz)"
+                % (self.name or self.content_hash()[:12],
+                   self.n_samples, self.units, self.clock_hz))
+
+
+def detect_format(path):
+    """Infer a loader format from the file extension."""
+    ext = os.path.splitext(str(path))[1].lower()
+    try:
+        return _EXTENSIONS[ext]
+    except KeyError:
+        raise ValueError(
+            "cannot infer trace format from %r (known extensions: %s; "
+            "pass an explicit format)"
+            % (path, ", ".join(sorted(_EXTENSIONS)))) from None
+
+
+def _load_csv(path, units, clock_hz, name):
+    with open(path, "r", newline="") as fh:
+        raw = fh.read()
+    rows = []
+    for lineno, line in enumerate(raw.split("\n"), start=1):
+        if line.strip():
+            rows.append((lineno, [cell.strip() for cell in
+                                  line.split(",")]))
+    if not rows:
+        raise TraceValidationError("trace is empty (no samples)")
+
+    def _numeric(cell):
+        try:
+            float(cell)
+            return True
+        except ValueError:
+            return False
+
+    first = rows[0][1]
+    column = 0
+    if not all(_numeric(cell) for cell in first):
+        header = [cell.lower() for cell in first]
+        value_columns = [i for i, col in enumerate(header)
+                         if col in _COLUMN_UNITS]
+        if len(value_columns) > 1:
+            raise TraceValidationError(
+                "mixed units: header names both %s (one value column "
+                "per trace)"
+                % " and ".join(header[i] for i in value_columns))
+        if not value_columns:
+            raise TraceValidationError(
+                "no value column in header %r (want current_a or "
+                "power_w)" % (first,))
+        column = value_columns[0]
+        column_units = _COLUMN_UNITS[header[column]]
+        if units is not None and units != column_units:
+            raise ValueError(
+                "requested units %r conflict with the %r column"
+                % (units, header[column]))
+        units = column_units
+        rows = rows[1:]
+        if not rows:
+            raise TraceValidationError("trace is empty (header only)")
+    elif units is None:
+        raise ValueError(
+            "headerless CSV has no unit information: pass units "
+            "explicitly (--units A|W)")
+
+    samples = []
+    for lineno, cells in rows:
+        if column >= len(cells):
+            raise TraceValidationError(
+                "line %d: missing value column %d" % (lineno, column))
+        cell = cells[column]
+        try:
+            samples.append(float(cell))
+        except ValueError:
+            raise TraceValidationError(
+                "line %d: non-numeric sample %r" % (lineno, cell)) \
+                from None
+    return Trace(samples, units=units,
+                 clock_hz=(clock_hz if clock_hz is not None
+                           else NOMINAL_CLOCK_HZ), name=name)
+
+
+def _load_npy(path, units, clock_hz, name):
+    if units is None:
+        raise ValueError("NPY traces carry no unit information: pass "
+                         "units explicitly (--units A|W)")
+    try:
+        array = np.load(path, allow_pickle=False)
+    except (ValueError, OSError, EOFError) as exc:
+        raise TraceValidationError(
+            "truncated or unreadable NPY: %s" % exc) from None
+    if not np.issubdtype(array.dtype, np.number):
+        raise TraceValidationError(
+            "NPY dtype %r is not numeric" % (array.dtype,))
+    return Trace(array, units=units,
+                 clock_hz=(clock_hz if clock_hz is not None
+                           else NOMINAL_CLOCK_HZ), name=name)
+
+
+def _load_jsonl(path, units, clock_hz, name):
+    with open(path, "r") as fh:
+        text = fh.read()
+    if not text.strip():
+        raise TraceValidationError("trace is empty (no header line)")
+    if not text.endswith("\n"):
+        # A torn final line means the exporter died mid-write; even a
+        # parseable tail could be a truncated longer number.  The sweep
+        # journal *tolerates* its own torn tail on replay; an imported
+        # trace must be re-exported instead.
+        lineno = text.count("\n") + 1
+        tail = text.rsplit("\n", 1)[-1]
+        raise TraceValidationError(
+            "torn final line %d (no trailing newline): %r -- the file "
+            "was truncated mid-write; re-export the trace"
+            % (lineno, tail[:60]))
+    lines = text.split("\n")[:-1]
+    try:
+        header = json.loads(lines[0])
+    except ValueError:
+        raise TraceValidationError(
+            "line 1: unparsable header %r" % lines[0][:60]) from None
+    if not isinstance(header, dict):
+        raise TraceValidationError(
+            "line 1: header must be a JSON object, got %r"
+            % lines[0][:60])
+    schema = header.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise TraceValidationError(
+            "unsupported trace schema %r (this code reads schema %d)"
+            % (schema, TRACE_SCHEMA))
+    file_units = header.get("units")
+    if file_units is not None:
+        if units is not None and units != file_units:
+            raise ValueError(
+                "requested units %r conflict with the header's %r"
+                % (units, file_units))
+        units = file_units
+    if units is None:
+        raise ValueError("jsonl header carries no units: add them to "
+                         "the header or pass units explicitly")
+    file_clock = header.get("clock_hz")
+    if file_clock is not None:
+        if clock_hz is not None and float(clock_hz) != float(file_clock):
+            raise ValueError(
+                "requested clock %r conflicts with the header's %r"
+                % (clock_hz, file_clock))
+        clock_hz = file_clock
+    name = header.get("name") or name
+    samples = []
+    for lineno, line in enumerate(lines[1:], start=2):
+        try:
+            value = json.loads(line)
+        except ValueError:
+            raise TraceValidationError(
+                "line %d: unparsable sample %r" % (lineno, line[:60])) \
+                from None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TraceValidationError(
+                "line %d: sample must be a number, got %r"
+                % (lineno, line[:60]))
+        samples.append(float(value))
+    return Trace(samples, units=units,
+                 clock_hz=(clock_hz if clock_hz is not None
+                           else NOMINAL_CLOCK_HZ), name=name)
+
+
+_LOADERS = {"csv": _load_csv, "npy": _load_npy, "jsonl": _load_jsonl}
+
+
+def load_trace(path, fmt=None, units=None, clock_hz=None, name=None):
+    """Load and strictly validate one trace file.
+
+    Args:
+        path: the trace file.
+        fmt: ``"csv"``/``"npy"``/``"jsonl"`` (default: by extension).
+        units: ``"A"`` or ``"W"`` where the format does not carry them
+            (NPY, headerless CSV); a conflict with in-file units is a
+            usage error.
+        clock_hz: sample clock where the format does not carry it
+            (default: the nominal 3 GHz machine clock).
+        name: label override (default: the file's basename stem).
+
+    Raises:
+        TraceValidationError: the file content violates the schema
+            (path-prefixed, cycle- or line-indexed).
+        ValueError: the *request* is wrong (unknown format, missing
+            or conflicting units/clock) -- a usage error, not a bad
+            file.
+        OSError: the file cannot be read at all.
+    """
+    path = str(path)
+    fmt = fmt or detect_format(path)
+    if fmt not in _LOADERS:
+        raise ValueError("unknown trace format %r (known: %s)"
+                         % (fmt, ", ".join(FORMATS)))
+    if units is not None and units not in UNITS:
+        raise ValueError("unknown units %r (known: %s)"
+                         % (units, ", ".join(UNITS)))
+    if name is None:
+        name = os.path.splitext(os.path.basename(path))[0]
+    try:
+        return _LOADERS[fmt](path, units, clock_hz, name)
+    except TraceValidationError as exc:
+        raise TraceValidationError("%s: %s" % (path, exc)) from None

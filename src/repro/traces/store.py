@@ -1,0 +1,287 @@
+"""Content-addressed on-disk store for imported traces and suites.
+
+Layout::
+
+    <root>/v1/<hh>/<hash>/samples.npy   raw float64 samples
+    <root>/v1/<hh>/<hash>/meta.json     schema/units/clock/name header
+    <root>/v1/suites/<name>.json        immutable named suites
+
+where ``root`` is ``REPRO_TRACE_DIR`` (default
+``~/.local/share/repro-didt/traces``), ``v1`` is the store layout
+version, ``hh`` keeps directories small, and ``hash`` is the trace's
+content hash (:func:`~repro.traces.schema.trace_content_hash`).
+
+The write/read discipline mirrors
+:class:`~repro.orchestrator.cache.ResultCache`: every file lands via a
+same-directory temp file + ``os.replace`` (samples first, ``meta.json``
+last, so the meta file is the commit record), and a read that finds a
+present-but-untrustworthy entry -- unreadable, unparsable, or failing
+its content-hash recomputation -- degrades to a *miss*, counted in
+:attr:`TraceStore.integrity_misses`, never a wrong replay.
+
+Suites are **immutable**: ``put_suite`` on an existing name succeeds
+only when the membership is byte-identical, so a suite name in a report
+always means the same cells (the no-cherry-picking discipline).
+"""
+
+import io
+import json
+import os
+import re
+import tempfile
+
+import numpy as np
+
+from repro.traces.schema import TRACE_SCHEMA, Trace
+
+#: Store layout version (directory name under the root).
+STORE_LAYOUT = "v1"
+
+_HASH_RE = re.compile(r"^[0-9a-f]{64}$")
+_PREFIX_RE = re.compile(r"^[0-9a-f]{6,63}$")
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+def default_trace_root():
+    """``REPRO_TRACE_DIR`` or the per-user data directory."""
+    env = os.environ.get("REPRO_TRACE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".local", "share",
+                        "repro-didt", "traces")
+
+
+def _write_atomic(path, data, binary=False):
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb" if binary else "w") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class TraceStore:
+    """Disk store of imported traces keyed by content hash.
+
+    Args:
+        root: store directory (default :func:`default_trace_root`).
+            Nothing is created until the first :meth:`put`.
+    """
+
+    def __init__(self, root=None):
+        self.root = str(root) if root else default_trace_root()
+        #: Present-but-untrustworthy entries encountered (torn writes,
+        #: hand edits, hash mismatches) -- observable, never silent.
+        self.integrity_misses = 0
+
+    # -- paths ---------------------------------------------------------
+
+    @property
+    def base(self):
+        return os.path.join(self.root, STORE_LAYOUT)
+
+    def entry_dir(self, digest):
+        return os.path.join(self.base, digest[:2], digest)
+
+    def _suite_path(self, name):
+        return os.path.join(self.base, "suites", name + ".json")
+
+    # -- traces --------------------------------------------------------
+
+    def put(self, trace):
+        """Store a trace atomically; returns its content hash.
+
+        Idempotent: re-importing identical content lands on the same
+        entry (the meta -- including the mutable name label -- is
+        refreshed from the latest import).
+        """
+        digest = trace.content_hash()
+        directory = self.entry_dir(digest)
+        samples = np.ascontiguousarray(trace.samples, dtype="<f8")
+        buffer = io.BytesIO()
+        np.save(buffer, samples)
+        _write_atomic(os.path.join(directory, "samples.npy"),
+                      buffer.getvalue(), binary=True)
+        meta = trace.meta()
+        _write_atomic(os.path.join(directory, "meta.json"),
+                      json.dumps(meta, sort_keys=True, indent=2) + "\n")
+        return digest
+
+    def meta_for(self, digest):
+        """The stored meta dict for a hash, or ``None`` on any miss."""
+        path = os.path.join(self.entry_dir(digest), "meta.json")
+        try:
+            fh = open(path, "r")
+        except OSError:
+            return None
+        try:
+            with fh:
+                meta = json.load(fh)
+            if not isinstance(meta, dict) or meta.get("hash") != digest \
+                    or meta.get("schema") != TRACE_SCHEMA:
+                raise ValueError("meta mismatch")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.integrity_misses += 1
+            return None
+        return meta
+
+    def get(self, digest):
+        """The stored :class:`Trace` for a hash, or ``None`` on miss.
+
+        A present entry whose samples fail to load, fail validation,
+        or do not hash back to ``digest`` is an integrity miss.
+        """
+        meta = self.meta_for(digest)
+        if meta is None:
+            return None
+        path = os.path.join(self.entry_dir(digest), "samples.npy")
+        try:
+            samples = np.load(path, allow_pickle=False)
+            trace = Trace(samples, units=meta["units"],
+                          clock_hz=meta["clock_hz"],
+                          name=meta.get("name"))
+            if trace.content_hash() != digest:
+                raise ValueError("content hash mismatch")
+        except (OSError, ValueError, KeyError, TypeError, EOFError):
+            self.integrity_misses += 1
+            return None
+        return trace
+
+    def list(self):
+        """Meta dicts for every readable trace, sorted by (name, hash)."""
+        metas = []
+        base = self.base
+        if not os.path.isdir(base):
+            return metas
+        for hh in sorted(os.listdir(base)):
+            if len(hh) != 2:
+                continue
+            bucket = os.path.join(base, hh)
+            for digest in sorted(os.listdir(bucket)):
+                if _HASH_RE.match(digest):
+                    meta = self.meta_for(digest)
+                    if meta is not None:
+                        metas.append(meta)
+        metas.sort(key=lambda m: (m.get("name") or "", m["hash"]))
+        return metas
+
+    def resolve(self, token):
+        """A full content hash for a name, hash, or hash prefix.
+
+        Raises:
+            KeyError: unknown or ambiguous token (message lists what
+                the store holds).
+        """
+        token = str(token)
+        if _HASH_RE.match(token):
+            if self.meta_for(token) is None:
+                raise KeyError("no trace %s in the store at %s"
+                               % (token, self.root))
+            return token
+        metas = self.list()
+        matches = [m["hash"] for m in metas if m.get("name") == token]
+        if not matches and _PREFIX_RE.match(token):
+            matches = [m["hash"] for m in metas
+                       if m["hash"].startswith(token)]
+        if len(matches) == 1:
+            return matches[0]
+        known = ", ".join(
+            "%s (%s)" % (m.get("name") or "-", m["hash"][:12])
+            for m in metas) or "store is empty"
+        if matches:
+            raise KeyError("ambiguous trace %r matches %d entries; "
+                           "use a full hash (known: %s)"
+                           % (token, len(matches), known))
+        raise KeyError("unknown trace %r in the store at %s "
+                       "(known: %s)" % (token, self.root, known))
+
+    # -- suites --------------------------------------------------------
+
+    def put_suite(self, name, workloads):
+        """Create an immutable named suite; returns its path.
+
+        Idempotent for identical membership; a different membership
+        under an existing name raises ``ValueError`` (pick a new
+        name -- suite names must always mean the same cells).
+        """
+        if not _NAME_RE.match(name):
+            raise ValueError("bad suite name %r (want letters, digits, "
+                             "'.', '_', '-')" % (name,))
+        workloads = [str(w) for w in workloads]
+        if not workloads:
+            raise ValueError("a suite needs at least one workload")
+        existing = self.get_suite(name)
+        path = self._suite_path(name)
+        if existing is not None:
+            if existing == workloads:
+                return path
+            raise ValueError(
+                "suite %r already exists with different members "
+                "(suites are immutable; pick a new name)" % (name,))
+        payload = {"schema": TRACE_SCHEMA, "name": name,
+                   "workloads": workloads}
+        _write_atomic(path, json.dumps(payload, sort_keys=True,
+                                       indent=2) + "\n")
+        return path
+
+    def get_suite(self, name):
+        """The suite's workload list, or ``None`` on any miss."""
+        try:
+            fh = open(self._suite_path(name), "r")
+        except OSError:
+            return None
+        try:
+            with fh:
+                payload = json.load(fh)
+            workloads = payload["workloads"]
+            if payload.get("schema") != TRACE_SCHEMA \
+                    or payload.get("name") != name \
+                    or not isinstance(workloads, list) or not workloads \
+                    or not all(isinstance(w, str) for w in workloads):
+                raise ValueError("suite mismatch")
+        except (OSError, ValueError, KeyError, TypeError):
+            self.integrity_misses += 1
+            return None
+        return list(workloads)
+
+    def list_suites(self):
+        """``{name: workloads}`` for every readable stored suite."""
+        directory = os.path.join(self.base, "suites")
+        suites = {}
+        if not os.path.isdir(directory):
+            return suites
+        for entry in sorted(os.listdir(directory)):
+            if not entry.endswith(".json"):
+                continue
+            name = entry[:-len(".json")]
+            members = self.get_suite(name)
+            if members is not None:
+                suites[name] = members
+        return suites
+
+    def stats(self):
+        """JSON-safe summary of what is on disk."""
+        info = {"root": self.root, "layout": STORE_LAYOUT,
+                "traces": 0, "samples": 0, "bytes": 0, "suites": 0}
+        for meta in self.list():
+            info["traces"] += 1
+            info["samples"] += int(meta.get("n_samples") or 0)
+            directory = self.entry_dir(meta["hash"])
+            for filename in ("samples.npy", "meta.json"):
+                try:
+                    info["bytes"] += os.path.getsize(
+                        os.path.join(directory, filename))
+                except OSError:
+                    pass
+        info["suites"] = len(self.list_suites())
+        return info
+
+    def __repr__(self):
+        return ("TraceStore(root=%r, integrity_misses=%d)"
+                % (self.root, self.integrity_misses))

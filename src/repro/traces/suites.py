@@ -1,0 +1,71 @@
+"""Named, immutable workload suites.
+
+A suite is a *name for a fixed set of workloads*, so a report that
+says ``spec2000-all26`` always means the same 26 cells -- the
+no-cherry-picking discipline the paper's full-suite tables rely on.
+
+Built-in suites cover the synthesized SPEC2000 profiles and the
+stressmark; user-defined suites (stored in a
+:class:`~repro.traces.store.TraceStore`) add imported traces and are
+immutable once created.  Membership tokens are workload names as the
+orchestrator spells them: a benchmark name, ``stressmark``, or
+``trace:<ref>`` for an imported trace.
+"""
+
+from repro.workloads.spec import ACTIVE_BENCHMARKS, SPEC2000, SPEC_FP, SPEC_INT
+
+#: Immutable built-in suites (name -> workload tokens).
+BUILTIN_SUITES = {
+    "spec2000-all26": tuple(sorted(SPEC2000)),
+    "spec2000-int": tuple(sorted(SPEC_INT)),
+    "spec2000-fp": tuple(sorted(SPEC_FP)),
+    "spec2000-active8": tuple(ACTIVE_BENCHMARKS),
+    "stressmark-family": ("stressmark",),
+}
+
+
+def known_suites(store=None):
+    """Sorted suite names: built-ins plus any stored suites."""
+    names = set(BUILTIN_SUITES)
+    if store is not None:
+        names.update(store.list_suites())
+    return sorted(names)
+
+
+def expand_suite(name, store=None):
+    """The workload tokens of one suite, as a list.
+
+    Stored suites cannot shadow a built-in name (``put_suite`` is free
+    to create one, but expansion always prefers the built-in, so the
+    built-in names stay reserved vocabulary).
+
+    Raises:
+        ValueError: unknown suite (message lists what exists).
+    """
+    if name in BUILTIN_SUITES:
+        return list(BUILTIN_SUITES[name])
+    if store is not None:
+        members = store.get_suite(name)
+        if members is not None:
+            return list(members)
+    raise ValueError("unknown suite %r (known: %s)"
+                     % (name, ", ".join(known_suites(store))))
+
+
+def expand_suites(names, store=None):
+    """Expand several suites into one workload list.
+
+    Returns:
+        ``(workloads, members)`` -- the concatenated workload tokens
+        (suite order preserved, repeated suite names deduplicated) and
+        a ``{suite: member list}`` dict for suite-level reporting.
+    """
+    workloads = []
+    members = {}
+    for name in names:
+        if name in members:
+            continue
+        expanded = expand_suite(name, store)
+        members[name] = expanded
+        workloads.extend(expanded)
+    return workloads, members

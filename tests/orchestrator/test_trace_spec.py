@@ -1,0 +1,157 @@
+"""Tests for the trace job kind and the shared grid builder."""
+
+import pytest
+
+from repro.orchestrator import (
+    DEFAULT_WORKLOADS,
+    JobSpec,
+    KIND_TRACE,
+    build_grid,
+    canonical_workloads,
+    parse_controller,
+)
+from repro.traces import Trace, TraceStore
+
+HASH = "ab" * 32
+
+
+def trace_spec(**kwargs):
+    kwargs.setdefault("kind", KIND_TRACE)
+    kwargs.setdefault("workload", HASH)
+    kwargs.setdefault("cycles", 1000)
+    return JobSpec(**kwargs)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(root=str(tmp_path / "traces"))
+
+
+class TestTraceSpec:
+    def test_workload_must_be_a_content_hash(self):
+        with pytest.raises(ValueError,
+                           match="64-hex content hash as workload"):
+            trace_spec(workload="fixture")
+
+    def test_uppercase_hash_rejected(self):
+        with pytest.raises(ValueError, match="64-hex"):
+            trace_spec(workload=HASH.upper())
+
+    def test_faults_rejected(self):
+        with pytest.raises(ValueError,
+                           match="trace jobs cannot inject machine "
+                                 "faults"):
+            trace_spec(fault="stuck_low", delay=2)
+
+    def test_watchdog_bounds_forced_none(self):
+        spec = trace_spec(watchdog_bounds=(0.5, 1.5))
+        assert spec.watchdog_bounds is None
+
+    def test_warmup_defaults_to_zero_head_skip(self):
+        assert trace_spec().warmup_instructions == 0
+        # run-kind jobs keep their 60000-instruction default.
+        run = JobSpec(workload="swim", cycles=1000)
+        assert run.warmup_instructions == 60000
+
+    def test_label_prefixes_the_short_hash(self):
+        spec = trace_spec(delay=2)
+        assert spec.label().startswith("trace:" + HASH[:12])
+        assert "fu_dl1_il1:2" in spec.label()
+
+    def test_dict_roundtrip_preserves_hash(self):
+        spec = trace_spec(delay=2, error=0.01)
+        back = JobSpec.from_dict(spec.to_dict())
+        assert back == spec
+        assert back.content_hash() == spec.content_hash()
+        assert back.kind == KIND_TRACE
+
+    def test_hash_differs_from_run_kind(self):
+        # Same knobs, different kind: must never collide in the cache.
+        trace = trace_spec()
+        assert trace.content_hash() != JobSpec(
+            workload="swim", cycles=1000,
+            warmup_instructions=0).content_hash()
+
+
+class TestCanonicalWorkloads:
+    def test_benchmarks_pass_through(self, store):
+        canonical, _ = canonical_workloads(["swim", "stressmark"],
+                                           store=store)
+        assert canonical == ["swim", "stressmark"]
+
+    def test_unknown_name_is_a_clean_error(self, store):
+        with pytest.raises(ValueError,
+                           match="unknown workload 'nosuch' \\(known: "
+                                 ".*'trace:NAME'"):
+            canonical_workloads(["nosuch"], store=store)
+
+    def test_trace_token_resolves_to_full_hash(self, store):
+        digest = store.put(Trace([1.0, 2.0], name="fixture"))
+        canonical, _ = canonical_workloads(
+            ["trace:fixture", "trace:" + digest[:12]], store=store)
+        assert canonical == ["trace:" + digest] * 2
+
+    def test_unknown_trace_is_a_value_error(self, store):
+        # Never a raw KeyError traceback at the CLI boundary.
+        with pytest.raises(ValueError, match="unknown trace 'nope'"):
+            canonical_workloads(["trace:nope"], store=store)
+
+
+class TestBuildGrid:
+    def test_default_workloads_documented(self):
+        assert DEFAULT_WORKLOADS == ("swim",)
+
+    def test_cross_product(self, store):
+        specs, settings = build_grid(
+            ["swim"], [150.0, 250.0], ["none", "fu_dl1_il1:2"],
+            cycles=500, warmup=100, seed=3, store=store)
+        assert len(specs) == 4
+        assert settings["workloads"] == ["swim"]
+        assert settings["impedances"] == [150.0, 250.0]
+        assert settings["seed"] == 3
+
+    def test_trace_tokens_become_trace_jobs(self, store):
+        digest = store.put(Trace([1.0] * 50, name="fixture"))
+        specs, settings = build_grid(
+            ["trace:fixture"], [200.0], ["none"], cycles=500,
+            store=store)
+        assert [s.kind for s in specs] == [KIND_TRACE]
+        assert specs[0].workload == digest
+        assert settings["workloads"] == ["trace:" + digest]
+
+    def test_duplicate_cells_collapse(self, store):
+        digest = store.put(Trace([1.0] * 50, name="fixture"))
+        specs, _ = build_grid(
+            ["trace:fixture", "trace:" + digest], [200.0], ["none"],
+            cycles=500, store=store)
+        assert len(specs) == 1
+
+    def test_trace_shorter_than_warmup(self, store):
+        store.put(Trace([1.0] * 50, name="short"))
+        with pytest.raises(ValueError,
+                           match="trace short \\(.*\\) holds 50 "
+                                 "samples, not more than the 50-cycle "
+                                 "--warmup skip"):
+            build_grid(["trace:short"], [200.0], ["none"], cycles=10,
+                       warmup=50, store=store)
+
+    def test_bad_controller_token(self, store):
+        with pytest.raises(ValueError, match="unknown actuator"):
+            build_grid(["swim"], [200.0], ["warpdrive"], cycles=500,
+                       store=store)
+
+
+class TestParseController:
+    def test_none(self):
+        assert parse_controller("none") is None
+
+    def test_defaults(self):
+        assert parse_controller("fu_dl1_il1") == ("fu_dl1_il1", 2, 0.0)
+
+    def test_full_form(self):
+        assert parse_controller("ideal:4:0.01") == ("ideal", 4, 0.01)
+
+    def test_bad_tokens(self):
+        for token in ("a:b:c:d", "fu_dl1_il1:x", "warpdrive"):
+            with pytest.raises(ValueError):
+                parse_controller(token)

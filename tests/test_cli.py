@@ -154,11 +154,21 @@ class TestSweepCommand:
         assert "invalidated 2 cached cell(s)" in err
         assert "0 cache hits, 2 executed" in err
 
-    def test_missing_workloads_is_a_usage_error(self, tmp_path, capsys):
-        code, _ = run_cli("sweep", "--jobs", "1",
-                          "--cache-dir", str(tmp_path / "cache"))
-        assert code == 2
-        assert "--workloads is required" in capsys.readouterr().err
+    def test_missing_workloads_falls_back_to_the_default(
+            self, tmp_path, capsys):
+        # sweep and campaign share one documented default grid
+        # (DEFAULT_WORKLOADS == swim): a bare sweep is a 1-cell run,
+        # not a usage error.
+        import json
+        path = tmp_path / "report.json"
+        code, _ = run_cli("sweep", "--cycles", "250", "--warmup",
+                          "400", "--jobs", "1",
+                          "--cache-dir", str(tmp_path / "cache"),
+                          "--json", str(path))
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["settings"]["workloads"] == ["swim"]
+        assert len(data["jobs"]) == 1
 
     def test_failed_cell_exits_nonzero(self, tmp_path):
         import json
@@ -603,12 +613,14 @@ class TestServeSubmitParsers:
         assert args.json == "-"
         assert not args.no_wait
 
-    def test_submit_requires_server_and_workloads(self):
+    def test_submit_requires_a_server(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["submit", "--workloads", "swim"])
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(
-                ["submit", "--server", "http://127.0.0.1:1"])
+        # --workloads is optional (the default grid / --suite apply),
+        # matching sweep.
+        args = build_parser().parse_args(
+            ["submit", "--server", "http://127.0.0.1:1"])
+        assert args.workloads is None
 
     def test_submit_unreachable_server_exits_4(self, tmp_path, capsys):
         code, _ = run_cli(

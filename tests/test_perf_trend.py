@@ -1,0 +1,181 @@
+"""Tests for the perf-trend record format and its CI regression check.
+
+``bench_perf_simulator --emit`` appends one per-commit record under
+``benchmarks/results/``; ``tools/check_perf_trend.py`` diffs the two
+newest records and warns when a tracked configuration's throughput
+dropped more than 10%.  Neither lives on the import path, so both are
+loaded by file location here.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), ".."))
+
+
+def load_module(relpath, name):
+    path = os.path.join(REPO_ROOT, relpath)
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    # bench_perf_simulator imports its sibling ``harness`` module.
+    sys.path.insert(0, os.path.dirname(path))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(os.path.dirname(path))
+    return module
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return load_module(os.path.join("tools", "check_perf_trend.py"),
+                       "check_perf_trend")
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return load_module(
+        os.path.join("benchmarks", "bench_perf_simulator.py"),
+        "bench_perf_simulator")
+
+
+META = {"cycles": 1000, "workload": "swim", "seed": 11}
+
+
+def record(rates, meta=META, commit="c" * 40):
+    return {"commit": commit, "meta": dict(meta),
+            "figures": {name: {"cycles_per_sec": rate}
+                        for name, rate in rates.items()}}
+
+
+def tracked_rates(uncontrolled=1e6, controlled=5e5):
+    return {"uncontrolled_steady_state_cell_swim": uncontrolled,
+            "controlled_cell_swim": controlled}
+
+
+def write_trend(tmp_path, *records):
+    path = tmp_path / "trend.jsonl"
+    path.write_text("".join(json.dumps(r, sort_keys=True) + "\n"
+                            for r in records))
+    return str(path)
+
+
+class TestAppendRecord:
+    def test_record_shape_and_appending(self, bench, tmp_path):
+        path = str(tmp_path / "results" / "trend.jsonl")
+        bench.append_trend_record(path, META,
+                                  tracked_rates())
+        bench.append_trend_record(path, META,
+                                  tracked_rates(uncontrolled=2e6))
+        lines = open(path).read().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert set(first) == {"commit", "meta", "figures"}
+        assert first["meta"] == META
+
+    def test_default_path_is_under_results(self, bench):
+        assert bench.default_trend_path().endswith(
+            os.path.join("benchmarks", "results", "perf_trend.jsonl"))
+
+    def test_committed_trend_parses(self, checker):
+        # The seeded record in the repo must stay loadable.
+        records = checker.load_records(
+            os.path.join(REPO_ROOT, "benchmarks", "results",
+                         "perf_trend.jsonl"))
+        assert records
+        for name in checker.TRACKED:
+            assert name in records[-1]["figures"]
+
+
+class TestCompare:
+    def test_no_regression(self, checker):
+        regressions, notes = checker.compare(
+            record(tracked_rates()),
+            record(tracked_rates(uncontrolled=0.95e6)), 0.10)
+        assert regressions == [] and notes == []
+
+    def test_drop_beyond_threshold_flagged(self, checker):
+        regressions, _ = checker.compare(
+            record(tracked_rates()),
+            record(tracked_rates(uncontrolled=0.8e6)), 0.10)
+        assert len(regressions) == 1
+        assert "uncontrolled_steady_state_cell_swim" in regressions[0]
+        assert "dropped 20.0%" in regressions[0]
+
+    def test_improvement_never_flagged(self, checker):
+        regressions, _ = checker.compare(
+            record(tracked_rates()),
+            record(tracked_rates(uncontrolled=5e6, controlled=5e6)),
+            0.10)
+        assert regressions == []
+
+    def test_meta_mismatch_skips_the_comparison(self, checker):
+        other = dict(META, cycles=2000)
+        regressions, notes = checker.compare(
+            record(tracked_rates()),
+            record(tracked_rates(uncontrolled=1.0), meta=other), 0.10)
+        assert regressions == []
+        assert any("meta changed" in n for n in notes)
+
+    def test_missing_configuration_is_a_note(self, checker):
+        current = record({"controlled_cell_swim": 5e5})
+        regressions, notes = checker.compare(
+            record(tracked_rates()), current, 0.10)
+        assert regressions == []
+        assert any("missing from latest" in n for n in notes)
+
+
+class TestMain:
+    def test_single_record_is_fine(self, checker, tmp_path, capsys):
+        path = write_trend(tmp_path, record(tracked_rates()))
+        assert checker.main([path]) == 0
+        assert "nothing to compare yet" in capsys.readouterr().out
+
+    def test_regression_warns_by_default(self, checker, tmp_path,
+                                         capsys):
+        path = write_trend(tmp_path, record(tracked_rates()),
+                           record(tracked_rates(controlled=1e5)))
+        assert checker.main([path]) == 0
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_regression_fails_with_flag(self, checker, tmp_path):
+        path = write_trend(tmp_path, record(tracked_rates()),
+                           record(tracked_rates(controlled=1e5)))
+        assert checker.main([path, "--fail"]) == 1
+
+    def test_only_the_latest_pair_is_compared(self, checker, tmp_path):
+        path = write_trend(tmp_path,
+                           record(tracked_rates(uncontrolled=9e9)),
+                           record(tracked_rates()),
+                           record(tracked_rates(uncontrolled=0.95e6)))
+        assert checker.main([path, "--fail"]) == 0
+
+    def test_missing_file_is_a_usage_error(self, checker, tmp_path,
+                                           capsys):
+        assert checker.main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_record_is_a_usage_error(self, checker,
+                                               tmp_path, capsys):
+        path = tmp_path / "trend.jsonl"
+        path.write_text('{"figures": {}}\n{not json\n')
+        assert checker.main([str(path)]) == 2
+        assert "line 2: unparsable" in capsys.readouterr().err
+
+    def test_non_record_line_is_a_usage_error(self, checker, tmp_path):
+        path = tmp_path / "trend.jsonl"
+        path.write_text('{"no_figures": 1}\n')
+        assert checker.main([str(path)]) == 2
+
+    def test_custom_threshold(self, checker, tmp_path):
+        path = write_trend(tmp_path, record(tracked_rates()),
+                           record(tracked_rates(
+                               uncontrolled=0.94e6)))
+        assert checker.main([path, "--fail"]) == 0
+        assert checker.main([path, "--fail",
+                             "--threshold", "0.05"]) == 1

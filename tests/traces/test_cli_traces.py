@@ -1,0 +1,312 @@
+"""End-to-end CLI tests for trace import and suite sweeps.
+
+Everything here runs through ``repro.cli.main`` against a per-test
+trace store and result cache (``REPRO_TRACE_DIR`` / ``REPRO_CACHE_DIR``
+monkeypatched), the same way CI's trace-suite smoke step drives the
+installed CLI.
+"""
+
+import io
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", ".."))
+SAMPLE_CSV = os.path.join(REPO_ROOT, "examples", "sample_trace.csv")
+
+CYCLES = 400
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+@pytest.fixture
+def square_csv(tmp_path):
+    """A small resonant square-wave trace (period 60 at 200%)."""
+    idx = np.arange(600)
+    amps = np.where((idx // 30) % 2 == 0, 64.0, 20.0)
+    path = tmp_path / "square.csv"
+    path.write_text("cycle,current_a\n" + "".join(
+        "%d,%.1f\n" % (i, a) for i, a in enumerate(amps)))
+    return str(path)
+
+
+@pytest.fixture
+def imported(env, square_csv):
+    code, text = run_cli("traces", "import", square_csv,
+                         "--name", "fixture")
+    assert code == 0
+    digest = text.split("trace:", 1)[1].split()[0]
+    return digest
+
+
+class TestImportValidate:
+    def test_import_prints_the_hash(self, env, square_csv):
+        code, text = run_cli("traces", "import", square_csv,
+                             "--name", "fixture")
+        assert code == 0
+        assert "imported %s as trace:" % square_csv in text
+        assert "600 samples, units A, name fixture" in text
+
+    def test_import_is_idempotent(self, env, square_csv, imported):
+        code, text = run_cli("traces", "import", square_csv,
+                             "--name", "fixture")
+        assert code == 0
+        assert imported in text
+        code, text = run_cli("traces", "list")
+        assert text.count(imported[:12]) == 1
+
+    def test_validate_ok(self, env, square_csv):
+        code, text = run_cli("traces", "validate", square_csv)
+        assert code == 0
+        assert text.startswith("valid: %s -- 600 samples" % square_csv)
+        assert "units A" in text
+
+    def test_validate_repo_example(self, env):
+        # The README walkthrough fixture must always validate.
+        code, text = run_cli("traces", "validate", SAMPLE_CSV)
+        assert code == 0
+        assert "4000 samples" in text
+
+    def test_invalid_trace_exits_1(self, env, tmp_path, capsys):
+        path = tmp_path / "bad.csv"
+        path.write_text("current_a\n1.0\n-5.0\n")
+        code, _ = run_cli("traces", "validate", str(path))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error: invalid trace" in err
+        assert "negative sample -5.0 at cycle 1" in err
+
+    def test_unreadable_path_exits_2(self, env, tmp_path, capsys):
+        code, _ = run_cli("traces", "validate",
+                          str(tmp_path / "nope.csv"))
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_units_is_a_usage_error(self, env, tmp_path,
+                                            capsys):
+        path = tmp_path / "raw.csv"
+        path.write_text("1.0\n2.0\n")
+        code, _ = run_cli("traces", "validate", str(path))
+        assert code == 2
+        assert "pass units explicitly" in capsys.readouterr().err
+
+    def test_units_conflict_is_a_usage_error(self, env, square_csv,
+                                             capsys):
+        code, _ = run_cli("traces", "import", square_csv,
+                          "--units", "W")
+        assert code == 2
+        assert "conflict" in capsys.readouterr().err
+
+    def test_trace_dir_flag_exports_the_env(self, env, tmp_path,
+                                            square_csv):
+        other = tmp_path / "elsewhere"
+        code, _ = run_cli("traces", "import", square_csv,
+                          "--trace-dir", str(other))
+        assert code == 0
+        assert os.environ["REPRO_TRACE_DIR"] == str(other)
+        assert os.path.isdir(str(other))
+
+
+class TestListAndSuite:
+    def test_empty_store(self, env):
+        code, text = run_cli("traces", "list")
+        assert code == 0
+        assert "trace store at" in text
+
+    def test_list_shows_traces_and_suites(self, env, imported):
+        code, _ = run_cli("traces", "suite", "demo", "fixture",
+                          "stressmark")
+        assert code == 0
+        code, text = run_cli("traces", "list")
+        assert code == 0
+        assert "fixture" in text
+        assert imported[:12] in text
+        assert ("suite demo: trace:%s, stressmark" % imported) in text
+
+    def test_suite_reports_membership(self, env, imported):
+        code, text = run_cli("traces", "suite", "demo", "fixture")
+        assert code == 0
+        assert text.startswith("suite demo: 1 member(s)")
+
+    def test_suite_accepts_prefixed_tokens(self, env, imported):
+        code, _ = run_cli("traces", "suite", "demo",
+                          "trace:" + imported[:12], "swim")
+        assert code == 0
+        _, text = run_cli("traces", "list")
+        assert ("suite demo: trace:%s, swim" % imported) in text
+
+    def test_unknown_member_exits_2(self, env, capsys):
+        code, _ = run_cli("traces", "suite", "demo", "nope")
+        assert code == 2
+        assert "unknown trace 'nope'" in capsys.readouterr().err
+
+    def test_redefinition_exits_2(self, env, imported, capsys):
+        run_cli("traces", "suite", "demo", "fixture")
+        code, _ = run_cli("traces", "suite", "demo", "swim")
+        assert code == 2
+        assert "immutable" in capsys.readouterr().err
+
+
+class TestSweepSuite:
+    def sweep(self, tmp_path, *extra):
+        path = tmp_path / "report.json"
+        code, _ = run_cli("sweep", "--impedances", "200",
+                          "--controllers", "none", "fu_dl1_il1:2",
+                          "--cycles", str(CYCLES), "--jobs", "1",
+                          "--json", str(path), *extra)
+        return code, path
+
+    def test_suite_sweep_report(self, env, imported, tmp_path, capsys):
+        run_cli("traces", "suite", "demo", "fixture")
+        capsys.readouterr()
+        code, path = self.sweep(tmp_path, "--suite", "demo")
+        assert code == 0
+        data = json.loads(path.read_text())
+        token = "trace:" + imported
+        assert data["settings"]["workloads"] == [token]
+        assert data["settings"]["suites"] == {"demo": [token]}
+        suite = data["suites"]["demo"]
+        assert suite["cells"] == 2
+        assert suite["failed"] == 0
+        assert suite["controller"]["pairs"] == 1
+        specs = [job["spec"] for job in data["jobs"]]
+        assert {s["kind"] for s in specs} == {"trace"}
+        assert {s["workload"] for s in specs} == {imported}
+        # The human table lands on stderr alongside the counts line.
+        err = capsys.readouterr().err
+        assert "suite aggregates" in err
+        assert "demo" in err
+
+    def test_second_run_is_cached_and_byte_identical(
+            self, env, imported, tmp_path, capsys):
+        run_cli("traces", "suite", "demo", "fixture")
+        _, path1 = self.sweep(tmp_path, "--suite", "demo")
+        first = path1.read_bytes()
+        capsys.readouterr()
+        code, path2 = self.sweep(tmp_path, "--suite", "demo")
+        assert code == 0
+        assert path2.read_bytes() == first
+        assert "2 cache hits, 0 executed" in capsys.readouterr().err
+
+    def test_builtin_suite_without_a_store(self, env, tmp_path):
+        code, path = self.sweep(tmp_path, "--suite",
+                                "stressmark-family", "--warmup", "400")
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["settings"]["workloads"] == ["stressmark"]
+        assert data["settings"]["suites"] == {
+            "stressmark-family": ["stressmark"]}
+        assert "stressmark-family" in data["suites"]
+
+    def test_unknown_suite_exits_2(self, env, tmp_path, capsys):
+        code, _ = self.sweep(tmp_path, "--suite", "nope")
+        assert code == 2
+        assert "unknown suite 'nope'" in capsys.readouterr().err
+
+    def test_trace_token_without_a_suite(self, env, imported,
+                                         tmp_path):
+        code, path = self.sweep(tmp_path, "--workloads",
+                                "trace:fixture")
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["settings"]["workloads"] == ["trace:" + imported]
+        assert "suites" not in data["settings"]
+        assert "suites" not in data
+
+    def test_trace_shorter_than_warmup_exits_2(self, env, imported,
+                                               tmp_path, capsys):
+        code, _ = self.sweep(tmp_path, "--workloads", "trace:fixture",
+                             "--warmup", "600")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert ("trace fixture (%s) holds 600 samples, not more than "
+                "the 600-cycle --warmup skip" % imported[:12]) in err
+
+
+class TestDefaultWorkloads:
+    def test_bare_sweep_defaults_to_swim(self, env, tmp_path, capsys):
+        # The sweep/campaign default grids are unified on
+        # DEFAULT_WORKLOADS; a bare sweep is a valid 1-cell run, not a
+        # usage error.
+        path = tmp_path / "report.json"
+        code, _ = run_cli("sweep", "--cycles", "250", "--warmup",
+                          "400", "--jobs", "1", "--json", str(path))
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["settings"]["workloads"] == ["swim"]
+        assert len(data["jobs"]) == 1
+
+    def test_unknown_workload_is_a_clean_usage_error(self, env,
+                                                     capsys):
+        code, _ = run_cli("sweep", "--workloads", "nosuch",
+                          "--jobs", "1")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: unknown workload 'nosuch'" in err
+        assert "Traceback" not in err
+
+    def test_campaign_unknown_workload_is_clean(self, env, capsys):
+        code, _ = run_cli("campaign", "nosuch", "--cycles", "100")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: unknown workload(s) 'nosuch'" in err
+        assert "Traceback" not in err
+
+    def test_unknown_trace_ref_is_clean(self, env, capsys):
+        code, _ = run_cli("sweep", "--workloads", "trace:nope",
+                          "--jobs", "1")
+        assert code == 2
+        assert "unknown trace 'nope'" in capsys.readouterr().err
+
+
+class TestSubmitSuite:
+    def test_server_side_expansion_matches_sweep_bytes(
+            self, env, imported, tmp_path, capsys):
+        # Suites expand at admission on the server; the receipt drives
+        # the client's report, which must be byte-identical to a local
+        # sweep of the same suite.
+        from repro.server import SweepServer
+
+        run_cli("traces", "suite", "demo", "fixture")
+        local = tmp_path / "local.json"
+        code, _ = run_cli("sweep", "--suite", "demo",
+                          "--impedances", "200",
+                          "--controllers", "none", "fu_dl1_il1:2",
+                          "--cycles", str(CYCLES), "--jobs", "1",
+                          "--json", str(local))
+        assert code == 0
+        server = SweepServer(str(tmp_path / "serve.journal"), jobs=1)
+        port = server.start()
+        thread = threading.Thread(target=server.run, daemon=True)
+        thread.start()
+        try:
+            served = tmp_path / "served.json"
+            code, _ = run_cli(
+                "submit", "--server", "http://127.0.0.1:%d" % port,
+                "--suite", "demo", "--impedances", "200",
+                "--controllers", "none", "fu_dl1_il1:2",
+                "--cycles", str(CYCLES), "--poll-seconds", "0.05",
+                "--deadline", "120", "--json", str(served))
+            assert code == 0
+            assert served.read_bytes() == local.read_bytes()
+        finally:
+            server.stop()
+            thread.join(30.0)
+            assert not thread.is_alive()

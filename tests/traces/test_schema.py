@@ -1,0 +1,398 @@
+"""Tests for the trace schema: loaders, validation, content hashing.
+
+The edge cases here are the exporter failure modes the schema promises
+to reject loudly: truncated NPY files, CSV files naming both unit
+columns, JSONL files with a torn final line (the mirror of the sweep
+journal's torn-tail tests -- but a trace must *refuse*, not tolerate),
+empty traces, and non-finite/negative samples with cycle indices.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.pdn.rlc import NOMINAL_CLOCK_HZ
+from repro.traces import (
+    FORMATS,
+    TRACE_SCHEMA,
+    UNITS,
+    Trace,
+    TraceValidationError,
+    detect_format,
+    load_trace,
+    trace_content_hash,
+    validate_samples,
+)
+
+
+class TestValidateSamples:
+    def test_accepts_finite_positive(self):
+        out = validate_samples([1.0, 2.5, 0.0])
+        assert out.dtype == np.float64
+        assert out.tolist() == [1.0, 2.5, 0.0]
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceValidationError,
+                           match=r"must be 1-D, got shape \(2, 2\)"):
+            validate_samples([[1.0, 2.0], [3.0, 4.0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceValidationError,
+                           match="empty \\(no samples\\)"):
+            validate_samples([])
+
+    def test_nan_is_cycle_indexed(self):
+        with pytest.raises(TraceValidationError,
+                           match="non-finite sample nan at cycle 2"):
+            validate_samples([1.0, 2.0, float("nan"), 3.0])
+
+    def test_inf_is_cycle_indexed(self):
+        with pytest.raises(TraceValidationError,
+                           match="non-finite sample inf at cycle 0"):
+            validate_samples([float("inf"), 1.0])
+
+    def test_negative_is_cycle_indexed(self):
+        with pytest.raises(TraceValidationError,
+                           match="negative sample -5.0 at cycle 1"):
+            validate_samples([1.0, -5.0, -6.0])
+
+    def test_first_bad_cycle_wins(self):
+        # A NaN before a negative: the report names the earlier cycle.
+        with pytest.raises(TraceValidationError, match="at cycle 1"):
+            validate_samples([1.0, float("nan"), -2.0])
+
+
+class TestTrace:
+    def test_unknown_units(self):
+        with pytest.raises(TraceValidationError,
+                           match="unknown units 'V' \\(known: A, W\\)"):
+            Trace([1.0], units="V")
+
+    @pytest.mark.parametrize("clock", [0, -1.0, float("nan"),
+                                       float("inf"), "3e9", True])
+    def test_bad_clock(self, clock):
+        with pytest.raises(TraceValidationError,
+                           match="clock_hz must be a positive finite"):
+            Trace([1.0], clock_hz=clock)
+
+    def test_defaults(self):
+        trace = Trace([1.0, 2.0])
+        assert trace.units == "A"
+        assert trace.clock_hz == NOMINAL_CLOCK_HZ
+        assert trace.name is None
+        assert trace.n_samples == 2
+
+    def test_watts_divide_by_nominal_volts(self):
+        trace = Trace([2.0, 4.0], units="W")
+        assert trace.currents(nominal_volts=2.0).tolist() == [1.0, 2.0]
+
+    def test_amperes_pass_through(self):
+        trace = Trace([2.0, 4.0], units="A")
+        assert trace.currents(nominal_volts=2.0).tolist() == [2.0, 4.0]
+
+    def test_meta_shape(self):
+        trace = Trace([1.0], name="t")
+        meta = trace.meta()
+        assert meta["schema"] == TRACE_SCHEMA
+        assert meta["name"] == "t"
+        assert meta["units"] == "A"
+        assert meta["n_samples"] == 1
+        assert meta["hash"] == trace.content_hash()
+
+    def test_constants(self):
+        assert UNITS == ("A", "W")
+        assert FORMATS == ("csv", "npy", "jsonl")
+
+
+class TestContentHash:
+    def test_stable(self):
+        a = trace_content_hash("A", 3e9, [1.0, 2.0])
+        b = trace_content_hash("A", 3e9, np.array([1.0, 2.0]))
+        assert a == b and len(a) == 64
+
+    def test_name_is_excluded(self):
+        one = Trace([1.0, 2.0], name="alpha")
+        two = Trace([1.0, 2.0], name="beta")
+        assert one.content_hash() == two.content_hash()
+
+    def test_units_clock_and_samples_all_matter(self):
+        base = trace_content_hash("A", 3e9, [1.0, 2.0])
+        assert trace_content_hash("W", 3e9, [1.0, 2.0]) != base
+        assert trace_content_hash("A", 2e9, [1.0, 2.0]) != base
+        assert trace_content_hash("A", 3e9, [1.0, 2.5]) != base
+
+
+class TestDetectFormat:
+    @pytest.mark.parametrize("path,fmt", [
+        ("t.csv", "csv"), ("t.CSV", "csv"), ("t.npy", "npy"),
+        ("t.jsonl", "jsonl"), ("t.ndjson", "jsonl"),
+    ])
+    def test_known_extensions(self, path, fmt):
+        assert detect_format(path) == fmt
+
+    def test_unknown_extension_is_a_usage_error(self):
+        with pytest.raises(ValueError, match="cannot infer trace format"):
+            detect_format("t.wav")
+
+
+class TestCsvLoader:
+    def write(self, tmp_path, text, name="t.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_header_fixes_units(self, tmp_path):
+        path = self.write(tmp_path, "cycle,current_a\n0,1.5\n1,2.5\n")
+        trace = load_trace(path)
+        assert trace.units == "A"
+        assert trace.samples.tolist() == [1.5, 2.5]
+        assert trace.name == "t"   # basename stem
+
+    def test_power_header(self, tmp_path):
+        path = self.write(tmp_path, "power_w\n3.0\n4.0\n")
+        trace = load_trace(path)
+        assert trace.units == "W"
+
+    def test_mixed_units_rejected(self, tmp_path):
+        path = self.write(tmp_path,
+                          "current_a,power_w\n1.0,1.0\n")
+        with pytest.raises(TraceValidationError,
+                           match="mixed units: header names both "
+                                 "current_a and power_w"):
+            load_trace(path)
+
+    def test_header_without_value_column(self, tmp_path):
+        path = self.write(tmp_path, "cycle,volts\n0,1.0\n")
+        with pytest.raises(TraceValidationError,
+                           match="no value column in header"):
+            load_trace(path)
+
+    def test_units_conflicting_with_column(self, tmp_path):
+        path = self.write(tmp_path, "current_a\n1.0\n")
+        with pytest.raises(ValueError,
+                           match="requested units 'W' conflict with "
+                                 "the 'current_a' column"):
+            load_trace(path, units="W")
+
+    def test_headerless_needs_explicit_units(self, tmp_path):
+        path = self.write(tmp_path, "1.0\n2.0\n")
+        with pytest.raises(ValueError,
+                           match="headerless CSV has no unit "
+                                 "information"):
+            load_trace(path)
+
+    def test_headerless_with_units(self, tmp_path):
+        path = self.write(tmp_path, "1.0\n2.0\n")
+        trace = load_trace(path, units="W")
+        assert trace.units == "W"
+        assert trace.samples.tolist() == [1.0, 2.0]
+
+    def test_empty_file(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(TraceValidationError,
+                           match="empty \\(no samples\\)"):
+            load_trace(path, units="A")
+
+    def test_header_only(self, tmp_path):
+        path = self.write(tmp_path, "current_a\n")
+        with pytest.raises(TraceValidationError,
+                           match="empty \\(header only\\)"):
+            load_trace(path)
+
+    def test_short_row_is_line_indexed(self, tmp_path):
+        path = self.write(tmp_path, "cycle,current_a\n0,1.0\n1\n")
+        with pytest.raises(TraceValidationError,
+                           match="line 3: missing value column 1"):
+            load_trace(path)
+
+    def test_non_numeric_sample_is_line_indexed(self, tmp_path):
+        path = self.write(tmp_path, "current_a\n1.0\noops\n")
+        with pytest.raises(TraceValidationError,
+                           match="line 3: non-numeric sample 'oops'"):
+            load_trace(path)
+
+    def test_negative_sample_is_cycle_indexed(self, tmp_path):
+        path = self.write(tmp_path, "current_a\n1.0\n-2.0\n")
+        with pytest.raises(TraceValidationError,
+                           match="negative sample -2.0 at cycle 1"):
+            load_trace(path)
+
+    def test_errors_carry_the_path(self, tmp_path):
+        path = self.write(tmp_path, "current_a\n-1.0\n")
+        with pytest.raises(TraceValidationError, match="t.csv"):
+            load_trace(path)
+
+
+class TestNpyLoader:
+    def write(self, tmp_path, array):
+        path = tmp_path / "t.npy"
+        buffer = io.BytesIO()
+        np.save(buffer, array)
+        path.write_bytes(buffer.getvalue())
+        return str(path)
+
+    def test_roundtrip(self, tmp_path):
+        path = self.write(tmp_path, np.array([1.0, 2.0, 3.0]))
+        trace = load_trace(path, units="A")
+        assert trace.samples.tolist() == [1.0, 2.0, 3.0]
+
+    def test_units_required(self, tmp_path):
+        path = self.write(tmp_path, np.array([1.0]))
+        with pytest.raises(ValueError,
+                           match="NPY traces carry no unit "
+                                 "information"):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = self.write(tmp_path, np.arange(1000, dtype=np.float64))
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:len(data) // 2])
+        with pytest.raises(TraceValidationError,
+                           match="truncated or unreadable NPY"):
+            load_trace(path, units="A")
+
+    def test_garbage_bytes_rejected(self, tmp_path):
+        path = tmp_path / "t.npy"
+        path.write_bytes(b"this is not an npy file")
+        with pytest.raises(TraceValidationError,
+                           match="truncated or unreadable NPY"):
+            load_trace(str(path), units="A")
+
+    def test_non_numeric_dtype_rejected(self, tmp_path):
+        path = self.write(tmp_path, np.array(["a", "b"]))
+        with pytest.raises(TraceValidationError,
+                           match="is not numeric"):
+            load_trace(path, units="A")
+
+    def test_2d_rejected(self, tmp_path):
+        path = self.write(tmp_path, np.ones((2, 2)))
+        with pytest.raises(TraceValidationError, match="must be 1-D"):
+            load_trace(path, units="A")
+
+
+class TestJsonlLoader:
+    HEADER = '{"schema": 1, "units": "A", "clock_hz": 3e9}'
+
+    def write(self, tmp_path, text, name="t.jsonl"):
+        path = tmp_path / name
+        path.write_text(text)
+        return str(path)
+
+    def test_roundtrip(self, tmp_path):
+        path = self.write(tmp_path, self.HEADER + "\n1.5\n2.5\n")
+        trace = load_trace(path)
+        assert trace.units == "A"
+        assert trace.clock_hz == 3e9
+        assert trace.samples.tolist() == [1.5, 2.5]
+
+    def test_header_name_wins_over_stem(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            '{"schema": 1, "units": "W", "name": "exported"}\n1.0\n')
+        assert load_trace(path).name == "exported"
+
+    def test_empty_file(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(TraceValidationError,
+                           match="empty \\(no header line\\)"):
+            load_trace(path)
+
+    def test_torn_final_line_rejected(self, tmp_path):
+        # The sweep journal tolerates its own torn tail on replay; an
+        # imported trace must be re-exported instead.  Even though the
+        # tail "2.5" parses, it could be a truncated "2.53".
+        path = self.write(tmp_path, self.HEADER + "\n1.5\n2.5")
+        with pytest.raises(TraceValidationError,
+                           match="torn final line 3 \\(no trailing "
+                                 "newline\\): '2.5'"):
+            load_trace(path)
+
+    def test_torn_tail_mentions_re_export(self, tmp_path):
+        path = self.write(tmp_path, self.HEADER + "\n1.5\n2.")
+        with pytest.raises(TraceValidationError,
+                           match="re-export the trace"):
+            load_trace(path)
+
+    def test_unparsable_header(self, tmp_path):
+        path = self.write(tmp_path, "not json\n1.0\n")
+        with pytest.raises(TraceValidationError,
+                           match="line 1: unparsable header"):
+            load_trace(path)
+
+    def test_header_must_be_an_object(self, tmp_path):
+        path = self.write(tmp_path, "[1, 2]\n1.0\n")
+        with pytest.raises(TraceValidationError,
+                           match="header must be a JSON object"):
+            load_trace(path)
+
+    def test_future_schema_rejected(self, tmp_path):
+        path = self.write(tmp_path,
+                          '{"schema": 99, "units": "A"}\n1.0\n')
+        with pytest.raises(TraceValidationError,
+                           match="unsupported trace schema 99 \\(this "
+                                 "code reads schema 1\\)"):
+            load_trace(path)
+
+    def test_units_conflict_is_a_usage_error(self, tmp_path):
+        path = self.write(tmp_path, self.HEADER + "\n1.0\n")
+        with pytest.raises(ValueError,
+                           match="requested units 'W' conflict"):
+            load_trace(path, units="W")
+
+    def test_clock_conflict_is_a_usage_error(self, tmp_path):
+        path = self.write(tmp_path, self.HEADER + "\n1.0\n")
+        with pytest.raises(ValueError,
+                           match="requested clock 2000000000.0 "
+                                 "conflicts"):
+            load_trace(path, clock_hz=2e9)
+
+    def test_headerless_units_fall_back_to_argument(self, tmp_path):
+        path = self.write(tmp_path, '{"schema": 1}\n1.0\n')
+        assert load_trace(path, units="W").units == "W"
+
+    def test_no_units_anywhere_is_a_usage_error(self, tmp_path):
+        path = self.write(tmp_path, '{"schema": 1}\n1.0\n')
+        with pytest.raises(ValueError,
+                           match="jsonl header carries no units"):
+            load_trace(path)
+
+    def test_unparsable_sample_is_line_indexed(self, tmp_path):
+        path = self.write(tmp_path, self.HEADER + "\n1.0\nnope\n")
+        with pytest.raises(TraceValidationError,
+                           match="line 3: unparsable sample 'nope'"):
+            load_trace(path)
+
+    def test_bool_sample_rejected(self, tmp_path):
+        path = self.write(tmp_path, self.HEADER + "\n1.0\ntrue\n")
+        with pytest.raises(TraceValidationError,
+                           match="line 3: sample must be a number"):
+            load_trace(path)
+
+    def test_ndjson_extension(self, tmp_path):
+        path = self.write(tmp_path, self.HEADER + "\n1.0\n",
+                          name="t.ndjson")
+        assert load_trace(path).samples.tolist() == [1.0]
+
+
+class TestLoadTrace:
+    def test_unknown_format_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1.0\n")
+        with pytest.raises(ValueError, match="unknown trace format"):
+            load_trace(str(path), fmt="wav")
+
+    def test_unknown_units_argument(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("1.0\n")
+        with pytest.raises(ValueError, match="unknown units 'V'"):
+            load_trace(str(path), units="V")
+
+    def test_missing_file_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            load_trace(str(tmp_path / "nope.csv"), units="A")
+
+    def test_explicit_name_overrides_stem(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("current_a\n1.0\n")
+        assert load_trace(str(path), name="label").name == "label"

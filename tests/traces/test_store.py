@@ -1,0 +1,220 @@
+"""Tests for the content-addressed trace store.
+
+The store mirrors ``ResultCache`` discipline: atomic writes, and any
+present-but-untrustworthy entry (torn write, hand edit, hash mismatch)
+degrades to a counted miss, never a wrong replay.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.traces import STORE_LAYOUT, Trace, TraceStore, default_trace_root
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(root=str(tmp_path / "traces"))
+
+
+def make_trace(samples=(1.0, 2.0, 3.0), name="fixture", **kwargs):
+    return Trace(list(samples), name=name, **kwargs)
+
+
+class TestRoot:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "env"))
+        assert default_trace_root() == str(tmp_path / "env")
+        assert TraceStore().root == str(tmp_path / "env")
+
+    def test_default_is_per_user(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        assert default_trace_root().endswith(
+            os.path.join("repro-didt", "traces"))
+
+    def test_nothing_created_until_put(self, store):
+        assert not os.path.exists(store.root)
+        assert store.list() == []
+        assert store.list_suites() == {}
+
+
+class TestPutGet:
+    def test_roundtrip(self, store):
+        trace = make_trace()
+        digest = store.put(trace)
+        assert len(digest) == 64
+        back = store.get(digest)
+        assert back.samples.tolist() == [1.0, 2.0, 3.0]
+        assert back.units == trace.units
+        assert back.clock_hz == trace.clock_hz
+        assert back.name == "fixture"
+        assert back.content_hash() == digest
+
+    def test_put_is_idempotent(self, store):
+        trace = make_trace()
+        assert store.put(trace) == store.put(trace)
+        assert len(store.list()) == 1
+
+    def test_reimport_refreshes_the_name_label(self, store):
+        digest = store.put(make_trace(name="old"))
+        assert store.put(make_trace(name="new")) == digest
+        assert store.get(digest).name == "new"
+
+    def test_layout(self, store):
+        digest = store.put(make_trace())
+        directory = os.path.join(store.root, STORE_LAYOUT,
+                                 digest[:2], digest)
+        assert sorted(os.listdir(directory)) == \
+            ["meta.json", "samples.npy"]
+
+    def test_miss_returns_none(self, store):
+        assert store.get("ab" * 32) is None
+        assert store.meta_for("ab" * 32) is None
+        assert store.integrity_misses == 0   # absent, not corrupt
+
+
+class TestIntegrity:
+    def entry(self, store, filename):
+        digest = store.put(make_trace())
+        return digest, os.path.join(store.entry_dir(digest), filename)
+
+    def test_corrupt_samples_is_a_counted_miss(self, store):
+        digest, path = self.entry(store, "samples.npy")
+        with open(path, "wb") as fh:
+            fh.write(b"garbage")
+        assert store.get(digest) is None
+        assert store.integrity_misses == 1
+
+    def test_truncated_samples_is_a_counted_miss(self, store):
+        digest, path = self.entry(store, "samples.npy")
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:len(data) - 4])
+        assert store.get(digest) is None
+        assert store.integrity_misses == 1
+
+    def test_corrupt_meta_is_a_counted_miss(self, store):
+        digest, path = self.entry(store, "meta.json")
+        open(path, "w").write("{not json")
+        assert store.meta_for(digest) is None
+        assert store.get(digest) is None
+        assert store.integrity_misses == 2
+
+    def test_hash_mismatch_is_a_counted_miss(self, store):
+        # A hand-edited meta whose hash does not match its directory.
+        digest, path = self.entry(store, "meta.json")
+        meta = json.load(open(path))
+        meta["hash"] = "ab" * 32
+        open(path, "w").write(json.dumps(meta))
+        assert store.meta_for(digest) is None
+        assert store.integrity_misses == 1
+
+    def test_swapped_samples_fail_rehash(self, store):
+        # samples.npy replaced by a *valid* npy of different content:
+        # only the content-hash recomputation catches this.
+        digest, path = self.entry(store, "samples.npy")
+        other = TraceStore(root=store.root + "-other")
+        other_digest = other.put(make_trace(samples=(9.0, 9.0, 9.0)))
+        other_path = os.path.join(other.entry_dir(other_digest),
+                                  "samples.npy")
+        open(path, "wb").write(open(other_path, "rb").read())
+        assert store.get(digest) is None
+        assert store.integrity_misses == 1
+
+    def test_corrupt_entry_disappears_from_list(self, store):
+        digest, path = self.entry(store, "meta.json")
+        open(path, "w").write("{")
+        assert store.list() == []
+        assert store.integrity_misses >= 1
+
+
+class TestResolve:
+    def test_by_full_hash(self, store):
+        digest = store.put(make_trace())
+        assert store.resolve(digest) == digest
+
+    def test_by_name(self, store):
+        digest = store.put(make_trace(name="alpha"))
+        assert store.resolve("alpha") == digest
+
+    def test_by_prefix(self, store):
+        digest = store.put(make_trace())
+        assert store.resolve(digest[:12]) == digest
+
+    def test_unknown_lists_what_exists(self, store):
+        store.put(make_trace(name="alpha"))
+        with pytest.raises(KeyError, match="unknown trace 'nope'.*alpha"):
+            store.resolve("nope")
+
+    def test_unknown_in_empty_store(self, store):
+        with pytest.raises(KeyError, match="store is empty"):
+            store.resolve("nope")
+
+    def test_unknown_full_hash(self, store):
+        with pytest.raises(KeyError, match="no trace"):
+            store.resolve("ab" * 32)
+
+    def test_ambiguous_prefix(self, store):
+        a = store.put(make_trace(samples=(1.0,), name="a"))
+        b = store.put(make_trace(samples=(2.0,), name="b"))
+        common = os.path.commonprefix([a, b])
+        if len(common) >= 6:   # pragma: no cover - hash-dependent
+            with pytest.raises(KeyError, match="ambiguous"):
+                store.resolve(common)
+
+    def test_name_wins_over_prefix(self, store):
+        digest = store.put(make_trace(name="cafe42"))
+        # 'cafe42' is a plausible hash prefix but matches the name.
+        assert store.resolve("cafe42") == digest
+
+
+class TestSuites:
+    def test_roundtrip(self, store):
+        store.put_suite("mine", ["swim", "trace:" + "ab" * 32])
+        assert store.get_suite("mine") == ["swim", "trace:" + "ab" * 32]
+        assert store.list_suites() == {
+            "mine": ["swim", "trace:" + "ab" * 32]}
+
+    def test_idempotent_for_identical_members(self, store):
+        store.put_suite("mine", ["swim"])
+        store.put_suite("mine", ["swim"])
+        assert store.get_suite("mine") == ["swim"]
+
+    def test_immutable_under_different_members(self, store):
+        store.put_suite("mine", ["swim"])
+        with pytest.raises(ValueError,
+                           match="suites are immutable; pick a new "
+                                 "name"):
+            store.put_suite("mine", ["mgrid"])
+
+    def test_bad_name_rejected(self, store):
+        for name in ("", ".dot", "has space", "sl/ash"):
+            with pytest.raises(ValueError, match="bad suite name"):
+                store.put_suite(name, ["swim"])
+
+    def test_empty_membership_rejected(self, store):
+        with pytest.raises(ValueError, match="at least one workload"):
+            store.put_suite("mine", [])
+
+    def test_corrupt_suite_is_a_counted_miss(self, store):
+        path = store.put_suite("mine", ["swim"])
+        open(path, "w").write("{broken")
+        assert store.get_suite("mine") is None
+        assert store.integrity_misses == 1
+        assert store.list_suites() == {}
+
+    def test_missing_suite_is_none(self, store):
+        assert store.get_suite("nope") is None
+
+
+class TestStats:
+    def test_counts_traces_and_suites(self, store):
+        store.put(make_trace())
+        store.put(make_trace(samples=(5.0, 6.0)))
+        store.put_suite("mine", ["swim"])
+        stats = store.stats()
+        assert stats["traces"] == 2
+        assert stats["samples"] == 5
+        assert stats["suites"] == 1
+        assert stats["bytes"] > 0
+        assert stats["layout"] == STORE_LAYOUT

@@ -1,0 +1,107 @@
+"""Unit tests for per-suite aggregate rows and their table."""
+
+import pytest
+
+from repro.analysis.tables import format_suite_table
+from repro.orchestrator import JobOutcome, JobSpec, suite_aggregates
+
+HASH = "ab" * 32
+
+
+def outcome(workload="swim", kind="run", delay=None, status="ok",
+            emergency_cycles=0, v_min=0.95, impedance=200.0):
+    kwargs = dict(workload=workload, cycles=1000, seed=1,
+                  impedance_percent=impedance, kind=kind)
+    if kind == "run":
+        kwargs["warmup_instructions"] = 100
+    if delay is not None:
+        kwargs["delay"] = delay
+    spec = JobSpec(**kwargs)
+    result = {"status": status,
+              "emergencies": {"emergency_cycles": emergency_cycles,
+                              "v_min": v_min, "cycles": 1000}}
+    return JobOutcome(spec, result)
+
+
+class TestSuiteAggregates:
+    def test_counts_and_worst_droop(self):
+        rows = suite_aggregates(
+            [outcome(emergency_cycles=10, v_min=0.93),
+             outcome(delay=2, emergency_cycles=4, v_min=0.95)],
+            {"mine": ["swim"]})
+        row = rows["mine"]
+        assert row["cells"] == 2
+        assert row["failed"] == 0
+        assert row["emergency_cycles"] == 14
+        assert row["worst_v_min"] == 0.93
+
+    def test_controller_wins_losses_ties(self):
+        outcomes = [
+            outcome(emergency_cycles=10),                     # baseline
+            outcome(delay=2, emergency_cycles=4),             # win
+            outcome(delay=4, emergency_cycles=10),            # tie
+            outcome(delay=6, emergency_cycles=20),            # loss
+        ]
+        row = suite_aggregates(outcomes, {"mine": ["swim"]})["mine"]
+        ctrl = row["controller"]
+        assert ctrl == {"wins": 1, "losses": 1, "ties": 1, "pairs": 3}
+
+    def test_controlled_cell_without_a_baseline_is_unpaired(self):
+        row = suite_aggregates(
+            [outcome(delay=2, emergency_cycles=4)],
+            {"mine": ["swim"]})["mine"]
+        assert row["controller"]["pairs"] == 0
+
+    def test_membership_filters_by_token(self):
+        outcomes = [outcome(workload="swim"),
+                    outcome(workload="mgrid")]
+        rows = suite_aggregates(outcomes, {"mine": ["mgrid"]})
+        assert rows["mine"]["cells"] == 1
+
+    def test_trace_cells_match_trace_tokens(self):
+        outcomes = [outcome(workload=HASH, kind="trace",
+                            emergency_cycles=7)]
+        rows = suite_aggregates(outcomes,
+                                {"mine": ["trace:" + HASH]})
+        assert rows["mine"]["cells"] == 1
+        assert rows["mine"]["emergency_cycles"] == 7
+        # The bare hash is not a membership token.
+        assert suite_aggregates(outcomes,
+                                {"mine": [HASH]})["mine"]["cells"] == 0
+
+    def test_failure_statuses_counted(self):
+        row = suite_aggregates(
+            [outcome(status="crashed", v_min=None),
+             outcome(delay=2, status="diverged")],
+            {"mine": ["swim"]})["mine"]
+        # diverged is a *finding* (the watchdog fired), not an
+        # orchestration failure.
+        assert row["failed"] == 1
+
+    def test_empty_suite_row(self):
+        row = suite_aggregates([], {"mine": ["swim"]})["mine"]
+        assert row["cells"] == 0
+        assert row["worst_v_min"] is None
+
+    def test_rows_sorted_by_name(self):
+        rows = suite_aggregates([], {"zeta": ["swim"],
+                                     "alpha": ["swim"]})
+        assert list(rows) == ["alpha", "zeta"]
+
+
+class TestFormatSuiteTable:
+    def test_renders_rows(self):
+        rows = suite_aggregates(
+            [outcome(emergency_cycles=10, v_min=0.9180),
+             outcome(delay=2, emergency_cycles=4)],
+            {"mine": ["swim"]})
+        text = format_suite_table(rows)
+        assert "suite aggregates" in text
+        assert "mine" in text
+        assert "0.9180" in text
+        assert "1/0/0" in text
+
+    def test_empty_v_min_renders_dash(self):
+        text = format_suite_table(
+            suite_aggregates([], {"mine": ["swim"]}))
+        assert "-" in text

@@ -1,0 +1,85 @@
+"""Tests for the named-suite registry."""
+
+import pytest
+
+from repro.traces import (
+    BUILTIN_SUITES,
+    TraceStore,
+    expand_suite,
+    expand_suites,
+    known_suites,
+)
+from repro.workloads.spec import ACTIVE_BENCHMARKS, SPEC2000, SPEC_FP, SPEC_INT
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(root=str(tmp_path / "traces"))
+
+
+class TestBuiltins:
+    def test_all26_covers_spec2000(self):
+        members = BUILTIN_SUITES["spec2000-all26"]
+        assert len(members) == 26
+        assert list(members) == sorted(SPEC2000)
+
+    def test_int_fp_partition(self):
+        assert set(BUILTIN_SUITES["spec2000-int"]) == set(SPEC_INT)
+        assert set(BUILTIN_SUITES["spec2000-fp"]) == set(SPEC_FP)
+        assert set(SPEC_INT) | set(SPEC_FP) == set(SPEC2000)
+
+    def test_active8(self):
+        assert BUILTIN_SUITES["spec2000-active8"] == \
+            tuple(ACTIVE_BENCHMARKS)
+
+    def test_stressmark_family(self):
+        assert BUILTIN_SUITES["stressmark-family"] == ("stressmark",)
+
+    def test_membership_is_immutable(self):
+        assert isinstance(BUILTIN_SUITES["spec2000-all26"], tuple)
+
+
+class TestExpand:
+    def test_builtin_without_a_store(self):
+        assert expand_suite("stressmark-family") == ["stressmark"]
+
+    def test_unknown_lists_known(self):
+        with pytest.raises(ValueError,
+                           match="unknown suite 'nope' \\(known: .*"
+                                 "spec2000-all26"):
+            expand_suite("nope")
+
+    def test_stored_suite(self, store):
+        store.put_suite("mine", ["swim", "mgrid"])
+        assert expand_suite("mine", store) == ["swim", "mgrid"]
+
+    def test_builtin_shadows_stored(self, store):
+        # put_suite is free to create the name, but expansion always
+        # prefers the built-in: built-in names are reserved vocabulary.
+        store.put_suite("stressmark-family", ["swim"])
+        assert expand_suite("stressmark-family", store) == ["stressmark"]
+
+    def test_known_suites_merges_store(self, store):
+        store.put_suite("mine", ["swim"])
+        names = known_suites(store)
+        assert "mine" in names and "spec2000-all26" in names
+        assert names == sorted(names)
+
+
+class TestExpandMany:
+    def test_concatenates_in_order(self, store):
+        store.put_suite("mine", ["swim"])
+        workloads, members = expand_suites(
+            ["stressmark-family", "mine"], store)
+        assert workloads == ["stressmark", "swim"]
+        assert members == {"stressmark-family": ["stressmark"],
+                           "mine": ["swim"]}
+
+    def test_repeated_names_deduplicate(self):
+        workloads, members = expand_suites(
+            ["stressmark-family", "stressmark-family"])
+        assert workloads == ["stressmark"]
+        assert list(members) == ["stressmark-family"]
+
+    def test_empty_request(self):
+        assert expand_suites([]) == ([], {})

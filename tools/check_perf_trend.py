@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff the latest two perf-trend records and flag regressions.
+
+``bench_perf_simulator.py --emit`` appends one per-commit record to
+``benchmarks/results/perf_trend.jsonl``; this tool compares the newest
+record against the one before it and warns when a tracked
+configuration's rate (``cycles_per_sec`` -- bigger is better) dropped
+by more than the threshold.  CI runs it after the bench emit step.
+
+Tracked configurations (the steady-state and controlled-cell numbers
+an orchestrator worker actually pays): ``uncontrolled_steady_state_
+cell_swim`` and ``controlled_cell_swim``.
+
+Exit codes: 0 no regression (or fewer than two comparable records);
+1 a regression beyond the threshold with ``--fail``; 2 usage error
+(unreadable or malformed trend file).
+"""
+
+import argparse
+import json
+import sys
+
+#: Configurations whose throughput CI watches.
+TRACKED = ("uncontrolled_steady_state_cell_swim", "controlled_cell_swim")
+
+DEFAULT_THRESHOLD = 0.10
+
+
+def load_records(path):
+    records = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                raise ValueError("%s line %d: unparsable trend record"
+                                 % (path, lineno))
+            if not isinstance(record, dict) or "figures" not in record:
+                raise ValueError("%s line %d: not a trend record"
+                                 % (path, lineno))
+            records.append(record)
+    return records
+
+
+def compare(previous, current, threshold):
+    """Per-configuration regression report between two records.
+
+    Returns ``(regressions, notes)``: regression strings beyond the
+    threshold, and informational notes (new/missing configs, meta
+    mismatches that make the numbers incomparable).
+    """
+    notes = []
+    if previous.get("meta") != current.get("meta"):
+        return [], ["bench meta changed (cycles/workload/seed); "
+                    "skipping the comparison"]
+    regressions = []
+    for name in TRACKED:
+        prev = previous["figures"].get(name)
+        cur = current["figures"].get(name)
+        if not prev or not cur:
+            notes.append("%s: missing from %s record"
+                         % (name, "previous" if not prev else "latest"))
+            continue
+        rate_key = ("cycles_per_sec" if "cycles_per_sec" in prev
+                    else "samples_per_sec")
+        prev_rate = prev.get(rate_key)
+        cur_rate = cur.get(rate_key)
+        if not prev_rate or not cur_rate:
+            notes.append("%s: no %s figure" % (name, rate_key))
+            continue
+        drop = (prev_rate - cur_rate) / prev_rate
+        if drop > threshold:
+            regressions.append(
+                "%s: %s dropped %.1f%% (%.3g -> %.3g; commit %s -> %s)"
+                % (name, rate_key, 100 * drop, prev_rate, cur_rate,
+                   previous.get("commit", "?")[:12],
+                   current.get("commit", "?")[:12]))
+    return regressions, notes
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trend", nargs="?",
+                        default="benchmarks/results/perf_trend.jsonl",
+                        help="trend JSONL written by bench_perf_"
+                             "simulator --emit")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional rate drop that counts as a "
+                             "regression (default 0.10)")
+    parser.add_argument("--fail", action="store_true",
+                        help="exit 1 on regression instead of only "
+                             "warning")
+    args = parser.parse_args(argv)
+    try:
+        records = load_records(args.trend)
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if len(records) < 2:
+        print("perf trend: %d record(s) in %s; nothing to compare yet"
+              % (len(records), args.trend))
+        return 0
+    regressions, notes = compare(records[-2], records[-1],
+                                 args.threshold)
+    for note in notes:
+        print("perf trend: note: %s" % note)
+    if regressions:
+        for line in regressions:
+            print("perf trend: WARNING: %s" % line)
+        return 1 if args.fail else 0
+    print("perf trend: no regression beyond %.0f%% across %d tracked "
+          "configuration(s)" % (100 * args.threshold, len(TRACKED)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -169,6 +169,40 @@ def bench_perf_closed_loop(benchmark):
     assert cycles == CYCLES
 
 
+def bench_perf_replay_sweep(benchmark):
+    """Batched replay sweep: one capture, 16 impedance/observe lanes.
+
+    The timed region is a full cold replay unit -- capture the swim
+    trace and replay it through 8 impedances x {uncontrolled,
+    observe-only} -- divided across 16 cells, versus the 16 full
+    lockstep simulations the same grid costs with ``--no-replay``.
+    """
+    from repro.orchestrator.replay import (
+        ReplayGroup,
+        capture_trace,
+        execute_replay_group,
+    )
+    from repro.orchestrator.spec import JobSpec
+    from repro.orchestrator.tracecache import CurrentTraceCache
+
+    specs = [JobSpec(workload="swim", cycles=CYCLES,
+                     warmup_instructions=CHECKPOINT_WARMUP, seed=11,
+                     impedance_percent=p, **ctl)
+             for p in (100, 150, 200, 250, 300, 350, 400, 450)
+             for ctl in ({}, {"delay": 2, "actuator_kind": "observe"})]
+    group = ReplayGroup(specs)
+    capture_trace(specs[0])  # pre-pay the warm-up, like a campaign
+    disabled = CurrentTraceCache(enabled=False)
+
+    def run():
+        result = execute_replay_group(group, trace_cache=disabled)
+        assert result["lanes"] == len(specs)
+        return result["lanes"]
+
+    lanes = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert lanes == len(specs)
+
+
 def bench_perf_pdn_recursion(benchmark):
     design = design_at(200)
     currents = np.random.default_rng(3).uniform(15, 65, size=50000)
@@ -299,6 +333,47 @@ def measure_configurations():
     t = _best(controlled_cell, rounds=3)
     out["controlled_cell_swim"] = {
         "seconds": t, "cycles_per_sec": EMIT_CYCLES / t}
+
+    # Replay sweep vs lockstep sweep over the same grid: 8 impedances
+    # x {uncontrolled, observe-only} = 16 cells of one workload.  The
+    # replay figure times a *cold* unit (capture + 16 lane folds, the
+    # trace cache disabled); the lockstep figure times the 16 full
+    # simulations ``sweep --no-replay`` pays.  Their ratio is the
+    # sweep-throughput speedup the capture/replay split buys.
+    from repro.orchestrator.replay import (
+        ReplayGroup,
+        capture_trace,
+        execute_replay_group,
+    )
+    from repro.orchestrator.spec import JobSpec
+    from repro.orchestrator.tracecache import CurrentTraceCache
+    from repro.orchestrator.worker import execute_spec
+
+    specs = [JobSpec(workload="swim", cycles=EMIT_CYCLES,
+                     warmup_instructions=EMIT_WARMUP, seed=EMIT_SEED,
+                     impedance_percent=p, **ctl)
+             for p in (100, 150, 200, 250, 300, 350, 400, 450)
+             for ctl in ({}, {"delay": 2, "actuator_kind": "observe"})]
+    group = ReplayGroup(specs)
+    cells = len(specs)
+    capture_trace(specs[0])  # pre-pay the shared warm-up checkpoint
+    disabled = CurrentTraceCache(enabled=False)
+
+    def replay_sweep():
+        result = execute_replay_group(group, trace_cache=disabled)
+        assert result["lanes"] == cells
+
+    t = _best(replay_sweep, rounds=3)
+    out["replay_sweep_cells_swim"] = {
+        "seconds": t, "cells_per_sec": cells / t}
+
+    def lockstep_sweep():
+        for spec in specs:
+            assert execute_spec(spec)["status"] == "ok"
+
+    t = _best(lockstep_sweep, rounds=2)
+    out["lockstep_sweep_cells_swim"] = {
+        "seconds": t, "cells_per_sec": cells / t}
     return out
 
 

@@ -204,6 +204,11 @@ def build_parser():
                         "journalling to the same file")
     p.add_argument("--no-cache", action="store_true",
                    help="run every cell; do not read or write the cache")
+    p.add_argument("--no-replay", action="store_true",
+                   help="lockstep every cell instead of replaying "
+                        "captured current traces across impedance/"
+                        "controller lanes (results are byte-identical "
+                        "either way; this is the escape hatch)")
     p.add_argument("--invalidate", action="store_true",
                    help="drop this grid's cached cells, then run")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -765,7 +770,7 @@ def cmd_sweep(args, out):
                     timeout_seconds=args.timeout, retries=args.retries,
                     crash_retries=args.crash_retries,
                     journal=journal, resume_results=resume_results,
-                    telemetry=telemetry)
+                    telemetry=telemetry, replay=not args.no_replay)
     try:
         outcomes = runner.run(specs)
     except SweepInterrupted as exc:

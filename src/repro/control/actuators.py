@@ -12,6 +12,11 @@ cycle simulator:
 * ``"ideal"`` -- the idealized actuator of Section 4.4: all groups,
   applied with no additional restrictions; used to study sensor
   properties in isolation.
+* ``"observe"`` -- no groups at all: the sensor and plausibility
+  monitor run and their counters accumulate, but commands never touch
+  the machine.  Because an observe-only loop cannot perturb the
+  current trace, sweeps replay these cells from a captured trace as
+  vectorized lanes instead of re-simulating the pipeline.
 
 Gating caches disables only their clocks; cache *state* (tags, LRU) is
 preserved, matching the paper's note that actuation never modifies
@@ -35,6 +40,7 @@ ACTUATOR_KINDS = {
     "fu_dl1": ("fu", "dl1"),
     "fu_dl1_il1": ("fu", "dl1", "il1"),
     "ideal": ("fu", "dl1", "il1"),
+    "observe": (),
 }
 
 

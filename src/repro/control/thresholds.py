@@ -78,6 +78,39 @@ class ThresholdDesign:
         return (self.v_high - self.v_low) * 1000.0
 
 
+def observe_thresholds(i_min, i_max, delay, error=0.0,
+                       nominal=NOMINAL_VOLTAGE, fraction=SPEC_FRACTION):
+    """Threshold design for the ``"observe"`` (sensor-only) actuator.
+
+    An observe-only controller has no lever, so there is nothing to
+    solve: :func:`solve_thresholds` would (correctly) declare any
+    zero-response actuator infeasible.  Instead the sensor thresholds
+    sit on the emergency-spec band edges, margined inward by the
+    sensor error so a noisy reading flags a level only when the true
+    voltage could plausibly be past the edge.  The response currents
+    degenerate to the envelope itself (``i_reduce = i_max``,
+    ``i_boost = i_min``: a no-op response leaves the adversary free),
+    and the "worst case" extremes are simply the band edges -- the
+    design guarantees observation, not containment.
+
+    Raises:
+        ControlInfeasibleError: the error margin eats the whole band
+            (``error >= nominal * fraction``), leaving no window.
+    """
+    v_low = nominal * (1.0 - fraction) + error
+    v_high = nominal * (1.0 + fraction) - error
+    if not v_low < v_high:
+        raise ControlInfeasibleError(
+            "sensor error %.4f V leaves no observation window inside "
+            "the +/-%.0f%% band" % (error, 100.0 * fraction))
+    return ThresholdDesign(v_low=v_low, v_high=v_high, delay=int(delay),
+                           error=float(error), i_min=float(i_min),
+                           i_max=float(i_max), i_reduce=float(i_max),
+                           i_boost=float(i_min),
+                           v_worst_low=nominal * (1.0 - fraction),
+                           v_worst_high=nominal * (1.0 + fraction))
+
+
 def pdn_with_regulator(peak_impedance, i_min,
                        dc_resistance=NOMINAL_DC_RESISTANCE,
                        resonant_hz=NOMINAL_RESONANT_HZ,

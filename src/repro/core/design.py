@@ -14,7 +14,8 @@ remain importable individually for finer control.
 from repro.control.actuators import ACTUATOR_KINDS, Actuator
 from repro.control.controller import ThresholdController
 from repro.control.loop import run_workload
-from repro.control.thresholds import design_pdn, solve_thresholds
+from repro.control.thresholds import (design_pdn, observe_thresholds,
+                                      solve_thresholds)
 from repro.power.model import PowerModel
 from repro.uarch.config import MachineConfig
 
@@ -54,6 +55,11 @@ class VoltageControlDesign:
         if actuator_kind == "ideal":
             return (self.power_model.gated_min_power()
                     / self.power_model.params.vdd, self.i_max)
+        if actuator_kind == "observe":
+            # A sensor-only actuator controls no groups: the pessimistic
+            # lever is the envelope itself (a reduce command leaves the
+            # machine free to draw i_max, a boost to idle at i_min).
+            return (self.i_max, self.i_min)
         groups = ACTUATOR_KINDS[actuator_kind]
         return self.power_model.response_envelope(groups)
 
@@ -69,10 +75,18 @@ class VoltageControlDesign:
         """
         key = (delay, round(error, 6), actuator_kind)
         if key not in self._threshold_cache:
-            i_reduce, i_boost = self.response_currents(actuator_kind)
-            self._threshold_cache[key] = solve_thresholds(
-                self.pdn, self.i_min, self.i_max, delay,
-                i_reduce=i_reduce, i_boost=i_boost, error=error)
+            if actuator_kind == "observe":
+                # No lever to solve for: the degenerate observe design
+                # pins the sensor to the spec band (solve_thresholds
+                # would rightly call a zero-response actuator
+                # infeasible at any delay).
+                self._threshold_cache[key] = observe_thresholds(
+                    self.i_min, self.i_max, delay, error=error)
+            else:
+                i_reduce, i_boost = self.response_currents(actuator_kind)
+                self._threshold_cache[key] = solve_thresholds(
+                    self.pdn, self.i_min, self.i_max, delay,
+                    i_reduce=i_reduce, i_boost=i_boost, error=error)
         return self._threshold_cache[key]
 
     def controller_factory(self, delay=2, error=0.0, actuator_kind="ideal",

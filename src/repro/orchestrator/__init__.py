@@ -72,9 +72,19 @@ from repro.orchestrator.spec import (
     KIND_TRACE,
     JobSpec,
 )
+from repro.orchestrator.replay import (
+    ReplayGroup,
+    capture_key,
+    execute_replay_group,
+    replay_eligible,
+)
 from repro.orchestrator.supervise import (
     BackoffPolicy,
     SupervisedPool,
+)
+from repro.orchestrator.tracecache import (
+    CapturedTrace,
+    CurrentTraceCache,
 )
 from repro.orchestrator.worker import (
     STATUS_BUDGET,
@@ -84,6 +94,7 @@ from repro.orchestrator.worker import (
     STATUS_OK,
     crashed_result,
     error_result,
+    execute_payload,
     execute_spec,
 )
 
@@ -116,6 +127,13 @@ __all__ = [
     "report_json",
     "SupervisedPool",
     "BackoffPolicy",
+    "ReplayGroup",
+    "replay_eligible",
+    "capture_key",
+    "execute_replay_group",
+    "CapturedTrace",
+    "CurrentTraceCache",
+    "execute_payload",
     "execute_spec",
     "error_result",
     "crashed_result",

@@ -1,0 +1,437 @@
+"""Capture/replay split for sweep cells that cannot perturb the machine.
+
+A sweep grid usually varies the *cheap* half of the system -- PDN
+impedance, sensor delay/error -- against a fixed workload.  The
+expensive half (cycle-level uarch + power simulation) is identical for
+every such cell, because an uncontrolled or observe-only loop never
+feeds back into the pipeline.  This module exploits that:
+
+1. *Capture*: run the uarch+power half **once** per workload
+   (:func:`capture_trace`), mirroring the open-loop fast path's collect
+   phase exactly, and store the per-cycle power trace in the
+   :class:`~repro.orchestrator.tracecache.CurrentTraceCache` keyed by
+   :func:`capture_key` (a content hash over the workload-side spec
+   fields only -- impedance and controller knobs deliberately excluded).
+2. *Replay*: drive all N impedances x M observe-only controller configs
+   from that one trace as a batched lane dimension
+   (:func:`replay_lanes`): one ``(lanes,)``-vectorized ZOH recursion
+   (:func:`~repro.pdn.discrete.zoh_recurrence_lanes`) plus vectorized
+   per-lane watchdog/emergency/sensor folds.
+
+Parity contract: every lane's result dict is **bit-identical** to
+:func:`~repro.orchestrator.worker.execute_spec` running the same spec
+alone -- voltages, energy, emergency counts, controller summaries,
+diverged-lane exception messages, everything (the
+``tests/pdn/test_lane_parity.py`` tier pins this down).  Anything that
+could actuate (a real actuator kind, a fault injection, the
+impedance-tuned stressmark) is ineligible (:func:`replay_eligible`) and
+stays on the lockstep path.
+
+The fold logic deliberately re-implements the open-loop fast path's
+semantics (:meth:`repro.control.loop.ClosedLoopSimulation.
+_run_open_loop`) rather than calling into it: a replay lane has no
+machine to trim, only a result dict to build, but the floating-point
+operations and their order are the same.
+"""
+
+import hashlib
+import json
+import random
+
+import numpy as np
+
+from repro.control.controller import ThresholdController
+from repro.control.emergencies import EmergencyCounter
+from repro.control.thresholds import NOMINAL_VOLTAGE
+from repro.faults.watchdog import (
+    NumericWatchdog,
+    RunBudget,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
+from repro.orchestrator.spec import KIND_RUN, JobSpec
+from repro.orchestrator.tracecache import CapturedTrace, CurrentTraceCache
+from repro.orchestrator.worker import (
+    STATUS_BUDGET,
+    STATUS_DIVERGED,
+    STATUS_OK,
+    _build_controller,
+    _pdn_sim_for,
+    _warm_machine,
+)
+from repro.pdn.discrete import zoh_recurrence_lanes
+
+#: Payload discriminator for a batched replay unit travelling through
+#: the worker pool next to plain spec dicts.
+REPLAY_GROUP_KIND = "__replay_group__"
+
+#: Spec fields that determine the captured machine trajectory.  The
+#: capture schema lives in the cache entry header
+#: (:data:`~repro.orchestrator.tracecache.CAPTURE_SCHEMA`); these are
+#: the experiment knobs.
+_CAPTURE_FIELDS = ("workload", "cycles", "warmup_instructions", "seed")
+
+#: Per-process capture cache, rebuilt when ``REPRO_CACHE_DIR`` moves
+#: (pool workers inherit the environment, tests monkeypatch it).
+_CAPTURE_CACHES = {}
+
+
+def replay_eligible(spec):
+    """Whether a cell's result can be replayed from a captured trace.
+
+    True exactly when the loop cannot perturb the machine trajectory:
+    a plain run (not thresholds/trace kinds), no injected fault, not
+    the impedance-tuned stressmark (its instruction stream depends on
+    the very impedance a replay group would vary), and either
+    uncontrolled or carrying the group-less ``"observe"`` actuator.
+    """
+    return (spec.kind == KIND_RUN and
+            spec.fault is None and
+            spec.workload != "stressmark" and
+            (spec.delay is None or spec.actuator_kind == "observe"))
+
+
+def capture_meta(spec):
+    """The canonical capture metadata for a spec (a plain dict)."""
+    return {field: getattr(spec, field) for field in _CAPTURE_FIELDS}
+
+
+def capture_key(spec):
+    """Content hash of the workload-side spec fields.
+
+    Two specs share a captured trace iff their keys match; impedance
+    and controller knobs are fold-time lane parameters, never part of
+    the key.
+    """
+    text = json.dumps(capture_meta(spec), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _capture_cache():
+    """The per-process :class:`CurrentTraceCache` (env-aware: a changed
+    ``REPRO_CACHE_DIR`` gets a fresh instance, matching the result
+    cache's behavior across test monkeypatching)."""
+    cache = CurrentTraceCache()
+    key = (cache.root, cache.salt)
+    if key not in _CAPTURE_CACHES:
+        cache.sweep_orphans()
+        _CAPTURE_CACHES[key] = cache
+    return _CAPTURE_CACHES[key]
+
+
+class ReplayGroup:
+    """An ordered set of replay-eligible specs sharing one capture.
+
+    Duck-types the slice of the :class:`~repro.orchestrator.spec.
+    JobSpec` protocol the worker pool uses (``to_dict`` /
+    ``content_hash``), so a group rides the supervised pool's payload
+    plumbing unchanged -- one dispatch, one capture, N lane results.
+    """
+
+    __slots__ = ("specs",)
+
+    kind = REPLAY_GROUP_KIND
+
+    def __init__(self, specs):
+        specs = list(specs)
+        if not specs:
+            raise ValueError("a replay group needs at least one lane")
+        key = capture_key(specs[0])
+        for spec in specs[1:]:
+            if capture_key(spec) != key:
+                raise ValueError("replay lanes must share one capture "
+                                 "key")
+        self.specs = specs
+
+    def to_dict(self):
+        """Canonical, JSON-safe, pool-portable form."""
+        return {"kind": REPLAY_GROUP_KIND,
+                "lanes": [spec.to_dict() for spec in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data):
+        if data.get("kind") != REPLAY_GROUP_KIND:
+            raise ValueError("not a replay-group payload: %r"
+                             % (data.get("kind"),))
+        return cls(JobSpec.from_dict(lane) for lane in data["lanes"])
+
+    def content_hash(self):
+        """Hex digest over the canonical dict (chaos hooks and pool
+        bookkeeping key on it like a spec hash)."""
+        text = json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __repr__(self):
+        return ("ReplayGroup(%d lanes, workload=%r)"
+                % (len(self.specs), self.specs[0].workload))
+
+
+def capture_trace(spec, budget=None):
+    """Run the uarch+power half once; returns ``(trace, budget_exc)``.
+
+    Mirrors the open-loop fast path's collect phase exactly (same loop
+    conditions, same per-iteration budget check), then batches activity
+    columns to watts.  ``budget_exc`` is the
+    :class:`SimulationBudgetExceeded` that cut the collect short, or
+    ``None`` for a complete capture -- a cut capture must not be
+    cached.
+    """
+    import operator
+
+    from repro.core import design_at
+
+    design = design_at(spec.impedance_percent)
+    machine = _warm_machine(spec, design)
+    stats = machine.stats
+    power_model = design.power_model
+    fields = power_model.batch_fields + ("committed",)
+    getter = operator.attrgetter(*fields)
+    step = machine.step
+
+    c0 = machine.cycle
+    cycles0 = stats.cycles
+    committed0 = stats.committed
+    max_cycles = spec.cycles
+    if budget is not None:
+        budget.start()
+    rows = []
+    append = rows.append
+    budget_exc = None
+    while not machine.done:
+        if machine.cycle >= max_cycles:
+            break
+        if budget is not None:
+            try:
+                budget.check(machine.cycle)
+            except SimulationBudgetExceeded as exc:
+                budget_exc = exc
+                break
+        append(getter(step()))
+
+    if rows:
+        arr = np.asarray(rows, dtype=float)
+        cols = {name: arr[:, i] for i, name in enumerate(fields)}
+        powers = power_model.power_batch(cols)
+        committed = cols["committed"]
+    else:
+        powers = np.empty(0)
+        committed = np.empty(0)
+    trace = CapturedTrace(powers, committed, c0=c0, cycles0=cycles0,
+                          committed0=committed0,
+                          cycle_time=design.config.cycle_time)
+    return trace, budget_exc
+
+
+def _controller_noise(spec, count):
+    """The sensor's noise draws, replicated from a fresh RNG.
+
+    The sensor seeds ``random.Random(spec.seed)`` and draws one uniform
+    per observation; replicating from a fresh generator (instead of the
+    controller's own sensor) leaves the real controller's RNG pristine
+    for the exact scalar fallback.
+    """
+    rng = random.Random(spec.seed)
+    error = spec.error
+    return np.array([rng.uniform(-error, error) for _ in range(count)])
+
+
+def _monitor_would_trip(levels, observed, monitor):
+    """Whether the plausibility monitor would declare the sensor faulty
+    anywhere along this lane (vectorized existence check; the caller
+    falls back to the exact scalar walk when it would)."""
+    g = levels.size
+    if g == 0:
+        return False
+    boundaries = np.flatnonzero(np.diff(levels)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [g]))
+    if np.any((levels[starts] != 0) &
+              (ends - starts >= monitor.stuck_cycles)):
+        return True
+    # NaN fails both comparisons, matching the scalar monitor.
+    oob = ~((observed >= monitor.v_min) & (observed <= monitor.v_max))
+    if oob.any():
+        edges = np.flatnonzero(np.diff(oob.astype(np.int8))) + 1
+        starts = np.concatenate(([0], edges))
+        ends = np.concatenate((edges, [g]))
+        if np.any(oob[starts] & (ends - starts >= monitor.bound_cycles)):
+            return True
+    return False
+
+
+def _fold_controller(controller, spec, voltages, currents):
+    """Fold an observe-only controller over a lane's voltage prefix.
+
+    Fast path: vectorized sensor delay/noise/threshold comparison and
+    command counting, valid exactly when the plausibility monitor never
+    fires and the sensor is the plain memoryless (zero-hysteresis)
+    threshold comparator.  Anything else -- a fail-safe trip, a custom
+    sensor -- replays the lane through the real controller state
+    machine with a dummy machine, which is bit-exact by construction.
+    """
+    from repro.control.sensor import ThresholdSensor
+    from repro.traces.replay import TraceMachine
+
+    g = voltages.size
+    sensor = controller.sensor
+    vector_ok = (type(sensor) is ThresholdSensor and
+                 sensor.hysteresis == 0.0)
+    if vector_ok and g:
+        idx = np.arange(g) - sensor.delay
+        np.maximum(idx, 0, out=idx)
+        observed = voltages[idx]
+        if sensor.error > 0.0:
+            observed = observed + _controller_noise(spec, g)
+        low = observed < sensor.v_low
+        high = observed > sensor.v_high
+        levels = np.where(low, -1, np.where(high, 1, 0)).astype(np.int8)
+        if (controller.monitor is None or
+                not _monitor_would_trip(levels, observed,
+                                        controller.monitor)):
+            controller.reduce_cycles = int(np.count_nonzero(low))
+            controller.boost_cycles = int(np.count_nonzero(high))
+            prev = np.empty_like(levels)
+            prev[0] = 0
+            prev[1:] = levels[:-1]
+            controller.transitions = int(np.count_nonzero(levels != prev))
+            return
+    elif vector_ok and not g:
+        return
+    dummy = TraceMachine()
+    for k in range(g):
+        controller.step(dummy, float(voltages[k]), float(currents[k]))
+    controller.actuator.release(dummy)
+
+
+def _fold_lane(spec, design, voltages, currents, trace, budget_message):
+    """One lane's result dict, bit-identical to ``execute_spec``."""
+    n = voltages.size
+    if spec.watchdog_bounds is not None:
+        watchdog = NumericWatchdog(v_min=spec.watchdog_bounds[0],
+                                   v_max=spec.watchdog_bounds[1])
+    else:
+        watchdog = NumericWatchdog.for_nominal(NOMINAL_VOLTAGE)
+    counter = EmergencyCounter(nominal=NOMINAL_VOLTAGE)
+    trip = watchdog.first_violation(voltages) if n else None
+    good = n if trip is None else trip
+
+    cycle_time = trace.cycle_time
+    energy = 0.0
+    if good:
+        energy = float(np.cumsum(np.concatenate(
+            ([0.0], trace.powers[:good] * cycle_time)))[-1])
+
+    controller = None
+    if spec.delay is not None:
+        thresholds = design.thresholds(delay=spec.delay, error=spec.error,
+                                       actuator_kind=spec.actuator_kind)
+        controller = _build_controller(thresholds, spec)
+        _fold_controller(controller, spec, voltages[:good], currents)
+
+    status, error = STATUS_OK, None
+    if trip is not None:
+        counter.observe_array(voltages[:good])
+        try:
+            watchdog.check_array(trace.c0 + 1, voltages)
+            raise AssertionError("watchdog re-scan must raise")
+        except SimulationDiverged as exc:
+            status, error = STATUS_DIVERGED, str(exc)
+        kept = good + 1
+        cycles = trace.cycles0 + kept
+        committed = trace.committed0 + int(trace.committed[:kept].sum())
+    else:
+        counter.observe_array(voltages)
+        cycles = trace.cycles0 + n
+        committed = trace.committed0 + int(trace.committed.sum())
+        if budget_message is not None:
+            status, error = STATUS_BUDGET, budget_message
+    return {
+        "status": status,
+        "error": error,
+        "cycles": cycles,
+        "committed": committed,
+        "ipc": committed / cycles if cycles else 0.0,
+        "energy": energy,
+        "emergencies": counter.summary(),
+        "controller": (controller.summary()
+                       if controller is not None else None),
+    }
+
+
+def replay_lanes(trace, specs, budget_message=None):
+    """Replay one captured trace through every lane spec.
+
+    Args:
+        trace: a :class:`CapturedTrace`.
+        specs: the lane :class:`JobSpec` list (all replay-eligible).
+        budget_message: when the capture itself hit its wall-clock
+            budget, the exception message every non-diverged lane
+            reports as its ``"budget"`` status (a cut capture is never
+            cached, so this never taints a memoized result).
+
+    Returns:
+        One result dict per lane, in spec order.
+    """
+    from repro.core import design_at
+
+    designs = [design_at(spec.impedance_percent) for spec in specs]
+    lanes = len(specs)
+    coeffs = np.empty((8, lanes))
+    x0 = np.empty(lanes)
+    x1 = np.empty(lanes)
+    for j, design in enumerate(designs):
+        sim = _pdn_sim_for(design)
+        i_min, _ = design.power_model.current_envelope()
+        sim.reset(initial_current=i_min)
+        lane_coeffs, lane_x0, lane_x1 = sim.lane_state()
+        coeffs[:, j] = lane_coeffs
+        x0[j] = lane_x0
+        x1[j] = lane_x1
+    currents = trace.powers / NOMINAL_VOLTAGE
+    volts, _, _ = zoh_recurrence_lanes(tuple(coeffs), x0, x1, currents)
+    return [_fold_lane(spec, designs[j], volts[:, j], currents, trace,
+                       budget_message)
+            for j, spec in enumerate(specs)]
+
+
+def execute_replay_group(payload, timeout_seconds=None, trace_cache=None):
+    """Capture (or fetch) one trace and replay every lane of a group.
+
+    Args:
+        payload: a :class:`ReplayGroup` or its canonical dict.
+        timeout_seconds: wall-clock budget for the *capture* (the
+            replay folds are array ops, far below any sane budget).
+        trace_cache: a :class:`CurrentTraceCache` override (tests);
+            defaults to the per-process env-derived cache.
+
+    Returns:
+        ``{"kind": "__replay_group__", "results": [...], "capture":
+        "hit"|"miss", "lanes": N}`` with one ``execute_spec``-shaped
+        result per lane, in group order.
+    """
+    group = (payload if isinstance(payload, ReplayGroup)
+             else ReplayGroup.from_dict(payload))
+    specs = group.specs
+    meta = capture_meta(specs[0])
+    key = capture_key(specs[0])
+    cache = trace_cache if trace_cache is not None else _capture_cache()
+    trace = cache.get(key, meta)
+    capture_state = "hit"
+    budget_message = None
+    if trace is None:
+        capture_state = "miss"
+        budget = (RunBudget(max_seconds=timeout_seconds)
+                  if timeout_seconds is not None else None)
+        trace, budget_exc = capture_trace(specs[0], budget=budget)
+        if budget_exc is None:
+            cache.put(key, meta, trace)
+        else:
+            budget_message = str(budget_exc)
+    results = replay_lanes(trace, specs, budget_message=budget_message)
+    return {"kind": REPLAY_GROUP_KIND, "results": results,
+            "capture": capture_state, "lanes": len(specs)}

@@ -45,6 +45,14 @@ import time
 import traceback
 
 from repro.orchestrator.cache import CACHEABLE_STATUSES, ResultCache
+from repro.orchestrator.replay import (
+    REPLAY_GROUP_KIND,
+    ReplayGroup,
+    capture_key,
+    execute_replay_group,
+    replay_eligible,
+)
+from repro.orchestrator.spec import JobSpec
 from repro.orchestrator.supervise import (
     END_ERROR,
     END_OK,
@@ -187,6 +195,15 @@ class Runner:
         execute: override for the job-execution function (tests).  A
             non-default executor forces inline execution -- closures
             do not survive pickling into a pool.
+        replay: batch replay-eligible cells (uncontrolled or
+            observe-only, fixed workload) into
+            :class:`~repro.orchestrator.replay.ReplayGroup` units that
+            capture the uarch+power trace once and replay it across
+            impedance/controller lanes.  Outcome *bytes* are identical
+            either way (the lane-parity tier pins this); ``False``
+            (the ``sweep --no-replay`` escape hatch) forces every cell
+            onto the lockstep path.  Ignored when ``execute`` is
+            overridden.
         telemetry: a :class:`~repro.telemetry.Telemetry` bundle.  The
             metrics registry gets batch counters (``orchestrator.jobs``
             / ``cache_hits`` / ``cache_misses`` / ``retries`` /
@@ -202,7 +219,7 @@ class Runner:
     def __init__(self, jobs=None, cache=None, timeout_seconds=None,
                  retries=1, crash_retries=2, backoff=None, hang_grace=5.0,
                  journal=None, resume_results=None, progress=None,
-                 execute=None, telemetry=None):
+                 execute=None, telemetry=None, replay=True):
         self.jobs = int(jobs) if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % self.jobs)
@@ -224,6 +241,7 @@ class Runner:
         self.progress = bool(progress)
         self._execute = execute or execute_spec
         self._inline_only = execute is not None
+        self.replay = bool(replay) and not self._inline_only
         self.telemetry = (telemetry if telemetry is not None
                           else NULL_TELEMETRY)
         self._metrics = (self.telemetry.metrics.scoped("orchestrator")
@@ -281,17 +299,70 @@ class Runner:
         state["done"] += 1
         self._note(state["done"], state["total"], outcome)
 
-    def _run_inline(self, specs, pending, outcomes, state):
+    def _plan_units(self, specs, pending):
+        """Partition pending cells into execution units.
+
+        Returns ``[(payload, members)]``: ``payload`` is the
+        :class:`JobSpec` itself for lockstep singles or a
+        :class:`ReplayGroup` whose lanes share one captured trace, and
+        ``members`` are the spec indices the unit resolves.  With
+        replay off (or a custom executor) every cell is its own unit.
+        Grouping never reorders the merge: outcomes land by member
+        index, so reports stay byte-stable either way.
+        """
+        if not self.replay:
+            return [(specs[i], [i]) for i in pending]
+        units = []
+        groups = {}
         for index in pending:
             spec = specs[index]
+            if replay_eligible(spec):
+                groups.setdefault(capture_key(spec), []).append(index)
+            else:
+                units.append((spec, [index]))
+        for members in groups.values():
+            units.append((ReplayGroup([specs[i] for i in members]),
+                          members))
+        return units
+
+    def _count_replay(self, payload):
+        """Telemetry for one finished replay group (observability
+        only; results are identical with metrics off)."""
+        if self.telemetry.metrics.enabled:
+            self.telemetry.metrics.counter("loop.replay_lanes").inc(
+                payload["lanes"])
+        self._count("replay.groups")
+        if payload.get("capture") == "hit":
+            self._count("capture.hits")
+        else:
+            self._count("capture.misses")
+
+    def _finish_unit(self, outcomes, members, results, attempts,
+                     wall_seconds, specs, state):
+        for index, result in zip(members, results):
+            self._finish(outcomes, index,
+                         JobOutcome(specs[index], result,
+                                    attempts=attempts,
+                                    wall_seconds=wall_seconds), state)
+
+    def _run_inline(self, specs, units, outcomes, state):
+        for payload, members in units:
+            is_group = isinstance(payload, ReplayGroup)
             attempts = 0
             while True:
                 attempts += 1
-                self._journal_dispatched(spec, attempts)
+                for index in members:
+                    self._journal_dispatched(specs[index], attempts)
                 start = time.perf_counter()
                 try:
-                    result = self._execute(
-                        spec, timeout_seconds=self.timeout_seconds)
+                    if is_group:
+                        group_result = execute_replay_group(
+                            payload, timeout_seconds=self.timeout_seconds)
+                        self._count_replay(group_result)
+                        results = group_result["results"]
+                    else:
+                        results = [self._execute(
+                            payload, timeout_seconds=self.timeout_seconds)]
                     break
                 except KeyboardInterrupt:
                     # The in-flight cell is abandoned (its dispatched
@@ -301,28 +372,36 @@ class Runner:
                 except Exception:
                     message = traceback.format_exc()
                     if self.journal is not None:
-                        self.journal.failed(spec.content_hash(),
-                                            attempts, message)
+                        for index in members:
+                            self.journal.failed(
+                                specs[index].content_hash(), attempts,
+                                message)
                     if attempts > self.retries:
-                        result = error_result(message)
+                        results = [error_result(message)
+                                   for _ in members]
                         break
             wall = time.perf_counter() - start
-            self._finish(outcomes, index,
-                         JobOutcome(spec, result, attempts=attempts,
-                                    wall_seconds=wall), state)
+            self._finish_unit(outcomes, members, results, attempts, wall,
+                              specs, state)
 
     def _pool_event(self, kind, index=None, attempt=None, reason=None,
-                    seconds=None, _specs=None):
-        spec = _specs[index] if index is not None else None
+                    seconds=None, _unit_specs=None):
+        unit_specs = (_unit_specs.get(index, ())
+                      if index is not None else ())
         if kind == "dispatched":
-            self._journal_dispatched(spec, attempt)
+            for spec in unit_specs:
+                self._journal_dispatched(spec, attempt)
         elif kind == "failed":
             if self.journal is not None:
-                self.journal.failed(spec.content_hash(), attempt, reason)
+                for spec in unit_specs:
+                    self.journal.failed(spec.content_hash(), attempt,
+                                        reason)
         elif kind == "crashed":
             self._count("crashes")
             if self.journal is not None:
-                self.journal.crashed(spec.content_hash(), attempt, reason)
+                for spec in unit_specs:
+                    self.journal.crashed(spec.content_hash(), attempt,
+                                         reason)
         elif kind == "requeued":
             self._count("requeues")
         elif kind == "worker_restart":
@@ -331,29 +410,48 @@ class Runner:
             if self._profile is not None:
                 self._profile.add("orchestrator.backoff", seconds)
 
-    def _run_pool(self, specs, pending, outcomes, state):
+    def _run_pool(self, specs, units, outcomes, state):
         # Dispatch impedance-sorted so a worker draining the queue tends
         # to see runs of equal design points (each design and PDN
-        # discretization is memoized per worker process).
-        order = sorted(pending,
-                       key=lambda i: (specs[i].impedance_percent, i))
-        jobs = [(index, specs[index]) for index in order]
+        # discretization is memoized per worker process).  A replay
+        # group sorts by its lowest lane.
+        def unit_key(unit):
+            _payload, members = unit
+            return (min(specs[i].impedance_percent for i in members),
+                    min(members))
+
+        ordered = sorted(units, key=unit_key)
+        jobs = []
+        unit_members = {}
+        unit_specs = {}
+        for payload, members in ordered:
+            # Singles keep their spec index as the pool id; groups get
+            # ids past the spec range so the two can never collide.
+            uid = (members[0] if not isinstance(payload, ReplayGroup)
+                   else len(specs) + len(unit_members))
+            jobs.append((uid, payload))
+            unit_members[uid] = members
+            unit_specs[uid] = [specs[i] for i in members]
 
         def on_event(kind, **info):
-            self._pool_event(kind, _specs=specs, **info)
+            self._pool_event(kind, _unit_specs=unit_specs, **info)
 
-        def on_finish(index, end):
+        def on_finish(uid, end):
+            members = unit_members[uid]
             if end.kind == END_OK:
-                result = end.payload
+                payload = end.payload
+                if (isinstance(payload, dict)
+                        and payload.get("kind") == REPLAY_GROUP_KIND):
+                    self._count_replay(payload)
+                    results = payload["results"]
+                else:
+                    results = [payload]
             elif end.kind == END_ERROR:
-                result = error_result(end.payload)
+                results = [error_result(end.payload) for _ in members]
             else:
-                result = crashed_result(end.payload)
-            self._finish(outcomes, index,
-                         JobOutcome(specs[index], result,
-                                    attempts=end.attempts,
-                                    wall_seconds=end.wall_seconds),
-                         state)
+                results = [crashed_result(end.payload) for _ in members]
+            self._finish_unit(outcomes, members, results, end.attempts,
+                              end.wall_seconds, specs, state)
 
         pool = SupervisedPool(workers=min(self.jobs, len(jobs)),
                               timeout_seconds=self.timeout_seconds,
@@ -412,12 +510,13 @@ class Runner:
                 pending.append(index)
         try:
             if pending:
+                units = self._plan_units(specs, pending)
                 with _graceful_sigterm():
-                    if (self.jobs == 1 or len(pending) == 1
+                    if (self.jobs == 1 or len(units) == 1
                             or self._inline_only):
-                        self._run_inline(specs, pending, outcomes, state)
+                        self._run_inline(specs, units, outcomes, state)
                     else:
-                        self._run_pool(specs, pending, outcomes, state)
+                        self._run_pool(specs, units, outcomes, state)
         except KeyboardInterrupt:
             if self.journal is not None:
                 self.journal.interrupted()
@@ -438,6 +537,22 @@ def _workload_token(spec):
             else spec.workload)
 
 
+def _baseline_hash(spec):
+    """Content hash of the uncontrolled baseline cell a controlled
+    spec is judged against: same workload-side knobs (including any
+    watchdog bounds), controller stripped.  Hash-based pairing keeps
+    the win/loss record correct in mixed replay/lockstep suites where
+    tuple keys built from a *subset* of the spec fields would collide
+    (e.g. two baselines differing only in watchdog bounds)."""
+    return JobSpec(kind=spec.kind, workload=spec.workload,
+                   cycles=spec.cycles,
+                   warmup_instructions=spec.warmup_instructions,
+                   seed=spec.seed,
+                   impedance_percent=spec.impedance_percent,
+                   delay=None,
+                   watchdog_bounds=spec.watchdog_bounds).content_hash()
+
+
 def suite_aggregates(outcomes, suites):
     """Per-suite aggregate rows for a report.
 
@@ -449,9 +564,10 @@ def suite_aggregates(outcomes, suites):
         ``{suite: row}`` where each row carries ``cells`` / ``failed``
         counts, total ``emergency_cycles``, the suite's worst
         ``worst_v_min`` droop, and a ``controller`` win/loss record:
-        every controlled cell is paired with the uncontrolled cell of
-        the same (workload, impedance, cycles, warmup, seed) and wins
-        when it shows strictly fewer emergency cycles.
+        every controlled cell is paired with its uncontrolled baseline
+        *by spec content hash* (the controlled spec with the controller
+        knobs stripped) and wins when it shows strictly fewer emergency
+        cycles.
 
     Deterministic: depends only on the outcome cells, so the suites
     block stays byte-stable across serial/parallel/cached paths.
@@ -475,17 +591,13 @@ def suite_aggregates(outcomes, suites):
                                       or v_min < worst_v_min):
                 worst_v_min = v_min
             if o.spec.delay is None:
-                key = (_workload_token(o.spec), o.spec.impedance_percent,
-                       o.spec.cycles, o.spec.warmup_instructions,
-                       o.spec.seed)
-                baselines[key] = summary.get("emergency_cycles")
+                baselines[o.spec.content_hash()] = \
+                    summary.get("emergency_cycles")
         wins = losses = ties = pairs = 0
         for o in cells:
             if o.spec.delay is None:
                 continue
-            key = (_workload_token(o.spec), o.spec.impedance_percent,
-                   o.spec.cycles, o.spec.warmup_instructions, o.spec.seed)
-            base = baselines.get(key)
+            base = baselines.get(_baseline_hash(o.spec))
             controlled = (o.result.get("emergencies")
                           or {}).get("emergency_cycles")
             if base is None or controlled is None:

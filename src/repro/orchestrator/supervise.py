@@ -44,7 +44,7 @@ import time
 import traceback
 
 from repro.faults.chaos import ProcessChaos
-from repro.orchestrator.worker import execute_spec
+from repro.orchestrator.worker import execute_payload
 
 #: Terminal kinds a job can end with inside the pool.
 END_OK = "ok"
@@ -124,8 +124,8 @@ def _worker_main(worker_id, task_queue, result_queue):
         try:
             if chaos is not None:
                 chaos.fire(executed, spec_hash)
-            result = execute_spec(spec_dict,
-                                  timeout_seconds=timeout_seconds)
+            result = execute_payload(spec_dict,
+                                     timeout_seconds=timeout_seconds)
             kind, value = "ok", result
         except Exception:
             kind, value = "raise", traceback.format_exc()

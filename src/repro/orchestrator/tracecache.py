@@ -1,0 +1,244 @@
+"""Content-addressed on-disk cache of captured per-cycle power traces.
+
+The replay sweep path (:mod:`repro.orchestrator.replay`) runs the
+expensive uarch+power half of a cell **once** per workload, capturing
+its per-cycle power trace, then drives every impedance/controller lane
+from that capture.  This module stores the captures, as a sibling of
+:class:`~repro.orchestrator.cache.ResultCache` and the warm-up cache
+with the same discipline:
+
+* Layout ``<root>/<salt>/captures/<kk>/<key>.npz`` -- ``root`` is
+  ``REPRO_CACHE_DIR`` (default ``~/.cache/repro-didt``), ``salt`` folds
+  in the code version, ``kk`` is the first two key hex digits, and
+  ``key`` is the capture key (a content hash over the workload-side
+  spec fields -- see :func:`repro.orchestrator.replay.capture_key`).
+* Writes are atomic (temp file + ``os.replace``); a writer killed
+  mid-``put`` leaves only a ``*.tmp`` orphan that
+  :meth:`CurrentTraceCache.sweep_orphans` reclaims.
+* Reads validate the stored salt, key, capture metadata, array shapes,
+  and an array-payload checksum.  Any entry that is *present but
+  untrustworthy* (truncated, torn, hand-edited, wrong salt) degrades to
+  a counted *integrity miss* and the caller silently re-captures --
+  never a wrong or crashed replay.
+
+Entries hold two float64 arrays (per-cycle power in watts and per-cycle
+committed-instruction deltas) plus scalar metadata; they are stored as
+an uncompressed ``.npz`` so a hit costs one read + checksum, no JSON
+float round-trip (replay parity is bitwise, so the arrays must come
+back exactly).
+"""
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+import time
+import zipfile
+
+import numpy as np
+
+from repro.orchestrator.cache import default_cache_root, default_salt
+
+#: Bump when the captured-trace payload changes shape.
+CAPTURE_SCHEMA = 1
+
+
+class CapturedTrace:
+    """One workload's captured open-loop machine trajectory.
+
+    Attributes:
+        powers: ``(n,)`` float64 per-cycle power draw, watts.
+        committed: ``(n,)`` float64 per-cycle committed-instruction
+            deltas (stored as floats because they ride the same batch
+            matrix the power model consumes).
+        c0: machine cycle count when capture started (post warm-up).
+        cycles0: ``MachineStats.cycles`` at capture start.
+        committed0: ``MachineStats.committed`` at capture start.
+        cycle_time: seconds per cycle (for energy integration).
+    """
+
+    __slots__ = ("powers", "committed", "c0", "cycles0", "committed0",
+                 "cycle_time")
+
+    def __init__(self, powers, committed, c0, cycles0, committed0,
+                 cycle_time):
+        self.powers = np.ascontiguousarray(powers, dtype=float)
+        self.committed = np.ascontiguousarray(committed, dtype=float)
+        if self.powers.ndim != 1 or self.committed.ndim != 1:
+            raise ValueError("trace arrays must be 1-D")
+        if self.powers.shape != self.committed.shape:
+            raise ValueError("trace arrays must have equal length")
+        self.c0 = int(c0)
+        self.cycles0 = int(cycles0)
+        self.committed0 = int(committed0)
+        self.cycle_time = float(cycle_time)
+
+    @property
+    def n(self):
+        """Captured cycle count."""
+        return int(self.powers.size)
+
+    def scalars(self):
+        """JSON-safe scalar metadata (everything but the arrays)."""
+        return {"c0": self.c0, "cycles0": self.cycles0,
+                "committed0": self.committed0,
+                "cycle_time": self.cycle_time, "n": self.n}
+
+    def checksum(self):
+        """Hex digest over the raw array payloads.
+
+        Bitwise by construction: two captures of the same workload are
+        content-equal iff their checksums match, which is what the
+        capture-determinism property tests pin down.
+        """
+        h = hashlib.sha256()
+        h.update(self.powers.tobytes())
+        h.update(self.committed.tobytes())
+        return h.hexdigest()
+
+
+class CurrentTraceCache:
+    """Disk cache of :class:`CapturedTrace` keyed by capture key + salt.
+
+    Args:
+        root: cache directory (default :func:`~repro.orchestrator.
+            cache.default_cache_root`).
+        salt: version salt (default :func:`~repro.orchestrator.cache.
+            default_salt`).
+        enabled: ``False`` turns every operation into a no-op miss.
+    """
+
+    def __init__(self, root=None, salt=None, enabled=True):
+        self.root = str(root) if root else default_cache_root()
+        self.salt = salt or default_salt()
+        self.enabled = bool(enabled)
+        self.hits = 0
+        self.misses = 0
+        #: Misses caused by a present but untrustworthy entry (bad
+        #: checksum, truncation, salt/key/meta mismatch) plus orphaned
+        #: temp files reclaimed by :meth:`sweep_orphans`.
+        self.integrity_misses = 0
+
+    def path_for(self, key):
+        """Where this capture key's entry lives (existing or not)."""
+        return os.path.join(self.root, self.salt, "captures", key[:2],
+                            key + ".npz")
+
+    def get(self, key, meta):
+        """The cached :class:`CapturedTrace` for ``key``, or ``None``.
+
+        Args:
+            key: the capture key (hex digest).
+            meta: the capture metadata dict the key was derived from;
+                validated against the stored copy so a key collision
+                or a stale entry can never satisfy the wrong spec.
+
+        A missing entry is a plain miss; a present-but-untrustworthy
+        one is a counted integrity miss (see the module docstring).
+        """
+        if not self.enabled:
+            return None
+        try:
+            fh = open(self.path_for(key), "rb")
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            with fh:
+                with np.load(fh, allow_pickle=False) as entry:
+                    header = json.loads(str(entry["meta"][()]))
+                    powers = entry["powers"]
+                    committed = entry["committed"]
+            if header.get("schema") != CAPTURE_SCHEMA:
+                raise ValueError("schema mismatch")
+            if header.get("salt") != self.salt:
+                raise ValueError("salt mismatch")
+            if header.get("key") != key:
+                raise ValueError("key mismatch")
+            if header.get("capture") != meta:
+                raise ValueError("capture meta mismatch")
+            scalars = header["scalars"]
+            if powers.dtype != np.float64 or committed.dtype != np.float64:
+                raise ValueError("bad array dtype")
+            trace = CapturedTrace(powers, committed,
+                                  c0=scalars["c0"],
+                                  cycles0=scalars["cycles0"],
+                                  committed0=scalars["committed0"],
+                                  cycle_time=scalars["cycle_time"])
+            if trace.n != scalars["n"]:
+                raise ValueError("array length mismatch")
+            if header.get("checksum") != trace.checksum():
+                raise ValueError("payload checksum mismatch")
+        except (OSError, ValueError, KeyError, TypeError, EOFError,
+                zipfile.BadZipFile):
+            # BadZipFile/EOFError: a truncated or torn .npz fails in
+            # the zip layer before numpy ever sees the arrays.
+            self.misses += 1
+            self.integrity_misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, key, meta, trace):
+        """Store a capture atomically; returns the entry path."""
+        if not self.enabled:
+            return None
+        path = self.path_for(key)
+        header = {
+            "schema": CAPTURE_SCHEMA,
+            "salt": self.salt,
+            "key": key,
+            "capture": meta,
+            "scalars": trace.scalars(),
+            "checksum": trace.checksum(),
+        }
+        buf = io.BytesIO()
+        np.savez(buf, powers=trace.powers, committed=trace.committed,
+                 meta=np.array(json.dumps(header, sort_keys=True)))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(buf.getvalue())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def sweep_orphans(self, max_age_seconds=3600.0):
+        """Reclaim ``*.tmp`` files abandoned by a killed writer.
+
+        Mirrors :meth:`ResultCache.sweep_orphans`: only files older
+        than ``max_age_seconds`` go, so a concurrent writer's in-flight
+        atomic write is never yanked away.  Returns a removal count.
+        """
+        if not self.enabled:
+            return 0
+        removed = 0
+        cutoff = time.time() - max_age_seconds
+        base = os.path.join(self.root, self.salt, "captures")
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                if not name.endswith(".tmp"):
+                    continue
+                path = os.path.join(dirpath, name)
+                try:
+                    if os.path.getmtime(path) <= cutoff:
+                        os.unlink(path)
+                        removed += 1
+                except OSError:
+                    pass
+        self.integrity_misses += removed
+        return removed
+
+    def __repr__(self):
+        return ("CurrentTraceCache(root=%r, salt=%r, enabled=%r, "
+                "hits=%d, misses=%d, integrity_misses=%d)"
+                % (self.root, self.salt, self.enabled, self.hits,
+                   self.misses, self.integrity_misses))

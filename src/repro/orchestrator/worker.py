@@ -241,6 +241,26 @@ def execute_spec(spec, timeout_seconds=None, telemetry=None):
     }
 
 
+def execute_payload(payload, timeout_seconds=None, telemetry=None):
+    """Dispatch one pool payload: a spec dict or a replay group.
+
+    The supervised pool is payload-agnostic (it forwards whatever
+    ``to_dict()`` produced); this is the worker-side counterpart that
+    routes a ``"__replay_group__"`` payload to
+    :func:`~repro.orchestrator.replay.execute_replay_group` and
+    everything else to :func:`execute_spec`.
+    """
+    kind = (payload.get("kind") if isinstance(payload, dict)
+            else getattr(payload, "kind", None))
+    if kind == "__replay_group__":
+        from repro.orchestrator.replay import execute_replay_group
+
+        return execute_replay_group(payload,
+                                    timeout_seconds=timeout_seconds)
+    return execute_spec(payload, timeout_seconds=timeout_seconds,
+                        telemetry=telemetry)
+
+
 def _abnormal_result(status, message):
     return {
         "status": status,

@@ -63,6 +63,45 @@ def zoh_recurrence(coeffs, x0, x1, currents):
     return out, x0, x1
 
 
+def zoh_recurrence_lanes(coeffs, x0, x1, currents):
+    """Batched-lane form of :func:`zoh_recurrence`: L PDNs, one trace.
+
+    Every operand is widened from a scalar to a ``(lanes,)`` float64
+    array and the per-cycle update is evaluated elementwise in exactly
+    the scalar kernel's operation order (same four-term left-to-right
+    sums, no refactoring into fused or re-associated forms).  IEEE-754
+    elementwise arithmetic on float64 arrays rounds identically to the
+    equivalent Python-float scalar ops, so lane ``j`` of the output is
+    bit-identical to running :func:`zoh_recurrence` with lane ``j``'s
+    coefficients and state over the same currents -- the property the
+    replay sweep's parity tier pins down.
+
+    Args:
+        coeffs: ``(a00, a01, a10, a11, b0, b1, e0, e1)``, each a
+            ``(lanes,)`` float64 array (one entry per PDN design).
+        x0 / x1: ``(lanes,)`` float64 state arrays (``x1`` is the die
+            voltage); consumed as the initial state.
+        currents: a 1-D float64 array of per-cycle load currents,
+            shared by every lane.
+
+    Returns:
+        ``(voltages, x0, x1)`` -- an ``(n_cycles, lanes)`` float64
+        voltage matrix plus the final per-lane state arrays.
+    """
+    a00, a01, a10, a11, b0, b1, e0, e1 = coeffs
+    x0 = np.array(x0, dtype=float)
+    x1 = np.array(x1, dtype=float)
+    n = len(currents)
+    out = np.empty((n, x1.shape[0]))
+    for k in range(n):
+        u = currents[k]
+        out[k] = x1
+        t = a00 * x0 + a01 * x1 + b0 * u + e0
+        x1 = a10 * x0 + a11 * x1 + b1 * u + e1
+        x0 = t
+    return out, x0, x1
+
+
 class DiscretePdn:
     """ZOH discretization of a :class:`~repro.pdn.rlc.SecondOrderPdn`.
 
@@ -203,6 +242,20 @@ class PdnSimulator:
         self.cycles = 0
         if self.watchdog is not None:
             self.watchdog.reset()
+
+    def lane_state(self):
+        """``(coeffs, x0, x1)`` scalars for one lane of the batched
+        kernel.
+
+        Reads the instance slots (not ``discrete.scalar_coeffs``) for
+        the same reason :meth:`run` does: tests doctor them to force
+        divergence, and a replay lane must diverge exactly like the
+        doctored scalar simulator.  Stack the returned scalars across
+        designs to build :func:`zoh_recurrence_lanes` inputs.
+        """
+        coeffs = (self._a00, self._a01, self._a10, self._a11,
+                  self._b0, self._b1, self._e0, self._e1)
+        return coeffs, self._x0, self._x1
 
     def step(self, load_current):
         """Advance one CPU cycle.

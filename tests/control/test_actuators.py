@@ -19,7 +19,8 @@ def machine():
 
 class TestConstruction:
     def test_kinds(self):
-        assert set(ACTUATOR_KINDS) == {"fu", "fu_dl1", "fu_dl1_il1", "ideal"}
+        assert set(ACTUATOR_KINDS) == {"fu", "fu_dl1", "fu_dl1_il1",
+                                       "ideal", "observe"}
 
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
@@ -36,6 +37,8 @@ class TestConstruction:
         assert Actuator("fu").low_groups == ("fu",)
         assert Actuator("fu_dl1").low_groups == ("fu", "dl1")
         assert Actuator("fu_dl1_il1").low_groups == ("fu", "dl1", "il1")
+        assert Actuator("observe").low_groups == ()
+        assert Actuator("observe").high_groups == ()
 
 
 class TestApplication:

@@ -1,0 +1,311 @@
+"""Replay-sweep parity and trace-cache robustness.
+
+The runner batches replay-eligible cells (uncontrolled or observe-only,
+fixed workload) into :class:`~repro.orchestrator.replay.ReplayGroup`
+units that capture the uarch+power trace once and replay it across
+impedance/controller lanes.  The contract is *bitwise*: a replay sweep
+and a ``replay=False`` lockstep sweep of the same grid produce
+byte-identical :func:`~repro.orchestrator.runner.report_json` text, on
+the serial path, the pool path, and through the capture cache -- this
+module pins all of it, plus the capture cache's corrupt-entry
+discipline and the hash-based suite-aggregate pairing.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.orchestrator import (
+    CurrentTraceCache,
+    JobSpec,
+    ReplayGroup,
+    Runner,
+    capture_key,
+    execute_replay_group,
+    replay_eligible,
+    report_json,
+)
+from repro.orchestrator.replay import capture_trace
+from repro.orchestrator.runner import JobOutcome, suite_aggregates
+from repro.orchestrator.worker import execute_spec
+from repro.telemetry import MetricsRegistry, Telemetry
+
+SRC_DIR = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+@pytest.fixture(autouse=True)
+def isolated_capture_cache(monkeypatch, tmp_path):
+    """Every test gets a private capture-cache root (the per-process
+    replay cache is keyed by ``REPRO_CACHE_DIR``, so pointing the env
+    at a temp dir isolates both this process and pool workers)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+
+
+def tiny_spec(**overrides):
+    kwargs = dict(workload="swim", cycles=300, warmup_instructions=600,
+                  seed=7, impedance_percent=200.0)
+    kwargs.update(overrides)
+    return JobSpec(**kwargs)
+
+
+def observe_grid(**overrides):
+    """A 3-impedance x 3-controller grid: uncontrolled, clean observe,
+    and noisy observe -- all replay-eligible."""
+    specs = []
+    for impedance in (150.0, 250.0, 350.0):
+        for delay, error in ((None, 0.0), (2, 0.0), (1, 0.02)):
+            kwargs = dict(impedance_percent=impedance)
+            if delay is not None:
+                kwargs.update(delay=delay, error=error,
+                              actuator_kind="observe")
+            kwargs.update(overrides)
+            specs.append(tiny_spec(**kwargs))
+    return specs
+
+
+def run_report(specs, replay, jobs=1):
+    outcomes = Runner(jobs=jobs, progress=False, replay=replay).run(specs)
+    return report_json(outcomes, settings={"grid": "test"})
+
+
+class TestReplayEligibility:
+    def test_eligible_cells(self):
+        assert replay_eligible(tiny_spec())
+        assert replay_eligible(tiny_spec(delay=2,
+                                         actuator_kind="observe"))
+        assert replay_eligible(tiny_spec(watchdog_bounds=(0.9, 1.1)))
+
+    def test_actuating_faulted_and_stressmark_cells_stay_lockstep(self):
+        assert not replay_eligible(tiny_spec(delay=2))
+        assert not replay_eligible(
+            tiny_spec(delay=2, actuator_kind="observe",
+                      fault="stuck_low"))
+        assert not replay_eligible(tiny_spec(workload="stressmark"))
+        assert not replay_eligible(
+            JobSpec(kind="thresholds", delay=2))
+
+    def test_capture_key_ignores_lane_knobs(self):
+        base = tiny_spec()
+        assert capture_key(base) == capture_key(
+            tiny_spec(impedance_percent=400.0, delay=3,
+                      actuator_kind="observe",
+                      watchdog_bounds=(0.9, 1.1)))
+        assert capture_key(base) != capture_key(tiny_spec(seed=8))
+        assert capture_key(base) != capture_key(tiny_spec(cycles=301))
+
+
+class TestReportParity:
+    def test_serial_replay_matches_lockstep_bytes(self):
+        specs = observe_grid()
+        assert run_report(specs, replay=True) == run_report(
+            specs, replay=False)
+
+    def test_pool_replay_matches_serial_lockstep_bytes(self):
+        # Two workloads so the pool path sees two groups (one unit
+        # would collapse to the inline path).
+        specs = observe_grid() + observe_grid(workload="mgrid")
+        assert run_report(specs, replay=True, jobs=2) == run_report(
+            specs, replay=False)
+
+    def test_diverged_lanes_match(self):
+        bounds = (0.9965, 1.003)  # trips mid-run at high impedance
+        specs = [tiny_spec(impedance_percent=p,
+                           watchdog_bounds=bounds, **extra)
+                 for p in (150.0, 300.0)
+                 for extra in ({}, {"delay": 2,
+                                    "actuator_kind": "observe"})]
+        replayed = run_report(specs, replay=True)
+        assert replayed == run_report(specs, replay=False)
+        statuses = [job["result"]["status"]
+                    for job in json.loads(replayed)["jobs"]]
+        assert "diverged" in statuses
+
+    def test_failsafe_lane_falls_back_to_exact_scalar_walk(self):
+        # stuck_cycles=1 + noise latches the plausibility monitor, so
+        # the vectorized controller fold must detect the trip and
+        # replay the lane through the real controller state machine.
+        spec = tiny_spec(impedance_percent=250.0, delay=1, error=0.03,
+                         actuator_kind="observe", stuck_cycles=1,
+                         watchdog_bounds=(0.2, 1.8))
+        group_result = execute_replay_group(ReplayGroup([spec]))
+        lane = group_result["results"][0]
+        assert lane["controller"]["failsafe_active"]
+        assert lane == execute_spec(spec)
+
+    def test_mixed_grid_keeps_ineligible_cells_lockstep(self):
+        actuating = tiny_spec(impedance_percent=250.0, delay=2)
+        specs = observe_grid() + [actuating]
+        outcomes = Runner(jobs=1, progress=False, replay=True).run(specs)
+        assert (report_json(outcomes, settings={"grid": "test"})
+                == run_report(specs, replay=False))
+        # The actuating cell really ran: its controller summary names
+        # the real actuator, not the observe stub.
+        assert outcomes[-1].result["controller"]["actuator"] != "observe"
+
+    def test_replay_telemetry_counters(self):
+        telemetry = Telemetry(metrics=MetricsRegistry())
+        specs = observe_grid()
+        Runner(jobs=1, progress=False, replay=True,
+               telemetry=telemetry).run(specs)
+        metrics = telemetry.metrics
+        assert metrics.counter("loop.replay_lanes").value == len(specs)
+        assert metrics.counter(
+            "orchestrator.replay.groups").value == 1
+        assert metrics.counter(
+            "orchestrator.capture.misses").value == 1
+        # Same grid again: the capture comes back from the cache.
+        telemetry2 = Telemetry(metrics=MetricsRegistry())
+        Runner(jobs=1, progress=False, replay=True,
+               telemetry=telemetry2).run(specs)
+        assert telemetry2.metrics.counter(
+            "orchestrator.capture.hits").value == 1
+        assert telemetry2.metrics.counter(
+            "orchestrator.capture.misses").value == 0
+
+    def test_cached_capture_replays_identically(self):
+        specs = observe_grid()
+        first = run_report(specs, replay=True)   # capture miss
+        second = run_report(specs, replay=True)  # capture hit
+        assert first == second
+
+
+class TestCaptureDeterminism:
+    @settings(max_examples=4, deadline=None)
+    @given(seed=st.integers(0, 3), cycles=st.sampled_from([150, 260]))
+    def test_same_spec_same_checksum(self, seed, cycles):
+        spec = tiny_spec(seed=seed, cycles=cycles,
+                         warmup_instructions=400)
+        trace_a, exc_a = capture_trace(spec)
+        trace_b, exc_b = capture_trace(spec)
+        assert exc_a is None and exc_b is None
+        assert trace_a.checksum() == trace_b.checksum()
+        assert trace_a.scalars() == trace_b.scalars()
+
+    def test_checksum_stable_across_processes(self):
+        spec = tiny_spec(cycles=200, warmup_instructions=400)
+        trace, _ = capture_trace(spec)
+        code = (
+            "from repro.orchestrator.replay import capture_trace\n"
+            "from repro.orchestrator.spec import JobSpec\n"
+            "spec = JobSpec.from_dict(%r)\n"
+            "print(capture_trace(spec)[0].checksum())\n"
+            % (spec.to_dict(),))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get(
+            "PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True, check=True)
+        assert proc.stdout.strip() == trace.checksum()
+
+
+class TestTraceCacheIntegrity:
+    def _group(self):
+        return ReplayGroup([tiny_spec(impedance_percent=p)
+                            for p in (150.0, 300.0)])
+
+    def test_corrupt_entry_is_counted_integrity_miss(self, tmp_path):
+        cache = CurrentTraceCache(root=tmp_path / "tc", salt="s")
+        group = self._group()
+        first = execute_replay_group(group, trace_cache=cache)
+        assert first["capture"] == "miss"
+        path = cache.path_for(capture_key(group.specs[0]))
+        assert os.path.exists(path)
+        with open(path, "r+b") as fh:
+            fh.seek(0)
+            fh.write(b"garbage!")
+        again = execute_replay_group(group, trace_cache=cache)
+        assert again["capture"] == "miss"
+        assert cache.integrity_misses == 1
+        assert again["results"] == first["results"]
+        # The re-capture healed the entry.
+        healed = execute_replay_group(group, trace_cache=cache)
+        assert healed["capture"] == "hit"
+        assert healed["results"] == first["results"]
+
+    def test_truncated_entry_is_counted_integrity_miss(self, tmp_path):
+        cache = CurrentTraceCache(root=tmp_path / "tc", salt="s")
+        group = self._group()
+        first = execute_replay_group(group, trace_cache=cache)
+        path = cache.path_for(capture_key(group.specs[0]))
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        again = execute_replay_group(group, trace_cache=cache)
+        assert again["capture"] == "miss"
+        assert cache.integrity_misses == 1
+        assert again["results"] == first["results"]
+
+    def test_wrong_salt_entry_misses(self, tmp_path):
+        writer = CurrentTraceCache(root=tmp_path / "tc", salt="old")
+        group = self._group()
+        execute_replay_group(group, trace_cache=writer)
+        reader = CurrentTraceCache(root=tmp_path / "tc", salt="new")
+        key = capture_key(group.specs[0])
+        assert reader.get(key, None) is None
+        assert reader.integrity_misses == 0  # absent path, plain miss
+        # Same salt but doctored meta: integrity miss.
+        assert writer.get(key, {"tampered": True}) is None
+        assert writer.integrity_misses == 1
+
+    def test_budget_cut_capture_is_never_cached(self, tmp_path):
+        cache = CurrentTraceCache(root=tmp_path / "tc", salt="s")
+        # Long enough that the budget's sampled wall-clock check (every
+        # 1024 cycles) actually fires mid-capture.
+        group = ReplayGroup([tiny_spec(impedance_percent=p, cycles=4000)
+                             for p in (150.0, 300.0)])
+        result = execute_replay_group(group, trace_cache=cache,
+                                      timeout_seconds=1e-9)
+        assert {lane["status"] for lane in result["results"]} <= {
+            "budget", "diverged"}
+        assert not os.path.exists(
+            cache.path_for(capture_key(group.specs[0])))
+
+
+class TestSuiteAggregatePairing:
+    def _outcome(self, spec, emergency_cycles):
+        result = {
+            "status": "ok", "error": None, "cycles": spec.cycles,
+            "committed": spec.cycles, "ipc": 1.0, "energy": 1.0,
+            "emergencies": {"emergency_cycles": emergency_cycles,
+                            "v_min": 0.96},
+            "controller": None,
+        }
+        return JobOutcome(spec, result)
+
+    def test_pairing_is_by_spec_hash_not_list_order(self):
+        """Two baselines differing only in watchdog bounds must pair
+        with their own controlled cells; a tuple key over (workload,
+        impedance, cycles, warmup, seed) collides them and scores the
+        plain-bounds controlled cell against the wrong baseline."""
+        wide = (0.2, 1.8)
+        outcomes = [
+            self._outcome(tiny_spec(), 10),
+            self._outcome(tiny_spec(watchdog_bounds=wide), 2),
+            # Controlled, no bounds: 5 < 10 is a win; against the
+            # colliding wide-bounds baseline (2) it would be a loss.
+            self._outcome(tiny_spec(delay=2, actuator_kind="observe"),
+                          5),
+            self._outcome(tiny_spec(delay=2, actuator_kind="observe",
+                                    watchdog_bounds=wide), 1),
+        ]
+        rows = suite_aggregates(outcomes, {"spec2000": ["swim"]})
+        record = rows["spec2000"]["controller"]
+        assert record == {"wins": 2, "losses": 0, "ties": 0, "pairs": 2}
+
+    def test_mixed_replay_lockstep_suite_rows_match(self):
+        """The suites block is byte-identical whether the cells came
+        off the replay path or the lockstep path."""
+        suites = {"spec2000": ["swim"]}
+        specs = observe_grid()
+        replayed = Runner(jobs=1, progress=False, replay=True).run(specs)
+        lockstep = Runner(jobs=1, progress=False,
+                          replay=False).run(specs)
+        assert (suite_aggregates(replayed, suites)
+                == suite_aggregates(lockstep, suites))

@@ -1,0 +1,166 @@
+"""Bitwise parity of the vectorized multi-lane ZOH kernel.
+
+The replay sweep path drives N impedance lanes through one
+:func:`repro.pdn.discrete.zoh_recurrence_lanes` call instead of N
+scalar :func:`repro.pdn.discrete.zoh_recurrence` runs.  The whole
+capture/replay architecture rests on those two being **bit-identical**
+per lane: numpy float64 elementwise arithmetic rounds exactly like
+Python float scalar arithmetic, so as long as the lanes kernel keeps
+the same operations in the same order, ``out[:, j]`` equals the scalar
+voltages to the last ulp.  This tier pins that down with ``tobytes()``
+comparisons -- any refactor of either kernel that re-associates a sum
+fails here before it can corrupt a cached report.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pdn.discrete import (
+    DiscretePdn,
+    PdnSimulator,
+    zoh_recurrence,
+    zoh_recurrence_lanes,
+)
+
+
+def _random_lane(rng):
+    """Plausible-magnitude coefficients + state for one lane."""
+    coeffs = tuple(rng.uniform(-1.5, 1.5) for _ in range(4)) + tuple(
+        rng.uniform(-1e-3, 1e-3) for _ in range(4))
+    return coeffs, rng.uniform(0.8, 1.2), rng.uniform(0.8, 1.2)
+
+
+def _run_lanes(lanes, currents):
+    """Run the batched kernel over per-lane (coeffs, x0, x1) tuples."""
+    coeffs = np.empty((8, len(lanes)))
+    x0 = np.empty(len(lanes))
+    x1 = np.empty(len(lanes))
+    for j, (lane_coeffs, lane_x0, lane_x1) in enumerate(lanes):
+        coeffs[:, j] = lane_coeffs
+        x0[j] = lane_x0
+        x1[j] = lane_x1
+    return zoh_recurrence_lanes(tuple(coeffs), x0, x1,
+                                np.asarray(currents, dtype=float))
+
+
+class TestKernelParity:
+    def test_lanes_match_scalar_bitwise(self):
+        rng = random.Random(7)
+        lanes = [_random_lane(rng) for _ in range(6)]
+        currents = [rng.uniform(0.0, 80.0) for _ in range(400)]
+        out, fx0, fx1 = _run_lanes(lanes, currents)
+        for j, (coeffs, x0, x1) in enumerate(lanes):
+            volts, sx0, sx1 = zoh_recurrence(coeffs, x0, x1, currents)
+            assert (np.ascontiguousarray(out[:, j]).tobytes()
+                    == np.asarray(volts).tobytes())
+            assert fx0[j].tobytes() == np.float64(sx0).tobytes()
+            assert fx1[j].tobytes() == np.float64(sx1).tobytes()
+
+    def test_empty_current_sequence(self):
+        rng = random.Random(3)
+        lanes = [_random_lane(rng) for _ in range(3)]
+        out, fx0, fx1 = _run_lanes(lanes, [])
+        assert out.shape == (0, 3)
+        for j, (_coeffs, x0, x1) in enumerate(lanes):
+            assert fx0[j] == x0
+            assert fx1[j] == x1
+
+    def test_single_lane(self):
+        rng = random.Random(11)
+        lane = _random_lane(rng)
+        currents = [rng.uniform(0.0, 50.0) for _ in range(100)]
+        out, _, _ = _run_lanes([lane], currents)
+        volts, _, _ = zoh_recurrence(*lane, currents)
+        assert out[:, 0].tobytes() == np.asarray(volts).tobytes()
+
+    def test_nonfinite_current_propagates_identically(self):
+        """A NaN/inf load current poisons the lane state exactly like
+        the scalar recursion does (same cycle, same bit patterns per
+        IEEE propagation), so a replayed diverging lane reports the
+        same voltages the lockstep path would."""
+        rng = random.Random(5)
+        lanes = [_random_lane(rng) for _ in range(4)]
+        currents = [rng.uniform(0.0, 50.0) for _ in range(60)]
+        currents[20] = math.nan
+        currents[40] = math.inf
+        out, _, _ = _run_lanes(lanes, currents)
+        for j, (coeffs, x0, x1) in enumerate(lanes):
+            volts, _, _ = zoh_recurrence(coeffs, x0, x1, currents)
+            assert (np.ascontiguousarray(out[:, j]).tobytes()
+                    == np.asarray(volts).tobytes())
+
+    def test_doctored_unstable_coefficients(self):
+        """An unstable lane (spectral radius > 1) overflows to inf the
+        same way in both kernels; stable sibling lanes are unaffected."""
+        rng = random.Random(13)
+        stable = _random_lane(rng)
+        unstable = ((1.9, 0.4, 0.4, 1.9, 1e-3, 1e-3, 0.0, 0.0), 1.0, 1.0)
+        currents = [rng.uniform(0.0, 50.0) for _ in range(1000)]
+        with np.errstate(over="ignore", invalid="ignore"):
+            out, _, _ = _run_lanes([stable, unstable], currents)
+            for j, (coeffs, x0, x1) in enumerate((stable, unstable)):
+                volts, _, _ = zoh_recurrence(coeffs, x0, x1, currents)
+                assert (np.ascontiguousarray(out[:, j]).tobytes()
+                        == np.asarray(volts).tobytes())
+        assert np.isfinite(out[:, 0]).all()
+        assert not np.isfinite(out[:, 1]).all()
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1),
+           n=st.integers(0, 200),
+           lanes=st.integers(1, 8))
+    def test_parity_property(self, seed, n, lanes):
+        rng = random.Random(seed)
+        lane_params = [_random_lane(rng) for _ in range(lanes)]
+        currents = [rng.uniform(0.0, 100.0) for _ in range(n)]
+        out, fx0, fx1 = _run_lanes(lane_params, currents)
+        assert out.shape == (n, lanes)
+        for j, (coeffs, x0, x1) in enumerate(lane_params):
+            volts, sx0, sx1 = zoh_recurrence(coeffs, x0, x1, currents)
+            assert (np.ascontiguousarray(out[:, j]).tobytes()
+                    == np.asarray(volts).tobytes())
+            assert fx0[j].tobytes() == np.float64(sx0).tobytes()
+            assert fx1[j].tobytes() == np.float64(sx1).tobytes()
+
+
+class TestSimulatorLaneState:
+    @pytest.mark.parametrize("impedance", [100.0, 200.0, 400.0])
+    def test_lane_state_reproduces_step(self, impedance):
+        """Driving a lane from ``PdnSimulator.lane_state()`` matches
+        stepping the simulator itself, bit for bit -- the exact seam
+        the replay engine relies on."""
+        from repro.core import design_at
+
+        design = design_at(impedance)
+        sim = PdnSimulator(DiscretePdn(design.pdn,
+                                       clock_hz=design.config.clock_hz))
+        i_min, i_max = design.power_model.current_envelope()
+        rng = random.Random(int(impedance))
+        currents = [rng.uniform(i_min, i_max) for _ in range(250)]
+
+        sim.reset(initial_current=i_min)
+        coeffs, x0, x1 = sim.lane_state()
+        out, _, _ = _run_lanes([(coeffs, x0, x1)], currents)
+
+        sim.reset(initial_current=i_min)
+        stepped = np.array([sim.step(u) for u in currents])
+        assert out[:, 0].tobytes() == stepped.tobytes()
+
+    def test_lane_state_is_reset_sensitive(self):
+        """lane_state reflects the *current* state, so it must be read
+        after ``reset`` -- pin that contract."""
+        from repro.core import design_at
+
+        design = design_at(150.0)
+        sim = PdnSimulator(DiscretePdn(design.pdn,
+                                       clock_hz=design.config.clock_hz))
+        sim.reset(initial_current=0.0)
+        _, x0_a, x1_a = sim.lane_state()
+        sim.step(50.0)
+        _, x0_b, x1_b = sim.lane_state()
+        assert (x0_a, x1_a) != (x0_b, x1_b)

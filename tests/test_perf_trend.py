@@ -55,7 +55,8 @@ def record(rates, meta=META, commit="c" * 40):
 
 def tracked_rates(uncontrolled=1e6, controlled=5e5):
     return {"uncontrolled_steady_state_cell_swim": uncontrolled,
-            "controlled_cell_swim": controlled}
+            "controlled_cell_swim": controlled,
+            "replay_sweep_cells_swim": 80.0}
 
 
 def write_trend(tmp_path, *records):
@@ -121,6 +122,22 @@ class TestCompare:
             record(tracked_rates(uncontrolled=1.0), meta=other), 0.10)
         assert regressions == []
         assert any("meta changed" in n for n in notes)
+
+    def test_cells_per_sec_rate_key(self, checker):
+        """The replay-sweep figure reports cells/sec, not cycles/sec;
+        the checker must pick it up and flag drops."""
+        def rec(rate):
+            figures = {name: {"cycles_per_sec": 1e6}
+                       for name in checker.TRACKED}
+            figures["replay_sweep_cells_swim"] = {"cells_per_sec": rate}
+            return {"commit": "c" * 40, "meta": dict(META),
+                    "figures": figures}
+
+        regressions, notes = checker.compare(rec(80.0), rec(75.0), 0.10)
+        assert regressions == [] and notes == []
+        regressions, _ = checker.compare(rec(80.0), rec(40.0), 0.10)
+        assert len(regressions) == 1
+        assert "cells_per_sec" in regressions[0]
 
     def test_missing_configuration_is_a_note(self, checker):
         current = record({"controlled_cell_swim": 5e5})

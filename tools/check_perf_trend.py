@@ -8,8 +8,10 @@ configuration's rate (``cycles_per_sec`` -- bigger is better) dropped
 by more than the threshold.  CI runs it after the bench emit step.
 
 Tracked configurations (the steady-state and controlled-cell numbers
-an orchestrator worker actually pays): ``uncontrolled_steady_state_
-cell_swim`` and ``controlled_cell_swim``.
+an orchestrator worker actually pays, plus the batched replay-sweep
+throughput): ``uncontrolled_steady_state_cell_swim``,
+``controlled_cell_swim``, and ``replay_sweep_cells_swim``
+(``cells_per_sec``).
 
 Exit codes: 0 no regression (or fewer than two comparable records);
 1 a regression beyond the threshold with ``--fail``; 2 usage error
@@ -21,7 +23,11 @@ import json
 import sys
 
 #: Configurations whose throughput CI watches.
-TRACKED = ("uncontrolled_steady_state_cell_swim", "controlled_cell_swim")
+TRACKED = ("uncontrolled_steady_state_cell_swim", "controlled_cell_swim",
+           "replay_sweep_cells_swim")
+
+#: Rate figures in bigger-is-better order of preference.
+RATE_KEYS = ("cycles_per_sec", "samples_per_sec", "cells_per_sec")
 
 DEFAULT_THRESHOLD = 0.10
 
@@ -64,8 +70,8 @@ def compare(previous, current, threshold):
             notes.append("%s: missing from %s record"
                          % (name, "previous" if not prev else "latest"))
             continue
-        rate_key = ("cycles_per_sec" if "cycles_per_sec" in prev
-                    else "samples_per_sec")
+        rate_key = next((key for key in RATE_KEYS if key in prev),
+                        "samples_per_sec")
         prev_rate = prev.get(rate_key)
         cur_rate = cur.get(rate_key)
         if not prev_rate or not cur_rate:

@@ -37,7 +37,9 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
 * ``poll`` -- check individual job hashes on a server (scripting).
 * ``journal compact PATH`` -- rewrite a sweep journal down to its
   last-write-wins records (atomic; refuses if a live writer holds it).
-* ``cache stats|clear`` -- inspect or empty the result cache.
+* ``cache stats|clear`` -- inspect or empty the result cache;
+  ``--captures`` targets the captured power-trace cache the replay
+  sweeps keep alongside it.
 * ``trace`` (alias ``run``) -- one fully instrumented closed-loop run:
   cycle-stamped events to Chrome trace-event JSON (``--trace-out``,
   loadable in Perfetto / ``chrome://tracing``), byte-stable JSONL
@@ -209,6 +211,11 @@ def build_parser():
                         "captured current traces across impedance/"
                         "controller lanes (results are byte-identical "
                         "either way; this is the escape hatch)")
+    p.add_argument("--no-speculate", action="store_true",
+                   help="disable speculative chunked execution for "
+                        "actuated cells (sets REPRO_NO_SPECULATE, "
+                        "which pool workers inherit; results are "
+                        "byte-identical either way)")
     p.add_argument("--invalidate", action="store_true",
                    help="drop this grid's cached cells, then run")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -256,6 +263,14 @@ def build_parser():
     p.add_argument("--crash-retries", type=int, default=2,
                    help="retries for cells whose worker process dies "
                         "(default 2)")
+    p.add_argument("--no-replay", action="store_true",
+                   help="lockstep every cell instead of replaying "
+                        "captured current traces (byte-identical "
+                        "either way; matches sweep --no-replay)")
+    p.add_argument("--no-speculate", action="store_true",
+                   help="disable speculative chunked execution for "
+                        "actuated cells (sets REPRO_NO_SPECULATE; "
+                        "matches sweep --no-speculate)")
     p.add_argument("--request-timeout", type=float, default=30.0,
                    help="per-connection socket timeout, seconds "
                         "(default 30)")
@@ -334,6 +349,9 @@ def build_parser():
     p.add_argument("--no-verify", action="store_true",
                    help="stats: skip per-entry checksum verification "
                         "(fast count only)")
+    p.add_argument("--captures", action="store_true",
+                   help="operate on the captured power-trace cache "
+                        "(replay sweeps) instead of the result cache")
 
     p = sub.add_parser("trace", aliases=["run"],
                        help="instrumented closed-loop run with trace/"
@@ -702,6 +720,10 @@ def cmd_sweep(args, out):
     )
     from repro.telemetry import MetricsRegistry, SpanProfiler, Telemetry
 
+    if args.no_speculate:
+        # Pool workers inherit the environment, so one assignment
+        # covers in-process cells and every worker process alike.
+        os.environ["REPRO_NO_SPECULATE"] = "1"
     cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
     journal_path = args.journal
     resume_results = None
@@ -844,6 +866,8 @@ def cmd_serve(args, out):
     from repro.orchestrator import JournalError, ResultCache
     from repro.server import SweepServer
 
+    if args.no_speculate:
+        os.environ["REPRO_NO_SPECULATE"] = "1"
     cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
     try:
         server = SweepServer(
@@ -852,7 +876,8 @@ def cmd_serve(args, out):
             timeout_seconds=args.timeout, retries=args.retries,
             crash_retries=args.crash_retries,
             host=args.host, port=args.port,
-            request_timeout=args.request_timeout)
+            request_timeout=args.request_timeout,
+            replay=not args.no_replay)
     except (OSError, JournalError, ValueError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_USAGE
@@ -1012,10 +1037,20 @@ def cmd_journal(args, out):
 
 
 def cmd_cache(args, out):
-    """The ``cache`` command: inspect or empty the result cache."""
+    """The ``cache`` command: inspect or empty a cache.
+
+    The default target is the result cache; ``--captures`` swaps in
+    the captured power-trace cache (same root and salt discipline,
+    same stats/clear/orphan-sweep surface).
+    """
     from repro.orchestrator import ResultCache
 
-    cache = ResultCache(root=args.cache_dir)
+    if args.captures:
+        from repro.orchestrator.tracecache import CurrentTraceCache
+
+        cache = CurrentTraceCache(root=args.cache_dir)
+    else:
+        cache = ResultCache(root=args.cache_dir)
     if args.action == "stats":
         info = cache.stats(verify=not args.no_verify)
         print(json.dumps(info, sort_keys=True, indent=2), file=out)

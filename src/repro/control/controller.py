@@ -19,6 +19,8 @@ fail-safe throttle -- trading the performance the paper's greedy policy
 buys for continued protection without a trustworthy sensor.
 """
 
+import numpy as np
+
 from repro.control.actuators import Actuator, ActuatorCommand
 from repro.control.sensor import VoltageLevel
 
@@ -88,6 +90,23 @@ class PlausibilityMonitor:
         else:
             self._oob_run = 0
         return None
+
+    def commit_normal_run(self, n):
+        """Fold ``n`` consecutive NORMAL, in-bounds readings at once.
+
+        The speculative loop calls this when committing a chunk whose
+        every reading was NORMAL and inside ``[v_min, v_max]``: the
+        level run extends (or restarts at NORMAL), the stuck detector
+        never fires (NORMAL is exempt), and the out-of-bounds run
+        resets to zero exactly as ``n`` scalar :meth:`observe` calls
+        would leave it.
+        """
+        if self._level is VoltageLevel.NORMAL:
+            self._level_run += n
+        else:
+            self._level = VoltageLevel.NORMAL
+            self._level_run = n
+        self._oob_run = 0
 
     def reset(self):
         """Forget run-length state (between runs)."""
@@ -243,6 +262,75 @@ class ThresholdController:
         # keep the machine gated).
         self.actuator.apply(machine, ActuatorCommand.NONE)
         return ActuatorCommand.NONE
+
+    # ------------------------------------------------------------------
+    # Speculation seams (repro.control.loop's chunked engine)
+    # ------------------------------------------------------------------
+
+    def speculation_quiescent(self):
+        """Whether the controller is fully released and safe to skip.
+
+        True exactly when stepping the controller on another NORMAL
+        reading would be a no-op: no fail-safe latched, the actuator
+        command is NONE (so ``apply`` keeps every gate/phantom flag
+        False), and the sensor's hysteresis state is NORMAL (so the
+        plain window comparison decides the next level).  The
+        speculative loop only opens a chunk from this state.
+        """
+        return (not self.failsafe_active and
+                self.command is ActuatorCommand.NONE and
+                self.sensor._state is VoltageLevel.NORMAL)
+
+    def quiet_prefix(self, observed):
+        """Length of the prefix of ``observed`` readings that keep the
+        controller quiescent.
+
+        Args:
+            observed: float64 array of the sensor's *observed* values
+                (delayed, noise already applied) for a chunk entered
+                from the quiescent state.
+
+        A reading is quiet when it stays inside the sensor window
+        (``v_low <= v <= v_high`` -- from NORMAL the hysteresis bands
+        are irrelevant) and, when a plausibility monitor is wired,
+        inside its ``[v_min, v_max]`` envelope (an out-of-envelope
+        reading advances the monitor's run counter, so it must fall to
+        the lockstep path even though it would not actuate).  NaN fails
+        every comparison and is therefore never quiet, which safely
+        routes non-finite voltages to the lockstep re-execution.
+        """
+        sensor = self.sensor
+        quiet = (observed >= sensor.v_low) & (observed <= sensor.v_high)
+        monitor = self.monitor
+        if monitor is not None:
+            quiet &= ((observed >= monitor.v_min) &
+                      (observed <= monitor.v_max))
+        bad = ~quiet
+        if bad.any():
+            return int(np.argmax(bad))
+        return observed.size
+
+    def commit_quiet_chunk(self, voltages):
+        """Fold a committed all-quiet chunk into sensor/monitor state.
+
+        Args:
+            voltages: the chunk's *true* voltages as a list of Python
+                floats (the sensor history stores what ``observe`` was
+                fed, and the scalar path feeds Python floats -- the
+                types must match for downstream byte parity).
+
+        The sensor's delay history extends (its ``maxlen`` keeps the
+        last ``delay + 1``), its hysteresis state stays NORMAL, the
+        monitor's level/out-of-bounds runs fold analytically, and the
+        command/transition counters are untouched -- all exactly as
+        ``len(voltages)`` scalar steps with NORMAL readings would
+        leave them.  The sensor RNG is *not* advanced here: the
+        speculative loop draws the noise samples itself during the
+        observed-reading fold.
+        """
+        self.sensor._history.extend(voltages)
+        if self.monitor is not None:
+            self.monitor.commit_normal_run(len(voltages))
 
     def summary(self):
         """A plain dict of the controller activity and settings."""

@@ -9,18 +9,23 @@ implementation has; the sensor's own delay stacks on top, matching the
 timing the threshold solver designs against.
 """
 
+import itertools
 import math
 import operator
+import os
 
 import numpy as np
 
+from repro.control.actuators import Actuator
+from repro.control.controller import PlausibilityMonitor, ThresholdController
 from repro.control.emergencies import EmergencyCounter, NOMINAL_VOLTAGE
+from repro.control.sensor import ThresholdSensor
 from repro.faults.watchdog import (
     NumericWatchdog,
     SimulationBudgetExceeded,
     SimulationDiverged,
 )
-from repro.pdn.discrete import PdnSimulator
+from repro.pdn.discrete import PdnSimulator, zoh_recurrence
 from repro.telemetry import NULL_TELEMETRY
 
 #: Millivolt-resolution buckets for the per-cycle voltage histogram
@@ -153,8 +158,16 @@ class ClosedLoopSimulation:
 
     #: Set True (per instance, or on the class for a whole test run) to
     #: refuse the open-loop fast path even when eligible; the parity
-    #: suite and benchmarks use it to compare the two paths.
+    #: suite and benchmarks use it to compare the two paths.  Also
+    #: disables the speculative chunked path for actuated runs.
     force_lockstep = False
+
+    #: Set False (per instance or class) to refuse the speculative
+    #: chunked path for actuated runs while leaving the uncontrolled
+    #: fast path alone; ``sweep/serve --no-speculate`` set the
+    #: ``REPRO_NO_SPECULATE`` environment variable to the same effect
+    #: (the env var propagates to pool workers).
+    speculate = True
 
     def __init__(self, machine, power_model, pdn, controller=None,
                  nominal=NOMINAL_VOLTAGE, record_traces=False,
@@ -292,6 +305,38 @@ class ClosedLoopSimulation:
                 self._trace is None and self._profile is None and
                 self.pdn_sim.watchdog is None)
 
+    @property
+    def speculation_eligible(self):
+        """Whether :meth:`run` may use speculative chunked execution.
+
+        The speculative path (see :meth:`_run_speculative`) applies to
+        *actuated* runs driven by the plain threshold controller stack:
+        a :class:`~repro.control.controller.ThresholdController` over a
+        :class:`~repro.control.sensor.ThresholdSensor` and an ideal
+        :class:`~repro.control.actuators.Actuator` (exact types -- any
+        fault injector wrapper falls back to lockstep), optionally with
+        the stock :class:`~repro.control.controller.PlausibilityMonitor`.
+        Like the open-loop fast path it needs no per-cycle observers:
+        no enabled trace recorder or profiler, no PDN-internal
+        watchdog.  ``force_lockstep``, ``speculate = False``, and the
+        ``REPRO_NO_SPECULATE`` environment variable all disable it.
+        """
+        controller = self.controller
+        if (self.force_lockstep or not self.speculate or
+                type(controller) is not ThresholdController):
+            return False
+        if os.environ.get("REPRO_NO_SPECULATE"):
+            return False
+        if type(controller.sensor) is not ThresholdSensor:
+            return False
+        if type(controller.actuator) is not Actuator:
+            return False
+        if (controller.monitor is not None and
+                type(controller.monitor) is not PlausibilityMonitor):
+            return False
+        return (self._trace is None and self._profile is None and
+                self.pdn_sim.watchdog is None)
+
     def run(self, max_cycles=None, max_instructions=None, budget=None):
         """Run to completion or a limit; returns a :class:`LoopResult`.
 
@@ -318,6 +363,8 @@ class ClosedLoopSimulation:
         if self.fast_path_eligible:
             self.telemetry.metrics.counter("loop.fast_path_runs").inc()
             self._run_open_loop(max_cycles, max_instructions, budget)
+        elif self.speculation_eligible:
+            self._run_speculative(max_cycles, max_instructions, budget)
         else:
             while not machine.done:
                 if max_cycles is not None and machine.cycle >= max_cycles:
@@ -502,6 +549,328 @@ class ClosedLoopSimulation:
         # (folding the finite prefix first), same message and cycle.
         self.counter.observe_array(voltages[:good + 1])
         raise AssertionError("counter re-fold must raise")
+
+    def _run_speculative(self, max_cycles, max_instructions, budget):
+        """Speculative chunked execution for actuated runs (same limits).
+
+        While the controller is quiescent (released, sensor NORMAL, no
+        fail-safe) the actuator is a no-op, so the machine evolves
+        exactly as if the controller were not stepped at all.  The
+        engine exploits that: snapshot the machine at the chunk
+        boundary (:class:`~repro.core.snapshot.MachineSnapshot`), run it
+        ahead up to K cycles collecting power-model inputs, fold PDN
+        and delayed/noisy sensor vectorized on *local* state, and scan
+        for the first cycle where anything non-quiet would happen --
+        a sensed voltage outside the sensor's release band, a
+        plausibility-monitor out-of-bounds reading, or a watchdog trip.
+        A clean chunk commits with the existing bit-identical batch
+        folds (energy cumsum, emergency counter, histogram, traces,
+        sensor history, monitor run-lengths) and the PDN/budget side
+        effects the lockstep path would have produced.  A dirty chunk
+        restores the snapshot (plus budget counters and the sensor
+        noise RNG); the prefix before the event is *known* quiet, so
+        the machine bare-steps through it while the already-computed
+        folds commit as slices (no second fold -- determinism makes
+        re-execution reproduce the folded activities exactly), and
+        lockstep execution covers only the actuation window
+        (:meth:`_lockstep_until_quiet`) before speculation resumes.
+        Every committed cycle and every lockstep cycle is
+        byte-identical to a ``force_lockstep`` run, including raised
+        exceptions; the parity suite proves it.
+
+        Telemetry: ``loop.spec_chunks`` counts speculation attempts,
+        ``loop.spec_rollbacks`` the dirty ones, and
+        ``loop.spec_committed_cycles`` the cycles committed without
+        lockstep execution.
+        """
+        # Lazy import: repro.core.__init__ imports this module.
+        from repro.core.snapshot import ChunkPolicy, MachineSnapshot
+
+        machine = self.machine
+        stats = machine.stats
+        controller = self.controller
+        sensor = controller.sensor
+        power_model = self.power_model
+        pdn_sim = self.pdn_sim
+        watchdog = self.watchdog
+        counter = self.counter
+        fields = power_model.batch_fields
+        getter = operator.attrgetter(*fields)
+        step = machine.step
+        cycle_time = machine.config.cycle_time
+        policy = ChunkPolicy()
+        metrics = self.telemetry.metrics
+        m_chunks = metrics.counter("loop.spec_chunks")
+        m_rollbacks = metrics.counter("loop.spec_rollbacks")
+        m_committed = metrics.counter("loop.spec_committed_cycles")
+
+        while not machine.done:
+            if max_cycles is not None and machine.cycle >= max_cycles:
+                return
+            if (max_instructions is not None and
+                    stats.committed >= max_instructions):
+                return
+            if not controller.speculation_quiescent():
+                if budget is not None:
+                    budget.check(machine.cycle)
+                self.step()
+                continue
+
+            k = policy.next_chunk()
+            if max_cycles is not None:
+                k = min(k, max_cycles - machine.cycle)
+            c0 = machine.cycle
+            if budget is not None:
+                checks0 = budget._checks
+                deadline0 = budget._deadline
+            rng_state = (sensor._rng.getstate()
+                         if sensor.error > 0.0 else None)
+            snap = MachineSnapshot(machine)
+
+            # Collect: mirror the lockstep loop's per-cycle conditions.
+            # With no budget attached, pure-stall stretches are batched:
+            # one real step yields the canonical activity row and
+            # Machine.advance_stall covers the provably-identical rest;
+            # the row is stored once with a repeat count instead of
+            # being replicated.  (A budget keeps the per-cycle check
+            # cadence, so it steps every cycle.)
+            rows = []
+            counts = []
+            append = rows.append
+            count_append = counts.append
+            n = 0
+            budget_exc = None
+            stall_window = machine.stall_window
+            advance_stall = machine.advance_stall
+            try:
+                while n < k and not machine.done:
+                    if (max_instructions is not None and
+                            stats.committed >= max_instructions):
+                        break
+                    if budget is not None:
+                        try:
+                            budget.check(machine.cycle)
+                        except SimulationBudgetExceeded as exc:
+                            budget_exc = exc
+                            break
+                        append(getter(step()))
+                        count_append(1)
+                        n += 1
+                        continue
+                    w = stall_window()
+                    append(getter(step()))
+                    count_append(1)
+                    n += 1
+                    if w > 1:
+                        j = min(w - 1, k - n)
+                        if j > 0:
+                            advance_stall(j)
+                            counts[-1] += j
+                            n += j
+            except BaseException:
+                snap.discard()
+                raise
+            if n == 0:
+                snap.discard()
+                if budget_exc is not None:
+                    raise budget_exc
+                continue
+            m_chunks.inc()
+
+            # Batch: activity -> watts -> amperes -> volts, on local
+            # PDN state (committed only if the chunk is clean).
+            # fromiter over the flattened tuples converts each value
+            # with float() exactly like asarray would, several times
+            # faster on a list of tuples.  The power model runs on the
+            # distinct rows only: equal activity rows see the identical
+            # IEEE operations, so np.repeat expanding the per-row watts
+            # to per-cycle watts is bit-identical to evaluating every
+            # cycle (which is what the scalar path does).
+            u = len(rows)
+            arr = np.fromiter(
+                itertools.chain.from_iterable(rows), dtype=float,
+                count=u * len(fields)).reshape(u, len(fields))
+            cols = {name: arr[:, i] for i, name in enumerate(fields)}
+            powers = power_model.power_batch(cols)
+            if u != n:
+                powers = np.repeat(powers, counts)
+            currents = powers / self.nominal
+            coeffs = (pdn_sim._a00, pdn_sim._a01, pdn_sim._a10,
+                      pdn_sim._a11, pdn_sim._b0, pdn_sim._b1,
+                      pdn_sim._e0, pdn_sim._e1)
+            out, x0, x1 = zoh_recurrence(
+                coeffs, pdn_sim._x0, pdn_sim._x1, currents.tolist())
+            voltages = np.asarray(out)
+
+            # Scan for the first non-quiet cycle.  The lockstep path
+            # checks the watchdog before the counter and the counter
+            # before the controller within a cycle, so taking the min
+            # over candidates preserves its ordering.  A non-finite
+            # voltage needs its own scan: without a watchdog, lockstep
+            # sees it through the emergency counter at the cycle it
+            # appears -- not ``delay`` cycles later through the sensor
+            # band check -- so the known-quiet prefix must end just
+            # before it and the lockstep re-execution raise the
+            # counter's ValueError there.  (With a watchdog the two
+            # scans flag the same cycle; the min keeps either.)
+            event = None
+            if watchdog is not None:
+                trip = watchdog.first_violation(voltages)
+                if trip is not None:
+                    event = trip
+            finite = np.isfinite(voltages)
+            if not finite.all():
+                bad = int(np.argmax(~finite))
+                if event is None or bad < event:
+                    event = bad
+            # Sensor fold (PR 8): observed_k is the delayed sample plus
+            # the same sequential RNG draws the scalar sensor makes.
+            history = list(sensor._history)
+            p = len(history)
+            full = (np.concatenate((np.asarray(history, dtype=float),
+                                    voltages)) if p else voltages)
+            idx = np.arange(p, p + n) - sensor.delay
+            np.maximum(idx, 0, out=idx)
+            observed = full[idx]
+            if rng_state is not None:
+                uniform = sensor._rng.uniform
+                e = sensor.error
+                observed = observed + np.array(
+                    [uniform(-e, e) for _ in range(n)])
+            quiet_upto = controller.quiet_prefix(observed)
+            if quiet_upto < n and (event is None or quiet_upto < event):
+                event = quiet_upto
+
+            if event is not None:
+                # Dirty chunk: wind the machine back, bare-step it
+                # through the known-quiet prefix [0, event), and commit
+                # the prefix from the folds already computed -- the
+                # machine is deterministic, so re-execution reproduces
+                # the folded activities exactly and no second fold is
+                # needed.  Lockstep then covers only the actuation
+                # window.  (The collect loop's budget verdict is
+                # dropped with the restored counters: the re-applied
+                # per-cycle checks re-create it on the lockstep side
+                # exactly where a force_lockstep run would raise.)
+                snap.restore()
+                if budget is not None:
+                    budget._checks = checks0
+                    budget._deadline = deadline0
+                if rng_state is not None:
+                    sensor._rng.setstate(rng_state)
+                m_rollbacks.inc()
+                policy.rolled_back()
+                done_steps = 0
+                budget_exc = None
+                while done_steps < event and not machine.done:
+                    if (max_instructions is not None and
+                            stats.committed >= max_instructions):
+                        break
+                    if budget is not None:
+                        try:
+                            budget.check(machine.cycle)
+                        except SimulationBudgetExceeded as exc:
+                            budget_exc = exc
+                            break
+                        step()
+                        done_steps += 1
+                        continue
+                    w = machine.stall_window()
+                    step()
+                    done_steps += 1
+                    if w > 1:
+                        j = min(w - 1, event - done_steps)
+                        if j > 0:
+                            machine.advance_stall(j)
+                            done_steps += j
+                if done_steps:
+                    d = done_steps
+                    # PDN state at the prefix boundary: re-fold just
+                    # the slice (the same scalar recurrence over the
+                    # same inputs, so bit-identical to the full fold's
+                    # prefix).
+                    _, x0, x1 = zoh_recurrence(
+                        coeffs, pdn_sim._x0, pdn_sim._x1,
+                        currents[:d].tolist())
+                    pdn_sim._x0 = x0
+                    pdn_sim._x1 = x1
+                    pdn_sim.cycles += d
+                    v_d = voltages[:d]
+                    self._energy = float(np.cumsum(np.concatenate(
+                        ([self._energy], powers[:d] * cycle_time)))[-1])
+                    counter.observe_array(v_d)
+                    if watchdog is not None:
+                        watchdog.check_array(c0 + 1, v_d)
+                    if self._m_voltage is not None:
+                        self._m_voltage.observe_array(v_d)
+                    if self.record_traces:
+                        self._voltages.extend(v_d)
+                        self._currents.extend(currents[:d])
+                    if rng_state is not None:
+                        # Lockstep draws sensor noise once per cycle;
+                        # advance the restored RNG identically.
+                        uniform = sensor._rng.uniform
+                        e = sensor.error
+                        for _ in range(d):
+                            uniform(-e, e)
+                    controller.commit_quiet_chunk(out[:d])
+                    m_committed.inc(d)
+                if budget_exc is not None:
+                    raise budget_exc
+                if done_steps == event:
+                    self._lockstep_until_quiet(1, max_cycles,
+                                               max_instructions, budget)
+                continue
+
+            # Clean chunk: commit with the batch folds.
+            snap.discard()
+            pdn_sim._x0 = x0
+            pdn_sim._x1 = x1
+            pdn_sim.cycles += n
+            self._energy = float(np.cumsum(np.concatenate(
+                ([self._energy], powers * cycle_time)))[-1])
+            counter.observe_array(voltages)
+            if watchdog is not None:
+                watchdog.check_array(c0 + 1, voltages)
+            if self._m_voltage is not None:
+                self._m_voltage.observe_array(voltages)
+            if self.record_traces:
+                self._voltages.extend(voltages)
+                self._currents.extend(currents)
+            # Python floats (the ZOH kernel's native output), so the
+            # sensor history matches lockstep's element types exactly.
+            controller.commit_quiet_chunk(out)
+            m_committed.inc(n)
+            policy.committed()
+            if budget_exc is not None:
+                raise budget_exc
+
+    def _lockstep_until_quiet(self, min_cycles, max_cycles,
+                              max_instructions, budget):
+        """Lockstep until the controller is quiescent again.
+
+        Args:
+            min_cycles: forced lockstep advance before quiescence is
+                even tested -- at least the rolled-back event cycle
+                itself, so a chunk that rolls back always makes
+                progress instead of re-speculating into the same event.
+        """
+        machine = self.machine
+        stats = machine.stats
+        controller = self.controller
+        target = machine.cycle + min_cycles
+        while not machine.done:
+            if max_cycles is not None and machine.cycle >= max_cycles:
+                return
+            if (max_instructions is not None and
+                    stats.committed >= max_instructions):
+                return
+            if (machine.cycle >= target and
+                    controller.speculation_quiescent()):
+                return
+            if budget is not None:
+                budget.check(machine.cycle)
+            self.step()
 
 
 def run_workload(stream, pdn, config=None, power_params=None,

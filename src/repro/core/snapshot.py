@@ -1,0 +1,318 @@
+"""Cheap machine-state snapshots for speculative chunked execution.
+
+The speculative engine in :mod:`repro.control.loop` runs the machine
+ahead K cycles assuming the controller stays released, then either
+commits the chunk (vectorized folds) or rolls the machine back to the
+chunk boundary and re-executes it lockstep.  Rollback needs a snapshot
+of every piece of mutable machine state -- and it needs one *per
+chunk*, so the :class:`~repro.core.checkpoint.WarmupCache` pickle
+clone (~tens of milliseconds) is far too slow.  :class:`MachineSnapshot`
+is the slot-aware alternative: it copies exactly the fields the
+pipeline mutates (RUU/LSQ deques, FU pool cool-downs, stats counters)
+with plain list/dict copies and an identity-memo deep copy of the
+in-flight :class:`~repro.uarch.window.RuuEntry` graph.  The *large*
+structures -- cache sets, predictor tables, the BTB -- are not copied
+at all: taking a snapshot installs first-touch undo journals (the
+``_log`` hooks in :mod:`repro.uarch.cache` and :mod:`repro.uarch.
+branch`) that record the pre-mutation value of each set or counter the
+chunk actually touches, and restore replays them.  A chunk touches a
+handful of L2 sets; the L2 has 8192.  ``bench_perf_simulator.py``
+tracks the snapshot against the pickle clone side by side
+(``machine_snapshot_swim`` vs ``machine_pickle_clone_swim``); the
+slot-aware copy is orders of magnitude cheaper.
+
+Two subtleties make restore exact rather than merely close:
+
+* **The instruction stream cannot be rewound.**  Taking a snapshot
+  installs a journal (``machine._stream_log``) that records every
+  instruction pulled from the underlying stream after the boundary;
+  restore rebuilds ``machine._replay`` as the saved replay list plus
+  the journal, so the post-restore machine sees the exact same
+  instruction sequence the pre-snapshot machine would have.  (Even
+  ``machine.done`` can pull from the stream via ``_peek_inst``, which
+  is why the hook lives there.)
+* **RuuEntry aliasing.**  Every auxiliary structure (``_producer``,
+  ``_ready``, ``_executing``, ``_store_waiters``, ``_dl1_parked``, the
+  LSQ) references entries of ``_ruu``, and entries reference each
+  other through ``waiters``.  The copy memoizes by ``id`` over
+  ``_ruu`` and rewires every reference through the memo, preserving
+  the aliasing graph exactly.
+
+Immutable objects (``DynamicInst``, ``Prediction``, the ``(inst,
+prediction)`` fetch tuples, BTB ``(tag, target)`` tuples) are shared,
+never copied.
+"""
+
+from collections import deque
+
+from repro.uarch.window import ST_DONE, RuuEntry
+
+#: The integer counters :class:`~repro.uarch.stats.MachineStats` carries.
+_STATS_FIELDS = ("cycles", "committed", "fetched", "mispredictions",
+                 "flushes", "total_issued", "gated_fu_cycles",
+                 "gated_dl1_cycles", "gated_il1_cycles",
+                 "phantom_fu_cycles")
+
+# _copy_entries unrolls the slot assignments for speed; fail loudly at
+# import time if RuuEntry grows a slot the unrolled copy doesn't know.
+_RUU_SLOTS = ("inst", "state", "deps", "waiters", "remaining",
+              "prediction", "mispredicted", "seq", "iclass",
+              "granule", "is_store")
+if _RUU_SLOTS != tuple(RuuEntry.__slots__):
+    raise AssertionError("RuuEntry slots changed; update _copy_entries")
+
+
+def _copy_entries(entries):
+    """Identity-memo deep copy of an iterable of RuuEntries.
+
+    Returns ``(copies, memo)`` where ``memo`` maps ``id(original) ->
+    copy`` so callers can rewire auxiliary references.  ``waiters``
+    lists are rewired through the memo (every waiter of an in-flight
+    entry is itself in flight, hence in ``_ruu``).
+
+    ``ST_DONE`` entries are *shared*, not copied: once done, an entry's
+    slots never mutate again (commit only pops it from structures, and
+    its ``waiters`` list was emptied when it completed), so the
+    original doubles as its own snapshot.  In memory-bound phases most
+    of a full RUU is done work waiting behind a long-latency load, so
+    this cuts the copy cost several-fold.
+    """
+    memo = {}
+    copies = []
+    new = RuuEntry.__new__
+    for entry in entries:
+        if entry.state == ST_DONE:
+            memo[id(entry)] = entry
+            copies.append(entry)
+            continue
+        # Unrolled slot assignments: this runs once per in-flight
+        # instruction per snapshot, and a full 256-entry RUU makes the
+        # generic getattr/setattr loop the single hottest snapshot cost.
+        clone = new(RuuEntry)
+        clone.inst = entry.inst
+        clone.state = entry.state
+        clone.deps = entry.deps
+        clone.waiters = entry.waiters
+        clone.remaining = entry.remaining
+        clone.prediction = entry.prediction
+        clone.mispredicted = entry.mispredicted
+        clone.seq = entry.seq
+        clone.iclass = entry.iclass
+        clone.granule = entry.granule
+        clone.is_store = entry.is_store
+        memo[id(entry)] = clone
+        copies.append(clone)
+    for clone in copies:
+        # Shared done entries keep their (empty, settled) waiters list;
+        # every clone needs a private one -- the live entry's list can
+        # grow while the chunk runs (dispatch appends consumers).
+        if clone.state != ST_DONE:
+            clone.waiters = [memo[id(w)] for w in clone.waiters]
+    return copies, memo
+
+
+class MachineSnapshot:
+    """A restore-once snapshot of a :class:`~repro.uarch.core.Machine`.
+
+    Args:
+        machine: the machine to snapshot.  Until :meth:`restore` or
+            :meth:`discard` is called, the machine journals stream
+            pulls (see module docstring); nesting snapshots on one
+            machine is an error.
+        pdn_sim: optionally, a :class:`~repro.pdn.discrete.
+            PdnSimulator` whose two-tap state is saved/restored
+            alongside (the speculative loop folds the PDN on local
+            state instead, so it passes ``None``).
+
+    Use exactly one of :meth:`restore` (wind the machine back to the
+    boundary) or :meth:`discard` (commit: drop the snapshot and stop
+    journaling).
+    """
+
+    def __init__(self, machine, pdn_sim=None):
+        if machine._stream_log is not None:
+            raise RuntimeError("machine already has an active snapshot")
+        self._machine = machine
+        self._spent = False
+
+        self.cycle = machine.cycle
+        self.fetch_stall_until = machine._fetch_stall_until
+        self.last_fetch_line = machine._last_fetch_line
+        self.next_inst = machine._next_inst
+        self.stream_done = machine._stream_done
+        self.replay = list(machine._replay)
+        self.fetch_queue = list(machine._fetch_queue)
+
+        ruu, memo = _copy_entries(machine._ruu)
+        self.ruu = ruu
+        self.lsq_entries = [memo[id(e)] for e in machine._lsq.entries]
+        self.producer = {reg: memo[id(e)]
+                         for reg, e in machine._producer.items()}
+        self.ready = [(seq, memo[id(e)]) for seq, e in machine._ready]
+        self.executing = [memo[id(e)] for e in machine._executing]
+        self.store_waiters = {
+            memo[id(store)]: [memo[id(w)] for w in waiters]
+            for store, waiters in machine._store_waiters.items()}
+        self.dl1_parked = [memo[id(e)] for e in machine._dl1_parked]
+
+        stats = machine.stats
+        self.stats = tuple(getattr(stats, f) for f in _STATS_FIELDS)
+
+        h = machine.hierarchy
+        self.cache_counts = tuple((c.accesses, c.misses)
+                                  for c in (h.l1d, h.l1i, h.l2))
+        self.memory_accesses = h.memory_accesses
+
+        p = machine.predictor
+        self.gshare_history = p.gshare.history
+        self.ras = list(p.ras.stack)
+        self.lookups = p.lookups
+        self.predictor_mispredictions = p.mispredictions
+
+        # First-touch undo journals for the big structures (module
+        # docstring): ways-list journals replay into ``host.sets``,
+        # counter journals into ``host.table``.
+        self._set_journals = ((h.l1d, {}), (h.l1i, {}), (h.l2, {}),
+                              (p.btb, {}))
+        self._table_journals = ((p.bimodal, {}), (p.gshare, {}),
+                                (p.chooser, {}))
+        for host, log in self._set_journals + self._table_journals:
+            host._log = log
+
+        self.pools = tuple(
+            (list(pool.cooldown), pool.issued_this_cycle, pool.busy)
+            for pool in machine.fus._pool_list)
+        self.fu_gated = machine.fus.gated
+        self.fu_phantom = machine.fus.phantom
+        self.dl1_state = (machine.dl1.gated, machine.dl1.phantom)
+        self.il1_state = (machine.il1.gated, machine.il1.phantom)
+        self.activity = machine.activity.snapshot()
+
+        self.pdn_sim = pdn_sim
+        if pdn_sim is not None:
+            self.pdn_state = (pdn_sim._x0, pdn_sim._x1, pdn_sim.cycles)
+
+        self.stream_log = []
+        machine._stream_log = self.stream_log
+
+    def restore(self):
+        """Wind the machine back to the snapshot boundary.
+
+        The snapshot's copies become the machine's live state, so a
+        snapshot restores exactly once; restore again and the two
+        would alias.
+        """
+        if self._spent:
+            raise RuntimeError("snapshot already restored or discarded")
+        self._spent = True
+        machine = self._machine
+        machine._stream_log = None
+
+        machine.cycle = self.cycle
+        machine._fetch_stall_until = self.fetch_stall_until
+        machine._last_fetch_line = self.last_fetch_line
+        machine._next_inst = self.next_inst
+        machine._stream_done = self.stream_done
+        # Everything pulled from the stream after the boundary replays
+        # ahead of whatever the stream yields next.
+        machine._replay = self.replay + self.stream_log
+        machine._fetch_queue = deque(self.fetch_queue)
+
+        machine._ruu = deque(self.ruu)
+        machine._lsq.entries = deque(self.lsq_entries)
+        machine._producer = self.producer
+        machine._ready = self.ready
+        machine._executing = self.executing
+        machine._store_waiters = self.store_waiters
+        machine._dl1_parked = self.dl1_parked
+
+        stats = machine.stats
+        for field, value in zip(_STATS_FIELDS, self.stats):
+            setattr(stats, field, value)
+
+        h = machine.hierarchy
+        for cache, (accesses, misses) in zip(
+                (h.l1d, h.l1i, h.l2), self.cache_counts):
+            cache.accesses = accesses
+            cache.misses = misses
+        h.memory_accesses = self.memory_accesses
+
+        for host, log in self._set_journals:
+            sets = host.sets
+            for index, ways in log.items():
+                sets[index] = ways
+            host._log = None
+        for host, log in self._table_journals:
+            table = host.table
+            for index, counter in log.items():
+                table[index] = counter
+            host._log = None
+
+        p = machine.predictor
+        p.gshare.history = self.gshare_history
+        p.ras.stack = self.ras
+        p.lookups = self.lookups
+        p.mispredictions = self.predictor_mispredictions
+
+        # Pool objects are aliased by FuComplex._pool_list; restore in
+        # place rather than replacing the dict.
+        for pool, (cooldown, issued, busy) in zip(
+                machine.fus._pool_list, self.pools):
+            pool.cooldown = cooldown
+            pool.issued_this_cycle = issued
+            pool.busy = busy
+        machine.fus.gated = self.fu_gated
+        machine.fus.phantom = self.fu_phantom
+        machine.dl1.gated, machine.dl1.phantom = self.dl1_state
+        machine.il1.gated, machine.il1.phantom = self.il1_state
+        for name, value in self.activity.items():
+            setattr(machine.activity, name, value)
+
+        if self.pdn_sim is not None:
+            (self.pdn_sim._x0, self.pdn_sim._x1,
+             self.pdn_sim.cycles) = self.pdn_state
+
+    def discard(self):
+        """Commit: drop the snapshot and stop journaling stream pulls."""
+        if self._spent:
+            raise RuntimeError("snapshot already restored or discarded")
+        self._spent = True
+        self._machine._stream_log = None
+        for host, _ in self._set_journals + self._table_journals:
+            host._log = None
+
+
+class ChunkPolicy:
+    """Adaptive speculation chunk sizing.
+
+    Chunks shrink near actuation (a rollback quarters the size, floored
+    at ``minimum``) and regrow through quiet regions (each committed
+    chunk doubles it, capped at ``maximum``).  The defaults deliberately
+    keep the band tight around 384 cycles: with pure-stall stretches
+    batched (:meth:`~repro.uarch.core.Machine.stall_window`), the cycles
+    a rollback throws away are mostly near-free stall replays, so the
+    classic "shrink hard, regrow slowly" tuning no longer pays -- per-
+    chunk fixed costs (snapshot, fold set-up) dominate below ~200 cycles
+    and thrown-away *busy* cycles dominate above ~500, both measured on
+    the memory-bound bench cell.  Wider bands remain available for
+    unusual workloads via the constructor.
+    """
+
+    def __init__(self, initial=384, minimum=192, maximum=384):
+        if not minimum <= initial <= maximum:
+            raise ValueError("need minimum <= initial <= maximum")
+        self.minimum = int(minimum)
+        self.maximum = int(maximum)
+        self._size = int(initial)
+
+    def next_chunk(self):
+        """How many cycles the next speculation chunk should cover."""
+        return self._size
+
+    def committed(self):
+        """Feedback: the last chunk committed clean."""
+        self._size = min(self._size * 2, self.maximum)
+
+    def rolled_back(self):
+        """Feedback: the last chunk hit an event and rolled back."""
+        self._size = max(self._size // 4, self.minimum)

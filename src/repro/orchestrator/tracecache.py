@@ -43,6 +43,12 @@ from repro.orchestrator.cache import default_cache_root, default_salt
 #: Bump when the captured-trace payload changes shape.
 CAPTURE_SCHEMA = 1
 
+#: Anything a present-but-untrustworthy entry can raise while being
+#: parsed and validated (BadZipFile/EOFError: a truncated or torn
+#: ``.npz`` fails in the zip layer before numpy ever sees the arrays).
+_ENTRY_ERRORS = (OSError, ValueError, KeyError, TypeError, EOFError,
+                 zipfile.BadZipFile)
+
 
 class CapturedTrace:
     """One workload's captured open-loop machine trajectory.
@@ -146,38 +152,46 @@ class CurrentTraceCache:
             return None
         try:
             with fh:
-                with np.load(fh, allow_pickle=False) as entry:
-                    header = json.loads(str(entry["meta"][()]))
-                    powers = entry["powers"]
-                    committed = entry["committed"]
-            if header.get("schema") != CAPTURE_SCHEMA:
-                raise ValueError("schema mismatch")
-            if header.get("salt") != self.salt:
-                raise ValueError("salt mismatch")
-            if header.get("key") != key:
-                raise ValueError("key mismatch")
-            if header.get("capture") != meta:
-                raise ValueError("capture meta mismatch")
-            scalars = header["scalars"]
-            if powers.dtype != np.float64 or committed.dtype != np.float64:
-                raise ValueError("bad array dtype")
-            trace = CapturedTrace(powers, committed,
-                                  c0=scalars["c0"],
-                                  cycles0=scalars["cycles0"],
-                                  committed0=scalars["committed0"],
-                                  cycle_time=scalars["cycle_time"])
-            if trace.n != scalars["n"]:
-                raise ValueError("array length mismatch")
-            if header.get("checksum") != trace.checksum():
-                raise ValueError("payload checksum mismatch")
-        except (OSError, ValueError, KeyError, TypeError, EOFError,
-                zipfile.BadZipFile):
-            # BadZipFile/EOFError: a truncated or torn .npz fails in
-            # the zip layer before numpy ever sees the arrays.
+                trace = self._parse_entry(fh, key, meta)
+        except _ENTRY_ERRORS:
             self.misses += 1
             self.integrity_misses += 1
             return None
         self.hits += 1
+        return trace
+
+    def _parse_entry(self, fh, key, meta=None):
+        """Parse one open entry, validating everything :meth:`get` does.
+
+        Raises one of ``_ENTRY_ERRORS`` on any defect.  ``meta=None``
+        skips the capture-metadata equality check (the maintenance
+        scan has no spec to compare against; the stored key, salt,
+        shapes, and payload checksum are still enforced).
+        """
+        with np.load(fh, allow_pickle=False) as entry:
+            header = json.loads(str(entry["meta"][()]))
+            powers = entry["powers"]
+            committed = entry["committed"]
+        if header.get("schema") != CAPTURE_SCHEMA:
+            raise ValueError("schema mismatch")
+        if header.get("salt") != self.salt:
+            raise ValueError("salt mismatch")
+        if header.get("key") != key:
+            raise ValueError("key mismatch")
+        if meta is not None and header.get("capture") != meta:
+            raise ValueError("capture meta mismatch")
+        scalars = header["scalars"]
+        if powers.dtype != np.float64 or committed.dtype != np.float64:
+            raise ValueError("bad array dtype")
+        trace = CapturedTrace(powers, committed,
+                              c0=scalars["c0"],
+                              cycles0=scalars["cycles0"],
+                              committed0=scalars["committed0"],
+                              cycle_time=scalars["cycle_time"])
+        if trace.n != scalars["n"]:
+            raise ValueError("array length mismatch")
+        if header.get("checksum") != trace.checksum():
+            raise ValueError("payload checksum mismatch")
         return trace
 
     def put(self, key, meta, trace):
@@ -210,6 +224,66 @@ class CurrentTraceCache:
                 pass
             raise
         return path
+
+    def stats(self, verify=True):
+        """Scan the captures tree and summarize what is on disk.
+
+        Mirrors :meth:`~repro.orchestrator.cache.ResultCache.stats`
+        so ``repro-didt cache stats --captures`` reports the same
+        shape of dict.
+
+        Args:
+            verify: also parse every entry and check its stored key,
+                salt, array shapes, and payload checksum, counting
+                entries that would degrade to an integrity miss on
+                read.
+
+        Returns:
+            A JSON-safe dict: ``root``, ``salt``, ``enabled``,
+            ``entries``, ``bytes``, ``invalid_entries`` (``0`` when
+            ``verify`` is off), and ``orphan_tmp`` (temp files
+            abandoned by a killed writer, reclaimable via
+            :meth:`sweep_orphans`).
+        """
+        info = {"root": self.root, "salt": self.salt,
+                "enabled": self.enabled, "entries": 0, "bytes": 0,
+                "invalid_entries": 0, "orphan_tmp": 0}
+        base = os.path.join(self.root, self.salt, "captures")
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                path = os.path.join(dirpath, name)
+                if name.endswith(".tmp"):
+                    info["orphan_tmp"] += 1
+                    continue
+                if not name.endswith(".npz"):
+                    continue
+                info["entries"] += 1
+                try:
+                    info["bytes"] += os.path.getsize(path)
+                except OSError:
+                    pass
+                if not verify:
+                    continue
+                try:
+                    with open(path, "rb") as fh:
+                        self._parse_entry(fh, name[:-len(".npz")])
+                except _ENTRY_ERRORS:
+                    info["invalid_entries"] += 1
+        return info
+
+    def clear(self):
+        """Drop every capture under this cache's salt; returns a count."""
+        removed = 0
+        base = os.path.join(self.root, self.salt, "captures")
+        for dirpath, _dirnames, filenames in os.walk(base):
+            for name in filenames:
+                if name.endswith(".npz"):
+                    try:
+                        os.unlink(os.path.join(dirpath, name))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed
 
     def sweep_orphans(self, max_age_seconds=3600.0):
         """Reclaim ``*.tmp`` files abandoned by a killed writer.

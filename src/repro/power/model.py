@@ -69,6 +69,27 @@ class PowerModel:
         self._n_mem_ports = config.n_mem_ports
         self._decode_width = config.decode_width
         self._issue_width = config.issue_width
+        # Column vectors for :meth:`power_batch`'s matrix form.  Each
+        # (rows, 1) vector broadcasts over a (rows, n_cycles) stack so a
+        # single vector operation covers every structure of one shape;
+        # the arithmetic applied to each element is unchanged.
+        (w_l1d, w_l1i, w_bp, w_dec, w_ruu, w_lsq, w_rf, w_l2, w_mc,
+         w_rb) = self._w_misc
+        self._batch_fu_w = np.array(self._w_fu, dtype=float).reshape(4, 1)
+        self._batch_fu_div = np.array(self._n_fu, dtype=float).reshape(4, 1)
+        self._batch_fu_e = np.array(self._e_fu, dtype=float).reshape(4, 1)
+        # min(1, x/d) structures, in the scalar accumulation order:
+        # l1d, bpred, decode, ruu, lsq, regfile, resultbus.
+        self._batch_misc_div = np.array(
+            [config.n_mem_ports, 2.0, config.decode_width,
+             self._ruu_denom, config.n_mem_ports, self._ruu_denom,
+             config.issue_width], dtype=float).reshape(7, 1)
+        self._batch_misc_w = np.array(
+            [w_l1d, w_bp, w_dec, w_ruu, w_lsq, w_rf, w_rb],
+            dtype=float).reshape(7, 1)
+        # (x != 0) structures: l1i, l2, memctl.
+        self._batch_bool_w = np.array(
+            [w_l1i, w_l2, w_mc], dtype=float).reshape(3, 1)
 
     # ------------------------------------------------------------------
     # Per-cycle conversion
@@ -264,31 +285,37 @@ class PowerModel:
         """
         idle = self._idle
         gatedf = self._gatedf
-        total = np.full(len(cols["writebacks"]), self._base)
+        n = len(cols["writebacks"])
+        total = np.full(n, self._base)
+
+        # Matrix form: structures sharing a fraction shape are stacked
+        # into a (rows, n) block so one vector operation covers all of
+        # them.  Every element still sees the identical sequence of
+        # IEEE operations the scalar path applies (divide, min, select,
+        # multiply), and the per-structure terms are then accumulated
+        # one row at a time in the scalar path's order, so the totals
+        # remain bit-identical.
 
         # FU group: compute the ungated continuation, then select
         # against the phantom/gated branches per element.
-        w_ia, w_im, w_fa, w_fm = self._w_fu
-        n_ia, n_im, n_fa, n_fm = self._n_fu
+        fu_num = np.empty((4, n))
         if self._spread:
-            f = cols["busy_int_alu"] / n_ia
-            t = total + w_ia * np.where(f > idle, f, idle)
-            f = cols["busy_int_mult"] / n_im
-            t = t + w_im * np.where(f > idle, f, idle)
-            f = cols["busy_fp_alu"] / n_fa
-            t = t + w_fa * np.where(f > idle, f, idle)
-            f = cols["busy_fp_mult"] / n_fm
-            t = t + w_fm * np.where(f > idle, f, idle)
+            fu_num[0] = cols["busy_int_alu"]
+            fu_num[1] = cols["busy_int_mult"]
+            fu_num[2] = cols["busy_fp_alu"]
+            fu_num[3] = cols["busy_fp_mult"]
+            f = fu_num / self._batch_fu_div
         else:
-            e_ia, e_im, e_fa, e_fm = self._e_fu
-            f = cols["issued_int_alu"] * e_ia / n_ia
-            t = total + w_ia * np.where(f > idle, f, idle)
-            f = cols["issued_int_mult"] * e_im / n_im
-            t = t + w_im * np.where(f > idle, f, idle)
-            f = cols["issued_fp_alu"] * e_fa / n_fa
-            t = t + w_fa * np.where(f > idle, f, idle)
-            f = cols["issued_fp_mult"] * e_fm / n_fm
-            t = t + w_fm * np.where(f > idle, f, idle)
+            fu_num[0] = cols["issued_int_alu"]
+            fu_num[1] = cols["issued_int_mult"]
+            fu_num[2] = cols["issued_fp_alu"]
+            fu_num[3] = cols["issued_fp_mult"]
+            f = fu_num * self._batch_fu_e / self._batch_fu_div
+        fu_terms = self._batch_fu_w * np.where(f > idle, f, idle)
+        t = total + fu_terms[0]
+        t = t + fu_terms[1]
+        t = t + fu_terms[2]
+        t = t + fu_terms[3]
         fu_p = cols["fu_phantom"] != 0.0
         fu_g = cols["fu_gated"] != 0.0
         if fu_p.any() or fu_g.any():
@@ -298,13 +325,33 @@ class PowerModel:
         else:
             total = t
 
-        (w_l1d, w_l1i, w_bp, w_dec, w_ruu, w_lsq, w_rf, w_l2, w_mc,
-         w_rb) = self._w_misc
-        mem_ports = self._n_mem_ports
+        # min(1, x/d) structures: l1d, bpred, decode, ruu, lsq,
+        # regfile, resultbus (rows in scalar accumulation order).
+        mnum = np.empty((7, n))
+        mnum[0] = cols["l1d_accesses"]
+        mnum[1] = cols["bpred_lookups"]
+        mnum[2] = cols["decoded"]
+        mnum[3] = (cols["dispatched"] + cols["issued_total"]
+                   + cols["writebacks"])
+        mnum[4] = cols["issued_mem_port"]
+        mnum[5] = cols["regfile_reads"] + cols["regfile_writes"]
+        mnum[6] = cols["writebacks"]
+        f = np.minimum(1.0, mnum / self._batch_misc_div)
+        mterms = self._batch_misc_w * np.where(f > idle, f, idle)
+
+        # (x != 0) structures: l1i, l2, memctl.
+        bnum = np.empty((3, n))
+        bnum[0] = cols["l1i_accesses"]
+        bnum[1] = cols["l2_accesses"]
+        bnum[2] = cols["memory_accesses"]
+        f = np.where(bnum != 0.0, 1.0, 0.0)
+        bterms = self._batch_bool_w * np.where(f > idle, f, idle)
+
+        w_l1d = self._w_misc[0]
+        w_l1i = self._w_misc[1]
 
         # Caches under actuator control.
-        f = np.minimum(1.0, cols["l1d_accesses"] / mem_ports)
-        t = total + w_l1d * np.where(f > idle, f, idle)
+        t = total + mterms[0]
         dl1_p = cols["dl1_phantom"] != 0.0
         dl1_g = cols["dl1_gated"] != 0.0
         if dl1_p.any() or dl1_g.any():
@@ -312,8 +359,7 @@ class PowerModel:
                              np.where(dl1_g, total + w_l1d * gatedf, t))
         else:
             total = t
-        f = np.where(cols["l1i_accesses"] != 0.0, 1.0, 0.0)
-        t = total + w_l1i * np.where(f > idle, f, idle)
+        t = total + bterms[0]
         il1_p = cols["il1_phantom"] != 0.0
         il1_g = cols["il1_gated"] != 0.0
         if il1_p.any() or il1_g.any():
@@ -322,25 +368,15 @@ class PowerModel:
         else:
             total = t
 
-        # Everything else.
-        f = np.minimum(1.0, cols["bpred_lookups"] / 2.0)
-        total = total + w_bp * np.where(f > idle, f, idle)
-        f = np.minimum(1.0, cols["decoded"] / self._decode_width)
-        total = total + w_dec * np.where(f > idle, f, idle)
-        f = np.minimum(1.0, (cols["dispatched"] + cols["issued_total"]
-                             + cols["writebacks"]) / self._ruu_denom)
-        total = total + w_ruu * np.where(f > idle, f, idle)
-        f = np.minimum(1.0, cols["issued_mem_port"] / mem_ports)
-        total = total + w_lsq * np.where(f > idle, f, idle)
-        f = np.minimum(1.0, (cols["regfile_reads"]
-                             + cols["regfile_writes"]) / self._ruu_denom)
-        total = total + w_rf * np.where(f > idle, f, idle)
-        f = np.where(cols["l2_accesses"] != 0.0, 1.0, 0.0)
-        total = total + w_l2 * np.where(f > idle, f, idle)
-        f = np.where(cols["memory_accesses"] != 0.0, 1.0, 0.0)
-        total = total + w_mc * np.where(f > idle, f, idle)
-        f = np.minimum(1.0, cols["writebacks"] / self._issue_width)
-        total = total + w_rb * np.where(f > idle, f, idle)
+        # Everything else, in the scalar path's accumulation order.
+        total = total + mterms[1]  # bpred
+        total = total + mterms[2]  # decode
+        total = total + mterms[3]  # ruu
+        total = total + mterms[4]  # lsq
+        total = total + mterms[5]  # regfile
+        total = total + bterms[1]  # l2
+        total = total + bterms[2]  # memctl
+        total = total + mterms[6]  # resultbus
         return total
 
     def current(self, activity):

@@ -131,6 +131,10 @@ class SweepServer:
         batch_limit: max cells handed to one runner batch.
         timeout_seconds / retries / crash_retries / backoff /
         hang_grace: passed through to every :class:`Runner`.
+        replay: passed through to every :class:`Runner`; ``False``
+            (the ``serve --no-replay`` escape hatch) locksteps every
+            cell instead of replaying captured current traces.
+            Results are byte-identical either way.
         host / port: bind address (port 0 picks an ephemeral port;
             :meth:`start` returns the real one).
         request_timeout: per-connection socket timeout, seconds.
@@ -144,7 +148,7 @@ class SweepServer:
                  retries=1, crash_retries=2, backoff=None, hang_grace=5.0,
                  host="127.0.0.1", port=0, request_timeout=30.0,
                  telemetry=None, compact_when_idle=True,
-                 trace_store=None):
+                 trace_store=None, replay=True):
         self.cache = cache if cache is not None else ResultCache()
         #: Trace store backing suite expansion and trace-job replay
         #: (``None``: built lazily from ``REPRO_TRACE_DIR``).
@@ -163,6 +167,7 @@ class SweepServer:
         self.crash_retries = crash_retries
         self.backoff = backoff
         self.hang_grace = hang_grace
+        self.replay = bool(replay)
         self.host = host
         self.port = int(port)
         self.request_timeout = float(request_timeout)
@@ -402,7 +407,7 @@ class SweepServer:
                         crash_retries=self.crash_retries,
                         backoff=self.backoff, hang_grace=self.hang_grace,
                         journal=self.journal, progress=False,
-                        telemetry=self.telemetry)
+                        telemetry=self.telemetry, replay=self.replay)
         self.count("batches")
         outcomes = runner.run(specs)
         for (job, _spec), outcome in zip(batch, outcomes):

@@ -71,6 +71,34 @@ class CycleActivity:
         self.il1_gated = False
         self.il1_phantom = False
 
+    def reset_counters(self, cycle):
+        """Zero the incremental event counters for a new cycle.
+
+        The per-cycle hot path in :meth:`~repro.uarch.core.Machine.step`
+        uses this instead of :meth:`reset`: the occupancy, busy and
+        gating/phantom fields are unconditionally overwritten by the
+        stage loop every cycle, so only the counters the stages
+        *accumulate into* need zeroing.
+        """
+        self.cycle = cycle
+        self.fetched = 0
+        self.l1i_accesses = 0
+        self.bpred_lookups = 0
+        self.decoded = 0
+        self.dispatched = 0
+        self.issued_int_alu = 0
+        self.issued_int_mult = 0
+        self.issued_fp_alu = 0
+        self.issued_fp_mult = 0
+        self.issued_mem_port = 0
+        self.l1d_accesses = 0
+        self.l2_accesses = 0
+        self.memory_accesses = 0
+        self.writebacks = 0
+        self.committed = 0
+        self.regfile_reads = 0
+        self.regfile_writes = 0
+
     @property
     def issued_total(self):
         """Operations issued across all pools this cycle."""

@@ -17,6 +17,12 @@ def _saturating_update(counter, taken, maximum=3):
 class BimodalTable:
     """PC-indexed table of 2-bit saturating counters."""
 
+    #: First-touch undo journal (``index -> pre-update counter``),
+    #: installed by :class:`~repro.core.snapshot.MachineSnapshot` while
+    #: a speculated chunk runs; cheaper than copying the 16K-entry
+    #: table per chunk.
+    _log = None
+
     def __init__(self, entries):
         if entries <= 0 or entries & (entries - 1):
             raise ValueError("entries must be a positive power of two")
@@ -33,11 +39,18 @@ class BimodalTable:
     def update(self, pc, taken):
         """Train the counter at ``pc`` on the outcome."""
         i = self._index(pc)
+        log = self._log
+        if log is not None and i not in log:
+            log[i] = self.table[i]
         self.table[i] = _saturating_update(self.table[i], taken)
 
 
 class GshareTable:
     """Global-history-xor-PC indexed table of 2-bit counters."""
+
+    #: Same first-touch undo journal as :attr:`BimodalTable._log` (the
+    #: ``history`` scalar is saved by the snapshot itself).
+    _log = None
 
     def __init__(self, entries, history_bits):
         if entries <= 0 or entries & (entries - 1):
@@ -56,12 +69,19 @@ class GshareTable:
 
     def update(self, pc, taken):
         i = self._index(pc)
+        log = self._log
+        if log is not None and i not in log:
+            log[i] = self.table[i]
         self.table[i] = _saturating_update(self.table[i], taken)
         self.history = ((self.history << 1) | int(taken)) & self.history_mask
 
 
 class Btb:
     """Set-associative branch target buffer with LRU replacement."""
+
+    #: First-touch undo journal of whole ways lists, as in
+    #: :attr:`~repro.uarch.cache.Cache._log`.
+    _log = None
 
     def __init__(self, entries, assoc):
         if entries % assoc != 0:
@@ -76,7 +96,11 @@ class Btb:
     def _set_and_tag(self, pc):
         index = (pc >> 2) & (self.n_sets - 1)
         tag = pc >> 2
-        return self.sets[index], tag
+        ways = self.sets[index]
+        log = self._log
+        if log is not None and index not in log:
+            log[index] = list(ways)
+        return ways, tag
 
     def lookup(self, pc):
         """Predicted target for ``pc``, or ``None`` on a BTB miss."""

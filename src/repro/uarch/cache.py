@@ -19,6 +19,14 @@ class Cache:
         accesses, misses: counters.
     """
 
+    #: When a :class:`~repro.core.snapshot.MachineSnapshot` is active,
+    #: a dict journaling the pre-mutation ways list of every set the
+    #: speculated chunk touches (``set_index -> list of tags``); a
+    #: rollback writes the saved lists back.  First-touch journaling is
+    #: orders of magnitude cheaper than copying every set up front --
+    #: a chunk touches a handful of sets, the L2 has thousands.
+    _log = None
+
     def __init__(self, name, size, assoc, line_size, hit_latency):
         if size <= 0 or assoc <= 0 or line_size <= 0:
             raise ValueError("cache dimensions must be positive")
@@ -47,6 +55,9 @@ class Cache:
         set_index = (addr >> self.offset_bits) & self.set_mask
         tag = addr >> self.offset_bits
         ways = self.sets[set_index]
+        log = self._log
+        if log is not None and set_index not in log:
+            log[set_index] = list(ways)
         for i, t in enumerate(ways):
             if t == tag:
                 if i:

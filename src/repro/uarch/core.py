@@ -83,6 +83,13 @@ class Machine:
       cache (gating it stalls fetch).
     """
 
+    #: When a :class:`~repro.core.snapshot.MachineSnapshot` is active,
+    #: a list journaling every instruction pulled from the stream (the
+    #: stream itself cannot be rewound, so restore replays the journal).
+    #: Class-level default keeps machines unpickled from older warm-up
+    #: checkpoints working.
+    _stream_log = None
+
     def __init__(self, config=None, stream=()):
         self.config = config or MachineConfig()
         self.hierarchy = MemoryHierarchy(self.config)
@@ -116,14 +123,17 @@ class Machine:
     @property
     def done(self):
         """True once the stream is drained and the pipeline is empty."""
-        return (self._peek_inst() is None and
-                not self._fetch_queue and not self._ruu)
+        # Checked every cycle by every run loop: test the in-flight
+        # queues first so the stream peek (a function call plus cache
+        # checks) only happens when the pipeline has actually drained.
+        return (not self._ruu and not self._fetch_queue and
+                self._peek_inst() is None)
 
     def step(self):
         """Simulate one clock cycle; returns the cycle's activity record."""
         activity = self.activity
         fus = self.fus
-        activity.reset(self.cycle)
+        activity.reset_counters(self.cycle)
         activity.fu_gated = fus.gated
         activity.fu_phantom = fus.phantom
         dl1 = self.dl1
@@ -152,6 +162,85 @@ class Machine:
         self.stats.record_cycle(activity)
         self.cycle += 1
         return activity
+
+    def stall_window(self):
+        """Upper bound on consecutive pure-stall cycles from here.
+
+        A *pure stall* cycle does no pipeline work: nothing fetches,
+        dispatches, issues, completes, or commits, no unit is gated or
+        phantom-firing, and the only state evolution is countdown
+        timers (in-flight operation latencies, FU cooldowns).  Every
+        such cycle produces a byte-identical activity record, so batch
+        callers (the speculative collect loop) can run :meth:`step`
+        once for the canonical record and cover the rest with
+        :meth:`advance_stall`, replicating the record.
+
+        Returns ``w >= 0``: the next ``w`` calls to :meth:`step` are
+        guaranteed pure stalls with identical activity.  0 means the
+        next cycle may do work and must be stepped normally.
+        """
+        fus = self.fus
+        dl1 = self.dl1
+        il1 = self.il1
+        if (self._ready or self._dl1_parked or fus.gated or fus.phantom
+                or dl1.gated or dl1.phantom or il1.gated or il1.phantom):
+            return 0
+        config = self.config
+        cycle = self.cycle
+        bound = None
+        queue = self._fetch_queue
+        if len(queue) < config.fetch_queue_size:
+            until = self._fetch_stall_until
+            if cycle >= until:
+                return 0  # fetch would pull instructions
+            if until != _STALL_FOREVER:
+                bound = until - cycle
+        ruu = self._ruu
+        if queue and len(ruu) < config.ruu_size:
+            iclass = queue[0][0].op.iclass
+            if not ((iclass is InstrClass.LOAD or
+                     iclass is InstrClass.STORE) and self._lsq.full):
+                return 0  # dispatch would make progress
+        if ruu and ruu[0].state == ST_DONE:
+            return 0  # commit would retire
+        # An in-flight operation completing (writeback, wakeups, branch
+        # resolution) or a cooldown expiring (pool busy count changes)
+        # ends the identical stretch one cycle early.
+        for entry in self._executing:
+            r = entry.remaining - 1
+            if bound is None or r < bound:
+                bound = r
+        for pool in fus._pool_list:
+            for c in pool.cooldown:
+                if c:
+                    c -= 1
+                    if bound is None or c < bound:
+                        bound = c
+        if bound is None or bound <= 0:
+            # Nothing bounds the stall (an empty machine waiting out a
+            # fetch redirect is bounded above); don't batch.
+            return 0
+        return bound
+
+    def advance_stall(self, n):
+        """Batch-advance ``n`` cycles of a pure stall.
+
+        Equivalent to ``n`` :meth:`step` calls from a state where
+        :meth:`stall_window` returned at least ``n``, at O(in-flight)
+        cost instead of O(n) full pipeline walks: only the countdown
+        timers, the cycle counter, and the cycle-count statistic move
+        during a pure stall.  The caller owns replicating the activity
+        record :meth:`stall_window` promised identical.
+        """
+        for entry in self._executing:
+            entry.remaining -= n
+        for pool in self.fus._pool_list:
+            cooldown = pool.cooldown
+            for i, c in enumerate(cooldown):
+                if c:
+                    cooldown[i] = c - n
+        self.stats.cycles += n
+        self.cycle += n
 
     def fast_forward(self, n_instructions):
         """Functionally warm the machine on the next ``n`` instructions.
@@ -383,7 +472,9 @@ class Machine:
             inst, prediction = queue[0]
             if len(self._ruu) >= self.config.ruu_size:
                 break
-            is_mem = inst.op.iclass.is_memory
+            iclass = inst.op.iclass
+            is_mem = (iclass is InstrClass.LOAD or
+                      iclass is InstrClass.STORE)
             if is_mem and self._lsq.full:
                 break
             queue.popleft()
@@ -480,6 +571,9 @@ class Machine:
                 self._next_inst = next(self._stream)
             except StopIteration:
                 self._stream_done = True
+            else:
+                if self._stream_log is not None:
+                    self._stream_log.append(self._next_inst)
         return self._next_inst
 
     def _take_inst(self):

@@ -70,6 +70,13 @@ class FuPool:
     def tick(self):
         """Advance one (ungated) cycle."""
         cooldown = self.cooldown
+        if not any(cooldown):
+            # Fully drained pool: nothing to decrement.  Low-IPC
+            # (memory-bound) phases keep most pools here most cycles,
+            # and any() rejects the common case at C speed.
+            self.busy = 0
+            self.issued_this_cycle = 0
+            return
         busy = 0
         for i, c in enumerate(cooldown):
             if c > 0:
@@ -119,8 +126,22 @@ class FuComplex:
         """Advance all pools one cycle (no-op while gated: clocks stopped)."""
         if self.gated:
             return
+        # Inlined FuPool.tick: this runs for all five pools every
+        # simulated cycle, and the per-pool method call costs as much
+        # as the drained-pool check itself.
         for pool in self._pool_list:
-            pool.tick()
+            cooldown = pool.cooldown
+            if not any(cooldown):
+                pool.busy = 0
+                pool.issued_this_cycle = 0
+                continue
+            busy = 0
+            for i, c in enumerate(cooldown):
+                if c > 0:
+                    cooldown[i] = c - 1
+                    busy += 1
+            pool.busy = busy
+            pool.issued_this_cycle = 0
 
     def issue_counts(self):
         """Pool name -> operations issued this cycle (before tick)."""

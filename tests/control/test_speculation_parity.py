@@ -1,0 +1,397 @@
+"""Byte-parity suite for speculative chunked execution.
+
+The speculative path's contract mirrors the open-loop fast path's:
+every counter, trace byte, sensor history element, controller summary
+field, and raised exception must match what a ``force_lockstep`` run
+produces for the same actuated cell.  These tests run both engines and
+compare the complete observable state, including gated-cycle
+aggregates and the plausibility monitor's run-length internals.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.actuators import Actuator
+from repro.control.controller import PlausibilityMonitor, ThresholdController
+from repro.control.loop import ClosedLoopSimulation
+from repro.control.sensor import ThresholdSensor
+from repro.control.thresholds import design_pdn
+from repro.faults.injectors import FaultySensor
+from repro.faults.watchdog import (
+    NumericWatchdog,
+    RunBudget,
+    SimulationBudgetExceeded,
+    SimulationDiverged,
+)
+from repro.pdn.discrete import PdnSimulator
+from repro.power import PowerModel
+from repro.telemetry import Telemetry
+from repro.telemetry.registry import MetricsRegistry
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.spec import get_profile
+
+SPEC_COUNTERS = ("loop.spec_chunks", "loop.spec_rollbacks",
+                 "loop.spec_committed_cycles")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="module")
+def model(config):
+    return PowerModel(config)
+
+
+_PDNS = {}
+
+
+def _pdn(model, impedance):
+    if impedance not in _PDNS:
+        _PDNS[impedance] = design_pdn(model, impedance_percent=impedance)
+    return _PDNS[impedance]
+
+
+def _loop(config, model, lockstep, impedance=200.0, v_low=0.995,
+          v_high=1.005, delay=2, error=0.0, monitor=None, metrics=True,
+          seed=11, **kw):
+    machine = Machine(config, get_profile("swim").stream(seed=seed))
+    machine.fast_forward(3000)
+    sensor = ThresholdSensor(v_low, v_high, delay=delay, error=error,
+                             seed=seed)
+    controller = ThresholdController(sensor,
+                                     actuator=Actuator("fu_dl1_il1"),
+                                     monitor=monitor)
+    telemetry = Telemetry(metrics=MetricsRegistry()) if metrics else None
+    loop = ClosedLoopSimulation(machine, model, _pdn(model, impedance),
+                                controller=controller, record_traces=True,
+                                telemetry=telemetry, **kw)
+    loop.force_lockstep = lockstep
+    return loop
+
+
+def _state(loop):
+    """Every piece of post-run state the parity contract covers."""
+    ctl = loop.controller
+    sensor = ctl.sensor
+    base = sensor.sensor if hasattr(sensor, "sensor") else sensor
+    state = {
+        "counter": loop.counter.summary(),
+        "energy": loop._energy,
+        "stats": loop.machine.stats.summary(),
+        "machine_cycle": loop.machine.cycle,
+        # tobytes: a bitwise comparison that still holds when the taps
+        # are NaN (the unwatched doctored-recursion tests).
+        "pdn": (np.array([loop.pdn_sim._x0,
+                          loop.pdn_sim._x1]).tobytes(),
+                loop.pdn_sim.cycles),
+        "controller": ctl.summary(),
+        "sensor_history": tuple(base._history),
+        "sensor_state": base._state,
+        "rng": base._rng.getstate(),
+        "voltages": loop._voltages._data[:loop._voltages._n].tobytes(),
+        "currents": loop._currents._data[:loop._currents._n].tobytes(),
+    }
+    if ctl.monitor is not None:
+        m = ctl.monitor
+        state["monitor"] = (m._level, m._level_run, m._oob_run)
+    return state
+
+
+def _metrics_match(slow, fast, expect_chunks=True):
+    """Metrics exports match modulo the speculation counters."""
+    ds = slow.telemetry.metrics.to_dict()
+    df = fast.telemetry.metrics.to_dict()
+    chunks = df["counters"].pop("loop.spec_chunks", 0)
+    rollbacks = df["counters"].pop("loop.spec_rollbacks", 0)
+    committed = df["counters"].pop("loop.spec_committed_cycles", 0)
+    for key in SPEC_COUNTERS:
+        assert key not in ds["counters"]
+    assert ds == df
+    if expect_chunks:
+        assert chunks > 0
+    assert rollbacks <= chunks
+    return chunks, rollbacks, committed
+
+
+class TestEligibility:
+    def _eligible_loop(self, config, model, **kw):
+        return _loop(config, model, lockstep=False, metrics=False, **kw)
+
+    def test_plain_threshold_stack_is_eligible(self, config, model):
+        loop = self._eligible_loop(config, model)
+        assert loop.speculation_eligible
+        assert not loop.fast_path_eligible
+
+    def test_monitor_keeps_eligibility(self, config, model):
+        loop = self._eligible_loop(config, model,
+                                   monitor=PlausibilityMonitor())
+        assert loop.speculation_eligible
+
+    def test_force_lockstep_disables(self, config, model):
+        loop = _loop(config, model, lockstep=True, metrics=False)
+        assert not loop.speculation_eligible
+
+    def test_speculate_false_disables(self, config, model):
+        loop = self._eligible_loop(config, model)
+        loop.speculate = False
+        assert not loop.speculation_eligible
+
+    def test_env_var_disables(self, config, model, monkeypatch):
+        loop = self._eligible_loop(config, model)
+        monkeypatch.setenv("REPRO_NO_SPECULATE", "1")
+        assert not loop.speculation_eligible
+
+    def test_faulty_sensor_falls_back(self, config, model):
+        loop = self._eligible_loop(config, model)
+        loop.controller.sensor = FaultySensor(loop.controller.sensor, [])
+        assert not loop.speculation_eligible
+
+    def test_trace_telemetry_falls_back(self, config, model):
+        machine = Machine(config, [])
+        sensor = ThresholdSensor(0.995, 1.005)
+        controller = ThresholdController(sensor, actuator=Actuator("ideal"))
+        loop = ClosedLoopSimulation(machine, model, _pdn(model, 200.0),
+                                    controller=controller,
+                                    telemetry=Telemetry.full())
+        assert not loop.speculation_eligible
+
+    def test_pdn_watchdog_falls_back(self, config, model):
+        machine = Machine(config, [])
+        sensor = ThresholdSensor(0.995, 1.005)
+        controller = ThresholdController(sensor, actuator=Actuator("ideal"))
+        sim = PdnSimulator(_pdn(model, 200.0), clock_hz=config.clock_hz,
+                           watchdog=NumericWatchdog())
+        loop = ClosedLoopSimulation(machine, model, _pdn(model, 200.0),
+                                    controller=controller, pdn_sim=sim)
+        assert not loop.speculation_eligible
+
+
+class TestCleanRunParity:
+    def test_everything_bitwise_identical(self, config, model):
+        slow = _loop(config, model, lockstep=True)
+        fast = _loop(config, model, lockstep=False)
+        assert fast.speculation_eligible
+        rs = slow.run(max_cycles=6000)
+        rf = fast.run(max_cycles=6000)
+        assert np.array_equal(rs.voltages, rf.voltages)
+        assert np.array_equal(rs.currents, rf.currents)
+        assert rs.energy == rf.energy
+        assert rs.cycles == rf.cycles
+        assert rs.committed == rf.committed
+        assert rs.emergencies == rf.emergencies
+        assert rs.controller == rf.controller
+        assert rs.machine_stats.summary() == rf.machine_stats.summary()
+        assert _state(slow) == _state(fast)
+        chunks, _, committed = _metrics_match(slow, fast)
+        assert committed <= rf.cycles
+
+    def test_actuation_actually_happened(self, config, model):
+        # The parity run must exercise both regimes: committed
+        # speculation and lockstep actuation windows.
+        fast = _loop(config, model, lockstep=False)
+        result = fast.run(max_cycles=6000)
+        assert result.controller["transitions"] > 0
+        counters = fast.telemetry.metrics.to_dict()["counters"]
+        assert counters["loop.spec_chunks"] > 0
+        assert counters["loop.spec_rollbacks"] > 0
+        assert 0 < counters["loop.spec_committed_cycles"] < result.cycles
+
+    def test_monitor_and_noise_parity(self, config, model):
+        kw = dict(delay=2, error=0.002)
+        slow = _loop(config, model, lockstep=True,
+                     monitor=PlausibilityMonitor(), **kw)
+        fast = _loop(config, model, lockstep=False,
+                     monitor=PlausibilityMonitor(), **kw)
+        rs = slow.run(max_cycles=5000)
+        rf = fast.run(max_cycles=5000)
+        assert rs.emergencies == rf.emergencies
+        assert _state(slow) == _state(fast)
+        _metrics_match(slow, fast)
+
+    def test_max_instructions_limit_matches(self, config, model):
+        slow = _loop(config, model, lockstep=True)
+        fast = _loop(config, model, lockstep=False)
+        rs = slow.run(max_cycles=20000, max_instructions=4000)
+        rf = fast.run(max_cycles=20000, max_instructions=4000)
+        assert rs.cycles == rf.cycles
+        assert rs.committed == rf.committed
+        assert _state(slow) == _state(fast)
+
+    def test_result_traces_are_views(self, config, model):
+        fast = _loop(config, model, lockstep=False)
+        result = fast.run(max_cycles=2000)
+        assert result.voltages.dtype == np.float64
+        assert result.voltages.shape == (2000,)
+        assert result.voltages.base is not None
+
+
+class TestRandomGridParity:
+    @given(impedance=st.sampled_from([120.0, 200.0, 320.0]),
+           v_low=st.floats(min_value=0.988, max_value=0.998),
+           v_high=st.floats(min_value=1.001, max_value=1.012),
+           delay=st.integers(min_value=0, max_value=4),
+           error=st.floats(min_value=0.0, max_value=0.004),
+           seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=12, deadline=None)
+    def test_random_cell_bitwise_identical(self, impedance, v_low, v_high,
+                                           delay, error, seed):
+        config = MachineConfig()
+        model = PowerModel(config)
+        kw = dict(impedance=impedance, v_low=v_low, v_high=v_high,
+                  delay=delay, error=error, seed=seed,
+                  monitor=PlausibilityMonitor())
+        slow = _loop(config, model, lockstep=True, **kw)
+        fast = _loop(config, model, lockstep=False, **kw)
+        assert fast.speculation_eligible
+        rs = slow.run(max_cycles=2500)
+        rf = fast.run(max_cycles=2500)
+        assert rs.emergencies == rf.emergencies
+        assert np.array_equal(rs.voltages, rf.voltages)
+        assert _state(slow) == _state(fast)
+        # Some corners of the grid keep the controller busy enough that
+        # no chunk ever opens; parity must hold regardless.
+        _metrics_match(slow, fast, expect_chunks=False)
+
+
+class TestDivergenceParity:
+    def _watchdog_trip(self, config, model, lockstep):
+        # Thresholds wide open: the controller never actuates, so the
+        # watchdog violation lands mid-speculated-chunk.
+        loop = _loop(config, model, lockstep=lockstep, v_low=0.9,
+                     v_high=1.1,
+                     watchdog=NumericWatchdog(v_min=0.993, v_max=1.02,
+                                              tail=8))
+        with pytest.raises(SimulationDiverged) as info:
+            loop.run(max_cycles=6000)
+        return loop, info.value
+
+    def test_watchdog_trip_bitwise_identical(self, config, model):
+        slow, es = self._watchdog_trip(config, model, lockstep=True)
+        fast, ef = self._watchdog_trip(config, model, lockstep=False)
+        assert str(es) == str(ef)
+        assert (es.cycle, es.value, es.reason) == (ef.cycle, ef.value,
+                                                   ef.reason)
+        assert es.trace_tail == ef.trace_tail
+        assert list(slow.watchdog._tail) == list(fast.watchdog._tail)
+        # The trip cycle itself re-executes lockstep after the rollback,
+        # so unlike the open-loop fast path nothing overshoots: the
+        # complete state (PDN included) matches.
+        assert _state(slow) == _state(fast)
+        _metrics_match(slow, fast)
+
+    def _nonfinite(self, config, model, lockstep, delay):
+        # Unstable doctored recursion, no watchdog: the voltage doubles
+        # each cycle until it overflows, and the emergency counter must
+        # reject it identically on both paths -- at the cycle it
+        # appears, not ``delay`` cycles later through the sensor.
+        loop = _loop(config, model, lockstep=lockstep, v_low=0.9,
+                     v_high=2.0e308, delay=delay, watchdog=False)
+        loop.pdn_sim._a10 = 0.0
+        loop.pdn_sim._a11 = 2.0
+        loop.pdn_sim._b1 = 0.0
+        loop.pdn_sim._e1 = 0.0
+        with pytest.raises(ValueError) as info:
+            loop.run(max_cycles=6000)
+        return loop, info.value
+
+    @pytest.mark.parametrize("delay", [0, 1, 3])
+    def test_unwatched_nonfinite_bitwise_identical(self, config, model,
+                                                   delay):
+        slow, es = self._nonfinite(config, model, True, delay)
+        fast, ef = self._nonfinite(config, model, False, delay)
+        assert "non-finite voltage" in str(es)
+        assert str(es) == str(ef)
+        assert _state(slow) == _state(fast)
+        _metrics_match(slow, fast)
+
+    def test_budget_cut_inside_chunk_identical(self, config, model):
+        def run(lockstep):
+            loop = _loop(config, model, lockstep=lockstep,
+                         budget=RunBudget(max_cycles=1500))
+            with pytest.raises(SimulationBudgetExceeded) as info:
+                loop.run(max_cycles=6000)
+            return loop, info.value
+
+        slow, es = run(True)
+        fast, ef = run(False)
+        assert str(es) == str(ef)
+        assert _state(slow) == _state(fast)
+        _metrics_match(slow, fast)
+
+    @given(budget_cycles=st.integers(min_value=200, max_value=3000))
+    @settings(max_examples=8, deadline=None)
+    def test_budget_cut_anywhere_identical(self, budget_cycles):
+        config = MachineConfig()
+        model = PowerModel(config)
+
+        def run(lockstep):
+            loop = _loop(config, model, lockstep=lockstep,
+                         budget=RunBudget(max_cycles=budget_cycles))
+            try:
+                loop.run(max_cycles=3200)
+            except SimulationBudgetExceeded as exc:
+                return loop, str(exc)
+            return loop, None
+
+        slow, es = run(True)
+        fast, ef = run(False)
+        assert es == ef
+        assert _state(slow) == _state(fast)
+
+
+class TestFailsafeParity:
+    def _failsafe_loop(self, config, model, lockstep):
+        # A tight monitor envelope plus sensor noise: observed readings
+        # fall outside [v_min, v_max] repeatedly, the out-of-bounds run
+        # trips the monitor mid-run, and the fail-safe latches -- all of
+        # which must land on identical cycles in both engines.
+        monitor = PlausibilityMonitor(bound_cycles=3, v_min=0.997,
+                                      v_max=1.003)
+        return _loop(config, model, lockstep=lockstep, delay=1,
+                     error=0.006, monitor=monitor)
+
+    def test_failsafe_entry_bitwise_identical(self, config, model):
+        slow = self._failsafe_loop(config, model, lockstep=True)
+        fast = self._failsafe_loop(config, model, lockstep=False)
+        rs = slow.run(max_cycles=4000)
+        rf = fast.run(max_cycles=4000)
+        assert rs.controller["failsafe_active"] is True
+        assert rs.controller == rf.controller
+        assert rs.emergencies == rf.emergencies
+        assert _state(slow) == _state(fast)
+        _metrics_match(slow, fast)
+
+
+class TestWorkerReportParity:
+    def test_controlled_spec_bytes_match_both_paths(self, monkeypatch):
+        from repro.orchestrator import worker
+        from repro.orchestrator.spec import JobSpec
+
+        spec = JobSpec(kind="run", workload="swim",
+                       impedance_percent=200.0, delay=2, cycles=4000,
+                       seed=11)
+        worker._WARM_CACHE.clear()
+        fast_bytes = json.dumps(worker.execute_spec(spec), sort_keys=True)
+        monkeypatch.setattr(ClosedLoopSimulation, "force_lockstep", True)
+        slow_bytes = json.dumps(worker.execute_spec(spec), sort_keys=True)
+        assert fast_bytes == slow_bytes
+
+    def test_no_speculate_env_bytes_match(self, monkeypatch):
+        from repro.orchestrator import worker
+        from repro.orchestrator.spec import JobSpec
+
+        spec = JobSpec(kind="run", workload="swim",
+                       impedance_percent=200.0, delay=2, cycles=4000,
+                       seed=13)
+        worker._WARM_CACHE.clear()
+        fast_bytes = json.dumps(worker.execute_spec(spec), sort_keys=True)
+        monkeypatch.setenv("REPRO_NO_SPECULATE", "1")
+        slow_bytes = json.dumps(worker.execute_spec(spec), sort_keys=True)
+        assert fast_bytes == slow_bytes

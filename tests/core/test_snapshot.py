@@ -1,0 +1,239 @@
+"""Tests for machine snapshots, chunk sizing, and stall batching.
+
+The speculative engine's correctness rests on three mechanisms proved
+here in isolation: :class:`~repro.core.snapshot.MachineSnapshot`
+restores a machine *exactly* (twin-machine lockstep comparison --
+any restore defect desynchronizes cache/predictor timing and shows up
+in the activity rows), :class:`~repro.core.snapshot.ChunkPolicy`
+sizes chunks within its configured band, and
+:meth:`~repro.uarch.core.Machine.stall_window` /
+:meth:`~repro.uarch.core.Machine.advance_stall` batch pure stalls with
+the same per-cycle activity a scalar loop would produce.
+"""
+
+import operator
+
+import pytest
+
+from repro.core.snapshot import ChunkPolicy, MachineSnapshot
+from repro.pdn.discrete import PdnSimulator
+from repro.power import PowerModel
+from repro.uarch.config import MachineConfig
+from repro.uarch.core import Machine
+from repro.workloads.spec import get_profile
+
+
+@pytest.fixture(scope="module")
+def config():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="module")
+def model(config):
+    return PowerModel(config)
+
+
+def _machine(config, seed=11, warmup=3000):
+    machine = Machine(config, get_profile("swim").stream(seed=seed))
+    if warmup:
+        machine.fast_forward(warmup)
+    return machine
+
+
+def _getter(model):
+    return operator.attrgetter(*(model.batch_fields +
+                                 ("committed", "fetched")))
+
+
+def _assert_lockstep(a, b, getter, cycles):
+    for _ in range(cycles):
+        if a.done or b.done:
+            break
+        assert getter(a.step()) == getter(b.step())
+    assert a.cycle == b.cycle
+    assert a.stats.summary() == b.stats.summary()
+    h_a, h_b = a.hierarchy, b.hierarchy
+    for ca, cb in zip((h_a.l1d, h_a.l1i, h_a.l2),
+                      (h_b.l1d, h_b.l1i, h_b.l2)):
+        assert (ca.accesses, ca.misses) == (cb.accesses, cb.misses)
+    assert h_a.memory_accesses == h_b.memory_accesses
+    assert a.predictor.lookups == b.predictor.lookups
+    assert a.predictor.mispredictions == b.predictor.mispredictions
+
+
+class TestMachineSnapshot:
+    def test_restore_is_exact(self, config, model):
+        machine = _machine(config)
+        twin = _machine(config)
+        getter = _getter(model)
+        snap = MachineSnapshot(machine)
+        # Mutate well past the chunk sizes the engine uses: caches,
+        # predictor tables, the window, and the stream all move.
+        for _ in range(600):
+            machine.step()
+        snap.restore()
+        _assert_lockstep(machine, twin, getter, 800)
+
+    def test_restore_mid_actuation_state(self, config, model):
+        machine = _machine(config)
+        twin = _machine(config)
+        getter = _getter(model)
+        machine.fus.gated = twin.fus.gated = True
+        machine.dl1.phantom = twin.dl1.phantom = True
+        snap = MachineSnapshot(machine)
+        machine.fus.gated = False
+        machine.dl1.phantom = False
+        for _ in range(50):
+            machine.step()
+        snap.restore()
+        assert machine.fus.gated and machine.dl1.phantom
+        _assert_lockstep(machine, twin, getter, 200)
+
+    def test_discard_keeps_machine_live(self, config, model):
+        machine = _machine(config)
+        twin = _machine(config)
+        getter = _getter(model)
+        snap = MachineSnapshot(machine)
+        for _ in range(200):
+            assert getter(machine.step()) == getter(twin.step())
+        snap.discard()
+        assert machine._stream_log is None
+        _assert_lockstep(machine, twin, getter, 200)
+
+    def test_repeated_snapshot_cycles(self, config, model):
+        machine = _machine(config)
+        twin = _machine(config)
+        getter = _getter(model)
+        for i in range(6):
+            snap = MachineSnapshot(machine)
+            for _ in range(100):
+                machine.step()
+            if i % 2:
+                snap.restore()
+                for _ in range(100):
+                    machine.step()
+            else:
+                snap.discard()
+            for _ in range(100):
+                twin.step()
+        _assert_lockstep(machine, twin, getter, 200)
+
+    def test_nested_snapshot_rejected(self, config):
+        machine = _machine(config, warmup=0)
+        snap = MachineSnapshot(machine)
+        with pytest.raises(RuntimeError):
+            MachineSnapshot(machine)
+        snap.discard()
+        MachineSnapshot(machine).discard()  # fresh one is fine again
+
+    def test_snapshot_is_single_use(self, config):
+        machine = _machine(config, warmup=0)
+        snap = MachineSnapshot(machine)
+        snap.restore()
+        with pytest.raises(RuntimeError):
+            snap.restore()
+        with pytest.raises(RuntimeError):
+            snap.discard()
+
+    def test_pdn_state_roundtrip(self, config, model):
+        from repro.control.thresholds import design_pdn
+
+        pdn = design_pdn(model, impedance_percent=200.0)
+        sim = PdnSimulator(pdn, clock_hz=config.clock_hz,
+                           initial_current=20.0)
+        machine = _machine(config, warmup=0)
+        snap = MachineSnapshot(machine, pdn_sim=sim)
+        before = (sim._x0, sim._x1, sim.cycles)
+        for i in range(32):
+            sim.step(20.0 + i)
+        snap.restore()
+        assert (sim._x0, sim._x1, sim.cycles) == before
+
+
+class TestChunkPolicy:
+    def test_defaults_within_band(self):
+        policy = ChunkPolicy()
+        assert (policy.minimum <= policy.next_chunk() <= policy.maximum)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChunkPolicy(initial=100, minimum=200, maximum=400)
+        with pytest.raises(ValueError):
+            ChunkPolicy(initial=500, minimum=200, maximum=400)
+
+    def test_rollback_quarters_floored(self):
+        policy = ChunkPolicy(initial=1024, minimum=64, maximum=2048)
+        policy.rolled_back()
+        assert policy.next_chunk() == 256
+        for _ in range(10):
+            policy.rolled_back()
+        assert policy.next_chunk() == 64
+
+    def test_commit_doubles_capped(self):
+        policy = ChunkPolicy(initial=128, minimum=64, maximum=512)
+        policy.committed()
+        assert policy.next_chunk() == 256
+        for _ in range(10):
+            policy.committed()
+        assert policy.next_chunk() == 512
+
+
+class TestStallBatching:
+    def test_advance_stall_matches_scalar_steps(self, config, model):
+        # Twin machines: A steps every stall cycle, B takes one
+        # canonical step and batches the rest.  The engine's run-length
+        # power fold relies on the batched cycles having *identical*
+        # activity rows, so that is asserted too.
+        a = _machine(config)
+        b = _machine(config)
+        getter = _getter(model)
+        batched = 0
+        guard = 0
+        while batched < 8 and guard < 20000 and not a.done:
+            guard += 1
+            w = a.stall_window()
+            assert w == b.stall_window()
+            if w <= 1:
+                assert getter(a.step()) == getter(b.step())
+                continue
+            rows = [getter(a.step()) for _ in range(w)]
+            canonical = getter(b.step())
+            b.advance_stall(w - 1)
+            assert all(row == canonical for row in rows)
+            assert a.cycle == b.cycle
+            assert a.stats.summary() == b.stats.summary()
+            batched += 1
+        assert batched == 8
+        _assert_lockstep(a, b, getter, 400)
+
+    def test_stall_window_zero_when_actuated(self, config):
+        machine = _machine(config)
+        while machine.stall_window() == 0:
+            machine.step()
+        machine.fus.gated = True
+        assert machine.stall_window() == 0
+        machine.fus.gated = False
+        machine.il1.phantom = True
+        assert machine.stall_window() == 0
+        machine.il1.phantom = False
+        assert machine.stall_window() > 0
+
+    def test_stall_window_is_conservative(self, config, model):
+        # Every cycle inside a reported window must commit nothing,
+        # issue nothing, and fetch nothing (a pure stall).
+        machine = _machine(config)
+        fields = ("committed", "fetched", "issued_total", "dispatched",
+                  "decoded")
+        getter = operator.attrgetter(*fields)
+        checked = 0
+        guard = 0
+        while checked < 200 and guard < 20000 and not machine.done:
+            guard += 1
+            w = machine.stall_window()
+            before = getter(machine.step())
+            if w <= 1:
+                continue
+            for _ in range(w - 1):
+                assert getter(machine.step()) == before
+                checked += 1
+        assert checked >= 200

@@ -260,6 +260,23 @@ class TestDurability:
             server.stop()
             server.run()
 
+    def test_replay_escape_hatch(self, tmp_path):
+        # serve --no-replay wires replay=False through to the batch
+        # runner; the default keeps replay sweeps on.
+        server = SweepServer(str(tmp_path / "a.journal"), jobs=1)
+        try:
+            assert server.replay is True
+        finally:
+            server.stop()
+            server.run()
+        server = SweepServer(str(tmp_path / "b.journal"), jobs=1,
+                             replay=False)
+        try:
+            assert server.replay is False
+        finally:
+            server.stop()
+            server.run()
+
     def test_idle_compaction_bounds_the_journal(self, tmp_path):
         svc = _Service(tmp_path, compact_when_idle=True)
         try:

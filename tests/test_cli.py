@@ -122,6 +122,24 @@ class TestSweepCommand:
         assert code == 2
         assert "unknown actuator" in capsys.readouterr().err
 
+    def test_no_speculate_sets_env_and_matches_bytes(self, tmp_path):
+        # The flag works by exporting REPRO_NO_SPECULATE (pool workers
+        # inherit it); the speculative engine's bitwise parity means
+        # the reports must still match exactly.
+        import os
+        code, spec_path = self.sweep(tmp_path)
+        assert code == 0
+        spec_bytes = spec_path.read_bytes()
+        assert "REPRO_NO_SPECULATE" not in os.environ
+        try:
+            code, lock_path = self.sweep(tmp_path / "lock",
+                                         "--no-speculate")
+            assert code == 0
+            assert os.environ.get("REPRO_NO_SPECULATE") == "1"
+        finally:
+            os.environ.pop("REPRO_NO_SPECULATE", None)
+        assert lock_path.read_bytes() == spec_bytes
+
     def test_grid_report(self, tmp_path):
         import json
         code, path = self.sweep(tmp_path)
@@ -586,6 +604,87 @@ class TestCacheCommand:
         assert cache.get(spec) is None
 
 
+class TestCaptureCacheCommand:
+    """``cache stats|clear --captures`` against the capture cache."""
+
+    def _populated_captures(self, tmp_path):
+        import numpy as np
+        from repro.orchestrator import JobSpec
+        from repro.orchestrator.replay import capture_key, capture_meta
+        from repro.orchestrator.tracecache import (CapturedTrace,
+                                                   CurrentTraceCache)
+        root = tmp_path / "cache"
+        cache = CurrentTraceCache(root=str(root))
+        spec = JobSpec(workload="swim", cycles=250,
+                       impedance_percent=200.0, seed=9)
+        key, meta = capture_key(spec), capture_meta(spec)
+        trace = CapturedTrace(np.linspace(20.0, 30.0, 250),
+                              np.ones(250), c0=400, cycles0=400,
+                              committed0=350, cycle_time=1.0 / 3.0e9)
+        cache.put(key, meta, trace)
+        return root, cache, key, meta
+
+    def test_stats_counts_entries_and_bytes(self, tmp_path):
+        import json
+        root, _cache, _key, _meta = self._populated_captures(tmp_path)
+        code, text = run_cli("cache", "stats", "--captures",
+                             "--cache-dir", str(root))
+        assert code == 0
+        info = json.loads(text)
+        assert info["entries"] == 1
+        assert info["bytes"] > 0
+        assert info["invalid_entries"] == 0
+        assert info["orphan_tmp"] == 0
+
+    def test_stats_flags_corruption_and_orphans(self, tmp_path):
+        import json
+        root, cache, key, _meta = self._populated_captures(tmp_path)
+        entry = cache.path_for(key)
+        with open(entry, "r+b") as fh:
+            fh.write(b"garbage")
+        orphan = entry + ".tmp"
+        with open(orphan, "w") as fh:
+            fh.write("torn write")
+        code, text = run_cli("cache", "stats", "--captures",
+                             "--cache-dir", str(root))
+        assert code == 0
+        info = json.loads(text)
+        assert info["invalid_entries"] == 1
+        assert info["orphan_tmp"] == 1
+        code, text = run_cli("cache", "stats", "--captures",
+                             "--cache-dir", str(root), "--no-verify")
+        info = json.loads(text)
+        assert info["entries"] == 1
+        assert info["invalid_entries"] == 0
+
+    def test_clear_removes_entries_and_orphans(self, tmp_path):
+        import json
+        import os
+        root, cache, key, meta = self._populated_captures(tmp_path)
+        orphan = cache.path_for(key) + ".tmp"
+        with open(orphan, "w") as fh:
+            fh.write("torn write")
+        code, text = run_cli("cache", "clear", "--captures",
+                             "--cache-dir", str(root))
+        assert code == 0
+        summary = json.loads(text)
+        assert summary["removed"] == 1
+        assert summary["orphan_tmp_reclaimed"] == 1
+        assert not os.path.exists(cache.path_for(key))
+        assert not os.path.exists(orphan)
+        assert cache.get(key, meta) is None
+
+    def test_default_target_is_the_result_cache(self, tmp_path):
+        # Without --captures the capture tree must be left alone.
+        import json
+        import os
+        root, cache, key, _meta = self._populated_captures(tmp_path)
+        code, text = run_cli("cache", "clear", "--cache-dir", str(root))
+        assert code == 0
+        assert json.loads(text)["removed"] == 0
+        assert os.path.exists(cache.path_for(key))
+
+
 class TestServeSubmitParsers:
     """Flag surface of the service subcommands (live-server behaviour
     is covered by tests/server/)."""
@@ -599,6 +698,16 @@ class TestServeSubmitParsers:
         assert args.batch_limit == 64
         assert args.request_timeout == 30.0
         assert args.port_file is None
+        assert not args.no_replay
+        assert not args.no_speculate
+
+    def test_serve_execution_strategy_flags(self):
+        # sweep/serve flag parity: both strategy escape hatches parse.
+        args = build_parser().parse_args(
+            ["serve", "--journal", "j.journal",
+             "--no-replay", "--no-speculate"])
+        assert args.no_replay
+        assert args.no_speculate
 
     def test_serve_requires_journal(self):
         with pytest.raises(SystemExit):

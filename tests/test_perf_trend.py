@@ -56,6 +56,7 @@ def record(rates, meta=META, commit="c" * 40):
 def tracked_rates(uncontrolled=1e6, controlled=5e5):
     return {"uncontrolled_steady_state_cell_swim": uncontrolled,
             "controlled_cell_swim": controlled,
+            "controlled_cell_spec_swim": controlled,
             "replay_sweep_cells_swim": 80.0}
 
 

@@ -10,8 +10,10 @@ by more than the threshold.  CI runs it after the bench emit step.
 Tracked configurations (the steady-state and controlled-cell numbers
 an orchestrator worker actually pays, plus the batched replay-sweep
 throughput): ``uncontrolled_steady_state_cell_swim``,
-``controlled_cell_swim``, and ``replay_sweep_cells_swim``
-(``cells_per_sec``).
+``controlled_cell_swim``, ``controlled_cell_spec_swim`` (the
+speculative engine with metrics on -- a rollback-policy regression
+shows up here even when the default key stays healthy), and
+``replay_sweep_cells_swim`` (``cells_per_sec``).
 
 Exit codes: 0 no regression (or fewer than two comparable records);
 1 a regression beyond the threshold with ``--fail``; 2 usage error
@@ -24,7 +26,7 @@ import sys
 
 #: Configurations whose throughput CI watches.
 TRACKED = ("uncontrolled_steady_state_cell_swim", "controlled_cell_swim",
-           "replay_sweep_cells_swim")
+           "controlled_cell_spec_swim", "replay_sweep_cells_swim")
 
 #: Rate figures in bigger-is-better order of preference.
 RATE_KEYS = ("cycles_per_sec", "samples_per_sec", "cells_per_sec")

@@ -17,4 +17,4 @@ opt-in metrics, cycle-level event tracing, and span profiling in
 See :mod:`repro.core` for the high-level public API.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"

@@ -40,6 +40,12 @@ Installed as ``repro-didt`` (see ``pyproject.toml``), or run as
 * ``cache stats|clear`` -- inspect or empty the result cache;
   ``--captures`` targets the captured power-trace cache the replay
   sweeps keep alongside it.
+* ``doctor`` -- offline scrub of every persistence surface (result
+  cache, capture cache, warm-up cache, trace store, and any
+  ``--journal`` paths): verify checksums/salts/schemas, list torn
+  tails and orphaned temp files, and with ``--fix`` quarantine or
+  reclaim them.  The report is byte-stable JSON; exit 0 clean (or
+  fully repaired), 1 problems remain, 2 usage.
 * ``trace`` (alias ``run``) -- one fully instrumented closed-loop run:
   cycle-stamped events to Chrome trace-event JSON (``--trace-out``,
   loadable in Perfetto / ``chrome://tracing``), byte-stable JSONL
@@ -352,6 +358,29 @@ def build_parser():
     p.add_argument("--captures", action="store_true",
                    help="operate on the captured power-trace cache "
                         "(replay sweeps) instead of the result cache")
+
+    p = sub.add_parser("doctor",
+                       help="offline scrub of every persistence "
+                            "surface (caches, trace store, journals)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="result/capture cache root (default: "
+                        "REPRO_CACHE_DIR or ~/.cache/repro-didt)")
+    p.add_argument("--trace-dir", default=None, metavar="DIR",
+                   help="trace store root (default: REPRO_TRACE_DIR "
+                        "or ~/.local/share/repro-didt/traces)")
+    p.add_argument("--warm-dir", default=None, metavar="DIR",
+                   help="warm-up checkpoint root (default: "
+                        "REPRO_WARM_CACHE_DIR; unset skips the "
+                        "section)")
+    p.add_argument("--journal", action="append", default=[],
+                   metavar="PATH", dest="journals",
+                   help="also scrub this sweep journal (repeatable)")
+    p.add_argument("--fix", action="store_true",
+                   help="repair what the scrub finds: quarantine "
+                        "invalid entries, remove orphaned temp files, "
+                        "trim torn journal tails")
+    p.add_argument("--json-out", metavar="PATH",
+                   help="also write the byte-stable report JSON here")
 
     p = sub.add_parser("trace", aliases=["run"],
                        help="instrumented closed-loop run with trace/"
@@ -711,6 +740,7 @@ def cmd_sweep(args, out):
     """
     from repro.orchestrator import (
         JournalError,
+        JournalWriteError,
         ResultCache,
         Runner,
         SweepInterrupted,
@@ -779,15 +809,19 @@ def cmd_sweep(args, out):
         except (OSError, JournalError) as exc:
             print("error: %s" % exc, file=sys.stderr)
             return EXIT_USAGE
-        if args.resume:
-            journal.resumed()
-            known = set(replayed.spec_hashes())
-            for spec in specs:
-                if spec.content_hash() not in known:
-                    journal.queued(spec)
-        else:
-            journal.begin_sweep(specs, settings=settings,
-                                salt=cache.salt)
+        try:
+            if args.resume:
+                journal.resumed()
+                known = set(replayed.spec_hashes())
+                for spec in specs:
+                    if spec.content_hash() not in known:
+                        journal.queued(spec)
+            else:
+                journal.begin_sweep(specs, settings=settings,
+                                    salt=cache.salt)
+        except JournalWriteError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
     runner = Runner(jobs=args.jobs, cache=cache,
                     timeout_seconds=args.timeout, retries=args.retries,
                     crash_retries=args.crash_retries,
@@ -795,6 +829,17 @@ def cmd_sweep(args, out):
                     telemetry=telemetry, replay=not args.no_replay)
     try:
         outcomes = runner.run(specs)
+    except JournalWriteError as exc:
+        # The journal's fail-loud domain: a record did not persist, so
+        # durability can no longer be promised and the sweep must not
+        # keep executing.  What is on disk stays replayable (at worst
+        # a torn tail), so --resume works once the disk recovers.
+        print("error: %s" % exc, file=sys.stderr)
+        if journal_path:
+            print("sweep: journal %s remains replayable; resume with: "
+                  "repro-didt sweep --resume %s"
+                  % (journal_path, journal_path), file=sys.stderr)
+        return EXIT_USAGE
     except SweepInterrupted as exc:
         if journal is not None:
             journal.close()
@@ -805,7 +850,15 @@ def cmd_sweep(args, out):
               file=sys.stderr)
         return EXIT_INTERRUPTED
     if journal is not None:
-        journal.end()
+        try:
+            journal.end()
+        except JournalWriteError as exc:
+            # Every cell finished, but the journal never recorded
+            # completion -- fail loudly (no report) so CI does not
+            # mistake this for a durable clean run; --resume replays
+            # the finished cells once the disk recovers.
+            print("error: %s" % exc, file=sys.stderr)
+            return EXIT_USAGE
         journal.close()
         # A cleanly completed journal is all history; compact it so
         # repeated resume cycles cannot grow the WAL without bound.
@@ -856,9 +909,11 @@ def cmd_serve(args, out):
     """The ``serve`` command: run the sweep service daemon.
 
     Blocks until shutdown.  Exit codes: 0 clean stop, 2 usage error
-    (bad flags, journal locked by another writer), 3 drained after
-    SIGTERM/SIGINT (journal flushed; restarting on the same
-    ``--journal`` resumes the admitted work).
+    (bad flags, journal locked by another writer) or a journal that
+    stopped persisting records mid-serve (disk fault; the WAL on disk
+    stays replayable), 3 drained after SIGTERM/SIGINT (journal
+    flushed; restarting on the same ``--journal`` resumes the
+    admitted work).
     """
     import signal
     import threading
@@ -905,6 +960,10 @@ def cmd_serve(args, out):
     if code == EXIT_INTERRUPTED:
         print("serve: drained; resume with: repro-didt serve --journal "
               "%s" % args.journal, file=sys.stderr)
+    elif code == EXIT_USAGE:
+        print("serve: journal write failure; journal %s remains "
+              "replayable once the disk recovers" % args.journal,
+              file=sys.stderr)
     else:
         print("serve: stopped cleanly", file=sys.stderr)
     return code
@@ -1064,6 +1123,31 @@ def cmd_cache(args, out):
     return EXIT_OK
 
 
+def cmd_doctor(args, out):
+    """The ``doctor`` command: scrub every persistence surface.
+
+    Prints the byte-stable report JSON.  Exit codes: 0 everything
+    clean (or ``--fix`` repaired every problem), 1 problems remain,
+    2 usage error.
+    """
+    from repro.doctor import scrub
+
+    try:
+        report = scrub(cache_root=args.cache_dir,
+                       trace_root=args.trace_dir,
+                       warm_root=args.warm_dir,
+                       journals=args.journals,
+                       fix=args.fix)
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    text = json.dumps(report, sort_keys=True, indent=2)
+    print(text, file=out)
+    if args.json_out:
+        _write_text_atomic(args.json_out, text)
+    return EXIT_OK if report["unfixed"] == 0 else EXIT_CELL_FAILURES
+
+
 def cmd_trace(args, out):
     """The ``trace`` command: instrumented run(s), traces exported.
 
@@ -1184,7 +1268,14 @@ def cmd_traces(args, out):
                                trace.clock_hz, trace.content_hash()),
                   file=out)
             return EXIT_OK
-        digest = store.put(trace)
+        try:
+            digest = store.put(trace)
+        except OSError as exc:
+            # Fail-loud domain: a half-imported trace must never look
+            # imported (injectable via REPRO_IOCHAOS=...@traces).
+            print("error: trace store write failed: %s" % exc,
+                  file=sys.stderr)
+            return EXIT_USAGE
         print("imported %s as trace:%s (%d samples, units %s, "
               "name %s)" % (args.path, digest, trace.n_samples,
                             trace.units, trace.name), file=out)
@@ -1213,7 +1304,7 @@ def cmd_traces(args, out):
             except KeyError as exc:
                 raise ValueError(exc.args[0] if exc.args else str(exc))
         path = store.put_suite(args.name, members)
-    except ValueError as exc:
+    except (ValueError, OSError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return EXIT_USAGE
     print("suite %s: %d member(s) -> %s"
@@ -1243,6 +1334,7 @@ _COMMANDS = {
     "poll": cmd_poll,
     "journal": cmd_journal,
     "cache": cmd_cache,
+    "doctor": cmd_doctor,
     "traces": cmd_traces,
     "trace": cmd_trace,
     "run": cmd_trace,        # alias registered on the trace sub-parser

@@ -22,13 +22,34 @@ back to returning the directly-warmed machine.
 
 Set ``REPRO_WARM_CACHE_DIR`` to persist checkpoints on disk next to the
 orchestrator's result cache; entries are written atomically (temp file
-plus rename) so concurrent workers can share a directory.
+plus rename) so concurrent workers can share a directory.  Each disk
+entry is a one-line JSON header (magic, schema, version salt, key, and
+a SHA-256 checksum over the pickle blob) followed by the blob itself;
+the read path verifies all of it before a single byte reaches
+``pickle.loads``, and anything untrustworthy -- a torn write, a stale
+format, bytes from another code version -- degrades to a counted
+integrity miss and a re-warm, never a crash or a corrupt machine.
 """
 
 import hashlib
+import json
 import os
 import pickle
 import tempfile
+
+from repro import __version__
+from repro.faults import iofault
+
+#: Bump when the on-disk checkpoint format changes shape.
+WARM_SCHEMA = 2
+
+#: Magic tag opening every disk entry's header line.
+WARM_MAGIC = "repro-warm"
+
+
+def warm_salt():
+    """Code-version salt: old checkpoints die with their code."""
+    return "v%s-warm%d" % (__version__, WARM_SCHEMA)
 
 
 class WarmupCache:
@@ -40,16 +61,24 @@ class WarmupCache:
 
     Attributes:
         hits / misses: lookup counters (observability only).
+        integrity_misses: disk entries rejected by the read-path
+            validation (bad header, checksum, salt, or key).
+        write_errors: failed disk stores (counted, never raised -- the
+            entry stays memory-only, matching the cache's *degrade*
+            failure domain).
     """
 
     def __init__(self, root=None):
         if root is None:
             root = os.environ.get("REPRO_WARM_CACHE_DIR") or None
         self.root = root
+        self.salt = warm_salt()
         self._blobs = {}
         self._unpicklable = set()
         self.hits = 0
         self.misses = 0
+        self.integrity_misses = 0
+        self.write_errors = 0
 
     @staticmethod
     def key_for(config, stream_desc, warmup):
@@ -66,27 +95,111 @@ class WarmupCache:
     def _disk_path(self, key):
         return os.path.join(self.root, key[:2], key + ".ckpt")
 
-    def _load_disk(self, key):
+    def _encode_entry(self, key, blob):
+        """Header line + pickle blob (the on-disk entry format)."""
+        header = json.dumps({
+            "magic": WARM_MAGIC,
+            "schema": WARM_SCHEMA,
+            "salt": self.salt,
+            "key": key,
+            "length": len(blob),
+            "checksum": hashlib.sha256(blob).hexdigest(),
+        }, sort_keys=True, separators=(",", ":"))
+        return header.encode("ascii") + b"\n" + blob
+
+    def verify_entry(self, path, key=None):
+        """Scrub one disk entry; ``None`` if trustworthy, else a short
+        reason string.  ``key`` (defaulting to the file name) must
+        match the header, so a renamed entry cannot impersonate
+        another checkpoint."""
+        if key is None:
+            key = os.path.basename(path)
+            if key.endswith(".ckpt"):
+                key = key[:-len(".ckpt")]
         try:
-            with open(self._disk_path(key), "rb") as fh:
-                return fh.read()
+            with open(path, "rb") as fh:
+                raw = fh.read()
+            head, sep, blob = raw.partition(b"\n")
+            if not sep:
+                return "missing header"
+            header = json.loads(head.decode("ascii"))
+            if not isinstance(header, dict) \
+                    or header.get("magic") != WARM_MAGIC:
+                return "bad magic"
+            if header.get("schema") != WARM_SCHEMA:
+                return "schema mismatch"
+            if header.get("salt") != self.salt:
+                return "salt mismatch"
+            if header.get("key") != key:
+                return "key mismatch"
+            if header.get("length") != len(blob):
+                return "length mismatch (torn write?)"
+            if header.get("checksum") != \
+                    hashlib.sha256(blob).hexdigest():
+                return "blob checksum mismatch"
+        except OSError as exc:
+            return str(exc) or "unreadable"
+        except (ValueError, UnicodeDecodeError):
+            return "unparsable header"
+        return None
+
+    def _load_disk(self, key):
+        """The validated pickle blob for ``key``, or ``None``.
+
+        A missing file is a plain miss; a present-but-untrustworthy
+        entry (torn header, checksum mismatch, another code version's
+        salt, pre-header legacy format) is a counted integrity miss --
+        the bytes never reach ``pickle.loads``.
+        """
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as fh:
+                raw = fh.read()
         except OSError:
             return None
+        head, sep, blob = raw.partition(b"\n")
+        try:
+            if not sep:
+                raise ValueError("missing header")
+            header = json.loads(head.decode("ascii"))
+            if not isinstance(header, dict) \
+                    or header.get("magic") != WARM_MAGIC \
+                    or header.get("schema") != WARM_SCHEMA \
+                    or header.get("salt") != self.salt \
+                    or header.get("key") != key \
+                    or header.get("length") != len(blob) \
+                    or header.get("checksum") != \
+                    hashlib.sha256(blob).hexdigest():
+                raise ValueError("untrusted entry")
+        except (ValueError, UnicodeDecodeError):
+            self.integrity_misses += 1
+            return None
+        return blob
 
     def _store_disk(self, key, blob):
+        """Atomically persist one entry; failures (ENOSPC, EIO, a
+        rename that never lands -- injectable via
+        ``REPRO_IOCHAOS=...@warm``) are counted in
+        :attr:`write_errors` and otherwise ignored: the checkpoint
+        stays memory-only."""
         path = self._disk_path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
+        tmp = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
+                iofault.write("warm", fh, self._encode_entry(key, blob))
+            iofault.replace("warm", tmp, path)
         except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            self.write_errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    # Best-effort cleanup; a surviving temp file is
+                    # reclaimed by ``repro-didt doctor``.
+                    pass
 
     def warmed(self, config, stream_desc, warmup, factory):
         """A machine warmed by ``warmup`` instructions, cached.
@@ -140,3 +253,5 @@ class WarmupCache:
         self._unpicklable.clear()
         self.hits = 0
         self.misses = 0
+        self.integrity_misses = 0
+        self.write_errors = 0

@@ -1,0 +1,354 @@
+"""Offline scrub of every persistence surface (``repro-didt doctor``).
+
+The sweep stack keeps five durable stores, each with its own on-disk
+integrity discipline (see DESIGN.md section 16):
+
+* the **result cache** (``ResultCache``) -- per-entry payload
+  checksums, version salt, atomic writes;
+* the **capture cache** (``CurrentTraceCache``) -- ``.npz`` entries
+  with schema/salt/key/array checksums;
+* the **warm-up cache** (``WarmupCache``) -- checkpoint blobs behind a
+  checksummed header line;
+* the **trace store** (``TraceStore``) -- content-addressed samples +
+  meta pairs and immutable suites;
+* the **sweep journal** -- a self-checksummed JSONL WAL that tolerates
+  a torn final line.
+
+Each store's *read* path already degrades or fails loudly per its
+declared failure domain; the doctor is the matching *maintenance*
+path: walk everything, verify every entry the way a read would, list
+what is broken, and (with ``fix=True``) quarantine or reclaim it.  The
+report is a byte-stable JSON-safe dict -- sorted keys, sorted path
+lists, no timestamps -- so two scrubs of the same bytes print the same
+bytes, and CI can diff them.
+
+Exit-code contract (mapped by ``repro-didt doctor``):
+
+* 0 -- every scrubbed store is clean, or ``--fix`` repaired every
+  problem found;
+* 1 -- problems found (and, with ``--fix``, at least one could not be
+  repaired, e.g. a journal held by a live writer);
+* 2 -- usage error (bad flags, unreadable roots).
+
+Quarantine, not deletion: invalid entries are moved into a
+``quarantine/`` directory under the store root (they may be evidence;
+orphaned temp files, which are pure garbage by construction, are
+removed outright).
+"""
+
+import os
+
+try:
+    import fcntl
+except ImportError:          # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+from repro.core.checkpoint import WarmupCache
+from repro.orchestrator.cache import ResultCache
+from repro.orchestrator.journal import JournalError, replay_journal
+from repro.orchestrator.tracecache import CurrentTraceCache
+from repro.traces.store import TraceStore
+
+#: Bump when the report dict changes shape.
+DOCTOR_SCHEMA = 1
+
+_HEX = set("0123456789abcdef")
+
+
+def _rel(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def _quarantine(root, path, label):
+    """Move a bad entry under ``<root>/quarantine/``; returns success.
+
+    ``label`` keys the destination name so two same-named entries from
+    different buckets cannot collide.
+    """
+    directory = os.path.join(root, "quarantine")
+    try:
+        os.makedirs(directory, exist_ok=True)
+        os.replace(path, os.path.join(directory, label))
+        return True
+    except OSError:
+        return False
+
+
+def _scrub_flat_store(cache, base, suffix, verify, fix):
+    """Shared walk for the three flat caches (result/captures/warm).
+
+    Args:
+        cache: the store object (supplies ``root``).
+        base: directory to walk (the store's current-salt tree).
+        suffix: entry file suffix (``.json``/``.npz``/``.ckpt``).
+        verify: ``f(path) -> None | reason`` for one entry.
+        fix: quarantine invalid entries, remove orphan temps.
+
+    Returns a JSON-safe section dict.
+    """
+    section = {"root": cache.root, "entries": 0, "invalid": [],
+               "orphan_tmp": [], "fixed": []}
+    for dirpath, dirnames, filenames in os.walk(base):
+        if "quarantine" in dirnames:
+            dirnames.remove("quarantine")
+        for name in sorted(filenames):
+            path = os.path.join(dirpath, name)
+            rel = _rel(cache.root, path)
+            if name.endswith(".tmp"):
+                section["orphan_tmp"].append(rel)
+                if fix:
+                    try:
+                        os.unlink(path)
+                        section["fixed"].append(rel)
+                    except OSError:
+                        pass
+                continue
+            if not name.endswith(suffix):
+                continue
+            section["entries"] += 1
+            reason = verify(path)
+            if reason is None:
+                continue
+            section["invalid"].append({"path": rel, "reason": reason})
+            if fix and _quarantine(cache.root, path,
+                                   name):
+                section["fixed"].append(rel)
+    for key in ("invalid", "orphan_tmp", "fixed"):
+        section[key] = sorted(section[key],
+                              key=lambda v: v["path"]
+                              if isinstance(v, dict) else v)
+    return section
+
+
+def scrub_result_cache(root=None, salt=None, fix=False):
+    """Scrub the result cache's current-salt tree."""
+    cache = ResultCache(root=root, salt=salt)
+    base = os.path.join(cache.root, cache.salt)
+    section = _scrub_flat_store(cache, base, ".json",
+                                cache.verify_entry, fix)
+    section["salt"] = cache.salt
+    return section
+
+
+def scrub_capture_cache(root=None, salt=None, fix=False):
+    """Scrub the captured-trace cache's current-salt tree."""
+    cache = CurrentTraceCache(root=root, salt=salt)
+    base = os.path.join(cache.root, cache.salt, "captures")
+    section = _scrub_flat_store(cache, base, ".npz",
+                                cache.verify_entry, fix)
+    section["salt"] = cache.salt
+    return section
+
+
+def scrub_warm_cache(root=None, fix=False):
+    """Scrub the warm-up checkpoint cache (skipped when no root is
+    configured -- the memory-only default has no disk surface)."""
+    if root is None:
+        root = os.environ.get("REPRO_WARM_CACHE_DIR") or None
+    if root is None:
+        return {"root": None, "skipped": True, "entries": 0,
+                "invalid": [], "orphan_tmp": [], "fixed": []}
+    cache = WarmupCache(root=root)
+    section = _scrub_flat_store(cache, root, ".ckpt",
+                                cache.verify_entry, fix)
+    section["salt"] = cache.salt
+    section["skipped"] = False
+    return section
+
+
+def scrub_trace_store(root=None, fix=False):
+    """Scrub the imported-trace store: every entry's meta + samples
+    re-hash, every suite, plus abandoned temp files."""
+    store = TraceStore(root=root)
+    section = {"root": store.root, "entries": 0, "invalid": [],
+               "suites": 0, "invalid_suites": [], "orphan_tmp": [],
+               "fixed": []}
+    base = store.base
+    if os.path.isdir(base):
+        for hh in sorted(os.listdir(base)):
+            bucket = os.path.join(base, hh)
+            if len(hh) != 2 or not set(hh) <= _HEX \
+                    or not os.path.isdir(bucket):
+                continue
+            for digest in sorted(os.listdir(bucket)):
+                entry = os.path.join(bucket, digest)
+                if not os.path.isdir(entry):
+                    continue
+                for name in sorted(os.listdir(entry)):
+                    if name.endswith(".tmp"):
+                        rel = _rel(store.root,
+                                   os.path.join(entry, name))
+                        section["orphan_tmp"].append(rel)
+                        if fix:
+                            try:
+                                os.unlink(os.path.join(entry, name))
+                                section["fixed"].append(rel)
+                            except OSError:
+                                pass
+                section["entries"] += 1
+                reason = store.verify_entry(digest)
+                if reason is None:
+                    continue
+                rel = _rel(store.root, entry)
+                section["invalid"].append({"path": rel,
+                                           "reason": reason})
+                if fix and _quarantine(store.root, entry, digest):
+                    section["fixed"].append(rel)
+    suites_dir = os.path.join(base, "suites")
+    if os.path.isdir(suites_dir):
+        for name in sorted(os.listdir(suites_dir)):
+            path = os.path.join(suites_dir, name)
+            rel = _rel(store.root, path)
+            if name.endswith(".tmp"):
+                section["orphan_tmp"].append(rel)
+                if fix:
+                    try:
+                        os.unlink(path)
+                        section["fixed"].append(rel)
+                    except OSError:
+                        pass
+                continue
+            if not name.endswith(".json"):
+                continue
+            section["suites"] += 1
+            if store.get_suite(name[:-len(".json")]) is None:
+                section["invalid_suites"].append(rel)
+                if fix and _quarantine(store.root, path,
+                                       "suite-" + name):
+                    section["fixed"].append(rel)
+    for key in ("invalid", "invalid_suites", "orphan_tmp", "fixed"):
+        section[key] = sorted(section[key],
+                              key=lambda v: v["path"]
+                              if isinstance(v, dict) else v)
+    return section
+
+
+def _probe_lock(path):
+    """Whether a live writer holds the journal's advisory lock."""
+    if fcntl is None:
+        return False
+    try:
+        with open(path, "r") as fh:
+            try:
+                fcntl.flock(fh.fileno(),
+                            fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                return True
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+    except OSError:
+        return False
+    return False
+
+
+def scrub_journal(path, fix=False):
+    """Scrub one sweep journal.
+
+    Statuses: ``ok`` (replays clean), ``torn-tail`` (the final line is
+    torn -- a killed writer's signature; ``fix`` truncates it away),
+    ``corrupt`` (damage before the tail; ``fix`` quarantines the file
+    to ``<path>.corrupt``), ``locked`` (a live writer owns it -- not a
+    defect, but nothing can be verified or fixed), ``missing`` (the
+    path does not exist).
+    """
+    path = str(path)
+    entry = {"path": path, "status": "ok", "detail": None,
+             "records": 0, "fixed": False}
+    if not os.path.exists(path):
+        entry["status"] = "missing"
+        entry["detail"] = "no such file"
+        return entry
+    if _probe_lock(path):
+        entry["status"] = "locked"
+        entry["detail"] = ("a live writer holds the journal lock; "
+                           "scrub it offline")
+        return entry
+    try:
+        state = replay_journal(path)
+    except JournalError as exc:
+        entry["status"] = "corrupt"
+        entry["detail"] = str(exc)
+        if fix:
+            try:
+                os.replace(path, path + ".corrupt")
+                entry["fixed"] = True
+            except OSError:
+                pass
+        return entry
+    entry["records"] = len(state.specs)
+    if state.dropped_tail:
+        entry["status"] = "torn-tail"
+        entry["detail"] = ("final line is torn (killed or faulted "
+                           "writer); replay drops it")
+        if fix:
+            try:
+                with open(path, "r+b") as fh:
+                    data = fh.read()
+                    if data and not data.endswith(b"\n"):
+                        fh.truncate(data.rfind(b"\n") + 1)
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                entry["fixed"] = True
+            except OSError:
+                pass
+    return entry
+
+
+def _section_problems(section):
+    count = len(section.get("invalid", ()))
+    count += len(section.get("invalid_suites", ()))
+    count += len(section.get("orphan_tmp", ()))
+    return count
+
+
+def scrub(cache_root=None, trace_root=None, warm_root=None,
+          journals=(), salt=None, fix=False):
+    """Scrub every persistence surface; returns the full report dict.
+
+    Args:
+        cache_root: result/capture cache root (default:
+            ``REPRO_CACHE_DIR`` or the per-user cache directory).
+        trace_root: trace store root (default: ``REPRO_TRACE_DIR`` or
+            the per-user data directory).
+        warm_root: warm-cache root (default: ``REPRO_WARM_CACHE_DIR``;
+            unset skips the section -- there is no disk surface).
+        journals: journal paths to scrub (none by default -- journals
+            live wherever ``--journal`` pointed).
+        salt: cache salt override (tests; default: the code version's).
+        fix: quarantine invalid entries, remove orphan temps, trim
+            torn journal tails.
+
+    The report's ``problems`` counts everything found wrong;
+    ``unfixed`` is what remains after repairs (equal to ``problems``
+    when ``fix`` is off).  Both are computed, never stored state.
+    """
+    stores = {
+        "cache": scrub_result_cache(root=cache_root, salt=salt,
+                                    fix=fix),
+        "captures": scrub_capture_cache(root=cache_root, salt=salt,
+                                        fix=fix),
+        "warm": scrub_warm_cache(root=warm_root, fix=fix),
+        "traces": scrub_trace_store(root=trace_root, fix=fix),
+        "journals": [scrub_journal(p, fix=fix) for p in journals],
+    }
+    problems = 0
+    fixed = 0
+    for name in ("cache", "captures", "warm", "traces"):
+        problems += _section_problems(stores[name])
+        fixed += len(stores[name]["fixed"])
+    for entry in stores["journals"]:
+        if entry["status"] in ("torn-tail", "corrupt", "missing"):
+            problems += 1
+            if entry["fixed"]:
+                fixed += 1
+        elif entry["status"] == "locked":
+            # A live writer is healthy, not broken; report it without
+            # failing the scrub.
+            pass
+    return {
+        "schema": DOCTOR_SCHEMA,
+        "fix": bool(fix),
+        "stores": stores,
+        "problems": problems,
+        "fixed": fixed,
+        "unfixed": problems - fixed,
+    }

@@ -18,6 +18,11 @@ what happens outside it:
   OOM an orchestrator worker at a chosen job, driven by the
   ``REPRO_CHAOS`` environment variable in the child, to exercise the
   supervised pool's crash recovery end to end.
+* :mod:`repro.faults.iofault` -- storage-level chaos: make the
+  write/fsync/replace seams of any durable store (result cache, warm
+  cache, capture cache, trace store, journal) fail deterministically
+  (ENOSPC, EIO, torn write, failed fsync, failed rename), driven by
+  ``REPRO_IOCHAOS``, to exercise each store's declared failure domain.
 
 The matching fail-safe lives in
 :class:`repro.control.controller.PlausibilityMonitor`: a controller
@@ -31,6 +36,14 @@ from repro.faults.chaos import (
     CHAOS_ONCE_ENV,
     ChaosSet,
     ProcessChaos,
+)
+from repro.faults.iofault import (
+    IO_MODES,
+    IO_TARGETS,
+    IOCHAOS_ENV,
+    IOCHAOS_ONCE_ENV,
+    IoFault,
+    IoFaultSet,
 )
 from repro.faults.injectors import (
     ActuatorFault,
@@ -75,4 +88,10 @@ __all__ = [
     "CHAOS_ENV",
     "CHAOS_ONCE_ENV",
     "CHAOS_MODES",
+    "IoFault",
+    "IoFaultSet",
+    "IOCHAOS_ENV",
+    "IOCHAOS_ONCE_ENV",
+    "IO_MODES",
+    "IO_TARGETS",
 ]

@@ -1,0 +1,376 @@
+"""Deterministic storage-fault injection for the persistence seams.
+
+:mod:`repro.faults.chaos` corrupts the *execution substrate* (a worker
+dies, hangs, OOMs); the injector here corrupts the *storage substrate*:
+a write returns ``ENOSPC``, an fsync fails, a rename never lands, half
+a record reaches the disk.  Every durable store in the sweep stack
+(ResultCache, WarmupCache, CurrentTraceCache, TraceStore, SweepJournal)
+funnels its write/fsync/replace calls through the seam functions in
+this module -- :func:`write`, :func:`fsync`, :func:`replace` -- so a
+single environment variable can make any of them fail at a chosen
+operation, in any process, without monkeypatching:
+
+* ``REPRO_IOCHAOS`` -- ``MODE@TARGET[:TRIGGER]`` (or a comma-separated
+  list; each fault keeps its own counters and fire-once marker):
+
+  - ``MODE`` is ``enospc`` (write raises ``OSError(ENOSPC)`` with
+    nothing written), ``eio`` (write raises ``OSError(EIO)`` with
+    nothing written), ``torn-write`` (the first *half* of the payload
+    is written, then ``OSError(EIO)`` -- the torn-record shape),
+    ``fsync-fail`` (the data reaches the OS but ``fsync`` raises
+    ``OSError(EIO)``: durability not achieved), or ``rename-fail``
+    (``os.replace`` raises ``OSError(EIO)`` without renaming: the
+    atomic publish never happens);
+  - ``TARGET`` is the store the fault applies to: ``cache`` (result
+    cache), ``warm`` (warm-up checkpoint cache), ``captures`` (trace
+    capture cache), ``traces`` (external trace store), or ``journal``
+    (sweep journal);
+  - ``TRIGGER`` is optional: omitted, the fault fires on *every*
+    matching operation; an integer *N* fires only on the N-th matching
+    operation in this process (1-based); ``every=N`` fires on every
+    N-th matching operation.  Prefixing the target with ``serve=`` or
+    ``worker=`` restricts the fault to the sweep server process or to
+    everything else (sweep parent + pool workers); unprefixed faults
+    arm everywhere.
+
+* ``REPRO_IOCHAOS_ONCE`` -- optional directory holding fire-once
+  markers, claimed atomically (``O_CREAT|O_EXCL``) exactly like
+  ``REPRO_CHAOS_ONCE``: the first process to trigger fires, everyone
+  else proceeds healthy.
+
+Examples::
+
+    REPRO_IOCHAOS=enospc@cache            repro-didt sweep ...
+    REPRO_IOCHAOS=fsync-fail@journal:2    repro-didt sweep --journal j ...
+    REPRO_IOCHAOS=torn-write@captures:every=3  repro-didt sweep ...
+    REPRO_IOCHAOS=eio@serve=journal       repro-didt serve ...
+
+The seams are deliberately trivial when chaos is off: one environment
+lookup against a cached parse.  Mode/operation mapping: ``enospc``,
+``eio`` and ``torn-write`` fire on :func:`write`; ``fsync-fail`` fires
+on :func:`fsync`; ``rename-fail`` fires on :func:`replace`.  Ordinals
+count only operations of the fault's own kind on its own target, so
+``enospc@cache:3`` means "the third result-cache file write in this
+process fails".
+"""
+
+import errno
+import os
+
+#: Environment variable selecting the storage faults.
+IOCHAOS_ENV = "REPRO_IOCHAOS"
+
+#: Environment variable naming the fire-once marker directory.
+IOCHAOS_ONCE_ENV = "REPRO_IOCHAOS_ONCE"
+
+#: Marker file name inside the fire-once directory.
+IO_ONCE_MARKER = "iochaos.fired"
+
+#: Understood fault modes.
+IO_MODES = ("enospc", "eio", "torn-write", "fsync-fail", "rename-fail")
+
+#: Known storage targets (one per durable store).
+IO_TARGETS = ("cache", "warm", "captures", "traces", "journal")
+
+#: Scope restrictions (``None`` on a fault means "everywhere").
+IO_SCOPES = ("worker", "serve")
+
+#: Which seam operation each mode fires on.
+_MODE_OPS = {
+    "enospc": "write",
+    "eio": "write",
+    "torn-write": "write",
+    "fsync-fail": "fsync",
+    "rename-fail": "replace",
+}
+
+
+class IoFault:
+    """One armed storage fault for the current process.
+
+    Args:
+        mode: one of :data:`IO_MODES`.
+        target: one of :data:`IO_TARGETS`.
+        ordinal: fire only on this 1-based matching-operation count
+            (mutually exclusive with ``every``).
+        every: fire on every ``every``-th matching operation.
+        once_dir: directory for the sweep-wide fire-once marker, or
+            ``None`` to fire whenever the trigger matches.
+        marker: marker file name inside ``once_dir`` (distinct per
+            fault in a multi-fault set).
+        scope: ``None`` (arm everywhere) or one of :data:`IO_SCOPES`.
+    """
+
+    def __init__(self, mode, target, ordinal=None, every=None,
+                 once_dir=None, marker=IO_ONCE_MARKER, scope=None):
+        if mode not in IO_MODES:
+            raise ValueError("unknown iochaos mode %r (known: %s)"
+                             % (mode, ", ".join(IO_MODES)))
+        if target not in IO_TARGETS:
+            raise ValueError("unknown iochaos target %r (known: %s)"
+                             % (target, ", ".join(IO_TARGETS)))
+        if scope is not None and scope not in IO_SCOPES:
+            raise ValueError("unknown iochaos scope %r (known: %s)"
+                             % (scope, ", ".join(IO_SCOPES)))
+        if ordinal is not None and every is not None:
+            raise ValueError("iochaos trigger takes ordinal or every=N,"
+                             " not both")
+        if ordinal is not None:
+            ordinal = int(ordinal)
+            if ordinal < 1:
+                raise ValueError("iochaos ordinal must be >= 1, got %d"
+                                 % ordinal)
+        if every is not None:
+            every = int(every)
+            if every < 1:
+                raise ValueError("iochaos every= must be >= 1, got %d"
+                                 % every)
+        self.mode = mode
+        self.op = _MODE_OPS[mode]
+        self.target = target
+        self.ordinal = ordinal
+        self.every = every
+        self.once_dir = str(once_dir) if once_dir else None
+        self.marker = str(marker)
+        self.scope = scope
+        self.seen = 0
+        self.fired = 0
+
+    @classmethod
+    def parse(cls, text, once_dir=None, **kwargs):
+        """Build from a ``MODE@TARGET[:TRIGGER]`` string (the env-var
+        syntax).  A ``serve=``/``worker=`` target prefix restricts the
+        fault to that scope (``eio@serve=journal``)."""
+        mode, sep, rest = str(text).partition("@")
+        if not sep or not rest:
+            raise ValueError(
+                "iochaos spec must look like MODE@TARGET[:TRIGGER] "
+                "(e.g. enospc@cache, fsync-fail@journal:2, "
+                "torn-write@captures:every=3), got %r" % (text,))
+        target, _, trigger = rest.partition(":")
+        for prefix in IO_SCOPES:
+            token = prefix + "="
+            if target.startswith(token):
+                kwargs.setdefault("scope", prefix)
+                target = target[len(token):]
+                break
+        if not target:
+            raise ValueError("empty iochaos target in %r" % (text,))
+        if not trigger:
+            return cls(mode, target, once_dir=once_dir, **kwargs)
+        if trigger.startswith("every="):
+            tail = trigger[len("every="):]
+            try:
+                every = int(tail)
+            except ValueError:
+                raise ValueError("iochaos every= wants an integer, "
+                                 "got %r" % tail)
+            return cls(mode, target, every=every, once_dir=once_dir,
+                       **kwargs)
+        try:
+            ordinal = int(trigger)
+        except ValueError:
+            raise ValueError("iochaos trigger must be an integer "
+                             "ordinal or every=N, got %r" % trigger)
+        return cls(mode, target, ordinal=ordinal, once_dir=once_dir,
+                   **kwargs)
+
+    @classmethod
+    def from_env(cls, environ=None, scope="worker"):
+        """The armed faults from ``REPRO_IOCHAOS`` for one scope:
+        ``None`` or an :class:`IoFaultSet`.  Unscoped faults arm in
+        every process; ``serve=``/``worker=``-scoped ones only in
+        theirs.  Marker names are assigned over the full list so two
+        faults never share a fire-once marker."""
+        if scope not in IO_SCOPES:
+            raise ValueError("unknown iochaos scope %r (known: %s)"
+                             % (scope, ", ".join(IO_SCOPES)))
+        environ = os.environ if environ is None else environ
+        text = environ.get(IOCHAOS_ENV)
+        if not text:
+            return None
+        once_dir = environ.get(IOCHAOS_ONCE_ENV)
+        parts = [part for part in text.split(",") if part]
+        if len(parts) == 1:
+            faults = [cls.parse(parts[0], once_dir=once_dir)]
+        else:
+            faults = [cls.parse(part, once_dir=once_dir,
+                                marker="%s.%d" % (IO_ONCE_MARKER, n))
+                      for n, part in enumerate(parts)]
+        faults = [fault for fault in faults
+                  if fault.scope is None or fault.scope == scope]
+        if not faults:
+            return None
+        return IoFaultSet(faults)
+
+    # -- triggering ----------------------------------------------------
+
+    def matches(self, op, target):
+        """Whether this operation is of this fault's kind; counts it
+        and evaluates the trigger."""
+        if op != self.op or target != self.target:
+            return False
+        self.seen += 1
+        if self.ordinal is not None:
+            return self.seen == self.ordinal
+        if self.every is not None:
+            return self.seen % self.every == 0
+        return True
+
+    def _claim_once(self):
+        """Atomically claim the sweep-wide fire-once marker."""
+        if self.once_dir is None:
+            return True
+        os.makedirs(self.once_dir, exist_ok=True)
+        path = os.path.join(self.once_dir, self.marker)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.write(fd, b"%d\n" % os.getpid())
+        os.close(fd)
+        return True
+
+    def should_fire(self, op, target):
+        """Trigger check + fire-once claim, counting fires."""
+        if not self.matches(op, target):
+            return False
+        if not self._claim_once():
+            return False
+        self.fired += 1
+        return True
+
+    def error(self):
+        """The :class:`OSError` this fault injects."""
+        if self.mode == "enospc":
+            code = errno.ENOSPC
+        else:
+            code = errno.EIO
+        return OSError(code, "%s: injected %s on %s"
+                       % (os.strerror(code), self.mode, self.target))
+
+    def __repr__(self):
+        trigger = ""
+        if self.ordinal is not None:
+            trigger = ":%d" % self.ordinal
+        elif self.every is not None:
+            trigger = ":every=%d" % self.every
+        target = self.target
+        if self.scope is not None:
+            target = "%s=%s" % (self.scope, target)
+        return "<IoFault %s@%s%s%s>" % (
+            self.mode, target, trigger,
+            " once" if self.once_dir else "")
+
+
+class IoFaultSet:
+    """Several armed storage faults, checked in order per operation."""
+
+    def __init__(self, faults):
+        self.faults = list(faults)
+
+    def pick(self, op, target):
+        """The first fault that fires for this operation, or ``None``."""
+        for fault in self.faults:
+            if fault.should_fire(op, target):
+                return fault
+        return None
+
+    def __repr__(self):
+        return "<IoFaultSet [%s]>" % ", ".join(
+            repr(fault) for fault in self.faults)
+
+
+# -- process-global armed state ---------------------------------------
+#
+# The seams are called from hot paths (every cache put, every journal
+# record), so the disabled case must be nearly free: one dict lookup
+# comparing the env string against the last parse.  The armed set is
+# re-parsed only when REPRO_IOCHAOS changes, and its per-fault counters
+# survive across calls (that is what makes ordinals meaningful).
+
+_scope = "worker"
+_armed_text = None
+_armed = None
+
+
+def set_scope(scope):
+    """Declare this process's scope (``"worker"`` or ``"serve"``).
+
+    The sweep server calls ``set_scope("serve")`` at startup; every
+    other process (sweep parent, pool workers) keeps the default.
+    Changing scope drops the cached parse so scoped faults re-filter.
+    """
+    global _scope, _armed_text, _armed
+    if scope not in IO_SCOPES:
+        raise ValueError("unknown iochaos scope %r (known: %s)"
+                         % (scope, ", ".join(IO_SCOPES)))
+    if scope != _scope:
+        _scope = scope
+        _armed_text = None
+        _armed = None
+
+
+def reset():
+    """Drop the cached parse and all trigger counters (tests)."""
+    global _armed_text, _armed
+    _armed_text = None
+    _armed = None
+
+
+def _current():
+    """The armed :class:`IoFaultSet` for this process, or ``None``."""
+    global _armed_text, _armed
+    text = os.environ.get(IOCHAOS_ENV)
+    if text != _armed_text:
+        _armed_text = text
+        _armed = IoFault.from_env(scope=_scope) if text else None
+    return _armed
+
+
+def _pick(op, target):
+    armed = _current()
+    if armed is None:
+        return None
+    return armed.pick(op, target)
+
+
+# -- the seams ---------------------------------------------------------
+
+def write(target, fh, data):
+    """Write ``data`` to the open file object ``fh`` for ``target``.
+
+    ``enospc``/``eio`` raise with nothing written; ``torn-write``
+    writes the first half of the payload and then raises -- the
+    partial-record shape every store's read path must tolerate.
+    """
+    fault = _pick("write", target)
+    if fault is None:
+        fh.write(data)
+        return
+    if fault.mode == "torn-write":
+        fh.write(data[:len(data) // 2])
+        try:
+            fh.flush()
+        except OSError:
+            pass
+    raise fault.error()
+
+
+def fsync(target, fileno):
+    """``os.fsync(fileno)`` for ``target``; ``fsync-fail`` raises
+    instead (the data may sit in the OS cache, durability was not
+    achieved)."""
+    fault = _pick("fsync", target)
+    if fault is not None:
+        raise fault.error()
+    os.fsync(fileno)
+
+
+def replace(target, src, dst):
+    """``os.replace(src, dst)`` for ``target``; ``rename-fail`` raises
+    without renaming (the temp file stays, the publish never lands)."""
+    fault = _pick("replace", target)
+    if fault is not None:
+        raise fault.error()
+    os.replace(src, dst)

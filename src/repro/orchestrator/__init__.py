@@ -46,6 +46,7 @@ from repro.orchestrator.cache import (
 from repro.orchestrator.journal import (
     JournalError,
     JournalState,
+    JournalWriteError,
     SweepJournal,
     compact_journal,
     compacted_records,
@@ -116,6 +117,7 @@ __all__ = [
     "SweepJournal",
     "JournalState",
     "JournalError",
+    "JournalWriteError",
     "replay_journal",
     "compact_journal",
     "compacted_records",

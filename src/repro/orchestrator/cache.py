@@ -31,6 +31,7 @@ import tempfile
 import time
 
 from repro import __version__
+from repro.faults import iofault
 
 #: Bump when the result payload schema changes shape.
 RESULT_SCHEMA = 1
@@ -78,6 +79,11 @@ class ResultCache:
         #: checksum, torn/unparsable JSON, salt or spec mismatch) plus
         #: orphaned temp files reclaimed by :meth:`sweep_orphans`.
         self.integrity_misses = 0
+        #: Failed :meth:`put` attempts (ENOSPC, EIO, failed rename).
+        #: The cache's failure domain is *degrade*: a write failure is
+        #: counted here, the temp file is cleaned up, and the job's
+        #: result stands uncached -- the sweep never fails over it.
+        self.write_errors = 0
 
     def path_for(self, spec):
         """Where this spec's entry lives (whether or not it exists)."""
@@ -144,12 +150,24 @@ class ResultCache:
                         os.unlink(path)
                         removed += 1
                 except OSError:
+                    # Lost a race with the writer that owns the temp
+                    # file (rename or unlink between listing and stat).
+                    # A real orphan is re-found by the next sweep and
+                    # by ``repro-didt doctor``.
                     pass
         self.integrity_misses += removed
         return removed
 
     def put(self, spec, result):
-        """Store a result atomically; returns the entry path."""
+        """Store a result atomically; returns the entry path.
+
+        Write failures (ENOSPC, EIO, a rename that never lands --
+        injectable via ``REPRO_IOCHAOS=...@cache``) are this cache's
+        *degrade* failure domain: the temp file is unlinked, the
+        failure is counted in :attr:`write_errors`, and ``None`` is
+        returned so the caller proceeds exactly as on a miss.  The
+        result itself is never lost -- it simply stays uncached.
+        """
         if not self.enabled:
             return None
         path = self.path_for(spec)
@@ -160,20 +178,48 @@ class ResultCache:
             "checksum": result_checksum(result),
         }
         text = json.dumps(payload, sort_keys=True, indent=2)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
+        tmp = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
             with os.fdopen(fd, "w") as fh:
-                fh.write(text + "\n")
-            os.replace(tmp, path)
+                iofault.write("cache", fh, text + "\n")
+            iofault.replace("cache", tmp, path)
+        except OSError:
+            self.write_errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return None
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
             raise
         return path
+
+    def verify_entry(self, path):
+        """Scrub one on-disk entry; ``None`` if trustworthy, else a
+        short reason string (the same checks :meth:`get` applies, minus
+        the spec comparison, which needs the requesting spec)."""
+        try:
+            with open(path, "r") as fh:
+                payload = json.load(fh)
+            result = payload["result"]
+            if not isinstance(result, dict) or "status" not in result:
+                raise ValueError("malformed result")
+            if payload.get("checksum") != result_checksum(result):
+                raise ValueError("payload checksum mismatch")
+            if payload.get("salt") != self.salt:
+                raise ValueError("salt mismatch")
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            return str(exc) or exc.__class__.__name__
+        return None
 
     def stats(self, verify=True):
         """Scan this cache's salt tree and summarize what is on disk.
@@ -207,21 +253,12 @@ class ResultCache:
                 try:
                     info["bytes"] += os.path.getsize(path)
                 except OSError:
+                    # Entry vanished mid-scan (a concurrent clear or
+                    # invalidate); the next scan's counts reflect it.
                     pass
                 if not verify:
                     continue
-                try:
-                    with open(path, "r") as fh:
-                        payload = json.load(fh)
-                    result = payload["result"]
-                    if not isinstance(result, dict) \
-                            or "status" not in result:
-                        raise ValueError("malformed result")
-                    if payload.get("checksum") != result_checksum(result):
-                        raise ValueError("payload checksum mismatch")
-                    if payload.get("salt") != self.salt:
-                        raise ValueError("salt mismatch")
-                except (OSError, ValueError, KeyError, TypeError):
+                if self.verify_entry(path) is not None:
                     info["invalid_entries"] += 1
         return info
 
@@ -233,6 +270,8 @@ class ResultCache:
             os.unlink(self.path_for(spec))
             return True
         except OSError:
+            # Surfaced through the return value: the caller learns
+            # nothing was removed (usually: the entry never existed).
             return False
 
     def clear(self):
@@ -246,11 +285,15 @@ class ResultCache:
                         os.unlink(os.path.join(dirpath, name))
                         removed += 1
                     except OSError:
+                        # Surfaced through the returned count: an
+                        # undeletable entry is simply not counted, and
+                        # ``doctor``/``stats`` keep reporting it.
                         pass
         return removed
 
     def __repr__(self):
         return ("ResultCache(root=%r, salt=%r, enabled=%r, hits=%d, "
-                "misses=%d, integrity_misses=%d)"
+                "misses=%d, integrity_misses=%d, write_errors=%d)"
                 % (self.root, self.salt, self.enabled, self.hits,
-                   self.misses, self.integrity_misses))
+                   self.misses, self.integrity_misses,
+                   self.write_errors))

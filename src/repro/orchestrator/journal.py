@@ -49,6 +49,7 @@ try:
 except ImportError:          # pragma: no cover - non-POSIX platforms
     fcntl = None
 
+from repro.faults import iofault
 from repro.orchestrator.cache import CACHEABLE_STATUSES
 from repro.orchestrator.spec import JobSpec
 
@@ -61,6 +62,31 @@ _CHECKSUM_LEN = 12
 
 class JournalError(ValueError):
     """A journal that cannot be trusted (corruption before the tail)."""
+
+
+class JournalWriteError(JournalError):
+    """An append or fsync failed: durability can no longer be promised.
+
+    The journal's failure domain is *fail loud*: unlike the caches
+    (which degrade to a counted miss), a journal that cannot persist a
+    record must stop the sweep -- continuing would hand out results the
+    WAL never saw, breaking durability-before-visibility.  The
+    half-written bytes (if any) are at worst an unterminated final
+    line, exactly the torn tail :func:`replay_journal` drops and
+    :meth:`SweepJournal._trim_torn_tail` reclaims, so the journal on
+    disk stays replayable.
+
+    Attributes:
+        path: the journal file.
+        event: the record type that failed to persist.
+    """
+
+    def __init__(self, path, event, cause):
+        self.path = str(path)
+        self.event = str(event)
+        super(JournalWriteError, self).__init__(
+            "journal %s: failed to persist %r record: %s"
+            % (self.path, self.event, cause))
 
 
 def _lock_or_raise(fh, path):
@@ -181,17 +207,40 @@ class SweepJournal:
     # -- low-level -----------------------------------------------------
 
     def _write(self, record):
+        event = record.get("event", "?")
         if self._fh is None:
-            raise JournalError("journal %s is closed" % self.path)
-        self._fh.write(encode_record(record) + "\n")
-        self._fh.flush()
-        if self.fsync:
-            os.fsync(self._fh.fileno())
+            # Appending to a closed journal is a durability failure
+            # like any other: raise the structured subclass so the
+            # server's 503/exit-2 handlers engage on every append
+            # after a failed one, not just the first.
+            raise JournalWriteError(self.path, event,
+                                    "journal is closed")
+        try:
+            iofault.write("journal", self._fh,
+                          encode_record(record) + "\n")
+            self._fh.flush()
+            if self.fsync:
+                iofault.fsync("journal", self._fh.fileno())
+        except OSError as exc:
+            # Fail loud: close the handle so nothing can append after
+            # the failed record (a later append onto a torn tail would
+            # merge two records into mid-file corruption).  What is on
+            # disk remains replayable -- at worst an unterminated final
+            # line, which replay drops and the next open trims.
+            self.close()
+            raise JournalWriteError(self.path, event, exc)
         self.records_written += 1
 
     def close(self):
         if self._fh is not None:
-            self._fh.close()
+            try:
+                self._fh.close()
+            except OSError:
+                # The buffered flush on close can hit the same disk
+                # fault that broke the append; the handle is dead
+                # either way and the caller already has (or is about
+                # to get) the structured JournalWriteError.
+                pass
             self._fh = None
 
     def __enter__(self):
@@ -470,12 +519,16 @@ def compact_journal(path, fsync=True):
         fd, tmp = tempfile.mkstemp(dir=directory, suffix=".compact")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as out:
-                out.write("".join(lines))
+                iofault.write("journal", out, "".join(lines))
                 out.flush()
                 if fsync:
-                    os.fsync(out.fileno())
-            os.replace(tmp, path)
+                    iofault.fsync("journal", out.fileno())
+            iofault.replace("journal", tmp, path)
         except BaseException:
+            # The original journal has not been touched: the rewrite
+            # happens entirely in the temp file, and a failed rename
+            # leaves the old inode in place.  Clean up and re-raise;
+            # the ``with`` guard below releases the flock either way.
             try:
                 os.unlink(tmp)
             except OSError:

@@ -412,7 +412,9 @@ def execute_replay_group(payload, timeout_seconds=None, trace_cache=None):
     Returns:
         ``{"kind": "__replay_group__", "results": [...], "capture":
         "hit"|"miss", "lanes": N}`` with one ``execute_spec``-shaped
-        result per lane, in group order.
+        result per lane, in group order.  A failed capture-cache store
+        (degrade domain: the lanes replay from memory regardless) adds
+        ``"capture_write_error": True`` so the parent can count it.
     """
     group = (payload if isinstance(payload, ReplayGroup)
              else ReplayGroup.from_dict(payload))
@@ -423,6 +425,7 @@ def execute_replay_group(payload, timeout_seconds=None, trace_cache=None):
     trace = cache.get(key, meta)
     capture_state = "hit"
     budget_message = None
+    write_errors_before = cache.write_errors
     if trace is None:
         capture_state = "miss"
         budget = (RunBudget(max_seconds=timeout_seconds)
@@ -433,5 +436,8 @@ def execute_replay_group(payload, timeout_seconds=None, trace_cache=None):
         else:
             budget_message = str(budget_exc)
     results = replay_lanes(trace, specs, budget_message=budget_message)
-    return {"kind": REPLAY_GROUP_KIND, "results": results,
-            "capture": capture_state, "lanes": len(specs)}
+    out = {"kind": REPLAY_GROUP_KIND, "results": results,
+           "capture": capture_state, "lanes": len(specs)}
+    if cache.write_errors > write_errors_before:
+        out["capture_write_error"] = True
+    return out

@@ -336,6 +336,12 @@ class Runner:
             self._count("capture.hits")
         else:
             self._count("capture.misses")
+        if payload.get("capture_write_error"):
+            # The worker's capture-cache put failed (degrade domain):
+            # the lanes still replayed from memory, the store just was
+            # not populated.  Surface it from the parent, where the
+            # metrics sink lives.
+            self._count("capture.write_errors")
 
     def _finish_unit(self, outcomes, members, results, attempts,
                      wall_seconds, specs, state):
@@ -476,8 +482,10 @@ class Runner:
         state = {"done": 0, "total": len(specs)}
         self._count("jobs", len(specs))
         integrity_start = None
+        write_errors_start = None
         if self.cache is not None and self.cache.enabled:
             integrity_start = self.cache.integrity_misses
+            write_errors_start = self.cache.write_errors
             self.cache.sweep_orphans()
         pending = []
         for index, spec in enumerate(specs):
@@ -527,6 +535,10 @@ class Runner:
                 delta = self.cache.integrity_misses - integrity_start
                 if delta:
                     self._count("cache.integrity_miss", delta)
+            if write_errors_start is not None:
+                delta = self.cache.write_errors - write_errors_start
+                if delta:
+                    self._count("cache.write_errors", delta)
         return outcomes
 
 

@@ -43,6 +43,7 @@ import signal
 import time
 import traceback
 
+from repro.faults import iofault
 from repro.faults.chaos import ProcessChaos
 from repro.orchestrator.worker import execute_payload
 
@@ -113,6 +114,9 @@ def _worker_main(worker_id, task_queue, result_queue):
         except (ValueError, OSError):
             pass
     chaos = ProcessChaos.from_env()
+    # A forked child inherits the parent's iofault scope; a pool
+    # worker is always worker-scoped, even under a serve-scoped parent.
+    iofault.set_scope("worker")
     executed = 0
     while True:
         item = task_queue.get()

@@ -38,6 +38,7 @@ import zipfile
 
 import numpy as np
 
+from repro.faults import iofault
 from repro.orchestrator.cache import default_cache_root, default_salt
 
 #: Bump when the captured-trace payload changes shape.
@@ -125,6 +126,10 @@ class CurrentTraceCache:
         #: checksum, truncation, salt/key/meta mismatch) plus orphaned
         #: temp files reclaimed by :meth:`sweep_orphans`.
         self.integrity_misses = 0
+        #: Failed :meth:`put` attempts (ENOSPC, EIO, failed rename).
+        #: Degrade domain: counted, temp cleaned up, the lane replays
+        #: from the in-memory capture and the next sweep re-captures.
+        self.write_errors = 0
 
     def path_for(self, key):
         """Where this capture key's entry lives (existing or not)."""
@@ -194,8 +199,31 @@ class CurrentTraceCache:
             raise ValueError("payload checksum mismatch")
         return trace
 
+    def verify_entry(self, path, key=None):
+        """Scrub one on-disk entry; ``None`` if trustworthy, else a
+        short reason string (everything :meth:`get` checks, minus the
+        capture-metadata comparison)."""
+        if key is None:
+            key = os.path.basename(path)
+            if key.endswith(".npz"):
+                key = key[:-len(".npz")]
+        try:
+            with open(path, "rb") as fh:
+                self._parse_entry(fh, key)
+        except _ENTRY_ERRORS as exc:
+            return str(exc) or exc.__class__.__name__
+        return None
+
     def put(self, key, meta, trace):
-        """Store a capture atomically; returns the entry path."""
+        """Store a capture atomically; returns the entry path.
+
+        Write failures (ENOSPC, EIO, a rename that never lands --
+        injectable via ``REPRO_IOCHAOS=...@captures``) are the
+        *degrade* failure domain: counted in :attr:`write_errors`, the
+        temp file is unlinked, and ``None`` comes back -- the lane
+        still replays from the in-memory capture, the store is simply
+        not populated.
+        """
         if not self.enabled:
             return None
         path = self.path_for(key)
@@ -210,18 +238,28 @@ class CurrentTraceCache:
         buf = io.BytesIO()
         np.savez(buf, powers=trace.powers, committed=trace.committed,
                  meta=np.array(json.dumps(header, sort_keys=True)))
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
+        tmp = None
         try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                       suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
-                fh.write(buf.getvalue())
-            os.replace(tmp, path)
+                iofault.write("captures", fh, buf.getvalue())
+            iofault.replace("captures", tmp, path)
+        except OSError:
+            self.write_errors += 1
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            return None
         except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
             raise
         return path
 
@@ -261,13 +299,13 @@ class CurrentTraceCache:
                 try:
                     info["bytes"] += os.path.getsize(path)
                 except OSError:
+                    # Entry vanished mid-scan (a concurrent clear);
+                    # the next scan's counts reflect it.
                     pass
                 if not verify:
                     continue
-                try:
-                    with open(path, "rb") as fh:
-                        self._parse_entry(fh, name[:-len(".npz")])
-                except _ENTRY_ERRORS:
+                if self.verify_entry(path, name[:-len(".npz")]) \
+                        is not None:
                     info["invalid_entries"] += 1
         return info
 
@@ -282,6 +320,9 @@ class CurrentTraceCache:
                         os.unlink(os.path.join(dirpath, name))
                         removed += 1
                     except OSError:
+                        # Surfaced through the returned count: an
+                        # undeletable entry is simply not counted, and
+                        # ``doctor``/``stats`` keep reporting it.
                         pass
         return removed
 
@@ -307,12 +348,17 @@ class CurrentTraceCache:
                         os.unlink(path)
                         removed += 1
                 except OSError:
+                    # Lost a race with the temp file's owner; a real
+                    # orphan is re-found by the next sweep and by
+                    # ``repro-didt doctor``.
                     pass
         self.integrity_misses += removed
         return removed
 
     def __repr__(self):
         return ("CurrentTraceCache(root=%r, salt=%r, enabled=%r, "
-                "hits=%d, misses=%d, integrity_misses=%d)"
+                "hits=%d, misses=%d, integrity_misses=%d, "
+                "write_errors=%d)"
                 % (self.root, self.salt, self.enabled, self.hits,
-                   self.misses, self.integrity_misses))
+                   self.misses, self.integrity_misses,
+                   self.write_errors))

@@ -200,6 +200,11 @@ def execute_spec(spec, timeout_seconds=None, telemetry=None):
             _WARM_CACHE.hits)
         telemetry.metrics.gauge("worker.warm_cache_misses").set(
             _WARM_CACHE.misses)
+        telemetry.metrics.gauge(
+            "worker.warm_cache_integrity_misses").set(
+            _WARM_CACHE.integrity_misses)
+        telemetry.metrics.gauge("worker.warm_cache_write_errors").set(
+            _WARM_CACHE.write_errors)
     controller = None
     if spec.delay is not None:
         thresholds = design.thresholds(delay=spec.delay, error=spec.error,

@@ -38,13 +38,19 @@ environment into the pool's worker children untouched.
 """
 
 import os
+import sys
 import threading
 import time
 from http.server import ThreadingHTTPServer
 
+from repro.faults import iofault
 from repro.faults.chaos import ProcessChaos
 from repro.orchestrator.cache import ResultCache, result_checksum
-from repro.orchestrator.journal import SweepJournal, replay_journal
+from repro.orchestrator.journal import (
+    JournalWriteError,
+    SweepJournal,
+    replay_journal,
+)
 from repro.orchestrator.runner import Runner, SweepInterrupted
 from repro.server.handlers import ApiHandler
 from repro.server.queue import JobQueue
@@ -52,6 +58,7 @@ from repro.telemetry import MetricsRegistry, Telemetry
 
 #: Exit codes :meth:`SweepServer.run` returns (mirrors ``sweep``).
 EXIT_CLEAN = 0
+EXIT_JOURNAL = 2
 EXIT_DRAINED = 3
 
 #: Executor wake-up period while the queue is empty (also the drain
@@ -176,6 +183,9 @@ class SweepServer:
         self._stop = threading.Event()
         self._started_at = time.time()
         self._chaos = ProcessChaos.from_env(scope="serve")
+        # Storage faults scoped `serve=` arm in this process only
+        # (worker children re-arm their own scope on spawn).
+        iofault.set_scope("serve")
         self._dispatched = 0
         self._dirty = False
         self.httpd = None
@@ -365,9 +375,12 @@ class SweepServer:
     def run(self):
         """The executor loop; blocks until shutdown.
 
-        Returns the process exit code: 0 after :meth:`stop`, 3 after a
-        signal-driven drain (``KeyboardInterrupt`` here or a
-        :class:`SweepInterrupted` out of a running batch).
+        Returns the process exit code: 0 after :meth:`stop`, 2 when
+        the journal stops persisting records (the fail-loud storage
+        domain: serving cells the WAL cannot hold would break
+        durability-before-visibility), 3 after a signal-driven drain
+        (``KeyboardInterrupt`` here or a :class:`SweepInterrupted` out
+        of a running batch).
         """
         try:
             while not self._stop.is_set():
@@ -377,6 +390,16 @@ class SweepServer:
                     self._maybe_compact()
                     continue
                 self._run_batch(batch)
+        except JournalWriteError as exc:
+            # Executor-side journal failure (a `dispatched`/`done`
+            # record did not persist).  Stop serving: anything already
+            # acknowledged is journalled, and what is on disk stays
+            # replayable (at worst a torn tail).
+            print("[serve] journal write failed, shutting down: %s"
+                  % exc, file=sys.stderr, flush=True)
+            self.count("journal_write_errors")
+            self._shutdown()
+            return EXIT_JOURNAL
         except SweepInterrupted as exc:
             # The runner journalled `interrupted` and flushed finished
             # cells already; surface what completed, then drain.
@@ -388,8 +411,13 @@ class SweepServer:
             return EXIT_DRAINED
         except KeyboardInterrupt:
             # Interrupted while idle (no batch in flight): flush the
-            # interrupted marker ourselves so a restart knows.
-            self.journal.interrupted()
+            # interrupted marker ourselves so a restart knows.  If the
+            # disk is failing too, the drain still proceeds -- replay
+            # treats a missing marker exactly like a kill.
+            try:
+                self.journal.interrupted()
+            except JournalWriteError:
+                self.count("journal_write_errors")
             self._shutdown()
             return EXIT_DRAINED
         self._shutdown()
@@ -424,7 +452,14 @@ class SweepServer:
                 and self.queue.idle()):
             return
         self._dirty = False
-        stats = self.journal.compact()
+        try:
+            stats = self.journal.compact()
+        except OSError:
+            # Compaction is maintenance, not correctness: a failed
+            # rewrite leaves the original journal untouched (the temp
+            # file carries all the risk), so count it and serve on.
+            self.count("journal_compact_errors")
+            return
         self.count("journal_compactions")
         self.count("journal_bytes_reclaimed",
                    max(0, stats["bytes_before"] - stats["bytes_after"]))

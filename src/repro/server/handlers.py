@@ -12,7 +12,9 @@ POST     ``/jobs``           Submit cells; idempotent by content hash.
                              ``suites`` request (named suites + grid
                              knobs) expanded server-side at admission.
                              202 admitted, 429 queue full (load shed),
-                             503 draining, 400 malformed, 413 oversized.
+                             503 draining or journal write failure
+                             (nothing admitted), 400 malformed, 413
+                             oversized.
 GET      ``/jobs/<hash>``    Poll one cell.  200 with ``ETag`` once
                              terminal; 304 on ``If-None-Match`` match;
                              404 unknown.
@@ -34,6 +36,7 @@ import json
 import re
 from http.server import BaseHTTPRequestHandler
 
+from repro.orchestrator.journal import JournalWriteError
 from repro.orchestrator.spec import JobSpec
 from repro.server.queue import QueueFull
 
@@ -179,6 +182,17 @@ class ApiHandler(BaseHTTPRequestHandler):
             self.app.count("shed")
             return self._send_error_json(
                 429, str(exc),
+                headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
+        except JournalWriteError as exc:
+            # Durability-before-visibility under disk faults: if the
+            # `queued` records cannot be fsync'd, nothing was admitted
+            # (the on_fresh hook runs before cells become
+            # dispatchable), so tell the client to retry elsewhere
+            # rather than hand out an unjournalled 202.
+            self.app.count("journal_write_errors")
+            return self._send_error_json(
+                503, "journal write failed; submission not admitted: "
+                "%s" % exc,
                 headers={"Retry-After": str(RETRY_AFTER_SECONDS)})
         response = {"jobs": report, "queue": self.app.queue.counts()}
         response.update(extra)

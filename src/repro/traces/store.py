@@ -32,6 +32,7 @@ import tempfile
 
 import numpy as np
 
+from repro.faults import iofault
 from repro.traces.schema import TRACE_SCHEMA, Trace
 
 #: Store layout version (directory name under the root).
@@ -52,16 +53,27 @@ def default_trace_root():
 
 
 def _write_atomic(path, data, binary=False):
+    """Temp-file + rename publish through the ``traces`` fault seam.
+
+    The trace store's failure domain is *fail loud*: imports are
+    user-initiated durable writes, so an injected or real ``OSError``
+    (ENOSPC, EIO, failed rename) propagates to the caller after the
+    temp file is cleaned up -- the CLI turns it into a non-zero exit,
+    never a silently half-imported trace.
+    """
     os.makedirs(os.path.dirname(path), exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
     try:
         with os.fdopen(fd, "wb" if binary else "w") as fh:
-            fh.write(data)
-        os.replace(tmp, path)
+            iofault.write("traces", fh, data)
+        iofault.replace("traces", tmp, path)
     except BaseException:
         try:
             os.unlink(tmp)
         except OSError:
+            # Best-effort cleanup only; the original failure re-raises
+            # below, and a surviving temp file is reclaimed by
+            # ``repro-didt doctor``.
             pass
         raise
 
@@ -119,6 +131,9 @@ class TraceStore:
         try:
             fh = open(path, "r")
         except OSError:
+            # Absent (or unopenable) entry: a plain miss by contract;
+            # a *present* entry that fails validation is counted below,
+            # and ``doctor`` reports unreadable present entries.
             return None
         try:
             with fh:
@@ -152,6 +167,37 @@ class TraceStore:
             self.integrity_misses += 1
             return None
         return trace
+
+    def verify_entry(self, digest):
+        """Scrub one stored trace; ``None`` if trustworthy, else a
+        short reason string (meta header, sample load, and full
+        content-hash recomputation -- the same checks :meth:`get`
+        applies, without touching the miss counters)."""
+        directory = self.entry_dir(digest)
+        meta_path = os.path.join(directory, "meta.json")
+        try:
+            with open(meta_path, "r") as fh:
+                meta = json.load(fh)
+            if not isinstance(meta, dict) or meta.get("hash") != digest \
+                    or meta.get("schema") != TRACE_SCHEMA:
+                raise ValueError("meta mismatch")
+        except OSError as exc:
+            return "meta unreadable: %s" % (exc.strerror or exc)
+        except (ValueError, KeyError, TypeError):
+            return "meta unparsable or mismatched"
+        try:
+            samples = np.load(os.path.join(directory, "samples.npy"),
+                              allow_pickle=False)
+            trace = Trace(samples, units=meta["units"],
+                          clock_hz=meta["clock_hz"],
+                          name=meta.get("name"))
+            if trace.content_hash() != digest:
+                raise ValueError("content hash mismatch")
+        except OSError as exc:
+            return "samples unreadable: %s" % (exc.strerror or exc)
+        except (ValueError, KeyError, TypeError, EOFError) as exc:
+            return str(exc) or exc.__class__.__name__
+        return None
 
     def list(self):
         """Meta dicts for every readable trace, sorted by (name, hash)."""
@@ -235,6 +281,8 @@ class TraceStore:
         try:
             fh = open(self._suite_path(name), "r")
         except OSError:
+            # Absent suite: a plain miss; a present-but-corrupt suite
+            # file is counted below and reported by ``doctor``.
             return None
         try:
             with fh:
@@ -278,6 +326,8 @@ class TraceStore:
                     info["bytes"] += os.path.getsize(
                         os.path.join(directory, filename))
                 except OSError:
+                    # Entry vanished mid-scan; the next scan's counts
+                    # reflect it.
                     pass
         info["suites"] = len(self.list_suites())
         return info

@@ -1,0 +1,268 @@
+"""Tests for storage-fault injection (parsing, triggering, scoping,
+and the write/fsync/replace seams).  The store-level consequences --
+caches degrading to counted misses, the journal failing loud -- are
+exercised where the stores live (``tests/orchestrator``,
+``tests/core/test_checkpoint.py``, ``tests/server``)."""
+
+import errno
+import io
+import os
+
+import pytest
+
+from repro.faults import iofault
+from repro.faults.iofault import (
+    IO_MODES,
+    IO_ONCE_MARKER,
+    IO_TARGETS,
+    IOCHAOS_ENV,
+    IOCHAOS_ONCE_ENV,
+    IoFault,
+    IoFaultSet,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_iofault(monkeypatch):
+    """Each test starts disarmed, worker-scoped, with fresh counters."""
+    monkeypatch.delenv(IOCHAOS_ENV, raising=False)
+    monkeypatch.delenv(IOCHAOS_ONCE_ENV, raising=False)
+    iofault.set_scope("worker")
+    iofault.reset()
+    yield
+    iofault.set_scope("worker")
+    iofault.reset()
+
+
+class TestParse:
+    def test_always_trigger(self):
+        fault = IoFault.parse("enospc@cache")
+        assert fault.mode == "enospc"
+        assert fault.target == "cache"
+        assert fault.ordinal is None and fault.every is None
+        assert fault.scope is None
+
+    def test_ordinal_trigger(self):
+        fault = IoFault.parse("fsync-fail@journal:2")
+        assert fault.mode == "fsync-fail"
+        assert fault.target == "journal"
+        assert fault.ordinal == 2
+
+    def test_every_trigger(self):
+        fault = IoFault.parse("torn-write@captures:every=3")
+        assert fault.every == 3
+        assert fault.ordinal is None
+
+    def test_scope_prefixes(self):
+        assert IoFault.parse("eio@serve=journal").scope == "serve"
+        assert IoFault.parse("eio@worker=cache").scope == "worker"
+        fault = IoFault.parse("rename-fail@serve=journal:1")
+        assert fault.scope == "serve" and fault.ordinal == 1
+
+    def test_once_dir_is_threaded_through(self, tmp_path):
+        fault = IoFault.parse("enospc@cache", once_dir=str(tmp_path))
+        assert fault.once_dir == str(tmp_path)
+
+    def test_every_documented_mode_parses(self):
+        for mode in IO_MODES:
+            assert IoFault.parse("%s@cache" % mode).mode == mode
+
+    def test_every_documented_target_parses(self):
+        for target in IO_TARGETS:
+            assert IoFault.parse("eio@%s" % target).target == target
+
+    @pytest.mark.parametrize("text", [
+        "enospc", "enospc@", "@cache", "warp@cache", "enospc@disk",
+        "enospc@cache:zero", "enospc@cache:0", "enospc@cache:every=x",
+        "enospc@cache:every=0", "enospc@serve=", "eio@moon=cache",
+    ])
+    def test_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            IoFault.parse(text)
+
+    def test_ordinal_and_every_are_exclusive(self):
+        with pytest.raises(ValueError):
+            IoFault("enospc", "cache", ordinal=1, every=2)
+
+    def test_mode_op_mapping(self):
+        assert IoFault.parse("enospc@cache").op == "write"
+        assert IoFault.parse("eio@cache").op == "write"
+        assert IoFault.parse("torn-write@cache").op == "write"
+        assert IoFault.parse("fsync-fail@journal").op == "fsync"
+        assert IoFault.parse("rename-fail@traces").op == "replace"
+
+
+class TestFromEnv:
+    def test_unset_means_disarmed(self):
+        assert IoFault.from_env(environ={}) is None
+        assert IoFault.from_env(environ={IOCHAOS_ENV: ""}) is None
+
+    def test_single_fault_set(self, tmp_path):
+        environ = {IOCHAOS_ENV: "enospc@cache:2",
+                   IOCHAOS_ONCE_ENV: str(tmp_path)}
+        armed = IoFault.from_env(environ=environ)
+        assert isinstance(armed, IoFaultSet)
+        (fault,) = armed.faults
+        assert fault.ordinal == 2
+        assert fault.once_dir == str(tmp_path)
+
+    def test_list_gets_distinct_markers(self, tmp_path):
+        environ = {IOCHAOS_ENV: "enospc@cache,fsync-fail@journal",
+                   IOCHAOS_ONCE_ENV: str(tmp_path)}
+        armed = IoFault.from_env(environ=environ)
+        assert len(armed.faults) == 2
+        assert len({fault.marker for fault in armed.faults}) == 2
+
+    def test_scope_filtering(self):
+        environ = {IOCHAOS_ENV: "eio@serve=journal"}
+        assert IoFault.from_env(environ=environ) is None
+        armed = IoFault.from_env(environ=environ, scope="serve")
+        assert armed.faults[0].target == "journal"
+
+    def test_unscoped_faults_arm_everywhere(self):
+        environ = {IOCHAOS_ENV: "enospc@cache"}
+        for scope in ("worker", "serve"):
+            armed = IoFault.from_env(environ=environ, scope=scope)
+            assert armed is not None
+
+    def test_mixed_list_filters_per_side(self, tmp_path):
+        environ = {
+            IOCHAOS_ENV: "enospc@worker=cache,eio@serve=journal",
+            IOCHAOS_ONCE_ENV: str(tmp_path)}
+        worker = IoFault.from_env(environ=environ)
+        serve = IoFault.from_env(environ=environ, scope="serve")
+        assert [f.target for f in worker.faults] == ["cache"]
+        assert [f.target for f in serve.faults] == ["journal"]
+        # Markers are assigned over the full list before filtering.
+        assert worker.faults[0].marker != serve.faults[0].marker
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError):
+            IoFault.from_env(environ={}, scope="moon")
+
+
+class TestTrigger:
+    def test_ordinal_counts_only_matching_operations(self):
+        fault = IoFault("enospc", "cache", ordinal=2)
+        # Wrong op and wrong target never count.
+        assert not fault.matches("fsync", "cache")
+        assert not fault.matches("write", "journal")
+        assert not fault.matches("write", "cache")   # 1st
+        assert fault.matches("write", "cache")       # 2nd: fires
+        assert not fault.matches("write", "cache")   # 3rd
+
+    def test_every_fires_periodically(self):
+        fault = IoFault("eio", "warm", every=2)
+        hits = [fault.matches("write", "warm") for _ in range(6)]
+        assert hits == [False, True, False, True, False, True]
+
+    def test_always_fires_every_time(self):
+        fault = IoFault("rename-fail", "traces")
+        assert fault.should_fire("replace", "traces")
+        assert fault.should_fire("replace", "traces")
+        assert fault.fired == 2
+
+    def test_error_codes(self):
+        enospc = IoFault("enospc", "cache").error()
+        assert enospc.errno == errno.ENOSPC
+        for mode in ("eio", "torn-write", "fsync-fail", "rename-fail"):
+            assert IoFault(mode, "cache").error().errno == errno.EIO
+
+
+class TestFireOnce:
+    def test_first_claim_wins(self, tmp_path):
+        first = IoFault("enospc", "cache", once_dir=str(tmp_path))
+        second = IoFault("enospc", "cache", once_dir=str(tmp_path))
+        assert first.should_fire("write", "cache")
+        assert (tmp_path / IO_ONCE_MARKER).exists()
+        assert not second.should_fire("write", "cache")
+        assert second.fired == 0
+
+    def test_marker_survives_for_later_processes(self, tmp_path):
+        (tmp_path / IO_ONCE_MARKER).write_text("123\n")
+        fault = IoFault("enospc", "cache", once_dir=str(tmp_path))
+        assert not fault.should_fire("write", "cache")
+
+
+class TestSeams:
+    def test_disabled_seams_pass_through(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        with open(path, "w") as fh:
+            iofault.write("cache", fh, "hello\n")
+            iofault.fsync("cache", fh.fileno())
+        iofault.replace("cache", str(path), str(tmp_path / "moved.txt"))
+        assert (tmp_path / "moved.txt").read_text() == "hello\n"
+
+    def test_enospc_write_writes_nothing(self, monkeypatch):
+        monkeypatch.setenv(IOCHAOS_ENV, "enospc@cache")
+        buf = io.StringIO()
+        with pytest.raises(OSError) as info:
+            iofault.write("cache", buf, "payload")
+        assert info.value.errno == errno.ENOSPC
+        assert buf.getvalue() == ""
+
+    def test_torn_write_writes_half(self, monkeypatch):
+        monkeypatch.setenv(IOCHAOS_ENV, "torn-write@journal")
+        buf = io.StringIO()
+        with pytest.raises(OSError) as info:
+            iofault.write("journal", buf, "0123456789")
+        assert info.value.errno == errno.EIO
+        assert buf.getvalue() == "01234"
+
+    def test_fsync_fail(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(IOCHAOS_ENV, "fsync-fail@journal")
+        with open(tmp_path / "j", "w") as fh:
+            fh.write("x")
+            with pytest.raises(OSError):
+                iofault.fsync("journal", fh.fileno())
+        # Other targets stay healthy.
+        with open(tmp_path / "k", "w") as fh:
+            iofault.fsync("cache", fh.fileno())
+
+    def test_rename_fail_leaves_source(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(IOCHAOS_ENV, "rename-fail@traces")
+        src = tmp_path / "a"
+        src.write_text("x")
+        with pytest.raises(OSError):
+            iofault.replace("traces", str(src), str(tmp_path / "b"))
+        assert src.exists()
+        assert not (tmp_path / "b").exists()
+
+    def test_ordinal_counts_across_seam_calls(self, monkeypatch):
+        monkeypatch.setenv(IOCHAOS_ENV, "eio@cache:3")
+        for _ in range(2):
+            buf = io.StringIO()
+            iofault.write("cache", buf, "ok")
+            assert buf.getvalue() == "ok"
+        with pytest.raises(OSError):
+            iofault.write("cache", io.StringIO(), "boom")
+
+    def test_rearming_on_env_change(self, monkeypatch):
+        monkeypatch.setenv(IOCHAOS_ENV, "eio@cache")
+        with pytest.raises(OSError):
+            iofault.write("cache", io.StringIO(), "x")
+        monkeypatch.delenv(IOCHAOS_ENV)
+        buf = io.StringIO()
+        iofault.write("cache", buf, "x")
+        assert buf.getvalue() == "x"
+
+    def test_scope_gates_seams(self, monkeypatch):
+        monkeypatch.setenv(IOCHAOS_ENV, "eio@serve=journal")
+        buf = io.StringIO()
+        iofault.write("journal", buf, "fine in a worker")
+        assert buf.getvalue() == "fine in a worker"
+        iofault.set_scope("serve")
+        with pytest.raises(OSError):
+            iofault.write("journal", io.StringIO(), "boom")
+
+    def test_once_marker_gates_seams(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(IOCHAOS_ENV, "enospc@cache")
+        monkeypatch.setenv(IOCHAOS_ONCE_ENV, str(tmp_path))
+        with pytest.raises(OSError):
+            iofault.write("cache", io.StringIO(), "x")
+        # The marker is claimed: every later write proceeds healthy.
+        buf = io.StringIO()
+        iofault.write("cache", buf, "x")
+        assert buf.getvalue() == "x"
+        assert os.path.exists(os.path.join(str(tmp_path),
+                                           IO_ONCE_MARKER))

@@ -188,3 +188,84 @@ class TestWriterExclusivity:
             SweepJournal(path, fsync=False)
         assert (tmp_path / "sweep.journal").stat().st_size == size
         journal.close()
+
+
+class TestCompactUnderStorageFaults:
+    """The journal-compaction failure domain: a compaction that cannot
+    land must leave the original journal byte-identical, readable, and
+    unlocked -- compaction is maintenance, never a correctness risk."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_iofault(self, monkeypatch):
+        from repro.faults import iofault
+
+        monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+        monkeypatch.delenv(iofault.IOCHAOS_ONCE_ENV, raising=False)
+        iofault.reset()
+        yield
+        iofault.reset()
+
+    def _faulted_compact(self, tmp_path, monkeypatch, chaos,
+                         match=None):
+        from repro.faults import iofault
+
+        path = tmp_path / "sweep.journal"
+        _write_history(str(path))
+        original = path.read_bytes()
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, chaos)
+        iofault.reset()
+        with pytest.raises(OSError, match=match):
+            compact_journal(str(path), fsync=False)
+        monkeypatch.delenv(iofault.IOCHAOS_ENV)
+        iofault.reset()
+        return path, original
+
+    def test_enospc_leaves_original_intact(self, tmp_path,
+                                           monkeypatch):
+        path, original = self._faulted_compact(
+            tmp_path, monkeypatch, "enospc@journal",
+            match="No space left")
+        assert path.read_bytes() == original
+        state = replay_journal(str(path))
+        assert len(state.specs) == 2
+
+    def test_rename_fail_leaves_original_intact(self, tmp_path,
+                                                monkeypatch):
+        path, original = self._faulted_compact(
+            tmp_path, monkeypatch, "rename-fail@journal")
+        assert path.read_bytes() == original
+        # The failed rename's temp file was cleaned up too.
+        leftovers = [name for name in path.parent.iterdir()
+                     if name.name != path.name]
+        assert leftovers == []
+
+    @needs_fcntl
+    def test_flock_released_after_failed_compact(self, tmp_path,
+                                                 monkeypatch):
+        path, _original = self._faulted_compact(
+            tmp_path, monkeypatch, "enospc@journal")
+        # A failed compaction must not leave the journal locked: a new
+        # writer (the retrying sweep) opens it cleanly.
+        journal = SweepJournal(str(path), fsync=False)
+        journal.resumed()
+        journal.close()
+
+    def test_compact_method_reopens_after_failure(self, tmp_path,
+                                                  monkeypatch):
+        from repro.faults import iofault
+
+        path = tmp_path / "sweep.journal"
+        spec = _spec()
+        journal = SweepJournal(str(path), fsync=False)
+        journal.begin_sweep([spec], salt="s1")
+        journal.done(spec.content_hash(), _ok())
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, "rename-fail@journal")
+        iofault.reset()
+        with pytest.raises(OSError):
+            journal.compact()
+        monkeypatch.delenv(iofault.IOCHAOS_ENV)
+        iofault.reset()
+        # The method's finally-reopen kept the journal appendable.
+        journal.end()
+        journal.close()
+        assert replay_journal(str(path)).ended

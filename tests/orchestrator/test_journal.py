@@ -254,3 +254,94 @@ class TestReplay:
             journal.queued(spec)
         state = replay_journal(path)
         assert state.specs == [spec]
+
+
+class TestWriteFaults:
+    """The journal's fail-loud domain: an append that cannot persist
+    raises :class:`JournalWriteError`, closes the writer, and leaves
+    the on-disk file replayable (at worst a torn tail)."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_iofault(self, monkeypatch):
+        from repro.faults import iofault
+
+        monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+        monkeypatch.delenv(iofault.IOCHAOS_ONCE_ENV, raising=False)
+        iofault.reset()
+        yield
+        iofault.reset()
+
+    def _arm(self, monkeypatch, chaos):
+        from repro.faults import iofault
+
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, chaos)
+        iofault.reset()
+
+    def test_enospc_append_raises_and_closes(self, tmp_path,
+                                             monkeypatch):
+        from repro.orchestrator import JournalWriteError
+
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path, fsync=False)
+        journal.begin(settings=SETTINGS, salt="s")
+        self._arm(monkeypatch, "enospc@journal")
+        with pytest.raises(JournalWriteError, match="queued"):
+            journal.queued(tiny_spec())
+        # Fail loud closed the handle: nothing can append after the
+        # failed record.
+        with pytest.raises(JournalError, match="closed"):
+            journal.interrupted()
+        # What reached the disk before the fault replays cleanly.
+        state = replay_journal(path)
+        assert state.settings == SETTINGS
+
+    def test_torn_append_leaves_replayable_journal(self, tmp_path,
+                                                   monkeypatch):
+        from repro.orchestrator import JournalWriteError
+
+        path = str(tmp_path / "sweep.journal")
+        spec = tiny_spec()
+        journal = SweepJournal(path, fsync=False)
+        journal.begin_sweep([spec], settings=SETTINGS, salt="s")
+        self._arm(monkeypatch, "torn-write@journal")
+        with pytest.raises(JournalWriteError):
+            journal.done(spec.content_hash(), ok_result())
+        monkeypatch.delenv("REPRO_IOCHAOS")
+        # The half-written record is exactly the torn tail replay
+        # tolerates; every earlier record survives.
+        state = replay_journal(path)
+        assert state.dropped_tail
+        assert state.spec_hashes() == [spec.content_hash()]
+        assert state.pending_specs() == [spec]
+        # And the next writer trims the fragment and appends cleanly.
+        with SweepJournal(path, fsync=False) as resumed:
+            resumed.resumed()
+            resumed.done(spec.content_hash(), ok_result())
+        healed = replay_journal(path)
+        assert not healed.dropped_tail
+        assert healed.pending_specs() == []
+
+    def test_fsync_fail_raises_journal_write_error(self, tmp_path,
+                                                   monkeypatch):
+        from repro.orchestrator import JournalWriteError
+
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path, fsync=True)
+        self._arm(monkeypatch, "fsync-fail@journal")
+        with pytest.raises(JournalWriteError, match="begin"):
+            journal.begin(salt="s")
+
+    def test_error_carries_path_and_event(self, tmp_path,
+                                          monkeypatch):
+        from repro.orchestrator import JournalWriteError
+
+        path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(path, fsync=False)
+        self._arm(monkeypatch, "eio@journal")
+        with pytest.raises(JournalWriteError) as info:
+            journal.begin(salt="s")
+        assert info.value.path == path
+        assert info.value.event == "begin"
+        # JournalWriteError is a JournalError is a ValueError, so
+        # existing broad handlers still catch it.
+        assert isinstance(info.value, JournalError)

@@ -309,3 +309,67 @@ class TestSuiteAggregatePairing:
                           replay=False).run(specs)
         assert (suite_aggregates(replayed, suites)
                 == suite_aggregates(lockstep, suites))
+
+
+class TestCaptureStorageFaults:
+    """The capture cache's *degrade* failure domain: a store that
+    cannot persist captures replays every lane from memory with
+    bitwise-identical results, counts the failures, and leaves no
+    residue."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_iofault(self, monkeypatch):
+        from repro.faults import iofault
+
+        monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+        monkeypatch.delenv(iofault.IOCHAOS_ONCE_ENV, raising=False)
+        iofault.reset()
+        yield
+        iofault.reset()
+
+    def _group(self):
+        return ReplayGroup([tiny_spec(impedance_percent=p)
+                            for p in (150.0, 300.0)])
+
+    @pytest.mark.parametrize("chaos", ["enospc@captures",
+                                       "torn-write@captures",
+                                       "rename-fail@captures"])
+    def test_faulted_put_is_bitwise_transparent(self, tmp_path,
+                                                monkeypatch, chaos):
+        from repro.faults import iofault
+
+        clean = execute_replay_group(
+            self._group(),
+            trace_cache=CurrentTraceCache(root=tmp_path / "clean",
+                                          salt="s"))
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, chaos)
+        iofault.reset()
+        cache = CurrentTraceCache(root=tmp_path / "faulted", salt="s")
+        faulted = execute_replay_group(self._group(),
+                                       trace_cache=cache)
+        assert faulted["results"] == clean["results"]
+        assert faulted["capture"] == "miss"
+        assert faulted["capture_write_error"] is True
+        assert cache.write_errors == 1
+        leftovers = [name for _, _, names in
+                     os.walk(str(tmp_path / "faulted"))
+                     for name in names]
+        assert leftovers == []
+
+    def test_runner_counts_capture_write_errors(self, tmp_path,
+                                                monkeypatch):
+        from repro.faults import iofault
+        from repro.orchestrator import ResultCache
+
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, "enospc@captures")
+        iofault.reset()
+        telemetry = Telemetry(metrics=MetricsRegistry())
+        runner = Runner(jobs=1, progress=False,
+                        cache=ResultCache(root=tmp_path, salt="s"),
+                        telemetry=telemetry)
+        runner.trace_cache = CurrentTraceCache(root=tmp_path, salt="s")
+        outcomes = runner.run([tiny_spec(impedance_percent=p)
+                               for p in (150.0, 300.0)])
+        assert all(o.result["status"] == "ok" for o in outcomes)
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["orchestrator.capture.write_errors"] == 1

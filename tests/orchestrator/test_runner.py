@@ -269,3 +269,72 @@ class TestDefaults:
     def test_jobs_argument_validated(self):
         with pytest.raises(ValueError):
             Runner(jobs=0)
+
+
+class TestStorageFaultDegradation:
+    """The result cache's *degrade* failure domain, end to end: a
+    sweep whose every cache write fails produces a byte-identical
+    report, counts the failures, and leaves no residue on disk."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_iofault(self, monkeypatch):
+        from repro.faults import iofault
+
+        monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+        monkeypatch.delenv(iofault.IOCHAOS_ONCE_ENV, raising=False)
+        iofault.reset()
+        yield
+        iofault.reset()
+
+    def test_cache_faults_never_change_results(self, tmp_path,
+                                               monkeypatch):
+        import os
+
+        from repro.faults import iofault
+
+        specs = [tiny_spec(seed=1), tiny_spec(seed=2)]
+        clean_cache = ResultCache(root=tmp_path / "clean", salt="s")
+        clean = Runner(jobs=1, cache=clean_cache,
+                       progress=False).run(specs)
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, "enospc@cache")
+        iofault.reset()
+        faulted_cache = ResultCache(root=tmp_path / "faulted",
+                                    salt="s")
+        telemetry = Telemetry(metrics=MetricsRegistry(),
+                              profiler=SpanProfiler())
+        faulted = Runner(jobs=1, cache=faulted_cache, progress=False,
+                         telemetry=telemetry).run(specs)
+        assert report_json(faulted) == report_json(clean)
+        assert faulted_cache.write_errors == 2
+        counters = telemetry.metrics.to_dict()["counters"]
+        assert counters["orchestrator.cache.write_errors"] == 2
+        # Degrade cleans up after itself: no entries, no temp residue.
+        leftovers = [name for _, _, names in
+                     os.walk(str(tmp_path / "faulted"))
+                     for name in names]
+        assert leftovers == []
+
+    def test_rename_fault_behaves_like_enospc(self, tmp_path,
+                                              monkeypatch):
+        import os
+
+        from repro.faults import iofault
+
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, "rename-fail@cache")
+        iofault.reset()
+        cache = ResultCache(root=tmp_path, salt="s")
+        spec = tiny_spec(seed=3)
+        outcome = Runner(jobs=1, cache=cache,
+                         progress=False).run([spec])[0]
+        assert outcome.result["status"] == "ok"
+        assert cache.write_errors == 1
+        leftovers = [name for _, _, names in os.walk(str(tmp_path))
+                     for name in names]
+        assert leftovers == []
+        # Disarmed, the very next sweep heals the cache.
+        monkeypatch.delenv(iofault.IOCHAOS_ENV)
+        iofault.reset()
+        healed = Runner(jobs=1, cache=cache,
+                        progress=False).run([spec])[0]
+        assert healed.result == outcome.result
+        assert os.path.exists(cache.path_for(spec))

@@ -1,0 +1,151 @@
+"""Storage faults against the sweep service: the journal's fail-loud
+domain at both seams.
+
+Admission: a submission whose ``queued`` records cannot persist is
+rejected with 503 -- nothing is admitted, nothing is dispatchable, and
+the client is told to retry (durability-before-visibility).
+
+Executor: a ``dispatched``/``done`` record that cannot persist shuts
+the server down with exit code 2, leaving the on-disk journal
+replayable.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.faults import iofault
+from repro.orchestrator import JobSpec, replay_journal
+from repro.server import SweepClient, SweepServer
+from repro.server.app import EXIT_JOURNAL
+
+
+@pytest.fixture(autouse=True)
+def _isolated(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+    monkeypatch.delenv(iofault.IOCHAOS_ONCE_ENV, raising=False)
+    iofault.reset()
+    yield
+    iofault.set_scope("worker")
+    iofault.reset()
+
+
+def _spec(percent=100.0):
+    return JobSpec(workload="swim", cycles=1500,
+                   impedance_percent=percent, seed=11)
+
+
+class _Service:
+    def __init__(self, tmp_path, **kwargs):
+        self.journal_path = str(tmp_path / "serve.journal")
+        kwargs.setdefault("jobs", 1)
+        self.server = SweepServer(self.journal_path, **kwargs)
+        self.port = self.server.start()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.exit_code = None
+        self.thread.start()
+
+    def _run(self):
+        self.exit_code = self.server.run()
+
+    def url(self, path):
+        return "http://127.0.0.1:%d%s" % (self.port, path)
+
+    def stop(self):
+        self.server.stop()
+        self.thread.join(30.0)
+        assert not self.thread.is_alive()
+
+
+def _post_jobs(service, specs):
+    body = json.dumps(
+        {"specs": [s.to_dict() for s in specs]}).encode()
+    request = urllib.request.Request(
+        service.url("/jobs"), data=body,
+        headers={"Content-Type": "application/json"})
+    return urllib.request.urlopen(request, timeout=30)
+
+
+class TestAdmissionFaults:
+    def test_journal_fault_means_503_nothing_admitted(self, tmp_path,
+                                                      monkeypatch):
+        service = _Service(tmp_path)
+        try:
+            spec = _spec()
+            monkeypatch.setenv(iofault.IOCHAOS_ENV,
+                               "eio@serve=journal")
+            iofault.reset()
+            with pytest.raises(urllib.error.HTTPError) as info:
+                _post_jobs(service, [spec])
+            assert info.value.code == 503
+            payload = json.loads(info.value.read())
+            assert "not admitted" in payload["error"]
+            assert info.value.headers["Retry-After"]
+            monkeypatch.delenv(iofault.IOCHAOS_ENV)
+            iofault.reset()
+            # Nothing was admitted: the cell is unknown to the queue.
+            with pytest.raises(urllib.error.HTTPError) as poll:
+                urllib.request.urlopen(
+                    service.url("/jobs/%s" % spec.content_hash()),
+                    timeout=30)
+            assert poll.value.code == 404
+            metrics = service.server.telemetry.metrics.to_dict()
+            assert metrics["counters"][
+                "server.journal_write_errors"] >= 1
+        finally:
+            monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+            iofault.reset()
+            service.stop()
+        # The journal closed on the failed append, so the on-disk file
+        # replays cleanly -- at worst it lost the record that was
+        # never acknowledged.
+        state = replay_journal(service.journal_path)
+        assert state.specs == []
+
+    def test_unscoped_fault_and_worker_prefix_do_not_hit_serve(
+            self, tmp_path, monkeypatch):
+        # worker=-scoped journal faults must not fire in the server
+        # process: admission succeeds.
+        monkeypatch.setenv(iofault.IOCHAOS_ENV,
+                           "eio@worker=journal")
+        iofault.reset()
+        service = _Service(tmp_path)
+        try:
+            client = SweepClient(
+                "http://127.0.0.1:%d" % service.port, retry_budget=3)
+            results = client.wait([_spec()], poll_seconds=0.05,
+                                  deadline_seconds=120)
+            assert all(r["status"] == "ok" for r in results.values())
+        finally:
+            service.stop()
+        assert service.exit_code == 0
+
+
+class TestExecutorFaults:
+    def test_mid_serve_journal_fault_exits_2(self, tmp_path,
+                                             monkeypatch):
+        service = _Service(tmp_path)
+        try:
+            # Journal write ordinals after arming: #1 is the admission
+            # `queued` (must succeed -- the 202 is the durability
+            # ACK), #2 is the executor's `dispatched` (fires).
+            monkeypatch.setenv(iofault.IOCHAOS_ENV,
+                               "eio@serve=journal:2")
+            iofault.reset()
+            response = _post_jobs(service, [_spec()])
+            assert response.status == 202
+            service.thread.join(60.0)
+            assert not service.thread.is_alive()
+            assert service.exit_code == EXIT_JOURNAL == 2
+        finally:
+            monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+            iofault.reset()
+            service.server.stop()
+        # The journal on disk holds the admitted cell and stays
+        # replayable: a restarted server re-queues and finishes it.
+        state = replay_journal(service.journal_path)
+        assert len(state.pending_specs()) == 1

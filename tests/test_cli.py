@@ -801,3 +801,106 @@ class TestSubmitAgainstLiveServer:
         payload = json.loads(text)["jobs"][job]
         assert payload["status"] == "done"
         assert payload["result"]["status"] == "ok"
+
+
+class TestSweepStorageFaults:
+    """The sweep CLI's storage-fault contract: cache faults are
+    byte-transparent (exit 0, identical report); journal faults are
+    fail-loud (exit 2, journal left replayable)."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_iofault(self, monkeypatch):
+        from repro.faults import iofault
+
+        monkeypatch.delenv(iofault.IOCHAOS_ENV, raising=False)
+        monkeypatch.delenv(iofault.IOCHAOS_ONCE_ENV, raising=False)
+        iofault.reset()
+        yield
+        iofault.reset()
+
+    def sweep(self, tmp_path, label, *extra):
+        path = tmp_path / (label + ".json")
+        argv = ["sweep", "--workloads", "swim", "--impedances", "200",
+                "--controllers", "none",
+                "--cycles", "250", "--warmup", "400", "--seed", "9",
+                "--jobs", "1",
+                "--cache-dir", str(tmp_path / (label + "-cache")),
+                "--json", str(path)] + list(extra)
+        code, _ = run_cli(*argv)
+        return code, path
+
+    def _arm(self, monkeypatch, chaos):
+        from repro.faults import iofault
+
+        monkeypatch.setenv(iofault.IOCHAOS_ENV, chaos)
+        iofault.reset()
+
+    @pytest.mark.parametrize("chaos", ["enospc@cache",
+                                       "torn-write@captures"])
+    def test_cache_faults_are_byte_transparent(self, tmp_path,
+                                               monkeypatch, chaos):
+        code, clean = self.sweep(tmp_path, "clean")
+        assert code == 0
+        self._arm(monkeypatch, chaos)
+        code, faulted = self.sweep(tmp_path, "faulted")
+        assert code == 0
+        assert faulted.read_bytes() == clean.read_bytes()
+
+    @pytest.mark.parametrize("chaos", ["fsync-fail@journal",
+                                       "eio@journal"])
+    def test_journal_fault_exits_2_and_stays_replayable(
+            self, tmp_path, monkeypatch, capsys, chaos):
+        from repro.orchestrator import replay_journal
+
+        journal = tmp_path / "sweep.journal"
+        self._arm(monkeypatch, chaos)
+        code, path = self.sweep(tmp_path, "faulted",
+                                "--journal", str(journal))
+        assert code == 2
+        assert not path.exists()
+        assert "journal" in capsys.readouterr().err
+        monkeypatch.delenv("REPRO_IOCHAOS")
+        # Whatever reached the disk replays without error.
+        replay_journal(str(journal))
+
+    def test_late_journal_fault_leaves_resumable_journal(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.faults import iofault
+        from repro.orchestrator import replay_journal
+
+        journal = tmp_path / "sweep.journal"
+        # Writes: #1 begin, #2 queued, #3 dispatched -- the sweep dies
+        # mid-run with its grid fully journalled.
+        self._arm(monkeypatch, "eio@journal:3")
+        code, _ = self.sweep(tmp_path, "faulted",
+                             "--journal", str(journal))
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--resume" in err
+        monkeypatch.delenv("REPRO_IOCHAOS")
+        iofault.reset()
+        state = replay_journal(str(journal))
+        assert len(state.pending_specs()) == 1
+        # And the advertised recovery works: resume finishes the cell.
+        report = tmp_path / "resumed.json"
+        code, _ = run_cli(
+            "sweep", "--resume", str(journal), "--jobs", "1",
+            "--cache-dir", str(tmp_path / "faulted-cache"),
+            "--json", str(report))
+        assert code == 0
+        assert replay_journal(str(journal)).ended
+
+    def test_traces_import_fault_fails_loud(self, tmp_path,
+                                            monkeypatch, capsys):
+        import numpy as np
+
+        trace_file = tmp_path / "trace.csv"
+        trace_file.write_text(
+            "\n".join(str(v) for v in np.linspace(10.0, 20.0, 64)))
+        self._arm(monkeypatch, "enospc@traces")
+        code, _ = run_cli("traces", "import", str(trace_file),
+                          "--name", "t", "--clock-hz", "3e9",
+                          "--units", "W",
+                          "--trace-dir", str(tmp_path / "store"))
+        assert code == 2
+        assert "trace store write failed" in capsys.readouterr().err

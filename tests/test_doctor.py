@@ -1,0 +1,353 @@
+"""Tests for the ``repro-didt doctor`` scrub (detection, repair,
+byte-stable reports, and the CLI exit-code contract).
+
+The detection matrix mirrors what the storage-fault injector can leave
+behind: torn cache entries, stale-salt checkpoints, orphaned temp
+files from a rename that never landed, torn journal tails from a
+fail-loud append, and corrupt mid-journal damage.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import doctor
+from repro.cli import main
+from repro.core.checkpoint import WarmupCache
+from repro.orchestrator import (
+    CapturedTrace,
+    CurrentTraceCache,
+    JobSpec,
+    ResultCache,
+    SweepJournal,
+)
+from repro.traces import Trace, TraceStore
+
+
+@pytest.fixture(autouse=True)
+def _isolated_stores(monkeypatch, tmp_path):
+    """Point every default store root into the test's tmp dir so a
+    doctor run can never wander into the developer's real caches."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "traces"))
+    monkeypatch.delenv("REPRO_WARM_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_IOCHAOS", raising=False)
+
+
+SPEC = JobSpec(workload="swim", cycles=100, seed=5)
+RESULT = {"status": "ok", "ipc": 1.25}
+
+
+def make_capture(n=8):
+    return CapturedTrace(np.linspace(1.0, 2.0, n), np.ones(n),
+                         c0=0, cycles0=0, committed0=0,
+                         cycle_time=1e-9)
+
+
+class TestCleanStores:
+    def test_empty_everything_is_clean(self, tmp_path):
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              trace_root=str(tmp_path / "traces"))
+        assert report["problems"] == 0
+        assert report["unfixed"] == 0
+        assert report["stores"]["warm"]["skipped"] is True
+
+    def test_healthy_entries_pass(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", salt="s")
+        cache.put(SPEC, RESULT)
+        captures = CurrentTraceCache(root=tmp_path / "cache", salt="s")
+        captures.put("ab" * 32, {"k": 1}, make_capture())
+        warm = WarmupCache(root=str(tmp_path / "warm"))
+        warm._store_disk("cd" * 32, b"blob-bytes")
+        store = TraceStore(root=str(tmp_path / "traces"))
+        store.put(Trace([1.0, 2.0, 3.0], name="t"))
+        store.put_suite("demo", ["t"])
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              trace_root=str(tmp_path / "traces"),
+                              warm_root=str(tmp_path / "warm"),
+                              salt="s")
+        assert report["problems"] == 0
+        assert report["stores"]["cache"]["entries"] == 1
+        assert report["stores"]["captures"]["entries"] == 1
+        assert report["stores"]["warm"]["entries"] == 1
+        assert report["stores"]["traces"]["entries"] == 1
+        assert report["stores"]["traces"]["suites"] == 1
+
+
+class TestDetection:
+    def test_torn_cache_entry(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", salt="s")
+        path = cache.put(SPEC, RESULT)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) // 2)
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              salt="s")
+        section = report["stores"]["cache"]
+        assert len(section["invalid"]) == 1
+        assert report["problems"] == 1
+
+    def test_corrupt_capture_entry(self, tmp_path):
+        captures = CurrentTraceCache(root=tmp_path / "cache", salt="s")
+        path = captures.put("ab" * 32, {"k": 1}, make_capture())
+        with open(path, "r+b") as fh:
+            fh.write(b"garbage!")
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              salt="s")
+        assert len(report["stores"]["captures"]["invalid"]) == 1
+
+    def test_stale_salt_checkpoint(self, tmp_path):
+        warm = WarmupCache(root=str(tmp_path / "warm"))
+        warm._store_disk("cd" * 32, b"blob")
+        warm.salt = "another-code-version"
+        path = warm._disk_path("ef" * 32)
+        warm._store_disk("ef" * 32, b"blob")
+        assert os.path.exists(path)
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              warm_root=str(tmp_path / "warm"))
+        section = report["stores"]["warm"]
+        (bad,) = section["invalid"]
+        assert bad["reason"] == "salt mismatch"
+
+    def test_orphan_tmp_files(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", salt="s")
+        cache.put(SPEC, RESULT)
+        bucket = os.path.dirname(cache.path_for(SPEC))
+        with open(os.path.join(bucket, "abandon.tmp"), "w") as fh:
+            fh.write("half a write")
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              salt="s")
+        assert len(report["stores"]["cache"]["orphan_tmp"]) == 1
+        assert report["problems"] == 1
+
+    def test_trace_store_content_hash_mismatch(self, tmp_path):
+        store = TraceStore(root=str(tmp_path / "traces"))
+        digest = store.put(Trace([1.0, 2.0, 3.0], name="t"))
+        samples = os.path.join(store.entry_dir(digest), "samples.npy")
+        arr = np.load(samples, allow_pickle=False)
+        arr[0] += 1.0
+        with open(samples, "wb") as fh:
+            np.save(fh, arr)
+        report = doctor.scrub(trace_root=str(tmp_path / "traces"))
+        (bad,) = report["stores"]["traces"]["invalid"]
+        assert "hash mismatch" in bad["reason"]
+
+    def test_invalid_suite(self, tmp_path):
+        store = TraceStore(root=str(tmp_path / "traces"))
+        store.put_suite("demo", ["t"])
+        path = store._suite_path("demo")
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        report = doctor.scrub(trace_root=str(tmp_path / "traces"))
+        assert report["stores"]["traces"]["invalid_suites"] == [
+            "v1/suites/demo.json"]
+
+    def test_quarantine_dir_is_not_rescanned(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", salt="s")
+        path = cache.put(SPEC, RESULT)
+        with open(path, "w") as fh:
+            fh.write("broken")
+        doctor.scrub(cache_root=str(tmp_path / "cache"), salt="s",
+                     fix=True)
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              salt="s")
+        assert report["problems"] == 0
+        assert report["stores"]["cache"]["entries"] == 0
+
+
+class TestJournal:
+    def _write_journal(self, path):
+        with SweepJournal(path, fresh=True, fsync=False) as journal:
+            journal.begin_sweep([SPEC], settings={"cycles": 100},
+                                salt="s")
+            journal.done(SPEC.content_hash(), RESULT)
+        return str(path)
+
+    def test_healthy_journal(self, tmp_path):
+        path = self._write_journal(tmp_path / "sweep.journal")
+        entry = doctor.scrub_journal(path)
+        assert entry["status"] == "ok"
+        assert entry["records"] == 1
+
+    def test_missing_journal(self, tmp_path):
+        entry = doctor.scrub_journal(str(tmp_path / "nope.journal"))
+        assert entry["status"] == "missing"
+
+    def test_torn_tail_detected_and_fixed(self, tmp_path):
+        path = self._write_journal(tmp_path / "sweep.journal")
+        healthy = open(path, "rb").read()
+        with open(path, "ab") as fh:
+            fh.write(b'{"event":"done","half a rec')
+        entry = doctor.scrub_journal(path)
+        assert entry["status"] == "torn-tail"
+        assert not entry["fixed"]
+        fixed = doctor.scrub_journal(path, fix=True)
+        assert fixed["fixed"] is True
+        assert open(path, "rb").read() == healthy
+        assert doctor.scrub_journal(path)["status"] == "ok"
+
+    def test_mid_file_corruption_quarantined(self, tmp_path):
+        path = self._write_journal(tmp_path / "sweep.journal")
+        lines = open(path, "rb").read().splitlines(True)
+        lines[0] = b'{"event":"begin","c":"badc0ffee"}\n'
+        with open(path, "wb") as fh:
+            fh.writelines(lines)
+        entry = doctor.scrub_journal(path)
+        assert entry["status"] == "corrupt"
+        fixed = doctor.scrub_journal(path, fix=True)
+        assert fixed["fixed"] is True
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+
+    def test_live_writer_reports_locked(self, tmp_path):
+        path = str(tmp_path / "sweep.journal")
+        with SweepJournal(path, fresh=True, fsync=False) as journal:
+            journal.begin(settings={}, salt="s")
+            entry = doctor.scrub_journal(path, fix=True)
+            assert entry["status"] == "locked"
+            assert not entry["fixed"]
+        # A locked journal is a live writer, not a problem.
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              journals=[path])
+        assert report["problems"] == 0
+
+
+class TestFix:
+    def test_fix_quarantines_and_reclaims(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", salt="s")
+        path = cache.put(SPEC, RESULT)
+        with open(path, "w") as fh:
+            fh.write("broken")
+        bucket = os.path.dirname(path)
+        with open(os.path.join(bucket, "abandon.tmp"), "w") as fh:
+            fh.write("x")
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"),
+                              salt="s", fix=True)
+        assert report["problems"] == 2
+        assert report["fixed"] == 2
+        assert report["unfixed"] == 0
+        assert not os.path.exists(path)
+        quarantined = os.path.join(str(tmp_path / "cache"),
+                                   "quarantine",
+                                   os.path.basename(path))
+        assert os.path.exists(quarantined)
+        assert not os.path.exists(os.path.join(bucket, "abandon.tmp"))
+
+    def test_fix_quarantines_whole_trace_entry(self, tmp_path):
+        store = TraceStore(root=str(tmp_path / "traces"))
+        digest = store.put(Trace([1.0, 2.0], name="t"))
+        meta = os.path.join(store.entry_dir(digest), "meta.json")
+        with open(meta, "w") as fh:
+            fh.write("{broken")
+        report = doctor.scrub(trace_root=str(tmp_path / "traces"),
+                              fix=True)
+        assert report["unfixed"] == 0
+        assert not os.path.exists(store.entry_dir(digest))
+        assert os.path.exists(os.path.join(store.root, "quarantine",
+                                           digest))
+
+
+class TestReportStability:
+    def test_same_bytes_for_same_state(self, tmp_path):
+        cache = ResultCache(root=tmp_path / "cache", salt="s")
+        path = cache.put(SPEC, RESULT)
+        with open(path, "w") as fh:
+            fh.write("broken")
+        kwargs = dict(cache_root=str(tmp_path / "cache"), salt="s")
+        first = json.dumps(doctor.scrub(**kwargs), sort_keys=True,
+                           indent=2)
+        second = json.dumps(doctor.scrub(**kwargs), sort_keys=True,
+                            indent=2)
+        assert first == second
+
+    def test_report_is_json_safe(self, tmp_path):
+        report = doctor.scrub(cache_root=str(tmp_path / "cache"))
+        assert json.loads(json.dumps(report)) == report
+
+
+class TestCli:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        code = main(["doctor", "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-dir", str(tmp_path / "traces")])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["problems"] == 0
+
+    def test_problems_exit_one(self, tmp_path, capsys):
+        cache = ResultCache(root=tmp_path / "cache")
+        path = cache.put(SPEC, RESULT)
+        with open(path, "w") as fh:
+            fh.write("broken")
+        code = main(["doctor", "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-dir", str(tmp_path / "traces")])
+        assert code == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["unfixed"] == 1
+
+    def test_fix_then_clean_exits_zero(self, tmp_path, capsys):
+        cache = ResultCache(root=tmp_path / "cache")
+        path = cache.put(SPEC, RESULT)
+        with open(path, "w") as fh:
+            fh.write("broken")
+        code = main(["doctor", "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-dir", str(tmp_path / "traces"), "--fix"])
+        assert code == 0
+        assert main(["doctor", "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-dir",
+                     str(tmp_path / "traces")]) == 0
+        capsys.readouterr()
+
+    def test_journal_flag_and_json_out(self, tmp_path, capsys):
+        journal_path = str(tmp_path / "sweep.journal")
+        with SweepJournal(journal_path, fresh=True,
+                          fsync=False) as journal:
+            journal.begin(settings={}, salt="s")
+        out_path = str(tmp_path / "report.json")
+        code = main(["doctor", "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-dir", str(tmp_path / "traces"),
+                     "--journal", journal_path,
+                     "--json-out", out_path])
+        assert code == 0
+        printed = capsys.readouterr().out
+        with open(out_path, "r") as fh:
+            assert fh.read() == printed
+        report = json.loads(printed)
+        (entry,) = report["stores"]["journals"]
+        assert entry["status"] == "ok"
+
+    def test_doctor_finds_everything_iochaos_leaves(self, tmp_path,
+                                                    capsys,
+                                                    monkeypatch):
+        """End-to-end detection: arm rename-fail + fsync-fail faults,
+        let the stores fail their way, then assert the scrub reports a
+        clean tree -- graceful stores clean up their own temp files,
+        and the journal's failed append leaves a replayable file."""
+        from repro.faults import iofault
+        from repro.orchestrator.journal import JournalWriteError
+
+        monkeypatch.setenv("REPRO_IOCHAOS",
+                           "rename-fail@cache,fsync-fail@journal:2")
+        iofault.reset()
+        cache = ResultCache(root=tmp_path / "cache", salt="s")
+        assert cache.put(SPEC, RESULT) is None
+        assert cache.write_errors == 1
+        journal_path = str(tmp_path / "sweep.journal")
+        journal = SweepJournal(journal_path, fresh=True)
+        journal.begin(settings={}, salt="s")
+        with pytest.raises(JournalWriteError):
+            journal.queued(SPEC)
+        monkeypatch.delenv("REPRO_IOCHAOS")
+        iofault.reset()
+        code = main(["doctor", "--cache-dir", str(tmp_path / "cache"),
+                     "--trace-dir", str(tmp_path / "traces"),
+                     "--journal", journal_path])
+        report = json.loads(capsys.readouterr().out)
+        # The degrade-domain cache unlinked its own temp file; the
+        # journal append failed *before* writing (fsync ordinal 2
+        # fired after the record reached the OS), leaving a healthy
+        # replayable journal either way.
+        assert report["stores"]["cache"]["orphan_tmp"] == []
+        (entry,) = report["stores"]["journals"]
+        assert entry["status"] in ("ok", "torn-tail")
+        assert code in (0, 1)
